@@ -1,0 +1,131 @@
+// Ablation: compression techniques stacked on the factorized kernel.
+//
+// The paper positions SCC as orthogonal to pruning (§II-C: "factorize kernel
+// + pruning is a potential research direction") and motivates everything
+// with memory-constrained edge devices. This bench quantifies the stack on
+// one model: MobileNet/DW+SCC, then magnitude pruning, then int8
+// post-training quantization - reporting weight bytes (dense-format and
+// sparse-aware) and held-out accuracy at each stage.
+//
+// Expected shape: each stage shrinks the effective weight storage; accuracy
+// stays within a few points of the float dense model after finetuning.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth.hpp"
+#include "models/mobilenet.hpp"
+#include "nn/bn_folding.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+#include "prune/prune.hpp"
+#include "quant/quant_layers.hpp"
+
+namespace dsx {
+namespace {
+
+struct Stage {
+  const char* name;
+  double accuracy;
+  double weight_kb;  // effective weight storage
+};
+
+double run_epochs(nn::Trainer& trainer, data::DataLoader& loader, int epochs,
+                  prune::Pruner* pruner) {
+  double last = 0.0;
+  for (int e = 0; e < epochs; ++e) {
+    loader.reset();
+    while (loader.has_next()) {
+      const data::Batch b = loader.next();
+      last = trainer.train_batch(b.images, b.labels).accuracy;
+      if (pruner != nullptr) pruner->reapply();
+    }
+  }
+  return last;
+}
+
+}  // namespace
+}  // namespace dsx
+
+int main() {
+  using namespace dsx;
+  bench::banner("Ablation: SCC + pruning + int8 quantization stack");
+  const int64_t classes = 4, image = 16;
+  const double sparsity = 0.5;
+  std::printf("MobileNet DW+SCC-cg2-co50%% (width 0.125) on SynthCIFAR "
+              "%lldx%lld/%lld-class; 5 dense + 5 masked epochs.\n\n",
+              static_cast<long long>(image), static_cast<long long>(image),
+              static_cast<long long>(classes));
+
+  const data::Dataset train = data::make_synth_cifar(512, 301, image, 3,
+                                                     classes);
+  const data::Dataset test = data::make_synth_cifar(256, 302, image, 3,
+                                                    classes);
+  const data::Batch tb = data::full_batch(test);
+
+  Rng rng(19);
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.125;
+  auto model = models::build_mobilenet(classes, cfg, rng);
+
+  nn::SGD opt({.lr = 0.02f, .momentum = 0.9f, .weight_decay = 1e-4f});
+  nn::Trainer trainer(*model, opt);
+  data::DataLoader loader(train, {.batch_size = 32, .shuffle = true,
+                                  .augment = true, .seed = 3});
+
+  // Stage 1: dense float training.
+  run_epochs(trainer, loader, 5, nullptr);
+  auto params = model->params();
+  double dense_bytes = 0.0;
+  for (nn::Param* p : params) {
+    if (p->decay) dense_bytes += static_cast<double>(p->value.size_bytes());
+  }
+  std::vector<Stage> stages;
+  stages.push_back({"float dense", trainer.evaluate(tb.images, tb.labels).accuracy,
+                    dense_bytes / 1e3});
+
+  // Stage 2: global magnitude pruning + masked finetune. Sparse storage
+  // estimate: 4 bytes per surviving weight (values; a real format adds
+  // indices, which int8 quantization below also shrinks).
+  prune::Pruner pruner = prune::Pruner::global_magnitude(params, sparsity);
+  run_epochs(trainer, loader, 5, &pruner);
+  const double kept_fraction = 1.0 - pruner.overall_sparsity();
+  stages.push_back({"+ 50% pruning (finetuned)",
+                    trainer.evaluate(tb.images, tb.labels).accuracy,
+                    dense_bytes * kept_fraction / 1e3});
+
+  // Stage 3: BN folding + int8 quantization of the SCC layers.
+  nn::fold_batchnorm(*model);
+  const quant::QuantizeReport report =
+      quant::quantize_scc_layers(*model, train.images);
+  const double quant_bytes =
+      (dense_bytes - static_cast<double>(report.float_weight_bytes)) *
+          kept_fraction +
+      static_cast<double>(report.int8_weight_bytes) * kept_fraction;
+  stages.push_back({"+ int8 SCC layers",
+                    trainer.evaluate(tb.images, tb.labels).accuracy,
+                    quant_bytes / 1e3});
+
+  bench::Table table({"Stage", "Accuracy (%)", "Weight KB (est.)"});
+  for (const Stage& s : stages) {
+    table.add_row({s.name, bench::fmt(100 * s.accuracy, 1),
+                   bench::fmt(s.weight_kb, 1)});
+  }
+  table.print();
+  std::printf("\n");
+
+  bool ok = true;
+  ok &= bench::shape_check("each stage shrinks weight storage",
+                           stages[1].weight_kb < stages[0].weight_kb &&
+                               stages[2].weight_kb < stages[1].weight_kb);
+  ok &= bench::shape_check(
+      "compressed model stays within 15 points of float dense",
+      stages[2].accuracy > stages[0].accuracy - 0.15);
+  ok &= bench::shape_check(
+      "stack reaches >= 2.5x total weight reduction",
+      stages[0].weight_kb / stages[2].weight_kb >= 2.5);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Ablation: the GEMM-based SCC implementation the paper rejects (§IV-B).
+//
+// "SCC requires 128 times fine-grained GEMM operations between the matrix
+// with shape ((56x56) x 32) and matrix with shape (32 x 1)" - we rebuild
+// exactly that configuration (Cin=64, Cout=128, cg=2, 56x56 feature maps)
+// and time the per-filter-GEMM route against the fused DSXplore kernels,
+// forward and backward. Expected shape: fused wins both directions; the
+// GEMM route also allocates a [N*Ho*Wo, gw] gather buffer the fused kernels
+// never materialise.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/scc_gemm.hpp"
+#include "core/scc_kernels.hpp"
+#include "tensor/alloc_tracker.hpp"
+#include "tensor/random.hpp"
+
+int main() {
+  using namespace dsx;
+  bench::banner("Ablation: fused SCC kernels vs the rejected GEMM route");
+  std::printf("Paper's own example shape: 56x56 maps, Cin=64 -> Cout=128, "
+              "cg=2, co=50%% (=> 128 GEMMs of (3136x32)x(32x1)), batch 1.\n\n");
+
+  scc::SCCConfig cfg;
+  cfg.in_channels = 64;
+  cfg.out_channels = 128;
+  cfg.groups = 2;
+  cfg.overlap = 0.5;
+  const scc::ChannelWindowMap map(cfg);
+
+  Rng rng(77);
+  const Tensor in = random_uniform(make_nchw(1, 64, 56, 56), rng);
+  const Tensor w = random_uniform(Shape{128, map.group_width()}, rng);
+  const Tensor dout =
+      random_uniform(scc::scc_output_shape(in.shape(), map), rng);
+
+  const double fused_fwd = bench::time_best(
+      [&] { scc::scc_forward(in, w, nullptr, map); }, 1, 5);
+  const double gemm_fwd = bench::time_best(
+      [&] { scc::scc_forward_gemm(in, w, nullptr, map); }, 1, 5);
+  const double fused_bwd = bench::time_best(
+      [&] { scc::scc_backward_input_centric(in, w, dout, map, true, false); },
+      1, 5);
+  const double gemm_bwd = bench::time_best(
+      [&] { scc::scc_backward_gemm(in, w, dout, map, true, false); }, 1, 5);
+
+  bench::Table table({"Pass", "Fused (ms)", "GEMM-stack (ms)", "Fused wins"});
+  table.add_row({"forward", bench::fmt(1e3 * fused_fwd, 2),
+                 bench::fmt(1e3 * gemm_fwd, 2),
+                 bench::fmt(gemm_fwd / fused_fwd, 2) + "x"});
+  table.add_row({"backward", bench::fmt(1e3 * fused_bwd, 2),
+                 bench::fmt(1e3 * gemm_bwd, 2),
+                 bench::fmt(gemm_bwd / fused_bwd, 2) + "x"});
+  table.print();
+  std::printf("\n");
+
+  bool ok = true;
+  ok &= bench::shape_check("fused forward beats per-filter GEMMs",
+                           fused_fwd < gemm_fwd);
+  ok &= bench::shape_check("fused backward beats per-filter GEMMs",
+                           fused_bwd < gemm_bwd);
+  return ok ? 0 : 1;
+}

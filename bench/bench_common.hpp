@@ -1,0 +1,181 @@
+// Shared benchmark harness: timing, table printing, SHAPE-CHECK verdicts and
+// model-under-test construction.
+//
+// Every bench binary regenerates one table or figure of the paper (see
+// DESIGN.md §4). Absolute numbers differ from the paper's V100 (this substrate
+// is a 2-core CPU plus an analytic GPU model), so each bench ends with
+// SHAPE-CHECK lines asserting the paper's *qualitative* claim.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "models/mobilenet.hpp"
+#include "models/resnet.hpp"
+#include "models/schemes.hpp"
+#include "models/vgg.hpp"
+#include "nn/layers_conv.hpp"
+#include "tensor/random.hpp"
+
+namespace dsx::bench {
+
+// ---- timing ---------------------------------------------------------------
+
+/// Wall-clock seconds of fn(), best of `iters` after `warmup` runs.
+inline double time_best(const std::function<void()>& fn, int warmup = 1,
+                        int iters = 2) {
+  for (int i = 0; i < warmup; ++i) fn();
+  double best = 1e300;
+  for (int i = 0; i < iters; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// Median of `iters` timed runs - robust to transient scheduler noise; use
+/// for the normalized sweeps (Figs. 11/12) whose checks compare ratios of
+/// short measurements.
+inline double time_median(const std::function<void()>& fn, int warmup = 1,
+                          int iters = 5) {
+  for (int i = 0; i < warmup; ++i) fn();
+  std::vector<double> times(static_cast<size_t>(iters));
+  for (double& t : times) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    t = std::chrono::duration<double>(t1 - t0).count();
+  }
+  std::sort(times.begin(), times.end());
+  return times[times.size() / 2];
+}
+
+// ---- output ----------------------------------------------------------------
+
+/// Fixed-width markdown-ish table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (size_t c = 0; c < headers_.size(); ++c) {
+        const std::string& v = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(width[c]), v.c_str());
+      }
+      std::printf("\n");
+    };
+    line(headers_);
+    std::printf("|");
+    for (size_t c = 0; c < headers_.size(); ++c) {
+      std::printf("%s|", std::string(width[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+/// Prints a SHAPE-CHECK verdict; returns ok so mains can aggregate an exit
+/// code (a failed shape check fails the bench run).
+inline bool shape_check(const std::string& claim, bool ok) {
+  std::printf("SHAPE-CHECK [%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  return ok;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+// ---- models under test -----------------------------------------------------
+
+enum class ModelKind { kVGG16, kVGG19, kMobileNet, kResNet18, kResNet50 };
+
+inline const char* model_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kVGG16: return "VGG16";
+    case ModelKind::kVGG19: return "VGG19";
+    case ModelKind::kMobileNet: return "MobileNet";
+    case ModelKind::kResNet18: return "ResNet18";
+    case ModelKind::kResNet50: return "ResNet50";
+  }
+  return "?";
+}
+
+inline std::vector<ModelKind> all_models() {
+  return {ModelKind::kVGG16, ModelKind::kVGG19, ModelKind::kMobileNet,
+          ModelKind::kResNet18, ModelKind::kResNet50};
+}
+
+inline std::unique_ptr<nn::Sequential> build_model(
+    ModelKind kind, int64_t num_classes, int64_t image_size,
+    const models::SchemeConfig& cfg, Rng& rng) {
+  switch (kind) {
+    case ModelKind::kVGG16:
+      return models::build_vgg(16, num_classes, image_size, cfg, rng);
+    case ModelKind::kVGG19:
+      return models::build_vgg(19, num_classes, image_size, cfg, rng);
+    case ModelKind::kMobileNet:
+      return models::build_mobilenet(num_classes, cfg, rng);
+    case ModelKind::kResNet18:
+      return models::build_resnet(18, num_classes, cfg, rng);
+    case ModelKind::kResNet50:
+      return models::build_resnet(50, num_classes, cfg, rng);
+  }
+  return nullptr;
+}
+
+/// Switches every SCC layer in the model to the given implementation.
+inline void set_scc_impl(nn::Sequential& model, nn::SCCImpl impl) {
+  model.for_each_layer([impl](nn::Layer& layer) {
+    if (auto* scc = dynamic_cast<nn::SCCConv*>(&layer)) scc->set_impl(impl);
+  });
+}
+
+/// Random batch + labels for training-step timing.
+struct BenchBatch {
+  Tensor images;
+  std::vector<int32_t> labels;
+};
+
+inline BenchBatch make_batch(int64_t batch, int64_t image_size,
+                             int64_t num_classes, uint64_t seed) {
+  Rng rng(seed);
+  BenchBatch b;
+  b.images = random_uniform(make_nchw(batch, 3, image_size, image_size), rng);
+  b.labels.resize(static_cast<size_t>(batch));
+  for (int64_t i = 0; i < batch; ++i) {
+    b.labels[static_cast<size_t>(i)] =
+        static_cast<int32_t>(rng.randint(0, num_classes - 1));
+  }
+  return b;
+}
+
+}  // namespace dsx::bench

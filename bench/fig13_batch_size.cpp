@@ -1,0 +1,85 @@
+// Reproduces paper Fig. 13: time per training batch vs batch size
+// (16..1024). The paper's shape - flat while the GPU is undersaturated, then
+// roughly linear - is an execution-model effect, so this bench reports BOTH:
+//   * measured CPU time (linear in batch on this substrate, as expected), and
+//   * modeled V100 time: the real per-batch kernel-launch log (thread counts,
+//     per-thread FLOPs/bytes) replayed through gpusim's wave model, which
+//     reproduces the knee.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "device/launch.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/estimator.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace dsx;
+  bench::banner("Fig. 13: time per batch vs batch size");
+  const int64_t image = 16;
+  std::printf("width 0.125, %ldx%ld input, fused DSXplore kernels, cg=2 "
+              "co=50%%.\nModeled V100 time comes from replaying the real "
+              "launch log through gpusim (DESIGN.md substitution).\n\n",
+              image, image);
+
+  const int64_t batches[] = {16, 32, 64, 128, 256, 512, 1024};
+  const bench::ModelKind kinds[] = {bench::ModelKind::kVGG16,
+                                    bench::ModelKind::kMobileNet,
+                                    bench::ModelKind::kResNet18};
+  const gpusim::DeviceSpec v100 = gpusim::DeviceSpec::v100();
+
+  bool ok = true;
+  for (bench::ModelKind kind : kinds) {
+    Rng rng(51);
+    models::SchemeConfig cfg;
+    cfg.scheme = models::ConvScheme::kDWSCC;
+    cfg.cg = 2;
+    cfg.co = 0.5;
+    cfg.width_mult = 0.125;
+    // VGG needs >= 32px for its five pool stages.
+    const int64_t img = kind == bench::ModelKind::kVGG16 ? 32 : image;
+    auto model = bench::build_model(kind, 10, img, cfg, rng);
+    nn::SGD opt({});
+    nn::Trainer trainer(*model, opt);
+
+    bench::Table table({"Batch", "CPU measured (s)", "V100 modeled (ms)",
+                        "modeled ms/sample"});
+    std::vector<double> modeled;
+    for (int64_t bs : batches) {
+      const bench::BenchBatch b = bench::make_batch(bs, img, 10, 9);
+      // Measure CPU time only for feasible sizes; always collect the launch
+      // log for the model-based estimate.
+      double cpu = -1.0;
+      if (bs <= 128) {
+        cpu = bench::time_best(
+            [&] { trainer.forward_backward(b.images, b.labels); }, 1, 2);
+      }
+      device::KernelProfileScope profile;
+      trainer.forward_backward(b.images, b.labels);
+      const double gpu = gpusim::estimate_log_time(v100, profile.records());
+      modeled.push_back(gpu);
+      table.add_row({std::to_string(bs),
+                     cpu < 0 ? "-" : bench::fmt(cpu, 3),
+                     bench::fmt(1e3 * gpu, 2),
+                     bench::fmt(1e6 * gpu / bs, 1)});
+    }
+    std::printf("\n%s:\n", bench::model_name(kind));
+    table.print();
+
+    // Shape: flat knee then linear growth. Flatness: time(64)/time(16) well
+    // below proportional (4x); linearity: time(1024)/time(256) close to 4x.
+    const double knee_ratio = modeled[2] / modeled[0];
+    const double tail_ratio = modeled[6] / modeled[4];
+    char claim[160];
+    std::snprintf(claim, sizeof(claim),
+                  "%s: sub-linear below the knee (64/16 = %.2fx << 4x)",
+                  bench::model_name(kind), knee_ratio);
+    ok &= bench::shape_check(claim, knee_ratio < 3.0);
+    std::snprintf(claim, sizeof(claim),
+                  "%s: ~linear past saturation (1024/256 = %.2fx ~ 4x)",
+                  bench::model_name(kind), tail_ratio);
+    ok &= bench::shape_check(claim, tail_ratio > 2.5 && tail_ratio < 5.0);
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,79 @@
+// Reproduces paper Fig. 14: multi-GPU data-parallel training scalability,
+// 1-4 devices, speedup normalized to 1 device.
+//
+// There are no GPUs here, so per the DESIGN.md substitution the step is
+// decomposed exactly as the paper's data-parallel recipe does:
+//   step(D) = compute(full batch)/D + ring-allreduce(gradient bytes, D)
+// where compute comes from replaying the real launch log of a training step
+// through the V100 model, gradient bytes from the real parameter count, and
+// the all-reduce itself is executed (bit-exactly, see
+// Integration.DataParallelGradientsMatchSingleDevice) by device::DeviceGroup.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "device/launch.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/estimator.hpp"
+#include "gpusim/link_model.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+
+int main() {
+  using namespace dsx;
+  bench::banner("Fig. 14: multi-GPU scalability (data parallel, 1-4 devices)");
+  const int64_t batch = 64;
+  std::printf("width 0.125, batch %ld (sharded across devices), cg=2 co=50%%."
+              "\nCompute: V100-modeled step from the real launch log; comm: "
+              "ring all-reduce of the real gradient size.\n\n",
+              batch);
+
+  const bench::ModelKind kinds[] = {bench::ModelKind::kVGG16,
+                                    bench::ModelKind::kMobileNet,
+                                    bench::ModelKind::kResNet18};
+  const gpusim::DeviceSpec v100 = gpusim::DeviceSpec::v100();
+
+  bench::Table table({"Model", "grad (MB)", "1-GPU (ms)", "2-GPU (x)",
+                      "3-GPU (x)", "4-GPU (x)"});
+  bool ok = true;
+  for (bench::ModelKind kind : kinds) {
+    Rng rng(53);
+    models::SchemeConfig cfg;
+    cfg.scheme = models::ConvScheme::kDWSCC;
+    cfg.cg = 2;
+    cfg.co = 0.5;
+    cfg.width_mult = 0.125;
+    const int64_t img = kind == bench::ModelKind::kVGG16 ? 32 : 16;
+    auto model = bench::build_model(kind, 10, img, cfg, rng);
+    nn::SGD opt({});
+    nn::Trainer trainer(*model, opt);
+    const bench::BenchBatch b = bench::make_batch(batch, img, 10, 9);
+
+    device::KernelProfileScope profile;
+    trainer.forward_backward(b.images, b.labels);
+    const double compute = gpusim::estimate_log_time(v100, profile.records());
+    const double grad_bytes =
+        4.0 * static_cast<double>(nn::param_count(model->params()));
+
+    double speedups[5] = {};
+    double prev = 0.0;
+    bool monotone = true;
+    for (int d = 1; d <= 4; ++d) {
+      const auto est =
+          gpusim::estimate_data_parallel(v100, compute, grad_bytes, d);
+      speedups[d] = est.speedup;
+      monotone &= est.speedup >= prev;
+      prev = est.speedup;
+    }
+    table.add_row({bench::model_name(kind), bench::fmt(grad_bytes / 1e6),
+                   bench::fmt(1e3 * compute, 2), bench::fmt(speedups[2]),
+                   bench::fmt(speedups[3]), bench::fmt(speedups[4])});
+    char claim[160];
+    std::snprintf(claim, sizeof(claim),
+                  "%s: speedup grows with devices and is near-linear at 4 "
+                  "(%.2fx, paper ~4x)",
+                  bench::model_name(kind), speedups[4]);
+    ok &= bench::shape_check(claim, monotone && speedups[4] > 3.0);
+  }
+  table.print();
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,168 @@
+// Kernel-level microbenchmarks (google-benchmark): SCC forward/backward vs
+// the PW/GPW primitives it replaces and the composition implementations.
+// These complement the table/figure harnesses with op-granularity numbers.
+#include <benchmark/benchmark.h>
+
+#include "core/compositions.hpp"
+#include "core/scc_gemm.hpp"
+#include "core/scc_kernels.hpp"
+#include "ops/conv2d.hpp"
+#include "ops/shift.hpp"
+#include "ops/shuffle.hpp"
+#include "tensor/random.hpp"
+
+namespace dsx {
+namespace {
+
+struct LayerData {
+  scc::SCCConfig cfg;
+  scc::ChannelWindowMap map;
+  Tensor in, w, dout;
+
+  LayerData(int64_t cin, int64_t cout, int64_t spatial, int64_t cg, double co,
+            int64_t batch)
+      : cfg{cin, cout, cg, co, 1}, map(cfg) {
+    Rng rng(7);
+    in = random_uniform(make_nchw(batch, cin, spatial, spatial), rng);
+    w = random_uniform(Shape{cout, map.group_width()}, rng);
+    dout = random_uniform(scc::scc_output_shape(in.shape(), map), rng);
+  }
+};
+
+LayerData& layer(int64_t cg) {
+  static LayerData l2(64, 128, 16, 2, 0.5, 8);
+  static LayerData l4(64, 128, 16, 4, 0.5, 8);
+  static LayerData l8(64, 128, 16, 8, 0.5, 8);
+  switch (cg) {
+    case 4: return l4;
+    case 8: return l8;
+    default: return l2;
+  }
+}
+
+void BM_SCCForwardFused(benchmark::State& state) {
+  LayerData& l = layer(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scc::scc_forward(l.in, l.w, nullptr, l.map));
+  }
+  state.counters["macs"] = benchmark::Counter(
+      static_cast<double>(l.in.shape().n()) * l.cfg.out_channels * 16 * 16 *
+          l.map.group_width(),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_SCCForwardFused)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SCCForwardNoCycleTable(benchmark::State& state) {
+  // Ablation of the channel-cyclic index reuse (paper Algorithm 2): window
+  // starts recomputed per filter instead of read from the one-cycle table.
+  LayerData& l = layer(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scc::scc_forward_no_cycle_table(l.in, l.w, nullptr, l.map));
+  }
+}
+BENCHMARK(BM_SCCForwardNoCycleTable)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SCCForwardChannelStack(benchmark::State& state) {
+  LayerData& l = layer(state.range(0));
+  const scc::ChannelStackSCC impl(l.cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(impl.forward(l.in, l.w, nullptr));
+  }
+}
+BENCHMARK(BM_SCCForwardChannelStack)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SCCForwardConvStack(benchmark::State& state) {
+  LayerData& l = layer(state.range(0));
+  const scc::ConvStackSCC impl(l.cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(impl.forward(l.in, l.w, nullptr));
+  }
+}
+BENCHMARK(BM_SCCForwardConvStack)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SCCBackwardInputCentric(benchmark::State& state) {
+  LayerData& l = layer(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scc::scc_backward_input_centric(
+        l.in, l.w, l.dout, l.map, true, false));
+  }
+}
+BENCHMARK(BM_SCCBackwardInputCentric)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SCCBackwardOutputCentric(benchmark::State& state) {
+  LayerData& l = layer(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scc::scc_backward_output_centric(
+        l.in, l.w, l.dout, l.map, true, false));
+  }
+}
+BENCHMARK(BM_SCCBackwardOutputCentric)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SCCForwardGemmStack(benchmark::State& state) {
+  // The paper's rejected alternative (§IV): Cout fine-grained per-filter
+  // GEMMs over gathered windows. Expected to lose to the fused kernel on
+  // gather traffic and GEMM-granularity alone.
+  LayerData& l = layer(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scc::scc_forward_gemm(l.in, l.w, nullptr, l.map));
+  }
+}
+BENCHMARK(BM_SCCForwardGemmStack)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SCCBackwardGemmStack(benchmark::State& state) {
+  LayerData& l = layer(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        scc::scc_backward_gemm(l.in, l.w, l.dout, l.map, true, false));
+  }
+}
+BENCHMARK(BM_SCCBackwardGemmStack)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ShiftForward(benchmark::State& state) {
+  // Zero-FLOP spatial stage (paper ref [10]); contrast with depthwise.
+  Rng rng(9);
+  Tensor in = random_uniform(make_nchw(8, 64, 16, 16), rng);
+  const auto shifts = make_uniform_shifts(64, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(shift_forward(in, shifts, 1));
+  }
+}
+BENCHMARK(BM_ShiftForward);
+
+void BM_ChannelShuffleForward(benchmark::State& state) {
+  Rng rng(9);
+  Tensor in = random_uniform(make_nchw(8, 64, 16, 16), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(channel_shuffle_forward(in, state.range(0)));
+  }
+}
+BENCHMARK(BM_ChannelShuffleForward)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PointwiseConvForward(benchmark::State& state) {
+  Rng rng(9);
+  Tensor in = random_uniform(make_nchw(8, 64, 16, 16), rng);
+  Tensor w = random_uniform(Shape{128, 64, 1, 1}, rng);
+  const Conv2dArgs args{1, 0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d_forward(in, w, nullptr, args));
+  }
+}
+BENCHMARK(BM_PointwiseConvForward);
+
+void BM_GroupPointwiseForward(benchmark::State& state) {
+  const int64_t cg = state.range(0);
+  Rng rng(9);
+  Tensor in = random_uniform(make_nchw(8, 64, 16, 16), rng);
+  Tensor w = random_uniform(Shape{128, 64 / cg, 1, 1}, rng);
+  const Conv2dArgs args{1, 0, cg};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv2d_forward(in, w, nullptr, args));
+  }
+}
+BENCHMARK(BM_GroupPointwiseForward)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace dsx
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Reproduces paper Table I: qualitative comparison of PW vs GPW vs SCC on
+// FLOPs, parameters and accuracy.
+//
+// Costs are analytic (core/cost_model) on a representative channel-fusion
+// layer; accuracy is measured by training each scheme as the fusion stage of
+// a small probe on the cross-channel task (DESIGN.md §2: the synthetic task
+// that realises the cross-group information loss the paper ascribes to GPW).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/cost_model.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth.hpp"
+#include "nn/containers.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+
+namespace dsx {
+namespace {
+
+double probe_accuracy(models::ConvScheme scheme, int64_t cg, double co) {
+  data::CrossChannelOptions opts;
+  const data::Dataset train = make_cross_channel_task(512, 1001, opts);
+  const data::Dataset test = make_cross_channel_task(256, 1002, opts);
+
+  Rng rng(7);
+  nn::Sequential model;
+  const int64_t C = opts.channels, F = 32;
+  if (scheme == models::ConvScheme::kDWPW) {
+    model.emplace<nn::Conv2d>(C, F, 1, 1, 0, 1, rng, true);
+  } else if (scheme == models::ConvScheme::kDWGPW) {
+    model.emplace<nn::Conv2d>(C, F, 1, 1, 0, cg, rng, true);
+  } else {
+    scc::SCCConfig cfg;
+    cfg.in_channels = C;
+    cfg.out_channels = F;
+    cfg.groups = cg;
+    cfg.overlap = co;
+    model.emplace<nn::SCCConv>(cfg, rng, true);
+  }
+  model.emplace<nn::ReLU>();
+  model.emplace<nn::GlobalAvgPool>();
+  model.emplace<nn::Flatten>();
+  model.emplace<nn::Linear>(F, opts.num_classes, rng, true);
+
+  nn::SGD opt({.lr = 0.05f, .momentum = 0.9f, .weight_decay = 0.0f});
+  nn::Trainer trainer(model, opt);
+  data::DataLoader loader(train, {.batch_size = 32, .shuffle = true,
+                                  .seed = 3});
+  for (int e = 0; e < 15; ++e) {
+    loader.reset();
+    while (loader.has_next()) {
+      const data::Batch b = loader.next();
+      trainer.train_batch(b.images, b.labels);
+    }
+  }
+  const data::Batch tb = data::full_batch(test);
+  return trainer.evaluate(tb.images, tb.labels).accuracy;
+}
+
+}  // namespace
+}  // namespace dsx
+
+int main() {
+  using namespace dsx;
+  bench::banner("Table I: SCC vs PW vs GPW (FLOPs / params / accuracy)");
+  std::printf(
+      "Representative fusion layer: Cin=64 -> Cout=64 at 16x16; accuracy on "
+      "the cross-channel task (8ch, 4 classes), cg=4.\n\n");
+
+  const int64_t Cin = 64, Cout = 64, H = 16, W = 16, cg = 4;
+  const auto pw = scc::pointwise_cost(Cin, Cout, H, W, 1, false);
+  const auto gpw = scc::pointwise_cost(Cin, Cout, H, W, cg, false);
+  scc::SCCConfig scfg;
+  scfg.in_channels = Cin;
+  scfg.out_channels = Cout;
+  scfg.groups = cg;
+  scfg.overlap = 0.5;
+  const auto scc_c = scc::scc_cost(scfg, H, W, false);
+
+  const double acc_pw = probe_accuracy(models::ConvScheme::kDWPW, 1, 1.0);
+  const double acc_gpw = probe_accuracy(models::ConvScheme::kDWGPW, cg, 0.0);
+  const double acc_scc = probe_accuracy(models::ConvScheme::kDWSCC, cg, 0.5);
+
+  bench::Table table({"Convolution", "kMACs", "Params", "Accuracy (%)",
+                      "Paper Table I"});
+  table.add_row({"PW", bench::fmt(pw.macs / 1e3, 1), bench::fmt(pw.params, 0),
+                 bench::fmt(100 * acc_pw, 1), "High / High / High"});
+  table.add_row({"GPW", bench::fmt(gpw.macs / 1e3, 1),
+                 bench::fmt(gpw.params, 0), bench::fmt(100 * acc_gpw, 1),
+                 "Low / Low / Low"});
+  table.add_row({"SCC", bench::fmt(scc_c.macs / 1e3, 1),
+                 bench::fmt(scc_c.params, 0), bench::fmt(100 * acc_scc, 1),
+                 "Low / Low / High"});
+  table.print();
+
+  bool ok = true;
+  ok &= bench::shape_check("SCC FLOPs == GPW FLOPs < PW FLOPs",
+                           scc_c.macs == gpw.macs && gpw.macs < pw.macs);
+  ok &= bench::shape_check("SCC params == GPW params < PW params",
+                           scc_c.params == gpw.params &&
+                               gpw.params < pw.params);
+  ok &= bench::shape_check(
+      "SCC accuracy ~ PW accuracy (within 10 points)",
+      acc_scc > acc_pw - 0.10);
+  ok &= bench::shape_check("SCC accuracy >> GPW accuracy (paper: High vs Low)",
+                           acc_scc > acc_gpw + 0.15);
+  return ok ? 0 : 1;
+}

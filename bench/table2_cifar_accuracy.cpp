@@ -1,0 +1,148 @@
+// Reproduces paper Table II: CIFAR-10 accuracy / MFLOPs / parameters of
+// Origin vs DSXplore (DW+SCC-cg2-co50%) across VGG16/19, MobileNet,
+// ResNet18/50.
+//
+// MFLOPs and parameter columns are analytic at FULL width and 32x32 input -
+// directly comparable to the paper's numbers (also printed). Accuracy is a
+// CPU-feasible proxy: width_mult=0.125 models trained briefly on SynthCIFAR
+// (DESIGN.md §2); the claim under test is ordinal - DSXplore stays within a
+// few points of Origin at a fraction of the cost.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+
+namespace dsx {
+namespace {
+
+struct PaperRow {
+  double origin_mflops, origin_params, origin_acc;
+  double dsx_mflops, dsx_params, dsx_acc;
+};
+
+// Paper Table II values for reference printing.
+PaperRow paper_row(bench::ModelKind kind) {
+  switch (kind) {
+    case bench::ModelKind::kVGG16:
+      return {314.16, 14.73, 92.64, 21.85, 0.87, 92.60};
+    case bench::ModelKind::kVGG19:
+      return {399.17, 20.04, 93.88, 26.92, 1.19, 92.71};
+    case bench::ModelKind::kMobileNet:
+      return {50.00, 6.17, 92.05, 30.00, 0.59, 92.56};
+    case bench::ModelKind::kResNet18:
+      return {255.89, 11.17, 95.75, 43.99, 0.84, 94.44};
+    case bench::ModelKind::kResNet50:
+      return {1297.80, 23.52, 95.82, 735.79, 12.87, 95.12};
+  }
+  return {};
+}
+
+models::SchemeConfig scheme_for(bench::ModelKind kind, bool dsxplore,
+                                double width) {
+  models::SchemeConfig cfg;
+  if (dsxplore) {
+    cfg.scheme = models::ConvScheme::kDWSCC;
+    cfg.cg = 2;
+    cfg.co = 0.5;
+  } else {
+    // MobileNet's "Origin" is the DW+PW baseline (paper Table IV); the other
+    // models' Origin is the standard convolution.
+    cfg.scheme = kind == bench::ModelKind::kMobileNet
+                     ? models::ConvScheme::kDWPW
+                     : models::ConvScheme::kStandard;
+  }
+  cfg.width_mult = width;
+  return cfg;
+}
+
+double proxy_accuracy(bench::ModelKind kind, bool dsxplore) {
+  // 4-class task: enough signal for width-0.125 proxies to train to high
+  // accuracy within a CPU-feasible number of epochs (chance = 25%).
+  const int64_t classes = 4;
+  // VGG's five pool stages need 32px; the other models run the proxy at
+  // 16px to keep the sweep CPU-feasible (each model is only compared
+  // against its own Origin, so the input size cancels out).
+  const int64_t image = (kind == bench::ModelKind::kVGG16 ||
+                         kind == bench::ModelKind::kVGG19)
+                            ? 32
+                            : 16;
+  const data::Dataset train = data::make_synth_cifar(320, 2001, image, 3,
+                                                     classes);
+  const data::Dataset test = data::make_synth_cifar(160, 2002, image, 3,
+                                                    classes);
+  Rng rng(11);
+  auto model = bench::build_model(kind, classes, image,
+                                  scheme_for(kind, dsxplore, 0.125), rng);
+  nn::SGD opt({.lr = 0.05f, .momentum = 0.9f, .weight_decay = 1e-4f});
+  nn::Trainer trainer(*model, opt);
+  data::DataLoader loader(train, {.batch_size = 32, .shuffle = true,
+                                  .augment = true, .seed = 5});
+  // Residual models converge slower in their DSC form; give both variants
+  // the longer schedule with the step decay the paper's recipes use.
+  const bool resnet = kind == bench::ModelKind::kResNet18 ||
+                      kind == bench::ModelKind::kResNet50;
+  const int epochs = resnet ? 20 : 10;
+  for (int e = 0; e < epochs; ++e) {
+    if (resnet && e == 12) opt.options().lr = 0.02f;
+    loader.reset();
+    while (loader.has_next()) {
+      const data::Batch b = loader.next();
+      trainer.train_batch(b.images, b.labels);
+    }
+  }
+  const data::Batch tb = data::full_batch(test);
+  return trainer.evaluate(tb.images, tb.labels).accuracy;
+}
+
+}  // namespace
+}  // namespace dsx
+
+int main() {
+  using namespace dsx;
+  bench::banner("Table II: CIFAR accuracy / cost, Origin vs DSXplore");
+  std::printf(
+      "Costs: analytic, full width, 32x32 (MACs counted as FLOPs, paper "
+      "convention).\nAccuracy: SynthCIFAR proxy at width 0.125 (see "
+      "DESIGN.md substitutions).\n\n");
+
+  bench::Table table({"Model", "Impl", "MFLOPs", "Param(M)", "ProxyAcc(%)",
+                      "Paper MFLOPs", "Paper Param", "Paper Acc"});
+
+  bool ok = true;
+  Rng rng(1);
+  for (bench::ModelKind kind : bench::all_models()) {
+    const PaperRow paper = paper_row(kind);
+    double mflops[2], params[2], acc[2];
+    for (int dsx = 0; dsx <= 1; ++dsx) {
+      auto model = bench::build_model(kind, 10, 32,
+                                      scheme_for(kind, dsx == 1, 1.0), rng);
+      const auto cost = model->cost(make_nchw(1, 3, 32, 32));
+      mflops[dsx] = cost.macs / 1e6;
+      params[dsx] = cost.params / 1e6;
+      acc[dsx] = proxy_accuracy(kind, dsx == 1);
+      table.add_row({bench::model_name(kind), dsx ? "DSXplore" : "Origin",
+                     bench::fmt(mflops[dsx]), bench::fmt(params[dsx]),
+                     bench::fmt(100 * acc[dsx], 1),
+                     bench::fmt(dsx ? paper.dsx_mflops : paper.origin_mflops),
+                     bench::fmt(dsx ? paper.dsx_params : paper.origin_params),
+                     bench::fmt(dsx ? paper.dsx_acc : paper.origin_acc, 2)});
+    }
+    char claim[160];
+    std::snprintf(claim, sizeof(claim),
+                  "%s: DSXplore cuts FLOPs (%.1f -> %.1f) and params",
+                  bench::model_name(kind), mflops[0], mflops[1]);
+    ok &= bench::shape_check(claim,
+                             mflops[1] < mflops[0] && params[1] < params[0]);
+    std::snprintf(claim, sizeof(claim),
+                  "%s: DSXplore proxy accuracy within 20 points of Origin "
+                  "(%.1f%% vs %.1f%%)",
+                  bench::model_name(kind), 100 * acc[1], 100 * acc[0]);
+    ok &= bench::shape_check(claim, acc[1] > acc[0] - 0.20);
+  }
+  table.print();
+
+  return ok ? 0 : 1;
+}

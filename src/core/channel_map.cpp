@@ -1,0 +1,108 @@
+#include "core/channel_map.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dsx::scc {
+
+std::string SCCConfig::to_string() const {
+  std::ostringstream os;
+  os << "SCC(Cin=" << in_channels << ", Cout=" << out_channels
+     << ", cg=" << groups << ", co=" << overlap * 100.0 << "%, stride="
+     << stride << ")";
+  return os.str();
+}
+
+ChannelWindowMap::ChannelWindowMap(const SCCConfig& cfg) : cfg_(cfg) {
+  DSX_REQUIRE(cfg.in_channels >= 1, "SCC: in_channels must be >= 1");
+  DSX_REQUIRE(cfg.out_channels >= 1, "SCC: out_channels must be >= 1");
+  DSX_REQUIRE(cfg.groups >= 1, "SCC: groups must be >= 1");
+  DSX_REQUIRE(cfg.in_channels % cfg.groups == 0,
+              "SCC: Cin " << cfg.in_channels << " not divisible by cg "
+                          << cfg.groups);
+  DSX_REQUIRE(cfg.overlap >= 0.0 && cfg.overlap <= 1.0,
+              "SCC: overlap must be in [0,1], got " << cfg.overlap);
+  DSX_REQUIRE(cfg.stride >= 1, "SCC: stride must be >= 1");
+
+  gw_ = cfg.in_channels / cfg.groups;
+  ov_ = static_cast<int64_t>(std::llround(cfg.overlap * static_cast<double>(gw_)));
+  DSX_CHECK(ov_ >= 0 && ov_ <= gw_, "SCC: computed overlap " << ov_
+                                        << " outside [0, " << gw_ << "]");
+  step_ = gw_ - ov_;
+
+  if (step_ == 0) {
+    cyclic_dist_ = 1;
+  } else {
+    cyclic_dist_ = cfg.in_channels / std::gcd(step_, cfg.in_channels);
+  }
+
+  cycle_starts_.resize(static_cast<size_t>(cyclic_dist_));
+  int64_t start = 0;
+  for (int64_t i = 0; i < cyclic_dist_; ++i) {
+    cycle_starts_[static_cast<size_t>(i)] = start;
+    start = (start + step_) % cfg.in_channels;
+  }
+  DSX_CHECK(step_ == 0 || start == cycle_starts_[0],
+            "SCC: cycle does not close after cyclic_dist windows");
+
+  contributors_.resize(static_cast<size_t>(cfg.in_channels));
+  for (int64_t f = 0; f < cfg.out_channels; ++f) {
+    const int64_t s = cycle_starts_[static_cast<size_t>(f % cyclic_dist_)];
+    for (int64_t k = 0; k < gw_; ++k) {
+      const int64_t ic = (s + k) % cfg.in_channels;
+      contributors_[static_cast<size_t>(ic)].push_back({f, k});
+    }
+  }
+}
+
+ChannelWindow ChannelWindowMap::window(int64_t filter) const {
+  DSX_REQUIRE(filter >= 0 && filter < cfg_.out_channels,
+              "SCC: filter " << filter << " out of range [0, "
+                             << cfg_.out_channels << ")");
+  return {cycle_starts_[static_cast<size_t>(filter % cyclic_dist_)], gw_};
+}
+
+int64_t ChannelWindowMap::input_channel(int64_t filter, int64_t k) const {
+  DSX_REQUIRE(k >= 0 && k < gw_, "SCC: tap " << k << " out of range [0, "
+                                             << gw_ << ")");
+  return (window(filter).start + k) % cfg_.in_channels;
+}
+
+const std::vector<ChannelWindowMap::Contributor>&
+ChannelWindowMap::contributors(int64_t in_channel) const {
+  DSX_REQUIRE(in_channel >= 0 && in_channel < cfg_.in_channels,
+              "SCC: input channel " << in_channel << " out of range");
+  return contributors_[static_cast<size_t>(in_channel)];
+}
+
+std::vector<std::pair<int64_t, int64_t>>
+ChannelWindowMap::algorithm1_reference(int64_t in_channels, int64_t num_groups,
+                                       double overlap, int64_t out_channels) {
+  // Direct transcription of paper Algorithm 1.
+  std::vector<std::pair<int64_t, int64_t>> channel_map;
+  const int64_t group_width = in_channels / num_groups;
+  int64_t start = 0, end = group_width;
+  int64_t start_v = start, end_v = end;
+  for (int64_t oid = 0; oid < out_channels; ++oid) {
+    const std::pair<int64_t, int64_t> item{start, end};
+    bool seen = false;
+    for (const auto& it : channel_map) {
+      if (it == item) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) break;
+    channel_map.push_back(item);
+    start_v = end_v - static_cast<int64_t>(overlap * static_cast<double>(group_width));
+    end_v = start_v + group_width;
+    start = start_v % in_channels;
+    end = end_v % in_channels;
+  }
+  return channel_map;
+}
+
+}  // namespace dsx::scc

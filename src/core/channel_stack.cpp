@@ -1,0 +1,107 @@
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/compositions.hpp"
+#include "ops/conv2d.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::scc {
+
+ChannelStackSCC::ChannelStackSCC(const SCCConfig& cfg, bool cyclic_opt)
+    : map_(cfg), cyclic_opt_(cyclic_opt) {}
+
+std::vector<int64_t> ChannelStackSCC::stacked_indices() const {
+  const SCCConfig& cfg = map_.config();
+  const int64_t gw = map_.group_width();
+  std::vector<int64_t> idx;
+  idx.reserve(static_cast<size_t>(cfg.out_channels * gw));
+  for (int64_t f = 0; f < cfg.out_channels; ++f) {
+    const ChannelWindow win = map_.window(f);
+    for (int64_t k = 0; k < gw; ++k) {
+      idx.push_back((win.start + k) % cfg.in_channels);
+    }
+  }
+  return idx;
+}
+
+Tensor ChannelStackSCC::forward(const Tensor& input, const Tensor& weight,
+                                const Tensor* bias) const {
+  const SCCConfig& cfg = map_.config();
+  const int64_t gw = map_.group_width();
+  DSX_REQUIRE(weight.shape() == (Shape{cfg.out_channels, gw}),
+              "ChannelStackSCC: weight shape " << weight.shape().to_string());
+
+  // Steps 1-3 of Fig. 3(a): index, extract, concatenate.
+  Tensor stacked;
+  if (!cyclic_opt_) {
+    stacked = gather_channels(input, stacked_indices());
+  } else {
+    // Gather one cycle, then replicate it - computation/memory equivalent to
+    // the base path, as the paper observes for CHS + CC. A model may use
+    // fewer filters than one full cycle, so the cycle is clamped to Cout.
+    const int64_t cycle_len =
+        std::min(map_.cyclic_dist(), cfg.out_channels);
+    std::vector<int64_t> cycle_idx;
+    cycle_idx.reserve(static_cast<size_t>(cycle_len * gw));
+    for (int64_t f = 0; f < cycle_len; ++f) {
+      const ChannelWindow win = map_.window(f);
+      for (int64_t k = 0; k < gw; ++k) {
+        cycle_idx.push_back((win.start + k) % cfg.in_channels);
+      }
+    }
+    const Tensor cycle = gather_channels(input, cycle_idx);
+    std::vector<Tensor> reps;
+    int64_t remaining = cfg.out_channels;
+    while (remaining > 0) {
+      if (remaining >= cycle_len) {
+        reps.push_back(cycle);
+        remaining -= cycle_len;
+      } else {
+        reps.push_back(slice_channels(cycle, 0, remaining * gw));
+        remaining = 0;
+      }
+    }
+    stacked = concat_channels(reps);
+  }
+
+  // Step 4: grouped 1x1 convolution with groups = Cout (one filter each).
+  const Tensor w4 = weight.reshape(Shape{cfg.out_channels, gw, 1, 1});
+  Conv2dArgs args;
+  args.stride = cfg.stride;
+  args.pad = 0;
+  args.groups = cfg.out_channels;
+  return conv2d_forward(stacked, w4, bias, args);
+}
+
+SCCGrads ChannelStackSCC::backward(const Tensor& input, const Tensor& weight,
+                                   const Tensor& doutput, bool need_dinput,
+                                   bool has_bias) const {
+  const SCCConfig& cfg = map_.config();
+  const int64_t gw = map_.group_width();
+  const std::vector<int64_t> idx = stacked_indices();
+
+  // Rebuild the stacked activation (PyTorch would have kept it alive in the
+  // autograd graph; either way it is materialised once more here).
+  const Tensor stacked = gather_channels(input, idx);
+  const Tensor w4 = weight.reshape(Shape{cfg.out_channels, gw, 1, 1});
+  Conv2dArgs args;
+  args.stride = cfg.stride;
+  args.pad = 0;
+  args.groups = cfg.out_channels;
+
+  const Conv2dGrads cg =
+      conv2d_backward(stacked, w4, doutput, args, need_dinput, has_bias);
+
+  SCCGrads grads;
+  grads.dweight = cg.dweight.reshape(Shape{cfg.out_channels, gw});
+  grads.dbias = cg.dbias;
+  if (need_dinput) {
+    // Backward of the gather: scatter-add the stacked gradient back into the
+    // (overlapped) source channels.
+    grads.dinput = Tensor(input.shape());
+    scatter_add_channels(grads.dinput, cg.dinput, idx);
+  }
+  return grads;
+}
+
+}  // namespace dsx::scc

@@ -1,0 +1,73 @@
+// PyTorch-operator-composition implementations of SCC (paper §IV-A, Fig. 3).
+//
+// These are the baselines DSXplore is compared against:
+//   * ChannelStackSCC  - "Pytorch-Base": gather every filter's input window,
+//     concatenate them into one huge [N, Cout*gw, H, W] tensor, run a single
+//     grouped 1x1 convolution with groups = Cout. Pays for massive slicing /
+//     concatenation and duplicated storage.
+//   * ConvStackSCC     - "Pytorch-Opt" (with cyclic_opt = true): run one tiny
+//     1x1 convolution per output channel and concatenate the outputs. With
+//     the channel-cyclic optimization only the first cycle of input windows
+//     is materialised (paper Fig. 6(b)), cutting peak memory by the ratio
+//     cyclic_dist / Cout.
+//
+// Both are numerically identical to the fused kernels (property-tested) and
+// both implement forward AND backward so the paper's Fig. 9 backward ablation
+// can be reproduced.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/channel_map.hpp"
+#include "core/scc_kernels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dsx::scc {
+
+/// "Pytorch-Base" channel-stack composition.
+class ChannelStackSCC {
+ public:
+  /// `cyclic_opt` gathers only one cycle and replicates it, which - as the
+  /// paper notes - leaves computation and peak memory unchanged for this
+  /// design (the replicated tensor must still be materialised); it exists to
+  /// demonstrate exactly that.
+  explicit ChannelStackSCC(const SCCConfig& cfg, bool cyclic_opt = false);
+
+  const ChannelWindowMap& map() const { return map_; }
+
+  Tensor forward(const Tensor& input, const Tensor& weight,
+                 const Tensor* bias) const;
+  SCCGrads backward(const Tensor& input, const Tensor& weight,
+                    const Tensor& doutput, bool need_dinput,
+                    bool has_bias) const;
+
+ private:
+  /// Window channel indices of every filter, flattened ([Cout * gw]).
+  std::vector<int64_t> stacked_indices() const;
+
+  ChannelWindowMap map_;
+  bool cyclic_opt_;
+};
+
+/// "Pytorch-Opt" convolution-stack composition.
+class ConvStackSCC {
+ public:
+  explicit ConvStackSCC(const SCCConfig& cfg, bool cyclic_opt = true);
+
+  const ChannelWindowMap& map() const { return map_; }
+
+  Tensor forward(const Tensor& input, const Tensor& weight,
+                 const Tensor* bias) const;
+  SCCGrads backward(const Tensor& input, const Tensor& weight,
+                    const Tensor& doutput, bool need_dinput,
+                    bool has_bias) const;
+
+ private:
+  std::vector<int64_t> window_indices(int64_t filter) const;
+
+  ChannelWindowMap map_;
+  bool cyclic_opt_;
+};
+
+}  // namespace dsx::scc

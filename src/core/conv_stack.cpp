@@ -1,0 +1,124 @@
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "core/compositions.hpp"
+#include "ops/conv2d.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::scc {
+
+ConvStackSCC::ConvStackSCC(const SCCConfig& cfg, bool cyclic_opt)
+    : map_(cfg), cyclic_opt_(cyclic_opt) {}
+
+std::vector<int64_t> ConvStackSCC::window_indices(int64_t filter) const {
+  const SCCConfig& cfg = map_.config();
+  const ChannelWindow win = map_.window(filter);
+  std::vector<int64_t> idx(static_cast<size_t>(map_.group_width()));
+  for (int64_t k = 0; k < map_.group_width(); ++k) {
+    idx[static_cast<size_t>(k)] = (win.start + k) % cfg.in_channels;
+  }
+  return idx;
+}
+
+Tensor ConvStackSCC::forward(const Tensor& input, const Tensor& weight,
+                             const Tensor* bias) const {
+  const SCCConfig& cfg = map_.config();
+  const int64_t gw = map_.group_width();
+  DSX_REQUIRE(weight.shape() == (Shape{cfg.out_channels, gw}),
+              "ConvStackSCC: weight shape " << weight.shape().to_string());
+
+  Conv2dArgs args;
+  args.stride = cfg.stride;
+  args.pad = 0;
+  args.groups = 1;
+
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(cfg.out_channels));
+
+  if (cyclic_opt_) {
+    // Fig. 6(b): materialise only the first cycle of input windows; every
+    // later filter re-reads its window from this cycle tensor. A model may
+    // use fewer filters than one full cycle, so the cycle is clamped to Cout.
+    const int64_t cycle_len =
+        std::min(map_.cyclic_dist(), cfg.out_channels);
+    std::vector<int64_t> cycle_idx;
+    cycle_idx.reserve(static_cast<size_t>(cycle_len * gw));
+    for (int64_t f = 0; f < cycle_len; ++f) {
+      for (int64_t ic : window_indices(f)) cycle_idx.push_back(ic);
+    }
+    const Tensor cycle = gather_channels(input, cycle_idx);
+    for (int64_t f = 0; f < cfg.out_channels; ++f) {
+      const int64_t slot = f % cycle_len;
+      const Tensor window = slice_channels(cycle, slot * gw, (slot + 1) * gw);
+      // Per-filter weight: copy the f-th filter into a [1, gw, 1, 1].
+      Tensor wf(Shape{1, gw, 1, 1});
+      for (int64_t k = 0; k < gw; ++k) wf[k] = weight.data()[f * gw + k];
+      Tensor bf;
+      const Tensor* bfp = nullptr;
+      if (bias != nullptr) {
+        bf = Tensor(Shape{1});
+        bf[0] = bias->data()[f];
+        bfp = &bf;
+      }
+      outputs.push_back(conv2d_forward(window, wf, bfp, args));
+    }
+  } else {
+    // No CC optimization: every filter extracts (and keeps) its own window
+    // tensor - this is the memory blow-up Fig. 10 measures.
+    std::vector<Tensor> windows;
+    windows.reserve(static_cast<size_t>(cfg.out_channels));
+    for (int64_t f = 0; f < cfg.out_channels; ++f) {
+      windows.push_back(gather_channels(input, window_indices(f)));
+    }
+    for (int64_t f = 0; f < cfg.out_channels; ++f) {
+      Tensor wf(Shape{1, gw, 1, 1});
+      for (int64_t k = 0; k < gw; ++k) wf[k] = weight.data()[f * gw + k];
+      Tensor bf;
+      const Tensor* bfp = nullptr;
+      if (bias != nullptr) {
+        bf = Tensor(Shape{1});
+        bf[0] = bias->data()[f];
+        bfp = &bf;
+      }
+      outputs.push_back(
+          conv2d_forward(windows[static_cast<size_t>(f)], wf, bfp, args));
+    }
+  }
+  return concat_channels(outputs);
+}
+
+SCCGrads ConvStackSCC::backward(const Tensor& input, const Tensor& weight,
+                                const Tensor& doutput, bool need_dinput,
+                                bool has_bias) const {
+  const SCCConfig& cfg = map_.config();
+  const int64_t gw = map_.group_width();
+
+  Conv2dArgs args;
+  args.stride = cfg.stride;
+  args.pad = 0;
+  args.groups = 1;
+
+  SCCGrads grads;
+  grads.dweight = Tensor(weight.shape());
+  if (has_bias) grads.dbias = Tensor(Shape{cfg.out_channels});
+  if (need_dinput) grads.dinput = Tensor(input.shape());
+
+  for (int64_t f = 0; f < cfg.out_channels; ++f) {
+    const std::vector<int64_t> idx = window_indices(f);
+    const Tensor window = gather_channels(input, idx);
+    Tensor wf(Shape{1, gw, 1, 1});
+    for (int64_t k = 0; k < gw; ++k) wf[k] = weight.data()[f * gw + k];
+    // Slice this filter's output-gradient channel.
+    const Tensor df = slice_channels(doutput, f, f + 1);
+    const Conv2dGrads cg =
+        conv2d_backward(window, wf, df, args, need_dinput, has_bias);
+    for (int64_t k = 0; k < gw; ++k) {
+      grads.dweight.data()[f * gw + k] = cg.dweight[k];
+    }
+    if (has_bias) grads.dbias.data()[f] = cg.dbias[0];
+    if (need_dinput) scatter_add_channels(grads.dinput, cg.dinput, idx);
+  }
+  return grads;
+}
+
+}  // namespace dsx::scc

@@ -1,0 +1,68 @@
+#include "core/cost_model.hpp"
+
+#include "common/check.hpp"
+#include "tensor/shape.hpp"
+
+namespace dsx::scc {
+
+LayerCost conv2d_cost(int64_t in_channels, int64_t out_channels, int64_t kernel,
+                      int64_t h, int64_t w, int64_t stride, int64_t pad,
+                      int64_t groups, bool bias) {
+  DSX_REQUIRE(groups >= 1 && in_channels % groups == 0 &&
+                  out_channels % groups == 0,
+              "conv2d_cost: invalid groups " << groups);
+  const int64_t ho = conv_out_size(h, kernel, stride, pad);
+  const int64_t wo = conv_out_size(w, kernel, stride, pad);
+  const double cin_g = static_cast<double>(in_channels / groups);
+  LayerCost cost;
+  cost.macs = static_cast<double>(ho) * wo * out_channels * kernel * kernel *
+              cin_g;
+  cost.params = static_cast<double>(out_channels) * cin_g * kernel * kernel +
+                (bias ? static_cast<double>(out_channels) : 0.0);
+  return cost;
+}
+
+LayerCost depthwise_cost(int64_t channels, int64_t kernel, int64_t h, int64_t w,
+                         int64_t stride, int64_t pad, bool bias) {
+  const int64_t ho = conv_out_size(h, kernel, stride, pad);
+  const int64_t wo = conv_out_size(w, kernel, stride, pad);
+  LayerCost cost;
+  cost.macs = static_cast<double>(ho) * wo * channels * kernel * kernel;
+  cost.params = static_cast<double>(channels) * kernel * kernel +
+                (bias ? static_cast<double>(channels) : 0.0);
+  return cost;
+}
+
+LayerCost pointwise_cost(int64_t in_channels, int64_t out_channels, int64_t h,
+                         int64_t w, int64_t groups, bool bias) {
+  return conv2d_cost(in_channels, out_channels, 1, h, w, 1, 0, groups, bias);
+}
+
+LayerCost scc_cost(const SCCConfig& cfg, int64_t h, int64_t w, bool bias) {
+  const ChannelWindowMap map(cfg);  // validates the configuration
+  const int64_t ho = conv_out_size(h, 1, cfg.stride, 0);
+  const int64_t wo = conv_out_size(w, 1, cfg.stride, 0);
+  LayerCost cost;
+  cost.macs = static_cast<double>(ho) * wo * cfg.out_channels *
+              map.group_width();
+  cost.params = static_cast<double>(cfg.out_channels) * map.group_width() +
+                (bias ? static_cast<double>(cfg.out_channels) : 0.0);
+  return cost;
+}
+
+LayerCost linear_cost(int64_t in_features, int64_t out_features, bool bias) {
+  LayerCost cost;
+  cost.macs = static_cast<double>(in_features) * out_features;
+  cost.params = static_cast<double>(in_features) * out_features +
+                (bias ? static_cast<double>(out_features) : 0.0);
+  return cost;
+}
+
+LayerCost batchnorm_cost(int64_t channels) {
+  LayerCost cost;
+  cost.macs = 0.0;
+  cost.params = 2.0 * static_cast<double>(channels);
+  return cost;
+}
+
+}  // namespace dsx::scc

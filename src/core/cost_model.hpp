@@ -1,0 +1,52 @@
+// Analytic FLOPs / parameter model (reproduces the arithmetic behind the
+// paper's Tables I-IV).
+//
+// Convention: "FLOPs" counts multiply-accumulates (MACs), matching the
+// paper's numbers (e.g. VGG16 on 32x32 CIFAR-10 = 314.16 MFLOPs, which is
+// the MAC count of its conv+fc layers). Parameter counts exclude BN unless
+// `include_bn` is set (the paper's tables count conv/fc weights; BN adds
+// 2 floats per channel and is reported separately where relevant).
+#pragma once
+
+#include <cstdint>
+
+#include "core/channel_map.hpp"
+
+namespace dsx::scc {
+
+/// Cost of one layer for a single input image (batch size 1).
+struct LayerCost {
+  double macs = 0.0;
+  double params = 0.0;
+
+  LayerCost& operator+=(const LayerCost& other) {
+    macs += other.macs;
+    params += other.params;
+    return *this;
+  }
+};
+
+/// Standard / grouped KxK convolution over an HxW input.
+LayerCost conv2d_cost(int64_t in_channels, int64_t out_channels, int64_t kernel,
+                      int64_t h, int64_t w, int64_t stride, int64_t pad,
+                      int64_t groups, bool bias);
+
+/// Depthwise KxK convolution.
+LayerCost depthwise_cost(int64_t channels, int64_t kernel, int64_t h, int64_t w,
+                         int64_t stride, int64_t pad, bool bias);
+
+/// Pointwise (1x1) convolution; groups > 1 gives GPW.
+LayerCost pointwise_cost(int64_t in_channels, int64_t out_channels, int64_t h,
+                         int64_t w, int64_t groups, bool bias);
+
+/// Sliding-channel convolution. Identical MACs/params to GPW at equal cg -
+/// the overlap changes which channels are read, not how many (paper Table I).
+LayerCost scc_cost(const SCCConfig& cfg, int64_t h, int64_t w, bool bias);
+
+/// Fully-connected layer.
+LayerCost linear_cost(int64_t in_features, int64_t out_features, bool bias);
+
+/// Batch-norm parameters (gamma/beta; running stats are buffers).
+LayerCost batchnorm_cost(int64_t channels);
+
+}  // namespace dsx::scc

@@ -1,0 +1,187 @@
+#include "common/check.hpp"
+#include "core/scc_kernels.hpp"
+#include "device/atomic_stats.hpp"
+#include "device/launch.hpp"
+
+namespace dsx::scc {
+
+namespace {
+
+struct BwdDims {
+  int64_t N, Cin, H, W, Cout, Ho, Wo, gw, stride;
+};
+
+BwdDims resolve(const Tensor& input, const Tensor& weight,
+                const Tensor& doutput, const ChannelWindowMap& map) {
+  const Shape out_shape = scc_output_shape(input.shape(), map);
+  DSX_REQUIRE(doutput.shape() == out_shape,
+              "SCC backward: doutput " << doutput.shape().to_string()
+                                       << " expected " << out_shape.to_string());
+  const SCCConfig& cfg = map.config();
+  DSX_REQUIRE(weight.shape() == (Shape{cfg.out_channels, map.group_width()}),
+              "SCC backward: weight shape " << weight.shape().to_string());
+  BwdDims d;
+  d.N = input.shape().n();
+  d.Cin = input.shape().c();
+  d.H = input.shape().h();
+  d.W = input.shape().w();
+  d.Cout = cfg.out_channels;
+  d.Ho = out_shape.h();
+  d.Wo = out_shape.w();
+  d.gw = map.group_width();
+  d.stride = cfg.stride;
+  return d;
+}
+
+// dW[f][k] = sum_{n,y,x} dOut[n,f,y,x] * in[n,(start_f+k)%Cin, y*s, x*s].
+// One owner per (f) chunk: race-free. Shared by both backward designs (the
+// paper's ablation differs only in the input-gradient pass).
+void accumulate_weight_grads(const Tensor& input, const Tensor& doutput,
+                             const ChannelWindowMap& map, const BwdDims& d,
+                             Tensor& dweight) {
+  device::launch_kernel_chunks_modeled(
+      "scc_dweight", d.Cout, d.Cout * d.gw,
+      {2.0 * static_cast<double>(d.N * d.Ho * d.Wo), 8.0},
+      [&](int64_t b, int64_t e) {
+        const int64_t plane = d.H * d.W, planeo = d.Ho * d.Wo;
+        for (int64_t f = b; f < e; ++f) {
+          const ChannelWindow win = map.window(f);
+          float* dw = dweight.data() + f * d.gw;
+          for (int64_t k = 0; k < d.gw; ++k) {
+            const int64_t ic = (win.start + k) % d.Cin;
+            double acc = 0.0;
+            for (int64_t n = 0; n < d.N; ++n) {
+              const float* dy = doutput.data() + (n * d.Cout + f) * planeo;
+              const float* x = input.data() + (n * d.Cin + ic) * plane;
+              if (d.stride == 1) {
+                for (int64_t j = 0; j < planeo; ++j) acc += dy[j] * x[j];
+              } else {
+                for (int64_t y = 0; y < d.Ho; ++y) {
+                  const float* row = x + (y * d.stride) * d.W;
+                  const float* dyr = dy + y * d.Wo;
+                  for (int64_t xo = 0; xo < d.Wo; ++xo) {
+                    acc += dyr[xo] * row[xo * d.stride];
+                  }
+                }
+              }
+            }
+            dw[k] = static_cast<float>(acc);
+          }
+        }
+      });
+}
+
+void accumulate_bias_grads(const Tensor& doutput, const BwdDims& d,
+                           Tensor& dbias) {
+  device::launch_kernel_chunks(
+      "scc_dbias", d.Cout, {1.0, 8.0}, [&](int64_t b, int64_t e) {
+        const int64_t planeo = d.Ho * d.Wo;
+        for (int64_t f = b; f < e; ++f) {
+          double acc = 0.0;
+          for (int64_t n = 0; n < d.N; ++n) {
+            const float* dy = doutput.data() + (n * d.Cout + f) * planeo;
+            for (int64_t j = 0; j < planeo; ++j) acc += dy[j];
+          }
+          dbias.data()[f] = static_cast<float>(acc);
+        }
+      });
+}
+
+}  // namespace
+
+SCCGrads scc_backward_input_centric(const Tensor& input, const Tensor& weight,
+                                    const Tensor& doutput,
+                                    const ChannelWindowMap& map,
+                                    bool need_dinput, bool has_bias) {
+  const BwdDims d = resolve(input, weight, doutput, map);
+  SCCGrads grads;
+  grads.dweight = Tensor(weight.shape());
+  accumulate_weight_grads(input, doutput, map, d, grads.dweight);
+  if (has_bias) {
+    grads.dbias = Tensor(Shape{d.Cout});
+    accumulate_bias_grads(doutput, d, grads.dbias);
+  }
+  if (!need_dinput) return grads;
+
+  grads.dinput = Tensor(input.shape());
+  const int64_t plane = d.H * d.W, planeo = d.Ho * d.Wo;
+
+  // Input-centric: each (n, ic) plane PULLS from every (filter, tap) that
+  // reads channel ic. Writes never collide, so no atomics are needed - the
+  // core of the paper's Fig. 9 claim.
+  device::launch_kernel_chunks_modeled(
+      "scc_dinput_input_centric", d.N * d.Cin, d.N * d.Cin * plane,
+      {2.0 * static_cast<double>(d.gw), 4.0 * (static_cast<double>(d.gw) + 2.0)},
+      [&](int64_t b, int64_t e) {
+        for (int64_t ni = b; ni < e; ++ni) {
+          const int64_t n = ni / d.Cin;
+          const int64_t ic = ni % d.Cin;
+          float* dx = grads.dinput.data() + ni * plane;
+          for (const auto& contrib : map.contributors(ic)) {
+            const float wk = weight.data()[contrib.filter * d.gw + contrib.k];
+            const float* dy =
+                doutput.data() + (n * d.Cout + contrib.filter) * planeo;
+            if (d.stride == 1) {
+              for (int64_t j = 0; j < planeo; ++j) dx[j] += wk * dy[j];
+            } else {
+              for (int64_t y = 0; y < d.Ho; ++y) {
+                float* row = dx + (y * d.stride) * d.W;
+                const float* dyr = dy + y * d.Wo;
+                for (int64_t x = 0; x < d.Wo; ++x) {
+                  row[x * d.stride] += wk * dyr[x];
+                }
+              }
+            }
+          }
+        }
+      });
+  return grads;
+}
+
+SCCGrads scc_backward_output_centric(const Tensor& input, const Tensor& weight,
+                                     const Tensor& doutput,
+                                     const ChannelWindowMap& map,
+                                     bool need_dinput, bool has_bias) {
+  const BwdDims d = resolve(input, weight, doutput, map);
+  SCCGrads grads;
+  grads.dweight = Tensor(weight.shape());
+  accumulate_weight_grads(input, doutput, map, d, grads.dweight);
+  if (has_bias) {
+    grads.dbias = Tensor(Shape{d.Cout});
+    accumulate_bias_grads(doutput, d, grads.dbias);
+  }
+  if (!need_dinput) return grads;
+
+  grads.dinput = Tensor(input.shape());
+  const int64_t plane = d.H * d.W, planeo = d.Ho * d.Wo;
+
+  // Output-centric (DSXplore-Var): each (n, filter) plane PUSHES its gradient
+  // into the gw overlapped input channels. Filters sharing channels race, so
+  // every update is an atomic add (counted by device::AtomicCounters).
+  device::launch_kernel_chunks_modeled(
+      "scc_dinput_output_centric", d.N * d.Cout, d.N * d.Cout * planeo,
+      {2.0 * static_cast<double>(d.gw), 4.0 * (static_cast<double>(d.gw) + 2.0)},
+      [&](int64_t b, int64_t e) {
+        for (int64_t nf = b; nf < e; ++nf) {
+          const int64_t n = nf / d.Cout;
+          const int64_t f = nf % d.Cout;
+          const ChannelWindow win = map.window(f);
+          const float* dy = doutput.data() + nf * planeo;
+          for (int64_t k = 0; k < d.gw; ++k) {
+            const int64_t ic = (win.start + k) % d.Cin;
+            const float wk = weight.data()[f * d.gw + k];
+            float* dx = grads.dinput.data() + (n * d.Cin + ic) * plane;
+            for (int64_t y = 0; y < d.Ho; ++y) {
+              const float* dyr = dy + y * d.Wo;
+              float* row = dx + (y * d.stride) * d.W;
+              for (int64_t x = 0; x < d.Wo; ++x) {
+                device::atomic_add_float(row[x * d.stride], wk * dyr[x]);
+              }
+            }
+          }
+        }
+      });
+  return grads;
+}
+
+}  // namespace dsx::scc

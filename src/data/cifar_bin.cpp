@@ -1,0 +1,83 @@
+#include "data/cifar_bin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dsx::data {
+
+Dataset load_cifar10_bin(const std::string& path, int64_t max_samples) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  DSX_REQUIRE(file.good(), "load_cifar10_bin: cannot open " << path);
+  const auto file_bytes = static_cast<int64_t>(file.tellg());
+  DSX_REQUIRE(file_bytes > 0 && file_bytes % kCifarRecordBytes == 0,
+              "load_cifar10_bin: " << path << " has " << file_bytes
+                                   << " bytes, not a multiple of the "
+                                   << kCifarRecordBytes
+                                   << "-byte CIFAR-10 record");
+  int64_t samples = file_bytes / kCifarRecordBytes;
+  if (max_samples >= 0) samples = std::min(samples, max_samples);
+
+  Dataset ds;
+  ds.name = "cifar10:" + path;
+  ds.num_classes = 10;
+  ds.images = Tensor(make_nchw(samples, 3, 32, 32));
+  ds.labels.resize(static_cast<size_t>(samples));
+
+  file.seekg(0);
+  std::vector<unsigned char> record(static_cast<size_t>(kCifarRecordBytes));
+  const int64_t image_bytes = kCifarRecordBytes - 1;
+  for (int64_t i = 0; i < samples; ++i) {
+    file.read(reinterpret_cast<char*>(record.data()),
+              static_cast<std::streamsize>(record.size()));
+    DSX_REQUIRE(file.good(),
+                "load_cifar10_bin: short read at record " << i);
+    const unsigned char label = record[0];
+    DSX_REQUIRE(label < 10, "load_cifar10_bin: record " << i << " has label "
+                                                        << int(label));
+    ds.labels[static_cast<size_t>(i)] = static_cast<int32_t>(label);
+    float* dst = ds.images.data() + i * image_bytes;
+    for (int64_t j = 0; j < image_bytes; ++j) {
+      dst[j] = static_cast<float>(record[static_cast<size_t>(j + 1)]) / 255.0f;
+    }
+  }
+  return ds;
+}
+
+void save_cifar10_bin(const Dataset& ds, const std::string& path) {
+  DSX_REQUIRE(ds.images.defined() &&
+                  ds.images.shape() == make_nchw(ds.images.shape().n(), 3, 32,
+                                                 32),
+              "save_cifar10_bin: images must be [N, 3, 32, 32], got "
+                  << ds.images.shape().to_string());
+  const int64_t samples = ds.images.shape().n();
+  DSX_REQUIRE(static_cast<int64_t>(ds.labels.size()) == samples,
+              "save_cifar10_bin: " << ds.labels.size() << " labels for "
+                                   << samples << " images");
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  DSX_REQUIRE(file.good(), "save_cifar10_bin: cannot open " << path);
+
+  const int64_t image_bytes = kCifarRecordBytes - 1;
+  std::vector<unsigned char> record(static_cast<size_t>(kCifarRecordBytes));
+  for (int64_t i = 0; i < samples; ++i) {
+    const int32_t label = ds.labels[static_cast<size_t>(i)];
+    DSX_REQUIRE(label >= 0 && label <= 255,
+                "save_cifar10_bin: label " << label << " not a byte");
+    record[0] = static_cast<unsigned char>(label);
+    const float* src = ds.images.data() + i * image_bytes;
+    for (int64_t j = 0; j < image_bytes; ++j) {
+      const float clamped = std::clamp(src[j], 0.0f, 1.0f);
+      record[static_cast<size_t>(j + 1)] =
+          static_cast<unsigned char>(std::lround(clamped * 255.0f));
+    }
+    file.write(reinterpret_cast<const char*>(record.data()),
+               static_cast<std::streamsize>(record.size()));
+  }
+  DSX_REQUIRE(file.good(), "save_cifar10_bin: write failed for " << path);
+}
+
+}  // namespace dsx::data

@@ -1,0 +1,32 @@
+// CIFAR-10 binary-format I/O.
+//
+// The paper evaluates on CIFAR-10; this environment has no dataset files, so
+// the experiments run on synthetic stand-ins (data/synth). This module closes
+// the loop for downstream users who *do* have the real data: it reads the
+// canonical `data_batch_*.bin` / `test_batch.bin` layout (per record: 1 label
+// byte + 3072 RGB bytes, plane-major), producing the same `Dataset` the
+// training examples consume. A writer exists for round-trip tests and for
+// exporting synthetic data to tools that speak the format.
+#pragma once
+
+#include <string>
+
+#include "data/synth.hpp"
+
+namespace dsx::data {
+
+/// Number of bytes of one CIFAR-10 binary record (1 + 3*32*32).
+inline constexpr int64_t kCifarRecordBytes = 3073;
+
+/// Loads a CIFAR-10 binary batch file. Pixels are scaled to [0, 1], images
+/// come out as [N, 3, 32, 32] (the file's plane-major layout is already
+/// CHW). `max_samples < 0` loads the whole file. Throws when the file is
+/// missing or its size is not a multiple of the record size.
+Dataset load_cifar10_bin(const std::string& path, int64_t max_samples = -1);
+
+/// Writes `ds` in CIFAR-10 binary format. Requires [N, 3, 32, 32] images and
+/// labels in [0, 255]; pixel values are clamped to [0, 1] and quantized to
+/// bytes (round-trip error <= 1/510 per pixel, tested).
+void save_cifar10_bin(const Dataset& ds, const std::string& path);
+
+}  // namespace dsx::data

@@ -1,0 +1,91 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace dsx::data {
+
+DataLoader::DataLoader(const Dataset& dataset, Options options)
+    : dataset_(dataset), options_(options), rng_(options.seed) {
+  DSX_REQUIRE(options_.batch_size >= 1, "DataLoader: batch_size must be >= 1");
+  DSX_REQUIRE(dataset_.images.shape().rank() == 4,
+              "DataLoader: dataset images must be NCHW");
+  DSX_REQUIRE(dataset_.images.shape().n() ==
+                  static_cast<int64_t>(dataset_.labels.size()),
+              "DataLoader: image/label count mismatch");
+  order_.resize(static_cast<size_t>(dataset_.images.shape().n()));
+  std::iota(order_.begin(), order_.end(), 0);
+  reset();
+}
+
+void DataLoader::reset() {
+  cursor_ = 0;
+  if (options_.shuffle) {
+    std::shuffle(order_.begin(), order_.end(), rng_.engine());
+  }
+}
+
+bool DataLoader::has_next() const {
+  const int64_t remaining = static_cast<int64_t>(order_.size()) - cursor_;
+  if (remaining <= 0) return false;
+  if (options_.drop_last && remaining < options_.batch_size) return false;
+  return true;
+}
+
+int64_t DataLoader::batches_per_epoch() const {
+  const int64_t n = static_cast<int64_t>(order_.size());
+  if (options_.drop_last) return n / options_.batch_size;
+  return (n + options_.batch_size - 1) / options_.batch_size;
+}
+
+Batch DataLoader::next() {
+  DSX_REQUIRE(has_next(), "DataLoader::next past end of epoch");
+  const Shape& s = dataset_.images.shape();
+  const int64_t C = s.c(), H = s.h(), W = s.w();
+  const int64_t plane = H * W;
+  const int64_t sample = C * plane;
+  const int64_t b = std::min<int64_t>(
+      options_.batch_size, static_cast<int64_t>(order_.size()) - cursor_);
+
+  Batch batch;
+  batch.images = Tensor(make_nchw(b, C, H, W));
+  batch.labels.resize(static_cast<size_t>(b));
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t src = order_[static_cast<size_t>(cursor_ + i)];
+    batch.labels[static_cast<size_t>(i)] =
+        dataset_.labels[static_cast<size_t>(src)];
+    const float* from = dataset_.images.data() + src * sample;
+    float* to = batch.images.data() + i * sample;
+    if (!options_.augment) {
+      std::memcpy(to, from, static_cast<size_t>(sample) * sizeof(float));
+      continue;
+    }
+    const bool flip = rng_.bernoulli(0.5);
+    const int64_t sy = rng_.randint(-2, 2);
+    const int64_t sx = rng_.randint(-2, 2);
+    for (int64_t c = 0; c < C; ++c) {
+      for (int64_t y = 0; y < H; ++y) {
+        const int64_t yy = ((y + sy) % H + H) % H;
+        for (int64_t x = 0; x < W; ++x) {
+          int64_t xx = ((x + sx) % W + W) % W;
+          if (flip) xx = W - 1 - xx;
+          to[c * plane + y * W + x] = from[c * plane + yy * W + xx];
+        }
+      }
+    }
+  }
+  cursor_ += b;
+  return batch;
+}
+
+Batch full_batch(const Dataset& dataset) {
+  Batch batch;
+  batch.images = dataset.images.clone();
+  batch.labels = dataset.labels;
+  return batch;
+}
+
+}  // namespace dsx::data

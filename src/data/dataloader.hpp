@@ -1,0 +1,49 @@
+// Mini-batch iteration with optional shuffling and light augmentation
+// (horizontal flip + circular shift, the standard CIFAR recipe).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synth.hpp"
+#include "tensor/random.hpp"
+
+namespace dsx::data {
+
+struct Batch {
+  Tensor images;                // [B, C, S, S]
+  std::vector<int32_t> labels;  // [B]
+};
+
+class DataLoader {
+ public:
+  struct Options {
+    int64_t batch_size = 32;
+    bool shuffle = true;
+    bool augment = false;
+    uint64_t seed = 1;
+    bool drop_last = false;
+  };
+
+  DataLoader(const Dataset& dataset, Options options);
+
+  /// Starts a new epoch (reshuffles when enabled).
+  void reset();
+  bool has_next() const;
+  Batch next();
+
+  int64_t batches_per_epoch() const;
+  int64_t batch_size() const { return options_.batch_size; }
+
+ private:
+  const Dataset& dataset_;
+  Options options_;
+  Rng rng_;
+  std::vector<int64_t> order_;
+  int64_t cursor_ = 0;
+};
+
+/// Materialises the whole dataset as one batch (for small eval sets).
+Batch full_batch(const Dataset& dataset);
+
+}  // namespace dsx::data

@@ -1,0 +1,154 @@
+#include "data/synth.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "tensor/random.hpp"
+
+namespace dsx::data {
+
+namespace {
+
+/// Low-frequency class prototype: a sum of random sinusoids per channel.
+struct Sinusoid {
+  float fx, fy, phase, amp;
+};
+
+std::vector<Sinusoid> make_prototype(Rng& rng, int64_t waves) {
+  std::vector<Sinusoid> proto(static_cast<size_t>(waves));
+  for (auto& s : proto) {
+    s.fx = static_cast<float>(rng.randint(1, 4));
+    s.fy = static_cast<float>(rng.randint(1, 4));
+    s.phase = rng.uniform(0.0f, 2.0f * std::numbers::pi_v<float>);
+    s.amp = rng.uniform(0.4f, 1.0f);
+  }
+  return proto;
+}
+
+float eval_prototype(const std::vector<Sinusoid>& proto, int64_t y, int64_t x,
+                     int64_t size) {
+  const float inv = 2.0f * std::numbers::pi_v<float> /
+                    static_cast<float>(size);
+  float v = 0.0f;
+  for (const auto& s : proto) {
+    v += s.amp * std::sin((s.fx * static_cast<float>(x) +
+                           s.fy * static_cast<float>(y)) *
+                              inv +
+                          s.phase);
+  }
+  return v;
+}
+
+Dataset make_pattern_dataset(int64_t samples, uint64_t seed,
+                             int64_t image_size, int64_t channels,
+                             int64_t num_classes, const char* name) {
+  DSX_REQUIRE(samples > 0 && image_size >= 4 && channels >= 1 &&
+                  num_classes >= 2,
+              "make_pattern_dataset: bad arguments");
+  // The class prototypes define the *task* and must be identical across
+  // train/test splits: they are seeded by the task geometry only. `seed`
+  // drives the per-sample randomness (noise, gain, shifts).
+  Rng proto_rng(0xD5C0FFEEull ^
+                static_cast<uint64_t>(num_classes * 1315423911ll +
+                                      channels * 2654435761ll + image_size));
+  Rng rng(seed);
+
+  // One prototype per (class, channel).
+  std::vector<std::vector<Sinusoid>> protos(
+      static_cast<size_t>(num_classes * channels));
+  for (auto& p : protos) p = make_prototype(proto_rng, /*waves=*/3);
+
+  Dataset ds;
+  ds.images = Tensor(make_nchw(samples, channels, image_size, image_size));
+  ds.labels.resize(static_cast<size_t>(samples));
+  ds.num_classes = num_classes;
+  ds.name = name;
+
+  const int64_t plane = image_size * image_size;
+  for (int64_t i = 0; i < samples; ++i) {
+    const int64_t label = i % num_classes;  // balanced
+    ds.labels[static_cast<size_t>(i)] = static_cast<int32_t>(label);
+    const float gain = rng.uniform(0.7f, 1.3f);
+    const int64_t sy = rng.randint(-2, 2);
+    const int64_t sx = rng.randint(-2, 2);
+    for (int64_t c = 0; c < channels; ++c) {
+      const auto& proto =
+          protos[static_cast<size_t>(label * channels + c)];
+      float* img = ds.images.data() + (i * channels + c) * plane;
+      for (int64_t y = 0; y < image_size; ++y) {
+        for (int64_t x = 0; x < image_size; ++x) {
+          const int64_t yy = ((y + sy) % image_size + image_size) % image_size;
+          const int64_t xx = ((x + sx) % image_size + image_size) % image_size;
+          img[y * image_size + x] =
+              gain * eval_prototype(proto, yy, xx, image_size) +
+              rng.normal(0.0f, 0.4f);
+        }
+      }
+    }
+  }
+  return ds;
+}
+
+}  // namespace
+
+Dataset make_synth_cifar(int64_t samples, uint64_t seed, int64_t image_size,
+                         int64_t channels, int64_t num_classes) {
+  return make_pattern_dataset(samples, seed, image_size, channels, num_classes,
+                              "SynthCIFAR");
+}
+
+Dataset make_synth_imagenet(int64_t samples, uint64_t seed, int64_t image_size,
+                            int64_t num_classes) {
+  return make_pattern_dataset(samples, seed, image_size, 3, num_classes,
+                              "SynthImageNet");
+}
+
+std::pair<int64_t, int64_t> cross_channel_pair(
+    int64_t label, const CrossChannelOptions& opts) {
+  DSX_REQUIRE(label >= 0 && label < opts.num_classes,
+              "cross_channel_pair: bad label " << label);
+  // Pairs (1,2), (3,4), ..., (C-1, 0): every pair straddles a cg=C/2 group
+  // boundary; half of them straddle the cg=2 boundary as well.
+  const int64_t a = 2 * label + 1;
+  const int64_t b = (2 * label + 2) % opts.channels;
+  return {a, b};
+}
+
+Dataset make_cross_channel_task(int64_t samples, uint64_t seed,
+                                const CrossChannelOptions& opts) {
+  DSX_REQUIRE(opts.channels == 2 * opts.num_classes,
+              "cross-channel task requires channels == 2 * num_classes, got "
+                  << opts.channels << " vs " << opts.num_classes);
+  DSX_REQUIRE(samples > 0 && opts.spatial >= 2,
+              "make_cross_channel_task: bad arguments");
+  Rng rng(seed);
+
+  Dataset ds;
+  ds.images =
+      Tensor(make_nchw(samples, opts.channels, opts.spatial, opts.spatial));
+  ds.labels.resize(static_cast<size_t>(samples));
+  ds.num_classes = opts.num_classes;
+  ds.name = "CrossChannelTask";
+
+  const int64_t plane = opts.spatial * opts.spatial;
+  for (int64_t i = 0; i < samples; ++i) {
+    const int64_t label = i % opts.num_classes;
+    ds.labels[static_cast<size_t>(i)] = static_cast<int32_t>(label);
+    float* img = ds.images.data() + i * opts.channels * plane;
+    for (int64_t c = 0; c < opts.channels; ++c) {
+      for (int64_t j = 0; j < plane; ++j) {
+        img[c * plane + j] = rng.normal(0.0f, 1.0f);
+      }
+    }
+    // Plant the class signal: channel b becomes a noisy copy of channel a.
+    const auto [a, b] = cross_channel_pair(label, opts);
+    for (int64_t j = 0; j < plane; ++j) {
+      img[b * plane + j] =
+          img[a * plane + j] + rng.normal(0.0f, opts.pair_noise);
+    }
+  }
+  return ds;
+}
+
+}  // namespace dsx::data

@@ -1,0 +1,55 @@
+// Synthetic datasets standing in for CIFAR-10 / ImageNet (no dataset files
+// are available in this environment; see DESIGN.md §2).
+//
+// Three generators:
+//  * make_synth_cifar    - class-conditional low-frequency patterns + noise,
+//    32x32x3, 10 classes: a generic learnable image task.
+//  * make_synth_imagenet - the same at 64x64x3 with 100 classes ("ImageNet-
+//    scale" for the runtime figures; feature-map sizes drive those results).
+//  * make_cross_channel_task - the mechanism probe behind Tables I/IV: every
+//    channel is white noise, and the *only* class signal is which pair of
+//    adjacent channels is correlated. The pairs are chosen to straddle GPW
+//    group boundaries, realising exactly the failure mode the paper ascribes
+//    to GPW (information "segregated by channel grouping") that SCC's
+//    overlap bridges.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx::data {
+
+struct Dataset {
+  Tensor images;                // [N, C, S, S]
+  std::vector<int32_t> labels;  // [N]
+  int64_t num_classes = 0;
+  std::string name;
+};
+
+Dataset make_synth_cifar(int64_t samples, uint64_t seed,
+                         int64_t image_size = 32, int64_t channels = 3,
+                         int64_t num_classes = 10);
+
+Dataset make_synth_imagenet(int64_t samples, uint64_t seed,
+                            int64_t image_size = 64, int64_t num_classes = 100);
+
+struct CrossChannelOptions {
+  int64_t channels = 8;
+  int64_t spatial = 8;
+  int64_t num_classes = 4;  // requires channels == 2 * num_classes
+  float pair_noise = 0.1f;  // noise on the correlated copy
+};
+
+Dataset make_cross_channel_task(int64_t samples, uint64_t seed,
+                                const CrossChannelOptions& opts = {});
+
+/// The correlated channel pair encoding class `label` under `opts`
+/// (exposed so tests can verify coverage properties of conv schemes).
+std::pair<int64_t, int64_t> cross_channel_pair(int64_t label,
+                                               const CrossChannelOptions& opts);
+
+}  // namespace dsx::data

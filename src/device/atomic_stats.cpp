@@ -1,0 +1,25 @@
+#include "device/atomic_stats.hpp"
+
+namespace dsx::device {
+
+AtomicCounters& AtomicCounters::instance() {
+  static AtomicCounters counters;
+  return counters;
+}
+
+AtomicCountScope::AtomicCountScope() {
+  auto& c = AtomicCounters::instance();
+  was_counting_ = c.counting();
+  c.set_counting(true);
+  base_ = c.adds();
+}
+
+AtomicCountScope::~AtomicCountScope() {
+  AtomicCounters::instance().set_counting(was_counting_);
+}
+
+int64_t AtomicCountScope::adds() const {
+  return AtomicCounters::instance().adds() - base_;
+}
+
+}  // namespace dsx::device

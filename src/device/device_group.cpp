@@ -1,0 +1,83 @@
+#include "device/device_group.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "device/parallel_for.hpp"
+
+namespace dsx::device {
+
+double ring_all_reduce_bytes(double payload_bytes, int devices) {
+  DSX_REQUIRE(devices >= 1, "ring_all_reduce_bytes: devices must be >= 1");
+  if (devices == 1) return 0.0;
+  return 2.0 * (devices - 1) / devices * payload_bytes;
+}
+
+DeviceGroup::DeviceGroup(int devices) : devices_(devices) {
+  DSX_REQUIRE(devices >= 1, "DeviceGroup needs at least one device");
+}
+
+CollectiveStats DeviceGroup::all_reduce_mean(
+    std::span<Tensor* const> replicas) const {
+  DSX_REQUIRE(static_cast<int>(replicas.size()) == devices_,
+              "all_reduce_mean: got " << replicas.size() << " replicas for "
+                                      << devices_ << " devices");
+  Tensor* first = replicas[0];
+  DSX_REQUIRE(first != nullptr && first->defined(), "null replica tensor");
+  const int64_t n = first->numel();
+  for (Tensor* t : replicas) {
+    DSX_REQUIRE(t != nullptr && t->shape() == first->shape(),
+                "all_reduce_mean: replica shape mismatch");
+  }
+
+  const float inv = 1.0f / static_cast<float>(devices_);
+  parallel_for_chunks(n, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      float acc = 0.0f;
+      for (Tensor* t : replicas) acc += t->data()[i];
+      acc *= inv;
+      for (Tensor* t : replicas) t->data()[i] = acc;
+    }
+  });
+
+  CollectiveStats stats;
+  stats.devices = devices_;
+  stats.payload_bytes = static_cast<double>(first->size_bytes());
+  stats.wire_bytes = ring_all_reduce_bytes(stats.payload_bytes, devices_);
+  return stats;
+}
+
+CollectiveStats DeviceGroup::all_reduce_mean(
+    const std::vector<std::vector<Tensor*>>& replica_params) const {
+  DSX_REQUIRE(static_cast<int>(replica_params.size()) == devices_,
+              "all_reduce_mean: replica count mismatch");
+  const size_t k = replica_params.front().size();
+  for (const auto& params : replica_params) {
+    DSX_REQUIRE(params.size() == k, "all_reduce_mean: param list mismatch");
+  }
+  CollectiveStats total;
+  total.devices = devices_;
+  std::vector<Tensor*> slot(static_cast<size_t>(devices_));
+  for (size_t j = 0; j < k; ++j) {
+    for (int d = 0; d < devices_; ++d) {
+      slot[static_cast<size_t>(d)] = replica_params[static_cast<size_t>(d)][j];
+    }
+    const CollectiveStats s = all_reduce_mean(slot);
+    total.payload_bytes += s.payload_bytes;
+    total.wire_bytes += s.wire_bytes;
+  }
+  return total;
+}
+
+void DeviceGroup::broadcast(const Tensor& src,
+                            std::span<Tensor* const> dst) const {
+  for (Tensor* t : dst) {
+    DSX_REQUIRE(t != nullptr && t->shape() == src.shape(),
+                "broadcast: destination shape mismatch");
+    if (t->data() == src.data()) continue;
+    std::memcpy(t->data(), src.data(),
+                static_cast<size_t>(src.size_bytes()));
+  }
+}
+
+}  // namespace dsx::device

@@ -1,0 +1,54 @@
+// Virtual multi-device group for data-parallel training.
+//
+// The paper's Fig. 14 trains with 1-4 V100s using data parallelism: each GPU
+// holds a model replica, consumes a shard of the batch, and gradients are
+// all-reduced before the optimizer step. This host has no GPUs, so a
+// DeviceGroup models D devices as D replicas executed on the host pool; the
+// collectives below are the MPI-style operations (allreduce = reduce +
+// broadcast over a ring) and they report the bytes a ring all-reduce would
+// move, which gpusim's link model converts into communication time.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx::device {
+
+/// Bytes a ring all-reduce moves per link for `bytes` of payload on `devices`
+/// devices (2*(D-1)/D * payload, the standard ring bound).
+double ring_all_reduce_bytes(double payload_bytes, int devices);
+
+/// Statistics returned by group collectives.
+struct CollectiveStats {
+  int devices = 0;
+  double payload_bytes = 0.0;   // size of one replica's buffers
+  double wire_bytes = 0.0;      // ring-allreduce traffic per device
+};
+
+/// A group of D virtual devices.
+class DeviceGroup {
+ public:
+  explicit DeviceGroup(int devices);
+
+  int size() const { return devices_; }
+
+  /// Element-wise mean across replicas, written back to every replica.
+  /// `replicas[d]` is device d's copy of the same logical tensor.
+  CollectiveStats all_reduce_mean(std::span<Tensor* const> replicas) const;
+
+  /// Same, over a list of parameter sets: replica_params[d][k] is tensor k on
+  /// device d. All devices must hold identical-length lists.
+  CollectiveStats all_reduce_mean(
+      const std::vector<std::vector<Tensor*>>& replica_params) const;
+
+  /// Copies src into every destination tensor (parameter broadcast).
+  void broadcast(const Tensor& src, std::span<Tensor* const> dst) const;
+
+ private:
+  int devices_;
+};
+
+}  // namespace dsx::device

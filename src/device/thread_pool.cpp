@@ -1,0 +1,118 @@
+#include "device/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace dsx::device {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  unsigned n = threads;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  // The calling thread acts as worker 0; spawn n-1 helpers.
+  tasks_.resize(n > 0 ? n - 1 : 0);
+  workers_.reserve(tasks_.size());
+  for (unsigned i = 0; i < tasks_.size(); ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] {
+        return stop_ || (generation_ != seen_generation &&
+                         tasks_[worker_index].fn != nullptr);
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+      tasks_[worker_index].fn = nullptr;
+    }
+    std::exception_ptr err;
+    if (task.begin < task.end) {
+      try {
+        (*task.fn)(task.begin, task.end);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_chunks(int64_t total,
+                            const std::function<void(int64_t, int64_t)>& fn) {
+  DSX_REQUIRE(total >= 0, "run_chunks: negative range");
+  if (total == 0) return;
+  const int64_t nthreads = static_cast<int64_t>(size());
+  const int64_t chunk = (total + nthreads - 1) / nthreads;
+
+  // Chunk 0 runs on the calling thread; the rest go to workers.
+  int64_t my_end = std::min<int64_t>(chunk, total);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSX_CHECK(pending_ == 0, "run_chunks is not reentrant");
+    first_error_ = nullptr;
+    unsigned used = 0;
+    for (unsigned i = 0; i < tasks_.size(); ++i) {
+      const int64_t b = std::min<int64_t>(chunk * (i + 1), total);
+      const int64_t e = std::min<int64_t>(chunk * (i + 2), total);
+      tasks_[i] = Task{&fn, b, e};
+      ++used;
+    }
+    pending_ = used;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  std::exception_ptr my_err;
+  try {
+    if (my_end > 0) fn(0, my_end);
+  } catch (...) {
+    my_err = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return pending_ == 0; });
+    if (!first_error_ && my_err) first_error_ = my_err;
+    if (first_error_) {
+      std::exception_ptr err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+  if (my_err) std::rethrow_exception(my_err);
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([]() -> unsigned {
+    if (const char* env = std::getenv("DSX_THREADS")) {
+      const int v = std::atoi(env);
+      if (v > 0) return static_cast<unsigned>(v);
+    }
+    return 0;
+  }());
+  return pool;
+}
+
+}  // namespace dsx::device

@@ -1,0 +1,60 @@
+// Persistent worker pool.
+//
+// This is the execution substrate standing in for the GPU: DSXplore's CUDA
+// kernels are expressed as per-thread work functions over a flat index space
+// (see device/launch.hpp), and the pool executes those index spaces with
+// static chunking, one chunk per worker, like an OpenMP `parallel for`.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dsx::device {
+
+/// Fixed-size pool of worker threads executing range tasks.
+class ThreadPool {
+ public:
+  /// `threads == 0` means std::thread::hardware_concurrency().
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  /// Runs fn(begin, end) over [0, total) split into one contiguous chunk per
+  /// pool thread (the calling thread executes one chunk too). Blocks until
+  /// every chunk finished. Exceptions from chunks are rethrown (first one).
+  void run_chunks(int64_t total,
+                  const std::function<void(int64_t, int64_t)>& fn);
+
+  /// Process-wide pool; size from DSX_THREADS env var when set, else
+  /// hardware concurrency.
+  static ThreadPool& global();
+
+ private:
+  struct Task {
+    const std::function<void(int64_t, int64_t)>* fn = nullptr;
+    int64_t begin = 0;
+    int64_t end = 0;
+  };
+
+  void worker_loop(unsigned worker_index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<Task> tasks_;       // one slot per worker
+  uint64_t generation_ = 0;       // bumped per run_chunks call
+  unsigned pending_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace dsx::device

@@ -1,0 +1,197 @@
+#include "explore/design_space.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth.hpp"
+#include "nn/containers.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/layers_conv.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+
+namespace dsx::explore {
+
+std::string DesignPoint::to_string() const {
+  std::ostringstream os;
+  os << "SCC-cg" << cg << "-co" << static_cast<int>(co * 100 + 0.5) << "%";
+  return os.str();
+}
+
+std::vector<DesignPoint> grid(std::span<const int64_t> cgs,
+                              std::span<const double> cos) {
+  DSX_REQUIRE(!cgs.empty() && !cos.empty(), "grid: empty axis");
+  std::vector<DesignPoint> points;
+  points.reserve(cgs.size() * cos.size());
+  for (const int64_t cg : cgs) {
+    DSX_REQUIRE(cg >= 1, "grid: cg must be >= 1, got " << cg);
+    for (const double co : cos) {
+      DSX_REQUIRE(co >= 0.0 && co <= 1.0,
+                  "grid: co must be in [0, 1], got " << co);
+      points.push_back({cg, co});
+    }
+  }
+  return points;
+}
+
+std::vector<Candidate> evaluate_grid(std::span<const DesignPoint> points,
+                                     const CostFn& cost_fn,
+                                     const ScoreFn& score_fn) {
+  DSX_REQUIRE(cost_fn != nullptr && score_fn != nullptr,
+              "evaluate_grid: null callback");
+  std::vector<Candidate> out;
+  out.reserve(points.size());
+  for (const DesignPoint& p : points) {
+    const DesignCost cost = cost_fn(p);
+    out.push_back({p, cost.mmacs, cost.kparams, score_fn(p)});
+  }
+  return out;
+}
+
+std::vector<Candidate> pareto_front(std::vector<Candidate> candidates) {
+  // Sort by (mmacs asc, score desc); sweep keeping strictly improving score.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.mmacs != b.mmacs) return a.mmacs < b.mmacs;
+              return a.score > b.score;
+            });
+  std::vector<Candidate> front;
+  double best_score = -1e300;
+  for (const Candidate& c : candidates) {
+    if (c.score > best_score) {
+      front.push_back(c);
+      best_score = c.score;
+    }
+  }
+  return front;
+}
+
+Candidate best_under_budget(std::span<const Candidate> candidates,
+                            double mmacs_budget) {
+  const Candidate* best = nullptr;
+  for (const Candidate& c : candidates) {
+    if (c.mmacs > mmacs_budget) continue;
+    if (best == nullptr || c.score > best->score ||
+        (c.score == best->score && c.mmacs < best->mmacs)) {
+      best = &c;
+    }
+  }
+  DSX_REQUIRE(best != nullptr, "best_under_budget: no candidate within "
+                                   << mmacs_budget << " MMACs");
+  return *best;
+}
+
+double site_mmacs(const LayerSite& site, int64_t cg) {
+  DSX_REQUIRE(site.in_channels >= 1 && site.out_channels >= 1 &&
+                  site.spatial >= 1,
+              "site_mmacs: invalid site");
+  DSX_REQUIRE(cg >= 1 && site.in_channels % cg == 0,
+              "site_mmacs: cg " << cg << " does not divide "
+                                << site.in_channels);
+  const double gw = static_cast<double>(site.in_channels / cg);
+  return static_cast<double>(site.out_channels) * gw *
+         static_cast<double>(site.spatial) *
+         static_cast<double>(site.spatial) / 1e6;
+}
+
+Allocation allocate_per_layer(std::span<const LayerSite> sites,
+                              std::span<const int64_t> allowed_cgs,
+                              double mmacs_budget) {
+  DSX_REQUIRE(!sites.empty(), "allocate_per_layer: no sites");
+  DSX_REQUIRE(!allowed_cgs.empty(), "allocate_per_layer: no allowed cgs");
+  for (size_t i = 1; i < allowed_cgs.size(); ++i) {
+    DSX_REQUIRE(allowed_cgs[i] > allowed_cgs[i - 1],
+                "allocate_per_layer: allowed_cgs must be ascending");
+  }
+
+  // Per-site ladder of valid cg values (ascending; accuracy-preferred first).
+  std::vector<std::vector<int64_t>> ladders(sites.size());
+  for (size_t s = 0; s < sites.size(); ++s) {
+    for (const int64_t cg : allowed_cgs) {
+      if (sites[s].in_channels % cg == 0 && sites[s].out_channels % cg == 0) {
+        ladders[s].push_back(cg);
+      }
+    }
+    DSX_REQUIRE(!ladders[s].empty(),
+                "allocate_per_layer: no allowed cg divides site " << s);
+  }
+
+  Allocation alloc;
+  alloc.cg.resize(sites.size());
+  std::vector<size_t> rung(sites.size(), 0);
+  alloc.total_mmacs = 0.0;
+  for (size_t s = 0; s < sites.size(); ++s) {
+    alloc.cg[s] = ladders[s][0];
+    alloc.total_mmacs += site_mmacs(sites[s], alloc.cg[s]);
+  }
+
+  while (alloc.total_mmacs > mmacs_budget) {
+    // Bump the site whose next rung saves the most MACs.
+    double best_saving = 0.0;
+    size_t best_site = sites.size();
+    for (size_t s = 0; s < sites.size(); ++s) {
+      if (rung[s] + 1 >= ladders[s].size()) continue;
+      const double saving = site_mmacs(sites[s], ladders[s][rung[s]]) -
+                            site_mmacs(sites[s], ladders[s][rung[s] + 1]);
+      if (saving > best_saving) {
+        best_saving = saving;
+        best_site = s;
+      }
+    }
+    DSX_REQUIRE(best_site < sites.size(),
+                "allocate_per_layer: budget " << mmacs_budget
+                                              << " MMACs unreachable (min is "
+                                              << alloc.total_mmacs << ")");
+    rung[best_site] += 1;
+    alloc.cg[best_site] = ladders[best_site][rung[best_site]];
+    alloc.total_mmacs -= best_saving;
+  }
+  return alloc;
+}
+
+ScoreFn make_cross_channel_proxy(const ProxyOptions& opts) {
+  DSX_REQUIRE(opts.fusion_width >= 1 && opts.epochs >= 1 &&
+                  opts.train_samples >= 1 && opts.test_samples >= 1,
+              "make_cross_channel_proxy: invalid options");
+  return [opts](const DesignPoint& p) -> double {
+    data::CrossChannelOptions task;
+    DSX_REQUIRE(task.channels % p.cg == 0,
+                "cross-channel proxy: cg " << p.cg << " must divide "
+                                           << task.channels << " channels");
+    const data::Dataset train =
+        make_cross_channel_task(opts.train_samples, opts.seed, task);
+    const data::Dataset test =
+        make_cross_channel_task(opts.test_samples, opts.seed + 1, task);
+
+    Rng rng(7);
+    nn::Sequential model;
+    scc::SCCConfig cfg;
+    cfg.in_channels = task.channels;
+    cfg.out_channels = opts.fusion_width;
+    cfg.groups = p.cg;
+    cfg.overlap = p.co;
+    model.emplace<nn::SCCConv>(cfg, rng, /*bias=*/true);
+    model.emplace<nn::ReLU>();
+    model.emplace<nn::GlobalAvgPool>();
+    model.emplace<nn::Flatten>();
+    model.emplace<nn::Linear>(opts.fusion_width, task.num_classes, rng, true);
+
+    nn::SGD opt({.lr = 0.05f, .momentum = 0.9f, .weight_decay = 0.0f});
+    nn::Trainer trainer(model, opt);
+    data::DataLoader loader(train, {.batch_size = 32, .shuffle = true,
+                                    .seed = 3});
+    for (int e = 0; e < opts.epochs; ++e) {
+      loader.reset();
+      while (loader.has_next()) {
+        const data::Batch b = loader.next();
+        trainer.train_batch(b.images, b.labels);
+      }
+    }
+    const data::Batch tb = data::full_batch(test);
+    return trainer.evaluate(tb.images, tb.labels).accuracy;
+  };
+}
+
+}  // namespace dsx::explore

@@ -1,0 +1,120 @@
+// Design-space exploration - the "Xplore" in DSXplore, as a library.
+//
+// The paper's §III sells SCC on its "enormous space for design exploration":
+// (cg, co) spans a family with PW (cg=1, co=100%) and GPW (co=0%) as corners,
+// trading FLOPs/params against cross-channel information. This module turns
+// the paper's manual exploration (its Table IV sweep) into a programmatic
+// workflow:
+//
+//   grid()              - enumerate (cg, co) candidates,
+//   evaluate_grid()     - attach analytic costs and a task score to each,
+//   pareto_front()      - keep the non-dominated cost/score trade-offs,
+//   best_under_budget() - pick the highest-scoring design within a MACs
+//                         budget (the edge-deployment question the paper's
+//                         intro poses),
+//   make_cross_channel_proxy() - a fast accuracy proxy on the cross-channel
+//                         task, the mechanism probe behind the paper's
+//                         Table I/IV accuracy ordering.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dsx::explore {
+
+/// One point of the SCC design space (paper notation SCC-cgX-coY%).
+struct DesignPoint {
+  int64_t cg = 1;
+  double co = 0.5;
+
+  std::string to_string() const;
+};
+
+/// A design point with everything the paper trades off: analytic cost and a
+/// task score (higher is better; typically proxy accuracy in [0, 1]).
+struct Candidate {
+  DesignPoint design;
+  double mmacs = 0.0;    // analytic multiply-accumulates per image, 1e6
+  double kparams = 0.0;  // analytic parameters, 1e3
+  double score = 0.0;
+};
+
+/// Cross product of the given cg and co values.
+std::vector<DesignPoint> grid(std::span<const int64_t> cgs,
+                              std::span<const double> cos);
+
+/// Computes {mmacs, kparams} for a design (typically via models::build_* +
+/// Layer::cost on the configured scheme).
+struct DesignCost {
+  double mmacs = 0.0;
+  double kparams = 0.0;
+};
+using CostFn = std::function<DesignCost(const DesignPoint&)>;
+
+/// Scores a design (higher is better).
+using ScoreFn = std::function<double(const DesignPoint&)>;
+
+/// Evaluates every point; order is preserved.
+std::vector<Candidate> evaluate_grid(std::span<const DesignPoint> points,
+                                     const CostFn& cost_fn,
+                                     const ScoreFn& score_fn);
+
+/// Non-dominated subset under (minimize mmacs, maximize score), sorted by
+/// ascending mmacs. Ties: a candidate equal on both axes to a kept one is
+/// dropped (the front has no duplicates).
+std::vector<Candidate> pareto_front(std::vector<Candidate> candidates);
+
+/// Highest-scoring candidate with mmacs <= budget; throws if none qualifies.
+Candidate best_under_budget(std::span<const Candidate> candidates,
+                            double mmacs_budget);
+
+/// Options for the cross-channel proxy evaluator.
+struct ProxyOptions {
+  int64_t fusion_width = 32;  // Cout of the probed fusion layer
+  int train_samples = 256;
+  int test_samples = 128;
+  int epochs = 8;
+  uint64_t seed = 1001;
+};
+
+/// Builds a ScoreFn that trains a one-fusion-layer probe (SCC-cgX-coY% as
+/// the channel-fusion stage) on the cross-channel task and returns held-out
+/// accuracy. Deterministic for fixed options.
+ScoreFn make_cross_channel_proxy(const ProxyOptions& opts = {});
+
+// ---- per-layer budget allocation --------------------------------------------
+//
+// The paper applies one (cg, co) to every fusion layer; the space is really
+// per-layer. The allocator makes the per-layer choice under a global MACs
+// budget with the paper's own empirical rules as the objective: accuracy
+// degrades as cg grows (Table IV), so prefer the smallest cg everywhere and
+// raise it first where it buys the most MACs.
+
+/// One SCC fusion site in a network.
+struct LayerSite {
+  int64_t in_channels = 0;
+  int64_t out_channels = 0;
+  int64_t spatial = 0;  // feature-map side length at this layer
+};
+
+/// Analytic MACs of one site at a given cg (co is cost-free).
+double site_mmacs(const LayerSite& site, int64_t cg);
+
+struct Allocation {
+  std::vector<int64_t> cg;  // per site, parallel to the input vector
+  double total_mmacs = 0.0;
+};
+
+/// Greedy allocation: every site starts at the smallest allowed cg; while
+/// over budget, bump the site whose next allowed cg saves the most MACs
+/// (ties: lowest index). `allowed_cgs` must be ascending; a cg is valid for
+/// a site only if it divides both channel counts. Throws if the budget is
+/// unreachable even at every site's maximum.
+Allocation allocate_per_layer(std::span<const LayerSite> sites,
+                              std::span<const int64_t> allowed_cgs,
+                              double mmacs_budget);
+
+}  // namespace dsx::explore

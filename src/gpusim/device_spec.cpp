@@ -1,0 +1,19 @@
+#include "gpusim/device_spec.hpp"
+
+namespace dsx::gpusim {
+
+DeviceSpec DeviceSpec::v100() {
+  DeviceSpec spec;
+  spec.name = "Tesla V100-SXM2-32GB";
+  spec.sms = 80;
+  spec.max_threads_per_sm = 2048;
+  spec.peak_flops = 15.7e12;
+  spec.mem_bandwidth = 900e9;
+  spec.atomic_throughput = 4e9;
+  spec.kernel_launch_overhead = 4e-6;
+  spec.link_bandwidth = 25e9;
+  spec.link_latency = 10e-6;
+  return spec;
+}
+
+}  // namespace dsx::gpusim

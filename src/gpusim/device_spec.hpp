@@ -1,0 +1,37 @@
+// Analytic GPU device model (DESIGN.md §2: substitution for the paper's
+// Tesla V100).
+//
+// The model is deliberately simple - a wave/occupancy latency floor plus a
+// roofline throughput term plus an atomic-serialization term - because the
+// paper phenomena it must reproduce (Fig. 13's flat-then-linear batch-size
+// curve, Fig. 14's all-reduce-limited multi-GPU scaling, Fig. 9's atomic
+// penalty) are first-order execution-model effects. It consumes the *real*
+// launch shapes, per-thread costs and atomic counts recorded by
+// device::KernelLog from the actual kernels.
+#pragma once
+
+#include <string>
+
+namespace dsx::gpusim {
+
+struct DeviceSpec {
+  std::string name;
+  int sms = 80;                      // streaming multiprocessors
+  int max_threads_per_sm = 2048;     // resident threads per SM
+  double peak_flops = 15.7e12;       // FP32 FLOP/s
+  double mem_bandwidth = 900e9;      // HBM bytes/s
+  double atomic_throughput = 4e9;    // serialized float atomics/s (contended)
+  double kernel_launch_overhead = 4e-6;  // seconds per launch
+  double link_bandwidth = 25e9;      // bytes/s per inter-GPU link (NVLink-ish)
+  double link_latency = 10e-6;       // seconds per collective hop
+
+  /// Total concurrently resident threads (one "wave").
+  double wave_threads() const {
+    return static_cast<double>(sms) * max_threads_per_sm;
+  }
+
+  /// Tesla V100-SXM2-32GB, the paper's evaluation device.
+  static DeviceSpec v100();
+};
+
+}  // namespace dsx::gpusim

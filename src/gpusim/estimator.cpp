@@ -1,0 +1,34 @@
+#include "gpusim/estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dsx::gpusim {
+
+double estimate_kernel_time(const DeviceSpec& spec,
+                            const device::KernelRecord& record) {
+  DSX_REQUIRE(record.threads >= 0, "estimate_kernel_time: negative threads");
+  if (record.threads == 0) return spec.kernel_launch_overhead;
+
+  const double wave_threads = spec.wave_threads();
+  const double waves =
+      std::ceil(static_cast<double>(record.threads) / wave_threads);
+  const double flops_per_wave = wave_threads * record.flops_per_thread;
+  const double bytes_per_wave = wave_threads * record.bytes_per_thread;
+  const double wave_time = std::max(flops_per_wave / spec.peak_flops,
+                                    bytes_per_wave / spec.mem_bandwidth);
+  const double atomic_time =
+      static_cast<double>(record.atomic_adds) / spec.atomic_throughput;
+  return spec.kernel_launch_overhead + waves * wave_time + atomic_time;
+}
+
+double estimate_log_time(const DeviceSpec& spec,
+                         std::span<const device::KernelRecord> records) {
+  double total = 0.0;
+  for (const auto& r : records) total += estimate_kernel_time(spec, r);
+  return total;
+}
+
+}  // namespace dsx::gpusim

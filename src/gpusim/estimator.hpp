@@ -1,0 +1,29 @@
+// Kernel latency estimation on the analytic device model.
+//
+// For one launch with T threads, f FLOPs/thread, b bytes/thread and A atomic
+// adds:
+//   waves     = ceil(T / wave_threads)
+//   wave_time = max(wave_threads*f / peak_flops, wave_threads*b / mem_bw)
+//   time      = launch_overhead + waves * wave_time + A / atomic_throughput
+//
+// A partial wave costs a full wave (latency-bound undersaturation): this is
+// what produces the paper's Fig. 13 "flat until the SMs saturate, then
+// linear" batch-size curve.
+#pragma once
+
+#include <span>
+
+#include "device/launch.hpp"
+#include "gpusim/device_spec.hpp"
+
+namespace dsx::gpusim {
+
+/// Modeled execution time of one recorded launch, in seconds.
+double estimate_kernel_time(const DeviceSpec& spec,
+                            const device::KernelRecord& record);
+
+/// Sum over a whole launch log (kernels execute back-to-back).
+double estimate_log_time(const DeviceSpec& spec,
+                         std::span<const device::KernelRecord> records);
+
+}  // namespace dsx::gpusim

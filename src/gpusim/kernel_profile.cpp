@@ -1,0 +1,36 @@
+#include "gpusim/kernel_profile.hpp"
+
+#include <map>
+
+namespace dsx::gpusim {
+
+ProfileSummary summarize(std::span<const device::KernelRecord> records) {
+  ProfileSummary s;
+  for (const auto& r : records) {
+    ++s.launches;
+    s.total_threads += static_cast<double>(r.threads);
+    s.total_flops += r.total_flops();
+    s.total_bytes += r.total_bytes();
+    s.total_atomics += r.atomic_adds;
+  }
+  return s;
+}
+
+std::vector<NamedSummary> summarize_by_name(
+    std::span<const device::KernelRecord> records) {
+  std::map<std::string, ProfileSummary> by_name;
+  for (const auto& r : records) {
+    ProfileSummary& s = by_name[r.name];
+    ++s.launches;
+    s.total_threads += static_cast<double>(r.threads);
+    s.total_flops += r.total_flops();
+    s.total_bytes += r.total_bytes();
+    s.total_atomics += r.atomic_adds;
+  }
+  std::vector<NamedSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, summary] : by_name) out.push_back({name, summary});
+  return out;
+}
+
+}  // namespace dsx::gpusim

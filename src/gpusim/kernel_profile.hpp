@@ -1,0 +1,32 @@
+// Aggregation of device::KernelLog records for the estimator.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "device/launch.hpp"
+
+namespace dsx::gpusim {
+
+struct ProfileSummary {
+  int64_t launches = 0;
+  double total_threads = 0.0;
+  double total_flops = 0.0;
+  double total_bytes = 0.0;
+  int64_t total_atomics = 0;
+};
+
+/// Sums the headline quantities over a launch log.
+ProfileSummary summarize(std::span<const device::KernelRecord> records);
+
+/// Per-kernel-name aggregation (useful for identifying hot kernels).
+struct NamedSummary {
+  std::string name;
+  ProfileSummary summary;
+};
+std::vector<NamedSummary> summarize_by_name(
+    std::span<const device::KernelRecord> records);
+
+}  // namespace dsx::gpusim

@@ -1,0 +1,35 @@
+#include "gpusim/link_model.hpp"
+
+#include "common/check.hpp"
+#include "device/device_group.hpp"
+
+namespace dsx::gpusim {
+
+double all_reduce_time(const DeviceSpec& spec, double payload_bytes,
+                       int devices) {
+  DSX_REQUIRE(devices >= 1, "all_reduce_time: devices must be >= 1");
+  DSX_REQUIRE(payload_bytes >= 0.0, "all_reduce_time: negative payload");
+  if (devices == 1) return 0.0;
+  const double wire =
+      device::ring_all_reduce_bytes(payload_bytes, devices);
+  return 2.0 * (devices - 1) * spec.link_latency + wire / spec.link_bandwidth;
+}
+
+MultiGpuEstimate estimate_data_parallel(const DeviceSpec& spec,
+                                        double single_device_compute,
+                                        double gradient_bytes, int devices) {
+  DSX_REQUIRE(devices >= 1, "estimate_data_parallel: devices must be >= 1");
+  DSX_REQUIRE(single_device_compute >= 0.0 && gradient_bytes >= 0.0,
+              "estimate_data_parallel: negative inputs");
+  MultiGpuEstimate est;
+  est.devices = devices;
+  est.compute_seconds = single_device_compute / static_cast<double>(devices);
+  est.comm_seconds = all_reduce_time(spec, gradient_bytes, devices);
+  est.step_seconds = est.compute_seconds + est.comm_seconds;
+  est.speedup = est.step_seconds > 0.0
+                    ? single_device_compute / est.step_seconds
+                    : 1.0;
+  return est;
+}
+
+}  // namespace dsx::gpusim

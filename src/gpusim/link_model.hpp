@@ -1,0 +1,33 @@
+// Inter-device communication model for the multi-GPU experiments (Fig. 14).
+//
+// Ring all-reduce over D devices moves 2*(D-1)/D of the payload per device
+// and needs 2*(D-1) latency hops; data-parallel step time is
+//   max_d(compute_d) + allreduce(grad_bytes).
+#pragma once
+
+#include <cstdint>
+
+#include "gpusim/device_spec.hpp"
+
+namespace dsx::gpusim {
+
+/// Seconds for a ring all-reduce of `payload_bytes` over `devices` devices.
+double all_reduce_time(const DeviceSpec& spec, double payload_bytes,
+                       int devices);
+
+struct MultiGpuEstimate {
+  int devices = 1;
+  double compute_seconds = 0.0;  // per-device compute (shard of the batch)
+  double comm_seconds = 0.0;     // gradient all-reduce
+  double step_seconds = 0.0;     // compute + comm
+  double speedup = 1.0;          // vs the 1-device step time
+};
+
+/// Data-parallel scaling estimate. `single_device_compute` is the measured /
+/// modeled step time of the full batch on one device; compute is assumed to
+/// shard perfectly (the paper's models are batch-parallel).
+MultiGpuEstimate estimate_data_parallel(const DeviceSpec& spec,
+                                        double single_device_compute,
+                                        double gradient_bytes, int devices);
+
+}  // namespace dsx::gpusim

@@ -1,0 +1,47 @@
+#include "models/mobilenet.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "nn/layers_basic.hpp"
+
+namespace dsx::models {
+
+namespace {
+
+// (output channels, stride) per depthwise-separable block - the standard
+// MobileNet-v1 plan with CIFAR strides.
+const std::vector<std::pair<int64_t, int64_t>> kBlocks = {
+    {64, 1},  {128, 2}, {128, 1}, {256, 2}, {256, 1},  {512, 2}, {512, 1},
+    {512, 1}, {512, 1}, {512, 1}, {512, 1}, {1024, 2}, {1024, 1}};
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> build_mobilenet(int64_t num_classes,
+                                                const SchemeConfig& cfg,
+                                                Rng& rng) {
+  // MobileNet's blocks are always depthwise-separable; "standard" scheme is
+  // interpreted as the paper's baseline DW+PW.
+  SchemeConfig block_cfg = cfg;
+  if (block_cfg.scheme == ConvScheme::kStandard) {
+    block_cfg.scheme = ConvScheme::kDWPW;
+  }
+
+  auto model = std::make_unique<nn::Sequential>();
+  int64_t in_c = scale_channels(32, cfg);
+  model->emplace<nn::Conv2d>(3, in_c, 3, 1, 1, 1, rng);
+  model->emplace<nn::BatchNorm2d>(in_c);
+  model->emplace<nn::ReLU>();
+  for (const auto& [out, stride] : kBlocks) {
+    const int64_t out_c = scale_channels(out, cfg);
+    append_conv_block(*model, in_c, out_c, 3, stride, 1, block_cfg, rng);
+    in_c = out_c;
+  }
+  model->emplace<nn::GlobalAvgPool>();
+  model->emplace<nn::Flatten>();
+  model->emplace<nn::Linear>(in_c, num_classes, rng);
+  return model;
+}
+
+}  // namespace dsx::models

@@ -1,0 +1,18 @@
+// MobileNet-v1 (CIFAR variant) with scheme-parameterised channel-fusion
+// stage. With SchemeConfig::kDWPW this is the paper's "Baseline (DW+PW)";
+// with kDWGPW / kDWSCC it is the Table IV design space.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "models/schemes.hpp"
+#include "nn/containers.hpp"
+
+namespace dsx::models {
+
+std::unique_ptr<nn::Sequential> build_mobilenet(int64_t num_classes,
+                                                const SchemeConfig& cfg,
+                                                Rng& rng);
+
+}  // namespace dsx::models

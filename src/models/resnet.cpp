@@ -1,0 +1,106 @@
+#include "models/resnet.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "nn/layers_basic.hpp"
+
+namespace dsx::models {
+
+namespace {
+
+nn::LayerPtr make_projection(int64_t in_c, int64_t out_c, int64_t stride,
+                             Rng& rng) {
+  auto sc = std::make_unique<nn::Sequential>();
+  sc->emplace<nn::Conv2d>(in_c, out_c, 1, stride, 0, 1, rng);
+  sc->emplace<nn::BatchNorm2d>(out_c);
+  return sc;
+}
+
+/// BasicBlock: [conv3x3(stride) + BN + ReLU] -> [conv3x3 + BN] + shortcut.
+void append_basic_block(nn::Sequential& model, int64_t in_c, int64_t out_c,
+                        int64_t stride, const SchemeConfig& cfg, Rng& rng) {
+  auto main = std::make_unique<nn::Sequential>();
+  append_conv_block(*main, in_c, out_c, 3, stride, 1, cfg, rng,
+                    /*final_relu=*/true);
+  append_conv_block(*main, out_c, out_c, 3, 1, 1, cfg, rng,
+                    /*final_relu=*/false);
+  nn::LayerPtr shortcut;
+  if (stride != 1 || in_c != out_c) {
+    shortcut = make_projection(in_c, out_c, stride, rng);
+  }
+  model.emplace<nn::Residual>(std::move(main), std::move(shortcut));
+}
+
+/// Bottleneck: PW(in->mid) -> 3x3(mid, stride) -> PW(mid->4*mid) + shortcut.
+void append_bottleneck(nn::Sequential& model, int64_t in_c, int64_t mid_c,
+                       int64_t stride, const SchemeConfig& cfg, Rng& rng) {
+  const int64_t out_c = mid_c * 4;
+  auto main = std::make_unique<nn::Sequential>();
+  main->emplace<nn::Conv2d>(in_c, mid_c, 1, 1, 0, 1, rng);
+  main->emplace<nn::BatchNorm2d>(mid_c);
+  main->emplace<nn::ReLU>();
+  append_conv_block(*main, mid_c, mid_c, 3, stride, 1, cfg, rng,
+                    /*final_relu=*/true);
+  main->emplace<nn::Conv2d>(mid_c, out_c, 1, 1, 0, 1, rng);
+  main->emplace<nn::BatchNorm2d>(out_c);
+  nn::LayerPtr shortcut;
+  if (stride != 1 || in_c != out_c) {
+    shortcut = make_projection(in_c, out_c, stride, rng);
+  }
+  model.emplace<nn::Residual>(std::move(main), std::move(shortcut));
+}
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> build_resnet(int depth, int64_t num_classes,
+                                             const SchemeConfig& cfg, Rng& rng,
+                                             bool imagenet_stem) {
+  DSX_REQUIRE(depth == 18 || depth == 50,
+              "build_resnet: depth must be 18 or 50");
+  auto model = std::make_unique<nn::Sequential>();
+  const int64_t stem = scale_channels(64, cfg);
+  if (imagenet_stem) {
+    model->emplace<nn::Conv2d>(3, stem, 7, 2, 3, 1, rng);
+    model->emplace<nn::BatchNorm2d>(stem);
+    model->emplace<nn::ReLU>();
+    model->emplace<nn::MaxPool2d>(3, 2);
+  } else {
+    model->emplace<nn::Conv2d>(3, stem, 3, 1, 1, 1, rng);
+    model->emplace<nn::BatchNorm2d>(stem);
+    model->emplace<nn::ReLU>();
+  }
+
+  if (depth == 18) {
+    const std::vector<int64_t> widths = {64, 128, 256, 512};
+    int64_t in_c = stem;
+    for (size_t stage = 0; stage < widths.size(); ++stage) {
+      const int64_t out_c = scale_channels(widths[stage], cfg);
+      const int64_t stride = stage == 0 ? 1 : 2;
+      append_basic_block(*model, in_c, out_c, stride, cfg, rng);
+      append_basic_block(*model, out_c, out_c, 1, cfg, rng);
+      in_c = out_c;
+    }
+    model->emplace<nn::GlobalAvgPool>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(in_c, num_classes, rng);
+  } else {
+    const std::vector<int64_t> mids = {64, 128, 256, 512};
+    const std::vector<int> counts = {3, 4, 6, 3};
+    int64_t in_c = stem;
+    for (size_t stage = 0; stage < mids.size(); ++stage) {
+      const int64_t mid_c = scale_channels(mids[stage], cfg);
+      for (int block = 0; block < counts[stage]; ++block) {
+        const int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+        append_bottleneck(*model, in_c, mid_c, stride, cfg, rng);
+        in_c = mid_c * 4;
+      }
+    }
+    model->emplace<nn::GlobalAvgPool>();
+    model->emplace<nn::Flatten>();
+    model->emplace<nn::Linear>(in_c, num_classes, rng);
+  }
+  return model;
+}
+
+}  // namespace dsx::models

@@ -1,0 +1,25 @@
+// ResNet-18 (BasicBlock) and ResNet-50 (Bottleneck), CIFAR-style stems,
+// scheme-parameterised 3x3 convolutions.
+//
+// Replacement policy follows the paper (§V-C): only the 3x3 standard
+// convolutions are replaced by DSC blocks; the 1x1 convolutions inside
+// Bottleneck blocks and the projection shortcuts are "already lightweight"
+// and stay pointwise.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "models/schemes.hpp"
+#include "nn/containers.hpp"
+
+namespace dsx::models {
+
+/// `depth` is 18 or 50. `imagenet_stem` selects the 7x7/stride-2 conv +
+/// 3x3/stride-2 max-pool stem used for 224x224 inputs (the paper's Table III
+/// setting); the default CIFAR stem is a 3x3/stride-1 conv.
+std::unique_ptr<nn::Sequential> build_resnet(int depth, int64_t num_classes,
+                                             const SchemeConfig& cfg, Rng& rng,
+                                             bool imagenet_stem = false);
+
+}  // namespace dsx::models

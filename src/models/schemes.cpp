@@ -1,0 +1,103 @@
+#include "models/schemes.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/layers_mix.hpp"
+
+namespace dsx::models {
+
+std::string SchemeConfig::to_string() const {
+  std::ostringstream os;
+  switch (scheme) {
+    case ConvScheme::kStandard:
+      os << "Origin";
+      break;
+    case ConvScheme::kDWPW:
+      os << "DW+PW";
+      break;
+    case ConvScheme::kDWGPW:
+      os << "DW+GPW-cg" << cg;
+      break;
+    case ConvScheme::kDWSCC:
+      os << "DW+SCC-cg" << cg << "-co" << static_cast<int>(co * 100 + 0.5)
+         << "%";
+      break;
+    case ConvScheme::kDWGPWShuffle:
+      os << "DW+GPW-cg" << cg << "+Shuffle";
+      break;
+    case ConvScheme::kShiftSCC:
+      os << "Shift+SCC-cg" << cg << "-co" << static_cast<int>(co * 100 + 0.5)
+         << "%";
+      break;
+  }
+  if (width_mult != 1.0) os << " (x" << width_mult << ")";
+  return os.str();
+}
+
+int64_t scale_channels(int64_t channels, const SchemeConfig& cfg) {
+  DSX_REQUIRE(channels >= 1, "scale_channels: non-positive channel count");
+  const double scaled = static_cast<double>(channels) * cfg.width_mult;
+  const int64_t rounded =
+      std::max<int64_t>(8, static_cast<int64_t>(std::llround(scaled / 8.0)) * 8);
+  return rounded;
+}
+
+void append_conv_block(nn::Sequential& seq, int64_t in_channels,
+                       int64_t out_channels, int64_t kernel, int64_t stride,
+                       int64_t pad, const SchemeConfig& cfg, Rng& rng,
+                       bool final_relu) {
+  switch (cfg.scheme) {
+    case ConvScheme::kStandard: {
+      seq.emplace<nn::Conv2d>(in_channels, out_channels, kernel, stride, pad,
+                              /*groups=*/1, rng);
+      seq.emplace<nn::BatchNorm2d>(out_channels);
+      break;
+    }
+    case ConvScheme::kDWPW:
+    case ConvScheme::kDWGPW:
+    case ConvScheme::kDWSCC:
+    case ConvScheme::kDWGPWShuffle:
+    case ConvScheme::kShiftSCC: {
+      // Spatial stage: depthwise KxK, or the zero-FLOP shift alternative.
+      if (cfg.scheme == ConvScheme::kShiftSCC) {
+        seq.emplace<nn::ShiftConv2d>(in_channels, kernel, stride);
+      } else {
+        seq.emplace<nn::DepthwiseConv2d>(in_channels, kernel, stride, pad,
+                                         rng);
+      }
+      seq.emplace<nn::BatchNorm2d>(in_channels);
+      seq.emplace<nn::ReLU>();
+      // Channel-fusion stage.
+      if (cfg.scheme == ConvScheme::kDWPW) {
+        seq.emplace<nn::Conv2d>(in_channels, out_channels, /*kernel=*/1,
+                                /*stride=*/1, /*pad=*/0, /*groups=*/1, rng);
+      } else if (cfg.scheme == ConvScheme::kDWGPW ||
+                 cfg.scheme == ConvScheme::kDWGPWShuffle) {
+        DSX_REQUIRE(in_channels % cfg.cg == 0 && out_channels % cfg.cg == 0,
+                    "DW+GPW: cg " << cfg.cg << " must divide " << in_channels
+                                  << " and " << out_channels);
+        seq.emplace<nn::Conv2d>(in_channels, out_channels, /*kernel=*/1,
+                                /*stride=*/1, /*pad=*/0, cfg.cg, rng);
+        if (cfg.scheme == ConvScheme::kDWGPWShuffle && cfg.cg > 1) {
+          seq.emplace<nn::ChannelShuffle>(cfg.cg);
+        }
+      } else {
+        scc::SCCConfig scfg;
+        scfg.in_channels = in_channels;
+        scfg.out_channels = out_channels;
+        scfg.groups = cfg.cg;
+        scfg.overlap = cfg.co;
+        scfg.stride = 1;
+        seq.emplace<nn::SCCConv>(scfg, rng, /*bias=*/false, cfg.scc_impl);
+      }
+      seq.emplace<nn::BatchNorm2d>(out_channels);
+      break;
+    }
+  }
+  if (final_relu) seq.emplace<nn::ReLU>();
+}
+
+}  // namespace dsx::models

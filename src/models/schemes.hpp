@@ -1,0 +1,48 @@
+// Convolution-scheme factory: how a model's KxK standard convolutions are
+// realised (paper §V: "Origin" vs DW+PW vs DW+GPW-cgX vs DW+SCC-cgX-coY%).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "nn/containers.hpp"
+#include "nn/layers_conv.hpp"
+#include "tensor/random.hpp"
+
+namespace dsx::models {
+
+enum class ConvScheme {
+  kStandard,      // Origin: standard KxK convolution
+  kDWPW,          // MobileNet-style depthwise separable (DW + PW)
+  kDWGPW,         // DW + grouped pointwise (cg groups)
+  kDWSCC,         // DW + sliding-channel convolution (cg groups, co overlap)
+  kDWGPWShuffle,  // DW + GPW + channel shuffle (ShuffleNet's cross-channel fix)
+  kShiftSCC,      // zero-FLOP shift spatial stage + SCC (paper refs [10]+SCC)
+};
+
+struct SchemeConfig {
+  ConvScheme scheme = ConvScheme::kStandard;
+  int64_t cg = 2;          // channel groups (GPW / SCC)
+  double co = 0.5;         // input-channel overlap ratio (SCC)
+  nn::SCCImpl scc_impl = nn::SCCImpl::kFused;
+  double width_mult = 1.0; // channel scaling for CPU-feasible training
+
+  std::string to_string() const;
+};
+
+/// Scales a channel count by width_mult, rounded to a multiple of 8 (>= 8) so
+/// that every cg in {1,2,4,8} divides it.
+int64_t scale_channels(int64_t channels, const SchemeConfig& cfg);
+
+/// Appends the block replacing one KxK standard convolution:
+///   kStandard:     Conv(K) + BN [+ ReLU]
+///   kDW*:          DW(K) + BN + ReLU + {PW|GPW|SCC} + BN [+ ReLU]
+///   kDWGPWShuffle: DW(K) + BN + ReLU + GPW + Shuffle + BN [+ ReLU]
+///   kShiftSCC:     Shift(K) + BN + ReLU + SCC + BN [+ ReLU]
+/// `final_relu=false` leaves the block open for a residual add.
+void append_conv_block(nn::Sequential& seq, int64_t in_channels,
+                       int64_t out_channels, int64_t kernel, int64_t stride,
+                       int64_t pad, const SchemeConfig& cfg, Rng& rng,
+                       bool final_relu = true);
+
+}  // namespace dsx::models

@@ -1,0 +1,56 @@
+#include "models/vgg.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "nn/layers_basic.hpp"
+
+namespace dsx::models {
+
+namespace {
+
+// -1 encodes a 2x2 max-pool ('M' in the torchvision configs).
+const std::vector<int64_t> kVGG16 = {64,  64,  -1, 128, 128, -1, 256,
+                                     256, 256, -1, 512, 512, 512, -1,
+                                     512, 512, 512, -1};
+const std::vector<int64_t> kVGG19 = {64,  64,  -1,  128, 128, -1,  256, 256,
+                                     256, 256, -1,  512, 512, 512, 512, -1,
+                                     512, 512, 512, 512, -1};
+
+}  // namespace
+
+std::unique_ptr<nn::Sequential> build_vgg(int depth, int64_t num_classes,
+                                          int64_t image_size,
+                                          const SchemeConfig& cfg, Rng& rng) {
+  DSX_REQUIRE(depth == 16 || depth == 19, "build_vgg: depth must be 16 or 19");
+  DSX_REQUIRE(image_size >= 32, "build_vgg: image_size must be >= 32");
+  const auto& plan = depth == 16 ? kVGG16 : kVGG19;
+
+  auto model = std::make_unique<nn::Sequential>();
+  int64_t in_c = 3;
+  bool first_conv = true;
+  for (int64_t item : plan) {
+    if (item == -1) {
+      model->emplace<nn::MaxPool2d>(2, 2);
+      continue;
+    }
+    const int64_t out_c = scale_channels(item, cfg);
+    if (first_conv) {
+      // Input layer stays standard (3 channels cannot be grouped).
+      model->emplace<nn::Conv2d>(in_c, out_c, 3, 1, 1, 1, rng);
+      model->emplace<nn::BatchNorm2d>(out_c);
+      model->emplace<nn::ReLU>();
+      first_conv = false;
+    } else {
+      append_conv_block(*model, in_c, out_c, 3, 1, 1, cfg, rng);
+    }
+    in_c = out_c;
+  }
+  model->emplace<nn::Flatten>();
+  const Shape probe = make_nchw(1, 3, image_size, image_size);
+  const Shape flat = model->output_shape(probe);
+  model->emplace<nn::Linear>(flat.dim(1), num_classes, rng);
+  return model;
+}
+
+}  // namespace dsx::models

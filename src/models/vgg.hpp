@@ -1,0 +1,20 @@
+// VGG16 / VGG19 (Simonyan & Zisserman) adapted to small inputs, with
+// scheme-parameterised conv blocks. The first convolution always stays a
+// standard conv (the paper excludes the 3-channel input layer from
+// replacement).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "models/schemes.hpp"
+#include "nn/containers.hpp"
+
+namespace dsx::models {
+
+/// `depth` is 16 or 19; `image_size` the square input resolution (>= 32).
+std::unique_ptr<nn::Sequential> build_vgg(int depth, int64_t num_classes,
+                                          int64_t image_size,
+                                          const SchemeConfig& cfg, Rng& rng);
+
+}  // namespace dsx::models

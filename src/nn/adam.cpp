@@ -1,0 +1,48 @@
+#include "nn/adam.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dsx::nn {
+
+void Adam::step(const std::vector<Param*>& params) {
+  ++t_;
+  const float bc1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  const float bc2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (Param* p : params) {
+    DSX_REQUIRE(p != nullptr && p->value.defined() && p->grad.defined(),
+                "Adam::step: malformed parameter");
+    auto [it, inserted] = state_.try_emplace(p, Moments{});
+    if (inserted) {
+      it->second.m = Tensor(p->value.shape());
+      it->second.v = Tensor(p->value.shape());
+    }
+    Moments& mom = it->second;
+    DSX_CHECK(mom.m.shape() == p->value.shape(), "Adam: moment shape drift");
+
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* m = mom.m.data();
+    float* v = mom.v.data();
+    const int64_t n = p->value.numel();
+    const float wd = p->decay ? options_.weight_decay : 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g[i];
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g[i] * g[i];
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= options_.lr * (mhat / (std::sqrt(vhat) + options_.eps) +
+                             wd * w[i]);
+    }
+  }
+}
+
+void Adam::reset_state() {
+  state_.clear();
+  t_ = 0;
+}
+
+}  // namespace dsx::nn

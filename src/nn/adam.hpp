@@ -1,0 +1,43 @@
+// Adam optimizer (Kingma & Ba) with decoupled weight decay.
+//
+// The paper's recipes use SGD with momentum (nn/sgd.hpp); Adam is provided
+// for users of the library whose tasks prefer it, and exercises the same
+// Param interface.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace dsx::nn {
+
+class Adam {
+ public:
+  struct Options {
+    float lr = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    float weight_decay = 0.0f;  // decoupled (AdamW style)
+  };
+
+  explicit Adam(Options options) : options_(options) {}
+
+  Options& options() { return options_; }
+  int64_t step_count() const { return t_; }
+
+  void step(const std::vector<Param*>& params);
+  void reset_state();
+
+ private:
+  struct Moments {
+    Tensor m;  // first moment
+    Tensor v;  // second moment
+  };
+  Options options_;
+  std::unordered_map<const Param*, Moments> state_;
+  int64_t t_ = 0;
+};
+
+}  // namespace dsx::nn

@@ -1,0 +1,110 @@
+#include "nn/bn_folding.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/layers_conv.hpp"
+
+namespace dsx::nn {
+
+namespace {
+
+/// Per-output-channel scale/shift derived from a BN layer's inference
+/// statistics.
+struct Affine {
+  std::vector<float> scale;  // gamma / sqrt(var + eps)
+  std::vector<float> shift;  // beta - mean * scale
+};
+
+Affine bn_affine(const BatchNorm2d& bn, float eps) {
+  const BatchNormState& s = bn.state();
+  const int64_t c = bn.channels();
+  Affine a;
+  a.scale.resize(static_cast<size_t>(c));
+  a.shift.resize(static_cast<size_t>(c));
+  for (int64_t i = 0; i < c; ++i) {
+    const float inv_std =
+        1.0f / std::sqrt(s.running_var.data()[i] + eps);
+    a.scale[static_cast<size_t>(i)] = s.gamma.data()[i] * inv_std;
+    a.shift[static_cast<size_t>(i)] =
+        s.beta.data()[i] - s.running_mean.data()[i] *
+                               a.scale[static_cast<size_t>(i)];
+  }
+  return a;
+}
+
+/// Applies w'[oc][...] = w[oc][...] * scale[oc]; b' = b*scale + shift.
+template <typename ConvLike>
+void fold_into(ConvLike& conv, const Affine& a) {
+  conv.ensure_bias();
+  Tensor& w = conv.weight_param().value;
+  Tensor& b = conv.bias_param()->value;
+  const int64_t oc = conv.out_channels();
+  DSX_CHECK(w.numel() % oc == 0, "BN fold: weight not divisible by Cout");
+  const int64_t per_filter = w.numel() / oc;
+  for (int64_t o = 0; o < oc; ++o) {
+    const float s = a.scale[static_cast<size_t>(o)];
+    float* wp = w.data() + o * per_filter;
+    for (int64_t i = 0; i < per_filter; ++i) wp[i] *= s;
+    b.data()[o] = b.data()[o] * s + a.shift[static_cast<size_t>(o)];
+  }
+}
+
+/// Attempts to fold layer i+1 (BN) into layer i (conv-like); returns true on
+/// success.
+bool try_fold_pair(Sequential& seq, size_t i, float eps) {
+  auto* bn = dynamic_cast<BatchNorm2d*>(&seq.layer(i + 1));
+  if (bn == nullptr) return false;
+  const Affine a = bn_affine(*bn, eps);
+
+  if (auto* conv = dynamic_cast<Conv2d*>(&seq.layer(i))) {
+    if (conv->out_channels() != bn->channels()) return false;
+    fold_into(*conv, a);
+  } else if (auto* dw = dynamic_cast<DepthwiseConv2d*>(&seq.layer(i))) {
+    if (dw->out_channels() != bn->channels()) return false;
+    fold_into(*dw, a);
+  } else if (auto* scc = dynamic_cast<SCCConv*>(&seq.layer(i))) {
+    if (scc->out_channels() != bn->channels()) return false;
+    fold_into(*scc, a);
+  } else {
+    return false;
+  }
+  seq.replace_layer(i + 1, std::make_unique<Identity>());
+  return true;
+}
+
+int fold_sequential(Sequential& seq, float eps);
+
+int fold_layer(Layer& layer, float eps) {
+  if (auto* seq = dynamic_cast<Sequential*>(&layer)) {
+    return fold_sequential(*seq, eps);
+  }
+  if (auto* res = dynamic_cast<Residual*>(&layer)) {
+    int folded = fold_layer(res->main(), eps);
+    if (res->shortcut() != nullptr) folded += fold_layer(*res->shortcut(), eps);
+    return folded;
+  }
+  return 0;
+}
+
+int fold_sequential(Sequential& seq, float eps) {
+  int folded = 0;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    if (i + 1 < seq.size() && try_fold_pair(seq, i, eps)) {
+      ++folded;
+      continue;
+    }
+    folded += fold_layer(seq.layer(i), eps);
+  }
+  return folded;
+}
+
+}  // namespace
+
+int fold_batchnorm(Sequential& model, float eps) {
+  return fold_sequential(model, eps);
+}
+
+}  // namespace dsx::nn

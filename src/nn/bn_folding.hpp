@@ -1,0 +1,38 @@
+// Batch-norm folding for inference.
+//
+// Every DSC block in the evaluated models is conv -> BN (-> ReLU); at
+// inference time BN is an affine per-channel transform that can be folded
+// into the preceding convolution's weights:
+//   w' = w * gamma / sqrt(var + eps)
+//   b' = beta + (b - mean) * gamma / sqrt(var + eps)
+// This halves the per-block op count on the inference path (the setting of
+// the paper's Table V) without changing the outputs. Folding works for
+// Conv2d, DepthwiseConv2d and SCCConv layers; the fold is applied in place
+// on a Sequential, replacing each (conv, BN) pair with a biased conv and an
+// identity placeholder.
+#pragma once
+
+#include "nn/containers.hpp"
+
+namespace dsx::nn {
+
+/// No-op layer left behind where a BatchNorm2d was folded away.
+class Identity final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override {
+    (void)training;
+    return input;
+  }
+  Tensor backward(const Tensor& doutput) override { return doutput; }
+  Shape output_shape(const Shape& input) const override { return input; }
+  std::string name() const override { return "Identity"; }
+};
+
+/// Folds every (Conv2d | DepthwiseConv2d | SCCConv) -> BatchNorm2d pair found
+/// in `model` (recursing through Sequential and Residual containers) into the
+/// convolution, using the BN running statistics. Returns the number of pairs
+/// folded. The model must afterwards be used in eval mode only: folding bakes
+/// in inference statistics and detaches BN training behaviour.
+int fold_batchnorm(Sequential& model, float eps = 1e-5f);
+
+}  // namespace dsx::nn

@@ -1,0 +1,74 @@
+#include "nn/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "tensor/serialize.hpp"
+
+namespace dsx::nn {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'S', 'X', 'C'};
+}
+
+void save_checkpoint(Layer& model, std::ostream& os) {
+  const std::vector<Param*> params = model.params();
+  os.write(kMagic, sizeof(kMagic));
+  const uint64_t count = params.size();
+  os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Param* p : params) {
+    const uint32_t len = static_cast<uint32_t>(p->name.size());
+    os.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    os.write(p->name.data(), len);
+    save_tensor(os, p->value);
+  }
+  DSX_CHECK(os.good(), "save_checkpoint: stream write failed");
+}
+
+void load_checkpoint(Layer& model, std::istream& is) {
+  const std::vector<Param*> params = model.params();
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  DSX_REQUIRE(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+              "load_checkpoint: bad magic");
+  uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  DSX_REQUIRE(is.good() && count == params.size(),
+              "load_checkpoint: checkpoint has " << count
+                                                 << " params, model has "
+                                                 << params.size());
+  for (Param* p : params) {
+    uint32_t len = 0;
+    is.read(reinterpret_cast<char*>(&len), sizeof(len));
+    DSX_REQUIRE(is.good() && len < 4096, "load_checkpoint: bad name length");
+    std::string name(len, '\0');
+    is.read(name.data(), len);
+    DSX_REQUIRE(is.good() && name == p->name,
+                "load_checkpoint: expected param '" << p->name << "', found '"
+                                                    << name << "'");
+    const Tensor value = load_tensor(is);
+    DSX_REQUIRE(value.shape() == p->value.shape(),
+                "load_checkpoint: shape mismatch for '"
+                    << p->name << "': " << value.shape().to_string() << " vs "
+                    << p->value.shape().to_string());
+    std::memcpy(p->value.data(), value.data(),
+                static_cast<size_t>(value.size_bytes()));
+  }
+}
+
+void save_checkpoint_file(Layer& model, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  DSX_REQUIRE(os.is_open(), "save_checkpoint_file: cannot open " << path);
+  save_checkpoint(model, os);
+}
+
+void load_checkpoint_file(Layer& model, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DSX_REQUIRE(is.is_open(), "load_checkpoint_file: cannot open " << path);
+  load_checkpoint(model, is);
+}
+
+}  // namespace dsx::nn

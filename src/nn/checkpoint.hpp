@@ -1,0 +1,24 @@
+// Named model checkpoints.
+//
+// Format: magic "DSXC", uint64 param count, then per parameter: uint32 name
+// length, name bytes, tensor (tensor/serialize format). Loading validates
+// count, names and shapes against the live model, so architecture drift is
+// caught instead of silently mis-assigning weights.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/layer.hpp"
+
+namespace dsx::nn {
+
+void save_checkpoint(Layer& model, std::ostream& os);
+void save_checkpoint_file(Layer& model, const std::string& path);
+
+/// Copies checkpointed values into the model's parameters. Throws dsx::Error
+/// on any count/name/shape mismatch.
+void load_checkpoint(Layer& model, std::istream& is);
+void load_checkpoint_file(Layer& model, const std::string& path);
+
+}  // namespace dsx::nn

@@ -1,0 +1,117 @@
+// Stateless / non-convolutional layers: ReLU, pooling, flatten, linear, BN.
+#pragma once
+
+#include <optional>
+
+#include "nn/layer.hpp"
+#include "ops/batchnorm.hpp"
+#include "ops/pooling.hpp"
+#include "tensor/random.hpp"
+
+namespace dsx::nn {
+
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+class MaxPool2d final : public Layer {
+ public:
+  explicit MaxPool2d(int64_t kernel = 2, int64_t stride = 2);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  PoolArgs args_;
+  Shape cached_input_shape_;
+  MaxPoolResult cache_;
+};
+
+class GlobalAvgPool final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+/// [N,C,H,W] -> [N, C*H*W].
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  Shape cached_input_shape_;
+};
+
+class Linear final : public Layer {
+ public:
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  void collect_params(std::vector<Param*>& out) override;
+  Shape output_shape(const Shape& input) const override;
+  scc::LayerCost cost(const Shape& input) const override;
+  std::string name() const override { return "Linear"; }
+
+ private:
+  int64_t in_features_, out_features_;
+  Param weight_, bias_;
+  bool has_bias_;
+  Tensor cached_input_;
+};
+
+/// Inverted dropout: activations are zeroed with probability `p` during
+/// training and scaled by 1/(1-p), so eval mode is the identity (the VGG
+/// classifier recipe).
+class Dropout final : public Layer {
+ public:
+  Dropout(float p, uint64_t seed);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  float p_;
+  Rng rng_;
+  Tensor mask_;  // scaled keep-mask from the last training forward
+};
+
+class BatchNorm2d final : public Layer {
+ public:
+  explicit BatchNorm2d(int64_t channels);
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  void collect_params(std::vector<Param*>& out) override;
+  Shape output_shape(const Shape& input) const override { return input; }
+  scc::LayerCost cost(const Shape& input) const override;
+  std::string name() const override { return "BatchNorm2d"; }
+
+  int64_t channels() const { return channels_; }
+  /// Learned affine + running statistics (read by BN folding).
+  const BatchNormState& state() const { return state_; }
+
+ private:
+  int64_t channels_;
+  BatchNormState state_;
+  Param gamma_, beta_;  // views kept in sync with state_
+  BatchNormCache cache_;
+};
+
+}  // namespace dsx::nn

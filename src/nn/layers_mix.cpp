@@ -1,0 +1,78 @@
+#include "nn/layers_mix.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dsx::nn {
+
+ShiftConv2d::ShiftConv2d(int64_t channels, int64_t kernel, int64_t stride)
+    : channels_(channels),
+      kernel_(kernel),
+      stride_(stride),
+      shifts_(make_uniform_shifts(channels, kernel)) {
+  DSX_REQUIRE(stride >= 1, "ShiftConv2d: stride must be >= 1");
+}
+
+Tensor ShiftConv2d::forward(const Tensor& input, bool training) {
+  DSX_REQUIRE(input.shape().c() == channels_,
+              "ShiftConv2d: input has " << input.shape().c()
+                                        << " channels, layer expects "
+                                        << channels_);
+  if (training) cached_input_shape_ = input.shape();
+  return shift_forward(input, shifts_, stride_);
+}
+
+Tensor ShiftConv2d::backward(const Tensor& doutput) {
+  DSX_REQUIRE(cached_input_shape_.rank() == 4,
+              "ShiftConv2d::backward without a training forward");
+  return shift_backward(cached_input_shape_, shifts_, doutput, stride_);
+}
+
+Shape ShiftConv2d::output_shape(const Shape& input) const {
+  DSX_REQUIRE(input.c() == channels_,
+              "ShiftConv2d: input has " << input.c()
+                                        << " channels, layer expects "
+                                        << channels_);
+  return shift_output_shape(input, stride_);
+}
+
+scc::LayerCost ShiftConv2d::cost(const Shape& input) const {
+  (void)input;
+  return {};  // the point of shift: zero FLOPs, zero parameters
+}
+
+std::string ShiftConv2d::name() const {
+  std::ostringstream os;
+  os << "ShiftConv2d(" << channels_ << ", k=" << kernel_ << ", s=" << stride_
+     << ")";
+  return os.str();
+}
+
+ChannelShuffle::ChannelShuffle(int64_t groups) : groups_(groups) {
+  DSX_REQUIRE(groups >= 1, "ChannelShuffle: groups must be >= 1");
+}
+
+Tensor ChannelShuffle::forward(const Tensor& input, bool training) {
+  (void)training;
+  return channel_shuffle_forward(input, groups_);
+}
+
+Tensor ChannelShuffle::backward(const Tensor& doutput) {
+  return channel_shuffle_backward(doutput, groups_);
+}
+
+Shape ChannelShuffle::output_shape(const Shape& input) const {
+  DSX_REQUIRE(input.rank() == 4 && input.c() % groups_ == 0,
+              "ChannelShuffle: groups " << groups_ << " must divide C of "
+                                        << input.to_string());
+  return input;
+}
+
+std::string ChannelShuffle::name() const {
+  std::ostringstream os;
+  os << "ChannelShuffle(g=" << groups_ << ")";
+  return os.str();
+}
+
+}  // namespace dsx::nn

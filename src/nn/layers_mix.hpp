@@ -1,0 +1,53 @@
+// Parameter-free mixing layers: ShiftConv2d (spatial) and ChannelShuffle
+// (cross-channel).
+//
+// Both are zero-FLOP, zero-parameter alternatives to stages of a separable
+// block: shift replaces the depthwise spatial stage (paper ref [10]); shuffle
+// is ShuffleNet's cross-channel fix for GPW's group segregation (paper ref
+// [9]), the mechanism SCC's window overlap is ablated against.
+#pragma once
+
+#include "nn/layer.hpp"
+#include "ops/shift.hpp"
+#include "ops/shuffle.hpp"
+
+namespace dsx::nn {
+
+/// Per-channel fixed spatial displacement drawn uniformly from the KxK
+/// neighbourhood; supports stride so it can carry a block's downsampling.
+class ShiftConv2d final : public Layer {
+ public:
+  ShiftConv2d(int64_t channels, int64_t kernel, int64_t stride = 1);
+
+  int64_t out_channels() const { return channels_; }
+  const std::vector<ShiftOffset>& shifts() const { return shifts_; }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  Shape output_shape(const Shape& input) const override;
+  scc::LayerCost cost(const Shape& input) const override;
+  std::string name() const override;
+
+ private:
+  int64_t channels_, kernel_, stride_;
+  std::vector<ShiftOffset> shifts_;
+  Shape cached_input_shape_;
+};
+
+/// ShuffleNet channel permutation over `groups` groups.
+class ChannelShuffle final : public Layer {
+ public:
+  explicit ChannelShuffle(int64_t groups);
+
+  int64_t groups() const { return groups_; }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;
+  Shape output_shape(const Shape& input) const override;
+  std::string name() const override;
+
+ private:
+  int64_t groups_;
+};
+
+}  // namespace dsx::nn

@@ -1,0 +1,40 @@
+#include "nn/lr_schedule.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace dsx::nn {
+
+StepDecay::StepDecay(float base_lr, int64_t step_size, float gamma)
+    : base_lr_(base_lr), step_size_(step_size), gamma_(gamma) {
+  DSX_REQUIRE(base_lr > 0.0f, "StepDecay: base_lr must be positive");
+  DSX_REQUIRE(step_size >= 1, "StepDecay: step_size must be >= 1");
+  DSX_REQUIRE(gamma > 0.0f && gamma <= 1.0f, "StepDecay: gamma in (0, 1]");
+}
+
+float StepDecay::lr_at(int64_t epoch) const {
+  DSX_REQUIRE(epoch >= 0, "StepDecay: negative epoch");
+  const int64_t drops = epoch / step_size_;
+  return base_lr_ * std::pow(gamma_, static_cast<float>(drops));
+}
+
+CosineDecay::CosineDecay(float base_lr, int64_t total_epochs, float min_lr)
+    : base_lr_(base_lr), total_epochs_(total_epochs), min_lr_(min_lr) {
+  DSX_REQUIRE(base_lr > 0.0f, "CosineDecay: base_lr must be positive");
+  DSX_REQUIRE(total_epochs >= 1, "CosineDecay: total_epochs must be >= 1");
+  DSX_REQUIRE(min_lr >= 0.0f && min_lr <= base_lr,
+              "CosineDecay: min_lr in [0, base_lr]");
+}
+
+float CosineDecay::lr_at(int64_t epoch) const {
+  DSX_REQUIRE(epoch >= 0, "CosineDecay: negative epoch");
+  if (epoch >= total_epochs_) return min_lr_;
+  const float t = static_cast<float>(epoch) /
+                  static_cast<float>(total_epochs_);
+  return min_lr_ + 0.5f * (base_lr_ - min_lr_) *
+                       (1.0f + std::cos(std::numbers::pi_v<float> * t));
+}
+
+}  // namespace dsx::nn

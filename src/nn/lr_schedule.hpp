@@ -1,0 +1,33 @@
+// Learning-rate schedules for the training loop (the paper's recipes use
+// stepped decay; cosine is provided for the examples).
+#pragma once
+
+#include <cstdint>
+
+namespace dsx::nn {
+
+/// Base learning rate scaled by `gamma` every `step_size` epochs.
+class StepDecay {
+ public:
+  StepDecay(float base_lr, int64_t step_size, float gamma = 0.1f);
+  float lr_at(int64_t epoch) const;
+
+ private:
+  float base_lr_;
+  int64_t step_size_;
+  float gamma_;
+};
+
+/// Cosine annealing from `base_lr` to `min_lr` over `total_epochs`.
+class CosineDecay {
+ public:
+  CosineDecay(float base_lr, int64_t total_epochs, float min_lr = 0.0f);
+  float lr_at(int64_t epoch) const;
+
+ private:
+  float base_lr_;
+  int64_t total_epochs_;
+  float min_lr_;
+};
+
+}  // namespace dsx::nn

@@ -1,0 +1,63 @@
+#include "nn/metrics.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace dsx::nn {
+
+double accuracy(const Tensor& logits, std::span<const int32_t> labels) {
+  return top_k_accuracy(logits, labels, 1);
+}
+
+double top_k_accuracy(const Tensor& logits, std::span<const int32_t> labels,
+                      int64_t k) {
+  DSX_REQUIRE(logits.shape().rank() == 2, "accuracy: logits must be [N, K]");
+  const int64_t N = logits.shape().dim(0), K = logits.shape().dim(1);
+  DSX_REQUIRE(static_cast<int64_t>(labels.size()) == N,
+              "accuracy: label count mismatch");
+  DSX_REQUIRE(k >= 1 && k <= K, "accuracy: invalid k " << k);
+  if (N == 0) return 0.0;
+
+  int64_t hits = 0;
+  std::vector<int64_t> order(static_cast<size_t>(K));
+  for (int64_t n = 0; n < N; ++n) {
+    const float* row = logits.data() + n * K;
+    const int32_t y = labels[static_cast<size_t>(n)];
+    if (k == 1) {
+      int64_t best = 0;
+      for (int64_t j = 1; j < K; ++j) {
+        if (row[j] > row[best]) best = j;
+      }
+      if (best == y) ++hits;
+    } else {
+      for (int64_t j = 0; j < K; ++j) order[static_cast<size_t>(j)] = j;
+      std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                        [&](int64_t a, int64_t b) { return row[a] > row[b]; });
+      for (int64_t j = 0; j < k; ++j) {
+        if (order[static_cast<size_t>(j)] == y) {
+          ++hits;
+          break;
+        }
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(N);
+}
+
+void AverageMeter::add(double value, int64_t weight) {
+  sum_ += value * static_cast<double>(weight);
+  count_ += weight;
+}
+
+double AverageMeter::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+void AverageMeter::reset() {
+  sum_ = 0.0;
+  count_ = 0;
+}
+
+}  // namespace dsx::nn

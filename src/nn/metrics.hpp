@@ -1,0 +1,31 @@
+// Classification metrics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx::nn {
+
+/// Fraction of rows whose argmax equals the label. logits: [N, K].
+double accuracy(const Tensor& logits, std::span<const int32_t> labels);
+
+/// Fraction of rows whose top-k contains the label.
+double top_k_accuracy(const Tensor& logits, std::span<const int32_t> labels,
+                      int64_t k);
+
+/// Streaming mean.
+class AverageMeter {
+ public:
+  void add(double value, int64_t weight = 1);
+  double mean() const;
+  int64_t count() const { return count_; }
+  void reset();
+
+ private:
+  double sum_ = 0.0;
+  int64_t count_ = 0;
+};
+
+}  // namespace dsx::nn

@@ -1,0 +1,36 @@
+#include "nn/param.hpp"
+
+#include "common/check.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::nn {
+
+Param Param::create(std::string name, Tensor value, bool decay) {
+  DSX_REQUIRE(value.defined(), "Param::create: undefined value tensor");
+  Param p;
+  p.name = std::move(name);
+  p.grad = Tensor(value.shape());
+  p.value = std::move(value);
+  p.decay = decay;
+  return p;
+}
+
+void Param::zero_grad() {
+  if (grad.defined()) grad.zero();
+}
+
+void zero_grads(const std::vector<Param*>& params) {
+  for (Param* p : params) p->zero_grad();
+}
+
+void add_grad_inplace(Tensor& grad, const Tensor& delta) {
+  add_(grad, delta);
+}
+
+int64_t param_count(const std::vector<Param*>& params) {
+  int64_t total = 0;
+  for (const Param* p : params) total += p->value.numel();
+  return total;
+}
+
+}  // namespace dsx::nn

@@ -1,0 +1,32 @@
+// Learnable parameter: value + gradient accumulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx::nn {
+
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+  bool decay = true;  // weight decay applies (off for biases and BN affine)
+
+  /// Allocates value and a zeroed gradient of the same shape.
+  static Param create(std::string name, Tensor value, bool decay = true);
+
+  void zero_grad();
+};
+
+/// Zeroes every gradient in the list.
+void zero_grads(const std::vector<Param*>& params);
+
+/// grad += delta (gradient accumulation across backward calls).
+void add_grad_inplace(Tensor& grad, const Tensor& delta);
+
+/// Total number of scalar parameters.
+int64_t param_count(const std::vector<Param*>& params);
+
+}  // namespace dsx::nn

@@ -1,0 +1,29 @@
+#include "nn/sgd.hpp"
+
+#include "common/check.hpp"
+
+namespace dsx::nn {
+
+void SGD::step(const std::vector<Param*>& params) {
+  for (Param* p : params) {
+    DSX_REQUIRE(p != nullptr && p->value.defined() && p->grad.defined(),
+                "SGD::step: malformed parameter");
+    auto [it, inserted] = velocity_.try_emplace(p, Tensor());
+    if (inserted) it->second = Tensor(p->value.shape());
+    Tensor& v = it->second;
+    DSX_CHECK(v.shape() == p->value.shape(), "SGD: velocity shape drift");
+
+    float* w = p->value.data();
+    const float* g = p->grad.data();
+    float* vel = v.data();
+    const float wd = p->decay ? options_.weight_decay : 0.0f;
+    const int64_t n = p->value.numel();
+    for (int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + wd * w[i];
+      vel[i] = options_.momentum * vel[i] + grad;
+      w[i] -= options_.lr * vel[i];
+    }
+  }
+}
+
+}  // namespace dsx::nn

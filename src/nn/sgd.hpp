@@ -1,0 +1,36 @@
+// SGD with momentum and decoupled weight decay (the optimizer the paper's
+// training recipes use).
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "nn/param.hpp"
+
+namespace dsx::nn {
+
+class SGD {
+ public:
+  struct Options {
+    float lr = 0.1f;
+    float momentum = 0.9f;
+    float weight_decay = 5e-4f;
+  };
+
+  explicit SGD(Options options) : options_(options) {}
+
+  Options& options() { return options_; }
+
+  /// v = mu*v + (grad + wd*w); w -= lr*v. Velocity buffers are keyed by
+  /// parameter identity and created lazily.
+  void step(const std::vector<Param*>& params);
+
+  /// Clears momentum buffers (e.g. between independent training runs).
+  void reset_state() { velocity_.clear(); }
+
+ private:
+  Options options_;
+  std::unordered_map<const Param*, Tensor> velocity_;
+};
+
+}  // namespace dsx::nn

@@ -1,0 +1,46 @@
+#include "nn/trainer.hpp"
+
+#include "common/check.hpp"
+#include "nn/metrics.hpp"
+#include "ops/softmax_xent.hpp"
+
+namespace dsx::nn {
+
+Trainer::Trainer(Layer& model, SGD& optimizer)
+    : model_(model), optimizer_(optimizer) {}
+
+StepResult Trainer::forward_backward(const Tensor& images,
+                                     std::span<const int32_t> labels) {
+  std::vector<Param*> params = model_.params();
+  zero_grads(params);
+  const Tensor logits = model_.forward(images, /*training=*/true);
+  const XentResult xent = softmax_cross_entropy(logits, labels);
+  model_.backward(xent.dlogits);
+  StepResult res;
+  res.loss = xent.loss;
+  res.accuracy = accuracy(logits, labels);
+  return res;
+}
+
+StepResult Trainer::train_batch(const Tensor& images,
+                                std::span<const int32_t> labels) {
+  const StepResult res = forward_backward(images, labels);
+  optimizer_.step(model_.params());
+  return res;
+}
+
+void Trainer::backward_only(const Tensor& dlogits) {
+  model_.backward(dlogits);
+}
+
+EvalResult Trainer::evaluate(const Tensor& images,
+                             std::span<const int32_t> labels) {
+  const Tensor logits = model_.forward(images, /*training=*/false);
+  const XentResult xent = softmax_cross_entropy(logits, labels);
+  EvalResult res;
+  res.loss = xent.loss;
+  res.accuracy = accuracy(logits, labels);
+  return res;
+}
+
+}  // namespace dsx::nn

@@ -1,0 +1,52 @@
+// End-to-end training loop: forward -> loss -> backward -> SGD step.
+//
+// Mirrors the paper's per-batch measurement methodology: timings for the
+// runtime figures are taken around train_batch / forward_backward calls.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "nn/layer.hpp"
+#include "nn/sgd.hpp"
+
+namespace dsx::nn {
+
+struct StepResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+
+class Trainer {
+ public:
+  Trainer(Layer& model, SGD& optimizer);
+
+  /// One optimization step on a batch; returns loss/accuracy of the batch.
+  StepResult train_batch(const Tensor& images,
+                         std::span<const int32_t> labels);
+
+  /// Forward + backward only (no optimizer step) - the unit the paper's
+  /// training-runtime figures time.
+  StepResult forward_backward(const Tensor& images,
+                              std::span<const int32_t> labels);
+
+  /// Backward only, given that forward() has already run on `images`.
+  /// Used by the Fig. 9 backward-pass ablation.
+  void backward_only(const Tensor& dlogits);
+
+  /// Inference + metrics over one batch.
+  EvalResult evaluate(const Tensor& images, std::span<const int32_t> labels);
+
+  Layer& model() { return model_; }
+
+ private:
+  Layer& model_;
+  SGD& optimizer_;
+};
+
+}  // namespace dsx::nn

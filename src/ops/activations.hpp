@@ -1,0 +1,13 @@
+// Elementwise activations.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+/// out = max(x, 0).
+Tensor relu_forward(const Tensor& input);
+/// din = dout where input > 0 else 0.
+Tensor relu_backward(const Tensor& doutput, const Tensor& input);
+
+}  // namespace dsx

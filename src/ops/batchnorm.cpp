@@ -1,0 +1,139 @@
+#include "ops/batchnorm.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "device/launch.hpp"
+
+namespace dsx {
+
+BatchNormState BatchNormState::create(int64_t channels) {
+  DSX_REQUIRE(channels > 0, "BatchNormState: channels must be positive");
+  BatchNormState s;
+  s.gamma = Tensor(Shape{channels}, 1.0f);
+  s.beta = Tensor(Shape{channels}, 0.0f);
+  s.running_mean = Tensor(Shape{channels}, 0.0f);
+  s.running_var = Tensor(Shape{channels}, 1.0f);
+  return s;
+}
+
+Tensor batchnorm_forward(const Tensor& input, BatchNormState& state,
+                         BatchNormCache* cache, bool training, float momentum,
+                         float eps) {
+  DSX_REQUIRE(input.shape().rank() == 4, "batchnorm: input must be NCHW");
+  const int64_t N = input.shape().n(), C = input.shape().c();
+  const int64_t plane = input.shape().h() * input.shape().w();
+  DSX_REQUIRE(state.gamma.shape() == Shape{C},
+              "batchnorm: state for " << state.gamma.numel()
+                                      << " channels, input has " << C);
+  DSX_REQUIRE(!training || cache != nullptr,
+              "batchnorm: training mode needs a cache");
+
+  Tensor out(input.shape());
+  if (training) {
+    cache->xhat = Tensor(input.shape());
+    cache->inv_std.assign(static_cast<size_t>(C), 0.0f);
+  }
+  const int64_t count = N * plane;
+
+  device::launch_kernel_chunks_modeled(
+      "batchnorm_fwd", C, input.numel(), {8.0, 16.0},
+      [&](int64_t b, int64_t e) {
+        for (int64_t c = b; c < e; ++c) {
+          float mean_c, var_c;
+          if (training) {
+            double sum = 0.0, sq = 0.0;
+            for (int64_t n = 0; n < N; ++n) {
+              const float* p = input.data() + (n * C + c) * plane;
+              for (int64_t j = 0; j < plane; ++j) {
+                sum += p[j];
+                sq += static_cast<double>(p[j]) * p[j];
+              }
+            }
+            mean_c = static_cast<float>(sum / count);
+            var_c = static_cast<float>(sq / count) - mean_c * mean_c;
+            if (var_c < 0.0f) var_c = 0.0f;  // numerical floor
+            state.running_mean.data()[c] =
+                (1.0f - momentum) * state.running_mean.data()[c] +
+                momentum * mean_c;
+            state.running_var.data()[c] =
+                (1.0f - momentum) * state.running_var.data()[c] +
+                momentum * var_c;
+          } else {
+            mean_c = state.running_mean.data()[c];
+            var_c = state.running_var.data()[c];
+          }
+          const float inv_std = 1.0f / std::sqrt(var_c + eps);
+          const float g = state.gamma.data()[c];
+          const float bta = state.beta.data()[c];
+          if (training) cache->inv_std[static_cast<size_t>(c)] = inv_std;
+          for (int64_t n = 0; n < N; ++n) {
+            const float* p = input.data() + (n * C + c) * plane;
+            float* o = out.data() + (n * C + c) * plane;
+            float* xh = training
+                            ? cache->xhat.data() + (n * C + c) * plane
+                            : nullptr;
+            for (int64_t j = 0; j < plane; ++j) {
+              const float xhat = (p[j] - mean_c) * inv_std;
+              if (xh != nullptr) xh[j] = xhat;
+              o[j] = g * xhat + bta;
+            }
+          }
+        }
+      });
+  return out;
+}
+
+BatchNormGrads batchnorm_backward(const Tensor& doutput,
+                                  const BatchNormState& state,
+                                  const BatchNormCache& cache) {
+  DSX_REQUIRE(doutput.shape() == cache.xhat.shape(),
+              "batchnorm_backward: doutput vs cache shape mismatch");
+  const int64_t N = doutput.shape().n(), C = doutput.shape().c();
+  const int64_t plane = doutput.shape().h() * doutput.shape().w();
+  DSX_REQUIRE(static_cast<int64_t>(cache.inv_std.size()) == C,
+              "batchnorm_backward: stale cache");
+
+  BatchNormGrads grads;
+  grads.dinput = Tensor(doutput.shape());
+  grads.dgamma = Tensor(Shape{C});
+  grads.dbeta = Tensor(Shape{C});
+  const float inv_count = 1.0f / static_cast<float>(N * plane);
+
+  device::launch_kernel_chunks_modeled(
+      "batchnorm_bwd", C, doutput.numel(), {10.0, 20.0},
+      [&](int64_t b, int64_t e) {
+        for (int64_t c = b; c < e; ++c) {
+          // Two reductions, then the standard dx formula:
+          // dx = g*inv_std/M * (M*dy - sum(dy) - xhat*sum(dy*xhat))
+          double sum_dy = 0.0, sum_dy_xhat = 0.0;
+          for (int64_t n = 0; n < N; ++n) {
+            const float* dy = doutput.data() + (n * C + c) * plane;
+            const float* xh = cache.xhat.data() + (n * C + c) * plane;
+            for (int64_t j = 0; j < plane; ++j) {
+              sum_dy += dy[j];
+              sum_dy_xhat += static_cast<double>(dy[j]) * xh[j];
+            }
+          }
+          grads.dbeta.data()[c] = static_cast<float>(sum_dy);
+          grads.dgamma.data()[c] = static_cast<float>(sum_dy_xhat);
+          const float g = state.gamma.data()[c];
+          const float inv_std = cache.inv_std[static_cast<size_t>(c)];
+          const float k = g * inv_std;
+          const float mean_dy = static_cast<float>(sum_dy) * inv_count;
+          const float mean_dy_xhat =
+              static_cast<float>(sum_dy_xhat) * inv_count;
+          for (int64_t n = 0; n < N; ++n) {
+            const float* dy = doutput.data() + (n * C + c) * plane;
+            const float* xh = cache.xhat.data() + (n * C + c) * plane;
+            float* dx = grads.dinput.data() + (n * C + c) * plane;
+            for (int64_t j = 0; j < plane; ++j) {
+              dx[j] = k * (dy[j] - mean_dy - xh[j] * mean_dy_xhat);
+            }
+          }
+        }
+      });
+  return grads;
+}
+
+}  // namespace dsx

@@ -1,0 +1,50 @@
+// Batch normalization over the channel axis of NCHW tensors.
+//
+// Every DSC block in the evaluated models is conv -> BN -> ReLU, so BN sits
+// on the training path of all experiments. Training mode uses batch
+// statistics and updates running estimates; eval mode uses the running
+// estimates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+/// Learnable and running state of one BN layer (owned by the caller/layer).
+struct BatchNormState {
+  Tensor gamma;         // [C]
+  Tensor beta;          // [C]
+  Tensor running_mean;  // [C]
+  Tensor running_var;   // [C]
+
+  /// gamma=1, beta=0, running stats at N(0,1).
+  static BatchNormState create(int64_t channels);
+};
+
+/// Per-batch cache required by the backward pass.
+struct BatchNormCache {
+  Tensor xhat;                  // normalized input, same shape as input
+  std::vector<float> inv_std;   // [C]
+};
+
+/// Forward. In training mode fills `cache` (must be non-null) and updates
+/// running statistics with `momentum`.
+Tensor batchnorm_forward(const Tensor& input, BatchNormState& state,
+                         BatchNormCache* cache, bool training,
+                         float momentum = 0.1f, float eps = 1e-5f);
+
+struct BatchNormGrads {
+  Tensor dinput;
+  Tensor dgamma;  // [C]
+  Tensor dbeta;   // [C]
+};
+
+/// Backward for training-mode BN.
+BatchNormGrads batchnorm_backward(const Tensor& doutput,
+                                  const BatchNormState& state,
+                                  const BatchNormCache& cache);
+
+}  // namespace dsx

@@ -1,0 +1,190 @@
+#include "ops/conv2d.hpp"
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "device/launch.hpp"
+#include "ops/gemm.hpp"
+#include "ops/im2col.hpp"
+
+namespace dsx {
+
+namespace {
+
+struct ConvDims {
+  int64_t N, Cin, H, W;
+  int64_t Cout, K;
+  int64_t Ho, Wo;
+  int64_t groups, cin_g, cout_g;
+};
+
+ConvDims resolve_dims(const Shape& input, const Shape& weight,
+                      const Conv2dArgs& args) {
+  DSX_REQUIRE(input.rank() == 4, "conv2d: input must be NCHW, got "
+                                     << input.to_string());
+  DSX_REQUIRE(weight.rank() == 4, "conv2d: weight must be [Cout,Cin/g,K,K], got "
+                                      << weight.to_string());
+  DSX_REQUIRE(weight.dim(2) == weight.dim(3),
+              "conv2d: non-square kernel " << weight.to_string());
+  ConvDims d;
+  d.N = input.n();
+  d.Cin = input.c();
+  d.H = input.h();
+  d.W = input.w();
+  d.Cout = weight.dim(0);
+  d.K = weight.dim(2);
+  d.groups = args.groups;
+  DSX_REQUIRE(d.groups >= 1, "conv2d: groups must be >= 1");
+  DSX_REQUIRE(d.Cin % d.groups == 0, "conv2d: Cin " << d.Cin
+                                                    << " not divisible by groups "
+                                                    << d.groups);
+  DSX_REQUIRE(d.Cout % d.groups == 0, "conv2d: Cout " << d.Cout
+                                                      << " not divisible by groups "
+                                                      << d.groups);
+  d.cin_g = d.Cin / d.groups;
+  d.cout_g = d.Cout / d.groups;
+  DSX_REQUIRE(weight.dim(1) == d.cin_g,
+              "conv2d: weight expects " << weight.dim(1)
+                                        << " input channels per group, input has "
+                                        << d.cin_g);
+  d.Ho = conv_out_size(d.H, d.K, args.stride, args.pad);
+  d.Wo = conv_out_size(d.W, d.K, args.stride, args.pad);
+  return d;
+}
+
+}  // namespace
+
+Shape conv2d_output_shape(const Shape& input, const Shape& weight,
+                          const Conv2dArgs& args) {
+  const ConvDims d = resolve_dims(input, weight, args);
+  return make_nchw(d.N, d.Cout, d.Ho, d.Wo);
+}
+
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, const Conv2dArgs& args) {
+  const ConvDims d = resolve_dims(input.shape(), weight.shape(), args);
+  if (bias != nullptr) {
+    DSX_REQUIRE(bias->shape() == Shape{d.Cout},
+                "conv2d: bias shape " << bias->shape().to_string());
+  }
+  Tensor out(make_nchw(d.N, d.Cout, d.Ho, d.Wo));
+
+  const int64_t planeo = d.Ho * d.Wo;
+  const int64_t col_rows = d.Cin * d.K * d.K;
+  const bool is_1x1_dense =
+      d.K == 1 && args.stride == 1 && args.pad == 0;
+
+  // col buffer reused across images (skipped on the dense 1x1 fast path).
+  Tensor col;
+  if (!is_1x1_dense) col = Tensor(Shape{col_rows, planeo});
+
+  for (int64_t n = 0; n < d.N; ++n) {
+    const float* in_n = input.data() + n * d.Cin * d.H * d.W;
+    float* out_n = out.data() + n * d.Cout * planeo;
+    const float* lowered = in_n;
+    if (!is_1x1_dense) {
+      im2col(in_n, d.Cin, d.H, d.W, d.K, args.stride, args.pad, col.data());
+      lowered = col.data();
+    }
+    const int64_t rows_g = d.cin_g * d.K * d.K;
+    for (int64_t g = 0; g < d.groups; ++g) {
+      // out_g [cout_g, planeo] = W_g [cout_g, rows_g] x col_g [rows_g, planeo]
+      gemm(false, false, d.cout_g, planeo, rows_g, 1.0f,
+           weight.data() + g * d.cout_g * rows_g, rows_g,
+           lowered + g * rows_g * planeo, planeo, 0.0f,
+           out_n + g * d.cout_g * planeo, planeo);
+    }
+  }
+
+  if (bias != nullptr) {
+    device::launch_kernel_chunks(
+        "conv2d_bias", d.N * d.Cout, {1.0, 8.0}, [&](int64_t b, int64_t e) {
+          for (int64_t i = b; i < e; ++i) {
+            const float bv = bias->data()[i % d.Cout];
+            float* p = out.data() + i * planeo;
+            for (int64_t j = 0; j < planeo; ++j) p[j] += bv;
+          }
+        });
+  }
+  return out;
+}
+
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& doutput, const Conv2dArgs& args,
+                            bool need_dinput, bool has_bias) {
+  const ConvDims d = resolve_dims(input.shape(), weight.shape(), args);
+  DSX_REQUIRE(doutput.shape() == make_nchw(d.N, d.Cout, d.Ho, d.Wo),
+              "conv2d_backward: doutput shape " << doutput.shape().to_string());
+
+  Conv2dGrads grads;
+  grads.dweight = Tensor(weight.shape());
+  if (need_dinput) grads.dinput = Tensor(input.shape());
+
+  const int64_t planeo = d.Ho * d.Wo;
+  const int64_t rows_g = d.cin_g * d.K * d.K;
+  const int64_t col_rows = d.Cin * d.K * d.K;
+  const bool is_1x1_dense = d.K == 1 && args.stride == 1 && args.pad == 0;
+
+  Tensor col;
+  Tensor dcol;
+  if (!is_1x1_dense) {
+    col = Tensor(Shape{col_rows, planeo});
+    if (need_dinput) dcol = Tensor(Shape{col_rows, planeo});
+  }
+
+  for (int64_t n = 0; n < d.N; ++n) {
+    const float* in_n = input.data() + n * d.Cin * d.H * d.W;
+    const float* dout_n = doutput.data() + n * d.Cout * planeo;
+    const float* lowered = in_n;
+    if (!is_1x1_dense) {
+      im2col(in_n, d.Cin, d.H, d.W, d.K, args.stride, args.pad, col.data());
+      lowered = col.data();
+    }
+    for (int64_t g = 0; g < d.groups; ++g) {
+      // dW_g += dOut_g [cout_g, planeo] x col_g^T [planeo, rows_g]
+      gemm(false, true, d.cout_g, rows_g, planeo, 1.0f,
+           dout_n + g * d.cout_g * planeo, planeo,
+           lowered + g * rows_g * planeo, planeo, 1.0f,
+           grads.dweight.data() + g * d.cout_g * rows_g, rows_g);
+    }
+    if (need_dinput) {
+      if (is_1x1_dense) {
+        float* din_n = grads.dinput.data() + n * d.Cin * d.H * d.W;
+        for (int64_t g = 0; g < d.groups; ++g) {
+          // dIn_g = W_g^T [cin_g, cout_g] x dOut_g [cout_g, planeo]
+          gemm(true, false, d.cin_g, planeo, d.cout_g, 1.0f,
+               weight.data() + g * d.cout_g * d.cin_g, d.cin_g,
+               dout_n + g * d.cout_g * planeo, planeo, 0.0f,
+               din_n + g * d.cin_g * planeo, planeo);
+        }
+      } else {
+        for (int64_t g = 0; g < d.groups; ++g) {
+          gemm(true, false, rows_g, planeo, d.cout_g, 1.0f,
+               weight.data() + g * d.cout_g * rows_g, rows_g,
+               dout_n + g * d.cout_g * planeo, planeo, 0.0f,
+               dcol.data() + g * rows_g * planeo, planeo);
+        }
+        col2im_add(dcol.data(), d.Cin, d.H, d.W, d.K, args.stride, args.pad,
+                   grads.dinput.data() + n * d.Cin * d.H * d.W);
+      }
+    }
+  }
+
+  if (has_bias) {
+    grads.dbias = Tensor(Shape{d.Cout});
+    device::launch_kernel_chunks(
+        "conv2d_dbias", d.Cout, {1.0, 8.0}, [&](int64_t b, int64_t e) {
+          for (int64_t c = b; c < e; ++c) {
+            double acc = 0.0;
+            for (int64_t n = 0; n < d.N; ++n) {
+              const float* p = doutput.data() + (n * d.Cout + c) * planeo;
+              for (int64_t j = 0; j < planeo; ++j) acc += p[j];
+            }
+            grads.dbias.data()[c] = static_cast<float>(acc);
+          }
+        });
+  }
+  return grads;
+}
+
+}  // namespace dsx

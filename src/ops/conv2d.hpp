@@ -1,0 +1,45 @@
+// Standard / grouped / pointwise convolution (im2col + GEMM path).
+//
+// This is the substrate the paper's baselines are built from:
+//   - standard conv:   groups = 1
+//   - group conv (GC): groups = cg
+//   - pointwise (PW):  K = 1, groups = 1
+//   - group PW (GPW):  K = 1, groups = cg
+// Depthwise has its own direct kernels in ops/depthwise.hpp.
+//
+// Weight layout: [Cout, Cin/groups, K, K]; bias: [Cout] (optional).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+struct Conv2dArgs {
+  int64_t stride = 1;
+  int64_t pad = 0;
+  int64_t groups = 1;
+};
+
+/// Validates shapes and returns the output shape for the given input.
+Shape conv2d_output_shape(const Shape& input, const Shape& weight,
+                          const Conv2dArgs& args);
+
+/// Forward pass. `bias` may be null.
+Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, const Conv2dArgs& args);
+
+struct Conv2dGrads {
+  Tensor dinput;   // defined only when requested
+  Tensor dweight;
+  Tensor dbias;    // defined only when has_bias
+};
+
+/// Backward pass for input, weight and (optionally) bias gradients.
+Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& doutput, const Conv2dArgs& args,
+                            bool need_dinput, bool has_bias);
+
+}  // namespace dsx

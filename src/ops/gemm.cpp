@@ -1,0 +1,86 @@
+#include "ops/gemm.hpp"
+
+#include "common/check.hpp"
+#include "device/launch.hpp"
+
+namespace dsx {
+
+namespace {
+
+// Rough per-output-element byte traffic assuming 16-way reuse of the K-panel
+// (a tile-cache assumption; only used by the gpusim cost model, never for
+// correctness).
+device::KernelCosts gemm_costs(int64_t K) {
+  device::KernelCosts costs;
+  costs.flops_per_thread = 2.0 * static_cast<double>(K);
+  costs.bytes_per_thread = 4.0 * (2.0 * static_cast<double>(K) / 16.0 + 2.0);
+  return costs;
+}
+
+}  // namespace
+
+void gemm(bool trans_a, bool trans_b, int64_t M, int64_t N, int64_t K,
+          float alpha, const float* A, int64_t lda, const float* B,
+          int64_t ldb, float beta, float* C, int64_t ldc) {
+  DSX_REQUIRE(M >= 0 && N >= 0 && K >= 0, "gemm: negative dimension");
+  DSX_REQUIRE(A != nullptr && B != nullptr && C != nullptr,
+              "gemm: null operand");
+  if (M == 0 || N == 0) return;
+
+  const auto a_at = [&](int64_t i, int64_t k) -> float {
+    return trans_a ? A[k * lda + i] : A[i * lda + k];
+  };
+
+  device::launch_kernel_chunks_modeled(
+      "gemm", M, M * N, gemm_costs(K), [&](int64_t row_begin, int64_t row_end) {
+        for (int64_t i = row_begin; i < row_end; ++i) {
+          float* c_row = C + i * ldc;
+          if (beta == 0.0f) {
+            for (int64_t j = 0; j < N; ++j) c_row[j] = 0.0f;
+          } else if (beta != 1.0f) {
+            for (int64_t j = 0; j < N; ++j) c_row[j] *= beta;
+          }
+          if (K == 0 || alpha == 0.0f) continue;
+          if (!trans_b) {
+            // i-k-j order: stream rows of B, accumulate into the C row.
+            for (int64_t k = 0; k < K; ++k) {
+              const float a = alpha * a_at(i, k);
+              if (a == 0.0f) continue;
+              const float* b_row = B + k * ldb;
+              for (int64_t j = 0; j < N; ++j) c_row[j] += a * b_row[j];
+            }
+          } else {
+            // B stored [N,K]: dot products along contiguous B rows.
+            for (int64_t j = 0; j < N; ++j) {
+              const float* b_row = B + j * ldb;
+              float acc = 0.0f;
+              if (!trans_a) {
+                const float* a_row = A + i * lda;
+                for (int64_t k = 0; k < K; ++k) acc += a_row[k] * b_row[k];
+              } else {
+                for (int64_t k = 0; k < K; ++k) acc += a_at(i, k) * b_row[k];
+              }
+              c_row[j] += alpha * acc;
+            }
+          }
+        }
+      });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a, bool trans_b) {
+  DSX_REQUIRE(a.shape().rank() == 2 && b.shape().rank() == 2,
+              "matmul needs rank-2 tensors, got " << a.shape().to_string()
+                                                  << " and "
+                                                  << b.shape().to_string());
+  const int64_t M = trans_a ? a.shape().dim(1) : a.shape().dim(0);
+  const int64_t Ka = trans_a ? a.shape().dim(0) : a.shape().dim(1);
+  const int64_t Kb = trans_b ? b.shape().dim(1) : b.shape().dim(0);
+  const int64_t N = trans_b ? b.shape().dim(0) : b.shape().dim(1);
+  DSX_REQUIRE(Ka == Kb, "matmul: inner dimensions " << Ka << " vs " << Kb);
+  Tensor out(Shape{M, N});
+  gemm(trans_a, trans_b, M, N, Ka, 1.0f, a.data(), a.shape().dim(1), b.data(),
+       b.shape().dim(1), 0.0f, out.data(), N);
+  return out;
+}
+
+}  // namespace dsx

@@ -1,0 +1,26 @@
+// General matrix multiply (single precision, row-major).
+//
+// The paper discusses why SCC cannot ride on cuBLAS GEMM (skewed, tiny
+// per-filter matrices) while standard/group/pointwise convolutions can. This
+// GEMM is the substrate those baselines ride on here: a straightforward
+// blocked row-major kernel parallelised over output rows.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+/// C = alpha * op(A) * op(B) + beta * C.
+/// A is stored [M,K] (or [K,M] when trans_a), B is stored [K,N] (or [N,K]
+/// when trans_b), C is [M,N]; ld* are row strides of the stored matrices.
+void gemm(bool trans_a, bool trans_b, int64_t M, int64_t N, int64_t K,
+          float alpha, const float* A, int64_t lda, const float* B,
+          int64_t ldb, float beta, float* C, int64_t ldc);
+
+/// out = op(a) * op(b) for rank-2 tensors.
+Tensor matmul(const Tensor& a, const Tensor& b, bool trans_a = false,
+              bool trans_b = false);
+
+}  // namespace dsx

@@ -1,0 +1,58 @@
+#include "ops/im2col.hpp"
+
+#include "common/check.hpp"
+#include "tensor/shape.hpp"
+
+namespace dsx {
+
+void im2col(const float* in, int64_t C, int64_t H, int64_t W, int64_t K,
+            int64_t stride, int64_t pad, float* col) {
+  const int64_t Ho = conv_out_size(H, K, stride, pad);
+  const int64_t Wo = conv_out_size(W, K, stride, pad);
+  const int64_t planeo = Ho * Wo;
+  for (int64_t c = 0; c < C; ++c) {
+    const float* plane = in + c * H * W;
+    for (int64_t ky = 0; ky < K; ++ky) {
+      for (int64_t kx = 0; kx < K; ++kx) {
+        float* row = col + ((c * K + ky) * K + kx) * planeo;
+        for (int64_t y = 0; y < Ho; ++y) {
+          const int64_t iy = y * stride + ky - pad;
+          if (iy < 0 || iy >= H) {
+            for (int64_t x = 0; x < Wo; ++x) row[y * Wo + x] = 0.0f;
+            continue;
+          }
+          for (int64_t x = 0; x < Wo; ++x) {
+            const int64_t ix = x * stride + kx - pad;
+            row[y * Wo + x] =
+                (ix >= 0 && ix < W) ? plane[iy * W + ix] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im_add(const float* col, int64_t C, int64_t H, int64_t W, int64_t K,
+                int64_t stride, int64_t pad, float* in) {
+  const int64_t Ho = conv_out_size(H, K, stride, pad);
+  const int64_t Wo = conv_out_size(W, K, stride, pad);
+  const int64_t planeo = Ho * Wo;
+  for (int64_t c = 0; c < C; ++c) {
+    float* plane = in + c * H * W;
+    for (int64_t ky = 0; ky < K; ++ky) {
+      for (int64_t kx = 0; kx < K; ++kx) {
+        const float* row = col + ((c * K + ky) * K + kx) * planeo;
+        for (int64_t y = 0; y < Ho; ++y) {
+          const int64_t iy = y * stride + ky - pad;
+          if (iy < 0 || iy >= H) continue;
+          for (int64_t x = 0; x < Wo; ++x) {
+            const int64_t ix = x * stride + kx - pad;
+            if (ix >= 0 && ix < W) plane[iy * W + ix] += row[y * Wo + x];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace dsx

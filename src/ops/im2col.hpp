@@ -1,0 +1,20 @@
+// im2col / col2im lowering for convolution-as-GEMM.
+//
+// Column layout: col[(c*K + ky)*K + kx][y*Wo + x] — channels vary slowest, so
+// a grouped convolution's group g owns the contiguous row block
+// [g*Cg*K*K, (g+1)*Cg*K*K), which is what ops/conv2d.cpp slices.
+#pragma once
+
+#include <cstdint>
+
+namespace dsx {
+
+/// Lowers one image `in` [C,H,W] into `col` [C*K*K, Ho*Wo].
+void im2col(const float* in, int64_t C, int64_t H, int64_t W, int64_t K,
+            int64_t stride, int64_t pad, float* col);
+
+/// Accumulates a column matrix back into one image: in += lift(col).
+void col2im_add(const float* col, int64_t C, int64_t H, int64_t W, int64_t K,
+                int64_t stride, int64_t pad, float* in);
+
+}  // namespace dsx

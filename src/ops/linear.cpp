@@ -1,0 +1,67 @@
+#include "ops/linear.hpp"
+
+#include "common/check.hpp"
+#include "device/launch.hpp"
+#include "ops/gemm.hpp"
+
+namespace dsx {
+
+Tensor linear_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias) {
+  DSX_REQUIRE(input.shape().rank() == 2 && weight.shape().rank() == 2,
+              "linear: input and weight must be rank-2");
+  const int64_t N = input.shape().dim(0);
+  const int64_t in_f = input.shape().dim(1);
+  const int64_t out_f = weight.shape().dim(0);
+  DSX_REQUIRE(weight.shape().dim(1) == in_f,
+              "linear: weight " << weight.shape().to_string()
+                                << " vs input features " << in_f);
+  // out = input [N, in] x weight^T [in, out]
+  Tensor out = matmul(input, weight, false, true);
+  if (bias != nullptr) {
+    DSX_REQUIRE(bias->shape() == Shape{out_f}, "linear: bad bias shape");
+    device::launch_kernel_chunks(
+        "linear_bias", N, {static_cast<double>(out_f), 8.0},
+        [&](int64_t b, int64_t e) {
+          for (int64_t n = b; n < e; ++n) {
+            float* row = out.data() + n * out_f;
+            for (int64_t j = 0; j < out_f; ++j) row[j] += bias->data()[j];
+          }
+        });
+  }
+  return out;
+}
+
+LinearGrads linear_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& doutput, bool need_dinput,
+                            bool has_bias) {
+  const int64_t N = input.shape().dim(0);
+  const int64_t in_f = input.shape().dim(1);
+  const int64_t out_f = weight.shape().dim(0);
+  DSX_REQUIRE(doutput.shape() == (Shape{N, out_f}),
+              "linear_backward: doutput shape "
+                  << doutput.shape().to_string());
+  LinearGrads grads;
+  // dW [out, in] = dY^T [out, N] x X [N, in]
+  grads.dweight = matmul(doutput, input, true, false);
+  if (need_dinput) {
+    // dX [N, in] = dY [N, out] x W [out, in]
+    grads.dinput = matmul(doutput, weight, false, false);
+  }
+  if (has_bias) {
+    grads.dbias = Tensor(Shape{out_f});
+    device::launch_kernel_chunks(
+        "linear_dbias", out_f, {static_cast<double>(N), 8.0},
+        [&](int64_t b, int64_t e) {
+          for (int64_t j = b; j < e; ++j) {
+            double acc = 0.0;
+            for (int64_t n = 0; n < N; ++n) acc += doutput.data()[n * out_f + j];
+            grads.dbias.data()[j] = static_cast<float>(acc);
+          }
+        });
+  }
+  (void)in_f;
+  return grads;
+}
+
+}  // namespace dsx

@@ -1,0 +1,24 @@
+// Fully-connected layer primitives (classifier heads of the CNNs).
+//
+// input: [N, in_features]; weight: [out_features, in_features];
+// bias: [out_features] (optional).
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+Tensor linear_forward(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias);
+
+struct LinearGrads {
+  Tensor dinput;
+  Tensor dweight;
+  Tensor dbias;
+};
+
+LinearGrads linear_backward(const Tensor& input, const Tensor& weight,
+                            const Tensor& doutput, bool need_dinput,
+                            bool has_bias);
+
+}  // namespace dsx

@@ -1,0 +1,193 @@
+#include "ops/pooling.hpp"
+
+#include <limits>
+
+#include "common/check.hpp"
+#include "device/launch.hpp"
+
+namespace dsx {
+
+namespace {
+
+struct PoolDims {
+  int64_t N, C, H, W, Ho, Wo;
+};
+
+PoolDims resolve(const Shape& input, const PoolArgs& args) {
+  DSX_REQUIRE(input.rank() == 4, "pooling: input must be NCHW");
+  PoolDims d;
+  d.N = input.n();
+  d.C = input.c();
+  d.H = input.h();
+  d.W = input.w();
+  d.Ho = conv_out_size(d.H, args.kernel, args.stride, 0);
+  d.Wo = conv_out_size(d.W, args.kernel, args.stride, 0);
+  return d;
+}
+
+}  // namespace
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, const PoolArgs& args) {
+  const PoolDims d = resolve(input.shape(), args);
+  MaxPoolResult res;
+  res.output = Tensor(make_nchw(d.N, d.C, d.Ho, d.Wo));
+  res.argmax.assign(static_cast<size_t>(res.output.numel()), 0);
+  const int64_t plane = d.H * d.W, planeo = d.Ho * d.Wo;
+
+  device::launch_kernel_chunks_modeled(
+      "maxpool_fwd", d.N * d.C, d.N * d.C * planeo,
+      {static_cast<double>(args.kernel * args.kernel), 8.0},
+      [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const float* in_p = input.data() + nc * plane;
+          float* out_p = res.output.data() + nc * planeo;
+          int32_t* am_p = res.argmax.data() + nc * planeo;
+          for (int64_t y = 0; y < d.Ho; ++y) {
+            for (int64_t x = 0; x < d.Wo; ++x) {
+              float best = -std::numeric_limits<float>::infinity();
+              int32_t best_idx = 0;
+              for (int64_t ky = 0; ky < args.kernel; ++ky) {
+                const int64_t iy = y * args.stride + ky;
+                if (iy >= d.H) continue;
+                for (int64_t kx = 0; kx < args.kernel; ++kx) {
+                  const int64_t ix = x * args.stride + kx;
+                  if (ix >= d.W) continue;
+                  const float v = in_p[iy * d.W + ix];
+                  if (v > best) {
+                    best = v;
+                    best_idx = static_cast<int32_t>(iy * d.W + ix);
+                  }
+                }
+              }
+              out_p[y * d.Wo + x] = best;
+              am_p[y * d.Wo + x] = best_idx;
+            }
+          }
+        }
+      });
+  return res;
+}
+
+Tensor maxpool2d_backward(const Tensor& doutput, const MaxPoolResult& cache,
+                          const Shape& input_shape, const PoolArgs& args) {
+  const PoolDims d = resolve(input_shape, args);
+  DSX_REQUIRE(doutput.shape() == make_nchw(d.N, d.C, d.Ho, d.Wo),
+              "maxpool2d_backward: doutput shape");
+  DSX_REQUIRE(cache.argmax.size() == static_cast<size_t>(doutput.numel()),
+              "maxpool2d_backward: stale cache");
+  Tensor din(input_shape);
+  const int64_t plane = d.H * d.W, planeo = d.Ho * d.Wo;
+  device::launch_kernel_chunks(
+      "maxpool_bwd", d.N * d.C, {1.0, 8.0}, [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const float* do_p = doutput.data() + nc * planeo;
+          const int32_t* am_p = cache.argmax.data() + nc * planeo;
+          float* di_p = din.data() + nc * plane;
+          for (int64_t j = 0; j < planeo; ++j) di_p[am_p[j]] += do_p[j];
+        }
+      });
+  return din;
+}
+
+Tensor avgpool2d_forward(const Tensor& input, const PoolArgs& args) {
+  const PoolDims d = resolve(input.shape(), args);
+  Tensor out(make_nchw(d.N, d.C, d.Ho, d.Wo));
+  const int64_t plane = d.H * d.W, planeo = d.Ho * d.Wo;
+  const float inv = 1.0f / static_cast<float>(args.kernel * args.kernel);
+  device::launch_kernel_chunks(
+      "avgpool_fwd", d.N * d.C, {1.0, 8.0}, [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const float* in_p = input.data() + nc * plane;
+          float* out_p = out.data() + nc * planeo;
+          for (int64_t y = 0; y < d.Ho; ++y) {
+            for (int64_t x = 0; x < d.Wo; ++x) {
+              float acc = 0.0f;
+              for (int64_t ky = 0; ky < args.kernel; ++ky) {
+                const int64_t iy = y * args.stride + ky;
+                if (iy >= d.H) continue;
+                for (int64_t kx = 0; kx < args.kernel; ++kx) {
+                  const int64_t ix = x * args.stride + kx;
+                  if (ix >= d.W) continue;
+                  acc += in_p[iy * d.W + ix];
+                }
+              }
+              out_p[y * d.Wo + x] = acc * inv;
+            }
+          }
+        }
+      });
+  return out;
+}
+
+Tensor avgpool2d_backward(const Tensor& doutput, const Shape& input_shape,
+                          const PoolArgs& args) {
+  const PoolDims d = resolve(input_shape, args);
+  DSX_REQUIRE(doutput.shape() == make_nchw(d.N, d.C, d.Ho, d.Wo),
+              "avgpool2d_backward: doutput shape");
+  Tensor din(input_shape);
+  const int64_t plane = d.H * d.W, planeo = d.Ho * d.Wo;
+  const float inv = 1.0f / static_cast<float>(args.kernel * args.kernel);
+  device::launch_kernel_chunks(
+      "avgpool_bwd", d.N * d.C, {1.0, 8.0}, [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const float* do_p = doutput.data() + nc * planeo;
+          float* di_p = din.data() + nc * plane;
+          for (int64_t y = 0; y < d.Ho; ++y) {
+            for (int64_t x = 0; x < d.Wo; ++x) {
+              const float g = do_p[y * d.Wo + x] * inv;
+              for (int64_t ky = 0; ky < args.kernel; ++ky) {
+                const int64_t iy = y * args.stride + ky;
+                if (iy >= d.H) continue;
+                for (int64_t kx = 0; kx < args.kernel; ++kx) {
+                  const int64_t ix = x * args.stride + kx;
+                  if (ix >= d.W) continue;
+                  di_p[iy * d.W + ix] += g;
+                }
+              }
+            }
+          }
+        }
+      });
+  return din;
+}
+
+Tensor global_avgpool_forward(const Tensor& input) {
+  DSX_REQUIRE(input.shape().rank() == 4, "global_avgpool: input must be NCHW");
+  const int64_t N = input.shape().n(), C = input.shape().c();
+  const int64_t plane = input.shape().h() * input.shape().w();
+  Tensor out(make_nchw(N, C, 1, 1));
+  const float inv = 1.0f / static_cast<float>(plane);
+  device::launch_kernel_chunks(
+      "gap_fwd", N * C, {static_cast<double>(plane), 4.0 * plane},
+      [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const float* p = input.data() + nc * plane;
+          double acc = 0.0;
+          for (int64_t j = 0; j < plane; ++j) acc += p[j];
+          out.data()[nc] = static_cast<float>(acc) * inv;
+        }
+      });
+  return out;
+}
+
+Tensor global_avgpool_backward(const Tensor& doutput,
+                               const Shape& input_shape) {
+  DSX_REQUIRE(input_shape.rank() == 4, "global_avgpool: input must be NCHW");
+  const int64_t N = input_shape.n(), C = input_shape.c();
+  const int64_t plane = input_shape.h() * input_shape.w();
+  DSX_REQUIRE(doutput.shape() == make_nchw(N, C, 1, 1),
+              "global_avgpool_backward: doutput shape");
+  Tensor din(input_shape);
+  const float inv = 1.0f / static_cast<float>(plane);
+  device::launch_kernel_chunks(
+      "gap_bwd", N * C, {1.0, 4.0 * plane}, [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const float g = doutput.data()[nc] * inv;
+          float* p = din.data() + nc * plane;
+          for (int64_t j = 0; j < plane; ++j) p[j] = g;
+        }
+      });
+  return din;
+}
+
+}  // namespace dsx

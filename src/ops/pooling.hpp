@@ -1,0 +1,35 @@
+// Spatial pooling (max / average / global average).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+struct PoolArgs {
+  int64_t kernel = 2;
+  int64_t stride = 2;
+};
+
+/// Max pooling; `argmax` (flat input-plane index per output element) is kept
+/// for the backward pass.
+struct MaxPoolResult {
+  Tensor output;
+  std::vector<int32_t> argmax;  // size = output.numel()
+};
+
+MaxPoolResult maxpool2d_forward(const Tensor& input, const PoolArgs& args);
+Tensor maxpool2d_backward(const Tensor& doutput, const MaxPoolResult& cache,
+                          const Shape& input_shape, const PoolArgs& args);
+
+Tensor avgpool2d_forward(const Tensor& input, const PoolArgs& args);
+Tensor avgpool2d_backward(const Tensor& doutput, const Shape& input_shape,
+                          const PoolArgs& args);
+
+/// Pools each channel plane to a single value: [N,C,H,W] -> [N,C,1,1].
+Tensor global_avgpool_forward(const Tensor& input);
+Tensor global_avgpool_backward(const Tensor& doutput, const Shape& input_shape);
+
+}  // namespace dsx

@@ -1,0 +1,130 @@
+#include "ops/shift.hpp"
+
+#include "common/check.hpp"
+#include "device/launch.hpp"
+
+namespace dsx {
+
+namespace {
+
+void validate(const Shape& input, const std::vector<ShiftOffset>& shifts,
+              int64_t stride) {
+  DSX_REQUIRE(input.rank() == 4, "shift: input must be NCHW, got "
+                                     << input.to_string());
+  DSX_REQUIRE(stride >= 1, "shift: stride must be >= 1, got " << stride);
+  DSX_REQUIRE(static_cast<int64_t>(shifts.size()) == input.c(),
+              "shift: " << shifts.size() << " offsets for " << input.c()
+                        << " channels");
+}
+
+}  // namespace
+
+std::vector<ShiftOffset> make_uniform_shifts(int64_t channels, int64_t kernel) {
+  DSX_REQUIRE(channels >= 1, "make_uniform_shifts: non-positive channels");
+  DSX_REQUIRE(kernel >= 1 && kernel % 2 == 1,
+              "make_uniform_shifts: kernel must be odd, got " << kernel);
+  const int64_t r = kernel / 2;
+  std::vector<ShiftOffset> neighbourhood;
+  neighbourhood.reserve(static_cast<size_t>(kernel * kernel));
+  for (int64_t dy = -r; dy <= r; ++dy) {
+    for (int64_t dx = -r; dx <= r; ++dx) {
+      neighbourhood.push_back({dy, dx});
+    }
+  }
+  std::vector<ShiftOffset> shifts(static_cast<size_t>(channels));
+  for (int64_t c = 0; c < channels; ++c) {
+    shifts[static_cast<size_t>(c)] =
+        neighbourhood[static_cast<size_t>(c % (kernel * kernel))];
+  }
+  return shifts;
+}
+
+Shape shift_output_shape(const Shape& input, int64_t stride) {
+  DSX_REQUIRE(input.rank() == 4, "shift: input must be NCHW");
+  DSX_REQUIRE(stride >= 1, "shift: stride must be >= 1");
+  return make_nchw(input.n(), input.c(), (input.h() - 1) / stride + 1,
+                   (input.w() - 1) / stride + 1);
+}
+
+Tensor shift_forward(const Tensor& input, const std::vector<ShiftOffset>& shifts,
+                     int64_t stride) {
+  validate(input.shape(), shifts, stride);
+  const Shape out_shape = shift_output_shape(input.shape(), stride);
+  const int64_t N = input.shape().n(), C = input.shape().c();
+  const int64_t H = input.shape().h(), W = input.shape().w();
+  const int64_t Ho = out_shape.h(), Wo = out_shape.w();
+  Tensor out(out_shape);
+
+  // One GPU-model thread per output pixel; zero FLOPs, one read + one write.
+  device::launch_kernel_chunks_modeled(
+      "shift_forward", N * C, N * C * Ho * Wo, {0.0, 8.0},
+      [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const int64_t c = nc % C;
+          const ShiftOffset s = shifts[static_cast<size_t>(c)];
+          const float* x = input.data() + nc * H * W;
+          float* y = out.data() + nc * Ho * Wo;
+          for (int64_t oy = 0; oy < Ho; ++oy) {
+            const int64_t iy = oy * stride + s.dy;
+            float* row = y + oy * Wo;
+            if (iy < 0 || iy >= H) {
+              for (int64_t ox = 0; ox < Wo; ++ox) row[ox] = 0.0f;
+              continue;
+            }
+            const float* xrow = x + iy * W;
+            for (int64_t ox = 0; ox < Wo; ++ox) {
+              const int64_t ix = ox * stride + s.dx;
+              row[ox] = (ix >= 0 && ix < W) ? xrow[ix] : 0.0f;
+            }
+          }
+        }
+      });
+  return out;
+}
+
+Tensor shift_backward(const Shape& input_shape,
+                      const std::vector<ShiftOffset>& shifts,
+                      const Tensor& doutput, int64_t stride) {
+  validate(input_shape, shifts, stride);
+  const Shape out_shape = shift_output_shape(input_shape, stride);
+  DSX_REQUIRE(doutput.shape() == out_shape,
+              "shift backward: doutput " << doutput.shape().to_string()
+                                         << " expected "
+                                         << out_shape.to_string());
+  const int64_t N = input_shape.n(), C = input_shape.c();
+  const int64_t H = input_shape.h(), W = input_shape.w();
+  const int64_t Ho = out_shape.h(), Wo = out_shape.w();
+  Tensor dinput(input_shape);
+
+  // Input-centric gather: input pixel (iy, ix) was read by output pixel
+  // ((iy-dy)/stride, (ix-dx)/stride) when that division is exact and in
+  // range - at most one reader, so writes never collide.
+  device::launch_kernel_chunks_modeled(
+      "shift_backward", N * C, N * C * H * W, {0.0, 8.0},
+      [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const int64_t c = nc % C;
+          const ShiftOffset s = shifts[static_cast<size_t>(c)];
+          const float* dy = doutput.data() + nc * Ho * Wo;
+          float* dx = dinput.data() + nc * H * W;
+          for (int64_t iy = 0; iy < H; ++iy) {
+            float* drow = dx + iy * W;
+            const int64_t ny = iy - s.dy;
+            const bool row_ok = ny >= 0 && ny % stride == 0 && ny / stride < Ho;
+            if (!row_ok) {
+              for (int64_t ix = 0; ix < W; ++ix) drow[ix] = 0.0f;
+              continue;
+            }
+            const float* dyrow = dy + (ny / stride) * Wo;
+            for (int64_t ix = 0; ix < W; ++ix) {
+              const int64_t nx = ix - s.dx;
+              const bool ok = nx >= 0 && nx % stride == 0 && nx / stride < Wo;
+              drow[ix] = ok ? dyrow[nx / stride] : 0.0f;
+            }
+          }
+        }
+      });
+  return dinput;
+}
+
+}  // namespace dsx

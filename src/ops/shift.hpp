@@ -1,0 +1,50 @@
+// Shift convolution (Wu et al., "Shift: A Zero FLOP, Zero Parameter
+// Alternative to Spatial Convolutions", CVPR'18 - the paper's reference [10]).
+//
+// Shift replaces the depthwise spatial stage of a separable block: every
+// channel is displaced by one fixed integer offset drawn from the KxK
+// neighbourhood, so the spatial stage costs zero multiplies and zero
+// parameters. DSXplore's §II names it as the specialised spatial-fusion
+// sibling of its own channel-fusion contribution; we implement it so
+// Shift+SCC blocks can be composed and ablated against DW+SCC.
+//
+// Semantics: shift is exactly depthwise convolution with a one-hot KxK
+// kernel and 'same' (K/2) zero padding - out-of-range reads are zero. That
+// equivalence is property-tested against ops/depthwise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+/// Per-channel spatial displacement: output (y, x) reads input
+/// (y*stride + dy, x*stride + dx); out-of-range reads produce zero.
+struct ShiftOffset {
+  int64_t dy = 0;
+  int64_t dx = 0;
+};
+
+/// The canonical offset assignment: the K*K displacements of an odd KxK
+/// neighbourhood (dy, dx in [-K/2, K/2], row-major), dealt round-robin
+/// across channels so every displacement is used floor/ceil(C/K^2) times.
+std::vector<ShiftOffset> make_uniform_shifts(int64_t channels, int64_t kernel);
+
+/// Output shape of a shift with the given stride ('same' spatial semantics:
+/// Ho = (H-1)/stride + 1, like a strided 1x1 convolution).
+Shape shift_output_shape(const Shape& input, int64_t stride);
+
+/// Forward pass: one displacement per channel, `shifts.size() == C`.
+Tensor shift_forward(const Tensor& input, const std::vector<ShiftOffset>& shifts,
+                     int64_t stride);
+
+/// Backward pass (input gradient only - shift has no parameters). Gather
+/// formulation: each input pixel pulls from the unique output pixel that
+/// read it, so the kernel is race-free with zero atomics.
+Tensor shift_backward(const Shape& input_shape,
+                      const std::vector<ShiftOffset>& shifts,
+                      const Tensor& doutput, int64_t stride);
+
+}  // namespace dsx

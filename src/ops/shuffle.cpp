@@ -1,0 +1,63 @@
+#include "ops/shuffle.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+#include "device/launch.hpp"
+
+namespace dsx {
+
+namespace {
+
+void validate(const Shape& input, int64_t groups) {
+  DSX_REQUIRE(input.rank() == 4,
+              "channel_shuffle: input must be NCHW, got " << input.to_string());
+  DSX_REQUIRE(groups >= 1, "channel_shuffle: groups must be >= 1");
+  DSX_REQUIRE(input.c() % groups == 0, "channel_shuffle: groups "
+                                           << groups << " must divide C = "
+                                           << input.c());
+}
+
+Tensor permute_planes(const Tensor& input, int64_t groups) {
+  const int64_t N = input.shape().n(), C = input.shape().c();
+  const int64_t plane = input.shape().h() * input.shape().w();
+  Tensor out(input.shape());
+  device::launch_kernel_chunks_modeled(
+      "channel_shuffle", N * C, N * C * plane, {0.0, 8.0},
+      [&](int64_t b, int64_t e) {
+        for (int64_t nc = b; nc < e; ++nc) {
+          const int64_t n = nc / C, c = nc % C;
+          const int64_t dst = shuffle_destination(c, C, groups);
+          std::memcpy(out.data() + (n * C + dst) * plane,
+                      input.data() + nc * plane,
+                      static_cast<size_t>(plane) * sizeof(float));
+        }
+      });
+  return out;
+}
+
+}  // namespace
+
+int64_t shuffle_destination(int64_t c, int64_t channels, int64_t groups) {
+  DSX_REQUIRE(groups >= 1 && channels % groups == 0,
+              "shuffle_destination: groups " << groups << " must divide C = "
+                                             << channels);
+  DSX_REQUIRE(c >= 0 && c < channels,
+              "shuffle_destination: channel " << c << " out of range");
+  const int64_t per_group = channels / groups;
+  const int64_t g = c / per_group, j = c % per_group;
+  return j * groups + g;
+}
+
+Tensor channel_shuffle_forward(const Tensor& input, int64_t groups) {
+  validate(input.shape(), groups);
+  return permute_planes(input, groups);
+}
+
+Tensor channel_shuffle_backward(const Tensor& doutput, int64_t groups) {
+  validate(doutput.shape(), groups);
+  // Transposing a [g, C/g] view is undone by transposing the [C/g, g] view.
+  return permute_planes(doutput, doutput.shape().c() / groups);
+}
+
+}  // namespace dsx

@@ -1,0 +1,31 @@
+// Channel shuffle (Zhang et al., ShuffleNet, CVPR'18 - the paper's reference
+// [9], where GPW originates).
+//
+// ShuffleNet's answer to the information-segregation problem of grouped
+// pointwise convolutions is a fixed channel permutation between GPW stages;
+// DSXplore's answer is window overlap inside the convolution itself (SCC).
+// Implementing shuffle lets the repo ablate the two cross-channel mixing
+// mechanisms head-to-head (bench/ablation_crosschannel).
+//
+// The permutation is the standard "transpose" shuffle: viewing the C
+// channels as a [groups, C/groups] matrix, shuffle writes its transpose,
+// so channel g*(C/groups)+j moves to position j*groups+g. The inverse of a
+// shuffle with `groups` is a shuffle with `C/groups` (property-tested).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+/// Destination channel of source channel `c` under a shuffle with `groups`.
+int64_t shuffle_destination(int64_t c, int64_t channels, int64_t groups);
+
+/// Forward pass: permutes channel planes, spatial content untouched.
+Tensor channel_shuffle_forward(const Tensor& input, int64_t groups);
+
+/// Backward pass: the inverse permutation (= forward with C/groups groups).
+Tensor channel_shuffle_backward(const Tensor& doutput, int64_t groups);
+
+}  // namespace dsx

@@ -1,0 +1,23 @@
+// Softmax + cross-entropy loss (fused, numerically stable).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+/// Row-wise softmax of logits [N, K].
+Tensor softmax(const Tensor& logits);
+
+struct XentResult {
+  double loss = 0.0;   // mean over the batch
+  Tensor dlogits;      // gradient wrt logits (already divided by N)
+};
+
+/// Mean cross-entropy of logits [N, K] against integer labels (size N).
+XentResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int32_t> labels);
+
+}  // namespace dsx

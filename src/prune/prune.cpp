@@ -1,0 +1,215 @@
+#include "prune/prune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace dsx::prune {
+
+namespace {
+
+/// Decayable params are the weights; biases / BN affine set decay = false.
+std::vector<nn::Param*> weight_params(const std::vector<nn::Param*>& params) {
+  std::vector<nn::Param*> out;
+  for (nn::Param* p : params) {
+    if (p != nullptr && p->decay && p->value.defined()) out.push_back(p);
+  }
+  return out;
+}
+
+void check_fraction(double fraction, const char* what) {
+  DSX_REQUIRE(fraction >= 0.0 && fraction < 1.0,
+              what << " must be in [0, 1), got " << fraction);
+}
+
+}  // namespace
+
+int64_t Mask::kept() const {
+  int64_t count = 0;
+  for (int64_t i = 0; i < keep.numel(); ++i) count += keep[i] != 0.0f;
+  return count;
+}
+
+double Mask::sparsity() const {
+  if (total() == 0) return 0.0;
+  return 1.0 - static_cast<double>(kept()) / static_cast<double>(total());
+}
+
+Mask magnitude_mask(const Tensor& value, double sparsity) {
+  DSX_REQUIRE(value.defined(), "magnitude_mask: undefined tensor");
+  check_fraction(sparsity, "magnitude_mask: sparsity");
+  const int64_t n = value.numel();
+  const auto to_zero =
+      static_cast<int64_t>(std::floor(sparsity * static_cast<double>(n)));
+  Mask m{Tensor(value.shape(), 1.0f)};
+  if (to_zero == 0) return m;
+
+  // Order indices by (|w|, index): the zeroed count is exact even with ties.
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (to_zero - 1), order.end(),
+                   [&](int64_t a, int64_t b) {
+                     const float ma = std::abs(value[a]);
+                     const float mb = std::abs(value[b]);
+                     return ma != mb ? ma < mb : a < b;
+                   });
+  for (int64_t i = 0; i < to_zero; ++i) {
+    m.keep[order[static_cast<size_t>(i)]] = 0.0f;
+  }
+  return m;
+}
+
+Mask filter_mask(const Tensor& value, double fraction) {
+  DSX_REQUIRE(value.defined() && value.shape().rank() >= 2,
+              "filter_mask: weight must have rank >= 2, got "
+                  << value.shape().to_string());
+  check_fraction(fraction, "filter_mask: fraction");
+  const int64_t filters = value.shape().dim(0);
+  const int64_t fsize = value.numel() / filters;
+  const auto to_zero = static_cast<int64_t>(
+      std::floor(fraction * static_cast<double>(filters)));
+  Mask m{Tensor(value.shape(), 1.0f)};
+  if (to_zero == 0) return m;
+
+  std::vector<double> norms(static_cast<size_t>(filters));
+  for (int64_t f = 0; f < filters; ++f) {
+    double acc = 0.0;
+    for (int64_t i = 0; i < fsize; ++i) {
+      const float w = value[f * fsize + i];
+      acc += static_cast<double>(w) * w;
+    }
+    norms[static_cast<size_t>(f)] = acc;
+  }
+  std::vector<int64_t> order(static_cast<size_t>(filters));
+  std::iota(order.begin(), order.end(), 0);
+  std::nth_element(order.begin(), order.begin() + (to_zero - 1), order.end(),
+                   [&](int64_t a, int64_t b) {
+                     const double na = norms[static_cast<size_t>(a)];
+                     const double nb = norms[static_cast<size_t>(b)];
+                     return na != nb ? na < nb : a < b;
+                   });
+  for (int64_t i = 0; i < to_zero; ++i) {
+    const int64_t f = order[static_cast<size_t>(i)];
+    for (int64_t j = 0; j < fsize; ++j) m.keep[f * fsize + j] = 0.0f;
+  }
+  return m;
+}
+
+std::vector<Mask> global_magnitude_masks(
+    const std::vector<nn::Param*>& params, double sparsity) {
+  check_fraction(sparsity, "global_magnitude_masks: sparsity");
+  int64_t total = 0;
+  for (const nn::Param* p : params) {
+    DSX_REQUIRE(p != nullptr && p->value.defined(),
+                "global_magnitude_masks: null/undefined param");
+    total += p->value.numel();
+  }
+  std::vector<Mask> masks;
+  masks.reserve(params.size());
+  for (const nn::Param* p : params) {
+    masks.push_back({Tensor(p->value.shape(), 1.0f)});
+  }
+  const auto to_zero =
+      static_cast<int64_t>(std::floor(sparsity * static_cast<double>(total)));
+  if (to_zero == 0) return masks;
+
+  // (|w|, param, offset) triples; one global nth_element.
+  struct Entry {
+    float mag;
+    int32_t param;
+    int64_t offset;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(total));
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    const Tensor& v = params[pi]->value;
+    for (int64_t i = 0; i < v.numel(); ++i) {
+      entries.push_back({std::abs(v[i]), static_cast<int32_t>(pi), i});
+    }
+  }
+  std::nth_element(entries.begin(), entries.begin() + (to_zero - 1),
+                   entries.end(), [](const Entry& a, const Entry& b) {
+                     if (a.mag != b.mag) return a.mag < b.mag;
+                     if (a.param != b.param) return a.param < b.param;
+                     return a.offset < b.offset;
+                   });
+  for (int64_t i = 0; i < to_zero; ++i) {
+    const Entry& e = entries[static_cast<size_t>(i)];
+    masks[static_cast<size_t>(e.param)].keep[e.offset] = 0.0f;
+  }
+  return masks;
+}
+
+void apply_mask(nn::Param& param, const Mask& mask) {
+  DSX_REQUIRE(param.value.shape() == mask.keep.shape(),
+              "apply_mask: mask shape " << mask.keep.shape().to_string()
+                                        << " vs param "
+                                        << param.value.shape().to_string());
+  for (int64_t i = 0; i < param.value.numel(); ++i) {
+    param.value[i] *= mask.keep[i];
+  }
+}
+
+double measured_sparsity(const Tensor& t) {
+  DSX_REQUIRE(t.defined() && t.numel() > 0, "measured_sparsity: empty tensor");
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < t.numel(); ++i) zeros += t[i] == 0.0f;
+  return static_cast<double>(zeros) / static_cast<double>(t.numel());
+}
+
+Pruner::Pruner(std::vector<nn::Param*> params, std::vector<Mask> masks)
+    : params_(std::move(params)), masks_(std::move(masks)) {
+  reapply();
+}
+
+Pruner Pruner::magnitude(const std::vector<nn::Param*>& params,
+                         double sparsity) {
+  auto weights = weight_params(params);
+  std::vector<Mask> masks;
+  masks.reserve(weights.size());
+  for (nn::Param* p : weights) {
+    masks.push_back(magnitude_mask(p->value, sparsity));
+  }
+  return Pruner(std::move(weights), std::move(masks));
+}
+
+Pruner Pruner::global_magnitude(const std::vector<nn::Param*>& params,
+                                double sparsity) {
+  auto weights = weight_params(params);
+  auto masks = global_magnitude_masks(weights, sparsity);
+  return Pruner(std::move(weights), std::move(masks));
+}
+
+Pruner Pruner::structured(const std::vector<nn::Param*>& params,
+                          double fraction) {
+  std::vector<nn::Param*> filtered;
+  for (nn::Param* p : weight_params(params)) {
+    if (p->value.shape().rank() >= 2) filtered.push_back(p);
+  }
+  std::vector<Mask> masks;
+  masks.reserve(filtered.size());
+  for (nn::Param* p : filtered) {
+    masks.push_back(filter_mask(p->value, fraction));
+  }
+  return Pruner(std::move(filtered), std::move(masks));
+}
+
+void Pruner::reapply() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    apply_mask(*params_[i], masks_[i]);
+  }
+}
+
+double Pruner::overall_sparsity() const {
+  int64_t total = 0, kept = 0;
+  for (const Mask& m : masks_) {
+    total += m.total();
+    kept += m.kept();
+  }
+  if (total == 0) return 0.0;
+  return 1.0 - static_cast<double>(kept) / static_cast<double>(total);
+}
+
+}  // namespace dsx::prune

@@ -1,0 +1,87 @@
+// Magnitude pruning on top of factorized kernels.
+//
+// The paper's §II-C positions sparse convolution / pruning as orthogonal to
+// kernel factorization and names "factorized kernel + pruning" a promising
+// direction; this module realises that composition. Two granularities,
+// matching the paper's taxonomy:
+//   * non-structured - per-weight magnitude masks (maximal reduction, no
+//     layout regularity), per-tensor or with one global threshold;
+//   * structured     - whole-filter masks (rows of weight dim 0), which keep
+//     the computation regular on real hardware.
+// Masks are binary float tensors applied multiplicatively; `Pruner` keeps
+// them applied across finetuning steps (the standard prune -> mask ->
+// retrain recipe), since an SGD step with momentum would otherwise
+// resurrect pruned weights.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/param.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dsx::prune {
+
+/// Binary keep-mask over one parameter tensor (1 = keep, 0 = pruned).
+struct Mask {
+  Tensor keep;
+
+  int64_t total() const { return keep.numel(); }
+  int64_t kept() const;
+  /// Fraction of weights zeroed by this mask.
+  double sparsity() const;
+};
+
+/// Non-structured: zeroes exactly floor(sparsity * numel) weights of the
+/// smallest magnitude (ties broken by index, so the count is exact).
+/// Requires 0 <= sparsity < 1.
+Mask magnitude_mask(const Tensor& value, double sparsity);
+
+/// Structured: zeroes the floor(fraction * filters) rows of dim 0 with the
+/// smallest L2 norm - whole-filter pruning.
+Mask filter_mask(const Tensor& value, double fraction);
+
+/// One magnitude threshold across all params (the global-budget variant:
+/// layers with small weights absorb more of the sparsity). Returns one mask
+/// per param, in order.
+std::vector<Mask> global_magnitude_masks(
+    const std::vector<nn::Param*>& params, double sparsity);
+
+/// value *= keep (idempotent).
+void apply_mask(nn::Param& param, const Mask& mask);
+
+/// Fraction of exactly-zero entries.
+double measured_sparsity(const Tensor& t);
+
+/// Holds masks over a model's weight parameters and re-applies them after
+/// every optimizer step during finetuning.
+class Pruner {
+ public:
+  /// Per-tensor magnitude pruning of every decayable param (weights; biases
+  /// and BN affine params are left dense).
+  static Pruner magnitude(const std::vector<nn::Param*>& params,
+                          double sparsity);
+  /// One global threshold over all decayable params.
+  static Pruner global_magnitude(const std::vector<nn::Param*>& params,
+                                 double sparsity);
+  /// Whole-filter pruning of decayable params with rank >= 2.
+  static Pruner structured(const std::vector<nn::Param*>& params,
+                           double fraction);
+
+  /// Re-zeroes the pruned weights (call after each optimizer step).
+  void reapply();
+
+  /// Zero fraction across all masked parameters.
+  double overall_sparsity() const;
+
+  size_t masked_params() const { return params_.size(); }
+  const std::vector<Mask>& masks() const { return masks_; }
+
+ private:
+  Pruner(std::vector<nn::Param*> params, std::vector<Mask> masks);
+
+  std::vector<nn::Param*> params_;
+  std::vector<Mask> masks_;
+};
+
+}  // namespace dsx::prune

@@ -1,0 +1,113 @@
+#include "quant/qscc.hpp"
+
+#include "common/check.hpp"
+#include "device/launch.hpp"
+
+namespace dsx::quant {
+
+Tensor qscc_forward(const QuantizedTensor& input,
+                    const QuantizedFilterBank& weight, const Tensor* bias,
+                    const scc::ChannelWindowMap& map) {
+  const scc::SCCConfig& cfg = map.config();
+  DSX_REQUIRE(input.shape.rank() == 4 && input.shape.c() == cfg.in_channels,
+              "qscc: input " << input.shape.to_string() << " vs Cin "
+                             << cfg.in_channels);
+  DSX_REQUIRE(weight.shape == (Shape{cfg.out_channels, map.group_width()}),
+              "qscc: weight bank shape " << weight.shape.to_string());
+  if (bias != nullptr) {
+    DSX_REQUIRE(bias->shape() == (Shape{cfg.out_channels}),
+                "qscc: bias shape " << bias->shape().to_string());
+  }
+  const int64_t N = input.shape.n(), Cin = input.shape.c();
+  const int64_t H = input.shape.h(), W = input.shape.w();
+  const int64_t s = cfg.stride;
+  const int64_t Ho = (H - 1) / s + 1, Wo = (W - 1) / s + 1;
+  const int64_t Cout = cfg.out_channels, gw = map.group_width();
+  Tensor out(make_nchw(N, Cout, Ho, Wo));
+
+  device::launch_kernel_chunks_modeled(
+      "qscc_forward", N * Cout, N * Cout * Ho * Wo,
+      {2.0 * static_cast<double>(gw), 1.0 * (static_cast<double>(gw) + 2.0)},
+      [&](int64_t b, int64_t e) {
+        for (int64_t nf = b; nf < e; ++nf) {
+          const int64_t n = nf / Cout;
+          const int64_t f = nf % Cout;
+          const scc::ChannelWindow win = map.window(f);
+          const float deq =
+              input.scale * weight.scales[static_cast<size_t>(f)];
+          const float bf = bias != nullptr ? bias->data()[f] : 0.0f;
+          const int8_t* wrow = weight.data.data() + f * gw;
+          float* y = out.data() + nf * Ho * Wo;
+          for (int64_t oy = 0; oy < Ho; ++oy) {
+            for (int64_t ox = 0; ox < Wo; ++ox) {
+              int32_t acc = 0;
+              for (int64_t k = 0; k < gw; ++k) {
+                const int64_t ic = (win.start + k) % Cin;
+                const int8_t xv =
+                    input.data[static_cast<size_t>(((n * Cin + ic) * H +
+                                                    oy * s) *
+                                                       W +
+                                                   ox * s)];
+                acc += static_cast<int32_t>(xv) * static_cast<int32_t>(wrow[k]);
+              }
+              y[oy * Wo + ox] = static_cast<float>(acc) * deq + bf;
+            }
+          }
+        }
+      });
+  return out;
+}
+
+Tensor qpointwise_forward(const QuantizedTensor& input,
+                          const QuantizedFilterBank& weight, const Tensor* bias,
+                          int64_t groups) {
+  DSX_REQUIRE(input.shape.rank() == 4, "qpointwise: input must be NCHW");
+  const int64_t N = input.shape.n(), Cin = input.shape.c();
+  const int64_t H = input.shape.h(), W = input.shape.w();
+  const int64_t Cout = weight.filters();
+  DSX_REQUIRE(groups >= 1 && Cin % groups == 0 && Cout % groups == 0,
+              "qpointwise: groups " << groups << " incompatible with " << Cin
+                                    << "->" << Cout);
+  const int64_t cin_g = Cin / groups, cout_g = Cout / groups;
+  DSX_REQUIRE(weight.filter_size() == cin_g,
+              "qpointwise: filter size " << weight.filter_size()
+                                         << " expected " << cin_g);
+  if (bias != nullptr) {
+    DSX_REQUIRE(bias->shape() == (Shape{Cout}),
+                "qpointwise: bias shape " << bias->shape().to_string());
+  }
+  Tensor out(make_nchw(N, Cout, H, W));
+  const int64_t plane = H * W;
+
+  device::launch_kernel_chunks_modeled(
+      "qpointwise_forward", N * Cout, N * Cout * plane,
+      {2.0 * static_cast<double>(cin_g),
+       1.0 * (static_cast<double>(cin_g) + 2.0)},
+      [&](int64_t b, int64_t e) {
+        for (int64_t nf = b; nf < e; ++nf) {
+          const int64_t n = nf / Cout;
+          const int64_t f = nf % Cout;
+          const int64_t g = f / cout_g;
+          const float deq =
+              input.scale * weight.scales[static_cast<size_t>(f)];
+          const float bf = bias != nullptr ? bias->data()[f] : 0.0f;
+          const int8_t* wrow = weight.data.data() + f * cin_g;
+          float* y = out.data() + nf * plane;
+          for (int64_t j = 0; j < plane; ++j) {
+            int32_t acc = 0;
+            for (int64_t k = 0; k < cin_g; ++k) {
+              const int64_t ic = g * cin_g + k;
+              acc += static_cast<int32_t>(
+                         input.data[static_cast<size_t>((n * Cin + ic) *
+                                                            plane +
+                                                        j)]) *
+                     static_cast<int32_t>(wrow[k]);
+            }
+            y[j] = static_cast<float>(acc) * deq + bf;
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace dsx::quant

@@ -1,0 +1,28 @@
+// Quantized (int8) SCC and pointwise forward kernels.
+//
+// Inference-only: int8 activations x int8 weights accumulated in int32, then
+// dequantized with scale_in * scale_w[filter] and biased in float. The thread
+// mapping mirrors the float output-centric forward (one GPU-model thread per
+// output pixel over the cyclic channel window), so the quantized path
+// inherits the same parallel structure the paper designed.
+#pragma once
+
+#include "core/channel_map.hpp"
+#include "quant/quantize.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dsx::quant {
+
+/// Quantized sliding-channel convolution forward. `bias` (optional) is float,
+/// applied after dequantization. Weight bank shape must be [Cout, gw].
+Tensor qscc_forward(const QuantizedTensor& input,
+                    const QuantizedFilterBank& weight, const Tensor* bias,
+                    const scc::ChannelWindowMap& map);
+
+/// Quantized pointwise / grouped-pointwise forward (K = 1). Weight bank
+/// shape must be [Cout, Cin/groups, 1, 1] or [Cout, Cin/groups].
+Tensor qpointwise_forward(const QuantizedTensor& input,
+                          const QuantizedFilterBank& weight, const Tensor* bias,
+                          int64_t groups);
+
+}  // namespace dsx::quant

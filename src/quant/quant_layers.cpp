@@ -1,0 +1,81 @@
+#include "quant/quant_layers.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/cost_model.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::quant {
+
+QuantSCCConv::QuantSCCConv(nn::SCCConv& source, float input_scale)
+    : cfg_(source.map().config()),
+      map_(cfg_),
+      input_scale_(input_scale),
+      qweight_(quantize_per_filter(source.weight_param().value)),
+      has_bias_(source.bias_param() != nullptr) {
+  DSX_REQUIRE(input_scale >= 0.0f, "QuantSCCConv: negative input scale");
+  if (has_bias_) bias_ = source.bias_param()->value.clone();
+}
+
+Tensor QuantSCCConv::forward(const Tensor& input, bool training) {
+  DSX_REQUIRE(!training, "QuantSCCConv is inference-only (training forward "
+                         "requested)");
+  const QuantizedTensor qin = quantize_with_scale(input, input_scale_);
+  return qscc_forward(qin, qweight_, has_bias_ ? &bias_ : nullptr, map_);
+}
+
+Tensor QuantSCCConv::backward(const Tensor& doutput) {
+  (void)doutput;
+  DSX_REQUIRE(false, "QuantSCCConv has no backward pass (inference-only)");
+  return {};
+}
+
+Shape QuantSCCConv::output_shape(const Shape& input) const {
+  return scc::scc_output_shape(input, map_);
+}
+
+scc::LayerCost QuantSCCConv::cost(const Shape& input) const {
+  // Same MAC count as the float layer; the saving is bytes, not MACs.
+  return scc::scc_cost(cfg_, input.h(), input.w(), has_bias_);
+}
+
+std::string QuantSCCConv::name() const {
+  std::ostringstream os;
+  os << "QuantSCCConv(" << cfg_.in_channels << "->" << cfg_.out_channels
+     << ", cg" << cfg_.groups << ", co" << cfg_.overlap * 100 << "%)";
+  return os.str();
+}
+
+QuantizeReport quantize_scc_layers(nn::Sequential& model,
+                                   const Tensor& calibration,
+                                   const CalibrationOptions& options) {
+  DSX_REQUIRE(calibration.defined() && calibration.shape().rank() == 4,
+              "quantize_scc_layers: calibration batch must be NCHW");
+  // Calibration pass: record every top-level SCC layer's input range.
+  std::vector<std::pair<size_t, float>> scc_scales;
+  Tensor x = calibration;
+  for (size_t i = 0; i < model.size(); ++i) {
+    if (dynamic_cast<nn::SCCConv*>(&model.layer(i)) != nullptr) {
+      scc_scales.emplace_back(
+          i, choose_scale_percentile(x, options.percentile));
+    }
+    x = model.layer(i).forward(x, /*training=*/false);
+  }
+
+  QuantizeReport report;
+  for (const auto& [index, scale] : scc_scales) {
+    auto* scc = dynamic_cast<nn::SCCConv*>(&model.layer(index));
+    DSX_REQUIRE(scc != nullptr, "quantize_scc_layers: layer changed type");
+    auto quantized = std::make_unique<QuantSCCConv>(*scc, scale);
+    report.float_weight_bytes += scc->weight_param().value.size_bytes();
+    report.int8_weight_bytes += quantized->weight_bytes();
+    report.layers_quantized += 1;
+    model.replace_layer(index, std::move(quantized));
+  }
+  return report;
+}
+
+}  // namespace dsx::quant

@@ -1,0 +1,77 @@
+// Quantized inference layers and the post-training quantization transform.
+//
+// Workflow (examples/quantized_inference):
+//   1. train a model whose channel-fusion stages are SCCConv layers;
+//   2. fold BatchNorm into the convolutions (nn/bn_folding);
+//   3. calibrate: one representative batch flows through the model, recording
+//      each SCC layer's input dynamic range;
+//   4. quantize_scc_layers() swaps every top-level SCCConv for a
+//      QuantSCCConv holding int8 per-filter weights and the calibrated
+//      static input scale.
+//
+// Inference-only: QuantSCCConv::backward throws - quantization-aware
+// training is out of scope (the paper trains in float too).
+#pragma once
+
+#include "nn/containers.hpp"
+#include "nn/layers_conv.hpp"
+#include "quant/qscc.hpp"
+
+namespace dsx::quant {
+
+/// Int8 drop-in for a trained SCCConv: weights quantized per filter at
+/// construction, activations quantized at forward time with the fixed
+/// calibration scale.
+class QuantSCCConv final : public nn::Layer {
+ public:
+  /// `input_scale` must come from calibration (choose_scale of the max |x|
+  /// seen at this layer's input); the float bias (if any) is kept as-is.
+  /// `source` is only read (non-const for Param accessor reasons).
+  QuantSCCConv(nn::SCCConv& source, float input_scale);
+
+  const scc::ChannelWindowMap& map() const { return map_; }
+  float input_scale() const { return input_scale_; }
+  const QuantizedFilterBank& qweight() const { return qweight_; }
+  /// int8 weight storage in bytes (the 4x-smaller footprint claim).
+  int64_t weight_bytes() const {
+    return static_cast<int64_t>(qweight_.data.size());
+  }
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& doutput) override;  // throws
+  Shape output_shape(const Shape& input) const override;
+  scc::LayerCost cost(const Shape& input) const override;
+  std::string name() const override;
+
+ private:
+  scc::SCCConfig cfg_;
+  scc::ChannelWindowMap map_;
+  float input_scale_;
+  QuantizedFilterBank qweight_;
+  bool has_bias_;
+  Tensor bias_;
+};
+
+/// Statistics of one post-training quantization pass.
+struct QuantizeReport {
+  int64_t layers_quantized = 0;
+  int64_t float_weight_bytes = 0;  // fp32 bytes of the replaced weights
+  int64_t int8_weight_bytes = 0;   // int8 bytes after quantization
+};
+
+struct CalibrationOptions {
+  /// Quantile of |activation| mapped to code 127; values beyond it saturate.
+  /// 1.0 = plain absmax. The default clips the outlier tail that BN folding
+  /// tends to produce, which measurably improves end-to-end agreement.
+  double percentile = 0.999;
+};
+
+/// Calibrates on `calibration` (one forward pass, eval mode) and replaces
+/// every *top-level* SCCConv in `model` with a QuantSCCConv. Layers nested
+/// inside Residual/Sequential children are left untouched (flat models -
+/// MobileNet, VGG - are fully covered; use per-block calls for ResNets).
+QuantizeReport quantize_scc_layers(nn::Sequential& model,
+                                   const Tensor& calibration,
+                                   const CalibrationOptions& options = {});
+
+}  // namespace dsx::quant

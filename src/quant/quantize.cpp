@@ -1,0 +1,107 @@
+#include "quant/quantize.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::quant {
+
+float choose_scale(float absmax) {
+  DSX_REQUIRE(std::isfinite(absmax) && absmax >= 0.0f,
+              "choose_scale: absmax must be finite and non-negative");
+  return absmax == 0.0f ? 0.0f : absmax / static_cast<float>(kQMax);
+}
+
+float choose_scale_percentile(const Tensor& t, double q) {
+  DSX_REQUIRE(t.defined() && t.numel() > 0,
+              "choose_scale_percentile: empty tensor");
+  DSX_REQUIRE(q > 0.0 && q <= 1.0,
+              "choose_scale_percentile: q must be in (0, 1], got " << q);
+  std::vector<float> mags(static_cast<size_t>(t.numel()));
+  const float* src = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    mags[static_cast<size_t>(i)] = std::abs(src[i]);
+  }
+  const auto rank = static_cast<size_t>(
+      std::clamp<double>(std::ceil(q * static_cast<double>(mags.size())) - 1,
+                         0.0, static_cast<double>(mags.size() - 1)));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<int64_t>(rank),
+                   mags.end());
+  return choose_scale(mags[rank]);
+}
+
+int8_t quantize_value(float x, float scale) {
+  if (scale == 0.0f) return 0;
+  const long long q = std::llround(static_cast<double>(x) / scale);
+  return static_cast<int8_t>(std::clamp<long long>(q, -kQMax, kQMax));
+}
+
+QuantizedTensor quantize_with_scale(const Tensor& t, float scale) {
+  DSX_REQUIRE(t.defined(), "quantize: undefined tensor");
+  QuantizedTensor q;
+  q.shape = t.shape();
+  q.scale = scale;
+  q.data.resize(static_cast<size_t>(t.numel()));
+  const float* src = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    q.data[static_cast<size_t>(i)] = quantize_value(src[i], scale);
+  }
+  return q;
+}
+
+QuantizedTensor quantize_per_tensor(const Tensor& t) {
+  return quantize_with_scale(t, choose_scale(max_abs(t)));
+}
+
+Tensor dequantize(const QuantizedTensor& q) {
+  Tensor t(q.shape);
+  float* dst = t.data();
+  for (int64_t i = 0; i < q.numel(); ++i) {
+    dst[i] = static_cast<float>(q.data[static_cast<size_t>(i)]) * q.scale;
+  }
+  return t;
+}
+
+QuantizedFilterBank quantize_per_filter(const Tensor& weight) {
+  DSX_REQUIRE(weight.defined() && weight.shape().rank() >= 2,
+              "quantize_per_filter: weight must have rank >= 2, got "
+                  << weight.shape().to_string());
+  QuantizedFilterBank q;
+  q.shape = weight.shape();
+  const int64_t filters = weight.shape().dim(0);
+  const int64_t fsize = weight.numel() / filters;
+  q.data.resize(static_cast<size_t>(weight.numel()));
+  q.scales.resize(static_cast<size_t>(filters));
+  for (int64_t f = 0; f < filters; ++f) {
+    const float* row = weight.data() + f * fsize;
+    float absmax = 0.0f;
+    for (int64_t i = 0; i < fsize; ++i) {
+      absmax = std::max(absmax, std::abs(row[i]));
+    }
+    const float scale = choose_scale(absmax);
+    q.scales[static_cast<size_t>(f)] = scale;
+    int8_t* dst = q.data.data() + f * fsize;
+    for (int64_t i = 0; i < fsize; ++i) dst[i] = quantize_value(row[i], scale);
+  }
+  return q;
+}
+
+Tensor dequantize(const QuantizedFilterBank& q) {
+  Tensor t(q.shape);
+  const int64_t fsize = q.filter_size();
+  float* dst = t.data();
+  for (int64_t f = 0; f < q.filters(); ++f) {
+    const float scale = q.scales[static_cast<size_t>(f)];
+    for (int64_t i = 0; i < fsize; ++i) {
+      dst[f * fsize + i] =
+          static_cast<float>(q.data[static_cast<size_t>(f * fsize + i)]) *
+          scale;
+    }
+  }
+  return t;
+}
+
+}  // namespace dsx::quant

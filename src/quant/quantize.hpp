@@ -1,0 +1,71 @@
+// Symmetric int8 quantization primitives.
+//
+// The paper's motivation is CNNs for "tiny devices ... short of computation
+// power and memory"; post-training int8 quantization is the standard second
+// step after a factorized kernel has cut FLOPs/params. This module provides
+// the fixed-point substrate for quantized SCC inference (quant/qscc):
+// per-tensor scales for activations, per-filter scales for weights, 8-bit
+// symmetric range [-127, 127] (the -128 code is unused, keeping negation
+// exact), round-to-nearest-even via llround.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx::quant {
+
+/// int8 code range. Symmetric: zero-point is always 0.
+inline constexpr int32_t kQMax = 127;
+
+/// Scale mapping |x| <= absmax onto [-127, 127]; 0 for an all-zero tensor.
+float choose_scale(float absmax);
+
+/// Calibration scale from the q-quantile of |t| (q in (0, 1]; q = 1 is
+/// absmax). Clipping a sliver of outliers spends the 8-bit range on the bulk
+/// of the distribution - values beyond the quantile saturate at +-127. This
+/// is the standard fix for BN-folded activations whose absmax is set by a
+/// few stragglers.
+float choose_scale_percentile(const Tensor& t, double q);
+
+/// Quantizes one value: clamp(llround(x / scale)) to [-127, 127].
+int8_t quantize_value(float x, float scale);
+
+/// Activation tensor quantized with one per-tensor scale.
+struct QuantizedTensor {
+  Shape shape;
+  std::vector<int8_t> data;
+  float scale = 0.0f;  // dequantized value = data[i] * scale
+
+  int64_t numel() const { return shape.numel(); }
+};
+
+/// Quantizes with the tensor's own max-abs calibration.
+QuantizedTensor quantize_per_tensor(const Tensor& t);
+
+/// Quantizes with a pre-calibrated scale (static quantization: the scale
+/// comes from a calibration batch, not from the live activation).
+QuantizedTensor quantize_with_scale(const Tensor& t, float scale);
+
+/// Exact float reconstruction of the stored codes.
+Tensor dequantize(const QuantizedTensor& q);
+
+/// Weight bank quantized per output filter (rows of dim 0), the standard
+/// scheme for convolution weights: each filter's dynamic range is captured
+/// independently, which materially tightens the error bound vs one
+/// per-tensor scale (property-tested).
+struct QuantizedFilterBank {
+  Shape shape;                // original weight shape, dim0 = filters
+  std::vector<int8_t> data;
+  std::vector<float> scales;  // [filters]
+
+  int64_t filters() const { return shape.dim(0); }
+  int64_t filter_size() const { return shape.numel() / shape.dim(0); }
+};
+
+QuantizedFilterBank quantize_per_filter(const Tensor& weight);
+
+Tensor dequantize(const QuantizedFilterBank& q);
+
+}  // namespace dsx::quant

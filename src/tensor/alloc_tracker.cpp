@@ -1,0 +1,44 @@
+#include "tensor/alloc_tracker.hpp"
+
+#include <algorithm>
+
+namespace dsx {
+
+AllocationTracker& AllocationTracker::instance() {
+  static AllocationTracker tracker;
+  return tracker;
+}
+
+void AllocationTracker::on_alloc(int64_t bytes) {
+  allocs_.fetch_add(1, std::memory_order_relaxed);
+  const int64_t now = current_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  int64_t prev = peak_.load(std::memory_order_relaxed);
+  while (prev < now &&
+         !peak_.compare_exchange_weak(prev, now, std::memory_order_relaxed)) {
+  }
+}
+
+void AllocationTracker::on_free(int64_t bytes) {
+  current_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void AllocationTracker::reset_peak() {
+  peak_.store(current_.load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
+}
+
+PeakMemoryScope::PeakMemoryScope() {
+  auto& t = AllocationTracker::instance();
+  t.reset_peak();
+  base_ = t.current_bytes();
+}
+
+int64_t PeakMemoryScope::peak() const {
+  return AllocationTracker::instance().peak_bytes();
+}
+
+int64_t PeakMemoryScope::peak_delta() const {
+  return std::max<int64_t>(0, peak() - base_);
+}
+
+}  // namespace dsx

@@ -1,0 +1,60 @@
+#include "tensor/random.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace dsx {
+
+float Rng::uniform(float lo, float hi) {
+  std::uniform_real_distribution<float> d(lo, hi);
+  return d(engine_);
+}
+
+float Rng::normal(float mean, float stddev) {
+  std::normal_distribution<float> d(mean, stddev);
+  return d(engine_);
+}
+
+int64_t Rng::randint(int64_t lo, int64_t hi) {
+  DSX_REQUIRE(lo <= hi, "randint: empty range [" << lo << "," << hi << "]");
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+void fill_uniform(Tensor& t, Rng& rng, float lo, float hi) {
+  std::uniform_real_distribution<float> d(lo, hi);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = d(rng.engine());
+}
+
+void fill_normal(Tensor& t, Rng& rng, float mean, float stddev) {
+  std::normal_distribution<float> d(mean, stddev);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.numel(); ++i) p[i] = d(rng.engine());
+}
+
+void fill_kaiming(Tensor& t, Rng& rng, int64_t fan_in) {
+  DSX_REQUIRE(fan_in > 0, "fill_kaiming: fan_in must be positive");
+  const float bound = std::sqrt(6.0f / static_cast<float>(fan_in));
+  fill_uniform(t, rng, -bound, bound);
+}
+
+Tensor random_uniform(Shape shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  fill_uniform(t, rng, lo, hi);
+  return t;
+}
+
+Tensor random_normal(Shape shape, Rng& rng, float mean, float stddev) {
+  Tensor t(std::move(shape));
+  fill_normal(t, rng, mean, stddev);
+  return t;
+}
+
+}  // namespace dsx

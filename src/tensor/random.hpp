@@ -1,0 +1,42 @@
+// Deterministic random tensor initialisation.
+//
+// All randomness in DSXplore flows through explicitly seeded engines so every
+// experiment in EXPERIMENTS.md is bit-reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+/// Seeded RNG wrapper used across the library.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  float uniform(float lo, float hi);
+  float normal(float mean, float stddev);
+  int64_t randint(int64_t lo, int64_t hi);  // inclusive range [lo, hi]
+  bool bernoulli(double p);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Fills with U(lo, hi).
+void fill_uniform(Tensor& t, Rng& rng, float lo, float hi);
+/// Fills with N(mean, stddev).
+void fill_normal(Tensor& t, Rng& rng, float mean, float stddev);
+/// Kaiming-uniform initialisation for a weight tensor with `fan_in` inputs.
+void fill_kaiming(Tensor& t, Rng& rng, int64_t fan_in);
+
+/// Convenience constructors.
+Tensor random_uniform(Shape shape, Rng& rng, float lo = -1.0f, float hi = 1.0f);
+Tensor random_normal(Shape shape, Rng& rng, float mean = 0.0f,
+                     float stddev = 1.0f);
+
+}  // namespace dsx

@@ -1,0 +1,62 @@
+#include "tensor/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/check.hpp"
+
+namespace dsx {
+
+namespace {
+constexpr char kMagic[4] = {'D', 'S', 'X', 'T'};
+}
+
+void save_tensor(std::ostream& os, const Tensor& t) {
+  DSX_REQUIRE(t.defined(), "save_tensor: undefined tensor");
+  os.write(kMagic, sizeof(kMagic));
+  const int64_t rank = t.shape().rank();
+  os.write(reinterpret_cast<const char*>(&rank), sizeof(rank));
+  for (int64_t d : t.shape().dims()) {
+    os.write(reinterpret_cast<const char*>(&d), sizeof(d));
+  }
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.size_bytes()));
+  DSX_CHECK(os.good(), "save_tensor: stream write failed");
+}
+
+Tensor load_tensor(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  DSX_REQUIRE(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+              "load_tensor: bad magic");
+  int64_t rank = 0;
+  is.read(reinterpret_cast<char*>(&rank), sizeof(rank));
+  DSX_REQUIRE(is.good() && rank >= 0 && rank <= 8,
+              "load_tensor: implausible rank " << rank);
+  std::vector<int64_t> dims(static_cast<size_t>(rank));
+  for (auto& d : dims) {
+    is.read(reinterpret_cast<char*>(&d), sizeof(d));
+    DSX_REQUIRE(is.good() && d >= 0, "load_tensor: bad dimension");
+  }
+  Tensor t(Shape{dims});
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.size_bytes()));
+  DSX_REQUIRE(is.good(), "load_tensor: truncated payload");
+  return t;
+}
+
+void save_tensor_file(const std::string& path, const Tensor& t) {
+  std::ofstream os(path, std::ios::binary);
+  DSX_REQUIRE(os.is_open(), "save_tensor_file: cannot open " << path);
+  save_tensor(os, t);
+}
+
+Tensor load_tensor_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DSX_REQUIRE(is.is_open(), "load_tensor_file: cannot open " << path);
+  return load_tensor(is);
+}
+
+}  // namespace dsx

@@ -1,0 +1,24 @@
+// Minimal tensor (de)serialization.
+//
+// Binary format: magic "DSXT", rank, dims (int64 little-endian), raw float
+// payload. Used to checkpoint trained example models and to snapshot
+// benchmark inputs for regression testing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+/// Writes `t` to the stream; throws dsx::Error on I/O failure.
+void save_tensor(std::ostream& os, const Tensor& t);
+/// Reads a tensor written by save_tensor; throws dsx::Error on bad data.
+Tensor load_tensor(std::istream& is);
+
+/// File-path conveniences.
+void save_tensor_file(const std::string& path, const Tensor& t);
+Tensor load_tensor_file(const std::string& path);
+
+}  // namespace dsx

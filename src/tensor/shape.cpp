@@ -1,0 +1,82 @@
+#include "tensor/shape.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dsx {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) DSX_REQUIRE(d >= 0, "negative dimension in shape");
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) DSX_REQUIRE(d >= 0, "negative dimension in shape");
+}
+
+int64_t Shape::dim(int i) const {
+  const int r = rank();
+  if (i < 0) i += r;
+  DSX_REQUIRE(i >= 0 && i < r,
+              "dimension index " << i << " out of range for rank " << r);
+  return dims_[static_cast<size_t>(i)];
+}
+
+int64_t Shape::numel() const {
+  return std::accumulate(dims_.begin(), dims_.end(), int64_t{1},
+                         std::multiplies<int64_t>());
+}
+
+int64_t Shape::n() const {
+  DSX_REQUIRE(rank() == 4, "n() requires a rank-4 shape, got " << to_string());
+  return dims_[0];
+}
+int64_t Shape::c() const {
+  DSX_REQUIRE(rank() == 4, "c() requires a rank-4 shape, got " << to_string());
+  return dims_[1];
+}
+int64_t Shape::h() const {
+  DSX_REQUIRE(rank() == 4, "h() requires a rank-4 shape, got " << to_string());
+  return dims_[2];
+}
+int64_t Shape::w() const {
+  DSX_REQUIRE(rank() == 4, "w() requires a rank-4 shape, got " << to_string());
+  return dims_[3];
+}
+
+std::vector<int64_t> Shape::strides() const {
+  std::vector<int64_t> s(dims_.size(), 1);
+  for (int i = rank() - 2; i >= 0; --i) {
+    s[static_cast<size_t>(i)] =
+        s[static_cast<size_t>(i + 1)] * dims_[static_cast<size_t>(i + 1)];
+  }
+  return s;
+}
+
+std::string Shape::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Shape make_nchw(int64_t n, int64_t c, int64_t h, int64_t w) {
+  return Shape{n, c, h, w};
+}
+
+int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride, int64_t pad) {
+  DSX_REQUIRE(stride >= 1, "stride must be >= 1, got " << stride);
+  DSX_REQUIRE(kernel >= 1, "kernel must be >= 1, got " << kernel);
+  DSX_REQUIRE(pad >= 0, "padding must be >= 0, got " << pad);
+  const int64_t eff = in + 2 * pad - kernel;
+  DSX_REQUIRE(eff >= 0, "kernel " << kernel << " larger than padded input "
+                                  << in + 2 * pad);
+  return eff / stride + 1;
+}
+
+}  // namespace dsx

@@ -1,0 +1,54 @@
+// Tensor shapes. DSXplore tensors are dense row-major; CNN activations use
+// the NCHW layout (batch, channels, height, width), matching the layout the
+// paper's CUDA kernels operate on.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dsx {
+
+/// Dense row-major tensor shape (up to arbitrary rank; CNN code uses rank 4).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<int64_t> dims);
+  explicit Shape(std::vector<int64_t> dims);
+
+  /// Number of dimensions.
+  int rank() const { return static_cast<int>(dims_.size()); }
+  /// Size along dimension `i` (supports negative indices, Python style).
+  int64_t dim(int i) const;
+  int64_t operator[](int i) const { return dim(i); }
+  /// Total number of elements (1 for a rank-0 shape).
+  int64_t numel() const;
+
+  // NCHW accessors; require rank 4.
+  int64_t n() const;
+  int64_t c() const;
+  int64_t h() const;
+  int64_t w() const;
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+
+  /// Row-major strides, in elements.
+  std::vector<int64_t> strides() const;
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+/// Shape of a 4D activation tensor.
+Shape make_nchw(int64_t n, int64_t c, int64_t h, int64_t w);
+
+/// Output spatial size of a convolution/pooling window.
+int64_t conv_out_size(int64_t in, int64_t kernel, int64_t stride, int64_t pad);
+
+}  // namespace dsx

@@ -1,0 +1,128 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "tensor/alloc_tracker.hpp"
+
+namespace dsx {
+
+namespace {
+
+std::shared_ptr<float[]> allocate_tracked(int64_t count) {
+  const int64_t bytes = count * static_cast<int64_t>(sizeof(float));
+  AllocationTracker::instance().on_alloc(bytes);
+  // Custom deleter keeps the accountant in sync with storage lifetime.
+  return std::shared_ptr<float[]>(new float[static_cast<size_t>(count)],
+                                  [bytes](float* p) {
+                                    AllocationTracker::instance().on_free(bytes);
+                                    delete[] p;
+                                  });
+}
+
+}  // namespace
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  const int64_t count = shape_.numel();
+  storage_ = allocate_tracked(count);
+  std::memset(storage_.get(), 0, static_cast<size_t>(count) * sizeof(float));
+}
+
+Tensor::Tensor(Shape shape, float value) : Tensor(std::move(shape)) {
+  fill(value);
+}
+
+float* Tensor::data() {
+  DSX_REQUIRE(defined(), "access to undefined tensor");
+  return storage_.get();
+}
+
+const float* Tensor::data() const {
+  DSX_REQUIRE(defined(), "access to undefined tensor");
+  return storage_.get();
+}
+
+std::span<float> Tensor::span() {
+  return {data(), static_cast<size_t>(numel())};
+}
+
+std::span<const float> Tensor::span() const {
+  return {data(), static_cast<size_t>(numel())};
+}
+
+float& Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) {
+  DSX_REQUIRE(shape_.rank() == 4, "at(n,c,h,w) on shape " << shape_.to_string());
+  DSX_REQUIRE(n >= 0 && n < shape_.n() && c >= 0 && c < shape_.c() &&
+                  h >= 0 && h < shape_.h() && w >= 0 && w < shape_.w(),
+              "index (" << n << "," << c << "," << h << "," << w
+                        << ") out of bounds for " << shape_.to_string());
+  return data()[((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w];
+}
+
+float Tensor::at(int64_t n, int64_t c, int64_t h, int64_t w) const {
+  return const_cast<Tensor*>(this)->at(n, c, h, w);
+}
+
+float& Tensor::at(int64_t r, int64_t c) {
+  DSX_REQUIRE(shape_.rank() == 2, "at(r,c) on shape " << shape_.to_string());
+  DSX_REQUIRE(r >= 0 && r < shape_.dim(0) && c >= 0 && c < shape_.dim(1),
+              "index (" << r << "," << c << ") out of bounds for "
+                        << shape_.to_string());
+  return data()[r * shape_.dim(1) + c];
+}
+
+float Tensor::at(int64_t r, int64_t c) const {
+  return const_cast<Tensor*>(this)->at(r, c);
+}
+
+float& Tensor::operator[](int64_t i) {
+  DSX_REQUIRE(i >= 0 && i < numel(), "flat index " << i << " out of bounds");
+  return data()[i];
+}
+
+float Tensor::operator[](int64_t i) const {
+  DSX_REQUIRE(i >= 0 && i < numel(), "flat index " << i << " out of bounds");
+  return data()[i];
+}
+
+Tensor Tensor::clone() const {
+  Tensor out(shape_);
+  if (defined() && numel() > 0) {
+    std::memcpy(out.data(), data(), static_cast<size_t>(numel()) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  DSX_REQUIRE(new_shape.numel() == numel(),
+              "reshape " << shape_.to_string() << " -> "
+                         << new_shape.to_string() << " changes numel");
+  Tensor out;
+  out.shape_ = std::move(new_shape);
+  out.storage_ = storage_;
+  return out;
+}
+
+void Tensor::fill(float value) {
+  std::fill_n(data(), numel(), value);
+}
+
+std::string Tensor::to_string() const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.to_string();
+  if (defined() && numel() > 0 && numel() <= 16) {
+    os << " {";
+    for (int64_t i = 0; i < numel(); ++i) {
+      if (i) os << ", ";
+      os << data()[i];
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+Tensor zeros_like(const Tensor& t) { return Tensor(t.shape()); }
+
+}  // namespace dsx

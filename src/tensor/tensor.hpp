@@ -1,0 +1,74 @@
+// Dense float32 tensor with shared, tracked storage.
+//
+// DSXplore works exclusively on contiguous row-major float tensors (the same
+// representation the paper's CUDA kernels index). Copy semantics are
+// shallow (storage is shared, like torch.Tensor); `clone()` deep-copies.
+// There are deliberately no strided views: the operator-composition baselines
+// (channel-stack / convolution-stack) pay for slicing with real copies,
+// exactly like the PyTorch `index_select`/`cat` calls they model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "tensor/shape.hpp"
+
+namespace dsx {
+
+class Tensor {
+ public:
+  /// Empty (rank-0, no storage) tensor.
+  Tensor() = default;
+  /// Allocates zero-initialized storage of the given shape.
+  explicit Tensor(Shape shape);
+  /// Allocates storage and fills with `value`.
+  Tensor(Shape shape, float value);
+
+  /// True if this tensor has storage attached.
+  bool defined() const { return storage_ != nullptr; }
+
+  const Shape& shape() const { return shape_; }
+  int64_t numel() const { return shape_.numel(); }
+  int64_t size_bytes() const { return numel() * static_cast<int64_t>(sizeof(float)); }
+
+  float* data();
+  const float* data() const;
+  std::span<float> span();
+  std::span<const float> span() const;
+
+  /// Element access for rank-4 tensors (tests and reference kernels).
+  float& at(int64_t n, int64_t c, int64_t h, int64_t w);
+  float at(int64_t n, int64_t c, int64_t h, int64_t w) const;
+  /// Element access for rank-2 tensors.
+  float& at(int64_t r, int64_t c);
+  float at(int64_t r, int64_t c) const;
+  /// Flat element access.
+  float& operator[](int64_t i);
+  float operator[](int64_t i) const;
+
+  /// Deep copy.
+  Tensor clone() const;
+  /// Same storage, new shape with identical numel.
+  Tensor reshape(Shape new_shape) const;
+
+  void fill(float value);
+  void zero() { fill(0.0f); }
+
+  /// True if both tensors share the same storage allocation.
+  bool shares_storage_with(const Tensor& other) const {
+    return storage_ != nullptr && storage_ == other.storage_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  Shape shape_;
+  std::shared_ptr<float[]> storage_;
+};
+
+/// Allocates an uninitialized-then-zeroed tensor shaped like `t`.
+Tensor zeros_like(const Tensor& t);
+
+}  // namespace dsx

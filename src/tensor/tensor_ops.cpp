@@ -1,0 +1,207 @@
+#include "tensor/tensor_ops.hpp"
+
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace dsx {
+
+namespace {
+
+void require_same_shape(const Tensor& a, const Tensor& b, const char* what) {
+  DSX_REQUIRE(a.shape() == b.shape(), what << ": shape mismatch "
+                                           << a.shape().to_string() << " vs "
+                                           << b.shape().to_string());
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add");
+  Tensor out = a.clone();
+  add_(out, b);
+  return out;
+}
+
+void add_(Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "add_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += pb[i];
+}
+
+void axpy_(Tensor& a, float alpha, const Tensor& b) {
+  require_same_shape(a, b, "axpy_");
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] += alpha * pb[i];
+}
+
+void scale_(Tensor& a, float s) {
+  float* pa = a.data();
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) pa[i] *= s;
+}
+
+double sum(const Tensor& t) {
+  const float* p = t.data();
+  double acc = 0.0;
+  for (int64_t i = 0; i < t.numel(); ++i) acc += p[i];
+  return acc;
+}
+
+double mean(const Tensor& t) {
+  DSX_REQUIRE(t.numel() > 0, "mean of empty tensor");
+  return sum(t) / static_cast<double>(t.numel());
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  require_same_shape(a, b, "max_abs_diff");
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const float d = std::abs(pa[i] - pb[i]);
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+float max_abs(const Tensor& t) {
+  const float* p = t.data();
+  float m = 0.0f;
+  for (int64_t i = 0; i < t.numel(); ++i) m = std::max(m, std::abs(p[i]));
+  return m;
+}
+
+Tensor gather_channels(const Tensor& in, std::span<const int64_t> idx) {
+  DSX_REQUIRE(in.shape().rank() == 4,
+              "gather_channels needs NCHW, got " << in.shape().to_string());
+  const int64_t N = in.shape().n(), C = in.shape().c();
+  const int64_t H = in.shape().h(), W = in.shape().w();
+  const int64_t plane = H * W;
+  Tensor out(make_nchw(N, static_cast<int64_t>(idx.size()), H, W));
+  const float* src = in.data();
+  float* dst = out.data();
+  const int64_t outC = static_cast<int64_t>(idx.size());
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t j = 0; j < outC; ++j) {
+      const int64_t c = idx[static_cast<size_t>(j)];
+      DSX_REQUIRE(c >= 0 && c < C, "gather_channels: channel " << c
+                                       << " out of range [0," << C << ")");
+      std::memcpy(dst + (n * outC + j) * plane, src + (n * C + c) * plane,
+                  static_cast<size_t>(plane) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+Tensor slice_channels(const Tensor& in, int64_t begin, int64_t end) {
+  DSX_REQUIRE(in.shape().rank() == 4,
+              "slice_channels needs NCHW, got " << in.shape().to_string());
+  DSX_REQUIRE(begin >= 0 && begin <= end && end <= in.shape().c(),
+              "slice_channels range [" << begin << "," << end
+                                       << ") invalid for C=" << in.shape().c());
+  std::vector<int64_t> idx;
+  idx.reserve(static_cast<size_t>(end - begin));
+  for (int64_t c = begin; c < end; ++c) idx.push_back(c);
+  return gather_channels(in, idx);
+}
+
+Tensor concat_channels(const std::vector<Tensor>& parts) {
+  DSX_REQUIRE(!parts.empty(), "concat_channels of zero tensors");
+  const Shape& s0 = parts.front().shape();
+  DSX_REQUIRE(s0.rank() == 4, "concat_channels needs NCHW tensors");
+  int64_t totalC = 0;
+  for (const Tensor& t : parts) {
+    DSX_REQUIRE(t.shape().rank() == 4 && t.shape().n() == s0.n() &&
+                    t.shape().h() == s0.h() && t.shape().w() == s0.w(),
+                "concat_channels: incompatible part " << t.shape().to_string()
+                                                      << " vs "
+                                                      << s0.to_string());
+    totalC += t.shape().c();
+  }
+  const int64_t N = s0.n(), H = s0.h(), W = s0.w(), plane = H * W;
+  Tensor out(make_nchw(N, totalC, H, W));
+  float* dst = out.data();
+  for (int64_t n = 0; n < N; ++n) {
+    int64_t coff = 0;
+    for (const Tensor& t : parts) {
+      const int64_t pc = t.shape().c();
+      std::memcpy(dst + (n * totalC + coff) * plane,
+                  t.data() + n * pc * plane,
+                  static_cast<size_t>(pc * plane) * sizeof(float));
+      coff += pc;
+    }
+  }
+  return out;
+}
+
+void scatter_add_channels(Tensor& dst, const Tensor& src,
+                          std::span<const int64_t> idx) {
+  DSX_REQUIRE(dst.shape().rank() == 4 && src.shape().rank() == 4,
+              "scatter_add_channels needs NCHW tensors");
+  DSX_REQUIRE(src.shape().c() == static_cast<int64_t>(idx.size()),
+              "scatter_add_channels: src C " << src.shape().c() << " != idx "
+                                             << idx.size());
+  DSX_REQUIRE(dst.shape().n() == src.shape().n() &&
+                  dst.shape().h() == src.shape().h() &&
+                  dst.shape().w() == src.shape().w(),
+              "scatter_add_channels: N/H/W mismatch");
+  const int64_t N = dst.shape().n(), C = dst.shape().c();
+  const int64_t plane = dst.shape().h() * dst.shape().w();
+  const int64_t srcC = src.shape().c();
+  float* pd = dst.data();
+  const float* ps = src.data();
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t j = 0; j < srcC; ++j) {
+      const int64_t c = idx[static_cast<size_t>(j)];
+      DSX_REQUIRE(c >= 0 && c < C, "scatter_add_channels: channel " << c
+                                       << " out of range [0," << C << ")");
+      float* d = pd + (n * C + c) * plane;
+      const float* s = ps + (n * srcC + j) * plane;
+      for (int64_t i = 0; i < plane; ++i) d[i] += s[i];
+    }
+  }
+}
+
+Tensor pad_spatial(const Tensor& in, int64_t pad) {
+  DSX_REQUIRE(pad >= 0, "negative padding");
+  if (pad == 0) return in.clone();
+  const int64_t N = in.shape().n(), C = in.shape().c();
+  const int64_t H = in.shape().h(), W = in.shape().w();
+  Tensor out(make_nchw(N, C, H + 2 * pad, W + 2 * pad));
+  const int64_t Ho = H + 2 * pad, Wo = W + 2 * pad;
+  const float* src = in.data();
+  float* dst = out.data();
+  for (int64_t nc = 0; nc < N * C; ++nc) {
+    for (int64_t y = 0; y < H; ++y) {
+      std::memcpy(dst + (nc * Ho + y + pad) * Wo + pad, src + (nc * H + y) * W,
+                  static_cast<size_t>(W) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+Tensor unpad_spatial(const Tensor& in, int64_t pad) {
+  DSX_REQUIRE(pad >= 0, "negative padding");
+  if (pad == 0) return in.clone();
+  const int64_t N = in.shape().n(), C = in.shape().c();
+  const int64_t Ho = in.shape().h(), Wo = in.shape().w();
+  const int64_t H = Ho - 2 * pad, W = Wo - 2 * pad;
+  DSX_REQUIRE(H > 0 && W > 0, "unpad_spatial: padding exceeds spatial size");
+  Tensor out(make_nchw(N, C, H, W));
+  const float* src = in.data();
+  float* dst = out.data();
+  for (int64_t nc = 0; nc < N * C; ++nc) {
+    for (int64_t y = 0; y < H; ++y) {
+      std::memcpy(dst + (nc * H + y) * W, src + (nc * Ho + y + pad) * Wo + pad,
+                  static_cast<size_t>(W) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+}  // namespace dsx

@@ -1,0 +1,60 @@
+// Elementwise and channel-manipulation primitives.
+//
+// `gather_channels` / `concat_channels` are the building blocks of the
+// paper's PyTorch-operator-composition baselines (Fig. 3): they perform real
+// copies, so the data-movement cost the paper attributes to "Pytorch-Base" is
+// present in our reproduction too.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+// ---- elementwise ----------------------------------------------------------
+
+/// out = a + b (shapes must match).
+Tensor add(const Tensor& a, const Tensor& b);
+/// a += b in place.
+void add_(Tensor& a, const Tensor& b);
+/// a += alpha * b in place.
+void axpy_(Tensor& a, float alpha, const Tensor& b);
+/// a *= s in place.
+void scale_(Tensor& a, float s);
+/// Sum of all elements.
+double sum(const Tensor& t);
+/// Mean of all elements.
+double mean(const Tensor& t);
+/// Largest |a_i - b_i|; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+/// Largest |a_i|.
+float max_abs(const Tensor& t);
+
+// ---- channel manipulation (NCHW) ------------------------------------------
+
+/// Copies the given input channels (in order, duplicates allowed, values may
+/// wrap modulo C — callers pass already-reduced indices) into a new tensor of
+/// shape [N, idx.size(), H, W].
+Tensor gather_channels(const Tensor& in, std::span<const int64_t> idx);
+
+/// Contiguous channel slice [begin, end) as a copy.
+Tensor slice_channels(const Tensor& in, int64_t begin, int64_t end);
+
+/// Concatenates along the channel axis; all inputs share N/H/W.
+Tensor concat_channels(const std::vector<Tensor>& parts);
+
+/// Scatter-add of `src` channels back into `dst` at positions `idx`
+/// (the backward of gather_channels). dst shape [N, C, H, W].
+void scatter_add_channels(Tensor& dst, const Tensor& src,
+                          std::span<const int64_t> idx);
+
+/// Zero-pads the spatial dims by `pad` on each side.
+Tensor pad_spatial(const Tensor& in, int64_t pad);
+
+/// Removes `pad` from each spatial side (backward of pad_spatial).
+Tensor unpad_spatial(const Tensor& in, int64_t pad);
+
+}  // namespace dsx

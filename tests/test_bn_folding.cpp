@@ -1,0 +1,173 @@
+// Tests for inference-time batch-norm folding: outputs must be preserved
+// exactly for every conv kind, folded models must lose their BN layers, and
+// the transform must recurse through containers.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "data/synth.hpp"
+#include "models/mobilenet.hpp"
+#include "models/resnet.hpp"
+#include "nn/bn_folding.hpp"
+#include "nn/containers.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/layers_conv.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::nn {
+namespace {
+
+/// Runs a few training steps so BN running stats are non-trivial.
+void warm_up(Sequential& model, int64_t channels, int64_t image,
+             uint64_t seed) {
+  Rng rng(seed);
+  SGD opt({.lr = 0.01f, .momentum = 0.9f, .weight_decay = 0.0f});
+  Trainer trainer(model, opt);
+  for (int step = 0; step < 5; ++step) {
+    Tensor x = random_uniform(make_nchw(8, channels, image, image), rng,
+                              -2.0f, 3.0f);
+    const Shape out = model.output_shape(x.shape());
+    std::vector<int32_t> labels(8);
+    for (auto& y : labels) {
+      y = static_cast<int32_t>(rng.randint(0, out.dim(1) - 1));
+    }
+    trainer.train_batch(x, labels);
+  }
+}
+
+TEST(BnFolding, PreservesConv2dOutputs) {
+  Rng rng(1);
+  Sequential model;
+  model.emplace<Conv2d>(3, 8, 3, 1, 1, 1, rng);
+  model.emplace<BatchNorm2d>(8);
+  model.emplace<ReLU>();
+  model.emplace<GlobalAvgPool>();
+  model.emplace<Flatten>();
+  model.emplace<Linear>(8, 4, rng);
+  warm_up(model, 3, 8, 11);
+
+  Rng drng(2);
+  Tensor x = random_uniform(make_nchw(3, 3, 8, 8), drng);
+  const Tensor before = model.forward(x, /*training=*/false);
+  EXPECT_EQ(fold_batchnorm(model), 1);
+  const Tensor after = model.forward(x, /*training=*/false);
+  EXPECT_LT(max_abs_diff(before, after), 1e-4f);
+}
+
+TEST(BnFolding, PreservesDepthwiseOutputs) {
+  Rng rng(3);
+  Sequential model;
+  model.emplace<DepthwiseConv2d>(4, 3, 1, 1, rng);
+  model.emplace<BatchNorm2d>(4);
+  model.emplace<GlobalAvgPool>();
+  model.emplace<Flatten>();
+  model.emplace<Linear>(4, 2, rng);
+  warm_up(model, 4, 6, 13);
+
+  Rng drng(4);
+  Tensor x = random_uniform(make_nchw(2, 4, 6, 6), drng);
+  const Tensor before = model.forward(x, false);
+  EXPECT_EQ(fold_batchnorm(model), 1);
+  EXPECT_LT(max_abs_diff(model.forward(x, false), before), 1e-4f);
+}
+
+TEST(BnFolding, PreservesSCCOutputs) {
+  Rng rng(5);
+  scc::SCCConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 16;
+  cfg.groups = 2;
+  cfg.overlap = 0.5;
+  Sequential model;
+  model.emplace<SCCConv>(cfg, rng);
+  model.emplace<BatchNorm2d>(16);
+  model.emplace<GlobalAvgPool>();
+  model.emplace<Flatten>();
+  model.emplace<Linear>(16, 4, rng);
+  warm_up(model, 8, 6, 17);
+
+  Rng drng(6);
+  Tensor x = random_uniform(make_nchw(2, 8, 6, 6), drng);
+  const Tensor before = model.forward(x, false);
+  EXPECT_EQ(fold_batchnorm(model), 1);
+  EXPECT_LT(max_abs_diff(model.forward(x, false), before), 1e-4f);
+}
+
+TEST(BnFolding, AddsBiasWhereConvHadNone) {
+  Rng rng(7);
+  Sequential model;
+  auto& conv = model.emplace<Conv2d>(2, 4, 1, 1, 0, 1, rng, /*bias=*/false);
+  model.emplace<BatchNorm2d>(4);
+  EXPECT_EQ(conv.bias_param(), nullptr);
+  fold_batchnorm(model);
+  ASSERT_NE(conv.bias_param(), nullptr);
+  // With fresh BN (mean 0, var 1, beta 0) the folded bias is ~0.
+  EXPECT_LT(max_abs(conv.bias_param()->value), 1e-4f);
+}
+
+TEST(BnFolding, FoldsWholeMobileNet) {
+  Rng rng(8);
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.125;
+  auto model = models::build_mobilenet(4, cfg, rng);
+  warm_up(*model, 3, 16, 19);
+
+  Rng drng(9);
+  Tensor x = random_uniform(make_nchw(2, 3, 16, 16), drng);
+  const Tensor before = model->forward(x, false);
+  // MobileNet: stem BN + 13 blocks x 2 BNs = 27 folds.
+  const int folded = fold_batchnorm(*model);
+  EXPECT_EQ(folded, 27);
+  EXPECT_LT(max_abs_diff(model->forward(x, false), before), 2e-4f);
+
+  // All BN layers are gone (replaced by Identity).
+  int bn_left = 0;
+  model->for_each_layer([&](Layer& l) {
+    if (dynamic_cast<BatchNorm2d*>(&l) != nullptr) ++bn_left;
+  });
+  EXPECT_EQ(bn_left, 0);
+}
+
+TEST(BnFolding, RecursesThroughResidualBlocks) {
+  Rng rng(10);
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.125;
+  auto model = models::build_resnet(18, 4, cfg, rng);
+  warm_up(*model, 3, 16, 23);
+
+  Rng drng(11);
+  Tensor x = random_uniform(make_nchw(2, 3, 16, 16), drng);
+  const Tensor before = model->forward(x, false);
+  const int folded = fold_batchnorm(*model);
+  EXPECT_GT(folded, 10);  // stem + every block branch + projections
+  EXPECT_LT(max_abs_diff(model->forward(x, false), before), 2e-4f);
+}
+
+TEST(BnFolding, NoPairsMeansNoChange) {
+  Rng rng(12);
+  Sequential model;
+  model.emplace<ReLU>();
+  model.emplace<Flatten>();
+  EXPECT_EQ(fold_batchnorm(model), 0);
+}
+
+TEST(BnFolding, IdentityLayerPassesThrough) {
+  Identity id;
+  Rng rng(13);
+  Tensor x = random_uniform(make_nchw(1, 2, 3, 3), rng);
+  Tensor y = id.forward(x, true);
+  EXPECT_TRUE(y.shares_storage_with(x));
+  Tensor g = id.backward(y);
+  EXPECT_TRUE(g.shares_storage_with(y));
+  EXPECT_EQ(id.output_shape(x.shape()), x.shape());
+}
+
+}  // namespace
+}  // namespace dsx::nn

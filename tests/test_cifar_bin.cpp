@@ -1,0 +1,133 @@
+// Tests for the CIFAR-10 binary-format loader (data/cifar_bin): round-trip
+// fidelity, layout correctness against a hand-built record, truncation,
+// and malformed-file rejection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "data/cifar_bin.hpp"
+#include "data/synth.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::data {
+namespace {
+
+/// Unique temp path per test; removed on destruction.
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name)
+      : path(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(CifarBin, RoundTripPreservesLabelsAndPixels) {
+  Dataset ds = make_synth_cifar(6, 501);  // [6, 3, 32, 32], values may exceed
+  TempFile tmp("roundtrip.bin");
+  save_cifar10_bin(ds, tmp.path);
+  const Dataset back = load_cifar10_bin(tmp.path);
+
+  ASSERT_EQ(back.images.shape(), ds.images.shape());
+  ASSERT_EQ(back.labels, ds.labels);
+  EXPECT_EQ(back.num_classes, 10);
+  // Quantization: loaded pixel within half a code of the clamped original.
+  for (int64_t i = 0; i < ds.images.numel(); ++i) {
+    const float clamped = std::clamp(ds.images[i], 0.0f, 1.0f);
+    EXPECT_NEAR(back.images[i], clamped, 0.5f / 255.0f + 1e-6f);
+  }
+}
+
+TEST(CifarBin, FileSizeMatchesRecordLayout) {
+  Dataset ds = make_synth_cifar(4, 503);
+  TempFile tmp("layout.bin");
+  save_cifar10_bin(ds, tmp.path);
+  std::ifstream file(tmp.path, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(static_cast<int64_t>(file.tellg()), 4 * kCifarRecordBytes);
+}
+
+TEST(CifarBin, ReadsCanonicalLayout) {
+  // Hand-build one record: label 7, red plane all 255, green 128, blue 0.
+  TempFile tmp("canon.bin");
+  {
+    std::ofstream file(tmp.path, std::ios::binary);
+    file.put(7);
+    for (int i = 0; i < 1024; ++i) file.put(static_cast<char>(255));
+    for (int i = 0; i < 1024; ++i) file.put(static_cast<char>(128));
+    for (int i = 0; i < 1024; ++i) file.put(static_cast<char>(0));
+  }
+  const Dataset ds = load_cifar10_bin(tmp.path);
+  ASSERT_EQ(ds.images.shape(), make_nchw(1, 3, 32, 32));
+  EXPECT_EQ(ds.labels[0], 7);
+  EXPECT_FLOAT_EQ(ds.images.at(0, 0, 15, 15), 1.0f);
+  EXPECT_NEAR(ds.images.at(0, 1, 15, 15), 128.0f / 255.0f, 1e-6f);
+  EXPECT_FLOAT_EQ(ds.images.at(0, 2, 15, 15), 0.0f);
+}
+
+TEST(CifarBin, MaxSamplesTruncates) {
+  Dataset ds = make_synth_cifar(8, 505);
+  TempFile tmp("trunc.bin");
+  save_cifar10_bin(ds, tmp.path);
+  const Dataset head = load_cifar10_bin(tmp.path, 3);
+  EXPECT_EQ(head.images.shape().n(), 3);
+  EXPECT_EQ(head.labels.size(), 3u);
+  EXPECT_EQ(head.labels[2], ds.labels[2]);
+}
+
+TEST(CifarBin, RejectsMissingFile) {
+  EXPECT_THROW(load_cifar10_bin("/nonexistent/cifar.bin"),
+               std::runtime_error);
+}
+
+TEST(CifarBin, RejectsTruncatedFile) {
+  TempFile tmp("bad.bin");
+  {
+    std::ofstream file(tmp.path, std::ios::binary);
+    for (int i = 0; i < 100; ++i) file.put(0);  // not a record multiple
+  }
+  EXPECT_THROW(load_cifar10_bin(tmp.path), std::runtime_error);
+}
+
+TEST(CifarBin, RejectsOutOfRangeLabelByte) {
+  TempFile tmp("badlabel.bin");
+  {
+    std::ofstream file(tmp.path, std::ios::binary);
+    file.put(11);  // CIFAR-10 labels are 0..9
+    for (int i = 0; i < 3072; ++i) file.put(0);
+  }
+  EXPECT_THROW(load_cifar10_bin(tmp.path), std::runtime_error);
+}
+
+TEST(CifarBin, SaveRejectsWrongShape) {
+  Dataset ds;
+  ds.images = Tensor(make_nchw(2, 3, 16, 16));
+  ds.labels = {0, 1};
+  TempFile tmp("shape.bin");
+  EXPECT_THROW(save_cifar10_bin(ds, tmp.path), std::runtime_error);
+}
+
+TEST(CifarBin, SaveRejectsLabelCountMismatch) {
+  Dataset ds;
+  ds.images = Tensor(make_nchw(2, 3, 32, 32));
+  ds.labels = {0};
+  TempFile tmp("labels.bin");
+  EXPECT_THROW(save_cifar10_bin(ds, tmp.path), std::runtime_error);
+}
+
+TEST(CifarBin, LoadedDataTrainsThroughDataLoader) {
+  // The loaded Dataset must plug straight into the training pipeline.
+  Dataset ds = make_synth_cifar(16, 507);
+  TempFile tmp("pipeline.bin");
+  save_cifar10_bin(ds, tmp.path);
+  const Dataset loaded = load_cifar10_bin(tmp.path);
+  EXPECT_EQ(loaded.images.shape().n(), 16);
+  EXPECT_EQ(loaded.num_classes, 10);
+  // Every label valid for a 10-way head.
+  for (const int32_t y : loaded.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+}  // namespace
+}  // namespace dsx::data

@@ -1,0 +1,247 @@
+// Tests for the SCC channel-window map (paper Algorithm 1 / Fig. 5):
+// cyclic-distance theory, window invariants, corner-case equivalences and
+// configuration validation.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+#include "core/channel_map.hpp"
+
+namespace dsx::scc {
+namespace {
+
+SCCConfig make_cfg(int64_t cin, int64_t cout, int64_t cg, double co,
+                   int64_t stride = 1) {
+  SCCConfig cfg;
+  cfg.in_channels = cin;
+  cfg.out_channels = cout;
+  cfg.groups = cg;
+  cfg.overlap = co;
+  cfg.stride = stride;
+  return cfg;
+}
+
+// ---- paper examples ---------------------------------------------------------
+
+TEST(ChannelMap, PaperFig5aCyclicDistance) {
+  // Cin=4, cg=2, co=50% -> cyclic_dist = 4 (paper Fig. 5(a)).
+  ChannelWindowMap map(make_cfg(4, 8, 2, 0.5));
+  EXPECT_EQ(map.group_width(), 2);
+  EXPECT_EQ(map.overlap_channels(), 1);
+  EXPECT_EQ(map.step(), 1);
+  EXPECT_EQ(map.cyclic_dist(), 4);
+}
+
+TEST(ChannelMap, PaperFig5bCyclicDistance) {
+  // Cin=6, cg=2, co=33% (=1/3) -> cyclic_dist = 3 (paper Fig. 5(b)).
+  ChannelWindowMap map(make_cfg(6, 6, 2, 1.0 / 3.0));
+  EXPECT_EQ(map.group_width(), 3);
+  EXPECT_EQ(map.overlap_channels(), 1);
+  EXPECT_EQ(map.cyclic_dist(), 3);
+}
+
+TEST(ChannelMap, PaperFig5bAtLiteral33Percent) {
+  // 0.33 (not exactly 1/3) must round the same way - this is precisely why
+  // the implementation uses llround instead of Algorithm 1's floor.
+  ChannelWindowMap map(make_cfg(6, 6, 2, 0.33));
+  EXPECT_EQ(map.overlap_channels(), 1);
+  EXPECT_EQ(map.cyclic_dist(), 3);
+}
+
+TEST(ChannelMap, PaperFig2cWindows) {
+  // Fig. 2(c): Cin=4, cg=2, co=50%: filter 2 reads {Cin1, Cin2}; filter 3
+  // wraps to {Cin3, Cin0}.
+  ChannelWindowMap map(make_cfg(4, 8, 2, 0.5));
+  EXPECT_EQ(map.window(0).start, 0);
+  EXPECT_EQ(map.window(1).start, 1);
+  EXPECT_EQ(map.input_channel(1, 0), 1);
+  EXPECT_EQ(map.input_channel(1, 1), 2);
+  EXPECT_EQ(map.input_channel(3, 0), 3);
+  EXPECT_EQ(map.input_channel(3, 1), 0);  // wrap-around
+}
+
+// ---- corner cases (paper Table I) ---------------------------------------------
+
+TEST(ChannelMap, PwCornerCase) {
+  // PW = SCC with 1 group and 100% overlap: every filter covers all inputs
+  // starting at 0.
+  ChannelWindowMap map(make_cfg(8, 16, 1, 1.0));
+  EXPECT_EQ(map.group_width(), 8);
+  EXPECT_EQ(map.step(), 0);
+  EXPECT_EQ(map.cyclic_dist(), 1);
+  for (int64_t f = 0; f < 16; ++f) {
+    EXPECT_EQ(map.window(f).start, 0);
+    EXPECT_EQ(map.window(f).width, 8);
+  }
+}
+
+TEST(ChannelMap, GpwCornerCase) {
+  // GPW = SCC with m groups and 0% overlap: exactly m distinct windows, each
+  // aligned to a group boundary.
+  ChannelWindowMap map(make_cfg(8, 16, 4, 0.0));
+  EXPECT_EQ(map.step(), 2);
+  EXPECT_EQ(map.cyclic_dist(), 4);
+  std::set<int64_t> starts;
+  for (int64_t f = 0; f < 16; ++f) {
+    const ChannelWindow w = map.window(f);
+    EXPECT_EQ(w.start % 2, 0);  // group aligned
+    starts.insert(w.start);
+  }
+  EXPECT_EQ(starts.size(), 4u);
+}
+
+// ---- parameterized invariants ---------------------------------------------------
+
+struct MapCase {
+  int64_t cin, cout, cg;
+  double co;
+};
+
+class MapInvariants : public ::testing::TestWithParam<MapCase> {};
+
+TEST_P(MapInvariants, WindowWidthIsGroupWidth) {
+  const MapCase p = GetParam();
+  ChannelWindowMap map(make_cfg(p.cin, p.cout, p.cg, p.co));
+  for (int64_t f = 0; f < p.cout; ++f) {
+    EXPECT_EQ(map.window(f).width, map.group_width());
+  }
+}
+
+TEST_P(MapInvariants, StartsAdvanceByStepModCin) {
+  const MapCase p = GetParam();
+  ChannelWindowMap map(make_cfg(p.cin, p.cout, p.cg, p.co));
+  for (int64_t f = 0; f + 1 < p.cout; ++f) {
+    EXPECT_EQ(map.window(f + 1).start,
+              (map.window(f).start + map.step()) % p.cin);
+  }
+}
+
+TEST_P(MapInvariants, WindowsRepeatWithCyclicDistance) {
+  const MapCase p = GetParam();
+  ChannelWindowMap map(make_cfg(p.cin, p.cout, p.cg, p.co));
+  const int64_t dist = map.cyclic_dist();
+  for (int64_t f = 0; f + dist < p.cout; ++f) {
+    EXPECT_EQ(map.window(f).start, map.window(f + dist).start);
+  }
+  // And windows within one cycle are pairwise distinct.
+  std::set<int64_t> starts;
+  for (int64_t f = 0; f < std::min<int64_t>(dist, p.cout); ++f) {
+    starts.insert(map.window(f).start);
+  }
+  EXPECT_EQ(static_cast<int64_t>(starts.size()),
+            std::min<int64_t>(dist, p.cout));
+}
+
+TEST_P(MapInvariants, CyclicDistDividesCinOverGcd) {
+  const MapCase p = GetParam();
+  ChannelWindowMap map(make_cfg(p.cin, p.cout, p.cg, p.co));
+  if (map.step() == 0) {
+    EXPECT_EQ(map.cyclic_dist(), 1);
+  } else {
+    EXPECT_EQ(map.cyclic_dist(), p.cin / std::gcd(map.step(), p.cin));
+  }
+}
+
+TEST_P(MapInvariants, ContributorsMatchForwardMap) {
+  const MapCase p = GetParam();
+  ChannelWindowMap map(make_cfg(p.cin, p.cout, p.cg, p.co));
+  // Total (filter, tap) pairs must equal Cout * gw, and every recorded
+  // contributor must agree with the forward input_channel mapping.
+  int64_t total = 0;
+  for (int64_t ic = 0; ic < p.cin; ++ic) {
+    for (const auto& contrib : map.contributors(ic)) {
+      EXPECT_EQ(map.input_channel(contrib.filter, contrib.k), ic);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, p.cout * map.group_width());
+}
+
+TEST_P(MapInvariants, EveryChannelReadWhenEnoughFilters) {
+  const MapCase p = GetParam();
+  ChannelWindowMap map(make_cfg(p.cin, p.cout, p.cg, p.co));
+  if (p.cout >= map.cyclic_dist() * 1) {
+    // One full cycle of windows covers every channel at least once when the
+    // windows tile the ring (gw * dist >= Cin always holds: gw >= gcd(step,
+    // Cin) is not generally enough, but gw >= step means consecutive windows
+    // are gap-free).
+    if (map.group_width() >= map.step()) {
+      for (int64_t ic = 0; ic < p.cin; ++ic) {
+        EXPECT_FALSE(map.contributors(ic).empty())
+            << "channel " << ic << " never read: " << map.config().to_string();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MapInvariants,
+    ::testing::Values(MapCase{4, 8, 2, 0.5}, MapCase{6, 6, 2, 1.0 / 3.0},
+                      MapCase{8, 16, 1, 1.0}, MapCase{8, 16, 4, 0.0},
+                      MapCase{8, 16, 2, 0.5}, MapCase{8, 16, 2, 0.25},
+                      MapCase{8, 16, 2, 0.75}, MapCase{16, 32, 8, 0.5},
+                      MapCase{16, 8, 4, 1.0 / 3.0}, MapCase{12, 24, 3, 0.5},
+                      MapCase{64, 128, 2, 0.5}, MapCase{64, 128, 8, 0.25},
+                      MapCase{10, 5, 5, 0.5}, MapCase{9, 27, 3, 2.0 / 3.0}));
+
+// ---- Algorithm 1 cross-validation ----------------------------------------------
+
+TEST(ChannelMap, MatchesAlgorithm1AtExactOverlaps) {
+  // Where co*gw is exactly integral, the literal floor-based Algorithm 1 and
+  // our rounded closed form must produce identical cycles.
+  struct Case {
+    int64_t cin, cg;
+    double co;
+  };
+  const Case cases[] = {
+      {4, 2, 0.5}, {8, 2, 0.5}, {8, 2, 0.25}, {8, 4, 0.0}, {16, 4, 0.5},
+      {12, 3, 0.5}, {6, 2, 0.0},
+  };
+  for (const Case& c : cases) {
+    ChannelWindowMap map(make_cfg(c.cin, 4 * c.cin, c.cg, c.co));
+    const auto ref = ChannelWindowMap::algorithm1_reference(
+        c.cin, c.cg, c.co, 4 * c.cin);
+    ASSERT_EQ(static_cast<int64_t>(ref.size()), map.cyclic_dist())
+        << "Cin=" << c.cin << " cg=" << c.cg << " co=" << c.co;
+    for (size_t f = 0; f < ref.size(); ++f) {
+      EXPECT_EQ(ref[f].first, map.window(static_cast<int64_t>(f)).start);
+    }
+  }
+}
+
+// ---- validation ------------------------------------------------------------------
+
+TEST(ChannelMap, RejectsNonDivisibleGroups) {
+  EXPECT_THROW(ChannelWindowMap(make_cfg(6, 8, 4, 0.5)), Error);
+}
+
+TEST(ChannelMap, RejectsOutOfRangeOverlap) {
+  EXPECT_THROW(ChannelWindowMap(make_cfg(8, 8, 2, -0.1)), Error);
+  EXPECT_THROW(ChannelWindowMap(make_cfg(8, 8, 2, 1.1)), Error);
+}
+
+TEST(ChannelMap, RejectsNonPositiveDims) {
+  EXPECT_THROW(ChannelWindowMap(make_cfg(0, 8, 1, 0.5)), Error);
+  EXPECT_THROW(ChannelWindowMap(make_cfg(8, 0, 1, 0.5)), Error);
+  EXPECT_THROW(ChannelWindowMap(make_cfg(8, 8, 0, 0.5)), Error);
+  EXPECT_THROW(ChannelWindowMap(make_cfg(8, 8, 2, 0.5, 0)), Error);
+}
+
+TEST(ChannelMap, WindowIndexBoundsChecked) {
+  ChannelWindowMap map(make_cfg(4, 8, 2, 0.5));
+  EXPECT_THROW(map.window(8), Error);
+  EXPECT_THROW(map.window(-1), Error);
+  EXPECT_THROW(map.input_channel(0, 2), Error);
+  EXPECT_THROW(map.contributors(4), Error);
+}
+
+TEST(ChannelMap, ConfigToString) {
+  const SCCConfig cfg = make_cfg(8, 16, 2, 0.5);
+  EXPECT_NE(cfg.to_string().find("cg=2"), std::string::npos);
+  EXPECT_NE(cfg.to_string().find("co=50"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dsx::scc

@@ -1,0 +1,268 @@
+// Tests for the synthetic datasets and the data loader.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::data {
+namespace {
+
+// ---- generators -------------------------------------------------------------
+
+TEST(SynthCifar, ShapesAndLabels) {
+  Dataset ds = make_synth_cifar(40, 1);
+  EXPECT_EQ(ds.images.shape(), make_nchw(40, 3, 32, 32));
+  EXPECT_EQ(ds.labels.size(), 40u);
+  EXPECT_EQ(ds.num_classes, 10);
+  for (int32_t y : ds.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 10);
+  }
+}
+
+TEST(SynthCifar, BalancedLabels) {
+  Dataset ds = make_synth_cifar(50, 2);
+  std::vector<int> counts(10, 0);
+  for (int32_t y : ds.labels) counts[static_cast<size_t>(y)]++;
+  for (int c : counts) EXPECT_EQ(c, 5);
+}
+
+TEST(SynthCifar, DeterministicBySeed) {
+  Dataset a = make_synth_cifar(10, 7);
+  Dataset b = make_synth_cifar(10, 7);
+  Dataset c = make_synth_cifar(10, 8);
+  EXPECT_FLOAT_EQ(max_abs_diff(a.images, b.images), 0.0f);
+  EXPECT_GT(max_abs_diff(a.images, c.images), 0.0f);
+}
+
+TEST(SynthCifar, ClassesAreDistinguishable) {
+  // Same-class samples must look more alike than cross-class samples. The
+  // generator applies random circular shifts, so compare shift-invariant
+  // descriptors: DFT magnitudes at the low frequencies the prototypes use.
+  Dataset ds = make_synth_cifar(40, 3, 16, 3, 2);
+  const int64_t S = 16, C = 3, plane = S * S;
+  const int64_t kFreq = 5;  // prototypes use fx, fy in [1, 4]
+  auto descriptor = [&](int64_t i) {
+    std::vector<double> d;
+    for (int64_t c = 0; c < C; ++c) {
+      const float* img = ds.images.data() + (i * C + c) * plane;
+      for (int64_t fy = 0; fy < kFreq; ++fy) {
+        for (int64_t fx = 0; fx < kFreq; ++fx) {
+          double re = 0.0, im = 0.0;
+          for (int64_t y = 0; y < S; ++y) {
+            for (int64_t x = 0; x < S; ++x) {
+              const double ph =
+                  -2.0 * 3.14159265358979 * (fx * x + fy * y) / S;
+              re += img[y * S + x] * std::cos(ph);
+              im += img[y * S + x] * std::sin(ph);
+            }
+          }
+          d.push_back(std::sqrt(re * re + im * im));
+        }
+      }
+    }
+    return d;
+  };
+  std::vector<std::vector<double>> desc;
+  for (int64_t i = 0; i < 40; ++i) desc.push_back(descriptor(i));
+  auto dist2 = [&](int64_t i, int64_t j) {
+    double acc = 0.0;
+    for (size_t k = 0; k < desc[i].size(); ++k) {
+      const double d = desc[i][k] - desc[j][k];
+      acc += d * d;
+    }
+    return acc;
+  };
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  for (int64_t i = 0; i < 40; ++i) {
+    for (int64_t j = i + 1; j < 40; ++j) {
+      if (ds.labels[i] == ds.labels[j]) {
+        same += dist2(i, j);
+        ++same_n;
+      } else {
+        cross += dist2(i, j);
+        ++cross_n;
+      }
+    }
+  }
+  // Same-class pairs are closer in descriptor space.
+  EXPECT_LT(same / same_n, 0.7 * (cross / cross_n));
+}
+
+TEST(SynthImagenet, ShapesAndClassCount) {
+  Dataset ds = make_synth_imagenet(20, 4);
+  EXPECT_EQ(ds.images.shape(), make_nchw(20, 3, 64, 64));
+  EXPECT_EQ(ds.num_classes, 100);
+}
+
+TEST(CrossChannel, PairDefinitionStraddlesGroups) {
+  CrossChannelOptions opts;
+  // Channels 8, classes 4: pairs (1,2), (3,4), (5,6), (7,0).
+  EXPECT_EQ(cross_channel_pair(0, opts), (std::pair<int64_t, int64_t>{1, 2}));
+  EXPECT_EQ(cross_channel_pair(1, opts), (std::pair<int64_t, int64_t>{3, 4}));
+  EXPECT_EQ(cross_channel_pair(3, opts), (std::pair<int64_t, int64_t>{7, 0}));
+  EXPECT_THROW(cross_channel_pair(4, opts), Error);
+}
+
+TEST(CrossChannel, PlantedPairIsCorrelated) {
+  CrossChannelOptions opts;
+  Dataset ds = make_cross_channel_task(80, 5, opts);
+  const int64_t plane = opts.spatial * opts.spatial;
+  for (int64_t i = 0; i < 80; ++i) {
+    const auto [a, b] =
+        cross_channel_pair(ds.labels[static_cast<size_t>(i)], opts);
+    const float* xa = ds.images.data() + (i * opts.channels + a) * plane;
+    const float* xb = ds.images.data() + (i * opts.channels + b) * plane;
+    double dot = 0.0, na = 0.0, nb = 0.0;
+    for (int64_t j = 0; j < plane; ++j) {
+      dot += static_cast<double>(xa[j]) * xb[j];
+      na += static_cast<double>(xa[j]) * xa[j];
+      nb += static_cast<double>(xb[j]) * xb[j];
+    }
+    const double corr = dot / std::sqrt(na * nb);
+    EXPECT_GT(corr, 0.9) << "sample " << i;
+  }
+}
+
+TEST(CrossChannel, OtherPairsAreUncorrelated) {
+  CrossChannelOptions opts;
+  Dataset ds = make_cross_channel_task(40, 6, opts);
+  const int64_t plane = opts.spatial * opts.spatial;
+  // Average |corr| over non-planted adjacent pairs must be small.
+  double total = 0.0;
+  int count = 0;
+  for (int64_t i = 0; i < 40; ++i) {
+    const auto planted =
+        cross_channel_pair(ds.labels[static_cast<size_t>(i)], opts);
+    for (int64_t c = 0; c < opts.channels; ++c) {
+      const int64_t d = (c + 1) % opts.channels;
+      if (std::pair<int64_t, int64_t>{c, d} == planted) continue;
+      const float* xa = ds.images.data() + (i * opts.channels + c) * plane;
+      const float* xb = ds.images.data() + (i * opts.channels + d) * plane;
+      double dot = 0.0, na = 0.0, nb = 0.0;
+      for (int64_t j = 0; j < plane; ++j) {
+        dot += static_cast<double>(xa[j]) * xb[j];
+        na += static_cast<double>(xa[j]) * xa[j];
+        nb += static_cast<double>(xb[j]) * xb[j];
+      }
+      total += std::abs(dot / std::sqrt(na * nb));
+      ++count;
+    }
+  }
+  EXPECT_LT(total / count, 0.3);
+}
+
+TEST(CrossChannel, ValidatesChannelClassRatio) {
+  CrossChannelOptions opts;
+  opts.channels = 6;  // != 2 * 4
+  EXPECT_THROW(make_cross_channel_task(10, 1, opts), Error);
+}
+
+// ---- DataLoader ----------------------------------------------------------------
+
+TEST(DataLoader, CoversEpochWithoutDuplicates) {
+  Dataset ds = make_synth_cifar(23, 9, 8, 3, 10);
+  DataLoader loader(ds, {.batch_size = 5, .shuffle = true, .seed = 3});
+  std::multiset<int32_t> seen;
+  int64_t total = 0;
+  while (loader.has_next()) {
+    Batch b = loader.next();
+    total += b.images.shape().n();
+    for (int32_t y : b.labels) seen.insert(y);
+  }
+  EXPECT_EQ(total, 23);
+  EXPECT_EQ(loader.batches_per_epoch(), 5);  // 4 full + 1 ragged
+}
+
+TEST(DataLoader, DropLastSkipsRaggedBatch) {
+  Dataset ds = make_synth_cifar(23, 9, 8, 3, 10);
+  DataLoader loader(ds,
+                    {.batch_size = 5, .shuffle = false, .drop_last = true});
+  int64_t total = 0;
+  while (loader.has_next()) total += loader.next().images.shape().n();
+  EXPECT_EQ(total, 20);
+  EXPECT_EQ(loader.batches_per_epoch(), 4);
+}
+
+TEST(DataLoader, UnshuffledPreservesOrder) {
+  Dataset ds = make_synth_cifar(10, 11, 8, 3, 5);
+  DataLoader loader(ds, {.batch_size = 4, .shuffle = false});
+  Batch b = loader.next();
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(b.labels[static_cast<size_t>(i)],
+              ds.labels[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(DataLoader, ShuffleChangesOrderButNotContent) {
+  Dataset ds = make_synth_cifar(50, 13, 8, 3, 10);
+  DataLoader loader(ds, {.batch_size = 50, .shuffle = true, .seed = 17});
+  Batch b = loader.next();
+  // Same multiset of labels.
+  std::multiset<int32_t> orig(ds.labels.begin(), ds.labels.end());
+  std::multiset<int32_t> got(b.labels.begin(), b.labels.end());
+  EXPECT_EQ(orig, got);
+  // But (almost surely) a different order.
+  EXPECT_NE(std::vector<int32_t>(b.labels.begin(), b.labels.end()), ds.labels);
+}
+
+TEST(DataLoader, ResetStartsNewEpoch) {
+  Dataset ds = make_synth_cifar(8, 15, 8, 3, 4);
+  DataLoader loader(ds, {.batch_size = 8, .shuffle = false});
+  loader.next();
+  EXPECT_FALSE(loader.has_next());
+  loader.reset();
+  EXPECT_TRUE(loader.has_next());
+}
+
+TEST(DataLoader, NextPastEndThrows) {
+  Dataset ds = make_synth_cifar(4, 15, 8, 3, 4);
+  DataLoader loader(ds, {.batch_size = 4});
+  loader.next();
+  EXPECT_THROW(loader.next(), Error);
+}
+
+TEST(DataLoader, AugmentPreservesShapeAndLabels) {
+  Dataset ds = make_synth_cifar(16, 19, 8, 3, 4);
+  DataLoader plain(ds, {.batch_size = 16, .shuffle = false});
+  DataLoader aug(ds, {.batch_size = 16, .shuffle = false, .augment = true});
+  Batch pb = plain.next();
+  Batch ab = aug.next();
+  EXPECT_EQ(ab.images.shape(), pb.images.shape());
+  EXPECT_EQ(ab.labels, pb.labels);
+  // Augmentation actually changed pixels (circular shift / flip).
+  EXPECT_GT(max_abs_diff(ab.images, pb.images), 0.0f);
+  // But the multiset of pixel values per sample is preserved (it is a
+  // permutation).
+  const int64_t sample = 3 * 8 * 8;
+  for (int64_t i = 0; i < 2; ++i) {
+    std::multiset<float> a_set, p_set;
+    for (int64_t k = 0; k < sample; ++k) {
+      a_set.insert(ab.images[i * sample + k]);
+      p_set.insert(pb.images[i * sample + k]);
+    }
+    EXPECT_EQ(a_set, p_set);
+  }
+}
+
+TEST(DataLoader, FullBatchClonesDataset) {
+  Dataset ds = make_synth_cifar(6, 21, 8, 3, 3);
+  Batch b = full_batch(ds);
+  EXPECT_EQ(b.images.shape(), ds.images.shape());
+  EXPECT_FALSE(b.images.shares_storage_with(ds.images));
+  EXPECT_EQ(b.labels, ds.labels);
+}
+
+TEST(DataLoader, ValidatesBatchSize) {
+  Dataset ds = make_synth_cifar(4, 23, 8, 3, 2);
+  EXPECT_THROW(DataLoader(ds, {.batch_size = 0}), Error);
+}
+
+}  // namespace
+}  // namespace dsx::data

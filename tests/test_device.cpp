@@ -1,0 +1,288 @@
+// Unit tests for src/device: thread pool, parallel loops, instrumented
+// atomics, kernel-launch logging and the virtual device group.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "device/atomic_stats.hpp"
+#include "device/device_group.hpp"
+#include "device/launch.hpp"
+#include "device/parallel_for.hpp"
+#include "device/thread_pool.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::device {
+namespace {
+
+// ---- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPool, CoversWholeRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.run_chunks(1000, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.run_chunks(0, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, NegativeRangeThrows) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.run_chunks(-1, [](int64_t, int64_t) {}), Error);
+}
+
+TEST(ThreadPool, SingleThreadPoolWorks) {
+  ThreadPool pool(1);
+  std::atomic<int64_t> sum{0};
+  pool.run_chunks(100, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_chunks(100,
+                               [&](int64_t b, int64_t) {
+                                 if (b > 0) throw Error("boom");
+                               }),
+               Error);
+  // Pool must still be usable afterwards.
+  std::atomic<int> ok{0};
+  pool.run_chunks(8, [&](int64_t b, int64_t e) {
+    ok += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, PropagatesCallerChunkException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.run_chunks(100,
+                               [&](int64_t b, int64_t) {
+                                 if (b == 0) throw Error("boom");
+                               }),
+               Error);
+}
+
+TEST(ThreadPool, ReusableAcrossManyCalls) {
+  ThreadPool pool(3);
+  for (int iter = 0; iter < 50; ++iter) {
+    std::atomic<int64_t> sum{0};
+    pool.run_chunks(64, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) sum += 1;
+    });
+    EXPECT_EQ(sum.load(), 64);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolExists) {
+  EXPECT_GE(ThreadPool::global().size(), 1u);
+}
+
+// ---- parallel_for -------------------------------------------------------------
+
+TEST(ParallelFor, MatchesSerialSum) {
+  std::vector<int64_t> data(5000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<int64_t> sum{0};
+  parallel_for(
+      5000, [&](int64_t i) { sum += data[static_cast<size_t>(i)]; },
+      /*grain=*/16);
+  EXPECT_EQ(sum.load(), 5000 * 4999 / 2);
+}
+
+TEST(ParallelFor, SmallRangeStaysSerial) {
+  // Bodies under the grain threshold run inline on the caller.
+  const auto caller = std::this_thread::get_id();
+  bool same_thread = true;
+  parallel_for(
+      8,
+      [&](int64_t) {
+        same_thread = same_thread && std::this_thread::get_id() == caller;
+      },
+      /*grain=*/1024);
+  EXPECT_TRUE(same_thread);
+}
+
+TEST(ParallelForChunks, ChunksPartitionRange) {
+  std::vector<std::atomic<int>> hits(4096);
+  parallel_for_chunks(
+      4096,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) hits[static_cast<size_t>(i)]++;
+      },
+      /*grain=*/8);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2d, CoversGrid) {
+  std::vector<std::atomic<int>> hits(12 * 34);
+  parallel_for_2d(
+      12, 34,
+      [&](int64_t r, int64_t c) { hits[static_cast<size_t>(r * 34 + c)]++; },
+      /*grain=*/4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterations) {
+  int calls = 0;
+  parallel_for(0, [&](int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_THROW(parallel_for(-5, [](int64_t) {}), Error);
+}
+
+// ---- atomics -------------------------------------------------------------------
+
+TEST(AtomicAddFloat, ConcurrentSumIsExact) {
+  float target = 0.0f;
+  parallel_for_chunks(
+      10000,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) atomic_add_float(target, 1.0f);
+      },
+      /*grain=*/8);
+  EXPECT_FLOAT_EQ(target, 10000.0f);
+}
+
+TEST(AtomicCounters, ScopeCountsOnlyInside) {
+  float x = 0.0f;
+  atomic_add_float(x, 1.0f);  // outside any scope: not counted
+  {
+    AtomicCountScope scope;
+    atomic_add_float(x, 1.0f);
+    atomic_add_float(x, 1.0f);
+    EXPECT_EQ(scope.adds(), 2);
+  }
+  EXPECT_FALSE(AtomicCounters::instance().counting());
+}
+
+TEST(AtomicCounters, NestedScopesRestoreState) {
+  AtomicCountScope outer;
+  float x = 0.0f;
+  {
+    AtomicCountScope inner;
+    atomic_add_float(x, 1.0f);
+  }
+  atomic_add_float(x, 1.0f);
+  EXPECT_TRUE(AtomicCounters::instance().counting());
+  EXPECT_GE(outer.adds(), 2);
+}
+
+// ---- kernel log ----------------------------------------------------------------
+
+TEST(KernelLog, RecordsLaunchesInsideScope) {
+  KernelProfileScope scope;
+  launch_kernel("test_kernel", 100, {3.0, 5.0}, [](int64_t) {});
+  const auto records = scope.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].name, "test_kernel");
+  EXPECT_EQ(records[0].threads, 100);
+  EXPECT_DOUBLE_EQ(records[0].flops_per_thread, 3.0);
+  EXPECT_DOUBLE_EQ(records[0].total_flops(), 300.0);
+  EXPECT_DOUBLE_EQ(records[0].total_bytes(), 500.0);
+}
+
+TEST(KernelLog, SilentWhenDisabled) {
+  KernelLog::instance().clear();
+  launch_kernel("quiet", 10, {}, [](int64_t) {});
+  EXPECT_TRUE(KernelLog::instance().snapshot().empty());
+}
+
+TEST(KernelLog, ModeledThreadCountDiffersFromExecRange) {
+  KernelProfileScope scope;
+  launch_kernel_chunks_modeled("gemm_like", /*exec=*/4, /*model=*/4096,
+                               {2.0, 1.0}, [](int64_t, int64_t) {});
+  const auto records = scope.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].threads, 4096);
+}
+
+TEST(KernelLog, CapturesAtomicsPerLaunch) {
+  AtomicCountScope counting;
+  KernelProfileScope scope;
+  float x = 0.0f;
+  launch_kernel("atomic_kernel", 4, {}, [&](int64_t) {
+    atomic_add_float(x, 1.0f);
+  });
+  launch_kernel("clean_kernel", 4, {}, [](int64_t) {});
+  const auto records = scope.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].atomic_adds, 4);
+  EXPECT_EQ(records[1].atomic_adds, 0);
+}
+
+// ---- DeviceGroup ---------------------------------------------------------------
+
+TEST(DeviceGroup, AllReduceMeanAveragesReplicas) {
+  DeviceGroup group(3);
+  Tensor a(Shape{4}, 1.0f), b(Shape{4}, 2.0f), c(Shape{4}, 6.0f);
+  std::vector<Tensor*> replicas = {&a, &b, &c};
+  const CollectiveStats stats = group.all_reduce_mean(replicas);
+  for (int64_t i = 0; i < 4; ++i) {
+    EXPECT_FLOAT_EQ(a[i], 3.0f);
+    EXPECT_FLOAT_EQ(b[i], 3.0f);
+    EXPECT_FLOAT_EQ(c[i], 3.0f);
+  }
+  EXPECT_EQ(stats.devices, 3);
+  EXPECT_DOUBLE_EQ(stats.payload_bytes, 16.0);
+}
+
+TEST(DeviceGroup, AllReduceValidatesShapes) {
+  DeviceGroup group(2);
+  Tensor a(Shape{4}), b(Shape{5});
+  std::vector<Tensor*> replicas = {&a, &b};
+  EXPECT_THROW(group.all_reduce_mean(replicas), Error);
+}
+
+TEST(DeviceGroup, AllReduceValidatesReplicaCount) {
+  DeviceGroup group(2);
+  Tensor a(Shape{4});
+  std::vector<Tensor*> replicas = {&a};
+  EXPECT_THROW(group.all_reduce_mean(replicas), Error);
+}
+
+TEST(DeviceGroup, ParamListCollective) {
+  DeviceGroup group(2);
+  Tensor a0(Shape{2}, 0.0f), a1(Shape{2}, 4.0f);
+  Tensor b0(Shape{3}, 1.0f), b1(Shape{3}, 3.0f);
+  std::vector<std::vector<Tensor*>> params = {{&a0, &b0}, {&a1, &b1}};
+  const CollectiveStats stats = group.all_reduce_mean(params);
+  EXPECT_FLOAT_EQ(a0[0], 2.0f);
+  EXPECT_FLOAT_EQ(b1[2], 2.0f);
+  EXPECT_DOUBLE_EQ(stats.payload_bytes, (2 + 3) * 4.0);
+}
+
+TEST(DeviceGroup, Broadcast) {
+  DeviceGroup group(3);
+  Tensor src(Shape{3}, 5.0f);
+  Tensor d1(Shape{3}), d2(Shape{3});
+  std::vector<Tensor*> dst = {&d1, &d2};
+  group.broadcast(src, dst);
+  EXPECT_FLOAT_EQ(d1[2], 5.0f);
+  EXPECT_FLOAT_EQ(d2[0], 5.0f);
+}
+
+TEST(DeviceGroup, RingBytesFormula) {
+  EXPECT_DOUBLE_EQ(ring_all_reduce_bytes(100.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ring_all_reduce_bytes(100.0, 2), 100.0);
+  EXPECT_DOUBLE_EQ(ring_all_reduce_bytes(100.0, 4), 150.0);
+  EXPECT_THROW(ring_all_reduce_bytes(1.0, 0), Error);
+}
+
+TEST(DeviceGroup, RequiresAtLeastOneDevice) {
+  EXPECT_THROW(DeviceGroup(0), Error);
+}
+
+}  // namespace
+}  // namespace dsx::device

@@ -1,0 +1,288 @@
+// Tests for the design-space exploration library (explore/design_space):
+// grid enumeration, Pareto-front invariants (no dominated point survives,
+// every dropped point is dominated), budget selection, and the cross-channel
+// proxy evaluator's accuracy ordering (the paper's Table I mechanism).
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "core/cost_model.hpp"
+#include "explore/design_space.hpp"
+
+namespace dsx::explore {
+namespace {
+
+// ---- grid ---------------------------------------------------------------------
+
+TEST(Grid, EnumeratesCrossProductInOrder) {
+  const std::array<int64_t, 2> cgs = {2, 4};
+  const std::array<double, 3> cos = {0.0, 0.5, 1.0};
+  const auto points = grid(cgs, cos);
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].cg, 2);
+  EXPECT_DOUBLE_EQ(points[0].co, 0.0);
+  EXPECT_EQ(points[5].cg, 4);
+  EXPECT_DOUBLE_EQ(points[5].co, 1.0);
+}
+
+TEST(Grid, RejectsInvalidAxes) {
+  const std::array<int64_t, 1> ok_cg = {2};
+  const std::array<double, 1> ok_co = {0.5};
+  const std::array<int64_t, 1> bad_cg = {0};
+  const std::array<double, 1> bad_co = {1.5};
+  EXPECT_THROW(grid(std::span<const int64_t>{}, ok_co), std::runtime_error);
+  EXPECT_THROW(grid(bad_cg, ok_co), std::runtime_error);
+  EXPECT_THROW(grid(ok_cg, bad_co), std::runtime_error);
+}
+
+TEST(Grid, DesignPointNamesMatchPaperNotation) {
+  EXPECT_EQ((DesignPoint{2, 0.5}.to_string()), "SCC-cg2-co50%");
+  EXPECT_EQ((DesignPoint{4, 1.0 / 3.0}.to_string()), "SCC-cg4-co33%");
+}
+
+// ---- evaluate_grid ---------------------------------------------------------------
+
+TEST(EvaluateGrid, AttachesCostAndScorePerPoint) {
+  const std::array<int64_t, 2> cgs = {1, 2};
+  const std::array<double, 1> cos = {0.5};
+  const auto points = grid(cgs, cos);
+  const auto candidates = evaluate_grid(
+      points,
+      [](const DesignPoint& p) {
+        return DesignCost{100.0 / static_cast<double>(p.cg), 10.0};
+      },
+      [](const DesignPoint& p) { return 1.0 / static_cast<double>(p.cg); });
+  ASSERT_EQ(candidates.size(), 2u);
+  EXPECT_DOUBLE_EQ(candidates[0].mmacs, 100.0);
+  EXPECT_DOUBLE_EQ(candidates[0].score, 1.0);
+  EXPECT_DOUBLE_EQ(candidates[1].mmacs, 50.0);
+  EXPECT_DOUBLE_EQ(candidates[1].score, 0.5);
+}
+
+TEST(EvaluateGrid, RejectsNullCallbacks) {
+  const std::array<int64_t, 1> cgs = {2};
+  const std::array<double, 1> cos = {0.5};
+  const auto points = grid(cgs, cos);
+  EXPECT_THROW(
+      evaluate_grid(points, nullptr, [](const DesignPoint&) { return 0.0; }),
+      std::runtime_error);
+}
+
+// ---- pareto_front ---------------------------------------------------------------
+
+Candidate make_candidate(double mmacs, double score) {
+  return {{2, 0.5}, mmacs, 0.0, score};
+}
+
+TEST(ParetoFront, DropsDominatedPoints) {
+  // (10, 0.9) dominates (12, 0.8); (5, 0.5) survives as the cheap corner.
+  auto front = pareto_front(
+      {make_candidate(10, 0.9), make_candidate(12, 0.8),
+       make_candidate(5, 0.5)});
+  ASSERT_EQ(front.size(), 2u);
+  EXPECT_DOUBLE_EQ(front[0].mmacs, 5.0);
+  EXPECT_DOUBLE_EQ(front[1].mmacs, 10.0);
+}
+
+TEST(ParetoFront, SortedByCostWithStrictlyIncreasingScore) {
+  auto front = pareto_front(
+      {make_candidate(8, 0.3), make_candidate(2, 0.1), make_candidate(4, 0.2),
+       make_candidate(6, 0.15), make_candidate(10, 0.05)});
+  ASSERT_EQ(front.size(), 3u);
+  for (size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].mmacs, front[i - 1].mmacs);
+    EXPECT_GT(front[i].score, front[i - 1].score);
+  }
+}
+
+TEST(ParetoFront, NoSurvivorIsDominated) {
+  // Property over a pseudo-random cloud: for every kept point there is no
+  // other original point that is at least as good on both axes and better
+  // on one.
+  std::vector<Candidate> cloud;
+  uint64_t state = 12345;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<double>(state >> 40) / static_cast<double>(1 << 24);
+  };
+  for (int i = 0; i < 64; ++i) cloud.push_back(make_candidate(next(), next()));
+  const auto front = pareto_front(cloud);
+  ASSERT_FALSE(front.empty());
+  for (const Candidate& kept : front) {
+    for (const Candidate& other : cloud) {
+      const bool dominates =
+          other.mmacs <= kept.mmacs && other.score >= kept.score &&
+          (other.mmacs < kept.mmacs || other.score > kept.score);
+      EXPECT_FALSE(dominates) << "front point (" << kept.mmacs << ", "
+                              << kept.score << ") dominated by ("
+                              << other.mmacs << ", " << other.score << ")";
+    }
+  }
+}
+
+TEST(ParetoFront, EveryDroppedPointIsDominated) {
+  std::vector<Candidate> cloud = {make_candidate(1, 0.1), make_candidate(2, 0.5),
+                                  make_candidate(3, 0.4),
+                                  make_candidate(4, 0.9)};
+  const auto front = pareto_front(cloud);
+  for (const Candidate& c : cloud) {
+    bool kept = false;
+    for (const Candidate& f : front) {
+      kept |= f.mmacs == c.mmacs && f.score == c.score;
+    }
+    if (kept) continue;
+    bool dominated = false;
+    for (const Candidate& f : front) {
+      dominated |= f.mmacs <= c.mmacs && f.score >= c.score &&
+                   (f.mmacs < c.mmacs || f.score > c.score);
+    }
+    EXPECT_TRUE(dominated) << "(" << c.mmacs << ", " << c.score
+                           << ") dropped but not dominated";
+  }
+}
+
+TEST(ParetoFront, EmptyInputGivesEmptyFront) {
+  EXPECT_TRUE(pareto_front({}).empty());
+}
+
+// ---- best_under_budget --------------------------------------------------------------
+
+TEST(BudgetPick, PicksHighestScoreWithinBudget) {
+  const std::vector<Candidate> candidates = {
+      make_candidate(5, 0.5), make_candidate(10, 0.9), make_candidate(20, 0.95)};
+  const Candidate c = best_under_budget(candidates, 12.0);
+  EXPECT_DOUBLE_EQ(c.mmacs, 10.0);
+  EXPECT_DOUBLE_EQ(c.score, 0.9);
+}
+
+TEST(BudgetPick, BreaksScoreTiesTowardCheaper) {
+  const std::vector<Candidate> candidates = {make_candidate(10, 0.9),
+                                             make_candidate(6, 0.9)};
+  EXPECT_DOUBLE_EQ(best_under_budget(candidates, 100.0).mmacs, 6.0);
+}
+
+TEST(BudgetPick, ThrowsWhenNothingFits) {
+  const std::vector<Candidate> candidates = {make_candidate(10, 0.9)};
+  EXPECT_THROW(best_under_budget(candidates, 5.0), std::runtime_error);
+}
+
+// ---- cost function integration --------------------------------------------------------
+
+TEST(CostIntegration, SccCostFollowsDesignPoint) {
+  // The standard CostFn: analytic SCC cost of a representative fusion layer.
+  const auto cost_fn = [](const DesignPoint& p) {
+    scc::SCCConfig cfg;
+    cfg.in_channels = 64;
+    cfg.out_channels = 64;
+    cfg.groups = p.cg;
+    cfg.overlap = p.co;
+    const auto c = scc::scc_cost(cfg, 16, 16, false);
+    return DesignCost{c.macs / 1e6, c.params / 1e3};
+  };
+  const DesignCost cg1 = cost_fn({1, 0.5});
+  const DesignCost cg4 = cost_fn({4, 0.5});
+  EXPECT_DOUBLE_EQ(cg1.mmacs, 4.0 * cg4.mmacs);   // MACs scale as 1/cg
+  EXPECT_DOUBLE_EQ(cg1.kparams, 4.0 * cg4.kparams);
+  // co does not change the analytic cost (paper Table I).
+  EXPECT_DOUBLE_EQ(cost_fn({4, 0.0}).mmacs, cg4.mmacs);
+}
+
+// ---- the proxy evaluator (slow path: one real training run per point) -----------------
+
+TEST(CrossChannelProxy, OverlapBeatsNoOverlapAtEqualCost) {
+  // The paper's core accuracy claim in miniature: at equal cg (equal cost),
+  // SCC's window overlap recovers the cross-group signal GPW loses.
+  ProxyOptions opts;
+  opts.epochs = 6;
+  opts.train_samples = 192;
+  opts.test_samples = 96;
+  const ScoreFn proxy = make_cross_channel_proxy(opts);
+  const double gpw_like = proxy({4, 0.0});   // no overlap = GPW corner
+  const double scc = proxy({4, 0.5});
+  EXPECT_GT(scc, gpw_like + 0.10);
+}
+
+TEST(CrossChannelProxy, IsDeterministicForFixedOptions) {
+  ProxyOptions opts;
+  opts.epochs = 2;
+  opts.train_samples = 64;
+  opts.test_samples = 32;
+  const ScoreFn proxy = make_cross_channel_proxy(opts);
+  EXPECT_DOUBLE_EQ(proxy({2, 0.5}), proxy({2, 0.5}));
+}
+
+TEST(CrossChannelProxy, RejectsIndivisibleGroups) {
+  const ScoreFn proxy = make_cross_channel_proxy();
+  EXPECT_THROW(proxy({3, 0.5}), std::runtime_error);  // 3 does not divide 8
+}
+
+// ---- per-layer budget allocation ------------------------------------------------
+
+TEST(SiteMacs, MatchesAnalyticFormula) {
+  const LayerSite site{64, 128, 16};
+  EXPECT_DOUBLE_EQ(site_mmacs(site, 1), 128.0 * 64 * 16 * 16 / 1e6);
+  EXPECT_DOUBLE_EQ(site_mmacs(site, 4), site_mmacs(site, 1) / 4.0);
+  EXPECT_THROW(site_mmacs(site, 5), std::runtime_error);  // 5 !| 64
+}
+
+TEST(PerLayerAllocation, KeepsEverythingAtCg1WhenBudgetIsLoose) {
+  const std::vector<LayerSite> sites = {{64, 64, 16}, {128, 128, 8}};
+  const std::vector<int64_t> cgs = {1, 2, 4, 8};
+  const Allocation alloc = allocate_per_layer(sites, cgs, 1e9);
+  EXPECT_EQ(alloc.cg, (std::vector<int64_t>{1, 1}));
+  EXPECT_DOUBLE_EQ(alloc.total_mmacs,
+                   site_mmacs(sites[0], 1) + site_mmacs(sites[1], 1));
+}
+
+TEST(PerLayerAllocation, MeetsTheBudget) {
+  const std::vector<LayerSite> sites = {{64, 64, 16}, {128, 128, 8},
+                                        {256, 256, 4}};
+  const std::vector<int64_t> cgs = {1, 2, 4, 8};
+  const double loose = site_mmacs(sites[0], 1) + site_mmacs(sites[1], 1) +
+                       site_mmacs(sites[2], 1);
+  const Allocation alloc = allocate_per_layer(sites, cgs, loose / 3.0);
+  EXPECT_LE(alloc.total_mmacs, loose / 3.0);
+  // Reported total matches recomputation from the assignment.
+  double recomputed = 0.0;
+  for (size_t s = 0; s < sites.size(); ++s) {
+    recomputed += site_mmacs(sites[s], alloc.cg[s]);
+  }
+  EXPECT_NEAR(alloc.total_mmacs, recomputed, 1e-12);
+}
+
+TEST(PerLayerAllocation, BumpsTheBiggestSaverFirst) {
+  // Site 0 is 4x the cost of site 1 at every cg - the greedy must group
+  // site 0 before touching site 1.
+  const std::vector<LayerSite> sites = {{64, 64, 16}, {64, 64, 8}};
+  const std::vector<int64_t> cgs = {1, 2};
+  const double full = site_mmacs(sites[0], 1) + site_mmacs(sites[1], 1);
+  // Budget reachable by halving site 0 alone.
+  const Allocation alloc =
+      allocate_per_layer(sites, cgs, full - site_mmacs(sites[0], 2));
+  EXPECT_EQ(alloc.cg[0], 2);
+  EXPECT_EQ(alloc.cg[1], 1);
+}
+
+TEST(PerLayerAllocation, SkipsCgsThatDoNotDivide) {
+  // 24 channels: cg=8 invalid (24 % 8 != 0), ladder is {1, 2, 4}.
+  const std::vector<LayerSite> sites = {{24, 24, 8}};
+  const std::vector<int64_t> cgs = {1, 2, 4, 8};
+  const Allocation alloc =
+      allocate_per_layer(sites, cgs, site_mmacs(sites[0], 4));
+  EXPECT_EQ(alloc.cg[0], 4);  // maxed out at the largest valid cg
+}
+
+TEST(PerLayerAllocation, ThrowsWhenBudgetUnreachable) {
+  const std::vector<LayerSite> sites = {{8, 8, 8}};
+  const std::vector<int64_t> cgs = {1, 2};
+  EXPECT_THROW(allocate_per_layer(sites, cgs, 1e-9), std::runtime_error);
+}
+
+TEST(PerLayerAllocation, RejectsUnsortedCgAxis) {
+  const std::vector<LayerSite> sites = {{8, 8, 8}};
+  const std::vector<int64_t> cgs = {4, 2};
+  EXPECT_THROW(allocate_per_layer(sites, cgs, 1e9), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsx::explore

@@ -1,0 +1,195 @@
+// Tests for the analytic GPU model: wave/saturation behaviour (Fig. 13's
+// mechanism), atomic serialization, all-reduce link model (Fig. 14's
+// mechanism) and profile aggregation.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "gpusim/device_spec.hpp"
+#include "gpusim/estimator.hpp"
+#include "gpusim/kernel_profile.hpp"
+#include "gpusim/link_model.hpp"
+
+namespace dsx::gpusim {
+namespace {
+
+device::KernelRecord make_record(int64_t threads, double flops, double bytes,
+                                 int64_t atomics = 0) {
+  device::KernelRecord r;
+  r.name = "k";
+  r.threads = threads;
+  r.flops_per_thread = flops;
+  r.bytes_per_thread = bytes;
+  r.atomic_adds = atomics;
+  return r;
+}
+
+TEST(DeviceSpec, V100Headline) {
+  const DeviceSpec v100 = DeviceSpec::v100();
+  EXPECT_EQ(v100.sms, 80);
+  EXPECT_DOUBLE_EQ(v100.peak_flops, 15.7e12);
+  EXPECT_DOUBLE_EQ(v100.wave_threads(), 80.0 * 2048.0);
+}
+
+TEST(Estimator, FlatWhileUndersaturated) {
+  // Below one wave, the modeled time is the launch overhead plus one wave -
+  // independent of thread count. This is the knee mechanism of Fig. 13.
+  const DeviceSpec spec = DeviceSpec::v100();
+  const double t_small = estimate_kernel_time(spec, make_record(1000, 100, 40));
+  const double t_half_wave =
+      estimate_kernel_time(spec, make_record(80000, 100, 40));
+  EXPECT_DOUBLE_EQ(t_small, t_half_wave);
+}
+
+TEST(Estimator, LinearBeyondSaturation) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  const int64_t wave = static_cast<int64_t>(spec.wave_threads());
+  const double t1 = estimate_kernel_time(spec, make_record(wave, 100, 40));
+  const double t4 = estimate_kernel_time(spec, make_record(4 * wave, 100, 40));
+  // 4 waves cost ~4x the wave time (minus the shared launch overhead).
+  const double wave_time = t1 - spec.kernel_launch_overhead;
+  EXPECT_NEAR(t4 - spec.kernel_launch_overhead, 4.0 * wave_time,
+              1e-12 + 0.01 * wave_time);
+}
+
+TEST(Estimator, RooflinePicksBindingResource) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  // Compute-bound: heavy flops, light bytes.
+  const auto compute = make_record(1 << 20, 10000.0, 4.0);
+  // Memory-bound: light flops, heavy bytes.
+  const auto memory = make_record(1 << 20, 4.0, 10000.0);
+  const double tc = estimate_kernel_time(spec, compute);
+  const double tm = estimate_kernel_time(spec, memory);
+  // bytes/bw > flops/peak for the memory kernel on a V100 (ratio ~17).
+  EXPECT_GT(tm, tc);
+}
+
+TEST(Estimator, AtomicsAddSerializationTime) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  const double t0 = estimate_kernel_time(spec, make_record(1024, 10, 10, 0));
+  const double t1 =
+      estimate_kernel_time(spec, make_record(1024, 10, 10, 40'000'000));
+  EXPECT_NEAR(t1 - t0, 40e6 / spec.atomic_throughput, 1e-9);
+}
+
+TEST(Estimator, ZeroThreadKernelCostsOverheadOnly) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  EXPECT_DOUBLE_EQ(estimate_kernel_time(spec, make_record(0, 1, 1)),
+                   spec.kernel_launch_overhead);
+  EXPECT_THROW(estimate_kernel_time(spec, make_record(-1, 1, 1)), Error);
+}
+
+TEST(Estimator, LogTimeIsSumOfKernels) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  const std::vector<device::KernelRecord> log = {make_record(100, 10, 10),
+                                                 make_record(200, 10, 10)};
+  EXPECT_NEAR(estimate_log_time(spec, log),
+              estimate_kernel_time(spec, log[0]) +
+                  estimate_kernel_time(spec, log[1]),
+              1e-15);
+}
+
+// ---- link model -----------------------------------------------------------------
+
+TEST(LinkModel, SingleDeviceIsFree) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  EXPECT_DOUBLE_EQ(all_reduce_time(spec, 1e9, 1), 0.0);
+}
+
+TEST(LinkModel, BandwidthTermUsesRingBytes) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  const double t2 = all_reduce_time(spec, 100e6, 2);
+  // 2 devices: wire = payload; latency = 2 hops.
+  EXPECT_NEAR(t2, 2 * spec.link_latency + 100e6 / spec.link_bandwidth, 1e-12);
+}
+
+TEST(LinkModel, WireTrafficSaturatesWithDevices) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  // Ring all-reduce traffic per device grows like 2(D-1)/D -> 2, so time
+  // grows but stays bounded (plus latency).
+  const double t2 = all_reduce_time(spec, 1e9, 2);
+  const double t4 = all_reduce_time(spec, 1e9, 4);
+  const double t8 = all_reduce_time(spec, 1e9, 8);
+  EXPECT_LT(t2, t4);
+  EXPECT_LT(t4, t8);
+  EXPECT_LT(t8, 2.1 * t2);
+}
+
+TEST(LinkModel, DataParallelSpeedupShape) {
+  // Fig. 14 shape: speedup grows with devices; for compute-dominated steps it
+  // approaches linear; comm overhead keeps it strictly sublinear.
+  const DeviceSpec spec = DeviceSpec::v100();
+  const double compute = 0.5;       // seconds per step on 1 device
+  const double grads = 50e6;        // bytes
+  double prev_speedup = 1.0;
+  for (int d = 1; d <= 4; ++d) {
+    const MultiGpuEstimate est =
+        estimate_data_parallel(spec, compute, grads, d);
+    EXPECT_GE(est.speedup, prev_speedup);
+    EXPECT_LE(est.speedup, static_cast<double>(d) + 1e-9);
+    prev_speedup = est.speedup;
+  }
+  const MultiGpuEstimate est4 = estimate_data_parallel(spec, compute, grads, 4);
+  EXPECT_GT(est4.speedup, 3.0);  // near-linear at 4 devices (paper Fig. 14)
+}
+
+TEST(LinkModel, CommBoundStepsScalePoorly) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  // Tiny compute, huge gradients: adding devices barely helps.
+  const MultiGpuEstimate est =
+      estimate_data_parallel(spec, 1e-3, 4e9, 4);
+  EXPECT_LT(est.speedup, 1.0);
+}
+
+TEST(LinkModel, Validation) {
+  const DeviceSpec spec = DeviceSpec::v100();
+  EXPECT_THROW(all_reduce_time(spec, -1.0, 2), Error);
+  EXPECT_THROW(all_reduce_time(spec, 1.0, 0), Error);
+  EXPECT_THROW(estimate_data_parallel(spec, -1.0, 1.0, 2), Error);
+}
+
+// ---- profile aggregation ----------------------------------------------------------
+
+TEST(Profile, SummarizeTotals) {
+  const std::vector<device::KernelRecord> log = {
+      make_record(100, 2.0, 4.0, 5), make_record(50, 4.0, 8.0, 0)};
+  const ProfileSummary s = summarize(log);
+  EXPECT_EQ(s.launches, 2);
+  EXPECT_DOUBLE_EQ(s.total_threads, 150.0);
+  EXPECT_DOUBLE_EQ(s.total_flops, 200.0 + 200.0);
+  EXPECT_DOUBLE_EQ(s.total_bytes, 400.0 + 400.0);
+  EXPECT_EQ(s.total_atomics, 5);
+}
+
+TEST(Profile, SummarizeByNameGroups) {
+  std::vector<device::KernelRecord> log = {make_record(10, 1, 1),
+                                           make_record(20, 1, 1)};
+  log[0].name = "a";
+  log[1].name = "a";
+  log.push_back(make_record(5, 1, 1));
+  log.back().name = "b";
+  const auto by_name = summarize_by_name(log);
+  ASSERT_EQ(by_name.size(), 2u);
+  EXPECT_EQ(by_name[0].name, "a");
+  EXPECT_EQ(by_name[0].summary.launches, 2);
+  EXPECT_EQ(by_name[1].name, "b");
+}
+
+TEST(Profile, EndToEndProfiledSccForwardEstimates) {
+  // Record a real SCC forward launch log and check the estimator returns a
+  // sane positive time that grows with batch size.
+  // (The actual Fig. 13 reproduction lives in bench/fig13_batch_size.)
+  const DeviceSpec spec = DeviceSpec::v100();
+  const auto run = [&](int64_t batch) {
+    device::KernelRecord r = make_record(batch * 64 * 32 * 32, 2.0 * 16, 72.0);
+    return estimate_kernel_time(spec, r);
+  };
+  const double t16 = run(16);
+  const double t64 = run(64);
+  const double t1024 = run(1024);
+  EXPECT_GT(t16, 0.0);
+  EXPECT_LE(t16, t64 + 1e-15);
+  EXPECT_LT(t64, t1024);
+}
+
+}  // namespace
+}  // namespace dsx::gpusim

@@ -1,0 +1,239 @@
+// Integration tests: end-to-end training on the synthetic tasks, the
+// SCC-vs-GPW accuracy mechanism (Table I / Table IV ordering), data-parallel
+// gradient equivalence, and checkpoint round-trips.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "data/dataloader.hpp"
+#include "data/synth.hpp"
+#include "device/device_group.hpp"
+#include "models/mobilenet.hpp"
+#include "models/schemes.hpp"
+#include "nn/containers.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/layers_conv.hpp"
+#include "nn/metrics.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx {
+namespace {
+
+/// Tiny probe model for the cross-channel task: one channel-fusion layer
+/// (the scheme under test) + BN + ReLU + GAP + linear head. The only way to
+/// beat chance is to fuse information across the right channel pair.
+std::unique_ptr<nn::Sequential> make_probe_model(
+    const data::CrossChannelOptions& opts, models::ConvScheme scheme,
+    int64_t cg, double co, Rng& rng) {
+  auto model = std::make_unique<nn::Sequential>();
+  const int64_t C = opts.channels;
+  const int64_t F = 32;  // fusion width
+  switch (scheme) {
+    case models::ConvScheme::kDWPW:
+      model->emplace<nn::Conv2d>(C, F, 1, 1, 0, 1, rng, true);
+      break;
+    case models::ConvScheme::kDWGPW:
+      model->emplace<nn::Conv2d>(C, F, 1, 1, 0, cg, rng, true);
+      break;
+    case models::ConvScheme::kDWSCC: {
+      scc::SCCConfig cfg;
+      cfg.in_channels = C;
+      cfg.out_channels = F;
+      cfg.groups = cg;
+      cfg.overlap = co;
+      model->emplace<nn::SCCConv>(cfg, rng, true);
+      break;
+    }
+    default:
+      DSX_REQUIRE(false, "probe model: unsupported scheme");
+  }
+  model->emplace<nn::ReLU>();
+  model->emplace<nn::GlobalAvgPool>();
+  model->emplace<nn::Flatten>();
+  model->emplace<nn::Linear>(F, opts.num_classes, rng, true);
+  return model;
+}
+
+double train_probe(nn::Sequential& model, const data::Dataset& train,
+                   const data::Dataset& test, int epochs, float lr) {
+  nn::SGD opt({.lr = lr, .momentum = 0.9f, .weight_decay = 0.0f});
+  nn::Trainer trainer(model, opt);
+  data::DataLoader loader(train, {.batch_size = 32, .shuffle = true,
+                                  .seed = 5});
+  for (int e = 0; e < epochs; ++e) {
+    loader.reset();
+    while (loader.has_next()) {
+      const data::Batch b = loader.next();
+      trainer.train_batch(b.images, b.labels);
+    }
+  }
+  const data::Batch tb = data::full_batch(test);
+  return trainer.evaluate(tb.images, tb.labels).accuracy;
+}
+
+TEST(Integration, PwSolvesCrossChannelTask) {
+  data::CrossChannelOptions opts;
+  const data::Dataset train = make_cross_channel_task(512, 31, opts);
+  const data::Dataset test = make_cross_channel_task(256, 32, opts);
+  Rng rng(33);
+  auto model = make_probe_model(opts, models::ConvScheme::kDWPW, 1, 1.0, rng);
+  const double acc = train_probe(*model, train, test, 15, 0.05f);
+  EXPECT_GT(acc, 0.9) << "PW should solve the cross-channel task";
+}
+
+TEST(Integration, SccBeatsGpwAtCg4) {
+  // The headline mechanism of Tables I/IV: at cg=4, GPW's windows {01}{23}
+  // {45}{67} cover none of the planted pairs (1,2),(3,4),(5,6),(7,0), while
+  // SCC-cg4-co50% covers all of them.
+  data::CrossChannelOptions opts;
+  const data::Dataset train = make_cross_channel_task(512, 41, opts);
+  const data::Dataset test = make_cross_channel_task(256, 42, opts);
+
+  Rng rng_g(43);
+  auto gpw = make_probe_model(opts, models::ConvScheme::kDWGPW, 4, 0.0, rng_g);
+  const double acc_gpw = train_probe(*gpw, train, test, 15, 0.05f);
+
+  Rng rng_s(43);
+  auto scc = make_probe_model(opts, models::ConvScheme::kDWSCC, 4, 0.5, rng_s);
+  const double acc_scc = train_probe(*scc, train, test, 15, 0.05f);
+
+  EXPECT_GT(acc_scc, acc_gpw + 0.2)
+      << "SCC-cg4-co50% should decisively beat GPW-cg4 (got scc=" << acc_scc
+      << " gpw=" << acc_gpw << ")";
+  EXPECT_GT(acc_scc, 0.8);
+  EXPECT_LT(acc_gpw, 0.6);  // GPW-cg4 cannot see any planted pair
+}
+
+TEST(Integration, TinyMobileNetSccLearnsSynthCifar) {
+  const data::Dataset train = data::make_synth_cifar(256, 51, 16, 3, 4);
+  const data::Dataset test = data::make_synth_cifar(128, 52, 16, 3, 4);
+  Rng rng(53);
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.125;
+  auto model = models::build_mobilenet(4, cfg, rng);
+
+  nn::SGD opt({.lr = 0.02f, .momentum = 0.9f, .weight_decay = 1e-4f});
+  nn::Trainer trainer(*model, opt);
+  data::DataLoader loader(train,
+                          {.batch_size = 32, .shuffle = true, .seed = 7});
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int e = 0; e < 10; ++e) {
+    loader.reset();
+    while (loader.has_next()) {
+      const data::Batch b = loader.next();
+      const nn::StepResult r = trainer.train_batch(b.images, b.labels);
+      if (e == 0 && first_loss == 0.0) first_loss = r.loss;
+      last_loss = r.loss;
+    }
+  }
+  EXPECT_LT(last_loss, first_loss);
+  const data::Batch tb = data::full_batch(test);
+  const double acc = trainer.evaluate(tb.images, tb.labels).accuracy;
+  EXPECT_GT(acc, 0.30) << "well above 25% chance after 10 epochs";
+}
+
+TEST(Integration, DataParallelGradientsMatchSingleDevice) {
+  // Two replicas, each on half the batch, all-reduced gradients == gradients
+  // of the full batch on one device (model has no batch statistics).
+  Rng rng(61);
+  auto make_model = [](uint64_t seed) {
+    Rng r(seed);
+    auto m = std::make_unique<nn::Sequential>();
+    m->emplace<nn::Conv2d>(3, 8, 3, 1, 1, 1, r, true);
+    m->emplace<nn::ReLU>();
+    m->emplace<nn::GlobalAvgPool>();
+    m->emplace<nn::Flatten>();
+    m->emplace<nn::Linear>(8, 4, r, true);
+    return m;
+  };
+  auto reference = make_model(7);
+  auto replica0 = make_model(7);
+  auto replica1 = make_model(7);
+
+  const data::Dataset ds = data::make_synth_cifar(8, 63, 8, 3, 4);
+  Tensor full = ds.images.clone();
+  const std::vector<int32_t>& labels = ds.labels;
+
+  nn::SGD opt({});
+  nn::Trainer t_ref(*reference, opt);
+  t_ref.forward_backward(full, labels);
+
+  // Shard: first 4 / last 4 samples.
+  const int64_t sample = 3 * 8 * 8;
+  Tensor half0(make_nchw(4, 3, 8, 8)), half1(make_nchw(4, 3, 8, 8));
+  std::copy_n(full.data(), 4 * sample, half0.data());
+  std::copy_n(full.data() + 4 * sample, 4 * sample, half1.data());
+  const std::vector<int32_t> l0(labels.begin(), labels.begin() + 4);
+  const std::vector<int32_t> l1(labels.begin() + 4, labels.end());
+
+  nn::Trainer t0(*replica0, opt), t1(*replica1, opt);
+  t0.forward_backward(half0, l0);
+  t1.forward_backward(half1, l1);
+
+  // All-reduce (mean) the replica gradients.
+  device::DeviceGroup group(2);
+  std::vector<std::vector<Tensor*>> replica_grads(2);
+  for (nn::Param* p : replica0->params()) replica_grads[0].push_back(&p->grad);
+  for (nn::Param* p : replica1->params()) replica_grads[1].push_back(&p->grad);
+  group.all_reduce_mean(replica_grads);
+
+  // Loss is a batch mean, so mean-of-half-batch-grads == full-batch grads.
+  const auto ref_params = reference->params();
+  const auto rep_params = replica0->params();
+  ASSERT_EQ(ref_params.size(), rep_params.size());
+  for (size_t i = 0; i < ref_params.size(); ++i) {
+    EXPECT_LT(max_abs_diff(ref_params[i]->grad, rep_params[i]->grad), 1e-4f)
+        << ref_params[i]->name;
+  }
+}
+
+TEST(Integration, CheckpointRoundTripPreservesPredictions) {
+  Rng rng(71);
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.125;
+  auto model = models::build_mobilenet(4, cfg, rng);
+
+  Rng drng(72);
+  Tensor x = random_uniform(make_nchw(2, 3, 16, 16), drng);
+  const Tensor before = model->forward(x, false);
+
+  // Save and reload every parameter through the binary format.
+  std::stringstream blob;
+  for (nn::Param* p : model->params()) save_tensor(blob, p->value);
+  for (nn::Param* p : model->params()) p->value.fill(0.0f);
+  for (nn::Param* p : model->params()) {
+    Tensor loaded = load_tensor(blob);
+    std::copy_n(loaded.data(), loaded.numel(), p->value.data());
+  }
+  const Tensor after = model->forward(x, false);
+  EXPECT_LT(max_abs_diff(before, after), 1e-6f);
+}
+
+TEST(Integration, SccDropInDoesNotChangeModelInterface) {
+  // Swapping implementations inside a trained model must not change its
+  // predictions (the "drop-in replacement" claim).
+  Rng rng(81);
+  data::CrossChannelOptions opts;
+  auto model =
+      make_probe_model(opts, models::ConvScheme::kDWSCC, 2, 0.5, rng);
+  Rng drng(82);
+  Tensor x = random_uniform(make_nchw(2, opts.channels, 8, 8), drng);
+  const Tensor ref = model->forward(x, false);
+  model->for_each_layer([](nn::Layer& l) {
+    if (auto* scc = dynamic_cast<nn::SCCConv*>(&l)) {
+      scc->set_impl(nn::SCCImpl::kConvStack);
+    }
+  });
+  EXPECT_LT(max_abs_diff(model->forward(x, false), ref), 1e-4f);
+}
+
+}  // namespace
+}  // namespace dsx

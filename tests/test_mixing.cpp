@@ -1,0 +1,402 @@
+// Tests for the parameter-free mixing primitives: shift convolution
+// (ops/shift, paper ref [10]) and channel shuffle (ops/shuffle, paper ref
+// [9]), their nn layers, and the Shift+SCC / DW+GPW+Shuffle scheme blocks.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "models/schemes.hpp"
+#include "nn/containers.hpp"
+#include "nn/layers_mix.hpp"
+#include "nn/sgd.hpp"
+#include "ops/depthwise.hpp"
+#include "ops/shift.hpp"
+#include "ops/shuffle.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "testing_utils.hpp"
+
+namespace dsx {
+namespace {
+
+// ---- make_uniform_shifts ----------------------------------------------------
+
+TEST(UniformShifts, Kernel1IsIdentity) {
+  const auto shifts = make_uniform_shifts(7, 1);
+  ASSERT_EQ(shifts.size(), 7u);
+  for (const ShiftOffset& s : shifts) {
+    EXPECT_EQ(s.dy, 0);
+    EXPECT_EQ(s.dx, 0);
+  }
+}
+
+TEST(UniformShifts, OffsetsStayInNeighbourhood) {
+  const auto shifts = make_uniform_shifts(40, 5);
+  for (const ShiftOffset& s : shifts) {
+    EXPECT_GE(s.dy, -2);
+    EXPECT_LE(s.dy, 2);
+    EXPECT_GE(s.dx, -2);
+    EXPECT_LE(s.dx, 2);
+  }
+}
+
+TEST(UniformShifts, RoundRobinIsBalanced) {
+  // Every displacement of the 3x3 neighbourhood must be used floor/ceil
+  // (C / 9) times.
+  const int64_t C = 21;  // 21 = 2*9 + 3
+  const auto shifts = make_uniform_shifts(C, 3);
+  std::map<std::pair<int64_t, int64_t>, int64_t> counts;
+  for (const ShiftOffset& s : shifts) counts[{s.dy, s.dx}]++;
+  EXPECT_EQ(counts.size(), 9u);
+  for (const auto& [offset, count] : counts) {
+    EXPECT_GE(count, C / 9);
+    EXPECT_LE(count, C / 9 + 1);
+  }
+}
+
+TEST(UniformShifts, RejectsEvenKernel) {
+  EXPECT_THROW(make_uniform_shifts(8, 2), std::runtime_error);
+  EXPECT_THROW(make_uniform_shifts(8, 0), std::runtime_error);
+  EXPECT_THROW(make_uniform_shifts(0, 3), std::runtime_error);
+}
+
+// ---- shift forward ----------------------------------------------------------
+
+TEST(ShiftForward, IdentityOffsetsCopyInput) {
+  Rng rng(1);
+  const Tensor in = random_uniform(make_nchw(2, 3, 5, 5), rng);
+  const std::vector<ShiftOffset> shifts(3, ShiftOffset{0, 0});
+  const Tensor out = shift_forward(in, shifts, 1);
+  ASSERT_EQ(out.shape(), in.shape());
+  for (int64_t i = 0; i < in.numel(); ++i) EXPECT_FLOAT_EQ(out[i], in[i]);
+}
+
+TEST(ShiftForward, DisplacesAndZeroPads) {
+  // One channel, shift (dy=1, dx=-1): out(y,x) = in(y+1, x-1) with zeros
+  // falling in from the bottom row / left column.
+  Tensor in(make_nchw(1, 1, 3, 3));
+  for (int64_t i = 0; i < 9; ++i) in[i] = static_cast<float>(i + 1);
+  const Tensor out = shift_forward(in, {{1, -1}}, 1);
+  // in =  1 2 3 / 4 5 6 / 7 8 9
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 0.0f);  // reads in(1,-1)
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 4.0f);  // reads in(1,0)
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 2), 5.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 7.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 2, 0), 0.0f);  // reads in(3,-1)
+  EXPECT_FLOAT_EQ(out.at(0, 0, 2, 2), 0.0f);  // reads in(3,1)
+}
+
+TEST(ShiftForward, StrideSubsamples) {
+  Tensor in(make_nchw(1, 1, 4, 4));
+  for (int64_t i = 0; i < 16; ++i) in[i] = static_cast<float>(i);
+  const Tensor out = shift_forward(in, {{0, 0}}, 2);
+  ASSERT_EQ(out.shape(), make_nchw(1, 1, 2, 2));
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 0), 8.0f);
+  EXPECT_FLOAT_EQ(out.at(0, 0, 1, 1), 10.0f);
+}
+
+TEST(ShiftForward, RejectsWrongOffsetCount) {
+  Rng rng(2);
+  const Tensor in = random_uniform(make_nchw(1, 4, 3, 3), rng);
+  const std::vector<ShiftOffset> shifts(3);  // 3 offsets, 4 channels
+  EXPECT_THROW(shift_forward(in, shifts, 1), std::runtime_error);
+}
+
+// Shift is depthwise convolution with a one-hot kernel: cross-validate
+// against ops/depthwise over kernels and strides.
+class ShiftVsDepthwise
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(ShiftVsDepthwise, MatchesOneHotDepthwise) {
+  const auto [kernel, stride] = GetParam();
+  Rng rng(7);
+  const int64_t C = 2 * kernel * kernel + 1;  // exercise wrap of round-robin
+  const Tensor in = random_uniform(make_nchw(2, C, 9, 9), rng);
+  const auto shifts = make_uniform_shifts(C, kernel);
+
+  // Depthwise weight: one-hot at (dy + K/2, dx + K/2) per channel.
+  Tensor w(Shape{C, 1, kernel, kernel});
+  for (int64_t c = 0; c < C; ++c) {
+    const ShiftOffset s = shifts[static_cast<size_t>(c)];
+    w.at(c, 0, s.dy + kernel / 2, s.dx + kernel / 2) = 1.0f;
+  }
+  DepthwiseArgs args;
+  args.stride = stride;
+  args.pad = kernel / 2;
+  const Tensor dw = depthwise_forward(in, w, nullptr, args);
+  const Tensor sh = shift_forward(in, shifts, stride);
+  ASSERT_EQ(sh.shape(), dw.shape());
+  for (int64_t i = 0; i < sh.numel(); ++i) {
+    ASSERT_FLOAT_EQ(sh[i], dw[i]) << "at flat index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelsAndStrides, ShiftVsDepthwise,
+                         ::testing::Combine(::testing::Values<int64_t>(1, 3, 5),
+                                            ::testing::Values<int64_t>(1, 2)));
+
+// ---- shift backward ---------------------------------------------------------
+
+class ShiftBackward
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(ShiftBackward, MatchesNumericGradient) {
+  const auto [kernel, stride] = GetParam();
+  Rng rng(11);
+  const int64_t C = kernel * kernel;
+  Tensor in = random_uniform(make_nchw(1, C, 5, 5), rng);
+  const auto shifts = make_uniform_shifts(C, kernel);
+
+  const Tensor out = shift_forward(in, shifts, stride);
+  const testing::ProbeLoss probe(out.shape());
+  const Tensor dinput = shift_backward(in.shape(), shifts, probe.mask, stride);
+
+  const float err = testing::max_numeric_grad_error(
+      in, [&] { return probe.value(shift_forward(in, shifts, stride)); },
+      dinput);
+  EXPECT_LT(err, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(KernelsAndStrides, ShiftBackward,
+                         ::testing::Combine(::testing::Values<int64_t>(1, 3),
+                                            ::testing::Values<int64_t>(1, 2)));
+
+TEST(ShiftBackwardShape, RejectsMismatchedDoutput) {
+  const Shape in_shape = make_nchw(1, 2, 6, 6);
+  const std::vector<ShiftOffset> shifts(2);
+  Tensor bad(make_nchw(1, 2, 5, 5));
+  EXPECT_THROW(shift_backward(in_shape, shifts, bad, 1), std::runtime_error);
+}
+
+// ---- channel shuffle --------------------------------------------------------
+
+TEST(ShuffleDestination, MatchesTransposeFormula) {
+  // C=6, g=2: [0 1 2 | 3 4 5] -> positions [0 2 4 | 1 3 5].
+  EXPECT_EQ(shuffle_destination(0, 6, 2), 0);
+  EXPECT_EQ(shuffle_destination(1, 6, 2), 2);
+  EXPECT_EQ(shuffle_destination(2, 6, 2), 4);
+  EXPECT_EQ(shuffle_destination(3, 6, 2), 1);
+  EXPECT_EQ(shuffle_destination(4, 6, 2), 3);
+  EXPECT_EQ(shuffle_destination(5, 6, 2), 5);
+}
+
+TEST(ShuffleDestination, IsBijective) {
+  const int64_t C = 24;
+  for (int64_t g : {1, 2, 3, 4, 6, 8, 12, 24}) {
+    std::vector<bool> hit(static_cast<size_t>(C), false);
+    for (int64_t c = 0; c < C; ++c) {
+      const int64_t d = shuffle_destination(c, C, g);
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, C);
+      ASSERT_FALSE(hit[static_cast<size_t>(d)]) << "g=" << g << " c=" << c;
+      hit[static_cast<size_t>(d)] = true;
+    }
+  }
+}
+
+TEST(ShuffleDestination, GroupsOneIsIdentity) {
+  for (int64_t c = 0; c < 8; ++c) EXPECT_EQ(shuffle_destination(c, 8, 1), c);
+}
+
+class ShuffleRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ShuffleRoundTrip, InverseIsShuffleWithComplementGroups) {
+  const int64_t g = GetParam();
+  Rng rng(3);
+  const int64_t C = 24;
+  const Tensor in = random_uniform(make_nchw(2, C, 4, 4), rng);
+  const Tensor once = channel_shuffle_forward(in, g);
+  const Tensor back = channel_shuffle_forward(once, C / g);
+  for (int64_t i = 0; i < in.numel(); ++i) {
+    ASSERT_FLOAT_EQ(back[i], in[i]) << "g=" << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Groups, ShuffleRoundTrip,
+                         ::testing::Values<int64_t>(1, 2, 3, 4, 6, 8, 12, 24));
+
+TEST(ShuffleForward, MovesWholePlanes) {
+  Rng rng(5);
+  const Tensor in = random_uniform(make_nchw(1, 4, 3, 3), rng);
+  const Tensor out = channel_shuffle_forward(in, 2);
+  for (int64_t c = 0; c < 4; ++c) {
+    const int64_t d = shuffle_destination(c, 4, 2);
+    for (int64_t y = 0; y < 3; ++y) {
+      for (int64_t x = 0; x < 3; ++x) {
+        ASSERT_FLOAT_EQ(out.at(0, d, y, x), in.at(0, c, y, x));
+      }
+    }
+  }
+}
+
+TEST(ShuffleBackward, IsInversePermutationOfForward) {
+  Rng rng(6);
+  const Tensor in = random_uniform(make_nchw(2, 12, 3, 3), rng);
+  for (int64_t g : {2, 3, 4, 6}) {
+    const Tensor fwd = channel_shuffle_forward(in, g);
+    const Tensor restored = channel_shuffle_backward(fwd, g);
+    for (int64_t i = 0; i < in.numel(); ++i) {
+      ASSERT_FLOAT_EQ(restored[i], in[i]) << "g=" << g;
+    }
+  }
+}
+
+TEST(ShuffleForward, RejectsNonDivisibleGroups) {
+  Rng rng(8);
+  const Tensor in = random_uniform(make_nchw(1, 6, 2, 2), rng);
+  EXPECT_THROW(channel_shuffle_forward(in, 4), std::runtime_error);
+  EXPECT_THROW(channel_shuffle_forward(in, 0), std::runtime_error);
+}
+
+// ---- nn layers --------------------------------------------------------------
+
+TEST(ShiftConv2dLayer, ForwardBackwardShapes) {
+  nn::ShiftConv2d layer(6, 3, 2);
+  Rng rng(9);
+  const Tensor in = random_uniform(make_nchw(2, 6, 8, 8), rng);
+  const Tensor out = layer.forward(in, /*training=*/true);
+  EXPECT_EQ(out.shape(), make_nchw(2, 6, 4, 4));
+  EXPECT_EQ(layer.output_shape(in.shape()), out.shape());
+  const Tensor din = layer.backward(out);
+  EXPECT_EQ(din.shape(), in.shape());
+}
+
+TEST(ShiftConv2dLayer, HasZeroCostAndNoParams) {
+  nn::ShiftConv2d layer(8, 3);
+  const scc::LayerCost cost = layer.cost(make_nchw(1, 8, 16, 16));
+  EXPECT_EQ(cost.macs, 0.0);
+  EXPECT_EQ(cost.params, 0.0);
+  EXPECT_TRUE(layer.params().empty());
+}
+
+TEST(ShiftConv2dLayer, BackwardWithoutForwardThrows) {
+  nn::ShiftConv2d layer(4, 3);
+  Tensor dout(make_nchw(1, 4, 4, 4));
+  EXPECT_THROW(layer.backward(dout), std::runtime_error);
+}
+
+TEST(ShiftConv2dLayer, RejectsChannelMismatch) {
+  nn::ShiftConv2d layer(4, 3);
+  Rng rng(10);
+  const Tensor in = random_uniform(make_nchw(1, 5, 4, 4), rng);
+  EXPECT_THROW(layer.forward(in, false), std::runtime_error);
+  EXPECT_THROW(layer.output_shape(in.shape()), std::runtime_error);
+}
+
+TEST(ChannelShuffleLayer, ForwardBackwardRoundTrip) {
+  nn::ChannelShuffle layer(4);
+  Rng rng(12);
+  const Tensor in = random_uniform(make_nchw(2, 8, 3, 3), rng);
+  const Tensor out = layer.forward(in, true);
+  EXPECT_EQ(out.shape(), in.shape());
+  const Tensor din = layer.backward(out);
+  for (int64_t i = 0; i < in.numel(); ++i) ASSERT_FLOAT_EQ(din[i], in[i]);
+}
+
+TEST(ChannelShuffleLayer, GradientFlowsThroughPermutation) {
+  // d(shuffle)/dx is the permutation matrix itself; check numerically.
+  nn::ChannelShuffle layer(2);
+  Rng rng(13);
+  Tensor in = random_uniform(make_nchw(1, 4, 2, 2), rng);
+  const Tensor out = layer.forward(in, true);
+  const testing::ProbeLoss probe(out.shape());
+  const Tensor din = layer.backward(probe.mask);
+  const float err = testing::max_numeric_grad_error(
+      in, [&] { return probe.value(channel_shuffle_forward(in, 2)); }, din);
+  EXPECT_LT(err, 1e-3f);
+}
+
+// ---- scheme blocks ----------------------------------------------------------
+
+struct SchemeBlockCase {
+  models::ConvScheme scheme;
+  const char* label;
+};
+
+class SchemeBlock : public ::testing::TestWithParam<SchemeBlockCase> {};
+
+TEST_P(SchemeBlock, BuildsAndTrainsOneStep) {
+  const SchemeBlockCase c = GetParam();
+  Rng rng(21);
+  models::SchemeConfig cfg;
+  cfg.scheme = c.scheme;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+
+  nn::Sequential seq;
+  models::append_conv_block(seq, 8, 16, 3, 2, 1, cfg, rng);
+
+  const Shape in_shape = make_nchw(2, 8, 8, 8);
+  EXPECT_EQ(seq.output_shape(in_shape), make_nchw(2, 16, 4, 4));
+
+  Rng data_rng(22);
+  const Tensor in = random_uniform(in_shape, data_rng);
+  const Tensor out = seq.forward(in, /*training=*/true);
+  ASSERT_EQ(out.shape(), make_nchw(2, 16, 4, 4));
+
+  // One full backward + SGD step must change the trainable parameters.
+  const Tensor din = seq.backward(out);
+  EXPECT_EQ(din.shape(), in_shape);
+  auto params = seq.params();
+  ASSERT_FALSE(params.empty());
+  std::vector<float> before;
+  for (nn::Param* p : params) before.push_back(p->value[0]);
+  nn::SGD opt({.lr = 0.1f});
+  opt.step(params);
+  bool changed = false;
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (params[i]->value[0] != before[i]) changed = true;
+  }
+  EXPECT_TRUE(changed) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NewSchemes, SchemeBlock,
+    ::testing::Values(SchemeBlockCase{models::ConvScheme::kDWGPWShuffle,
+                                      "DW+GPW+Shuffle"},
+                      SchemeBlockCase{models::ConvScheme::kShiftSCC,
+                                      "Shift+SCC"}),
+    [](const ::testing::TestParamInfo<SchemeBlockCase>& info) {
+      return info.param.scheme == models::ConvScheme::kDWGPWShuffle
+                 ? "DWGPWShuffle"
+                 : "ShiftSCC";
+    });
+
+TEST(SchemeString, NamesNewSchemes) {
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWGPWShuffle;
+  cfg.cg = 4;
+  EXPECT_EQ(cfg.to_string(), "DW+GPW-cg4+Shuffle");
+  cfg.scheme = models::ConvScheme::kShiftSCC;
+  cfg.co = 0.5;
+  EXPECT_EQ(cfg.to_string(), "Shift+SCC-cg4-co50%");
+}
+
+TEST(ShiftSCCBlock, CostDropsDWStageEntirely) {
+  // Shift+SCC must cost exactly the SCC stage: the spatial stage is free.
+  Rng rng(30);
+  models::SchemeConfig shift_cfg;
+  shift_cfg.scheme = models::ConvScheme::kShiftSCC;
+  shift_cfg.cg = 2;
+  shift_cfg.co = 0.5;
+  nn::Sequential shift_seq;
+  models::append_conv_block(shift_seq, 16, 16, 3, 1, 1, shift_cfg, rng);
+
+  models::SchemeConfig dw_cfg = shift_cfg;
+  dw_cfg.scheme = models::ConvScheme::kDWSCC;
+  nn::Sequential dw_seq;
+  models::append_conv_block(dw_seq, 16, 16, 3, 1, 1, dw_cfg, rng);
+
+  const Shape in = make_nchw(1, 16, 8, 8);
+  const scc::LayerCost shift_cost = shift_seq.cost(in);
+  const scc::LayerCost dw_cost = dw_seq.cost(in);
+  // DW adds K*K*C params and K*K*C*H*W MACs on top of the shared SCC+BN.
+  EXPECT_DOUBLE_EQ(dw_cost.params - shift_cost.params, 9.0 * 16);
+  EXPECT_DOUBLE_EQ(dw_cost.macs - shift_cost.macs, 9.0 * 16 * 8 * 8);
+}
+
+}  // namespace
+}  // namespace dsx

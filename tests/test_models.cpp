@@ -1,0 +1,256 @@
+// Tests for the model zoo: shape correctness across depths and schemes,
+// parameter accounting against the analytic cost model, and the FLOPs /
+// parameter-reduction relations behind the paper's Tables II-IV.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "models/mobilenet.hpp"
+#include "models/resnet.hpp"
+#include "models/schemes.hpp"
+#include "models/vgg.hpp"
+#include "nn/layers_basic.hpp"
+
+namespace dsx::models {
+namespace {
+
+SchemeConfig make_scheme(ConvScheme scheme, int64_t cg = 2, double co = 0.5,
+                         double width = 1.0) {
+  SchemeConfig cfg;
+  cfg.scheme = scheme;
+  cfg.cg = cg;
+  cfg.co = co;
+  cfg.width_mult = width;
+  return cfg;
+}
+
+// ---- scale_channels ---------------------------------------------------------
+
+TEST(Schemes, ScaleChannelsRoundsToMultiplesOf8) {
+  SchemeConfig cfg;
+  cfg.width_mult = 0.25;
+  EXPECT_EQ(scale_channels(64, cfg), 16);
+  EXPECT_EQ(scale_channels(100, cfg), 24);
+  EXPECT_EQ(scale_channels(8, cfg), 8);  // floor at 8
+  cfg.width_mult = 1.0;
+  EXPECT_EQ(scale_channels(512, cfg), 512);
+}
+
+TEST(Schemes, SchemeNames) {
+  EXPECT_EQ(make_scheme(ConvScheme::kStandard).to_string(), "Origin");
+  EXPECT_EQ(make_scheme(ConvScheme::kDWPW).to_string(), "DW+PW");
+  EXPECT_EQ(make_scheme(ConvScheme::kDWGPW, 4).to_string(), "DW+GPW-cg4");
+  EXPECT_EQ(make_scheme(ConvScheme::kDWSCC, 2, 0.5).to_string(),
+            "DW+SCC-cg2-co50%");
+}
+
+TEST(Schemes, ConvBlockShapes) {
+  Rng rng(1);
+  for (ConvScheme scheme : {ConvScheme::kStandard, ConvScheme::kDWPW,
+                            ConvScheme::kDWGPW, ConvScheme::kDWSCC}) {
+    nn::Sequential seq;
+    append_conv_block(seq, 16, 32, 3, 2, 1, make_scheme(scheme), rng);
+    EXPECT_EQ(seq.output_shape(make_nchw(1, 16, 8, 8)), make_nchw(1, 32, 4, 4))
+        << make_scheme(scheme).to_string();
+  }
+}
+
+TEST(Schemes, GpwRejectsNonDivisibleChannels) {
+  Rng rng(2);
+  nn::Sequential seq;
+  EXPECT_THROW(append_conv_block(seq, 6, 8, 3, 1, 1,
+                                 make_scheme(ConvScheme::kDWGPW, 4), rng),
+               Error);
+}
+
+// ---- builders produce working models -------------------------------------------
+
+struct ModelCase {
+  const char* name;
+  ConvScheme scheme;
+};
+
+class AllModels : public ::testing::TestWithParam<ModelCase> {};
+
+TEST_P(AllModels, BuildForwardShapes) {
+  const ModelCase p = GetParam();
+  Rng rng(3);
+  const SchemeConfig cfg = make_scheme(p.scheme, 2, 0.5, /*width=*/0.125);
+
+  auto vgg = build_vgg(16, 10, 32, cfg, rng);
+  EXPECT_EQ(vgg->output_shape(make_nchw(2, 3, 32, 32)), (Shape{2, 10}));
+
+  auto mob = build_mobilenet(10, cfg, rng);
+  EXPECT_EQ(mob->output_shape(make_nchw(2, 3, 32, 32)), (Shape{2, 10}));
+
+  auto res = build_resnet(18, 10, cfg, rng);
+  EXPECT_EQ(res->output_shape(make_nchw(2, 3, 32, 32)), (Shape{2, 10}));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, AllModels,
+    ::testing::Values(ModelCase{"origin", ConvScheme::kStandard},
+                      ModelCase{"dwpw", ConvScheme::kDWPW},
+                      ModelCase{"dwgpw", ConvScheme::kDWGPW},
+                      ModelCase{"dwscc", ConvScheme::kDWSCC}));
+
+TEST(Models, Vgg19HasMoreLayersThanVgg16) {
+  Rng rng(4);
+  const SchemeConfig cfg = make_scheme(ConvScheme::kStandard, 2, 0.5, 0.125);
+  auto v16 = build_vgg(16, 10, 32, cfg, rng);
+  auto v19 = build_vgg(19, 10, 32, cfg, rng);
+  EXPECT_GT(v19->size(), v16->size());
+  EXPECT_GT(v19->cost(make_nchw(1, 3, 32, 32)).macs,
+            v16->cost(make_nchw(1, 3, 32, 32)).macs);
+}
+
+TEST(Models, Resnet50DeeperAndCostlierThanResnet18) {
+  Rng rng(5);
+  const SchemeConfig cfg = make_scheme(ConvScheme::kStandard, 2, 0.5, 0.125);
+  auto r18 = build_resnet(18, 10, cfg, rng);
+  auto r50 = build_resnet(50, 10, cfg, rng);
+  EXPECT_EQ(r50->output_shape(make_nchw(1, 3, 32, 32)), (Shape{1, 10}));
+  EXPECT_GT(r50->cost(make_nchw(1, 3, 32, 32)).params,
+            r18->cost(make_nchw(1, 3, 32, 32)).params);
+}
+
+TEST(Models, InvalidDepthsRejected) {
+  Rng rng(6);
+  const SchemeConfig cfg = make_scheme(ConvScheme::kStandard);
+  EXPECT_THROW(build_vgg(13, 10, 32, cfg, rng), Error);
+  EXPECT_THROW(build_resnet(34, 10, cfg, rng), Error);
+}
+
+TEST(Models, ForwardRunsAtTinyWidth) {
+  Rng rng(7);
+  const SchemeConfig cfg = make_scheme(ConvScheme::kDWSCC, 2, 0.5, 0.125);
+  auto model = build_mobilenet(10, cfg, rng);
+  Rng drng(8);
+  Tensor x = random_uniform(make_nchw(2, 3, 16, 16), drng);
+  Tensor logits = model->forward(x, /*training=*/false);
+  EXPECT_EQ(logits.shape(), (Shape{2, 10}));
+}
+
+// ---- parameter accounting --------------------------------------------------------
+
+TEST(Models, CostModelParamsMatchActualParamTensors) {
+  // cost().params counts conv/fc weights + BN affine; the instantiated model
+  // must hold exactly that many scalars.
+  Rng rng(9);
+  for (ConvScheme scheme : {ConvScheme::kStandard, ConvScheme::kDWPW,
+                            ConvScheme::kDWGPW, ConvScheme::kDWSCC}) {
+    const SchemeConfig cfg = make_scheme(scheme, 2, 0.5, 0.25);
+    auto model = build_mobilenet(10, cfg, rng);
+    const double modeled = model->cost(make_nchw(1, 3, 32, 32)).params;
+    const int64_t actual = nn::param_count(model->params());
+    EXPECT_DOUBLE_EQ(modeled, static_cast<double>(actual))
+        << cfg.to_string();
+  }
+}
+
+// ---- Table II / IV relations (full width, analytic) --------------------------------
+
+TEST(PaperTables, Vgg16OriginCostsMatchPaper) {
+  // Paper Table II: VGG16 Origin = 314.16 MFLOPs / 14.73M params on CIFAR-10.
+  // Our VGG16 counts conv+fc MACs; BN affine params are a <1% additive
+  // difference, so compare with a 5% band.
+  Rng rng(10);
+  const SchemeConfig cfg = make_scheme(ConvScheme::kStandard);
+  auto model = build_vgg(16, 10, 32, cfg, rng);
+  const auto cost = model->cost(make_nchw(1, 3, 32, 32));
+  EXPECT_NEAR(cost.macs / 1e6, 314.16, 314.16 * 0.05);
+  EXPECT_NEAR(cost.params / 1e6, 14.73, 14.73 * 0.05);
+}
+
+TEST(PaperTables, MobileNetBaselineCostsMatchPaper) {
+  // Paper Table IV: Baseline (DW+PW) = 50 MFLOPs, 6.17M params. The paper
+  // does not spell out its exact CIFAR head, so assert a 2x band here; the
+  // exact measured numbers are recorded in EXPERIMENTS.md.
+  Rng rng(11);
+  const SchemeConfig cfg = make_scheme(ConvScheme::kDWPW);
+  auto model = build_mobilenet(10, cfg, rng);
+  const auto cost = model->cost(make_nchw(1, 3, 32, 32));
+  EXPECT_GT(cost.macs / 1e6, 25.0);
+  EXPECT_LT(cost.macs / 1e6, 100.0);
+  EXPECT_GT(cost.params / 1e6, 3.0);
+  EXPECT_LT(cost.params / 1e6, 12.0);
+}
+
+TEST(PaperTables, SccAndGpwHaveIdenticalCosts) {
+  // Paper Table IV: at equal cg, SCC and GPW have identical FLOPs and
+  // parameter counts - overlap changes which channels are read, not costs.
+  Rng rng(12);
+  for (int64_t cg : {2L, 4L, 8L}) {
+    auto gpw = build_mobilenet(10, make_scheme(ConvScheme::kDWGPW, cg), rng);
+    auto scc =
+        build_mobilenet(10, make_scheme(ConvScheme::kDWSCC, cg, 0.5), rng);
+    const auto gc = gpw->cost(make_nchw(1, 3, 32, 32));
+    const auto sc = scc->cost(make_nchw(1, 3, 32, 32));
+    EXPECT_DOUBLE_EQ(gc.macs, sc.macs) << "cg=" << cg;
+    EXPECT_DOUBLE_EQ(gc.params, sc.params) << "cg=" << cg;
+  }
+}
+
+TEST(PaperTables, CostsFallMonotonicallyWithCg) {
+  // Paper Table IV: MFLOPs 50 -> 30 -> 20 -> 10 as cg goes 1 -> 2 -> 4 -> 8.
+  Rng rng(13);
+  auto base = build_mobilenet(10, make_scheme(ConvScheme::kDWPW), rng);
+  double prev = base->cost(make_nchw(1, 3, 32, 32)).macs;
+  for (int64_t cg : {2L, 4L, 8L}) {
+    auto m = build_mobilenet(10, make_scheme(ConvScheme::kDWSCC, cg), rng);
+    const double macs = m->cost(make_nchw(1, 3, 32, 32)).macs;
+    EXPECT_LT(macs, prev) << "cg=" << cg;
+    prev = macs;
+  }
+}
+
+TEST(PaperTables, DsxploreCutsVggCostByOver90Percent) {
+  // Paper Table II: VGG16 314.16 -> 21.85 MFLOPs (93%), 14.73M -> 0.87M
+  // params (94%).
+  Rng rng(14);
+  auto origin = build_vgg(16, 10, 32, make_scheme(ConvScheme::kStandard), rng);
+  auto dsx =
+      build_vgg(16, 10, 32, make_scheme(ConvScheme::kDWSCC, 2, 0.5), rng);
+  const auto oc = origin->cost(make_nchw(1, 3, 32, 32));
+  const auto dc = dsx->cost(make_nchw(1, 3, 32, 32));
+  EXPECT_LT(dc.macs, oc.macs * 0.10);
+  EXPECT_LT(dc.params, oc.params * 0.10);
+}
+
+TEST(PaperTables, Resnet50ReductionIsPartial) {
+  // Paper Table II: ResNet50 1297.8 -> 735.8 MFLOPs (~43% saved): bottleneck
+  // PWs are untouched, so the reduction is much smaller than VGG's.
+  Rng rng(15);
+  auto origin =
+      build_resnet(50, 10, make_scheme(ConvScheme::kStandard), rng);
+  auto dsx =
+      build_resnet(50, 10, make_scheme(ConvScheme::kDWSCC, 2, 0.5), rng);
+  const auto oc = origin->cost(make_nchw(1, 3, 32, 32));
+  const auto dc = dsx->cost(make_nchw(1, 3, 32, 32));
+  const double saved = 1.0 - dc.macs / oc.macs;
+  EXPECT_GT(saved, 0.20);
+  EXPECT_LT(saved, 0.70);
+}
+
+
+TEST(Models, ImageNetStemMatchesPaperResnet50Cost) {
+  // Paper Table III: ResNet50 Origin = 4130 MFLOPs / 23.67M params at
+  // 224x224. Our stem's unpadded max-pool gives 55x55 (vs torchvision's 56),
+  // so allow a 10% band.
+  Rng rng(16);
+  const SchemeConfig cfg = make_scheme(ConvScheme::kStandard);
+  auto model = build_resnet(50, 1000, cfg, rng, /*imagenet_stem=*/true);
+  const auto cost = model->cost(make_nchw(1, 3, 224, 224));
+  EXPECT_NEAR(cost.macs / 1e6, 4130.0, 413.0);
+  EXPECT_NEAR(cost.params / 1e6, 23.67, 2.4);
+}
+
+TEST(Models, ImageNetStemDownsamples32x) {
+  Rng rng(17);
+  const SchemeConfig cfg = make_scheme(ConvScheme::kStandard, 2, 0.5, 0.125);
+  auto model = build_resnet(18, 10, cfg, rng, /*imagenet_stem=*/true);
+  // 224 -> 112 (stem conv) -> 55 (pool) -> 55/28/14/7 stages -> GAP.
+  EXPECT_EQ(model->output_shape(make_nchw(1, 3, 224, 224)), (Shape{1, 10}));
+}
+
+}  // namespace
+}  // namespace dsx::models

@@ -1,0 +1,451 @@
+// Tests for the NN framework: layer forward/backward correctness (numerical
+// gradients through whole layers), containers, optimizer math, trainer
+// behaviour and metrics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "nn/containers.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/layers_conv.hpp"
+#include "nn/metrics.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+#include "testing_utils.hpp"
+
+namespace dsx::nn {
+namespace {
+
+using dsx::testing::ProbeLoss;
+using dsx::testing::max_numeric_grad_error;
+
+/// Gradient-checks one layer end to end: dLoss/dInput and dLoss/dParams.
+void check_layer_gradients(Layer& layer, Tensor input, float tol = 3e-2f) {
+  ProbeLoss probe(layer.output_shape(input.shape()));
+  const auto loss = [&] {
+    return probe.value(layer.forward(input, /*training=*/true));
+  };
+  // Populate caches, compute analytic grads.
+  layer.forward(input, true);
+  for (Param* p : layer.params()) p->zero_grad();
+  const Tensor dinput = layer.backward(probe.mask);
+
+  EXPECT_LT(max_numeric_grad_error(input, loss, dinput), tol) << "d/dInput";
+  for (Param* p : layer.params()) {
+    // Re-run forward/backward so grads are fresh (backward accumulates).
+    p->zero_grad();
+    layer.forward(input, true);
+    layer.backward(probe.mask);
+    EXPECT_LT(max_numeric_grad_error(p->value, loss, p->grad), tol)
+        << "d/d" << p->name;
+  }
+}
+
+// ---- individual layers -----------------------------------------------------
+
+TEST(Layers, Conv2dGradients) {
+  Rng rng(1);
+  Conv2d layer(3, 4, 3, 1, 1, 1, rng, /*bias=*/true);
+  check_layer_gradients(layer, random_uniform(make_nchw(2, 3, 4, 4), rng));
+}
+
+TEST(Layers, GroupedConv2dGradients) {
+  Rng rng(2);
+  Conv2d layer(4, 4, 1, 1, 0, 2, rng, /*bias=*/true);
+  check_layer_gradients(layer, random_uniform(make_nchw(1, 4, 3, 3), rng));
+}
+
+TEST(Layers, DepthwiseGradients) {
+  Rng rng(3);
+  DepthwiseConv2d layer(3, 3, 1, 1, rng, /*bias=*/true);
+  check_layer_gradients(layer, random_uniform(make_nchw(1, 3, 4, 4), rng));
+}
+
+TEST(Layers, SCCFusedGradients) {
+  Rng rng(4);
+  scc::SCCConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 6;
+  cfg.groups = 2;
+  cfg.overlap = 0.5;
+  SCCConv layer(cfg, rng, /*bias=*/true, SCCImpl::kFused);
+  check_layer_gradients(layer, random_uniform(make_nchw(1, 4, 3, 3), rng));
+}
+
+TEST(Layers, SCCAllImplsProduceSameForward) {
+  Rng rng(5);
+  scc::SCCConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 8;
+  cfg.groups = 2;
+  cfg.overlap = 0.5;
+  SCCConv layer(cfg, rng, true, SCCImpl::kFused);
+  Tensor in = random_uniform(make_nchw(2, 8, 4, 4), rng);
+  const Tensor ref = layer.forward(in, false);
+  for (SCCImpl impl :
+       {SCCImpl::kFusedOutputCentricBwd, SCCImpl::kChannelStack,
+        SCCImpl::kConvStack, SCCImpl::kConvStackNoCC}) {
+    layer.set_impl(impl);
+    EXPECT_LT(max_abs_diff(layer.forward(in, false), ref), 1e-4f)
+        << scc_impl_name(impl);
+  }
+}
+
+TEST(Layers, SCCAllImplsProduceSameGradients) {
+  Rng rng(6);
+  scc::SCCConfig cfg;
+  cfg.in_channels = 4;
+  cfg.out_channels = 8;
+  cfg.groups = 2;
+  cfg.overlap = 0.5;
+  Tensor in = random_uniform(make_nchw(1, 4, 3, 3), rng);
+
+  SCCConv ref_layer(cfg, rng, true, SCCImpl::kFused);
+  ref_layer.forward(in, true);
+  Tensor dout(ref_layer.output_shape(in.shape()), 1.0f);
+  const Tensor ref_din = ref_layer.backward(dout);
+  const Tensor ref_dw = ref_layer.params()[0]->grad.clone();
+
+  for (SCCImpl impl :
+       {SCCImpl::kFusedOutputCentricBwd, SCCImpl::kChannelStack,
+        SCCImpl::kConvStack}) {
+    ref_layer.set_impl(impl);
+    for (Param* p : ref_layer.params()) p->zero_grad();
+    ref_layer.forward(in, true);
+    const Tensor din = ref_layer.backward(dout);
+    EXPECT_LT(max_abs_diff(din, ref_din), 1e-3f) << scc_impl_name(impl);
+    EXPECT_LT(max_abs_diff(ref_layer.params()[0]->grad, ref_dw), 1e-3f)
+        << scc_impl_name(impl);
+  }
+}
+
+TEST(Layers, BatchNormGradients) {
+  Rng rng(7);
+  BatchNorm2d layer(3);
+  check_layer_gradients(layer, random_uniform(make_nchw(2, 3, 3, 3), rng));
+}
+
+TEST(Layers, LinearGradients) {
+  Rng rng(8);
+  Linear layer(6, 4, rng, true);
+  check_layer_gradients(layer, random_uniform(Shape{3, 6}, rng));
+}
+
+TEST(Layers, ReLUGradients) {
+  Rng rng(9);
+  ReLU layer;
+  // Keep inputs away from the kink at 0, where central differences and the
+  // subgradient legitimately disagree.
+  Tensor in = random_uniform(make_nchw(1, 2, 3, 3), rng, 0.2f, 1.0f);
+  for (int64_t i = 0; i < in.numel(); ++i) {
+    if (i % 2 == 0) in[i] = -in[i];
+  }
+  check_layer_gradients(layer, std::move(in));
+}
+
+TEST(Layers, MaxPoolGradients) {
+  Rng rng(10);
+  MaxPool2d layer(2, 2);
+  check_layer_gradients(layer, random_uniform(make_nchw(1, 2, 4, 4), rng));
+}
+
+TEST(Layers, GlobalAvgPoolGradients) {
+  Rng rng(11);
+  GlobalAvgPool layer;
+  check_layer_gradients(layer, random_uniform(make_nchw(2, 3, 3, 3), rng));
+}
+
+TEST(Layers, FlattenRoundTrip) {
+  Rng rng(12);
+  Flatten layer;
+  Tensor in = random_uniform(make_nchw(2, 3, 4, 4), rng);
+  Tensor out = layer.forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 48}));
+  Tensor din = layer.backward(out);
+  EXPECT_EQ(din.shape(), in.shape());
+  EXPECT_FLOAT_EQ(max_abs_diff(din, in), 0.0f);
+}
+
+TEST(Layers, BackwardBeforeForwardThrows) {
+  Rng rng(13);
+  ReLU relu;
+  Tensor g(make_nchw(1, 1, 2, 2));
+  EXPECT_THROW(relu.backward(g), Error);
+  Linear lin(4, 2, rng);
+  EXPECT_THROW(lin.backward(Tensor(Shape{1, 2})), Error);
+  MaxPool2d pool;
+  EXPECT_THROW(pool.backward(g), Error);
+}
+
+TEST(Layers, EvalForwardDoesNotCache) {
+  Rng rng(14);
+  ReLU relu;
+  relu.forward(random_uniform(make_nchw(1, 1, 2, 2), rng), /*training=*/false);
+  EXPECT_THROW(relu.backward(Tensor(make_nchw(1, 1, 2, 2))), Error);
+}
+
+// ---- output shapes ------------------------------------------------------------
+
+TEST(Layers, OutputShapes) {
+  Rng rng(15);
+  const Shape in = make_nchw(2, 8, 16, 16);
+  EXPECT_EQ(Conv2d(8, 16, 3, 2, 1, 1, rng).output_shape(in),
+            make_nchw(2, 16, 8, 8));
+  EXPECT_EQ(DepthwiseConv2d(8, 3, 1, 1, rng).output_shape(in),
+            make_nchw(2, 8, 16, 16));
+  scc::SCCConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 24;
+  cfg.groups = 2;
+  cfg.overlap = 0.5;
+  EXPECT_EQ(SCCConv(cfg, rng).output_shape(in), make_nchw(2, 24, 16, 16));
+  EXPECT_EQ(MaxPool2d(2, 2).output_shape(in), make_nchw(2, 8, 8, 8));
+  EXPECT_EQ(GlobalAvgPool().output_shape(in), make_nchw(2, 8, 1, 1));
+  EXPECT_EQ(Flatten().output_shape(in), (Shape{2, 8 * 16 * 16}));
+}
+
+// ---- containers -----------------------------------------------------------------
+
+TEST(Sequential, ChainsForwardBackward) {
+  Rng rng(16);
+  Sequential seq;
+  seq.emplace<Conv2d>(2, 4, 3, 1, 1, 1, rng);
+  seq.emplace<ReLU>();
+  seq.emplace<GlobalAvgPool>();
+  seq.emplace<Flatten>();
+  seq.emplace<Linear>(4, 3, rng);
+  Tensor in = random_uniform(make_nchw(2, 2, 5, 5), rng);
+  EXPECT_EQ(seq.output_shape(in.shape()), (Shape{2, 3}));
+  Tensor out = seq.forward(in, true);
+  EXPECT_EQ(out.shape(), (Shape{2, 3}));
+  Tensor din = seq.backward(Tensor(Shape{2, 3}, 1.0f));
+  EXPECT_EQ(din.shape(), in.shape());
+}
+
+TEST(Sequential, GradientsThroughStack) {
+  Rng rng(17);
+  Sequential seq;
+  seq.emplace<Conv2d>(2, 3, 1, 1, 0, 1, rng, true);
+  seq.emplace<ReLU>();
+  seq.emplace<Flatten>();
+  seq.emplace<Linear>(3 * 9, 2, rng, true);
+  check_layer_gradients(seq, random_uniform(make_nchw(1, 2, 3, 3), rng));
+}
+
+TEST(Sequential, CollectsAllParams) {
+  Rng rng(18);
+  Sequential seq;
+  seq.emplace<Conv2d>(2, 4, 3, 1, 1, 1, rng, true);   // w + b
+  seq.emplace<BatchNorm2d>(4);                        // gamma + beta
+  seq.emplace<Linear>(4, 2, rng, true);               // w + b
+  EXPECT_EQ(seq.params().size(), 6u);
+}
+
+TEST(Sequential, CostAccumulatesOverLayers) {
+  Rng rng(19);
+  Sequential seq;
+  seq.emplace<Conv2d>(2, 4, 3, 1, 1, 1, rng);
+  seq.emplace<MaxPool2d>(2, 2);
+  seq.emplace<Conv2d>(4, 8, 3, 1, 1, 1, rng);
+  const scc::LayerCost cost = seq.cost(make_nchw(1, 2, 8, 8));
+  // conv1: 64*4*9*2; conv2 at 4x4: 16*8*9*4
+  EXPECT_DOUBLE_EQ(cost.macs, 64.0 * 4 * 9 * 2 + 16.0 * 8 * 9 * 4);
+  EXPECT_DOUBLE_EQ(cost.params, 4.0 * 2 * 9 + 8.0 * 4 * 9);
+}
+
+TEST(Residual, IdentityShortcutGradients) {
+  Rng rng(20);
+  auto main = std::make_unique<Sequential>();
+  main->emplace<Conv2d>(3, 3, 3, 1, 1, 1, rng, true);
+  Residual res(std::move(main), nullptr);
+  check_layer_gradients(res, random_uniform(make_nchw(1, 3, 3, 3), rng));
+}
+
+TEST(Residual, ProjectionShortcutGradients) {
+  Rng rng(21);
+  auto main = std::make_unique<Sequential>();
+  main->emplace<Conv2d>(2, 4, 3, 2, 1, 1, rng, true);
+  auto sc = std::make_unique<Sequential>();
+  sc->emplace<Conv2d>(2, 4, 1, 2, 0, 1, rng, true);
+  Residual res(std::move(main), std::move(sc));
+  check_layer_gradients(res, random_uniform(make_nchw(1, 2, 4, 4), rng));
+}
+
+TEST(Residual, ShapeMismatchThrows) {
+  Rng rng(22);
+  auto main = std::make_unique<Sequential>();
+  main->emplace<Conv2d>(2, 4, 3, 1, 1, 1, rng);
+  Residual res(std::move(main), nullptr);  // identity: 2 channels vs 4
+  Tensor in(make_nchw(1, 2, 4, 4));
+  EXPECT_THROW(res.forward(in, false), Error);
+}
+
+// ---- SGD ------------------------------------------------------------------------
+
+TEST(Sgd, VanillaStepMath) {
+  SGD opt({.lr = 0.5f, .momentum = 0.0f, .weight_decay = 0.0f});
+  Param p = Param::create("w", Tensor(Shape{2}, 1.0f));
+  p.grad.fill(0.2f);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 1.0f - 0.5f * 0.2f);
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  SGD opt({.lr = 1.0f, .momentum = 0.5f, .weight_decay = 0.0f});
+  Param p = Param::create("w", Tensor(Shape{1}, 0.0f));
+  p.grad.fill(1.0f);
+  opt.step({&p});  // v=1, w=-1
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);
+  opt.step({&p});  // v=1.5, w=-2.5
+  EXPECT_FLOAT_EQ(p.value[0], -2.5f);
+}
+
+TEST(Sgd, WeightDecayOnlyWhereEnabled) {
+  SGD opt({.lr = 1.0f, .momentum = 0.0f, .weight_decay = 0.1f});
+  Param decayed = Param::create("w", Tensor(Shape{1}, 1.0f), true);
+  Param plain = Param::create("b", Tensor(Shape{1}, 1.0f), false);
+  opt.step({&decayed, &plain});  // grads are zero
+  EXPECT_FLOAT_EQ(decayed.value[0], 1.0f - 0.1f);
+  EXPECT_FLOAT_EQ(plain.value[0], 1.0f);
+}
+
+TEST(Sgd, ResetStateClearsVelocity) {
+  SGD opt({.lr = 1.0f, .momentum = 0.9f, .weight_decay = 0.0f});
+  Param p = Param::create("w", Tensor(Shape{1}, 0.0f));
+  p.grad.fill(1.0f);
+  opt.step({&p});
+  opt.reset_state();
+  p.value.fill(0.0f);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], -1.0f);  // no leftover momentum
+}
+
+// ---- Trainer ---------------------------------------------------------------------
+
+TEST(Trainer, LossDecreasesOnSeparableProblem) {
+  Rng rng(23);
+  Sequential model;
+  model.emplace<Flatten>();
+  model.emplace<Linear>(4, 2, rng, true);
+  SGD opt({.lr = 0.2f, .momentum = 0.9f, .weight_decay = 0.0f});
+  Trainer trainer(model, opt);
+
+  // Two linearly separable blobs.
+  Tensor x(make_nchw(8, 1, 2, 2));
+  std::vector<int32_t> y(8);
+  for (int64_t i = 0; i < 8; ++i) {
+    const int32_t label = static_cast<int32_t>(i % 2);
+    y[static_cast<size_t>(i)] = label;
+    for (int64_t j = 0; j < 4; ++j) {
+      x[i * 4 + j] = (label == 0 ? 1.0f : -1.0f) + rng.normal(0.0f, 0.1f);
+    }
+  }
+  const double first = trainer.train_batch(x, y).loss;
+  double last = first;
+  for (int step = 0; step < 30; ++step) last = trainer.train_batch(x, y).loss;
+  EXPECT_LT(last, first * 0.2);
+  EXPECT_GE(trainer.evaluate(x, y).accuracy, 0.99);
+}
+
+TEST(Trainer, ForwardBackwardLeavesParamsUnchanged) {
+  Rng rng(24);
+  Sequential model;
+  model.emplace<Flatten>();
+  model.emplace<Linear>(4, 2, rng);
+  SGD opt({});
+  Trainer trainer(model, opt);
+  const Tensor before = model.params()[0]->value.clone();
+  Tensor x(make_nchw(2, 1, 2, 2), 0.5f);
+  const std::vector<int32_t> y = {0, 1};
+  trainer.forward_backward(x, y);
+  EXPECT_FLOAT_EQ(max_abs_diff(model.params()[0]->value, before), 0.0f);
+}
+
+// ---- metrics ---------------------------------------------------------------------
+
+TEST(Metrics, AccuracyCountsArgmaxHits) {
+  Tensor logits(Shape{3, 3});
+  logits.at(0, 0) = 5.0f;  // -> 0
+  logits.at(1, 2) = 5.0f;  // -> 2
+  logits.at(2, 1) = 5.0f;  // -> 1
+  const std::vector<int32_t> labels = {0, 2, 0};
+  EXPECT_NEAR(accuracy(logits, labels), 2.0 / 3.0, 1e-9);
+}
+
+TEST(Metrics, TopKAccuracy) {
+  Tensor logits(Shape{1, 4});
+  logits[0] = 0.1f; logits[1] = 0.3f; logits[2] = 0.2f; logits[3] = 0.0f;
+  const std::vector<int32_t> labels = {2};
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, labels, 1), 0.0);
+  EXPECT_DOUBLE_EQ(top_k_accuracy(logits, labels, 2), 1.0);
+  EXPECT_THROW(top_k_accuracy(logits, labels, 5), Error);
+}
+
+TEST(Metrics, AverageMeter) {
+  AverageMeter meter;
+  meter.add(1.0, 1);
+  meter.add(3.0, 3);
+  EXPECT_DOUBLE_EQ(meter.mean(), 10.0 / 4.0);
+  meter.reset();
+  EXPECT_DOUBLE_EQ(meter.mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace dsx::nn
+
+// ---- LR schedules (appended) -----------------------------------------------------
+
+#include "nn/lr_schedule.hpp"
+
+namespace dsx::nn {
+namespace {
+
+TEST(LrSchedule, StepDecayDropsAtBoundaries) {
+  StepDecay sched(0.1f, 3, 0.5f);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.1f);
+  EXPECT_FLOAT_EQ(sched.lr_at(2), 0.1f);
+  EXPECT_FLOAT_EQ(sched.lr_at(3), 0.05f);
+  EXPECT_FLOAT_EQ(sched.lr_at(6), 0.025f);
+  EXPECT_THROW(sched.lr_at(-1), Error);
+}
+
+TEST(LrSchedule, StepDecayValidation) {
+  EXPECT_THROW(StepDecay(0.0f, 3, 0.5f), Error);
+  EXPECT_THROW(StepDecay(0.1f, 0, 0.5f), Error);
+  EXPECT_THROW(StepDecay(0.1f, 3, 1.5f), Error);
+}
+
+TEST(LrSchedule, CosineDecayEndpoints) {
+  CosineDecay sched(0.2f, 10, 0.01f);
+  EXPECT_FLOAT_EQ(sched.lr_at(0), 0.2f);
+  EXPECT_NEAR(sched.lr_at(5), 0.5f * (0.2f + 0.01f), 1e-5f);
+  EXPECT_FLOAT_EQ(sched.lr_at(10), 0.01f);
+  EXPECT_FLOAT_EQ(sched.lr_at(99), 0.01f);  // clamps past the horizon
+}
+
+TEST(LrSchedule, CosineDecayIsMonotoneNonIncreasing) {
+  CosineDecay sched(1.0f, 20);
+  float prev = sched.lr_at(0);
+  for (int64_t e = 1; e <= 20; ++e) {
+    const float lr = sched.lr_at(e);
+    EXPECT_LE(lr, prev + 1e-7f);
+    prev = lr;
+  }
+}
+
+TEST(LrSchedule, DrivesOptimizerThroughOptions) {
+  StepDecay sched(0.5f, 1, 0.1f);
+  SGD opt({.lr = sched.lr_at(0), .momentum = 0.0f, .weight_decay = 0.0f});
+  Param p = Param::create("w", Tensor(Shape{1}, 1.0f));
+  p.grad.fill(1.0f);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 0.5f);
+  opt.options().lr = sched.lr_at(1);
+  p.grad.fill(1.0f);
+  opt.step({&p});
+  EXPECT_FLOAT_EQ(p.value[0], 0.45f);
+}
+
+}  // namespace
+}  // namespace dsx::nn

@@ -1,0 +1,236 @@
+// Randomized property tests: algebraic invariants of the kernels that must
+// hold for *any* valid configuration, exercised over seeded random sweeps.
+#include <gtest/gtest.h>
+
+#include "core/compositions.hpp"
+#include "core/cost_model.hpp"
+#include "core/scc_kernels.hpp"
+#include "device/launch.hpp"
+#include "ops/conv2d.hpp"
+#include "testing_utils.hpp"
+
+namespace dsx {
+namespace {
+
+/// Draws a random valid SCC configuration.
+scc::SCCConfig random_scc_config(Rng& rng) {
+  static const int64_t cins[] = {4, 6, 8, 12, 16};
+  scc::SCCConfig cfg;
+  cfg.in_channels = cins[rng.randint(0, 4)];
+  // pick a divisor of Cin as cg
+  std::vector<int64_t> divisors;
+  for (int64_t d = 1; d <= cfg.in_channels; ++d) {
+    if (cfg.in_channels % d == 0) divisors.push_back(d);
+  }
+  cfg.groups = divisors[static_cast<size_t>(
+      rng.randint(0, static_cast<int64_t>(divisors.size()) - 1))];
+  cfg.out_channels = rng.randint(1, 3) * cfg.in_channels;
+  cfg.overlap = 0.25 * static_cast<double>(rng.randint(0, 4));
+  cfg.stride = rng.bernoulli(0.25) ? 2 : 1;
+  return cfg;
+}
+
+class RandomSccSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomSccSweep, ForwardIsLinearInInput) {
+  // SCC(a*x + b*y) == a*SCC(x) + b*SCC(y) (bias off).
+  Rng rng(1000 + GetParam());
+  const scc::SCCConfig cfg = random_scc_config(rng);
+  const scc::ChannelWindowMap map(cfg);
+  const Shape in_shape = make_nchw(2, cfg.in_channels, 5, 5);
+  Tensor x = random_uniform(in_shape, rng);
+  Tensor y = random_uniform(in_shape, rng);
+  Tensor w = random_uniform(Shape{cfg.out_channels, map.group_width()}, rng);
+
+  const float a = rng.uniform(-2.0f, 2.0f), b = rng.uniform(-2.0f, 2.0f);
+  Tensor combo = x.clone();
+  scale_(combo, a);
+  axpy_(combo, b, y);
+
+  Tensor lhs = scc::scc_forward(combo, w, nullptr, map);
+  Tensor fx = scc::scc_forward(x, w, nullptr, map);
+  Tensor fy = scc::scc_forward(y, w, nullptr, map);
+  scale_(fx, a);
+  axpy_(fx, b, fy);
+  EXPECT_LT(max_abs_diff(lhs, fx), 1e-3f) << cfg.to_string();
+}
+
+TEST_P(RandomSccSweep, ForwardIsLinearInWeights) {
+  Rng rng(2000 + GetParam());
+  const scc::SCCConfig cfg = random_scc_config(rng);
+  const scc::ChannelWindowMap map(cfg);
+  Tensor x = random_uniform(make_nchw(1, cfg.in_channels, 4, 4), rng);
+  Tensor w1 = random_uniform(Shape{cfg.out_channels, map.group_width()}, rng);
+  Tensor w2 = random_uniform(Shape{cfg.out_channels, map.group_width()}, rng);
+
+  Tensor wsum = add(w1, w2);
+  Tensor lhs = scc::scc_forward(x, wsum, nullptr, map);
+  Tensor rhs = add(scc::scc_forward(x, w1, nullptr, map),
+                   scc::scc_forward(x, w2, nullptr, map));
+  EXPECT_LT(max_abs_diff(lhs, rhs), 1e-3f) << cfg.to_string();
+}
+
+TEST_P(RandomSccSweep, BackwardIsAdjointOfForward) {
+  // <SCC(x), g> == <x, SCC_backward_input(g)> - the defining property of a
+  // correct input gradient, for any configuration.
+  Rng rng(3000 + GetParam());
+  const scc::SCCConfig cfg = random_scc_config(rng);
+  const scc::ChannelWindowMap map(cfg);
+  Tensor x = random_uniform(make_nchw(2, cfg.in_channels, 4, 4), rng);
+  Tensor w = random_uniform(Shape{cfg.out_channels, map.group_width()}, rng);
+  Tensor g = random_uniform(scc::scc_output_shape(x.shape(), map), rng);
+
+  const Tensor fx = scc::scc_forward(x, w, nullptr, map);
+  const scc::SCCGrads grads =
+      scc::scc_backward_input_centric(x, w, g, map, true, false);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < fx.numel(); ++i) lhs += fx[i] * g[i];
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * grads.dinput[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (1.0 + std::abs(lhs))) << cfg.to_string();
+}
+
+TEST_P(RandomSccSweep, AllFourImplementationsAgree) {
+  Rng rng(4000 + GetParam());
+  const scc::SCCConfig cfg = random_scc_config(rng);
+  const scc::ChannelWindowMap map(cfg);
+  Tensor x = random_uniform(make_nchw(1, cfg.in_channels, 4, 4), rng);
+  Tensor w = random_uniform(Shape{cfg.out_channels, map.group_width()}, rng);
+  Tensor b = random_uniform(Shape{cfg.out_channels}, rng);
+
+  const Tensor fused = scc::scc_forward(x, w, &b, map);
+  EXPECT_LT(max_abs_diff(scc::ChannelStackSCC(cfg).forward(x, w, &b), fused),
+            1e-4f)
+      << cfg.to_string();
+  EXPECT_LT(max_abs_diff(scc::ConvStackSCC(cfg, true).forward(x, w, &b),
+                         fused),
+            1e-4f)
+      << cfg.to_string();
+  EXPECT_LT(max_abs_diff(scc::ConvStackSCC(cfg, false).forward(x, w, &b),
+                         fused),
+            1e-4f)
+      << cfg.to_string();
+}
+
+TEST_P(RandomSccSweep, CostModelMatchesRecordedKernelWork) {
+  // The analytic MAC count must equal the (threads * flops_per_thread) / 2
+  // the forward kernel reports to the launch log.
+  Rng rng(5000 + GetParam());
+  scc::SCCConfig cfg = random_scc_config(rng);
+  cfg.stride = 1;  // cost model and kernel agree trivially on stride here
+  const scc::ChannelWindowMap map(cfg);
+  const int64_t H = 6, W = 6, N = 2;
+  Tensor x = random_uniform(make_nchw(N, cfg.in_channels, H, W), rng);
+  Tensor w = random_uniform(Shape{cfg.out_channels, map.group_width()}, rng);
+
+  device::KernelProfileScope profile;
+  scc::scc_forward(x, w, nullptr, map);
+  const auto records = profile.records();
+  ASSERT_EQ(records.size(), 1u);
+  const double kernel_macs = records[0].total_flops() / 2.0;
+  const double analytic = N * scc::scc_cost(cfg, H, W, false).macs;
+  EXPECT_DOUBLE_EQ(kernel_macs, analytic) << cfg.to_string();
+}
+
+TEST_P(RandomSccSweep, StridedForwardSubsamplesExactly) {
+  // SCC with stride s == stride-1 SCC output subsampled at (s*y, s*x).
+  Rng rng(6000 + GetParam());
+  scc::SCCConfig cfg = random_scc_config(rng);
+  cfg.stride = 2;
+  scc::SCCConfig dense_cfg = cfg;
+  dense_cfg.stride = 1;
+  const scc::ChannelWindowMap map(cfg), dense_map(dense_cfg);
+  Tensor x = random_uniform(make_nchw(1, cfg.in_channels, 6, 6), rng);
+  Tensor w = random_uniform(Shape{cfg.out_channels, map.group_width()}, rng);
+
+  const Tensor strided = scc::scc_forward(x, w, nullptr, map);
+  const Tensor dense = scc::scc_forward(x, w, nullptr, dense_map);
+  for (int64_t f = 0; f < cfg.out_channels; ++f) {
+    for (int64_t y = 0; y < strided.shape().h(); ++y) {
+      for (int64_t xx = 0; xx < strided.shape().w(); ++xx) {
+        EXPECT_FLOAT_EQ(strided.at(0, f, y, xx),
+                        dense.at(0, f, 2 * y, 2 * xx));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RandomSccSweep, ::testing::Range(0, 20));
+
+// ---- convolution properties -----------------------------------------------------
+
+class RandomConvSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomConvSweep, IdentityKernelIsIdentity) {
+  // 1x1 conv with identity weight matrix reproduces the input.
+  Rng rng(7000 + GetParam());
+  const int64_t C = rng.randint(1, 6);
+  Tensor x = random_uniform(make_nchw(2, C, 4, 4), rng);
+  Tensor w(Shape{C, C, 1, 1});
+  for (int64_t c = 0; c < C; ++c) w[c * C + c] = 1.0f;
+  Tensor y = conv2d_forward(x, w, nullptr, Conv2dArgs{1, 0, 1});
+  EXPECT_LT(max_abs_diff(x, y), 1e-6f);
+}
+
+TEST_P(RandomConvSweep, ConvBackwardIsAdjoint) {
+  Rng rng(8000 + GetParam());
+  const int64_t C = 2 * rng.randint(1, 3);
+  const int64_t groups = rng.bernoulli(0.5) ? 2 : 1;
+  const int64_t K = rng.bernoulli(0.5) ? 3 : 1;
+  const int64_t pad = K / 2;
+  Tensor x = random_uniform(make_nchw(2, C, 5, 5), rng);
+  Tensor w = random_uniform(Shape{C, C / groups, K, K}, rng);
+  const Conv2dArgs args{1, pad, groups};
+  Tensor g = random_uniform(conv2d_output_shape(x.shape(), w.shape(), args),
+                            rng);
+  const Tensor fx = conv2d_forward(x, w, nullptr, args);
+  const Conv2dGrads grads = conv2d_backward(x, w, g, args, true, false);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < fx.numel(); ++i) lhs += fx[i] * g[i];
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * grads.dinput[i];
+  EXPECT_NEAR(lhs, rhs, 1e-2 * (1.0 + std::abs(lhs)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, RandomConvSweep, ::testing::Range(0, 10));
+
+// ---- cost-model identities --------------------------------------------------------
+
+TEST(CostProperties, SccCostEqualsGpwCostForAllConfigs) {
+  // Paper Table I: overlap is free - SCC always costs exactly GPW at equal cg.
+  for (int64_t cin : {8L, 16L, 64L}) {
+    for (int64_t cg : {1L, 2L, 4L, 8L}) {
+      for (double co : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        scc::SCCConfig cfg;
+        cfg.in_channels = cin;
+        cfg.out_channels = 2 * cin;
+        cfg.groups = cg;
+        cfg.overlap = co;
+        const auto s = scc::scc_cost(cfg, 8, 8, false);
+        const auto g = scc::pointwise_cost(cin, 2 * cin, 8, 8, cg, false);
+        EXPECT_DOUBLE_EQ(s.macs, g.macs);
+        EXPECT_DOUBLE_EQ(s.params, g.params);
+      }
+    }
+  }
+}
+
+TEST(CostProperties, DscBeatsStandardConvAtEveryShape) {
+  // The classic DSC saving 1/Cout + 1/K^2 (paper §II-B).
+  for (int64_t c : {32L, 64L, 128L}) {
+    const auto std_cost = scc::conv2d_cost(c, c, 3, 16, 16, 1, 0, 1, false);
+    const auto dw = scc::depthwise_cost(c, 3, 16, 16, 1, 0, false);
+    const auto pw = scc::pointwise_cost(c, c, 14, 14, 1, false);
+    const double ratio = (dw.macs + pw.macs) / std_cost.macs;
+    const double predicted = 1.0 / static_cast<double>(c) + 1.0 / 9.0;
+    EXPECT_NEAR(ratio, predicted, 0.05);
+  }
+}
+
+TEST(CostProperties, StrideQuartersSpatialMacs) {
+  const auto s1 = scc::conv2d_cost(16, 16, 3, 16, 16, 1, 1, 1, false);
+  const auto s2 = scc::conv2d_cost(16, 16, 3, 16, 16, 2, 1, 1, false);
+  EXPECT_NEAR(s1.macs / s2.macs, 4.0, 0.1);
+  EXPECT_DOUBLE_EQ(s1.params, s2.params);
+}
+
+}  // namespace
+}  // namespace dsx

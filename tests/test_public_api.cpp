@@ -1,0 +1,65 @@
+// Compiles the umbrella header and exercises a cross-module happy path -
+// the "quickstart" contract of the public API.
+#include <gtest/gtest.h>
+
+#include "dsxplore.hpp"
+
+namespace {
+
+TEST(PublicApi, UmbrellaHeaderQuickstart) {
+  using namespace dsx;
+
+  // Configure SCC, build the map.
+  scc::SCCConfig cfg;
+  cfg.in_channels = 8;
+  cfg.out_channels = 16;
+  cfg.groups = 2;
+  cfg.overlap = 0.5;
+  const scc::ChannelWindowMap map(cfg);
+  EXPECT_EQ(map.cyclic_dist(), 4);
+
+  // Fused forward/backward round trip.
+  Rng rng(1);
+  const Tensor x = random_uniform(make_nchw(2, 8, 8, 8), rng);
+  const Tensor w = random_uniform(Shape{16, 4}, rng);
+  const Tensor y = scc::scc_forward(x, w, nullptr, map);
+  EXPECT_EQ(y.shape(), make_nchw(2, 16, 8, 8));
+  const scc::SCCGrads g = scc::scc_backward_input_centric(
+      x, w, Tensor(y.shape(), 1.0f), map, true, false);
+  EXPECT_TRUE(g.dinput.defined());
+
+  // Model zoo + cost model.
+  models::SchemeConfig scheme;
+  scheme.scheme = models::ConvScheme::kDWSCC;
+  scheme.cg = 2;
+  scheme.co = 0.5;
+  scheme.width_mult = 0.125;
+  auto model = models::build_mobilenet(10, scheme, rng);
+  EXPECT_GT(model->cost(make_nchw(1, 3, 32, 32)).macs, 0.0);
+
+  // One training step end to end.
+  nn::SGD opt({});
+  nn::Trainer trainer(*model, opt);
+  const data::Dataset ds = data::make_synth_cifar(8, 2, 16, 3, 10);
+  const data::Batch b = data::full_batch(ds);
+  const nn::StepResult r = trainer.train_batch(b.images, b.labels);
+  EXPECT_GT(r.loss, 0.0);
+
+  // GPU-model path.
+  const gpusim::DeviceSpec v100 = gpusim::DeviceSpec::v100();
+  device::KernelProfileScope profile;
+  model->forward(b.images, false);
+  EXPECT_GT(gpusim::estimate_log_time(v100, profile.records()), 0.0);
+}
+
+TEST(PublicApi, ErrorsAreCatchableAsDsxError) {
+  try {
+    dsx::Shape s{2, 3};
+    (void)s.dim(7);
+    FAIL() << "expected dsx::Error";
+  } catch (const dsx::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("precondition"), std::string::npos);
+  }
+}
+
+}  // namespace

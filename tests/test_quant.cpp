@@ -1,0 +1,328 @@
+// Tests for the int8 quantization module: primitive round trips and error
+// bounds, quantized SCC / pointwise kernels against their float versions,
+// the QuantSCCConv inference layer, and the whole-model post-training
+// transform (calibrate -> fold BN -> swap SCC layers).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/scc_kernels.hpp"
+#include "data/synth.hpp"
+#include "models/mobilenet.hpp"
+#include "nn/bn_folding.hpp"
+#include "nn/metrics.hpp"
+#include "nn/sgd.hpp"
+#include "nn/trainer.hpp"
+#include "ops/conv2d.hpp"
+#include "quant/quant_layers.hpp"
+#include "quant/qscc.hpp"
+#include "quant/quantize.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::quant {
+namespace {
+
+// ---- primitives -------------------------------------------------------------
+
+TEST(QuantizeScale, MapsAbsmaxTo127) {
+  const float scale = choose_scale(2.54f);
+  EXPECT_EQ(quantize_value(2.54f, scale), 127);
+  EXPECT_EQ(quantize_value(-2.54f, scale), -127);
+  EXPECT_EQ(quantize_value(0.0f, scale), 0);
+}
+
+TEST(QuantizeScale, ZeroTensorGetsZeroScale) {
+  EXPECT_EQ(choose_scale(0.0f), 0.0f);
+  EXPECT_EQ(quantize_value(123.0f, 0.0f), 0);  // degenerate scale: all zeros
+}
+
+TEST(QuantizeScale, RejectsNonFiniteAbsmax) {
+  EXPECT_THROW(choose_scale(-1.0f), std::runtime_error);
+  EXPECT_THROW(choose_scale(std::nanf("")), std::runtime_error);
+}
+
+TEST(QuantizeValue, ClampsBeyondCalibratedRange) {
+  const float scale = choose_scale(1.0f);
+  EXPECT_EQ(quantize_value(5.0f, scale), 127);
+  EXPECT_EQ(quantize_value(-5.0f, scale), -127);
+}
+
+TEST(QuantizeRoundTrip, ErrorBoundedByHalfScale) {
+  Rng rng(41);
+  const Tensor t = random_uniform(make_nchw(2, 4, 6, 6), rng, -3.0f, 3.0f);
+  const QuantizedTensor q = quantize_per_tensor(t);
+  const Tensor back = dequantize(q);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::abs(back[i] - t[i]), q.scale * 0.5f + 1e-7f);
+  }
+}
+
+TEST(QuantizeRoundTrip, ZeroTensorSurvives) {
+  const Tensor t(make_nchw(1, 2, 3, 3));
+  const QuantizedTensor q = quantize_per_tensor(t);
+  EXPECT_EQ(q.scale, 0.0f);
+  const Tensor back = dequantize(q);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(back[i], 0.0f);
+}
+
+TEST(QuantizePerFilter, EachRowUsesOwnRange) {
+  // Row 0 spans [-1, 1], row 1 spans [-100, 100]; with one shared scale row
+  // 0 would collapse to ~1 code; per-filter keeps both at full resolution.
+  Tensor w(Shape{2, 4});
+  w.at(0, 0) = 1.0f;
+  w.at(0, 1) = -0.5f;
+  w.at(1, 0) = 100.0f;
+  w.at(1, 1) = -37.0f;
+  const QuantizedFilterBank q = quantize_per_filter(w);
+  ASSERT_EQ(q.scales.size(), 2u);
+  EXPECT_FLOAT_EQ(q.scales[0], 1.0f / 127.0f);
+  EXPECT_FLOAT_EQ(q.scales[1], 100.0f / 127.0f);
+  const Tensor back = dequantize(q);
+  EXPECT_NEAR(back.at(0, 1), -0.5f, 1.0f / 127.0f);
+  EXPECT_NEAR(back.at(1, 1), -37.0f, 100.0f / 127.0f);
+}
+
+TEST(QuantizePerFilter, TightensErrorVsPerTensor) {
+  // Property: per-filter reconstruction error is never worse than treating
+  // the whole bank with the global scale.
+  Rng rng(43);
+  Tensor w = random_uniform(Shape{8, 16}, rng);
+  // Give the rows wildly different magnitudes.
+  for (int64_t f = 0; f < 8; ++f) {
+    for (int64_t k = 0; k < 16; ++k) {
+      w.at(f, k) *= static_cast<float>(1 << f);
+    }
+  }
+  const Tensor per_filter = dequantize(quantize_per_filter(w));
+  const Tensor per_tensor = dequantize(quantize_per_tensor(w));
+  EXPECT_LT(max_abs_diff(per_filter, w), max_abs_diff(per_tensor, w));
+}
+
+TEST(QuantizePerFilter, RejectsRank1) {
+  Tensor w(Shape{8});
+  EXPECT_THROW(quantize_per_filter(w), std::runtime_error);
+}
+
+TEST(PercentileCalibration, FullQuantileEqualsAbsmax) {
+  Rng rng(44);
+  const Tensor t = random_uniform(make_nchw(1, 2, 8, 8), rng, -5.0f, 5.0f);
+  EXPECT_FLOAT_EQ(choose_scale_percentile(t, 1.0), choose_scale(max_abs(t)));
+}
+
+TEST(PercentileCalibration, ClipsOutlierTail) {
+  // 127 unit values and one 100.0 outlier: absmax calibration wastes nearly
+  // the whole code range on the outlier; a 99% quantile ignores it.
+  Tensor t(Shape{128});
+  for (int64_t i = 0; i < 127; ++i) t[i] = 1.0f;
+  t[127] = 100.0f;
+  const float absmax_scale = choose_scale_percentile(t, 1.0);
+  const float clipped_scale = choose_scale_percentile(t, 0.99);
+  EXPECT_FLOAT_EQ(absmax_scale, 100.0f / 127.0f);
+  EXPECT_FLOAT_EQ(clipped_scale, 1.0f / 127.0f);
+  // The bulk of the distribution round-trips far better with clipping.
+  const Tensor clipped = dequantize(quantize_with_scale(t, clipped_scale));
+  const Tensor full = dequantize(quantize_with_scale(t, absmax_scale));
+  EXPECT_LT(std::abs(clipped[0] - 1.0f), std::abs(full[0] - 1.0f));
+}
+
+TEST(PercentileCalibration, RejectsBadQuantile) {
+  Tensor t(Shape{4});
+  EXPECT_THROW(choose_scale_percentile(t, 0.0), std::runtime_error);
+  EXPECT_THROW(choose_scale_percentile(t, 1.5), std::runtime_error);
+}
+
+// ---- quantized kernels -------------------------------------------------------
+
+scc::SCCConfig make_cfg(int64_t cin, int64_t cout, int64_t cg, double co,
+                        int64_t stride = 1) {
+  scc::SCCConfig cfg;
+  cfg.in_channels = cin;
+  cfg.out_channels = cout;
+  cfg.groups = cg;
+  cfg.overlap = co;
+  cfg.stride = stride;
+  return cfg;
+}
+
+TEST(QSccForward, ExactOnRepresentableValues) {
+  // Inputs k/127 * absmax and weights m/127 * absmax quantize losslessly, so
+  // the int8 kernel must agree with the float kernel bit-for-bit (modulo
+  // float rounding of the dequant multiply).
+  const scc::SCCConfig cfg = make_cfg(4, 8, 2, 0.5);
+  scc::ChannelWindowMap map(cfg);
+  Rng rng(47);
+  Tensor in(make_nchw(1, 4, 3, 3));
+  for (int64_t i = 0; i < in.numel(); ++i) {
+    in[i] = static_cast<float>(rng.randint(-127, 127)) / 127.0f;
+  }
+  Tensor w(Shape{8, 2});
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    w[i] = static_cast<float>(rng.randint(-127, 127)) / 127.0f;
+  }
+  // Pin the calibration ranges to 1.0 - per *row* for the per-filter weight
+  // bank - so every code is exactly an integer in [-127, 127].
+  in[0] = 1.0f;
+  for (int64_t f = 0; f < 8; ++f) w.at(f, 0) = 1.0f;
+
+  const Tensor want = scc::scc_forward(in, w, nullptr, map);
+  const Tensor got = qscc_forward(quantize_per_tensor(in),
+                                  quantize_per_filter(w), nullptr, map);
+  EXPECT_LT(max_abs_diff(got, want), 1e-5f);
+}
+
+struct QCase {
+  int64_t cin, cout, cg;
+  double co;
+  int64_t stride;
+};
+
+class QSccSweep : public ::testing::TestWithParam<QCase> {};
+
+TEST_P(QSccSweep, CloseToFloatKernel) {
+  const QCase p = GetParam();
+  const scc::SCCConfig cfg = make_cfg(p.cin, p.cout, p.cg, p.co, p.stride);
+  scc::ChannelWindowMap map(cfg);
+  Rng rng(53);
+  const Tensor in = random_uniform(make_nchw(2, p.cin, 6, 6), rng);
+  const Tensor w = random_uniform(Shape{p.cout, map.group_width()}, rng);
+  const Tensor b = random_uniform(Shape{p.cout}, rng);
+
+  const Tensor want = scc::scc_forward(in, w, &b, map);
+  const Tensor got =
+      qscc_forward(quantize_per_tensor(in), quantize_per_filter(w), &b, map);
+  ASSERT_EQ(got.shape(), want.shape());
+  // Error bound: each of the gw products contributes at most
+  // (sx/2)|w| + (sw/2)|x| + (sx sw)/4; bound loosely with the scales.
+  const float sx = choose_scale(max_abs(in));
+  const float sw = choose_scale(max_abs(w));
+  const float bound =
+      static_cast<float>(map.group_width()) *
+      (0.5f * sx * max_abs(w) + 0.5f * sw * max_abs(in) + 0.25f * sx * sw) *
+      1.5f;
+  EXPECT_LT(max_abs_diff(got, want), bound) << cfg.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QSccSweep,
+    ::testing::Values(QCase{4, 8, 2, 0.5, 1}, QCase{8, 16, 4, 0.5, 1},
+                      QCase{6, 6, 2, 1.0 / 3.0, 1}, QCase{8, 8, 1, 1.0, 1},
+                      QCase{8, 8, 4, 0.0, 1}, QCase{8, 8, 2, 0.5, 2}));
+
+TEST(QPointwise, CloseToFloatConv) {
+  Rng rng(59);
+  const Tensor in = random_uniform(make_nchw(2, 8, 5, 5), rng);
+  const Tensor w = random_uniform(Shape{16, 4, 1, 1}, rng);
+  const Conv2dArgs args{1, 0, 2};
+  const Tensor want = conv2d_forward(in, w, nullptr, args);
+  const Tensor got = qpointwise_forward(quantize_per_tensor(in),
+                                        quantize_per_filter(w), nullptr, 2);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_LT(max_abs_diff(got, want), 0.05f * max_abs(want) + 0.05f);
+}
+
+TEST(QPointwise, RejectsBadGroups) {
+  Rng rng(61);
+  const Tensor in = random_uniform(make_nchw(1, 6, 3, 3), rng);
+  const Tensor w = random_uniform(Shape{8, 2, 1, 1}, rng);
+  EXPECT_THROW(qpointwise_forward(quantize_per_tensor(in),
+                                  quantize_per_filter(w), nullptr, 4),
+               std::runtime_error);
+}
+
+// ---- QuantSCCConv layer ------------------------------------------------------
+
+TEST(QuantSCCLayer, MatchesFloatLayerClosely) {
+  const scc::SCCConfig cfg = make_cfg(8, 16, 2, 0.5);
+  Rng rng(67);
+  nn::SCCConv flayer(cfg, rng, /*bias=*/true);
+  Rng data(68);
+  const Tensor in = random_uniform(make_nchw(2, 8, 6, 6), data);
+
+  QuantSCCConv qlayer(flayer, choose_scale(max_abs(in)));
+  const Tensor want = flayer.forward(in, false);
+  const Tensor got = qlayer.forward(in, false);
+  ASSERT_EQ(got.shape(), want.shape());
+  EXPECT_LT(max_abs_diff(got, want), 0.05f * max_abs(want) + 0.05f);
+  EXPECT_EQ(qlayer.output_shape(in.shape()), want.shape());
+}
+
+TEST(QuantSCCLayer, IsInferenceOnly) {
+  const scc::SCCConfig cfg = make_cfg(4, 4, 2, 0.5);
+  Rng rng(71);
+  nn::SCCConv flayer(cfg, rng);
+  QuantSCCConv qlayer(flayer, 0.01f);
+  Rng data(72);
+  const Tensor in = random_uniform(make_nchw(1, 4, 4, 4), data);
+  EXPECT_THROW(qlayer.forward(in, /*training=*/true), std::runtime_error);
+  EXPECT_THROW(qlayer.backward(in), std::runtime_error);
+  EXPECT_TRUE(qlayer.params().empty());
+}
+
+TEST(QuantSCCLayer, KeepsCostModelMacs) {
+  const scc::SCCConfig cfg = make_cfg(8, 16, 2, 0.5);
+  Rng rng(73);
+  nn::SCCConv flayer(cfg, rng);
+  QuantSCCConv qlayer(flayer, 0.01f);
+  const Shape in = make_nchw(1, 8, 8, 8);
+  EXPECT_DOUBLE_EQ(qlayer.cost(in).macs, flayer.cost(in).macs);
+  EXPECT_EQ(qlayer.weight_bytes(), 16 * 4);  // Cout x gw int8 codes
+}
+
+// ---- whole-model transform -----------------------------------------------------
+
+TEST(QuantizeModel, SwapsAllTopLevelSCCLayersAndKeepsPredictions) {
+  Rng rng(79);
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.cg = 2;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.125;
+  auto model = models::build_mobilenet(10, cfg, rng);
+
+  // Train until the logits separate (near-uniform logits would make argmax
+  // agreement meaningless - any perturbation flips it), then fold BN.
+  data::Dataset ds = data::make_synth_cifar(32, 81);
+  nn::SGD opt({.lr = 0.05f});
+  nn::Trainer trainer(*model, opt);
+  for (int step = 0; step < 10; ++step) {
+    trainer.train_batch(ds.images, ds.labels);
+  }
+  nn::fold_batchnorm(*model);
+
+  const Tensor float_logits = model->forward(ds.images, false);
+  const QuantizeReport report = quantize_scc_layers(*model, ds.images);
+  EXPECT_EQ(report.layers_quantized, 13);  // one SCC per MobileNet block
+  EXPECT_EQ(report.int8_weight_bytes * 4, report.float_weight_bytes);
+
+  const Tensor quant_logits = model->forward(ds.images, false);
+  ASSERT_EQ(quant_logits.shape(), float_logits.shape());
+  // Argmax agreement between float and int8 on the calibration data. 13
+  // quantized layers on a briefly-trained model with small logit margins:
+  // demand a clear majority, not bit-exactness.
+  int64_t agree = 0;
+  const int64_t n = float_logits.shape().dim(0);
+  const int64_t k = float_logits.shape().dim(1);
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t af = 0, aq = 0;
+    for (int64_t j = 1; j < k; ++j) {
+      if (float_logits.at(i, j) > float_logits.at(i, af)) af = j;
+      if (quant_logits.at(i, j) > quant_logits.at(i, aq)) aq = j;
+    }
+    agree += af == aq;
+  }
+  EXPECT_GE(static_cast<double>(agree) / static_cast<double>(n), 0.75);
+}
+
+TEST(QuantizeModel, RejectsNonImageCalibration) {
+  Rng rng(83);
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.width_mult = 0.125;
+  auto model = models::build_mobilenet(10, cfg, rng);
+  Tensor bad(Shape{4, 3});
+  EXPECT_THROW(quantize_scc_layers(*model, bad), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace dsx::quant

@@ -1,0 +1,165 @@
+// Tests for the GEMM-based SCC implementation (core/scc_gemm) - the route
+// the paper's §IV evaluates and rejects. The implementation must be
+// numerically identical to the fused DSXplore kernels across the full
+// (cg, co, stride, shape) grid, including the PW / GPW corner cases, while
+// its cost structure (per-filter gathers, filter-sequential GEMMs) is what
+// bench/micro_kernels measures against.
+#include <gtest/gtest.h>
+
+#include "core/scc_gemm.hpp"
+#include "core/scc_kernels.hpp"
+#include "nn/layers_conv.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor_ops.hpp"
+#include "testing_utils.hpp"
+
+namespace dsx::scc {
+namespace {
+
+SCCConfig make_cfg(int64_t cin, int64_t cout, int64_t cg, double co,
+                   int64_t stride = 1) {
+  SCCConfig cfg;
+  cfg.in_channels = cin;
+  cfg.out_channels = cout;
+  cfg.groups = cg;
+  cfg.overlap = co;
+  cfg.stride = stride;
+  return cfg;
+}
+
+struct SccCase {
+  int64_t N, Cin, Cout, H, W, cg;
+  double co;
+  int64_t stride;
+};
+
+class SccGemmSweep : public ::testing::TestWithParam<SccCase> {};
+
+TEST_P(SccGemmSweep, ForwardMatchesFusedKernel) {
+  const SccCase p = GetParam();
+  const SCCConfig cfg = make_cfg(p.Cin, p.Cout, p.cg, p.co, p.stride);
+  ChannelWindowMap map(cfg);
+  Rng rng(211);
+  Tensor in = random_uniform(make_nchw(p.N, p.Cin, p.H, p.W), rng);
+  Tensor w = random_uniform(Shape{p.Cout, map.group_width()}, rng);
+  Tensor b = random_uniform(Shape{p.Cout}, rng);
+
+  const Tensor fused = scc_forward(in, w, &b, map);
+  const Tensor gemm = scc_forward_gemm(in, w, &b, map);
+  ASSERT_EQ(gemm.shape(), fused.shape());
+  EXPECT_LT(max_abs_diff(gemm, fused), 1e-4f) << cfg.to_string();
+}
+
+TEST_P(SccGemmSweep, ForwardWithoutBiasMatches) {
+  const SccCase p = GetParam();
+  const SCCConfig cfg = make_cfg(p.Cin, p.Cout, p.cg, p.co, p.stride);
+  ChannelWindowMap map(cfg);
+  Rng rng(213);
+  Tensor in = random_uniform(make_nchw(p.N, p.Cin, p.H, p.W), rng);
+  Tensor w = random_uniform(Shape{p.Cout, map.group_width()}, rng);
+  EXPECT_LT(max_abs_diff(scc_forward_gemm(in, w, nullptr, map),
+                         scc_forward(in, w, nullptr, map)),
+            1e-4f);
+}
+
+TEST_P(SccGemmSweep, BackwardMatchesInputCentric) {
+  const SccCase p = GetParam();
+  const SCCConfig cfg = make_cfg(p.Cin, p.Cout, p.cg, p.co, p.stride);
+  ChannelWindowMap map(cfg);
+  Rng rng(217);
+  Tensor in = random_uniform(make_nchw(p.N, p.Cin, p.H, p.W), rng);
+  Tensor w = random_uniform(Shape{p.Cout, map.group_width()}, rng);
+  Tensor dout = random_uniform(scc_output_shape(in.shape(), map), rng);
+
+  const SCCGrads want = scc_backward_input_centric(in, w, dout, map,
+                                                   /*need_dinput=*/true,
+                                                   /*has_bias=*/true);
+  const SCCGrads got = scc_backward_gemm(in, w, dout, map, true, true);
+  EXPECT_LT(max_abs_diff(got.dinput, want.dinput), 1e-4f);
+  EXPECT_LT(max_abs_diff(got.dweight, want.dweight), 1e-4f);
+  EXPECT_LT(max_abs_diff(got.dbias, want.dbias), 1e-4f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SccGemmSweep,
+    ::testing::Values(
+        SccCase{1, 4, 8, 4, 4, 2, 0.5, 1},       // paper Fig. 5(a)
+        SccCase{2, 6, 6, 3, 5, 2, 1.0 / 3.0, 1}, // paper Fig. 5(b)
+        SccCase{1, 8, 16, 5, 5, 4, 0.5, 1},
+        SccCase{2, 8, 8, 4, 4, 2, 0.25, 1},
+        SccCase{1, 8, 16, 4, 4, 1, 1.0, 1},      // PW corner
+        SccCase{1, 8, 16, 4, 4, 4, 0.0, 1},      // GPW corner
+        SccCase{2, 8, 8, 6, 6, 2, 0.5, 2},       // strided
+        SccCase{1, 16, 8, 3, 3, 8, 0.5, 1},      // Cout < Cin
+        SccCase{1, 12, 24, 4, 4, 3, 0.5, 1}));   // non-power-of-two
+
+TEST(SccGemmBackward, SkipsDinputWhenNotNeeded) {
+  const SCCConfig cfg = make_cfg(8, 8, 2, 0.5);
+  ChannelWindowMap map(cfg);
+  Rng rng(219);
+  Tensor in = random_uniform(make_nchw(1, 8, 4, 4), rng);
+  Tensor w = random_uniform(Shape{8, 4}, rng);
+  Tensor dout = random_uniform(scc_output_shape(in.shape(), map), rng);
+  const SCCGrads g = scc_backward_gemm(in, w, dout, map,
+                                       /*need_dinput=*/false,
+                                       /*has_bias=*/false);
+  EXPECT_FALSE(g.dinput.defined());
+  EXPECT_FALSE(g.dbias.defined());
+  EXPECT_TRUE(g.dweight.defined());
+}
+
+TEST(SccGemmBackward, RejectsWrongDoutputShape) {
+  const SCCConfig cfg = make_cfg(8, 8, 2, 0.5);
+  ChannelWindowMap map(cfg);
+  Rng rng(223);
+  Tensor in = random_uniform(make_nchw(1, 8, 4, 4), rng);
+  Tensor w = random_uniform(Shape{8, 4}, rng);
+  Tensor bad = random_uniform(make_nchw(1, 8, 3, 3), rng);
+  EXPECT_THROW(scc_backward_gemm(in, w, bad, map, true, false),
+               std::runtime_error);
+}
+
+TEST(SccGemmLayer, GemmStackImplTrainsLikeFused) {
+  // The layer backend must be a drop-in: identical forward and identical
+  // accumulated gradients as the fused implementation.
+  const SCCConfig cfg = make_cfg(8, 12, 2, 0.5);
+  Rng rng_a(31), rng_b(31);
+  nn::SCCConv fused(cfg, rng_a, /*bias=*/true, nn::SCCImpl::kFused);
+  nn::SCCConv gemm(cfg, rng_b, /*bias=*/true, nn::SCCImpl::kGemmStack);
+  EXPECT_EQ(nn::scc_impl_name(gemm.impl()), "GEMM-stack");
+
+  Rng data(33);
+  const Tensor in = random_uniform(make_nchw(2, 8, 5, 5), data);
+  const Tensor out_f = fused.forward(in, true);
+  const Tensor out_g = gemm.forward(in, true);
+  ASSERT_LT(max_abs_diff(out_f, out_g), 1e-4f);
+
+  const Tensor dout = random_uniform(out_f.shape(), data);
+  const Tensor din_f = fused.backward(dout);
+  const Tensor din_g = gemm.backward(dout);
+  EXPECT_LT(max_abs_diff(din_f, din_g), 1e-4f);
+  auto pf = fused.params(), pg = gemm.params();
+  ASSERT_EQ(pf.size(), pg.size());
+  for (size_t i = 0; i < pf.size(); ++i) {
+    EXPECT_LT(max_abs_diff(pf[i]->grad, pg[i]->grad), 1e-4f);
+  }
+}
+
+TEST(SccGemmNumerics, WeightGradientMatchesNumericDerivative) {
+  const SCCConfig cfg = make_cfg(6, 6, 2, 1.0 / 3.0);
+  ChannelWindowMap map(cfg);
+  Rng rng(227);
+  Tensor in = random_uniform(make_nchw(1, 6, 3, 3), rng);
+  Tensor w = random_uniform(Shape{6, 3}, rng);
+
+  const Tensor out = scc_forward_gemm(in, w, nullptr, map);
+  const testing::ProbeLoss probe(out.shape());
+  const SCCGrads g = scc_backward_gemm(in, w, probe.mask, map, true, false);
+  const float err = testing::max_numeric_grad_error(
+      w, [&] { return probe.value(scc_forward_gemm(in, w, nullptr, map)); },
+      g.dweight);
+  EXPECT_LT(err, 1e-3f);
+}
+
+}  // namespace
+}  // namespace dsx::scc

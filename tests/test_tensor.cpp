@@ -1,0 +1,425 @@
+// Unit tests for src/tensor: shapes, storage, elementwise and channel ops,
+// allocation tracking, RNG and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "tensor/alloc_tracker.hpp"
+#include "tensor/random.hpp"
+#include "tensor/serialize.hpp"
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx {
+namespace {
+
+// ---- Shape ---------------------------------------------------------------
+
+TEST(Shape, RankAndDims) {
+  Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4);
+  EXPECT_EQ(s.dim(0), 2);
+  EXPECT_EQ(s.dim(3), 5);
+  EXPECT_EQ(s[1], 3);
+}
+
+TEST(Shape, NegativeIndexing) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+}
+
+TEST(Shape, DimOutOfRangeThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), Error);
+  EXPECT_THROW(s.dim(-3), Error);
+}
+
+TEST(Shape, Numel) {
+  EXPECT_EQ((Shape{2, 3, 4}).numel(), 24);
+  EXPECT_EQ(Shape{}.numel(), 1);
+  EXPECT_EQ((Shape{5, 0, 2}).numel(), 0);
+}
+
+TEST(Shape, NegativeDimRejected) {
+  EXPECT_THROW(Shape({2, -1}), Error);
+}
+
+TEST(Shape, NchwAccessors) {
+  Shape s = make_nchw(2, 16, 8, 9);
+  EXPECT_EQ(s.n(), 2);
+  EXPECT_EQ(s.c(), 16);
+  EXPECT_EQ(s.h(), 8);
+  EXPECT_EQ(s.w(), 9);
+}
+
+TEST(Shape, NchwAccessorsRequireRank4) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.n(), Error);
+  EXPECT_THROW(s.c(), Error);
+}
+
+TEST(Shape, Strides) {
+  Shape s{2, 3, 4};
+  const auto strides = s.strides();
+  ASSERT_EQ(strides.size(), 3u);
+  EXPECT_EQ(strides[0], 12);
+  EXPECT_EQ(strides[1], 4);
+  EXPECT_EQ(strides[2], 1);
+}
+
+TEST(Shape, EqualityAndToString) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_EQ((Shape{1, 2}).to_string(), "[1, 2]");
+}
+
+TEST(Shape, ConvOutSize) {
+  EXPECT_EQ(conv_out_size(32, 3, 1, 1), 32);
+  EXPECT_EQ(conv_out_size(32, 3, 2, 1), 16);
+  EXPECT_EQ(conv_out_size(32, 1, 1, 0), 32);
+  EXPECT_EQ(conv_out_size(5, 2, 2, 0), 2);
+}
+
+TEST(Shape, ConvOutSizeValidation) {
+  EXPECT_THROW(conv_out_size(4, 0, 1, 0), Error);
+  EXPECT_THROW(conv_out_size(4, 3, 0, 0), Error);
+  EXPECT_THROW(conv_out_size(4, 3, 1, -1), Error);
+  EXPECT_THROW(conv_out_size(2, 5, 1, 0), Error);
+}
+
+// ---- Tensor ----------------------------------------------------------------
+
+TEST(Tensor, DefaultUndefined) {
+  Tensor t;
+  EXPECT_FALSE(t.defined());
+  EXPECT_THROW(t.data(), Error);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{4, 4});
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t(Shape{3}, 2.5f);
+  EXPECT_EQ(t[0], 2.5f);
+  EXPECT_EQ(t[2], 2.5f);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor a(Shape{2, 2}, 1.0f);
+  Tensor b = a.clone();
+  b[0] = 7.0f;
+  EXPECT_EQ(a[0], 1.0f);
+  EXPECT_FALSE(a.shares_storage_with(b));
+}
+
+TEST(Tensor, CopyIsShallow) {
+  Tensor a(Shape{2, 2}, 1.0f);
+  Tensor b = a;
+  b[0] = 7.0f;
+  EXPECT_EQ(a[0], 7.0f);
+  EXPECT_TRUE(a.shares_storage_with(b));
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor a(Shape{2, 6});
+  Tensor b = a.reshape(Shape{3, 4});
+  EXPECT_TRUE(a.shares_storage_with(b));
+  EXPECT_EQ(b.shape(), (Shape{3, 4}));
+}
+
+TEST(Tensor, ReshapeNumelMismatchThrows) {
+  Tensor a(Shape{2, 6});
+  EXPECT_THROW(a.reshape(Shape{5}), Error);
+}
+
+TEST(Tensor, At4dRoundTrip) {
+  Tensor t(make_nchw(2, 3, 4, 5));
+  t.at(1, 2, 3, 4) = 42.0f;
+  EXPECT_EQ(t.at(1, 2, 3, 4), 42.0f);
+  // flat layout agreement
+  EXPECT_EQ(t[((1 * 3 + 2) * 4 + 3) * 5 + 4], 42.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(make_nchw(1, 2, 2, 2));
+  EXPECT_THROW(t.at(0, 2, 0, 0), Error);
+  EXPECT_THROW(t.at(1, 0, 0, 0), Error);
+  EXPECT_THROW(t.at(0, 0, -1, 0), Error);
+}
+
+TEST(Tensor, At2d) {
+  Tensor t(Shape{2, 3});
+  t.at(1, 2) = 9.0f;
+  EXPECT_EQ(t[5], 9.0f);
+  EXPECT_THROW(t.at(2, 0), Error);
+}
+
+TEST(Tensor, FlatIndexBoundsChecked) {
+  Tensor t(Shape{3});
+  EXPECT_THROW(t[3], Error);
+  EXPECT_THROW(t[-1], Error);
+}
+
+// ---- AllocationTracker --------------------------------------------------------
+
+TEST(AllocationTracker, TracksLiveBytes) {
+  auto& tracker = AllocationTracker::instance();
+  const int64_t before = tracker.current_bytes();
+  {
+    Tensor t(Shape{1024});
+    EXPECT_EQ(tracker.current_bytes(), before + 4096);
+  }
+  EXPECT_EQ(tracker.current_bytes(), before);
+}
+
+TEST(AllocationTracker, PeakScope) {
+  PeakMemoryScope scope;
+  { Tensor big(Shape{2048}); }
+  { Tensor small(Shape{16}); }
+  EXPECT_GE(scope.peak_delta(), 2048 * 4);
+}
+
+TEST(AllocationTracker, SharedStorageFreedOnce) {
+  auto& tracker = AllocationTracker::instance();
+  const int64_t before = tracker.current_bytes();
+  {
+    Tensor a(Shape{256});
+    Tensor b = a;             // shared
+    Tensor c = a.reshape(Shape{16, 16});
+    EXPECT_EQ(tracker.current_bytes(), before + 1024);
+  }
+  EXPECT_EQ(tracker.current_bytes(), before);
+}
+
+// ---- elementwise ops ----------------------------------------------------------
+
+TEST(TensorOps, AddAndInPlace) {
+  Tensor a(Shape{3}, 1.0f), b(Shape{3}, 2.0f);
+  Tensor c = add(a, b);
+  EXPECT_EQ(c[1], 3.0f);
+  add_(a, b);
+  EXPECT_EQ(a[0], 3.0f);
+}
+
+TEST(TensorOps, ShapeMismatchThrows) {
+  Tensor a(Shape{3}), b(Shape{4});
+  EXPECT_THROW(add(a, b), Error);
+  EXPECT_THROW(add_(a, b), Error);
+  EXPECT_THROW(axpy_(a, 1.0f, b), Error);
+  EXPECT_THROW(max_abs_diff(a, b), Error);
+}
+
+TEST(TensorOps, Axpy) {
+  Tensor a(Shape{2}, 1.0f), b(Shape{2}, 3.0f);
+  axpy_(a, 0.5f, b);
+  EXPECT_FLOAT_EQ(a[0], 2.5f);
+}
+
+TEST(TensorOps, Scale) {
+  Tensor a(Shape{2}, 2.0f);
+  scale_(a, -1.5f);
+  EXPECT_FLOAT_EQ(a[1], -3.0f);
+}
+
+TEST(TensorOps, SumMeanMaxAbs) {
+  Tensor a(Shape{4});
+  a[0] = 1.0f;
+  a[1] = -5.0f;
+  a[2] = 2.0f;
+  a[3] = 2.0f;
+  EXPECT_DOUBLE_EQ(sum(a), 0.0);
+  EXPECT_DOUBLE_EQ(mean(a), 0.0);
+  EXPECT_FLOAT_EQ(max_abs(a), 5.0f);
+}
+
+TEST(TensorOps, MaxAbsDiff) {
+  Tensor a(Shape{2}, 1.0f), b(Shape{2}, 1.0f);
+  b[1] = 1.5f;
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.5f);
+}
+
+// ---- channel ops ---------------------------------------------------------------
+
+Tensor make_ramp(int64_t n, int64_t c, int64_t h, int64_t w) {
+  Tensor t(make_nchw(n, c, h, w));
+  for (int64_t i = 0; i < t.numel(); ++i) t[i] = static_cast<float>(i);
+  return t;
+}
+
+TEST(ChannelOps, GatherSelectsChannels) {
+  Tensor in = make_ramp(2, 4, 2, 2);
+  const std::vector<int64_t> idx = {3, 1};
+  Tensor out = gather_channels(in, idx);
+  EXPECT_EQ(out.shape(), make_nchw(2, 2, 2, 2));
+  EXPECT_EQ(out.at(0, 0, 0, 0), in.at(0, 3, 0, 0));
+  EXPECT_EQ(out.at(1, 1, 1, 1), in.at(1, 1, 1, 1));
+}
+
+TEST(ChannelOps, GatherAllowsDuplicates) {
+  Tensor in = make_ramp(1, 2, 1, 1);
+  const std::vector<int64_t> idx = {0, 0, 1};
+  Tensor out = gather_channels(in, idx);
+  EXPECT_EQ(out.shape().c(), 3);
+  EXPECT_EQ(out.at(0, 0, 0, 0), out.at(0, 1, 0, 0));
+}
+
+TEST(ChannelOps, GatherRejectsBadIndex) {
+  Tensor in = make_ramp(1, 2, 1, 1);
+  const std::vector<int64_t> idx = {2};
+  EXPECT_THROW(gather_channels(in, idx), Error);
+}
+
+TEST(ChannelOps, SliceMatchesGather) {
+  Tensor in = make_ramp(2, 5, 3, 3);
+  Tensor s = slice_channels(in, 1, 4);
+  EXPECT_EQ(s.shape().c(), 3);
+  EXPECT_EQ(s.at(1, 0, 2, 2), in.at(1, 1, 2, 2));
+  EXPECT_THROW(slice_channels(in, 3, 2), Error);
+  EXPECT_THROW(slice_channels(in, 0, 6), Error);
+}
+
+TEST(ChannelOps, ConcatInvertsSlice) {
+  Tensor in = make_ramp(2, 6, 2, 3);
+  Tensor a = slice_channels(in, 0, 2);
+  Tensor b = slice_channels(in, 2, 6);
+  Tensor cat = concat_channels({a, b});
+  EXPECT_EQ(cat.shape(), in.shape());
+  EXPECT_FLOAT_EQ(max_abs_diff(cat, in), 0.0f);
+}
+
+TEST(ChannelOps, ConcatValidatesShapes) {
+  Tensor a(make_nchw(1, 2, 2, 2));
+  Tensor b(make_nchw(2, 2, 2, 2));
+  EXPECT_THROW(concat_channels({a, b}), Error);
+  EXPECT_THROW(concat_channels({}), Error);
+}
+
+TEST(ChannelOps, ScatterAddIsGatherAdjoint) {
+  // <gather(x), y> == <x, scatter(y)> for any index list (adjoint property).
+  Rng rng(7);
+  Tensor x = random_uniform(make_nchw(2, 5, 3, 3), rng);
+  const std::vector<int64_t> idx = {4, 0, 4, 2};
+  Tensor y = random_uniform(make_nchw(2, 4, 3, 3), rng);
+  const Tensor gx = gather_channels(x, idx);
+  Tensor sy(x.shape());
+  scatter_add_channels(sy, y, idx);
+  double lhs = 0.0, rhs = 0.0;
+  for (int64_t i = 0; i < gx.numel(); ++i) lhs += gx[i] * y[i];
+  for (int64_t i = 0; i < x.numel(); ++i) rhs += x[i] * sy[i];
+  EXPECT_NEAR(lhs, rhs, 1e-3);
+}
+
+TEST(ChannelOps, ScatterAddAccumulatesDuplicates) {
+  Tensor dst(make_nchw(1, 2, 1, 1));
+  Tensor src(make_nchw(1, 3, 1, 1), 1.0f);
+  const std::vector<int64_t> idx = {0, 0, 1};
+  scatter_add_channels(dst, src, idx);
+  EXPECT_FLOAT_EQ(dst.at(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(dst.at(0, 1, 0, 0), 1.0f);
+}
+
+TEST(ChannelOps, PadUnpadRoundTrip) {
+  Tensor in = make_ramp(1, 2, 3, 3);
+  Tensor padded = pad_spatial(in, 2);
+  EXPECT_EQ(padded.shape(), make_nchw(1, 2, 7, 7));
+  EXPECT_EQ(padded.at(0, 0, 0, 0), 0.0f);
+  EXPECT_EQ(padded.at(0, 1, 2, 2), in.at(0, 1, 0, 0));
+  Tensor back = unpad_spatial(padded, 2);
+  EXPECT_FLOAT_EQ(max_abs_diff(back, in), 0.0f);
+}
+
+TEST(ChannelOps, PadZeroIsCopy) {
+  Tensor in = make_ramp(1, 1, 2, 2);
+  Tensor out = pad_spatial(in, 0);
+  EXPECT_FALSE(out.shares_storage_with(in));
+  EXPECT_FLOAT_EQ(max_abs_diff(out, in), 0.0f);
+}
+
+// ---- Rng -----------------------------------------------------------------------
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  Tensor ta(Shape{32}), tb(Shape{32}), tc(Shape{32});
+  fill_uniform(ta, a, -1.0f, 1.0f);
+  fill_uniform(tb, b, -1.0f, 1.0f);
+  fill_uniform(tc, c, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(max_abs_diff(ta, tb), 0.0f);
+  EXPECT_GT(max_abs_diff(ta, tc), 0.0f);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(1);
+  Tensor t(Shape{256});
+  fill_uniform(t, rng, 2.0f, 3.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_GE(t[i], 2.0f);
+    EXPECT_LT(t[i], 3.0f);
+  }
+}
+
+TEST(Rng, KaimingBound) {
+  Rng rng(1);
+  Tensor t(Shape{512});
+  fill_kaiming(t, rng, 32);
+  const float bound = std::sqrt(6.0f / 32.0f);
+  EXPECT_LE(max_abs(t), bound);
+  EXPECT_GT(max_abs(t), 0.5f * bound);  // actually spread out
+}
+
+TEST(Rng, RandintInclusive) {
+  Rng rng(5);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 200; ++i) {
+    const int64_t v = rng.randint(-1, 1);
+    EXPECT_GE(v, -1);
+    EXPECT_LE(v, 1);
+    saw_lo |= v == -1;
+    saw_hi |= v == 1;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.randint(2, 1), Error);
+}
+
+// ---- serialization ---------------------------------------------------------------
+
+TEST(Serialize, RoundTrip) {
+  Rng rng(3);
+  Tensor t = random_normal(make_nchw(2, 3, 4, 5), rng);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  Tensor back = load_tensor(ss);
+  EXPECT_EQ(back.shape(), t.shape());
+  EXPECT_FLOAT_EQ(max_abs_diff(back, t), 0.0f);
+}
+
+TEST(Serialize, BadMagicRejected) {
+  std::stringstream ss;
+  ss << "NOPE. . . . . . . . . . .";
+  EXPECT_THROW(load_tensor(ss), Error);
+}
+
+TEST(Serialize, TruncatedPayloadRejected) {
+  Rng rng(3);
+  Tensor t = random_normal(Shape{64}, rng);
+  std::stringstream ss;
+  save_tensor(ss, t);
+  std::string blob = ss.str();
+  blob.resize(blob.size() / 2);
+  std::stringstream half(blob);
+  EXPECT_THROW(load_tensor(half), Error);
+}
+
+TEST(Serialize, UndefinedTensorRejected) {
+  std::stringstream ss;
+  Tensor t;
+  EXPECT_THROW(save_tensor(ss, t), Error);
+}
+
+}  // namespace
+}  // namespace dsx

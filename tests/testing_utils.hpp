@@ -1,0 +1,115 @@
+// Shared test helpers: naive reference kernels and numerical gradient checks.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "tensor/random.hpp"
+#include "tensor/tensor.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace dsx::testing {
+
+/// Naive NCHW convolution reference: groups/stride/pad supported, O(everything).
+inline Tensor naive_conv2d(const Tensor& in, const Tensor& w, const Tensor* b,
+                           int64_t stride, int64_t pad, int64_t groups) {
+  const int64_t N = in.shape().n(), Cin = in.shape().c();
+  const int64_t H = in.shape().h(), W = in.shape().w();
+  const int64_t Cout = w.shape().dim(0), K = w.shape().dim(2);
+  const int64_t cin_g = Cin / groups, cout_g = Cout / groups;
+  const int64_t Ho = (H + 2 * pad - K) / stride + 1;
+  const int64_t Wo = (W + 2 * pad - K) / stride + 1;
+  Tensor out(make_nchw(N, Cout, Ho, Wo));
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t oc = 0; oc < Cout; ++oc) {
+      const int64_t g = oc / cout_g;
+      for (int64_t y = 0; y < Ho; ++y) {
+        for (int64_t x = 0; x < Wo; ++x) {
+          double acc = b != nullptr ? b->data()[oc] : 0.0;
+          for (int64_t ic = 0; ic < cin_g; ++ic) {
+            for (int64_t ky = 0; ky < K; ++ky) {
+              for (int64_t kx = 0; kx < K; ++kx) {
+                const int64_t iy = y * stride + ky - pad;
+                const int64_t ix = x * stride + kx - pad;
+                if (iy < 0 || iy >= H || ix < 0 || ix >= W) continue;
+                acc += w.at(oc, ic, ky, kx) *
+                       in.at(n, g * cin_g + ic, iy, ix);
+              }
+            }
+          }
+          out.at(n, oc, y, x) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Naive SCC reference straight from the paper's Eq. for SCC (window +
+/// cyclic channel indexing).
+inline Tensor naive_scc(const Tensor& in, const Tensor& w, const Tensor* b,
+                        int64_t gw, const std::vector<int64_t>& starts,
+                        int64_t stride) {
+  const int64_t N = in.shape().n(), Cin = in.shape().c();
+  const int64_t H = in.shape().h(), W = in.shape().w();
+  const int64_t Cout = w.shape().dim(0);
+  const int64_t Ho = (H - 1) / stride + 1;
+  const int64_t Wo = (W - 1) / stride + 1;
+  Tensor out(make_nchw(N, Cout, Ho, Wo));
+  for (int64_t n = 0; n < N; ++n) {
+    for (int64_t f = 0; f < Cout; ++f) {
+      const int64_t start = starts[static_cast<size_t>(f)];
+      for (int64_t y = 0; y < Ho; ++y) {
+        for (int64_t x = 0; x < Wo; ++x) {
+          double acc = b != nullptr ? b->data()[f] : 0.0;
+          for (int64_t k = 0; k < gw; ++k) {
+            acc += w.at(f, k) * in.at(n, (start + k) % Cin, y * stride,
+                                      x * stride);
+          }
+          out.at(n, f, y, x) = static_cast<float>(acc);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+/// Scalar probe loss: sum(output .* mask) with a fixed pseudo-random mask,
+/// so dLoss/dOutput == mask.
+struct ProbeLoss {
+  Tensor mask;
+  explicit ProbeLoss(const Shape& out_shape, uint64_t seed = 99) {
+    Rng rng(seed);
+    mask = random_uniform(out_shape, rng, -1.0f, 1.0f);
+  }
+  double value(const Tensor& out) const {
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.numel(); ++i) acc += out[i] * mask[i];
+    return acc;
+  }
+};
+
+/// Central-difference numerical gradient of `loss_fn` wrt `param`, compared
+/// against `analytic`. Returns the max absolute error.
+inline float max_numeric_grad_error(
+    Tensor& param, const std::function<double()>& loss_fn,
+    const Tensor& analytic, float eps = 1e-2f) {
+  DSX_REQUIRE(param.shape() == analytic.shape(),
+              "grad check: analytic shape mismatch");
+  float max_err = 0.0f;
+  for (int64_t i = 0; i < param.numel(); ++i) {
+    const float saved = param[i];
+    param[i] = saved + eps;
+    const double up = loss_fn();
+    param[i] = saved - eps;
+    const double down = loss_fn();
+    param[i] = saved;
+    const float numeric = static_cast<float>((up - down) / (2.0 * eps));
+    max_err = std::max(max_err, std::abs(numeric - analytic[i]));
+  }
+  return max_err;
+}
+
+}  // namespace dsx::testing
