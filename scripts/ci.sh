@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification plus the serving smoke bench.
+#
+#   scripts/ci.sh          - configure, build, ctest, serve-throughput smoke
+#   scripts/ci.sh --fast   - skip the smoke bench (tier-1 only)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== configure =="
+cmake -B build -S .
+
+echo "== build =="
+cmake --build build -j"${JOBS}"
+
+echo "== tier-1 tests =="
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo "== serve throughput (smoke) =="
+  ./build/bench_serve_throughput --smoke
+fi
+
+echo "CI OK"

@@ -19,13 +19,17 @@ Shape scc_output_shape(const Shape& input, const ChannelWindowMap& map) {
 namespace {
 
 /// Shared kernel body; `start_of(f)` supplies each filter's window start so
-/// the cycle-table and recompute variants stay in lockstep.
+/// the cycle-table and recompute variants stay in lockstep. Writes into the
+/// caller-provided `out` so arena-backed outputs work too.
 template <typename StartFn>
-Tensor scc_forward_impl(const Tensor& input, const Tensor& weight,
-                        const Tensor* bias, const ChannelWindowMap& map,
-                        const char* kernel_name, StartFn start_of) {
+void scc_forward_impl(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, const ChannelWindowMap& map,
+                      const char* kernel_name, StartFn start_of, Tensor& out) {
   const SCCConfig& cfg = map.config();
   const Shape out_shape = scc_output_shape(input.shape(), map);
+  DSX_REQUIRE(out.shape() == out_shape,
+              "SCC: out shape " << out.shape().to_string() << ", expected "
+                                << out_shape.to_string());
   const int64_t gw = map.group_width();
   DSX_REQUIRE(weight.shape() == (Shape{cfg.out_channels, gw}),
               "SCC: weight must be [Cout, gw] = [" << cfg.out_channels << ", "
@@ -41,7 +45,6 @@ Tensor scc_forward_impl(const Tensor& input, const Tensor& weight,
   const int64_t Ho = out_shape.h(), Wo = out_shape.w();
   const int64_t plane = H * W, planeo = Ho * Wo;
   const int64_t stride = cfg.stride;
-  Tensor out(out_shape);
 
   // One GPU-model thread per output pixel; CPU execution is chunked over
   // (n, filter) planes so each chunk streams whole channel planes.
@@ -73,17 +76,24 @@ Tensor scc_forward_impl(const Tensor& input, const Tensor& weight,
           }
         }
       });
-  return out;
 }
 
 }  // namespace
 
 Tensor scc_forward(const Tensor& input, const Tensor& weight,
                    const Tensor* bias, const ChannelWindowMap& map) {
+  Tensor out(scc_output_shape(input.shape(), map));
+  scc_forward_into(input, weight, bias, map, out);
+  return out;
+}
+
+void scc_forward_into(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, const ChannelWindowMap& map,
+                      Tensor& out) {
   // Channel-cyclic optimization (Algorithm 2): window starts come from the
   // precomputed one-cycle table, indexed by f % cyclic_dist.
-  return scc_forward_impl(input, weight, bias, map, "scc_forward",
-                          [&map](int64_t f) { return map.window(f).start; });
+  scc_forward_impl(input, weight, bias, map, "scc_forward",
+                   [&map](int64_t f) { return map.window(f).start; }, out);
 }
 
 Tensor scc_forward_no_cycle_table(const Tensor& input, const Tensor& weight,
@@ -91,9 +101,11 @@ Tensor scc_forward_no_cycle_table(const Tensor& input, const Tensor& weight,
                                   const ChannelWindowMap& map) {
   const int64_t step = map.step();
   const int64_t cin = map.config().in_channels;
-  return scc_forward_impl(
+  Tensor out(scc_output_shape(input.shape(), map));
+  scc_forward_impl(
       input, weight, bias, map, "scc_forward_nocc",
-      [step, cin](int64_t f) { return (f * step) % cin; });
+      [step, cin](int64_t f) { return (f * step) % cin; }, out);
+  return out;
 }
 
 }  // namespace dsx::scc

@@ -60,10 +60,27 @@ void gather_window(const Tensor& input, const ChannelWindowMap& map,
 
 Tensor scc_forward_gemm(const Tensor& input, const Tensor& weight,
                         const Tensor* bias, const ChannelWindowMap& map) {
+  // Compatibility wrapper: a throwaway arena makes this the allocating path.
+  Workspace ws;
+  return scc_forward_gemm_ws(input, weight, bias, map, ws);
+}
+
+int64_t scc_gemm_workspace_floats(const Shape& input,
+                                  const ChannelWindowMap& map) {
+  const Shape out_shape = scc_output_shape(input, map);
+  const int64_t rows = input.n() * out_shape.h() * out_shape.w();
+  // Gather buffer + output column, each rounded as alloc() will round them.
+  return Workspace::aligned_size(rows * map.group_width()) +
+         Workspace::aligned_size(rows);
+}
+
+Tensor scc_forward_gemm_ws(const Tensor& input, const Tensor& weight,
+                           const Tensor* bias, const ChannelWindowMap& map,
+                           Workspace& ws) {
   const GemmDims d = resolve(input, weight, map);
   Tensor out(scc_output_shape(input.shape(), map));
-  Tensor a(Shape{d.rows, d.gw});       // reused gather buffer
-  Tensor y(Shape{d.rows});             // one output column
+  Tensor a = ws.alloc_tensor(Shape{d.rows, d.gw});  // reused gather buffer
+  Tensor y = ws.alloc_tensor(Shape{d.rows});        // one output column
   const int64_t planeo = d.Ho * d.Wo;
 
   // Cout sequential fine-grained GEMMs of shape [rows, gw] x [gw, 1]; no

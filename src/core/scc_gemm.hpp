@@ -17,6 +17,7 @@
 #include "core/channel_map.hpp"
 #include "core/scc_kernels.hpp"
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 
 namespace dsx::scc {
 
@@ -24,6 +25,16 @@ namespace dsx::scc {
 /// scc_forward; costs an extra [N*Ho*Wo, gw] gather per filter.
 Tensor scc_forward_gemm(const Tensor& input, const Tensor& weight,
                         const Tensor* bias, const ChannelWindowMap& map);
+
+/// Workspace-backed variant: the per-filter gather buffer and output column
+/// are drawn from `ws` instead of being heap-allocated per call.
+Tensor scc_forward_gemm_ws(const Tensor& input, const Tensor& weight,
+                           const Tensor* bias, const ChannelWindowMap& map,
+                           Workspace& ws);
+
+/// Floats of scratch scc_forward_gemm_ws draws from the workspace.
+int64_t scc_gemm_workspace_floats(const Shape& input,
+                                  const ChannelWindowMap& map);
 
 /// Backward pass via per-filter GEMMs: dW_f = A_f^T dy_f (a skewed [gw,1]
 /// GEMM), dA_f = dy_f w_f^T scattered back into dinput. The scatter

@@ -27,6 +27,13 @@ Shape scc_output_shape(const Shape& input, const ChannelWindowMap& map);
 Tensor scc_forward(const Tensor& input, const Tensor& weight,
                    const Tensor* bias, const ChannelWindowMap& map);
 
+/// Forward into a preallocated `out` of shape scc_output_shape(input, map);
+/// lets the serving runtime keep activations in a workspace arena.
+/// Bit-identical to scc_forward.
+void scc_forward_into(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, const ChannelWindowMap& map,
+                      Tensor& out);
+
 /// Ablation of the channel-cyclic optimization (paper Algorithm 2): each
 /// filter recomputes its window start arithmetically instead of reusing the
 /// precomputed one-cycle table. Numerically identical to scc_forward; kept

@@ -1,10 +1,84 @@
 #include "device/atomic_stats.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
 namespace dsx::device {
 
 AtomicCounters& AtomicCounters::instance() {
   static AtomicCounters counters;
   return counters;
+}
+
+// ---- LatencyStats ---------------------------------------------------------
+
+int LatencyStats::bucket_of(int64_t ns) {
+  if (ns <= 0) return 0;
+  const int octave =
+      63 - std::countl_zero(static_cast<uint64_t>(ns));  // floor(log2 ns)
+  const int sub =
+      octave >= kSubBits
+          ? static_cast<int>((ns >> (octave - kSubBits)) & ((1 << kSubBits) - 1))
+          : 0;
+  return std::min(kBuckets - 1, (octave << kSubBits) + sub);
+}
+
+double LatencyStats::bucket_lower_ms(int bucket) {
+  const int octave = bucket >> kSubBits;
+  const int sub = bucket & ((1 << kSubBits) - 1);
+  const double ns =
+      std::ldexp(1.0 + static_cast<double>(sub) / (1 << kSubBits), octave);
+  return ns / 1e6;
+}
+
+void LatencyStats::record_ns(int64_t ns) {
+  if (ns < 0) ns = 0;
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+  int64_t seen = min_ns_.load(std::memory_order_relaxed);
+  while (ns < seen &&
+         !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+  buckets_[static_cast<size_t>(bucket_of(ns))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+LatencyStats::Snapshot LatencyStats::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  if (s.count == 0) return s;
+  s.mean_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+              static_cast<double>(s.count) / 1e6;
+  s.min_ms =
+      static_cast<double>(min_ns_.load(std::memory_order_relaxed)) / 1e6;
+  s.max_ms =
+      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
+  const auto percentile = [&](double q) {
+    const int64_t target = std::max<int64_t>(
+        1, static_cast<int64_t>(q * static_cast<double>(s.count) + 0.5));
+    int64_t seen = 0;
+    for (int b = 0; b < kBuckets; ++b) {
+      seen += buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+      if (seen >= target) return bucket_lower_ms(b);
+    }
+    return s.max_ms;
+  };
+  s.p50_ms = percentile(0.50);
+  s.p99_ms = percentile(0.99);
+  return s;
+}
+
+void LatencyStats::reset() {
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+  min_ns_.store(INT64_MAX, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
 AtomicCountScope::AtomicCountScope() {

@@ -7,6 +7,7 @@
 // enabled) tallies into AtomicCounters, so the claim is checked exactly.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 
@@ -43,6 +44,42 @@ inline void atomic_add_float(float& target, float value) {
                                     std::memory_order_relaxed)) {
   }
 }
+
+/// Lock-free latency accumulator for the serving runtime (serve/): writers
+/// record durations with relaxed atomics only, so many client and batcher
+/// threads can publish stats without serializing on a mutex. Percentiles come
+/// from a log-scale histogram with 8 sub-buckets per octave (~6% resolution),
+/// plenty for p50/p99 serving dashboards.
+class LatencyStats {
+ public:
+  struct Snapshot {
+    int64_t count = 0;
+    double mean_ms = 0.0;
+    double min_ms = 0.0;
+    double max_ms = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+  };
+
+  void record_ns(int64_t ns);
+  /// Consistent-enough copy for reporting (relaxed reads; exact only when
+  /// writers are quiescent).
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  // 64 octaves x 8 sub-buckets covers the full int64 nanosecond range.
+  static constexpr int kSubBits = 3;
+  static constexpr int kBuckets = 64 << kSubBits;
+  static int bucket_of(int64_t ns);
+  static double bucket_lower_ms(int bucket);
+
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_ns_{0};
+  std::atomic<int64_t> min_ns_{INT64_MAX};
+  std::atomic<int64_t> max_ns_{0};
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+};
 
 /// RAII scope that enables counting and reports the delta.
 class AtomicCountScope {

@@ -13,6 +13,7 @@
 #include "tensor/shape.hpp"
 #include "tensor/tensor.hpp"
 #include "tensor/tensor_ops.hpp"
+#include "tensor/workspace.hpp"
 
 // Execution substrate.
 #include "device/atomic_stats.hpp"
@@ -60,6 +61,12 @@
 #include "models/resnet.hpp"
 #include "models/schemes.hpp"
 #include "models/vgg.hpp"
+
+// Concurrent inference serving: compiled plans, dynamic micro-batching,
+// multi-model routing.
+#include "serve/batcher.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/server.hpp"
 
 // Design-space exploration.
 #include "explore/design_space.hpp"

@@ -1,6 +1,7 @@
 #include "nn/containers.hpp"
 
 #include "common/check.hpp"
+#include "device/launch.hpp"
 #include "ops/activations.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -25,6 +26,18 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
   Tensor x = input;
   for (auto& l : layers_) x = l->forward(x, training);
   return x;
+}
+
+Tensor Sequential::forward_inference(const Tensor& input, Workspace& ws) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward_inference(x, ws);
+  return x;
+}
+
+void Sequential::erase_layer(size_t i) {
+  DSX_REQUIRE(i < layers_.size(), "Sequential::erase_layer: index " << i
+                                      << " out of range");
+  layers_.erase(layers_.begin() + static_cast<std::ptrdiff_t>(i));
 }
 
 Tensor Sequential::backward(const Tensor& doutput) {
@@ -93,6 +106,31 @@ Tensor Residual::forward(const Tensor& input, bool training) {
   add_(y, s);
   if (training) cached_pre_relu_ = y;
   return relu_forward(y);
+}
+
+Tensor Residual::forward_inference(const Tensor& input, Workspace& ws) {
+  Tensor y = main_->forward_inference(input, ws);
+  Tensor s = shortcut_ != nullptr ? shortcut_->forward_inference(input, ws)
+                                  : input;
+  DSX_REQUIRE(y.shape() == s.shape(),
+              "Residual: branch shapes differ: " << y.shape().to_string()
+                                                 << " vs "
+                                                 << s.shape().to_string());
+  // Fused add+ReLU into a fresh arena tensor; same float ops as
+  // add_ + relu_forward, so results stay bit-identical to forward(.., false).
+  Tensor out = ws.alloc_tensor(y.shape());
+  const float* py = y.data();
+  const float* ps = s.data();
+  float* po = out.data();
+  device::launch_kernel_chunks(
+      "residual_add_relu", out.numel(), {2.0, 12.0},
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const float v = py[i] + ps[i];
+          po[i] = v > 0.0f ? v : 0.0f;
+        }
+      });
+  return out;
 }
 
 Tensor Residual::backward(const Tensor& doutput) {

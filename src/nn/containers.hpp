@@ -28,9 +28,13 @@ class Sequential final : public Layer {
   const Layer& layer(size_t i) const { return *layers_.at(i); }
   /// Swaps out layer `i` (used by inference transforms such as BN folding).
   void replace_layer(size_t i, LayerPtr layer);
+  /// Removes layer `i` (used by serve compilation to strip Identity
+  /// placeholders left behind by BN folding).
+  void erase_layer(size_t i);
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& doutput) override;
+  Tensor forward_inference(const Tensor& input, Workspace& ws) override;
   void collect_params(std::vector<Param*>& out) override;
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
@@ -50,6 +54,7 @@ class Residual final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& doutput) override;
+  Tensor forward_inference(const Tensor& input, Workspace& ws) override;
   void collect_params(std::vector<Param*>& out) override;
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;

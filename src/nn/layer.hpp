@@ -14,6 +14,7 @@
 #include "core/cost_model.hpp"
 #include "nn/param.hpp"
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 
 namespace dsx::nn {
 
@@ -28,6 +29,16 @@ class Layer {
   /// Propagates the output gradient, accumulating parameter gradients into
   /// Param::grad, and returns the input gradient.
   virtual Tensor backward(const Tensor& doutput) = 0;
+
+  /// Inference-only forward that may place its output and scratch in `ws`
+  /// (the serving runtime's per-model arena; see serve/compiled_model.hpp).
+  /// The result may alias arena memory, so callers must consume or clone it
+  /// before the arena resets. Default: plain eval-mode forward, which keeps
+  /// every layer servable whether or not it has a workspace-aware kernel.
+  virtual Tensor forward_inference(const Tensor& input, Workspace& ws) {
+    (void)ws;
+    return forward(input, /*training=*/false);
+  }
 
   /// Appends this layer's parameters (no-op for stateless layers).
   virtual void collect_params(std::vector<Param*>& out) { (void)out; }

@@ -39,6 +39,13 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
                         has_bias_ ? &bias_.value : nullptr, args_);
 }
 
+Tensor Conv2d::forward_inference(const Tensor& input, Workspace& ws) {
+  Tensor out = ws.alloc_tensor(output_shape(input.shape()));
+  conv2d_forward_into(input, weight_.value,
+                      has_bias_ ? &bias_.value : nullptr, args_, ws, out);
+  return out;
+}
+
 Tensor Conv2d::backward(const Tensor& doutput) {
   DSX_REQUIRE(cached_input_.defined(), "Conv2d::backward before forward");
   Conv2dGrads g = conv2d_backward(cached_input_, weight_.value, doutput,
@@ -98,6 +105,13 @@ Tensor DepthwiseConv2d::forward(const Tensor& input, bool training) {
   if (training) cached_input_ = input;
   return depthwise_forward(input, weight_.value,
                            has_bias_ ? &bias_.value : nullptr, args_);
+}
+
+Tensor DepthwiseConv2d::forward_inference(const Tensor& input, Workspace& ws) {
+  Tensor out = ws.alloc_tensor(output_shape(input.shape()));
+  depthwise_forward_into(input, weight_.value,
+                         has_bias_ ? &bias_.value : nullptr, args_, out);
+  return out;
 }
 
 Tensor DepthwiseConv2d::backward(const Tensor& doutput) {
@@ -197,6 +211,23 @@ Tensor SCCConv::forward(const Tensor& input, bool training) {
       return scc::scc_forward_gemm(input, weight_.value, b, map_);
     default:
       return scc::scc_forward(input, weight_.value, b, map_);
+  }
+}
+
+Tensor SCCConv::forward_inference(const Tensor& input, Workspace& ws) {
+  const Tensor* b = has_bias_ ? &bias_.value : nullptr;
+  switch (impl_) {
+    case SCCImpl::kFused:
+    case SCCImpl::kFusedOutputCentricBwd: {
+      Tensor out = ws.alloc_tensor(output_shape(input.shape()));
+      scc::scc_forward_into(input, weight_.value, b, map_, out);
+      return out;
+    }
+    case SCCImpl::kGemmStack:
+      return scc::scc_forward_gemm_ws(input, weight_.value, b, map_, ws);
+    default:
+      // Composition baselines allocate internally; serve them unchanged.
+      return forward(input, /*training=*/false);
   }
 }
 

@@ -32,6 +32,7 @@ class Conv2d final : public Layer {
          bool bias = false);
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& doutput) override;
+  Tensor forward_inference(const Tensor& input, Workspace& ws) override;
   void collect_params(std::vector<Param*>& out) override;
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
@@ -59,6 +60,7 @@ class DepthwiseConv2d final : public Layer {
                   int64_t pad, Rng& rng, bool bias = false);
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& doutput) override;
+  Tensor forward_inference(const Tensor& input, Workspace& ws) override;
   void collect_params(std::vector<Param*>& out) override;
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
@@ -101,6 +103,7 @@ class SCCConv final : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& doutput) override;
+  Tensor forward_inference(const Tensor& input, Workspace& ws) override;
   void collect_params(std::vector<Param*>& out) override;
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;

@@ -62,12 +62,32 @@ Shape conv2d_output_shape(const Shape& input, const Shape& weight,
 
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor* bias, const Conv2dArgs& args) {
+  // Compatibility wrapper: a throwaway arena makes this the allocating path.
+  Workspace ws;
+  Tensor out(conv2d_output_shape(input.shape(), weight.shape(), args));
+  conv2d_forward_into(input, weight, bias, args, ws, out);
+  return out;
+}
+
+int64_t conv2d_workspace_floats(const Shape& input, const Shape& weight,
+                                const Conv2dArgs& args) {
+  const ConvDims d = resolve_dims(input, weight, args);
+  const bool is_1x1_dense = d.K == 1 && args.stride == 1 && args.pad == 0;
+  return is_1x1_dense
+             ? 0
+             : Workspace::aligned_size(d.Cin * d.K * d.K * d.Ho * d.Wo);
+}
+
+void conv2d_forward_into(const Tensor& input, const Tensor& weight,
+                         const Tensor* bias, const Conv2dArgs& args,
+                         Workspace& ws, Tensor& out) {
   const ConvDims d = resolve_dims(input.shape(), weight.shape(), args);
   if (bias != nullptr) {
     DSX_REQUIRE(bias->shape() == Shape{d.Cout},
                 "conv2d: bias shape " << bias->shape().to_string());
   }
-  Tensor out(make_nchw(d.N, d.Cout, d.Ho, d.Wo));
+  DSX_REQUIRE(out.shape() == make_nchw(d.N, d.Cout, d.Ho, d.Wo),
+              "conv2d: out shape " << out.shape().to_string());
 
   const int64_t planeo = d.Ho * d.Wo;
   const int64_t col_rows = d.Cin * d.K * d.K;
@@ -75,16 +95,15 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
       d.K == 1 && args.stride == 1 && args.pad == 0;
 
   // col buffer reused across images (skipped on the dense 1x1 fast path).
-  Tensor col;
-  if (!is_1x1_dense) col = Tensor(Shape{col_rows, planeo});
+  float* col = is_1x1_dense ? nullptr : ws.alloc(col_rows * planeo);
 
   for (int64_t n = 0; n < d.N; ++n) {
     const float* in_n = input.data() + n * d.Cin * d.H * d.W;
     float* out_n = out.data() + n * d.Cout * planeo;
     const float* lowered = in_n;
     if (!is_1x1_dense) {
-      im2col(in_n, d.Cin, d.H, d.W, d.K, args.stride, args.pad, col.data());
-      lowered = col.data();
+      im2col(in_n, d.Cin, d.H, d.W, d.K, args.stride, args.pad, col);
+      lowered = col;
     }
     const int64_t rows_g = d.cin_g * d.K * d.K;
     for (int64_t g = 0; g < d.groups; ++g) {
@@ -106,7 +125,6 @@ Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
           }
         });
   }
-  return out;
 }
 
 Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,

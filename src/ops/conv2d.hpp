@@ -14,6 +14,7 @@
 #include <optional>
 
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 
 namespace dsx {
 
@@ -30,6 +31,19 @@ Shape conv2d_output_shape(const Shape& input, const Shape& weight,
 /// Forward pass. `bias` may be null.
 Tensor conv2d_forward(const Tensor& input, const Tensor& weight,
                       const Tensor* bias, const Conv2dArgs& args);
+
+/// Workspace-backed forward: the im2col column buffer is drawn from `ws`
+/// (hot serving paths reuse one arena across calls instead of allocating),
+/// and the output is written into `out`, which must already have the shape
+/// conv2d_output_shape returns. Bit-identical to conv2d_forward.
+void conv2d_forward_into(const Tensor& input, const Tensor& weight,
+                         const Tensor* bias, const Conv2dArgs& args,
+                         Workspace& ws, Tensor& out);
+
+/// Floats of scratch conv2d_forward_into draws from the workspace for this
+/// problem (arena pre-sizing).
+int64_t conv2d_workspace_floats(const Shape& input, const Shape& weight,
+                                const Conv2dArgs& args);
 
 struct Conv2dGrads {
   Tensor dinput;   // defined only when requested

@@ -42,11 +42,20 @@ Shape depthwise_output_shape(const Shape& input, const Shape& weight,
 
 Tensor depthwise_forward(const Tensor& input, const Tensor& weight,
                          const Tensor* bias, const DepthwiseArgs& args) {
+  Tensor out(depthwise_output_shape(input.shape(), weight.shape(), args));
+  depthwise_forward_into(input, weight, bias, args, out);
+  return out;
+}
+
+void depthwise_forward_into(const Tensor& input, const Tensor& weight,
+                            const Tensor* bias, const DepthwiseArgs& args,
+                            Tensor& out) {
   const DwDims d = resolve(input.shape(), weight.shape(), args);
   if (bias != nullptr) {
     DSX_REQUIRE(bias->shape() == Shape{d.C}, "depthwise: bad bias shape");
   }
-  Tensor out(make_nchw(d.N, d.C, d.Ho, d.Wo));
+  DSX_REQUIRE(out.shape() == make_nchw(d.N, d.C, d.Ho, d.Wo),
+              "depthwise: out shape " << out.shape().to_string());
   const int64_t planeo = d.Ho * d.Wo;
   const int64_t plane = d.H * d.W;
   const double flops = 2.0 * static_cast<double>(d.K * d.K);
@@ -77,7 +86,6 @@ Tensor depthwise_forward(const Tensor& input, const Tensor& weight,
           }
         }
       });
-  return out;
 }
 
 DepthwiseGrads depthwise_backward(const Tensor& input, const Tensor& weight,

@@ -11,6 +11,7 @@
 #include <cstdint>
 
 #include "tensor/tensor.hpp"
+#include "tensor/workspace.hpp"
 
 namespace dsx {
 
@@ -24,6 +25,12 @@ Shape depthwise_output_shape(const Shape& input, const Shape& weight,
 
 Tensor depthwise_forward(const Tensor& input, const Tensor& weight,
                          const Tensor* bias, const DepthwiseArgs& args);
+
+/// Forward into a preallocated `out` of shape depthwise_output_shape(...);
+/// lets the serving runtime keep activations in a workspace arena.
+void depthwise_forward_into(const Tensor& input, const Tensor& weight,
+                            const Tensor* bias, const DepthwiseArgs& args,
+                            Tensor& out);
 
 struct DepthwiseGrads {
   Tensor dinput;

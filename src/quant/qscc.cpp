@@ -1,6 +1,7 @@
 #include "quant/qscc.hpp"
 
 #include "common/check.hpp"
+#include "core/scc_kernels.hpp"
 #include "device/launch.hpp"
 
 namespace dsx::quant {
@@ -8,6 +9,15 @@ namespace dsx::quant {
 Tensor qscc_forward(const QuantizedTensor& input,
                     const QuantizedFilterBank& weight, const Tensor* bias,
                     const scc::ChannelWindowMap& map) {
+  // scc_output_shape both computes and validates (rank, channel count).
+  Tensor out(scc::scc_output_shape(input.shape, map));
+  qscc_forward_into(input, weight, bias, map, out);
+  return out;
+}
+
+void qscc_forward_into(const QuantizedTensor& input,
+                       const QuantizedFilterBank& weight, const Tensor* bias,
+                       const scc::ChannelWindowMap& map, Tensor& out) {
   const scc::SCCConfig& cfg = map.config();
   DSX_REQUIRE(input.shape.rank() == 4 && input.shape.c() == cfg.in_channels,
               "qscc: input " << input.shape.to_string() << " vs Cin "
@@ -23,7 +33,8 @@ Tensor qscc_forward(const QuantizedTensor& input,
   const int64_t s = cfg.stride;
   const int64_t Ho = (H - 1) / s + 1, Wo = (W - 1) / s + 1;
   const int64_t Cout = cfg.out_channels, gw = map.group_width();
-  Tensor out(make_nchw(N, Cout, Ho, Wo));
+  DSX_REQUIRE(out.shape() == make_nchw(N, Cout, Ho, Wo),
+              "qscc: out shape " << out.shape().to_string());
 
   device::launch_kernel_chunks_modeled(
       "qscc_forward", N * Cout, N * Cout * Ho * Wo,
@@ -55,7 +66,6 @@ Tensor qscc_forward(const QuantizedTensor& input,
           }
         }
       });
-  return out;
 }
 
 Tensor qpointwise_forward(const QuantizedTensor& input,

@@ -19,6 +19,12 @@ Tensor qscc_forward(const QuantizedTensor& input,
                     const QuantizedFilterBank& weight, const Tensor* bias,
                     const scc::ChannelWindowMap& map);
 
+/// Forward into a preallocated `out` (shape [N, Cout, Ho, Wo]); lets the
+/// serving runtime keep quantized-layer outputs in a workspace arena.
+void qscc_forward_into(const QuantizedTensor& input,
+                       const QuantizedFilterBank& weight, const Tensor* bias,
+                       const scc::ChannelWindowMap& map, Tensor& out);
+
 /// Quantized pointwise / grouped-pointwise forward (K = 1). Weight bank
 /// shape must be [Cout, Cin/groups, 1, 1] or [Cout, Cin/groups].
 Tensor qpointwise_forward(const QuantizedTensor& input,

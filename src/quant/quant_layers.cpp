@@ -27,6 +27,13 @@ Tensor QuantSCCConv::forward(const Tensor& input, bool training) {
   return qscc_forward(qin, qweight_, has_bias_ ? &bias_ : nullptr, map_);
 }
 
+Tensor QuantSCCConv::forward_inference(const Tensor& input, Workspace& ws) {
+  quantize_with_scale_into(input, input_scale_, qin_);
+  Tensor out = ws.alloc_tensor(output_shape(input.shape()));
+  qscc_forward_into(qin_, qweight_, has_bias_ ? &bias_ : nullptr, map_, out);
+  return out;
+}
+
 Tensor QuantSCCConv::backward(const Tensor& doutput) {
   (void)doutput;
   DSX_REQUIRE(false, "QuantSCCConv has no backward pass (inference-only)");

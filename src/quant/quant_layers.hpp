@@ -39,6 +39,9 @@ class QuantSCCConv final : public nn::Layer {
 
   Tensor forward(const Tensor& input, bool training) override;
   Tensor backward(const Tensor& doutput) override;  // throws
+  /// Serving path: re-quantizes into a reused int8 buffer and writes the
+  /// output into the workspace arena - no per-call heap allocation.
+  Tensor forward_inference(const Tensor& input, Workspace& ws) override;
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override;
@@ -50,6 +53,7 @@ class QuantSCCConv final : public nn::Layer {
   QuantizedFilterBank qweight_;
   bool has_bias_;
   Tensor bias_;
+  QuantizedTensor qin_;  // reused by forward_inference
 };
 
 /// Statistics of one post-training quantization pass.

@@ -40,16 +40,21 @@ int8_t quantize_value(float x, float scale) {
 }
 
 QuantizedTensor quantize_with_scale(const Tensor& t, float scale) {
-  DSX_REQUIRE(t.defined(), "quantize: undefined tensor");
   QuantizedTensor q;
+  quantize_with_scale_into(t, scale, q);
+  return q;
+}
+
+void quantize_with_scale_into(const Tensor& t, float scale,
+                              QuantizedTensor& q) {
+  DSX_REQUIRE(t.defined(), "quantize: undefined tensor");
   q.shape = t.shape();
   q.scale = scale;
-  q.data.resize(static_cast<size_t>(t.numel()));
+  q.data.resize(static_cast<size_t>(t.numel()));  // no-op at steady state
   const float* src = t.data();
   for (int64_t i = 0; i < t.numel(); ++i) {
     q.data[static_cast<size_t>(i)] = quantize_value(src[i], scale);
   }
-  return q;
 }
 
 QuantizedTensor quantize_per_tensor(const Tensor& t) {

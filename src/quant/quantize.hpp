@@ -48,6 +48,11 @@ QuantizedTensor quantize_per_tensor(const Tensor& t);
 /// comes from a calibration batch, not from the live activation).
 QuantizedTensor quantize_with_scale(const Tensor& t, float scale);
 
+/// In-place variant reusing `q`'s storage: steady-state serving re-quantizes
+/// activations into the same buffer instead of allocating per call.
+void quantize_with_scale_into(const Tensor& t, float scale,
+                              QuantizedTensor& q);
+
 /// Exact float reconstruction of the stored codes.
 Tensor dequantize(const QuantizedTensor& q);
 

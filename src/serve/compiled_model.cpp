@@ -1,0 +1,86 @@
+#include "serve/compiled_model.hpp"
+
+#include "common/check.hpp"
+#include "nn/bn_folding.hpp"
+#include "nn/layers_conv.hpp"
+
+namespace dsx::serve {
+
+CompiledModel::CompiledModel(std::unique_ptr<nn::Sequential> model,
+                             Shape image_shape, CompileOptions opts)
+    : opts_(opts), image_shape_(std::move(image_shape)),
+      model_(std::move(model)) {
+  DSX_REQUIRE(model_ != nullptr, "CompiledModel: null model");
+  DSX_REQUIRE(image_shape_.rank() == 3,
+              "CompiledModel: image shape must be [C,H,W], got "
+                  << image_shape_.to_string());
+  DSX_REQUIRE(opts_.max_batch >= 1,
+              "CompiledModel: max_batch must be >= 1, got " << opts_.max_batch);
+
+  if (opts_.fold_bn) {
+    report_.bn_folded = nn::fold_batchnorm(*model_);
+  }
+
+  // Strip top-level Identity placeholders (left by BN folding); they cost a
+  // virtual call per step and nothing else, but a frozen plan should not
+  // carry dead steps.
+  for (size_t i = model_->size(); i-- > 0;) {
+    if (dynamic_cast<nn::Identity*>(&model_->layer(i)) != nullptr) {
+      model_->erase_layer(i);
+      ++report_.identities_stripped;
+    }
+  }
+
+  if (opts_.freeze_scc_fused) {
+    model_->for_each_layer([this](nn::Layer& layer) {
+      auto* scc = dynamic_cast<nn::SCCConv*>(&layer);
+      if (scc != nullptr && scc->impl() != nn::SCCImpl::kFused) {
+        scc->set_impl(nn::SCCImpl::kFused);
+        ++report_.scc_frozen;
+      }
+    });
+  }
+
+  report_.steps = static_cast<int64_t>(model_->size());
+  for (const nn::Param* p : model_->params()) {
+    report_.param_floats += p->value.numel();
+  }
+
+  // Shape-check the plan end to end, then size the arena with one dry run at
+  // max batch; steady-state run() calls stay within this high-water mark.
+  (void)model_->output_shape(input_shape(opts_.max_batch));
+  Tensor dry(input_shape(opts_.max_batch));
+  (void)run(dry);
+  report_.workspace_floats = ws_.peak_floats();
+}
+
+Shape CompiledModel::input_shape(int64_t batch) const {
+  return make_nchw(batch, image_shape_.dim(0), image_shape_.dim(1),
+                   image_shape_.dim(2));
+}
+
+Shape CompiledModel::output_shape(int64_t batch) const {
+  return model_->output_shape(input_shape(batch));
+}
+
+Tensor CompiledModel::run(const Tensor& batch) {
+  DSX_REQUIRE(batch.shape().rank() == 4,
+              "CompiledModel::run: input must be NCHW, got "
+                  << batch.shape().to_string());
+  DSX_REQUIRE(batch.shape().c() == image_shape_.dim(0) &&
+                  batch.shape().h() == image_shape_.dim(1) &&
+                  batch.shape().w() == image_shape_.dim(2),
+              "CompiledModel::run: image shape "
+                  << batch.shape().to_string() << " does not match compiled "
+                  << image_shape_.to_string());
+  DSX_REQUIRE(batch.shape().n() >= 1 && batch.shape().n() <= opts_.max_batch,
+              "CompiledModel::run: batch " << batch.shape().n()
+                                           << " outside [1, "
+                                           << opts_.max_batch << "]");
+  ws_.reset();
+  Tensor y = model_->forward_inference(batch, ws_);
+  // The result may alias arena memory; detach before the next reset().
+  return y.clone();
+}
+
+}  // namespace dsx::serve

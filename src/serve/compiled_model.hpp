@@ -1,0 +1,84 @@
+// Inference compilation: from a trained nn::Sequential to a frozen serving
+// plan.
+//
+// CompiledModel owns the model and performs, once, the per-call work the
+// training-oriented layers would otherwise redo on every request:
+//   * folds BatchNorm into the preceding convolutions (nn/bn_folding) and
+//     strips the Identity placeholders the fold leaves behind;
+//   * freezes every SCCConv to the fused DSXplore kernels (the composition
+//     baselines exist for benchmarking, not serving) - their channel-window
+//     maps are already precomputed at layer construction;
+//   * records per-layer output shapes for the configured max batch;
+//   * sizes a Workspace arena with one dry run at max batch, so steady-state
+//     run() calls perform no heap allocation in conv/im2col/SCC hot paths.
+//
+// run() is intentionally NOT thread-safe (it reuses the arena and the global
+// ThreadPool, whose run_chunks is non-reentrant); DynamicBatcher serializes
+// callers, standing in for a GPU's single command queue.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "nn/containers.hpp"
+#include "tensor/workspace.hpp"
+
+namespace dsx::serve {
+
+struct CompileOptions {
+  /// Largest batch run() will accept; the arena is sized for it.
+  int64_t max_batch = 8;
+  /// Fold conv->BN pairs before freezing (disable for already-folded or
+  /// BN-free models; folding is a no-op on them anyway).
+  bool fold_bn = true;
+  /// Force every SCCConv to the fused kernels.
+  bool freeze_scc_fused = true;
+};
+
+struct CompileReport {
+  int64_t bn_folded = 0;          // conv->BN pairs folded away
+  int64_t identities_stripped = 0;  // placeholder layers removed
+  int64_t scc_frozen = 0;         // SCC layers switched to the fused impl
+  int64_t steps = 0;              // top-level layers in the frozen plan
+  int64_t param_floats = 0;       // trainable parameter count
+  int64_t workspace_floats = 0;   // arena high-water mark at max batch
+};
+
+class CompiledModel {
+ public:
+  /// Compiles `model` for images of shape `image_shape` ([C, H, W]).
+  CompiledModel(std::unique_ptr<nn::Sequential> model, Shape image_shape,
+                CompileOptions opts = {});
+
+  CompiledModel(CompiledModel&&) = default;
+  CompiledModel& operator=(CompiledModel&&) = default;
+
+  const CompileReport& report() const { return report_; }
+  const CompileOptions& options() const { return opts_; }
+  const Shape& image_shape() const { return image_shape_; }
+  int64_t max_batch() const { return opts_.max_batch; }
+
+  /// [batch, C, H, W] input shape.
+  Shape input_shape(int64_t batch) const;
+  /// Model output shape for a given batch.
+  Shape output_shape(int64_t batch) const;
+
+  /// The frozen model (eval-mode use only; tests compare against its
+  /// per-image forward).
+  nn::Sequential& model() { return *model_; }
+
+  /// Eval-mode forward of a [N, C, H, W] batch, 1 <= N <= max_batch.
+  /// Returns an owning tensor (arena memory is recycled between calls).
+  /// NOT thread-safe - see file comment.
+  Tensor run(const Tensor& batch);
+
+ private:
+  CompileOptions opts_;
+  Shape image_shape_;
+  std::unique_ptr<nn::Sequential> model_;
+  Workspace ws_;
+  CompileReport report_;
+};
+
+}  // namespace dsx::serve

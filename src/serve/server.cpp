@@ -1,0 +1,74 @@
+#include "serve/server.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dsx::serve {
+
+void InferenceServer::register_model(const std::string& name,
+                                     std::unique_ptr<CompiledModel> model,
+                                     BatcherOptions opts) {
+  DSX_REQUIRE(model != nullptr, "register_model: null model");
+  std::lock_guard<std::mutex> lock(mu_);
+  DSX_REQUIRE(models_.find(name) == models_.end(),
+              "register_model: '" << name << "' already registered");
+  Entry entry;
+  entry.model = std::move(model);
+  entry.batcher = std::make_unique<DynamicBatcher>(*entry.model, opts);
+  models_.emplace(name, std::move(entry));
+}
+
+bool InferenceServer::has_model(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return models_.find(name) != models_.end();
+}
+
+std::vector<std::string> InferenceServer::model_names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, entry] : models_) names.push_back(name);
+  return names;
+}
+
+const InferenceServer::Entry& InferenceServer::entry(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = models_.find(name);
+  DSX_REQUIRE(it != models_.end(), "no model named '" << name << "'");
+  return it->second;
+}
+
+std::future<Tensor> InferenceServer::submit(const std::string& name,
+                                            const Tensor& image) {
+  // Entries are never removed while the server lives, so the reference
+  // stays valid after the registry lock drops.
+  return entry(name).batcher->submit(image);
+}
+
+Tensor InferenceServer::infer(const std::string& name, const Tensor& image) {
+  return submit(name, image).get();
+}
+
+ModelStats InferenceServer::stats(const std::string& name) const {
+  const Entry& e = entry(name);
+  ModelStats s;
+  s.name = name;
+  s.compile = e.model->report();
+  s.batcher = e.batcher->stats();
+  return s;
+}
+
+std::vector<ModelStats> InferenceServer::stats_all() const {
+  std::vector<ModelStats> all;
+  for (const std::string& name : model_names()) all.push_back(stats(name));
+  return all;
+}
+
+void InferenceServer::stop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : models_) entry.batcher->stop();
+}
+
+}  // namespace dsx::serve

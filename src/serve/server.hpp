@@ -1,0 +1,69 @@
+// Multi-model inference front-end.
+//
+// An InferenceServer owns a registry of named CompiledModels, one
+// DynamicBatcher per model, and routes requests by name. This is the
+// process-local shape of the roadmap's serving tier: N models x M client
+// threads over one execution substrate, with per-model throughput/latency
+// stats exported from device::LatencyStats counters.
+#pragma once
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/compiled_model.hpp"
+
+namespace dsx::serve {
+
+/// Per-model observability snapshot.
+struct ModelStats {
+  std::string name;
+  CompileReport compile;
+  BatcherStats batcher;
+};
+
+class InferenceServer {
+ public:
+  InferenceServer() = default;
+  ~InferenceServer() { stop(); }
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Registers a compiled model under `name` and starts its batcher.
+  /// Throws if the name is taken.
+  void register_model(const std::string& name,
+                      std::unique_ptr<CompiledModel> model,
+                      BatcherOptions opts = {});
+
+  bool has_model(const std::string& name) const;
+  std::vector<std::string> model_names() const;
+
+  /// Async single-image inference on the named model. Thread-safe.
+  std::future<Tensor> submit(const std::string& name, const Tensor& image);
+  /// Blocking convenience wrapper.
+  Tensor infer(const std::string& name, const Tensor& image);
+
+  ModelStats stats(const std::string& name) const;
+  std::vector<ModelStats> stats_all() const;
+
+  /// Drains and stops every batcher. Idempotent; new submits then throw.
+  void stop();
+
+ private:
+  struct Entry {
+    std::unique_ptr<CompiledModel> model;
+    std::unique_ptr<DynamicBatcher> batcher;
+  };
+
+  const Entry& entry(const std::string& name) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> models_;
+};
+
+}  // namespace dsx::serve

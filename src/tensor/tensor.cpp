@@ -34,6 +34,16 @@ Tensor::Tensor(Shape shape, float value) : Tensor(std::move(shape)) {
   fill(value);
 }
 
+Tensor Tensor::from_external(Shape shape, float* data) {
+  DSX_REQUIRE(data != nullptr || shape.numel() == 0,
+              "from_external: null data for shape " << shape.to_string());
+  Tensor out;
+  out.shape_ = std::move(shape);
+  // Non-owning: the no-op deleter leaves lifetime with the caller (arena).
+  out.storage_ = std::shared_ptr<float[]>(data, [](float*) {});
+  return out;
+}
+
 float* Tensor::data() {
   DSX_REQUIRE(defined(), "access to undefined tensor");
   return storage_.get();

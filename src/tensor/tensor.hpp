@@ -26,6 +26,11 @@ class Tensor {
   /// Allocates storage and fills with `value`.
   Tensor(Shape shape, float value);
 
+  /// Wraps externally owned memory of `shape.numel()` floats without taking
+  /// ownership (used by Workspace arenas). The caller guarantees `data`
+  /// outlives every shallow copy of the returned tensor; clone() to detach.
+  static Tensor from_external(Shape shape, float* data);
+
   /// True if this tensor has storage attached.
   bool defined() const { return storage_ != nullptr; }
 

@@ -1,0 +1,68 @@
+#include "tensor/workspace.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace dsx {
+
+namespace {
+// Round allocations up so consecutive ranges start on cache-line boundaries.
+constexpr int64_t kAlignFloats = 16;
+
+}  // namespace
+
+int64_t Workspace::aligned_size(int64_t floats) {
+  return (std::max<int64_t>(floats, 1) + kAlignFloats - 1) / kAlignFloats *
+         kAlignFloats;
+}
+
+float* Workspace::alloc(int64_t floats) {
+  DSX_REQUIRE(floats >= 0, "Workspace::alloc: negative size " << floats);
+  const int64_t need = aligned_size(floats);
+  for (Block& block : blocks_) {
+    if (block.capacity - block.used >= need) {
+      float* p = block.data.get() + block.used;
+      block.used += need;
+      used_ += need;
+      peak_ = std::max(peak_, used_);
+      return p;
+    }
+  }
+  // No block fits: append one (never realloc, so prior pointers survive).
+  Block block;
+  block.capacity = std::max<int64_t>(need, 1 << 16);
+  block.data = std::make_unique<float[]>(static_cast<size_t>(block.capacity));
+  block.used = need;
+  blocks_.push_back(std::move(block));
+  used_ += need;
+  peak_ = std::max(peak_, used_);
+  return blocks_.back().data.get();
+}
+
+Tensor Workspace::alloc_tensor(const Shape& shape) {
+  return Tensor::from_external(shape, alloc(shape.numel()));
+}
+
+void Workspace::reset() {
+  for (Block& block : blocks_) block.used = 0;
+  used_ = 0;
+}
+
+void Workspace::reserve(int64_t floats) {
+  for (const Block& block : blocks_) {
+    if (block.capacity >= floats) return;
+  }
+  Block block;
+  block.capacity = aligned_size(floats);
+  block.data = std::make_unique<float[]>(static_cast<size_t>(block.capacity));
+  blocks_.push_back(std::move(block));
+}
+
+int64_t Workspace::capacity_floats() const {
+  int64_t total = 0;
+  for (const Block& block : blocks_) total += block.capacity;
+  return total;
+}
+
+}  // namespace dsx

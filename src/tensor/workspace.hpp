@@ -1,0 +1,71 @@
+// Reusable scratch arena for inference hot paths.
+//
+// A Workspace is a bump allocator over a small set of float blocks: alloc()
+// hands out aligned sub-ranges, reset() rewinds every block without freeing,
+// so a steady-state serving loop performs zero heap allocations once the
+// arena has grown to its high-water mark (dsx::serve sizes it with one dry
+// run at max batch). Blocks are never reallocated, only appended, so pointers
+// stay valid from alloc() until the next reset().
+//
+// Memory handed out is NOT zeroed: every consumer (im2col columns, GEMM
+// outputs with beta=0, SCC gathers) fully overwrites its range, which is what
+// keeps workspace-backed results bit-identical to the allocating paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/shape.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dsx {
+
+class Workspace {
+ public:
+  Workspace() = default;
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+  Workspace(Workspace&&) = default;
+  Workspace& operator=(Workspace&&) = default;
+
+  /// Bump-allocates `floats` elements; valid until the next reset().
+  float* alloc(int64_t floats);
+
+  /// Allocates a tensor whose storage lives in the arena (not owned by the
+  /// tensor). The caller must not keep it, or any shallow copy, past the
+  /// next reset(); clone() before escaping.
+  Tensor alloc_tensor(const Shape& shape);
+
+  /// Rewinds all blocks; capacity is retained.
+  void reset();
+
+  /// Ensures at least `floats` of contiguous capacity exists up front.
+  void reserve(int64_t floats);
+
+  /// Total floats currently backing the arena.
+  int64_t capacity_floats() const;
+  /// Largest total in-use float count ever observed (sizing statistic).
+  int64_t peak_floats() const { return peak_; }
+  /// Floats handed out since the last reset().
+  int64_t used_floats() const { return used_; }
+
+  /// Floats one alloc(floats) call actually consumes (cache-line rounding);
+  /// sizing helpers (conv2d_workspace_floats, ...) sum these so reserve()
+  /// genuinely pre-sizes the hot path.
+  static int64_t aligned_size(int64_t floats);
+
+ private:
+  struct Block {
+    std::unique_ptr<float[]> data;
+    int64_t capacity = 0;
+    int64_t used = 0;
+  };
+
+  std::vector<Block> blocks_;
+  int64_t used_ = 0;
+  int64_t peak_ = 0;
+};
+
+}  // namespace dsx
