@@ -9,6 +9,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -113,6 +115,56 @@ inline bool shape_check(const std::string& claim, bool ok) {
 inline void banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+/// True when `flag` (e.g. "--json") appears anywhere in argv.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+/// Machine-readable bench output: collects pre-formatted JSON objects and,
+/// when enabled (the bench's --json flag), writes them as
+///   BENCH_<name>.json = {"bench": "<name>", "records": [...]}
+/// in the working directory, so CI runs leave a bench trajectory instead of
+/// human-eyeball-only tables. Records typically carry op, shape, variant,
+/// median ns and QPS/p50/p99 fields - whatever the bench measures.
+class JsonWriter {
+ public:
+  JsonWriter(std::string bench_name, bool enabled)
+      : name_(std::move(bench_name)), enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// `object` must be a complete JSON object, e.g. {"op":"scc","ns":123}.
+  void add(std::string object) {
+    if (enabled_) records_.push_back(std::move(object));
+  }
+
+  /// Writes the file and returns its path ("" when disabled).
+  std::string write() const {
+    if (!enabled_) return "";
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream os(path);
+    if (!os.is_open()) {
+      std::fprintf(stderr, "JsonWriter: cannot open %s\n", path.c_str());
+      return "";
+    }
+    os << "{\"bench\":\"" << name_ << "\",\"records\":[";
+    for (size_t i = 0; i < records_.size(); ++i) {
+      os << (i == 0 ? "\n  " : ",\n  ") << records_[i];
+    }
+    os << "\n]}\n";
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+    return path;
+  }
+
+ private:
+  std::string name_;
+  bool enabled_;
+  std::vector<std::string> records_;
+};
 
 // ---- models under test -----------------------------------------------------
 

@@ -106,7 +106,9 @@ Result run_config(dsx::serve::CompiledModel& model, int64_t max_batch,
 
 int main(int argc, char** argv) {
   using namespace dsx;
-  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  bench::JsonWriter json("serve_throughput",
+                         bench::has_flag(argc, argv, "--json"));
 
   bench::banner("dsx::serve throughput vs micro-batch size (MobileNet-SCC)");
   const int64_t image = 16;
@@ -159,16 +161,21 @@ int main(int argc, char** argv) {
 
   std::printf("\n");
   for (const Result& r : results) {
-    std::printf(
-        "JSON {\"bench\":\"serve_throughput\",\"max_batch\":%lld,"
+    char record[320];
+    std::snprintf(
+        record, sizeof(record),
+        "{\"op\":\"serve\",\"model\":\"mobilenet-scc\",\"max_batch\":%lld,"
         "\"cpu_qps\":%.1f,\"p50_ms\":%.3f,\"p99_ms\":%.3f,"
         "\"avg_batch\":%.2f,\"launches_per_run\":%lld,"
-        "\"v100_qps\":%.1f,\"v100_speedup_vs_b1\":%.3f}\n",
+        "\"v100_qps\":%.1f,\"v100_speedup_vs_b1\":%.3f}",
         static_cast<long long>(r.batch), r.qps, r.p50_ms, r.p99_ms,
         r.avg_batch, static_cast<long long>(r.launches), r.modeled_qps,
         r.modeled_qps / base.modeled_qps);
+    std::printf("JSON %s\n", record);
+    json.add(record);
   }
   std::printf("\n");
+  json.write();
 
   const Result& best = results.back();
   char claim[200];

@@ -9,6 +9,12 @@
 //
 // Build & run:  cmake -B build -S . && cmake --build build &&
 //               ./build/example_serve_mobilenet_scc
+//
+// `--tune` demonstrates the dsx::tune compile pass instead: a cold-cache
+// compile (every conv/SCC problem measured, winners persisted to
+// dsx_tune_cache.bin) vs a warm-cache compile of the same architecture (no
+// re-measuring), plus the measured per-layer speedup table the plan baked in.
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <thread>
@@ -20,9 +26,88 @@
 #include "nn/trainer.hpp"
 #include "serve/server.hpp"
 #include "tensor/random.hpp"
+#include "tune/tune.hpp"
 
-int main() {
+namespace {
+
+dsx::models::SchemeConfig scheme() {
+  dsx::models::SchemeConfig cfg;
+  cfg.scheme = dsx::models::ConvScheme::kDWSCC;
+  cfg.cg = 4;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.25;
+  return cfg;
+}
+
+int run_tuning_demo() {
   using namespace dsx;
+  const int64_t image = 16;
+  const char* cache = "dsx_tune_cache.bin";
+  std::remove(cache);  // a true cold start
+  std::printf("model: MobileNet %s, tuning cache: %s\n",
+              scheme().to_string().c_str(), cache);
+
+  const auto compile_ms = [&](tune::Mode mode) {
+    Rng rng(7);  // same seed -> same architecture + weights both times
+    auto net = models::build_mobilenet(10, scheme(), rng);
+    serve::CompileOptions copts;
+    copts.max_batch = 8;
+    copts.tuning = mode;
+    copts.tuning_cache = cache;
+    copts.tuner = {.warmup = 2, .iters = 7};
+    const auto t0 = std::chrono::steady_clock::now();
+    serve::CompiledModel compiled(std::move(net), Shape{3, image, image},
+                                  copts);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    return std::make_pair(ms, compiled.report());
+  };
+
+  const int64_t tunes_before = tune::Session::global().tunes_performed();
+  const auto [cold_ms, cold_report] = compile_ms(tune::Mode::kTune);
+  const int64_t cold_tunes =
+      tune::Session::global().tunes_performed() - tunes_before;
+  std::printf("\ncold-cache compile: %.0f ms, %lld problems measured, "
+              "%lld call sites resolved\n",
+              cold_ms, static_cast<long long>(cold_tunes),
+              static_cast<long long>(cold_report.layers_tuned));
+
+  // Drop the in-memory records so the second compile genuinely exercises
+  // the persisted file - without this, warm start would "work" even if
+  // disk persistence were broken.
+  tune::Session::global().cache().clear();
+  const auto [warm_ms, warm_report] = compile_ms(tune::Mode::kTune);
+  const int64_t warm_tunes = tune::Session::global().tunes_performed() -
+                             tunes_before - cold_tunes;
+  std::printf("warm-cache compile: %.0f ms, %lld problems measured "
+              "(records loaded from %s)\n",
+              warm_ms, static_cast<long long>(warm_tunes), cache);
+
+  std::printf("\nper-layer winners (cold compile):\n");
+  std::printf("  %-44s %-18s %10s %10s %7s\n", "layer", "variant", "default",
+              "tuned", "gain");
+  for (const serve::TunedLayerChoice& c : cold_report.tuned) {
+    std::printf("  %-44s %-18s %8.0fns %8.0fns %6.2fx\n", c.layer.c_str(),
+                (c.variant + "@g=" + tune::grain_name(c.grain)).c_str(),
+                c.default_ns, c.median_ns, c.default_ns / c.median_ns);
+  }
+  if (cold_report.tuned.empty()) {
+    std::printf("  (every problem kept the default implementation)\n");
+  }
+  std::printf("\nwarm start %s: %lld re-measurements on the second compile\n",
+              warm_tunes == 0 ? "OK" : "FAILED",
+              static_cast<long long>(warm_tunes));
+  return warm_tunes == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsx;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tune") == 0) return run_tuning_demo();
+  }
 
   // --- 1. train a tiny MobileNet-SCC on synthetic CIFAR ---------------------
   const int64_t image = 16;

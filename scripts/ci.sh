@@ -1,13 +1,27 @@
 #!/usr/bin/env bash
-# Tier-1 verification plus the serving smoke bench.
+# Tier-1 verification plus the serving/tuning smoke benches.
 #
-#   scripts/ci.sh          - configure, build, ctest, serve-throughput smoke
-#   scripts/ci.sh --fast   - skip the smoke bench (tier-1 only)
+#   scripts/ci.sh              - configure, build, ctest, smoke benches
+#                                (writes BENCH_serve_throughput.json,
+#                                 BENCH_micro_kernels.json, BENCH_tune.json)
+#   scripts/ci.sh --fast       - skip the smoke benches (tier-1 only)
+#   scripts/ci.sh --sanitize   - additionally build Debug + ASan/UBSan in
+#                                build-sanitize/ and run the tier-1 suite
+#                                under the sanitizers
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --fast) FAST=1 ;;
+    --sanitize) SANITIZE=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== configure =="
 cmake -B build -S .
@@ -18,9 +32,27 @@ cmake --build build -j"${JOBS}"
 echo "== tier-1 tests =="
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
-if [[ "${1:-}" != "--fast" ]]; then
-  echo "== serve throughput (smoke) =="
-  ./build/bench_serve_throughput --smoke
+if [[ "${FAST}" != "1" ]]; then
+  echo "== serve throughput (smoke, json) =="
+  ./build/bench_serve_throughput --smoke --json
+
+  if [[ -x build/bench_micro_kernels ]]; then
+    echo "== kernel tuning (json) =="
+    ./build/bench_micro_kernels --json
+  else
+    echo "bench_micro_kernels not built (google-benchmark missing); skipping"
+  fi
+fi
+
+if [[ "${SANITIZE}" == "1" ]]; then
+  echo "== configure (ASan+UBSan Debug) =="
+  cmake -B build-sanitize -S . -DCMAKE_BUILD_TYPE=Debug -DDSX_SANITIZE=ON
+
+  echo "== build (ASan+UBSan Debug) =="
+  cmake --build build-sanitize -j"${JOBS}"
+
+  echo "== tier-1 tests (ASan+UBSan) =="
+  ctest --test-dir build-sanitize --output-on-failure -j"${JOBS}"
 fi
 
 echo "CI OK"

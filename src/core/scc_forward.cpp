@@ -99,13 +99,19 @@ void scc_forward_into(const Tensor& input, const Tensor& weight,
 Tensor scc_forward_no_cycle_table(const Tensor& input, const Tensor& weight,
                                   const Tensor* bias,
                                   const ChannelWindowMap& map) {
+  Tensor out(scc_output_shape(input.shape(), map));
+  scc_forward_no_cycle_table_into(input, weight, bias, map, out);
+  return out;
+}
+
+void scc_forward_no_cycle_table_into(const Tensor& input, const Tensor& weight,
+                                     const Tensor* bias,
+                                     const ChannelWindowMap& map, Tensor& out) {
   const int64_t step = map.step();
   const int64_t cin = map.config().in_channels;
-  Tensor out(scc_output_shape(input.shape(), map));
   scc_forward_impl(
       input, weight, bias, map, "scc_forward_nocc",
       [step, cin](int64_t f) { return (f * step) % cin; }, out);
-  return out;
 }
 
 }  // namespace dsx::scc

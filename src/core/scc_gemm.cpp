@@ -99,6 +99,33 @@ Tensor scc_forward_gemm_ws(const Tensor& input, const Tensor& weight,
   return out;
 }
 
+void scc_forward_gemm_into(const Tensor& input, const Tensor& weight,
+                           const Tensor* bias, const ChannelWindowMap& map,
+                           Workspace& ws, Tensor& out) {
+  const GemmDims d = resolve(input, weight, map);
+  DSX_REQUIRE(out.shape() == scc_output_shape(input.shape(), map),
+              "SCC gemm: out shape " << out.shape().to_string());
+  Tensor a = ws.alloc_tensor(Shape{d.rows, d.gw});  // reused gather buffer
+  Tensor y = ws.alloc_tensor(Shape{d.rows});        // one output column
+  const int64_t planeo = d.Ho * d.Wo;
+
+  for (int64_t f = 0; f < d.Cout; ++f) {
+    gather_window(input, map, d, f, a);
+    // Seed the column with the bias and accumulate on top (beta = 1): each
+    // pixel computes b + sum_k w_k x_k left to right, matching the fused
+    // kernel's float-addition order tap for tap.
+    const float b = bias != nullptr ? bias->data()[f] : 0.0f;
+    for (int64_t r = 0; r < d.rows; ++r) y.data()[r] = b;
+    gemm(/*trans_a=*/false, /*trans_b=*/false, d.rows, 1, d.gw, 1.0f,
+         a.data(), d.gw, weight.data() + f * d.gw, 1, 1.0f, y.data(), 1);
+    for (int64_t n = 0; n < d.N; ++n) {
+      float* dst = out.data() + (n * d.Cout + f) * planeo;
+      const float* src = y.data() + n * planeo;
+      for (int64_t j = 0; j < planeo; ++j) dst[j] = src[j];
+    }
+  }
+}
+
 SCCGrads scc_backward_gemm(const Tensor& input, const Tensor& weight,
                            const Tensor& doutput, const ChannelWindowMap& map,
                            bool need_dinput, bool has_bias) {

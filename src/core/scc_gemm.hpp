@@ -32,6 +32,16 @@ Tensor scc_forward_gemm_ws(const Tensor& input, const Tensor& weight,
                            const Tensor* bias, const ChannelWindowMap& map,
                            Workspace& ws);
 
+/// GEMM route writing into a caller-provided `out`, bit-identical to
+/// scc_forward_into: the bias is seeded into the output column before the
+/// GEMM (beta = 1) so each pixel accumulates b + w0*x0 + w1*x1 + ... in
+/// exactly the fused kernel's order. This is the form dsx::tune registers as
+/// a candidate; scc_forward_gemm_ws keeps the historical bias-after order
+/// for the §IV-B ablation benches.
+void scc_forward_gemm_into(const Tensor& input, const Tensor& weight,
+                           const Tensor* bias, const ChannelWindowMap& map,
+                           Workspace& ws, Tensor& out);
+
 /// Floats of scratch scc_forward_gemm_ws draws from the workspace.
 int64_t scc_gemm_workspace_floats(const Shape& input,
                                   const ChannelWindowMap& map);

@@ -42,6 +42,13 @@ Tensor scc_forward_no_cycle_table(const Tensor& input, const Tensor& weight,
                                   const Tensor* bias,
                                   const ChannelWindowMap& map);
 
+/// Workspace-friendly form of the no-cycle-table ablation; bit-identical to
+/// scc_forward_into. Registered as a dsx::tune candidate so the tuner can
+/// measure the cycle-table choice per shape instead of assuming it.
+void scc_forward_no_cycle_table_into(const Tensor& input, const Tensor& weight,
+                                     const Tensor* bias,
+                                     const ChannelWindowMap& map, Tensor& out);
+
 struct SCCGrads {
   Tensor dinput;
   Tensor dweight;

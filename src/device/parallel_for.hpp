@@ -4,10 +4,18 @@
 // parallel_for_2d flattens a rectangular space. `grain` lets callers keep
 // tiny loops serial (thread hand-off on a 2-core host costs more than the
 // work it would save).
+//
+// The grain threshold is a heuristic, and dsx::tune measures it instead of
+// trusting it: a GrainOverride scope substitutes a tuned grain for
+// kDefaultGrain at every loop it dynamically encloses (call sites that pass
+// an explicit non-default grain keep their choice). With no scope active the
+// constant applies unchanged, so tuning-off behavior is bit-for-bit the
+// pre-tuning behavior.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 
 #include "device/thread_pool.hpp"
 
@@ -15,6 +23,27 @@ namespace dsx::device {
 
 /// Minimum iterations per worker before a loop is worth parallelising.
 inline constexpr int64_t kDefaultGrain = 1024;
+
+/// Grain value that keeps any loop serial (total < grain always holds).
+inline constexpr int64_t kSerialGrain = std::numeric_limits<int64_t>::max();
+
+/// Grain a loop will actually use: `requested`, unless the caller asked for
+/// the library default while a GrainOverride scope is active on this thread.
+int64_t effective_grain(int64_t requested);
+
+/// RAII override of kDefaultGrain for the enclosed loops on this thread.
+/// `grain <= 0` installs nothing (tuning records use 0 for "library
+/// default"). Scopes nest; each restores the previous override.
+class GrainOverride {
+ public:
+  explicit GrainOverride(int64_t grain);
+  ~GrainOverride();
+  GrainOverride(const GrainOverride&) = delete;
+  GrainOverride& operator=(const GrainOverride&) = delete;
+
+ private:
+  int64_t saved_;
+};
 
 /// Runs body(i) for every i in [0, total). Parallel when total >= grain.
 void parallel_for(int64_t total, const std::function<void(int64_t)>& body,

@@ -71,6 +71,14 @@
 // Design-space exploration.
 #include "explore/design_space.hpp"
 
+// Empirical kernel autotuning: registry, tuner, persistent cache, dispatch.
+#include "tune/cache.hpp"
+#include "tune/dispatch.hpp"
+#include "tune/problem_key.hpp"
+#include "tune/registry.hpp"
+#include "tune/tune.hpp"
+#include "tune/tuner.hpp"
+
 // Pruning on top of factorized kernels.
 #include "prune/prune.hpp"
 

@@ -41,8 +41,9 @@ Tensor Conv2d::forward(const Tensor& input, bool training) {
 
 Tensor Conv2d::forward_inference(const Tensor& input, Workspace& ws) {
   Tensor out = ws.alloc_tensor(output_shape(input.shape()));
-  conv2d_forward_into(input, weight_.value,
-                      has_bias_ ? &bias_.value : nullptr, args_, ws, out);
+  tune::conv2d_forward_dispatch(input, weight_.value,
+                                has_bias_ ? &bias_.value : nullptr, args_, ws,
+                                out, &tuned_);
   return out;
 }
 
@@ -220,7 +221,8 @@ Tensor SCCConv::forward_inference(const Tensor& input, Workspace& ws) {
     case SCCImpl::kFused:
     case SCCImpl::kFusedOutputCentricBwd: {
       Tensor out = ws.alloc_tensor(output_shape(input.shape()));
-      scc::scc_forward_into(input, weight_.value, b, map_, out);
+      tune::scc_forward_dispatch(input, weight_.value, b, map_, ws, out,
+                                 &tuned_);
       return out;
     }
     case SCCImpl::kGemmStack:

@@ -21,6 +21,7 @@
 #include "ops/conv2d.hpp"
 #include "ops/depthwise.hpp"
 #include "tensor/random.hpp"
+#include "tune/dispatch.hpp"
 
 namespace dsx::nn {
 
@@ -45,12 +46,18 @@ class Conv2d final : public Layer {
   /// Adds a zero bias if the layer has none (needed when BN is folded in).
   void ensure_bias();
 
+  /// Baked tuning resolution for forward_inference (dsx::tune); empty until
+  /// a non-off tuning mode resolves this call site.
+  const tune::ConvSite& tuning_site() const { return tuned_; }
+  void reset_tuning() { tuned_.reset(); }
+
  private:
   int64_t in_channels_, out_channels_, kernel_;
   Conv2dArgs args_;
   bool has_bias_;
   Param weight_, bias_;
   Tensor cached_input_;
+  tune::ConvSite tuned_;
 };
 
 /// Depthwise KxK convolution.
@@ -114,6 +121,11 @@ class SCCConv final : public Layer {
   Param* bias_param() { return has_bias_ ? &bias_ : nullptr; }
   void ensure_bias();
 
+  /// Baked tuning resolution for the fused forward_inference path
+  /// (dsx::tune); empty until a non-off tuning mode resolves this site.
+  const tune::SccSite& tuning_site() const { return tuned_; }
+  void reset_tuning() { tuned_.reset(); }
+
  private:
   scc::SCCConfig cfg_;
   scc::ChannelWindowMap map_;
@@ -123,6 +135,7 @@ class SCCConv final : public Layer {
   Tensor cached_input_;
   std::unique_ptr<scc::ChannelStackSCC> channel_stack_;
   std::unique_ptr<scc::ConvStackSCC> conv_stack_;
+  tune::SccSite tuned_;
 };
 
 }  // namespace dsx::nn

@@ -1,5 +1,6 @@
 #include "ops/conv2d.hpp"
 
+#include <algorithm>
 #include <vector>
 
 #include "common/check.hpp"
@@ -17,6 +18,19 @@ struct ConvDims {
   int64_t Ho, Wo;
   int64_t groups, cin_g, cout_g;
 };
+
+void add_bias_rows(const Tensor* bias, int64_t N, int64_t Cout, int64_t planeo,
+                   Tensor& out) {
+  if (bias == nullptr) return;
+  device::launch_kernel_chunks(
+      "conv2d_bias", N * Cout, {1.0, 8.0}, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) {
+          const float bv = bias->data()[i % Cout];
+          float* p = out.data() + i * planeo;
+          for (int64_t j = 0; j < planeo; ++j) p[j] += bv;
+        }
+      });
+}
 
 ConvDims resolve_dims(const Shape& input, const Shape& weight,
                       const Conv2dArgs& args) {
@@ -115,16 +129,77 @@ void conv2d_forward_into(const Tensor& input, const Tensor& weight,
     }
   }
 
+  add_bias_rows(bias, d.N, d.Cout, planeo, out);
+}
+
+void conv2d_forward_direct_into(const Tensor& input, const Tensor& weight,
+                                const Tensor* bias, const Conv2dArgs& args,
+                                Tensor& out) {
+  const ConvDims d = resolve_dims(input.shape(), weight.shape(), args);
   if (bias != nullptr) {
-    device::launch_kernel_chunks(
-        "conv2d_bias", d.N * d.Cout, {1.0, 8.0}, [&](int64_t b, int64_t e) {
-          for (int64_t i = b; i < e; ++i) {
-            const float bv = bias->data()[i % d.Cout];
-            float* p = out.data() + i * planeo;
-            for (int64_t j = 0; j < planeo; ++j) p[j] += bv;
-          }
-        });
+    DSX_REQUIRE(bias->shape() == Shape{d.Cout},
+                "conv2d: bias shape " << bias->shape().to_string());
   }
+  DSX_REQUIRE(out.shape() == make_nchw(d.N, d.Cout, d.Ho, d.Wo),
+              "conv2d: out shape " << out.shape().to_string());
+
+  const int64_t planeo = d.Ho * d.Wo;
+  const int64_t stride = args.stride, pad = args.pad;
+
+  // One chunk index per (n, oc) output plane, mirroring the GEMM row order:
+  // taps iterate (ic, ky, kx) with the pixel loop innermost, zero weights
+  // skipped, bias added by the shared post-pass - the exact float-op
+  // sequence of the im2col route, minus the column materialisation.
+  device::launch_kernel_chunks_modeled(
+      "conv2d_direct", d.N * d.Cout, out.numel(),
+      {2.0 * static_cast<double>(d.cin_g * d.K * d.K),
+       4.0 * (static_cast<double>(d.cin_g * d.K * d.K) + 2.0)},
+      [&](int64_t b, int64_t e) {
+        for (int64_t row = b; row < e; ++row) {
+          const int64_t n = row / d.Cout;
+          const int64_t oc = row % d.Cout;
+          const int64_t g = oc / d.cout_g;
+          const float* in_n = input.data() + (n * d.Cin + g * d.cin_g) * d.H * d.W;
+          const float* w_row = weight.data() + oc * d.cin_g * d.K * d.K;
+          float* out_row = out.data() + row * planeo;
+          for (int64_t j = 0; j < planeo; ++j) out_row[j] = 0.0f;
+          for (int64_t ic = 0; ic < d.cin_g; ++ic) {
+            const float* in_c = in_n + ic * d.H * d.W;
+            for (int64_t ky = 0; ky < d.K; ++ky) {
+              for (int64_t kx = 0; kx < d.K; ++kx) {
+                const float wv = w_row[(ic * d.K + ky) * d.K + kx];
+                if (wv == 0.0f) continue;  // mirrors the GEMM zero-row skip
+                // In-bounds ox range for this tap (ix = ox*stride + kx - pad
+                // in [0, W)); pixels outside it are the im2col zeros, whose
+                // +-0.0f contributions never change the accumulator.
+                const int64_t ox_lo =
+                    pad > kx ? (pad - kx + stride - 1) / stride : 0;
+                const int64_t ox_hi = std::min(
+                    d.Wo, d.W - 1 - kx + pad >= 0
+                              ? (d.W - 1 - kx + pad) / stride + 1
+                              : int64_t{0});
+                for (int64_t oy = 0; oy < d.Ho; ++oy) {
+                  const int64_t iy = oy * stride + ky - pad;
+                  if (iy < 0 || iy >= d.H) continue;  // im2col wrote zeros
+                  const float* in_y = in_c + iy * d.W + kx - pad;
+                  float* out_y = out_row + oy * d.Wo;
+                  if (stride == 1) {
+                    for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+                      out_y[ox] += wv * in_y[ox];
+                    }
+                  } else {
+                    for (int64_t ox = ox_lo; ox < ox_hi; ++ox) {
+                      out_y[ox] += wv * in_y[ox * stride];
+                    }
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+
+  add_bias_rows(bias, d.N, d.Cout, planeo, out);
 }
 
 Conv2dGrads conv2d_backward(const Tensor& input, const Tensor& weight,

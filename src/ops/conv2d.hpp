@@ -45,6 +45,15 @@ void conv2d_forward_into(const Tensor& input, const Tensor& weight,
 int64_t conv2d_workspace_floats(const Shape& input, const Shape& weight,
                                 const Conv2dArgs& args);
 
+/// Direct (no-lowering) forward: indexes the input in place instead of
+/// materialising the im2col matrix, trading the Cin*K*K*Ho*Wo column copy
+/// for strided reads and boundary tests. Accumulates in exactly the
+/// im2col+GEMM float order, so it is bit-identical to conv2d_forward_into;
+/// dsx::tune registers both and measures which wins per shape.
+void conv2d_forward_direct_into(const Tensor& input, const Tensor& weight,
+                                const Tensor* bias, const Conv2dArgs& args,
+                                Tensor& out);
+
 struct Conv2dGrads {
   Tensor dinput;   // defined only when requested
   Tensor dweight;

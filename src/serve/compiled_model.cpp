@@ -1,8 +1,11 @@
 #include "serve/compiled_model.hpp"
 
+#include <mutex>
+
 #include "common/check.hpp"
 #include "nn/bn_folding.hpp"
 #include "nn/layers_conv.hpp"
+#include "tensor/random.hpp"
 
 namespace dsx::serve {
 
@@ -46,12 +49,86 @@ CompiledModel::CompiledModel(std::unique_ptr<nn::Sequential> model,
     report_.param_floats += p->value.numel();
   }
 
-  // Shape-check the plan end to end, then size the arena with one dry run at
-  // max batch; steady-state run() calls stay within this high-water mark.
+  // Shape-check the plan end to end.
   (void)model_->output_shape(input_shape(opts_.max_batch));
+
+  if (opts_.tuning != tune::Mode::kOff) run_tuning_pass();
+
+  // Size the arena with one dry run at max batch; steady-state run() calls
+  // stay within this high-water mark. With tuning active the baked
+  // candidates execute here, so the mark covers the winners' scratch too.
   Tensor dry(input_shape(opts_.max_batch));
   (void)run(dry);
   report_.workspace_floats = ws_.peak_floats();
+}
+
+void CompiledModel::run_tuning_pass() {
+  // The pass reconfigures the process-global Session (mode, tuner options,
+  // cache path), so concurrent tuning passes must not interleave their
+  // save/restore pairs. Dispatch from OTHER threads during this window sees
+  // the compile's mode - serving-tier convention applies: compile plans
+  // before taking traffic.
+  static std::mutex pass_mu;
+  std::lock_guard<std::mutex> pass_lock(pass_mu);
+
+  tune::Session& session = tune::Session::global();
+
+  // Exception-safe restore of everything the pass touches: a throwing dry
+  // run must not leak compile-time settings into the global session.
+  struct SessionRestore {
+    tune::Session& session;
+    tune::TunerOptions opts = session.tuner_options();
+    std::string cache_path = session.cache_path();
+    ~SessionRestore() {
+      session.set_tuner_options(opts);
+      // load_existing=false: re-reading the old file here would let its
+      // stale records overwrite measurements this pass just made.
+      session.set_cache_path(cache_path, /*load_existing=*/false);
+      session.set_autosave_deferred(false);
+    }
+  } restore{session};
+
+  session.set_tuner_options(opts_.tuner);
+  // Install this compile's cache file (empty = in-memory only, even if a
+  // previous compile armed a path); loads existing records, and defer the
+  // per-measurement autosave - the pass saves once at the end.
+  session.set_cache_path(opts_.tuning_cache);
+  session.set_autosave_deferred(true);
+
+  {
+    // One dry run at max batch under the requested mode; Conv2d/SCCConv
+    // dispatch resolves (and bakes) each call site on first encounter. The
+    // input is random, not zero: candidate kernels have value-dependent
+    // fast paths (the GEMM routes skip zero operands), so an all-zero dry
+    // tensor would flatter them relative to production activations.
+    tune::Session::ScopedMode scope(opts_.tuning);
+    ws_.reset();
+    Rng rng(0x7541u);
+    Tensor dry = random_uniform(input_shape(opts_.max_batch), rng);
+    (void)model_->forward_inference(dry, ws_);
+  }
+  session.set_autosave_deferred(false);
+  if (!opts_.tuning_cache.empty()) session.save_cache();
+
+  model_->for_each_layer([this](nn::Layer& layer) {
+    const tune::TuningRecord* rec = nullptr;
+    if (auto* conv = dynamic_cast<nn::Conv2d*>(&layer)) {
+      if (!conv->tuning_site().resolved()) return;
+      ++report_.layers_tuned;
+      if (conv->tuning_site().record.has_value()) {
+        rec = &*conv->tuning_site().record;
+      }
+    } else if (auto* scc = dynamic_cast<nn::SCCConv*>(&layer)) {
+      if (!scc->tuning_site().resolved()) return;
+      ++report_.layers_tuned;
+      if (scc->tuning_site().record.has_value()) {
+        rec = &*scc->tuning_site().record;
+      }
+    }
+    if (rec == nullptr) return;
+    report_.tuned.push_back({layer.name(), rec->variant, rec->grain,
+                             rec->median_ns, rec->default_ns});
+  });
 }
 
 Shape CompiledModel::input_shape(int64_t batch) const {

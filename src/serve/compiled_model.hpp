@@ -19,10 +19,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "nn/containers.hpp"
 #include "tensor/workspace.hpp"
+#include "tune/tune.hpp"
 
 namespace dsx::serve {
 
@@ -34,6 +36,26 @@ struct CompileOptions {
   bool fold_bn = true;
   /// Force every SCCConv to the fused kernels.
   bool freeze_scc_fused = true;
+  /// Kernel autotuning for the frozen plan (dsx::tune). kOff keeps today's
+  /// heuristics and is bit-identical to the pre-tuning library; kCached
+  /// applies existing TuningCache records; kTune measures cache misses at
+  /// max_batch during compilation and bakes the winners into the plan.
+  tune::Mode tuning = tune::Mode::kOff;
+  /// Optional TuningCache file: loaded (when present) before the tuning
+  /// pass and saved after it, so a second process warm-starts without
+  /// re-measuring. Empty keeps the cache in-memory only.
+  std::string tuning_cache;
+  /// Measurement effort for the tuning pass.
+  tune::TunerOptions tuner;
+};
+
+/// One tuned layer in the frozen plan (CompileReport::tuned).
+struct TunedLayerChoice {
+  std::string layer;    // nn::Layer::name()
+  std::string variant;  // winning registry variant ("fused", "direct", ...)
+  int64_t grain = 0;    // winning schedule grain (0 = library default)
+  double median_ns = 0.0;   // winner's measured median
+  double default_ns = 0.0;  // default implementation's measured median
 };
 
 struct CompileReport {
@@ -43,6 +65,10 @@ struct CompileReport {
   int64_t steps = 0;              // top-level layers in the frozen plan
   int64_t param_floats = 0;       // trainable parameter count
   int64_t workspace_floats = 0;   // arena high-water mark at max batch
+  int64_t layers_tuned = 0;       // call sites resolved by the tuning pass
+  /// Per-layer winners baked in by the tuning pass (empty when tuning off
+  /// or when every record came without measurements, e.g. kCached misses).
+  std::vector<TunedLayerChoice> tuned;
 };
 
 class CompiledModel {
@@ -74,6 +100,11 @@ class CompiledModel {
   Tensor run(const Tensor& batch);
 
  private:
+  /// Resolves per-layer kernel choices by running one tuning dry run at
+  /// max batch under the configured mode, then collects the baked winners
+  /// into report_.tuned.
+  void run_tuning_pass();
+
   CompileOptions opts_;
   Shape image_shape_;
   std::unique_ptr<nn::Sequential> model_;

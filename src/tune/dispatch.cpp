@@ -1,0 +1,102 @@
+#include "tune/dispatch.hpp"
+
+#include "common/check.hpp"
+#include "core/scc_kernels.hpp"
+#include "tune/tune.hpp"
+
+namespace dsx::tune {
+
+namespace {
+
+/// Shared dispatch skeleton for every op family: baked site -> off-mode
+/// default -> cache lookup -> (kTune) measure + record -> resolve -> bake ->
+/// run. A new op family only supplies the five family-specific callables;
+/// the cache/tune/fallback sequencing stays in one place.
+template <typename Problem, typename Site, typename MakeKey,
+          typename RunDefault, typename TuneProblem, typename FindCandidate,
+          typename Enumerate>
+void dispatch_impl(const Problem& problem, Site* site, MakeKey&& make_key,
+                   RunDefault&& run_default, TuneProblem&& tune_problem,
+                   FindCandidate&& find_candidate, Enumerate&& enumerate) {
+  if (site != nullptr && site->resolved()) {
+    site->baked->run(problem);
+    return;
+  }
+
+  Session& session = Session::global();
+  const Mode mode = session.mode();
+  if (mode == Mode::kOff) {
+    run_default();
+    return;
+  }
+
+  const ProblemKey key = make_key();
+  std::optional<TuningRecord> rec = session.cache().find(key);
+  if (!rec.has_value() && mode == Mode::kTune) {
+    const Tuner tuner(session.tuner_options());
+    TuneResult result = tune_problem(tuner, key);
+    session.cache().put(result.record);
+    session.note_tune();
+    session.save_cache();
+    rec = std::move(result.record);
+  }
+
+  using Candidate = typename decltype(find_candidate(
+      key, std::string(), int64_t{0}))::value_type;
+  std::optional<Candidate> cand;
+  if (rec.has_value()) {
+    cand = find_candidate(key, rec->variant, rec->grain);
+  }
+  if (!cand.has_value()) {  // cache miss in kCached, or a stale record
+    auto candidates = enumerate(key);
+    DSX_CHECK(!candidates.empty(), "tune: registry offered no candidates");
+    // The registry's first candidate is the library default.
+    cand = std::move(candidates.front());
+    rec.reset();
+  }
+  if (site != nullptr) {
+    site->baked = cand;
+    site->record = rec;
+  }
+  cand->run(problem);
+}
+
+}  // namespace
+
+void scc_forward_dispatch(const Tensor& input, const Tensor& weight,
+                          const Tensor* bias, const scc::ChannelWindowMap& map,
+                          Workspace& ws, Tensor& out, SccSite* site) {
+  const SCCProblem problem{&input, &weight, bias, &map, &ws, &out};
+  const KernelRegistry& registry = KernelRegistry::global();
+  dispatch_impl(
+      problem, site,
+      [&] { return make_scc_forward_key(input.shape(), map); },
+      [&] { scc::scc_forward_into(input, weight, bias, map, out); },
+      [&](const Tuner& tuner, const ProblemKey& key) {
+        return tuner.tune_scc(key, input, weight, bias, map);
+      },
+      [&](const ProblemKey& key, const std::string& variant, int64_t grain) {
+        return registry.find_scc(key, variant, grain);
+      },
+      [&](const ProblemKey& key) { return registry.scc_forward(key); });
+}
+
+void conv2d_forward_dispatch(const Tensor& input, const Tensor& weight,
+                             const Tensor* bias, const Conv2dArgs& args,
+                             Workspace& ws, Tensor& out, ConvSite* site) {
+  const ConvProblem problem{&input, &weight, bias, &args, &ws, &out};
+  const KernelRegistry& registry = KernelRegistry::global();
+  dispatch_impl(
+      problem, site,
+      [&] { return make_conv2d_forward_key(input.shape(), weight.shape(), args); },
+      [&] { conv2d_forward_into(input, weight, bias, args, ws, out); },
+      [&](const Tuner& tuner, const ProblemKey& key) {
+        return tuner.tune_conv2d(key, input, weight, bias, args);
+      },
+      [&](const ProblemKey& key, const std::string& variant, int64_t grain) {
+        return registry.find_conv(key, variant, grain);
+      },
+      [&](const ProblemKey& key) { return registry.conv2d_forward(key); });
+}
+
+}  // namespace dsx::tune

@@ -1,0 +1,52 @@
+// Tuned kernel dispatch - the integration point between ops and the tuner.
+//
+// These are drop-in replacements for scc::scc_forward_into /
+// conv2d_forward_into that consult the KernelRegistry + TuningCache under
+// the Session's mode. In kOff mode they collapse to the default kernel with
+// one branch of overhead, keeping tuning-off behavior bit-identical to the
+// pre-tuning library.
+//
+// A call site may pass a persistent Site: the first resolution (cache hit or
+// fresh measurement) is BAKED into it and every later call executes the
+// resolved candidate directly - no key building, no cache lookup. This is
+// how serve::CompiledModel freezes per-layer winners into a plan: each
+// nn::Conv2d / nn::SCCConv owns its Site, the compile-time tuning pass
+// resolves them once, and steady-state run() never touches the session.
+#pragma once
+
+#include <optional>
+
+#include "tune/cache.hpp"
+#include "tune/registry.hpp"
+
+namespace dsx::tune {
+
+/// Per-call-site baked resolution for SCC forward.
+struct SccSite {
+  std::optional<SCCCandidate> baked;
+  std::optional<TuningRecord> record;  // absent when baked the default
+  bool resolved() const { return baked.has_value(); }
+  void reset() { baked.reset(); record.reset(); }
+};
+
+/// Per-call-site baked resolution for conv2d forward.
+struct ConvSite {
+  std::optional<ConvCandidate> baked;
+  std::optional<TuningRecord> record;
+  bool resolved() const { return baked.has_value(); }
+  void reset() { baked.reset(); record.reset(); }
+};
+
+/// Executes the best-known SCC forward implementation for this problem.
+/// `out` must already have scc_output_shape; scratch comes from `ws`.
+void scc_forward_dispatch(const Tensor& input, const Tensor& weight,
+                          const Tensor* bias, const scc::ChannelWindowMap& map,
+                          Workspace& ws, Tensor& out, SccSite* site = nullptr);
+
+/// Executes the best-known conv2d forward implementation for this problem.
+void conv2d_forward_dispatch(const Tensor& input, const Tensor& weight,
+                             const Tensor* bias, const Conv2dArgs& args,
+                             Workspace& ws, Tensor& out,
+                             ConvSite* site = nullptr);
+
+}  // namespace dsx::tune

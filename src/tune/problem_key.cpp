@@ -1,0 +1,70 @@
+#include "tune/problem_key.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "device/thread_pool.hpp"
+
+namespace dsx::tune {
+
+const char* op_family_name(OpFamily op) {
+  switch (op) {
+    case OpFamily::kSCCForward:
+      return "scc_forward";
+    case OpFamily::kConv2dForward:
+      return "conv2d_forward";
+  }
+  return "unknown";
+}
+
+std::string ProblemKey::to_string() const {
+  std::ostringstream os;
+  os << op_family_name(op) << "[" << n << "x" << c << "x" << h << "x" << w
+     << " -> " << cout;
+  if (op == OpFamily::kConv2dForward) {
+    os << ", k" << kernel << " s" << stride << " p" << pad << " g" << groups;
+  } else {
+    os << ", gw" << gw << " step" << step << " s" << stride;
+  }
+  os << ", t" << threads << "]";
+  return os.str();
+}
+
+ProblemKey make_scc_forward_key(const Shape& input,
+                                const scc::ChannelWindowMap& map) {
+  DSX_REQUIRE(input.rank() == 4,
+              "tune: SCC input must be NCHW, got " << input.to_string());
+  ProblemKey key;
+  key.op = OpFamily::kSCCForward;
+  key.n = input.n();
+  key.c = input.c();
+  key.h = input.h();
+  key.w = input.w();
+  key.cout = map.config().out_channels;
+  key.stride = map.config().stride;
+  key.gw = map.group_width();
+  key.step = map.step();
+  key.threads = static_cast<int64_t>(device::ThreadPool::global().size());
+  return key;
+}
+
+ProblemKey make_conv2d_forward_key(const Shape& input, const Shape& weight,
+                                   const Conv2dArgs& args) {
+  DSX_REQUIRE(input.rank() == 4 && weight.rank() == 4,
+              "tune: conv2d key needs NCHW input and [Cout,Cin/g,K,K] weight");
+  ProblemKey key;
+  key.op = OpFamily::kConv2dForward;
+  key.n = input.n();
+  key.c = input.c();
+  key.h = input.h();
+  key.w = input.w();
+  key.cout = weight.dim(0);
+  key.kernel = weight.dim(2);
+  key.stride = args.stride;
+  key.pad = args.pad;
+  key.groups = args.groups;
+  key.threads = static_cast<int64_t>(device::ThreadPool::global().size());
+  return key;
+}
+
+}  // namespace dsx::tune

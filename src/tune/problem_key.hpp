@@ -1,0 +1,60 @@
+// Canonical problem identity for the empirical autotuner (dsx::tune).
+//
+// A ProblemKey names everything that can change which kernel implementation
+// wins: the op family, the input geometry, the op's own parameters (conv
+// kernel/stride/pad/groups, SCC window width and step), the dtype, and the
+// executing thread count (a schedule that wins on an oversubscribed pool
+// loses on a wide one, so records must not migrate across pool sizes).
+// Records keyed by ProblemKey are what the TuningCache persists and what
+// frozen serving plans bake in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+
+#include "core/channel_map.hpp"
+#include "ops/conv2d.hpp"
+#include "tensor/shape.hpp"
+
+namespace dsx::tune {
+
+enum class OpFamily : int64_t {
+  kSCCForward = 0,
+  kConv2dForward = 1,
+};
+
+const char* op_family_name(OpFamily op);
+
+/// Only f32 exists today; the field keeps cache records honest when a
+/// quantized or half-precision backend registers candidates later.
+enum class DType : int64_t { kF32 = 0 };
+
+struct ProblemKey {
+  OpFamily op = OpFamily::kSCCForward;
+  int64_t n = 0, c = 0, h = 0, w = 0;  // input NCHW
+  int64_t cout = 0;
+  int64_t kernel = 0, stride = 1, pad = 0, groups = 1;  // conv parameters
+  int64_t gw = 0, step = 0;  // SCC window geometry (zero for conv)
+  int64_t threads = 1;       // device::ThreadPool size the record was made on
+  DType dtype = DType::kF32;
+
+  auto tie() const {
+    return std::tie(op, n, c, h, w, cout, kernel, stride, pad, groups, gw,
+                    step, threads, dtype);
+  }
+  bool operator==(const ProblemKey& o) const { return tie() == o.tie(); }
+  bool operator<(const ProblemKey& o) const { return tie() < o.tie(); }
+
+  std::string to_string() const;
+};
+
+/// Key for an SCC forward problem, threads taken from the global pool.
+ProblemKey make_scc_forward_key(const Shape& input,
+                                const scc::ChannelWindowMap& map);
+
+/// Key for a conv2d forward problem, threads taken from the global pool.
+ProblemKey make_conv2d_forward_key(const Shape& input, const Shape& weight,
+                                   const Conv2dArgs& args);
+
+}  // namespace dsx::tune

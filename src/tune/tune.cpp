@@ -1,0 +1,129 @@
+#include "tune/tune.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace dsx::tune {
+
+const char* mode_name(Mode mode) {
+  switch (mode) {
+    case Mode::kOff:
+      return "off";
+    case Mode::kCached:
+      return "cached";
+    case Mode::kTune:
+      return "tune";
+  }
+  return "unknown";
+}
+
+Mode parse_mode(const std::string& name) {
+  if (name == "off") return Mode::kOff;
+  if (name == "cached") return Mode::kCached;
+  if (name == "tune") return Mode::kTune;
+  DSX_REQUIRE(false, "tune: unknown mode '" << name
+                                            << "' (expected off|cached|tune)");
+  return Mode::kOff;  // unreachable
+}
+
+Session& Session::global() {
+  static Session session;
+  return session;
+}
+
+Session::Session() {
+  if (const char* env = std::getenv("DSX_TUNE")) {
+    mode_ = parse_mode(env);
+  }
+  if (const char* env = std::getenv("DSX_TUNE_CACHE")) {
+    cache_path_ = env;
+    try_load(cache_path_);
+  }
+}
+
+void Session::try_load(const std::string& path) {
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe.is_open()) return;  // first run - nothing to warm-start from
+  try {
+    cache_.load(probe);
+  } catch (const std::exception& e) {
+    // A torn or stale-version cache must degrade to a cold start, never
+    // brick startup (std::exception, not just dsx::Error: corrupt counts
+    // could also surface as allocation failures); the next save overwrites
+    // the file atomically.
+    std::fprintf(stderr, "dsx::tune: ignoring cache %s (%s)\n", path.c_str(),
+                 e.what());
+  }
+}
+
+Mode Session::mode() const { return mode_.load(std::memory_order_relaxed); }
+
+void Session::set_mode(Mode mode) {
+  mode_.store(mode, std::memory_order_relaxed);
+}
+
+TunerOptions Session::tuner_options() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tuner_opts_;
+}
+
+void Session::set_tuner_options(const TunerOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tuner_opts_ = opts;
+}
+
+std::string Session::cache_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_path_;
+}
+
+void Session::set_cache_path(const std::string& path, bool load_existing) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_path_ = path;
+  }
+  if (path.empty() || !load_existing) return;
+  try_load(path);
+}
+
+void Session::save_cache() const {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (autosave_deferred_) return;
+    path = cache_path_;
+  }
+  if (path.empty()) return;
+  cache_.save_file(path);
+}
+
+bool Session::autosave_deferred() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return autosave_deferred_;
+}
+
+void Session::set_autosave_deferred(bool deferred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  autosave_deferred_ = deferred;
+}
+
+int64_t Session::tunes_performed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tunes_;
+}
+
+void Session::note_tune() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++tunes_;
+}
+
+Session::ScopedMode::ScopedMode(Mode mode) : saved_(Session::global().mode()) {
+  Session::global().set_mode(mode);
+}
+
+Session::ScopedMode::~ScopedMode() { Session::global().set_mode(saved_); }
+
+}  // namespace dsx::tune

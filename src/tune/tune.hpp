@@ -1,0 +1,111 @@
+// dsx::tune - empirical autotuning of kernel dispatch (umbrella + session).
+//
+// DSXplore's thesis is design exploration; this subsystem applies it to the
+// implementation axis the paper sweeps by hand in §IV-B: which kernel
+// variant, and which parallel-for schedule, actually wins on THIS hardware
+// for THIS shape. Three modes:
+//
+//   kOff    - dispatch runs today's heuristics untouched (bit-identical to
+//             the pre-tuning library; the default, and what tests pin);
+//   kCached - dispatch consults the TuningCache and uses a record when one
+//             exists; never measures;
+//   kTune   - cache misses trigger a Tuner measurement whose winner is
+//             recorded (and persisted when a cache path is set).
+//
+// The process-wide Session carries the mode, the cache, and the tuner
+// options. Environment overrides for zero-code adoption:
+//   DSX_TUNE=off|cached|tune   initial mode
+//   DSX_TUNE_CACHE=<path>      cache file, auto-loaded when present and
+//                              saved after every new measurement
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "tune/cache.hpp"
+#include "tune/tuner.hpp"
+
+namespace dsx::tune {
+
+enum class Mode {
+  kOff = 0,
+  kCached = 1,
+  kTune = 2,
+};
+
+const char* mode_name(Mode mode);
+/// Parses "off" / "cached" / "tune"; throws dsx::Error otherwise.
+Mode parse_mode(const std::string& name);
+
+class Session {
+ public:
+  /// Process-wide session; first use reads DSX_TUNE / DSX_TUNE_CACHE.
+  static Session& global();
+
+  Mode mode() const;
+  void set_mode(Mode mode);
+
+  TuningCache& cache() { return cache_; }
+
+  TunerOptions tuner_options() const;
+  void set_tuner_options(const TunerOptions& opts);
+
+  /// Cache persistence path; empty disables autosave. Setting a path loads
+  /// an existing file immediately unless `load_existing` is false (missing
+  /// files are fine - first run; a corrupt or stale-version file is
+  /// reported to stderr and skipped, so a torn write degrades to a cold
+  /// start instead of aborting startup). Pass load_existing=false when
+  /// restoring a previously observed path: re-loading the old file would
+  /// let its records overwrite fresher in-memory measurements.
+  std::string cache_path() const;
+  void set_cache_path(const std::string& path, bool load_existing = true);
+  /// Persists the cache to cache_path() (atomic temp+rename); no-op when
+  /// the path is empty or autosave is deferred.
+  void save_cache() const;
+
+  /// While deferred, dispatch skips its per-measurement save_cache() - a
+  /// compile-time tuning pass measures many problems and saves once at the
+  /// end instead of rewriting the file per record.
+  bool autosave_deferred() const;
+  void set_autosave_deferred(bool deferred);
+
+  /// Number of Tuner measurements performed through dispatch since process
+  /// start - a warm-started process re-measures nothing, which tests and
+  /// the example assert through this counter.
+  int64_t tunes_performed() const;
+  void note_tune();
+
+  /// RAII mode switch (used by serve compilation's tuning pass).
+  class ScopedMode {
+   public:
+    explicit ScopedMode(Mode mode);
+    ~ScopedMode();
+    ScopedMode(const ScopedMode&) = delete;
+    ScopedMode& operator=(const ScopedMode&) = delete;
+
+   private:
+    Mode saved_;
+  };
+
+ private:
+  Session();
+
+  /// Best-effort load for auto-load paths (env init, set_cache_path):
+  /// missing files are silent, unreadable ones warn and leave the cache as
+  /// it was.
+  void try_load(const std::string& path);
+
+  mutable std::mutex mu_;
+  /// Atomic, not mutex-guarded: mode() sits on the serving hot path (every
+  /// unbaked dispatch reads it), and a process-wide lock per layer per
+  /// request would serialize concurrent batchers.
+  std::atomic<Mode> mode_{Mode::kOff};
+  TunerOptions tuner_opts_;
+  std::string cache_path_;
+  bool autosave_deferred_ = false;
+  int64_t tunes_ = 0;
+  TuningCache cache_;
+};
+
+}  // namespace dsx::tune
