@@ -14,8 +14,14 @@
 // compile (every conv/SCC problem measured, winners persisted to
 // dsx_tune_cache.bin) vs a warm-cache compile of the same architecture (no
 // re-measuring), plus the measured per-layer speedup table the plan baked in.
+//
+// `--shard R` demonstrates dsx::shard instead: the model is registered with
+// BatcherOptions::replicas = R (the one-field sharding switch), clients fire
+// a mix of interactive, normal and deliberately-expired requests at it, and
+// the per-replica stats table (requests, avg batch, p99, sheds) is printed.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <thread>
 #include <vector>
@@ -25,6 +31,7 @@
 #include "nn/sgd.hpp"
 #include "nn/trainer.hpp"
 #include "serve/server.hpp"
+#include "shard/shard.hpp"
 #include "tensor/random.hpp"
 #include "tune/tune.hpp"
 
@@ -101,12 +108,110 @@ int run_tuning_demo() {
   return warm_tunes == 0 ? 0 : 1;
 }
 
+int run_shard_demo(int replicas) {
+  using namespace dsx;
+  const int64_t image = 16;
+  Rng rng(7);
+  auto net = models::build_mobilenet(10, scheme(), rng);
+  auto compiled = std::make_unique<serve::CompiledModel>(
+      std::move(net), Shape{3, image, image},
+      serve::CompileOptions{.max_batch = 8});
+  std::printf("model: MobileNet %s, sharded across %d replicas\n",
+              scheme().to_string().c_str(), replicas);
+
+  serve::InferenceServer server;
+  // Sharding is the one-field change: replicas > 1 compiles R - 1 clones of
+  // the plan and serves them behind per-replica deadline batchers with
+  // private execution lanes.
+  server.register_model("mobilenet-scc", std::move(compiled),
+                        {.max_batch = 8,
+                         .max_delay = std::chrono::microseconds(1000),
+                         .replicas = replicas});
+
+  const int kClients = 4, kPerClient = 48;
+  Rng img_rng(13);
+  std::vector<Tensor> requests;
+  for (int i = 0; i < 16; ++i) {
+    requests.push_back(random_uniform(make_nchw(1, 3, image, image), img_rng));
+  }
+  std::vector<std::thread> clients;
+  std::vector<int> sheds(static_cast<size_t>(kClients), 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<Tensor>> inflight;
+      for (int r = 0; r < kPerClient; ++r) {
+        const Tensor& img =
+            requests[static_cast<size_t>((c + r) % requests.size())];
+        shard::SubmitOptions sopts;
+        if (r % 3 == 0) {
+          // Interactive traffic: tight but satisfiable deadline.
+          sopts = shard::within(std::chrono::microseconds(500000),
+                                serve::Priority::kInteractive);
+        } else if (r % 7 == 0) {
+          // Already-expired deadline: shed on arrival, never batched.
+          sopts.deadline = std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(1);
+        }
+        inflight.push_back(server.submit("mobilenet-scc", img, sopts));
+      }
+      for (auto& f : inflight) {
+        try {
+          (void)f.get();
+        } catch (const serve::DeadlineExceeded&) {
+          ++sheds[static_cast<size_t>(c)];
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  const serve::ModelStats stats = server.stats("mobilenet-scc");
+  if (!stats.shard.has_value()) {
+    std::printf("(replicas=1: served by the single FIFO batcher)\n");
+    std::printf("  requests %lld, p99 %.2f ms\n",
+                static_cast<long long>(stats.batcher.requests),
+                stats.batcher.latency.p99_ms);
+    return 0;
+  }
+  const shard::ShardStats& shard_stats = *stats.shard;
+  std::printf("\nserved %d clients x %d requests, %s routing:\n", kClients,
+              kPerClient, shard::routing_policy_name(shard_stats.policy));
+  std::printf("  %-8s %-6s %-10s %-10s %-10s %-6s %-9s\n", "replica", "lane",
+              "requests", "batches", "avg batch", "p99", "sheds");
+  for (const shard::ReplicaStats& rs : shard_stats.per_replica) {
+    std::printf("  %-8d %-6u %-10lld %-10lld %-10.2f %-6.2f %-9lld\n",
+                rs.replica, rs.lane_threads,
+                static_cast<long long>(rs.batcher.batcher.requests),
+                static_cast<long long>(rs.batcher.batcher.batches),
+                rs.batcher.batcher.avg_batch, rs.batcher.batcher.latency.p99_ms,
+                static_cast<long long>(rs.batcher.shed));
+  }
+  int client_sheds = 0;
+  for (const int s : sheds) client_sheds += s;
+  std::printf("  aggregate: %lld answered (%.0f QPS), %lld shed, %lld "
+              "rejected, p50 %.2f ms, p99 %.2f ms\n",
+              static_cast<long long>(shard_stats.requests), shard_stats.qps,
+              static_cast<long long>(shard_stats.shed),
+              static_cast<long long>(shard_stats.rejected),
+              shard_stats.latency.p50_ms, shard_stats.latency.p99_ms);
+  std::printf("  clients observed %d DeadlineExceeded - must equal the "
+              "server-side shed count\n", client_sheds);
+  return shard_stats.requests > 0 && shard_stats.shed > 0 &&
+                 client_sheds == static_cast<int>(shard_stats.shed)
+             ? 0
+             : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dsx;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tune") == 0) return run_tuning_demo();
+    if (std::strcmp(argv[i], "--shard") == 0) {
+      const int replicas = i + 1 < argc ? std::atoi(argv[i + 1]) : 2;
+      return run_shard_demo(replicas > 0 ? replicas : 2);
+    }
   }
 
   // --- 1. train a tiny MobileNet-SCC on synthetic CIFAR ---------------------

@@ -3,6 +3,7 @@
 #
 #   scripts/ci.sh              - configure, build, ctest, smoke benches
 #                                (writes BENCH_serve_throughput.json,
+#                                 BENCH_shard_scaling.json,
 #                                 BENCH_micro_kernels.json, BENCH_tune.json)
 #   scripts/ci.sh --fast       - skip the smoke benches (tier-1 only)
 #   scripts/ci.sh --sanitize   - additionally build Debug + ASan/UBSan in
@@ -30,11 +31,18 @@ echo "== build =="
 cmake --build build -j"${JOBS}"
 
 echo "== tier-1 tests =="
-ctest --test-dir build --output-on-failure -j"${JOBS}"
+# --timeout backstops the per-test TIMEOUT property from CMakeLists: a
+# deadlocked batcher fails fast instead of hanging CI.
+ctest --test-dir build --output-on-failure -j"${JOBS}" --timeout 300
 
 if [[ "${FAST}" != "1" ]]; then
   echo "== serve throughput (smoke, json) =="
   ./build/bench_serve_throughput --smoke --json
+
+  echo "== shard scaling (smoke, json) =="
+  # Sweeps replicas {1,2,4}; asserts modeled R=2 >= 1.3x R=1 and that
+  # measured R=2 is not slower than R=1 (see bench/shard_scaling.cpp).
+  ./build/bench_shard_scaling --smoke --json
 
   if [[ -x build/bench_micro_kernels ]]; then
     echo "== kernel tuning (json) =="
@@ -52,7 +60,7 @@ if [[ "${SANITIZE}" == "1" ]]; then
   cmake --build build-sanitize -j"${JOBS}"
 
   echo "== tier-1 tests (ASan+UBSan) =="
-  ctest --test-dir build-sanitize --output-on-failure -j"${JOBS}"
+  ctest --test-dir build-sanitize --output-on-failure -j"${JOBS}" --timeout 600
 fi
 
 echo "CI OK"

@@ -27,11 +27,11 @@ void parallel_for(int64_t total, const std::function<void(int64_t)>& body,
   DSX_REQUIRE(total >= 0, "parallel_for: negative range");
   grain = effective_grain(grain);
   if (total == 0) return;
-  if (total < grain || ThreadPool::global().size() == 1) {
+  if (total < grain || ThreadPool::current().size() == 1) {
     for (int64_t i = 0; i < total; ++i) body(i);
     return;
   }
-  ThreadPool::global().run_chunks(total, [&](int64_t b, int64_t e) {
+  ThreadPool::current().run_chunks(total, [&](int64_t b, int64_t e) {
     for (int64_t i = b; i < e; ++i) body(i);
   });
 }
@@ -42,11 +42,11 @@ void parallel_for_chunks(int64_t total,
   DSX_REQUIRE(total >= 0, "parallel_for_chunks: negative range");
   grain = effective_grain(grain);
   if (total == 0) return;
-  if (total < grain || ThreadPool::global().size() == 1) {
+  if (total < grain || ThreadPool::current().size() == 1) {
     body(0, total);
     return;
   }
-  ThreadPool::global().run_chunks(total, body);
+  ThreadPool::current().run_chunks(total, body);
 }
 
 void parallel_for_2d(int64_t rows, int64_t cols,

@@ -1,6 +1,10 @@
 // Structured parallel loops over index ranges.
 //
-// parallel_for(n, f) runs f(i) for i in [0, n) on the global pool;
+// parallel_for(n, f) runs f(i) for i in [0, n) on ThreadPool::current() -
+// the lane pool bound by a device::PoolScope when one is active (dsx::shard
+// replica lanes), else the process-global pool. Chunking never changes
+// results: every output index is computed by exactly one thread, so pool
+// size only affects scheduling, not floating-point evaluation order.
 // parallel_for_2d flattens a rectangular space. `grain` lets callers keep
 // tiny loops serial (thread hand-off on a 2-core host costs more than the
 // work it would save).

@@ -115,4 +115,19 @@ ThreadPool& ThreadPool::global() {
   return pool;
 }
 
+namespace {
+// Lane binding for the calling thread (see PoolScope); null = global pool.
+thread_local ThreadPool* t_current_pool = nullptr;
+}  // namespace
+
+ThreadPool& ThreadPool::current() {
+  return t_current_pool != nullptr ? *t_current_pool : global();
+}
+
+PoolScope::PoolScope(ThreadPool& pool) : saved_(t_current_pool) {
+  t_current_pool = &pool;
+}
+
+PoolScope::~PoolScope() { t_current_pool = saved_; }
+
 }  // namespace dsx::device

@@ -37,6 +37,14 @@ class ThreadPool {
   /// hardware concurrency.
   static ThreadPool& global();
 
+  /// Pool the calling thread should run kernels on: the pool bound by the
+  /// innermost PoolScope on this thread, else global(). parallel_for and
+  /// the launch_kernel entry points route through this, which is how
+  /// dsx::shard gives every replica its own execution lane - a replica
+  /// worker binds its lane pool and every kernel it launches lands there
+  /// instead of the shared global pool.
+  static ThreadPool& current();
+
  private:
   struct Task {
     const std::function<void(int64_t, int64_t)>* fn = nullptr;
@@ -55,6 +63,22 @@ class ThreadPool {
   unsigned pending_ = 0;
   bool stop_ = false;
   std::exception_ptr first_error_;
+};
+
+/// RAII binding of a pool as ThreadPool::current() for the calling thread.
+/// Scopes nest; each restores the previous binding. The binding is
+/// thread-local, so one replica lane's scope never leaks into concurrent
+/// lanes or into the pool's own worker threads.
+class PoolScope {
+ public:
+  explicit PoolScope(ThreadPool& pool);
+  ~PoolScope();
+
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  ThreadPool* saved_;
 };
 
 }  // namespace dsx::device

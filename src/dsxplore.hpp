@@ -66,7 +66,11 @@
 // multi-model routing.
 #include "serve/batcher.hpp"
 #include "serve/compiled_model.hpp"
+#include "serve/request.hpp"
 #include "serve/server.hpp"
+
+// Replicated, priority/deadline-aware sharded serving.
+#include "shard/shard.hpp"
 
 // Design-space exploration.
 #include "explore/design_space.hpp"

@@ -26,6 +26,9 @@ class Identity final : public Layer {
   Tensor backward(const Tensor& doutput) override { return doutput; }
   Shape output_shape(const Shape& input) const override { return input; }
   std::string name() const override { return "Identity"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Identity>();
+  }
 };
 
 /// Folds every (Conv2d | DepthwiseConv2d | SCCConv) -> BatchNorm2d pair found

@@ -68,6 +68,14 @@ scc::LayerCost Sequential::cost(const Shape& input) const {
   return total;
 }
 
+std::unique_ptr<Sequential> Sequential::clone_sequential() const {
+  auto copy = std::make_unique<Sequential>();
+  for (const auto& l : layers_) copy->add(l->clone());
+  return copy;
+}
+
+std::unique_ptr<Layer> Sequential::clone() const { return clone_sequential(); }
+
 void Sequential::for_each_layer(const std::function<void(Layer&)>& fn) {
   for (auto& l : layers_) {
     fn(*l);
@@ -143,6 +151,11 @@ Tensor Residual::backward(const Tensor& doutput) {
     add_(dx, dsum);
   }
   return dx;
+}
+
+std::unique_ptr<Layer> Residual::clone() const {
+  return std::make_unique<Residual>(
+      main_->clone(), shortcut_ != nullptr ? shortcut_->clone() : nullptr);
 }
 
 void Residual::collect_params(std::vector<Param*>& out) {

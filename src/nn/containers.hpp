@@ -39,6 +39,10 @@ class Sequential final : public Layer {
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override { return "Sequential"; }
+  std::unique_ptr<Layer> clone() const override;
+  /// Typed deep copy (clone() erases to Layer; replica compilation needs
+  /// the Sequential type back).
+  std::unique_ptr<Sequential> clone_sequential() const;
 
   /// Applies fn to every layer recursively (containers descend).
   void for_each_layer(const std::function<void(Layer&)>& fn);
@@ -59,6 +63,7 @@ class Residual final : public Layer {
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override { return "Residual"; }
+  std::unique_ptr<Layer> clone() const override;
 
   Layer& main() { return *main_; }
   Layer* shortcut() { return shortcut_.get(); }

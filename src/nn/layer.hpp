@@ -40,6 +40,13 @@ class Layer {
     return forward(input, /*training=*/false);
   }
 
+  /// Deep, independent copy: configuration and parameters are duplicated
+  /// into fresh storage; transient training caches and baked tuning sites
+  /// are NOT carried over (a clone starts cold). dsx::shard relies on this
+  /// to replicate one frozen serving plan into independently executable
+  /// replicas, so every concrete layer must implement it.
+  virtual std::unique_ptr<Layer> clone() const = 0;
+
   /// Appends this layer's parameters (no-op for stateless layers).
   virtual void collect_params(std::vector<Param*>& out) { (void)out; }
 

@@ -1,5 +1,7 @@
 #include "nn/layers_basic.hpp"
 
+#include <cstring>
+
 #include "common/check.hpp"
 #include "ops/activations.hpp"
 #include "ops/linear.hpp"
@@ -111,6 +113,16 @@ Tensor Linear::backward(const Tensor& doutput) {
   return g.dinput;
 }
 
+std::unique_ptr<Layer> Linear::clone() const {
+  auto copy = std::unique_ptr<Linear>(new Linear());
+  copy->in_features_ = in_features_;
+  copy->out_features_ = out_features_;
+  copy->has_bias_ = has_bias_;
+  copy->weight_ = clone_param(weight_);
+  if (has_bias_) copy->bias_ = clone_param(bias_);
+  return copy;
+}
+
 void Linear::collect_params(std::vector<Param*>& out) {
   out.push_back(&weight_);
   if (has_bias_) out.push_back(&bias_);
@@ -132,6 +144,12 @@ scc::LayerCost Linear::cost(const Shape& input) const {
 Dropout::Dropout(float p, uint64_t seed) : p_(p), rng_(seed) {
   DSX_REQUIRE(p >= 0.0f && p < 1.0f, "Dropout: p must be in [0, 1), got "
                                          << p);
+}
+
+std::unique_ptr<Layer> Dropout::clone() const {
+  auto copy = std::make_unique<Dropout>(p_, /*seed=*/0);
+  copy->rng_ = rng_;  // carry the stream state so behavior is reproducible
+  return copy;
 }
 
 Tensor Dropout::forward(const Tensor& input, bool training) {
@@ -183,6 +201,21 @@ Tensor BatchNorm2d::backward(const Tensor& doutput) {
   add_grad_inplace(gamma_.grad, g.dgamma);
   add_grad_inplace(beta_.grad, g.dbeta);
   return g.dinput;
+}
+
+std::unique_ptr<Layer> BatchNorm2d::clone() const {
+  auto copy = std::make_unique<BatchNorm2d>(channels_);
+  // Copy element data into the freshly constructed state tensors instead of
+  // reassigning them: gamma/beta share storage with the Param views, and a
+  // tensor reassignment would break that aliasing.
+  const auto copy_into = [](Tensor& dst, const Tensor& src) {
+    std::memcpy(dst.data(), src.data(), static_cast<size_t>(src.size_bytes()));
+  };
+  copy_into(copy->state_.gamma, state_.gamma);
+  copy_into(copy->state_.beta, state_.beta);
+  copy_into(copy->state_.running_mean, state_.running_mean);
+  copy_into(copy->state_.running_var, state_.running_var);
+  return copy;
 }
 
 void BatchNorm2d::collect_params(std::vector<Param*>& out) {

@@ -16,6 +16,9 @@ class ReLU final : public Layer {
   Tensor backward(const Tensor& doutput) override;
   Shape output_shape(const Shape& input) const override { return input; }
   std::string name() const override { return "ReLU"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>();
+  }
 
  private:
   Tensor cached_input_;
@@ -28,6 +31,9 @@ class MaxPool2d final : public Layer {
   Tensor backward(const Tensor& doutput) override;
   Shape output_shape(const Shape& input) const override;
   std::string name() const override { return "MaxPool2d"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(args_.kernel, args_.stride);
+  }
 
  private:
   PoolArgs args_;
@@ -41,6 +47,9 @@ class GlobalAvgPool final : public Layer {
   Tensor backward(const Tensor& doutput) override;
   Shape output_shape(const Shape& input) const override;
   std::string name() const override { return "GlobalAvgPool"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>();
+  }
 
  private:
   Shape cached_input_shape_;
@@ -53,6 +62,9 @@ class Flatten final : public Layer {
   Tensor backward(const Tensor& doutput) override;
   Shape output_shape(const Shape& input) const override;
   std::string name() const override { return "Flatten"; }
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>();
+  }
 
  private:
   Shape cached_input_shape_;
@@ -68,11 +80,14 @@ class Linear final : public Layer {
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override { return "Linear"; }
+  std::unique_ptr<Layer> clone() const override;
 
  private:
-  int64_t in_features_, out_features_;
+  Linear() = default;  // clone() only
+
+  int64_t in_features_ = 0, out_features_ = 0;
   Param weight_, bias_;
-  bool has_bias_;
+  bool has_bias_ = false;
   Tensor cached_input_;
 };
 
@@ -86,6 +101,7 @@ class Dropout final : public Layer {
   Tensor backward(const Tensor& doutput) override;
   Shape output_shape(const Shape& input) const override { return input; }
   std::string name() const override { return "Dropout"; }
+  std::unique_ptr<Layer> clone() const override;
 
  private:
   float p_;
@@ -102,6 +118,7 @@ class BatchNorm2d final : public Layer {
   Shape output_shape(const Shape& input) const override { return input; }
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override { return "BatchNorm2d"; }
+  std::unique_ptr<Layer> clone() const override;
 
   int64_t channels() const { return channels_; }
   /// Learned affine + running statistics (read by BN folding).

@@ -56,6 +56,18 @@ Tensor Conv2d::backward(const Tensor& doutput) {
   return g.dinput;
 }
 
+std::unique_ptr<Layer> Conv2d::clone() const {
+  auto copy = std::unique_ptr<Conv2d>(new Conv2d());
+  copy->in_channels_ = in_channels_;
+  copy->out_channels_ = out_channels_;
+  copy->kernel_ = kernel_;
+  copy->args_ = args_;
+  copy->has_bias_ = has_bias_;
+  copy->weight_ = clone_param(weight_);
+  if (has_bias_) copy->bias_ = clone_param(bias_);
+  return copy;
+}
+
 void Conv2d::ensure_bias() {
   if (has_bias_) return;
   bias_ = Param::create("conv.bias", Tensor(Shape{out_channels_}),
@@ -124,6 +136,17 @@ Tensor DepthwiseConv2d::backward(const Tensor& doutput) {
   add_grad_inplace(weight_.grad, g.dweight);
   if (has_bias_) add_grad_inplace(bias_.grad, g.dbias);
   return g.dinput;
+}
+
+std::unique_ptr<Layer> DepthwiseConv2d::clone() const {
+  auto copy = std::unique_ptr<DepthwiseConv2d>(new DepthwiseConv2d());
+  copy->channels_ = channels_;
+  copy->kernel_ = kernel_;
+  copy->args_ = args_;
+  copy->has_bias_ = has_bias_;
+  copy->weight_ = clone_param(weight_);
+  if (has_bias_) copy->bias_ = clone_param(bias_);
+  return copy;
 }
 
 void DepthwiseConv2d::ensure_bias() {
@@ -264,6 +287,24 @@ Tensor SCCConv::backward(const Tensor& doutput) {
   add_grad_inplace(weight_.grad, g.dweight);
   if (has_bias_) add_grad_inplace(bias_.grad, g.dbias);
   return g.dinput;
+}
+
+SCCConv::SCCConv(const scc::SCCConfig& cfg, SCCImpl impl, CloneInit)
+    : cfg_(cfg), map_(cfg), impl_(impl), has_bias_(false) {
+  set_impl(impl);
+}
+
+std::unique_ptr<Layer> SCCConv::clone() const {
+  // The CloneInit constructor rebuilds the channel-window map and the
+  // composition backends from cfg_/impl_ without touching weights; only
+  // the learned tensors need copying. The baked tuning site is NOT carried
+  // over - a replica re-resolves it from the tuning cache during its own
+  // compile.
+  auto copy = std::unique_ptr<SCCConv>(new SCCConv(cfg_, impl_, CloneInit{}));
+  copy->has_bias_ = has_bias_;
+  copy->weight_ = clone_param(weight_);
+  if (has_bias_) copy->bias_ = clone_param(bias_);
+  return copy;
 }
 
 void SCCConv::ensure_bias() {

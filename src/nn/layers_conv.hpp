@@ -38,6 +38,7 @@ class Conv2d final : public Layer {
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
 
   // Accessors for inference-time transforms (BN folding).
   int64_t out_channels() const { return out_channels_; }
@@ -52,9 +53,11 @@ class Conv2d final : public Layer {
   void reset_tuning() { tuned_.reset(); }
 
  private:
-  int64_t in_channels_, out_channels_, kernel_;
+  Conv2d() = default;  // clone() only: fields assigned, no weight init
+
+  int64_t in_channels_ = 0, out_channels_ = 0, kernel_ = 0;
   Conv2dArgs args_;
-  bool has_bias_;
+  bool has_bias_ = false;
   Param weight_, bias_;
   Tensor cached_input_;
   tune::ConvSite tuned_;
@@ -72,6 +75,7 @@ class DepthwiseConv2d final : public Layer {
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override { return "DepthwiseConv2d"; }
+  std::unique_ptr<Layer> clone() const override;
 
   int64_t out_channels() const { return channels_; }
   Param& weight_param() { return weight_; }
@@ -79,9 +83,11 @@ class DepthwiseConv2d final : public Layer {
   void ensure_bias();
 
  private:
-  int64_t channels_, kernel_;
+  DepthwiseConv2d() = default;  // clone() only
+
+  int64_t channels_ = 0, kernel_ = 0;
   DepthwiseArgs args_;
-  bool has_bias_;
+  bool has_bias_ = false;
   Param weight_, bias_;
   Tensor cached_input_;
 };
@@ -115,6 +121,7 @@ class SCCConv final : public Layer {
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
 
   int64_t out_channels() const { return cfg_.out_channels; }
   Param& weight_param() { return weight_; }
@@ -127,6 +134,11 @@ class SCCConv final : public Layer {
   void reset_tuning() { tuned_.reset(); }
 
  private:
+  /// clone() only: builds the map and composition backends from the config
+  /// without initializing weights (the clone overwrites them anyway).
+  struct CloneInit {};
+  SCCConv(const scc::SCCConfig& cfg, SCCImpl impl, CloneInit);
+
   scc::SCCConfig cfg_;
   scc::ChannelWindowMap map_;
   SCCImpl impl_;

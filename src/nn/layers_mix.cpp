@@ -49,6 +49,12 @@ std::string ShiftConv2d::name() const {
   return os.str();
 }
 
+std::unique_ptr<Layer> ShiftConv2d::clone() const {
+  auto copy = std::make_unique<ShiftConv2d>(channels_, kernel_, stride_);
+  copy->shifts_ = shifts_;  // preserve the drawn displacement pattern
+  return copy;
+}
+
 ChannelShuffle::ChannelShuffle(int64_t groups) : groups_(groups) {
   DSX_REQUIRE(groups >= 1, "ChannelShuffle: groups must be >= 1");
 }

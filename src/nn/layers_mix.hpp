@@ -27,6 +27,7 @@ class ShiftConv2d final : public Layer {
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override;
 
  private:
   int64_t channels_, kernel_, stride_;
@@ -45,6 +46,9 @@ class ChannelShuffle final : public Layer {
   Tensor backward(const Tensor& doutput) override;
   Shape output_shape(const Shape& input) const override;
   std::string name() const override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ChannelShuffle>(groups_);
+  }
 
  private:
   int64_t groups_;

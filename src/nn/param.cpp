@@ -15,6 +15,10 @@ Param Param::create(std::string name, Tensor value, bool decay) {
   return p;
 }
 
+Param clone_param(const Param& p) {
+  return Param::create(p.name, p.value.clone(), p.decay);
+}
+
 void Param::zero_grad() {
   if (grad.defined()) grad.zero();
 }

@@ -20,6 +20,11 @@ struct Param {
   void zero_grad();
 };
 
+/// Deep copy: fresh storage for the value and a zeroed gradient. Plain
+/// Param copies share tensor storage (Tensor copies are shallow), so
+/// Layer::clone uses this to give replicas independent parameters.
+Param clone_param(const Param& p);
+
 /// Zeroes every gradient in the list.
 void zero_grads(const std::vector<Param*>& params);
 

@@ -20,6 +20,16 @@ QuantSCCConv::QuantSCCConv(nn::SCCConv& source, float input_scale)
   if (has_bias_) bias_ = source.bias_param()->value.clone();
 }
 
+std::unique_ptr<nn::Layer> QuantSCCConv::clone() const {
+  // Member-wise copy duplicates the value-type members (config, map, int8
+  // weight bank); the float bias tensor is shallow-shared and needs an
+  // explicit deep copy, and the quantization scratch must start fresh.
+  auto copy = std::unique_ptr<QuantSCCConv>(new QuantSCCConv(*this));
+  if (copy->bias_.defined()) copy->bias_ = bias_.clone();
+  copy->qin_ = {};
+  return copy;
+}
+
 Tensor QuantSCCConv::forward(const Tensor& input, bool training) {
   DSX_REQUIRE(!training, "QuantSCCConv is inference-only (training forward "
                          "requested)");

@@ -45,8 +45,11 @@ class QuantSCCConv final : public nn::Layer {
   Shape output_shape(const Shape& input) const override;
   scc::LayerCost cost(const Shape& input) const override;
   std::string name() const override;
+  std::unique_ptr<nn::Layer> clone() const override;
 
  private:
+  QuantSCCConv(const QuantSCCConv&) = default;  // clone() only
+
   scc::SCCConfig cfg_;
   scc::ChannelWindowMap map_;
   float input_scale_;

@@ -1,173 +1,47 @@
 #include "serve/batcher.hpp"
 
-#include <algorithm>
-#include <cstring>
-#include <utility>
-#include <vector>
+#include <stdexcept>
+#include <string>
 
 #include "common/check.hpp"
 
 namespace dsx::serve {
 
+void validate_batcher_options(const BatcherOptions& opts) {
+  validate_batching_limits("BatcherOptions", opts.max_batch, opts.max_delay,
+                           opts.queue_capacity);
+  if (opts.replicas < 1) {
+    throw std::invalid_argument("BatcherOptions: replicas must be >= 1, got " +
+                                std::to_string(opts.replicas));
+  }
+}
+
 namespace {
 
-/// Process-wide lock serializing CompiledModel::run across all batchers: the
-/// global ThreadPool models one device, and its run_chunks is non-reentrant.
-std::mutex& execution_mutex() {
-  static std::mutex mu;
-  return mu;
+shard::DeadlineBatcherOptions to_deadline_options(const BatcherOptions& opts) {
+  validate_batcher_options(opts);
+  // replicas only takes effect through InferenceServer::register_model
+  // (which builds a ReplicaSet and never constructs a DynamicBatcher for
+  // it). Silently serving unsharded here would be a mysterious-flat-
+  // throughput misconfiguration, so reject it loudly.
+  DSX_REQUIRE(opts.replicas == 1,
+              "DynamicBatcher: replicas = "
+                  << opts.replicas
+                  << " has no effect on a directly constructed batcher; "
+                     "register the model with InferenceServer to shard");
+  shard::DeadlineBatcherOptions dopts;
+  dopts.max_batch = opts.max_batch;
+  dopts.max_delay = opts.max_delay;
+  dopts.queue_capacity = opts.queue_capacity;
+  // lane stays null: global pool + process-wide execution lock. With no
+  // per-request deadlines or priorities the EDF order reduces to the seq
+  // tie-break, i.e. plain FIFO.
+  return dopts;
 }
 
 }  // namespace
 
 DynamicBatcher::DynamicBatcher(CompiledModel& model, BatcherOptions opts)
-    : model_(model),
-      max_batch_(opts.max_batch > 0
-                     ? std::min(opts.max_batch, model.max_batch())
-                     : model.max_batch()),
-      max_delay_(opts.max_delay),
-      start_(std::chrono::steady_clock::now()) {
-  worker_ = std::thread([this] { worker_loop(); });
-}
-
-DynamicBatcher::~DynamicBatcher() { stop(); }
-
-std::future<Tensor> DynamicBatcher::submit(const Tensor& image) {
-  const Shape& img = model_.image_shape();
-  Tensor normalized;
-  if (image.shape().rank() == 3) {
-    DSX_REQUIRE(image.shape() == img,
-                "submit: image shape " << image.shape().to_string()
-                                       << ", model expects "
-                                       << img.to_string());
-    normalized = image.reshape(model_.input_shape(1));
-  } else {
-    DSX_REQUIRE(image.shape() == model_.input_shape(1),
-                "submit: image shape " << image.shape().to_string()
-                                       << ", model expects "
-                                       << model_.input_shape(1).to_string());
-    normalized = image;
-  }
-
-  Request req;
-  req.image = std::move(normalized);  // shallow: shares the caller's storage
-  req.enqueued = std::chrono::steady_clock::now();
-  std::future<Tensor> future = req.promise.get_future();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    DSX_REQUIRE(!stopping_, "submit: batcher is stopped");
-    queue_.push_back(std::move(req));
-  }
-  cv_.notify_all();
-  return future;
-}
-
-void DynamicBatcher::stop() {
-  std::thread to_join;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
-    // Claim the thread under the lock: concurrent stop() calls must not
-    // both join the same std::thread.
-    to_join = std::move(worker_);
-  }
-  cv_.notify_all();
-  if (to_join.joinable()) to_join.join();
-}
-
-void DynamicBatcher::worker_loop() {
-  for (;;) {
-    std::deque<Request> batch;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stopping and drained
-      // Hold the oldest request at most max_delay_ while the batch fills;
-      // stop-requests and a full batch both cut the wait short.
-      const auto deadline = queue_.front().enqueued + max_delay_;
-      cv_.wait_until(lock, deadline, [&] {
-        return stopping_ ||
-               static_cast<int64_t>(queue_.size()) >= max_batch_;
-      });
-      const int64_t take =
-          std::min<int64_t>(static_cast<int64_t>(queue_.size()), max_batch_);
-      for (int64_t i = 0; i < take; ++i) {
-        batch.push_back(std::move(queue_.front()));
-        queue_.pop_front();
-      }
-    }
-    execute(batch);
-  }
-}
-
-void DynamicBatcher::execute(std::deque<Request>& batch) {
-  const int64_t n = static_cast<int64_t>(batch.size());
-  try {
-    // Assemble the micro-batch. Per-image results are bit-identical to
-    // batch-1 execution: every kernel in the plan processes images
-    // independently.
-    Tensor images(model_.input_shape(n));
-    const int64_t image_floats = model_.image_shape().numel();
-    for (int64_t i = 0; i < n; ++i) {
-      std::memcpy(images.data() + i * image_floats,
-                  batch[static_cast<size_t>(i)].image.data(),
-                  static_cast<size_t>(image_floats) * sizeof(float));
-    }
-
-    Tensor out;
-    {
-      std::lock_guard<std::mutex> lock(execution_mutex());
-      out = model_.run(images);
-    }
-
-    // Split [n, ...] into per-request [1, ...] answers.
-    Shape row_shape = out.shape();
-    DSX_CHECK(row_shape.rank() >= 1 && row_shape.dim(0) == n,
-              "batch output shape " << row_shape.to_string());
-    std::vector<int64_t> dims;
-    dims.push_back(1);
-    for (int r = 1; r < row_shape.rank(); ++r) dims.push_back(row_shape.dim(r));
-    const int64_t row_floats = row_shape.numel() / n;
-    // Publish stats before fulfilling any promise: a client that wakes on
-    // its future and immediately reads stats() must already see this batch.
-    const auto now = std::chrono::steady_clock::now();
-    for (const Request& req : batch) {
-      latency_.record_ns(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                             now - req.enqueued)
-                             .count());
-    }
-    answered_.fetch_add(n, std::memory_order_relaxed);
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    for (int64_t i = 0; i < n; ++i) {
-      Tensor row{Shape(dims)};
-      std::memcpy(row.data(), out.data() + i * row_floats,
-                  static_cast<size_t>(row_floats) * sizeof(float));
-      batch[static_cast<size_t>(i)].promise.set_value(std::move(row));
-    }
-  } catch (...) {
-    const std::exception_ptr err = std::current_exception();
-    answered_.fetch_add(n, std::memory_order_relaxed);
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    for (Request& req : batch) {
-      req.promise.set_exception(err);
-    }
-  }
-}
-
-BatcherStats DynamicBatcher::stats() const {
-  BatcherStats s;
-  s.requests = answered_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.avg_batch = s.batches > 0
-                    ? static_cast<double>(s.requests) /
-                          static_cast<double>(s.batches)
-                    : 0.0;
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
-          .count();
-  s.qps = elapsed > 0.0 ? static_cast<double>(s.requests) / elapsed : 0.0;
-  s.latency = latency_.snapshot();
-  return s;
-}
+    : impl_(model, to_deadline_options(opts)) {}
 
 }  // namespace dsx::serve

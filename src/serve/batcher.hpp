@@ -10,18 +10,22 @@
 // Every successfully submitted request is answered exactly once: stop() (and
 // the destructor) drain the queue before joining the worker, and a request
 // whose batch throws receives the exception through its future.
+//
+// DynamicBatcher is the FIFO face of the batching engine: it delegates to
+// shard::DeadlineBatcher configured with no deadlines, no priorities and no
+// execution lane - which degenerates to exactly FIFO coalescing on the
+// shared global pool under the process-wide execution lock. One
+// implementation, two surfaces; the scheduling-aware surface lives in
+// shard/deadline_batcher.hpp.
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <future>
-#include <mutex>
-#include <thread>
 
-#include "device/atomic_stats.hpp"
 #include "serve/compiled_model.hpp"
+#include "serve/request.hpp"
+#include "shard/deadline_batcher.hpp"
 
 namespace dsx::serve {
 
@@ -32,65 +36,61 @@ struct BatcherOptions {
   /// How long the worker may hold the oldest queued request while waiting
   /// for the batch to fill.
   std::chrono::microseconds max_delay{2000};
+  /// Bounded-queue admission control: submit() throws QueueFull once this
+  /// many requests are waiting. 0 = unbounded (the legacy behavior).
+  int64_t queue_capacity = 0;
+  /// Model replica count. 1 serves through this single batcher; > 1 makes
+  /// InferenceServer::register_model shard the model across that many
+  /// independently compiled replicas via dsx::shard::ReplicaSet (each with
+  /// its own batcher and execution lane).
+  int replicas = 1;
 };
 
-struct BatcherStats {
-  int64_t requests = 0;  // answered requests
-  int64_t batches = 0;   // executed micro-batches
-  double avg_batch = 0.0;
-  double qps = 0.0;  // answered requests / seconds since construction
-  device::LatencyStats::Snapshot latency;  // per-request submit->answer wall time
-};
+/// Throws std::invalid_argument on out-of-range fields (negative max_delay,
+/// max_batch, queue_capacity, or replicas < 1). Shared by every consumer of
+/// BatcherOptions (DynamicBatcher, InferenceServer).
+void validate_batcher_options(const BatcherOptions& opts);
 
 class DynamicBatcher {
  public:
-  /// `model` must outlive the batcher. All batchers in the process share one
-  /// execution lock around CompiledModel::run (the thread pool stands in for
-  /// a single GPU, and its run_chunks is non-reentrant).
+  /// `model` must outlive the batcher. All DynamicBatchers in the process
+  /// share one execution lock around CompiledModel::run (they execute on the
+  /// global thread pool, which stands in for a single GPU, and its
+  /// run_chunks is non-reentrant). Throws std::invalid_argument on invalid
+  /// `opts`.
   DynamicBatcher(CompiledModel& model, BatcherOptions opts = {});
-  ~DynamicBatcher();
 
   DynamicBatcher(const DynamicBatcher&) = delete;
   DynamicBatcher& operator=(const DynamicBatcher&) = delete;
 
   /// Enqueues one image ([C,H,W] or [1,C,H,W]) and returns a future for its
-  /// [1, ...] output. Thread-safe. Throws if the batcher is stopped.
-  std::future<Tensor> submit(const Tensor& image);
+  /// [1, ...] output. Thread-safe. Throws if the batcher is stopped, or
+  /// QueueFull when a bounded queue is at capacity.
+  std::future<Tensor> submit(const Tensor& image) { return impl_.submit(image); }
+
+  /// Priority/deadline-aware submission (the ROADMAP's
+  /// "priorities/deadlines in DynamicBatcher"): forwarded to the underlying
+  /// engine, so single-replica models get EDF ordering and deadline
+  /// shedding too. Shed/rejected counters are visible via deadline_stats().
+  std::future<Tensor> submit(const Tensor& image,
+                             shard::SubmitOptions sopts) {
+    return impl_.submit(image, sopts);
+  }
 
   /// Blocking convenience wrapper around submit().
   Tensor infer(const Tensor& image) { return submit(image).get(); }
 
   /// Stops accepting work, drains the queue, joins the worker. Idempotent.
-  void stop();
+  void stop() { impl_.stop(); }
 
-  BatcherStats stats() const;
+  BatcherStats stats() const { return impl_.stats().batcher; }
+
+  /// Full engine counters (shed, rejected, queue depth) for callers using
+  /// the deadline-aware submit on a single batcher.
+  shard::DeadlineBatcherStats deadline_stats() const { return impl_.stats(); }
 
  private:
-  struct Request {
-    Tensor image;  // normalized to [1, C, H, W]
-    std::promise<Tensor> promise;
-    std::chrono::steady_clock::time_point enqueued;
-  };
-
-  void worker_loop();
-  void execute(std::deque<Request>& batch);
-
-  CompiledModel& model_;
-  int64_t max_batch_;
-  std::chrono::microseconds max_delay_;
-
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Request> queue_;
-  bool stopping_ = false;
-
-  // Stats (atomic so stats() never contends with the hot path).
-  std::atomic<int64_t> answered_{0};
-  std::atomic<int64_t> batches_{0};
-  device::LatencyStats latency_;
-  std::chrono::steady_clock::time_point start_;
-
-  std::thread worker_;
+  shard::DeadlineBatcher impl_;
 };
 
 }  // namespace dsx::serve

@@ -131,6 +131,21 @@ void CompiledModel::run_tuning_pass() {
   });
 }
 
+std::unique_ptr<CompiledModel> CompiledModel::clone_replica(
+    std::optional<tune::Mode> tuning) const {
+  CompileOptions opts = opts_;
+  if (tuning.has_value()) {
+    opts.tuning = *tuning;
+  } else if (opts.tuning == tune::Mode::kTune) {
+    opts.tuning = tune::Mode::kCached;  // never measure by default
+  }
+  // Re-running the compile on the clone is cheap: BN is already folded (the
+  // fold is a no-op), SCC layers are already fused, and a cache-hitting
+  // tuning pass resolves every call site without measuring.
+  return std::make_unique<CompiledModel>(model_->clone_sequential(),
+                                         image_shape_, opts);
+}
+
 Shape CompiledModel::input_shape(int64_t batch) const {
   return make_nchw(batch, image_shape_.dim(0), image_shape_.dim(1),
                    image_shape_.dim(2));

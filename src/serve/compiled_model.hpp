@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,21 @@ class CompiledModel {
   /// Returns an owning tensor (arena memory is recycled between calls).
   /// NOT thread-safe - see file comment.
   Tensor run(const Tensor& batch);
+
+  /// Compiles an independently executable replica of this plan: the frozen
+  /// model is deep-copied (Layer::clone) and recompiled with the same
+  /// options. By default kTune demotes to kCached - the replica re-resolves
+  /// its kernel choices from the tuning cache the original's compile
+  /// populated and never measures. Passing `tuning` overrides the replica's
+  /// mode instead: shard::ReplicaSet compiles clones under their execution
+  /// lane's PoolScope with the original mode preserved, so a kTune
+  /// prototype's fleet measures cache misses exactly once per distinct lane
+  /// width (the tuning ProblemKey includes the executing pool's thread
+  /// count) and later clones warm-start from those records. Outputs are
+  /// bit-identical to this model's either way (every registered candidate
+  /// is bit-identical by contract).
+  std::unique_ptr<CompiledModel> clone_replica(
+      std::optional<tune::Mode> tuning = std::nullopt) const;
 
  private:
   /// Resolves per-layer kernel choices by running one tuning dry run at

@@ -1,0 +1,132 @@
+#include "serve/request.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dsx::serve {
+
+Request make_request(const CompiledModel& model, const Tensor& image) {
+  const Shape& img = model.image_shape();
+  Tensor normalized;
+  if (image.shape().rank() == 3) {
+    DSX_REQUIRE(image.shape() == img,
+                "submit: image shape " << image.shape().to_string()
+                                       << ", model expects "
+                                       << img.to_string());
+    normalized = image.reshape(model.input_shape(1));
+  } else {
+    DSX_REQUIRE(image.shape() == model.input_shape(1),
+                "submit: image shape " << image.shape().to_string()
+                                       << ", model expects "
+                                       << model.input_shape(1).to_string());
+    normalized = image;
+  }
+  Request req;
+  req.image = std::move(normalized);  // shallow: shares the caller's storage
+  req.enqueued = std::chrono::steady_clock::now();
+  return req;
+}
+
+void validate_batching_limits(const char* what, int64_t max_batch,
+                              std::chrono::microseconds max_delay,
+                              int64_t queue_capacity) {
+  const std::string prefix(what);
+  if (max_batch < 0) {
+    throw std::invalid_argument(prefix + ": max_batch must be >= 0, got " +
+                                std::to_string(max_batch));
+  }
+  if (max_delay < std::chrono::microseconds::zero()) {
+    throw std::invalid_argument(prefix + ": max_delay must be >= 0, got " +
+                                std::to_string(max_delay.count()) + "us");
+  }
+  if (queue_capacity < 0) {
+    throw std::invalid_argument(prefix +
+                                ": queue_capacity must be >= 0, got " +
+                                std::to_string(queue_capacity));
+  }
+}
+
+std::mutex& execution_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+BatchCore::BatchCore(CompiledModel& model, device::LatencyStats* extra_latency)
+    : model_(model),
+      extra_latency_(extra_latency),
+      start_(std::chrono::steady_clock::now()) {}
+
+void BatchCore::execute(std::deque<Request>& batch,
+                        const std::function<Tensor(const Tensor&)>& run) {
+  const int64_t n = static_cast<int64_t>(batch.size());
+  if (n == 0) return;
+  try {
+    // Assemble the micro-batch. Per-image results are bit-identical to
+    // batch-1 execution: every kernel in the plan processes images
+    // independently.
+    Tensor images(model_.input_shape(n));
+    const int64_t image_floats = model_.image_shape().numel();
+    for (int64_t i = 0; i < n; ++i) {
+      std::memcpy(images.data() + i * image_floats,
+                  batch[static_cast<size_t>(i)].image.data(),
+                  static_cast<size_t>(image_floats) * sizeof(float));
+    }
+
+    Tensor out = run(images);
+
+    // Split [n, ...] into per-request [1, ...] answers.
+    Shape row_shape = out.shape();
+    DSX_CHECK(row_shape.rank() >= 1 && row_shape.dim(0) == n,
+              "batch output shape " << row_shape.to_string());
+    std::vector<int64_t> dims;
+    dims.push_back(1);
+    for (int r = 1; r < row_shape.rank(); ++r) dims.push_back(row_shape.dim(r));
+    const int64_t row_floats = row_shape.numel() / n;
+    // Publish stats before fulfilling any promise: a client that wakes on
+    // its future and immediately reads stats() must already see this batch.
+    const auto now = std::chrono::steady_clock::now();
+    for (const Request& req : batch) {
+      const int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             now - req.enqueued)
+                             .count();
+      latency_.record_ns(ns);
+      if (extra_latency_ != nullptr) extra_latency_->record_ns(ns);
+    }
+    answered_.fetch_add(n, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    for (int64_t i = 0; i < n; ++i) {
+      Tensor row{Shape(dims)};
+      std::memcpy(row.data(), out.data() + i * row_floats,
+                  static_cast<size_t>(row_floats) * sizeof(float));
+      batch[static_cast<size_t>(i)].promise.set_value(std::move(row));
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    answered_.fetch_add(n, std::memory_order_relaxed);
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    for (Request& req : batch) {
+      req.promise.set_exception(err);
+    }
+  }
+}
+
+BatcherStats BatchCore::stats() const {
+  BatcherStats s;
+  s.requests = answered_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.avg_batch = s.batches > 0
+                    ? static_cast<double>(s.requests) /
+                          static_cast<double>(s.batches)
+                    : 0.0;
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  s.qps = elapsed > 0.0 ? static_cast<double>(s.requests) / elapsed : 0.0;
+  s.latency = latency_.snapshot();
+  return s;
+}
+
+}  // namespace dsx::serve

@@ -1,0 +1,136 @@
+// Shared request/stats machinery of the serving tier.
+//
+// Both micro-batchers - the FIFO serve::DynamicBatcher and the
+// priority/deadline-aware shard::DeadlineBatcher - speak the same contract:
+// clients enqueue normalized single-image Requests, a worker coalesces them
+// into micro-batches, and BatchCore turns one batch into per-request answers
+// (assembly, one CompiledModel::run, split, promise fulfillment, stats).
+// Keeping that machinery here means the two batchers differ only in queue
+// discipline and execution-lane policy, and their stats snapshots stay
+// directly comparable.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+
+#include "common/check.hpp"
+#include "device/atomic_stats.hpp"
+#include "serve/compiled_model.hpp"
+
+namespace dsx::serve {
+
+/// Request priority classes (dsx::shard). Lower value = more urgent; the
+/// plain DynamicBatcher treats every request as kNormal.
+enum class Priority : int {
+  kInteractive = 0,
+  kNormal = 1,
+  kBulk = 2,
+};
+
+/// Sentinel for "no deadline".
+inline constexpr std::chrono::steady_clock::time_point kNoDeadline =
+    std::chrono::steady_clock::time_point::max();
+
+/// Delivered through the future of a request whose absolute deadline passed
+/// before it could be placed in a micro-batch (the request is shed, never
+/// executed).
+class DeadlineExceeded : public Error {
+ public:
+  explicit DeadlineExceeded(const std::string& what) : Error(what) {}
+};
+
+/// Thrown by submit() when a bounded queue is at capacity - admission
+/// control: the caller gets synchronous backpressure instead of unbounded
+/// memory growth.
+class QueueFull : public Error {
+ public:
+  explicit QueueFull(const std::string& what) : Error(what) {}
+};
+
+/// One queued inference request.
+struct Request {
+  Tensor image;  // normalized to [1, C, H, W]
+  std::promise<Tensor> promise;
+  std::chrono::steady_clock::time_point enqueued;
+  Priority priority = Priority::kNormal;
+  std::chrono::steady_clock::time_point deadline = kNoDeadline;
+  uint64_t seq = 0;  // submission order, the final EDF tie-break
+};
+
+/// EDF ordering key: earliest deadline first, then priority class, then
+/// submission order. Total order over requests in one batcher.
+inline bool edf_before(const Request& a, const Request& b) {
+  if (a.deadline != b.deadline) return a.deadline < b.deadline;
+  if (a.priority != b.priority) return a.priority < b.priority;
+  return a.seq < b.seq;
+}
+
+/// Validates `image` ([C,H,W] or [1,C,H,W]) against the model and returns a
+/// Request holding its normalized [1,C,H,W] view (shallow - shares the
+/// caller's storage) with the enqueue timestamp taken. This is deliberately
+/// a free function: all validation/normalization work happens on the
+/// caller's thread BEFORE the batcher queue lock is taken (see the
+/// lock-scope invariant in shard/deadline_batcher.cpp, the shared batching
+/// engine).
+Request make_request(const CompiledModel& model, const Tensor& image);
+
+/// Shared range validation for micro-batcher options: serve's
+/// BatcherOptions and shard's DeadlineBatcherOptions carry the same limit
+/// fields, and both constructors funnel through this single set of checks.
+/// Throws std::invalid_argument; `what` names the offending struct.
+void validate_batching_limits(const char* what, int64_t max_batch,
+                              std::chrono::microseconds max_delay,
+                              int64_t queue_capacity);
+
+/// Process-wide lock serializing CompiledModel::run for batchers that
+/// execute on the shared global ThreadPool (its run_chunks is non-reentrant;
+/// one "device", one command queue). Batchers bound to a private lane pool
+/// (dsx::shard) do not take it - each lane is its own device.
+std::mutex& execution_mutex();
+
+/// Answered-request statistics shared by every batcher flavour.
+struct BatcherStats {
+  int64_t requests = 0;  // answered requests
+  int64_t batches = 0;   // executed micro-batches
+  double avg_batch = 0.0;
+  double qps = 0.0;  // answered requests / seconds since construction
+  device::LatencyStats::Snapshot latency;  // per-request submit->answer wall time
+};
+
+/// Batch execution + stats accounting shared by the batcher implementations.
+/// Not thread-safe for concurrent execute() calls on the same instance (each
+/// batcher has one worker); stats() is safe from any thread.
+class BatchCore {
+ public:
+  /// `model` must outlive the core. `extra_latency`, when given, receives a
+  /// copy of every per-request latency sample (dsx::shard aggregates across
+  /// replicas through it).
+  explicit BatchCore(CompiledModel& model,
+                     device::LatencyStats* extra_latency = nullptr);
+
+  CompiledModel& model() { return model_; }
+
+  /// Assembles `batch` into one [n,...] tensor, runs it through `run`,
+  /// splits the output into per-request [1,...] answers and fulfills every
+  /// promise. A throwing `run` delivers the exception to every request in
+  /// the batch. Stats are published before any promise is fulfilled.
+  void execute(std::deque<Request>& batch,
+               const std::function<Tensor(const Tensor&)>& run);
+
+  BatcherStats stats() const;
+
+ private:
+  CompiledModel& model_;
+  std::atomic<int64_t> answered_{0};
+  std::atomic<int64_t> batches_{0};
+  device::LatencyStats latency_;
+  device::LatencyStats* extra_latency_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace dsx::serve

@@ -9,6 +9,16 @@ namespace dsx::serve {
 void InferenceServer::register_model(const std::string& name,
                                      std::unique_ptr<CompiledModel> model,
                                      BatcherOptions opts) {
+  validate_batcher_options(opts);
+  if (opts.replicas > 1) {
+    shard::ShardOptions sopts;
+    sopts.replicas = opts.replicas;
+    sopts.max_batch = opts.max_batch;
+    sopts.max_delay = opts.max_delay;
+    sopts.queue_capacity = opts.queue_capacity;
+    register_model_sharded(name, std::move(model), sopts);
+    return;
+  }
   DSX_REQUIRE(model != nullptr, "register_model: null model");
   std::lock_guard<std::mutex> lock(mu_);
   DSX_REQUIRE(models_.find(name) == models_.end(),
@@ -16,6 +26,31 @@ void InferenceServer::register_model(const std::string& name,
   Entry entry;
   entry.model = std::move(model);
   entry.batcher = std::make_unique<DynamicBatcher>(*entry.model, opts);
+  models_.emplace(name, std::move(entry));
+}
+
+void InferenceServer::register_model_sharded(const std::string& name,
+                                             std::unique_ptr<CompiledModel> model,
+                                             shard::ShardOptions opts) {
+  DSX_REQUIRE(model != nullptr, "register_model: null model");
+  // Cheap duplicate-name check BEFORE compiling the fleet - cloning and
+  // recompiling R replicas is the most expensive operation in the serving
+  // tier and must not be wasted on a doomed call. The authoritative check
+  // below still guards the race window between the two.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSX_REQUIRE(models_.find(name) == models_.end(),
+                "register_model: '" << name << "' already registered");
+  }
+  // Compile the replica fleet WITHOUT the registry lock: clone compilation
+  // is slow and must not block serving of other models.
+  auto replicas =
+      std::make_unique<shard::ReplicaSet>(std::move(model), opts);
+  std::lock_guard<std::mutex> lock(mu_);
+  DSX_REQUIRE(models_.find(name) == models_.end(),
+              "register_model: '" << name << "' already registered");
+  Entry entry;
+  entry.replicas = std::move(replicas);
   models_.emplace(name, std::move(entry));
 }
 
@@ -44,7 +79,19 @@ std::future<Tensor> InferenceServer::submit(const std::string& name,
                                             const Tensor& image) {
   // Entries are never removed while the server lives, so the reference
   // stays valid after the registry lock drops.
-  return entry(name).batcher->submit(image);
+  const Entry& e = entry(name);
+  if (e.replicas != nullptr) return e.replicas->submit(image);
+  return e.batcher->submit(image);
+}
+
+std::future<Tensor> InferenceServer::submit(const std::string& name,
+                                            const Tensor& image,
+                                            shard::SubmitOptions sopts) {
+  const Entry& e = entry(name);
+  if (e.replicas != nullptr) return e.replicas->submit(image, sopts);
+  // Single-replica models speak the same scheduling contract: the batcher
+  // engine handles EDF ordering, deadline shedding and shed accounting.
+  return e.batcher->submit(image, sopts);
 }
 
 Tensor InferenceServer::infer(const std::string& name, const Tensor& image) {
@@ -55,8 +102,28 @@ ModelStats InferenceServer::stats(const std::string& name) const {
   const Entry& e = entry(name);
   ModelStats s;
   s.name = name;
-  s.compile = e.model->report();
-  s.batcher = e.batcher->stats();
+  if (e.replicas != nullptr) {
+    s.compile = e.replicas->prototype_report();
+    s.shard = e.replicas->stats();
+    // Aggregate the fleet into the legacy BatcherStats view so one-field
+    // migrations (replicas = R) keep existing stats consumers honest:
+    // requests/batches sum across replicas, latency/qps come from the
+    // shard-wide aggregates.
+    for (const shard::ReplicaStats& rs : s.shard->per_replica) {
+      s.batcher.requests += rs.batcher.batcher.requests;
+      s.batcher.batches += rs.batcher.batcher.batches;
+    }
+    s.batcher.avg_batch =
+        s.batcher.batches > 0
+            ? static_cast<double>(s.batcher.requests) /
+                  static_cast<double>(s.batcher.batches)
+            : 0.0;
+    s.batcher.qps = s.shard->qps;
+    s.batcher.latency = s.shard->latency;
+  } else {
+    s.compile = e.model->report();
+    s.batcher = e.batcher->stats();
+  }
   return s;
 }
 
@@ -68,7 +135,10 @@ std::vector<ModelStats> InferenceServer::stats_all() const {
 
 void InferenceServer::stop() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, entry] : models_) entry.batcher->stop();
+  for (auto& [name, entry] : models_) {
+    if (entry.batcher != nullptr) entry.batcher->stop();
+    if (entry.replicas != nullptr) entry.replicas->stop();
+  }
 }
 
 }  // namespace dsx::serve

@@ -1,29 +1,37 @@
 // Multi-model inference front-end.
 //
-// An InferenceServer owns a registry of named CompiledModels, one
-// DynamicBatcher per model, and routes requests by name. This is the
+// An InferenceServer owns a registry of named models and routes requests by
+// name. Each model serves either through a single DynamicBatcher (the
+// default) or, when registered with BatcherOptions::replicas > 1, through a
+// dsx::shard::ReplicaSet - R independently compiled replicas with private
+// execution lanes and priority/deadline-aware batchers. This is the
 // process-local shape of the roadmap's serving tier: N models x M client
-// threads over one execution substrate, with per-model throughput/latency
-// stats exported from device::LatencyStats counters.
+// threads, with per-model throughput/latency stats exported from the
+// lock-free device::LatencyStats counters.
 #pragma once
 
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "serve/batcher.hpp"
 #include "serve/compiled_model.hpp"
+#include "shard/replica_set.hpp"
 
 namespace dsx::serve {
 
-/// Per-model observability snapshot.
+/// Per-model observability snapshot. For sharded models `batcher` is the
+/// fleet-wide aggregate (requests/batches summed, shard-wide latency/qps)
+/// and `shard` carries the full per-replica breakdown.
 struct ModelStats {
   std::string name;
   CompileReport compile;
   BatcherStats batcher;
+  std::optional<shard::ShardStats> shard;
 };
 
 class InferenceServer {
@@ -34,17 +42,32 @@ class InferenceServer {
   InferenceServer(const InferenceServer&) = delete;
   InferenceServer& operator=(const InferenceServer&) = delete;
 
-  /// Registers a compiled model under `name` and starts its batcher.
-  /// Throws if the name is taken.
+  /// Registers a compiled model under `name` and starts its batcher(s).
+  /// opts.replicas > 1 shards the model: `model` becomes replica 0 and
+  /// replicas-1 clones are compiled (see shard::ReplicaSet). Throws if the
+  /// name is taken or opts are invalid.
   void register_model(const std::string& name,
                       std::unique_ptr<CompiledModel> model,
                       BatcherOptions opts = {});
+
+  /// Sharding with full control (routing policy, lane sizing) instead of
+  /// the BatcherOptions defaults. (Distinct name: both option structs are
+  /// designated-initializer friendly, and overloading on them would make
+  /// brace-initialized calls ambiguous.)
+  void register_model_sharded(const std::string& name,
+                              std::unique_ptr<CompiledModel> model,
+                              shard::ShardOptions opts);
 
   bool has_model(const std::string& name) const;
   std::vector<std::string> model_names() const;
 
   /// Async single-image inference on the named model. Thread-safe.
   std::future<Tensor> submit(const std::string& name, const Tensor& image);
+  /// Priority/deadline-aware submission. Works on every model: sharded
+  /// models route through their ReplicaSet, single-replica models get the
+  /// same EDF ordering and deadline shedding from their batcher's engine.
+  std::future<Tensor> submit(const std::string& name, const Tensor& image,
+                             shard::SubmitOptions sopts);
   /// Blocking convenience wrapper.
   Tensor infer(const std::string& name, const Tensor& image);
 
@@ -56,8 +79,9 @@ class InferenceServer {
 
  private:
   struct Entry {
-    std::unique_ptr<CompiledModel> model;
-    std::unique_ptr<DynamicBatcher> batcher;
+    std::unique_ptr<CompiledModel> model;        // null when sharded
+    std::unique_ptr<DynamicBatcher> batcher;     // single-replica path
+    std::unique_ptr<shard::ReplicaSet> replicas;  // sharded path
   };
 
   const Entry& entry(const std::string& name) const;

@@ -1,0 +1,271 @@
+#include "shard/deadline_batcher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dsx::shard {
+
+namespace {
+
+std::exception_ptr deadline_error() {
+  return std::make_exception_ptr(serve::DeadlineExceeded(
+      "request deadline passed before batch formation (shed)"));
+}
+
+}  // namespace
+
+DeadlineBatcher::DeadlineBatcher(serve::CompiledModel& model,
+                                 DeadlineBatcherOptions opts,
+                                 device::LatencyStats* extra_latency)
+    : core_(model, extra_latency),
+      max_batch_(0),
+      max_delay_(opts.max_delay),
+      queue_capacity_(opts.queue_capacity),
+      lane_(opts.lane),
+      manual_drain_(opts.manual_drain) {
+  serve::validate_batching_limits("DeadlineBatcherOptions", opts.max_batch,
+                                  opts.max_delay, opts.queue_capacity);
+  max_batch_ = opts.max_batch > 0 ? std::min(opts.max_batch, model.max_batch())
+                                  : model.max_batch();
+  if (!manual_drain_) {
+    worker_ = std::thread([this] { worker_loop(); });
+  }
+}
+
+DeadlineBatcher::~DeadlineBatcher() { stop(); }
+
+std::future<Tensor> DeadlineBatcher::submit(const Tensor& image,
+                                            SubmitOptions sopts) {
+  // Lock-scope invariant (this is the engine behind serve::DynamicBatcher
+  // too): all tensor validation/normalization happens on the caller's
+  // thread before mu_ is taken; the lock covers only the queue insert and
+  // flags, so N submitting clients never serialize on tensor work.
+  serve::Request req = serve::make_request(core_.model(), image);
+  req.priority = sopts.priority;
+  req.deadline = sopts.deadline;
+  std::future<Tensor> future = req.promise.get_future();
+
+  bool dead_on_arrival = false;
+  std::deque<serve::Request> expired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSX_REQUIRE(!stopping_, "submit: batcher is stopped");
+    if (req.deadline <= req.enqueued) {
+      // Dead on arrival: shed without touching the queue. Checked after the
+      // stopped check - a stopped batcher throws for every submission, it
+      // does not keep shedding.
+      dead_on_arrival = true;
+    } else {
+      if (queue_capacity_ > 0 &&
+          static_cast<int64_t>(queue_.size()) >= queue_capacity_) {
+        // Entries that already expired while queued hold no real capacity -
+        // they can never execute. Shed them (they are a deadline-sorted
+        // prefix) before deciding to reject a live request.
+        while (!queue_.empty() && queue_.front().deadline <= req.enqueued) {
+          expired.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      if (queue_capacity_ > 0 &&
+          static_cast<int64_t>(queue_.size()) >= queue_capacity_) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        throw serve::QueueFull("submit: queue at capacity (" +
+                               std::to_string(queue_capacity_) + ")");
+      }
+      req.seq = next_seq_++;
+      insert_edf_locked(std::move(req));
+      outstanding_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (!expired.empty()) {
+    std::deque<serve::Request> none;
+    answer(none, expired);  // counts sheds, fulfills outside the lock
+  }
+  if (dead_on_arrival) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    req.promise.set_exception(deadline_error());
+    return future;
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void DeadlineBatcher::insert_edf_locked(serve::Request&& req) {
+  // Keep the queue EDF-sorted so batch formation is a prefix take. seq
+  // strictly increases, so equal-(deadline, priority) requests stay FIFO.
+  auto pos = std::upper_bound(
+      queue_.begin(), queue_.end(), req,
+      [](const serve::Request& a, const serve::Request& b) {
+        return serve::edf_before(a, b);
+      });
+  queue_.insert(pos, std::move(req));
+}
+
+void DeadlineBatcher::form_batch_locked(
+    std::chrono::steady_clock::time_point now,
+    std::deque<serve::Request>& batch, std::deque<serve::Request>& shed) {
+  // Expired requests never occupy a batch slot; they are collected here and
+  // answered outside the lock. The queue's primary sort key is the
+  // deadline, so expired requests are exactly a prefix - no full scan.
+  while (!queue_.empty() && queue_.front().deadline <= now) {
+    shed.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  const int64_t take =
+      std::min<int64_t>(static_cast<int64_t>(queue_.size()), max_batch_);
+  for (int64_t i = 0; i < take; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  // Anti-starvation: EDF alone would let sustained deadline traffic starve
+  // a no-deadline request forever (kNoDeadline sorts last). When a full
+  // batch leaves requests behind, the oldest ARRIVAL (min seq) that has
+  // exhausted its max_delay budget rides along in place of the batch's
+  // least-urgent member, so every batch retires the most-aged request and
+  // no request waits unboundedly - the pre-EDF FIFO batcher's guarantee.
+  if (!queue_.empty() && !batch.empty()) {
+    auto oldest = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      if (it->seq < oldest->seq) oldest = it;
+    }
+    if (now - oldest->enqueued > max_delay_) {
+      serve::Request displaced = std::move(batch.back());
+      batch.back() = std::move(*oldest);
+      queue_.erase(oldest);
+      insert_edf_locked(std::move(displaced));
+    }
+  }
+}
+
+void DeadlineBatcher::answer(std::deque<serve::Request>& batch,
+                             std::deque<serve::Request>& shed) {
+  if (!shed.empty()) {
+    shed_.fetch_add(static_cast<int64_t>(shed.size()),
+                    std::memory_order_relaxed);
+    outstanding_.fetch_sub(static_cast<int64_t>(shed.size()),
+                           std::memory_order_relaxed);
+    const std::exception_ptr err = deadline_error();
+    for (serve::Request& req : shed) req.promise.set_exception(err);
+    shed.clear();
+  }
+  if (batch.empty()) return;
+  if (lane_ != nullptr) {
+    // Private lane: bind it so every kernel the plan launches lands on this
+    // replica's threads. No process-wide execution lock - lanes are
+    // independent devices.
+    device::PoolScope scope(*lane_);
+    core_.execute(batch, [this](const Tensor& images) {
+      return core_.model().run(images);
+    });
+  } else {
+    core_.execute(batch, [this](const Tensor& images) {
+      std::lock_guard<std::mutex> lock(serve::execution_mutex());
+      return core_.model().run(images);
+    });
+  }
+  outstanding_.fetch_sub(static_cast<int64_t>(batch.size()),
+                         std::memory_order_relaxed);
+  batch.clear();
+}
+
+void DeadlineBatcher::worker_loop() {
+  for (;;) {
+    std::deque<serve::Request> batch;
+    std::deque<serve::Request> shed;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      // Wait for the batch to fill, but no longer than the EDF front's
+      // max_delay budget (the front is served next, so max_delay bounds ITS
+      // hold time; under pure FIFO traffic the front is also the oldest
+      // arrival) - and fire BEFORE the front's deadline, with enough lead
+      // that the deadline-triggered wake forms the batch while the request
+      // is still live. Waking exactly AT the deadline would guarantee the
+      // shed of every request whose budget is tighter than max_delay, even
+      // on an idle server. The lead shrinks as the deadline approaches (an
+      // eighth of the remaining budget, clamped); deadlines bound queueing,
+      // so a batch formed inside the lead may still finish late. The cutoff
+      // is recomputed on EVERY wakeup: a tighter-deadline request arriving
+      // mid-wait becomes the new front and must tighten the cutoff, not
+      // sleep behind the stale one.
+      while (!stopping_ &&
+             static_cast<int64_t>(queue_.size()) < max_batch_) {
+        const auto now = std::chrono::steady_clock::now();
+        auto cutoff = queue_.front().enqueued + max_delay_;
+        if (queue_.front().deadline != serve::kNoDeadline) {
+          const auto lead = std::clamp<std::chrono::steady_clock::duration>(
+              (queue_.front().deadline - now) / 8,
+              std::chrono::microseconds(200), std::chrono::milliseconds(20));
+          cutoff = std::min(cutoff, queue_.front().deadline - lead);
+        }
+        if (cutoff <= now ||
+            cv_.wait_until(lock, cutoff) == std::cv_status::timeout) {
+          break;
+        }
+      }
+      form_batch_locked(std::chrono::steady_clock::now(), batch, shed);
+    }
+    answer(batch, shed);
+  }
+}
+
+size_t DeadlineBatcher::drain_one() {
+  DSX_REQUIRE(manual_drain_, "drain_one: batcher has a worker thread");
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  std::deque<serve::Request> batch;
+  std::deque<serve::Request> shed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    form_batch_locked(std::chrono::steady_clock::now(), batch, shed);
+  }
+  const size_t executed = batch.size();
+  answer(batch, shed);
+  return executed;
+}
+
+void DeadlineBatcher::stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    to_join = std::move(worker_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+  if (manual_drain_) {
+    // No worker to drain the queue; answer the remainder here, serialized
+    // against any in-flight drain_one(). Deadlines still apply: expired
+    // requests shed, live ones execute.
+    std::lock_guard<std::mutex> drain_lock(drain_mu_);
+    for (;;) {
+      std::deque<serve::Request> batch;
+      std::deque<serve::Request> shed;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (queue_.empty()) break;
+        form_batch_locked(std::chrono::steady_clock::now(), batch, shed);
+      }
+      answer(batch, shed);
+    }
+  }
+}
+
+DeadlineBatcherStats DeadlineBatcher::stats() const {
+  DeadlineBatcherStats s;
+  s.batcher = core_.stats();
+  s.shed = shed_.load(std::memory_order_relaxed);
+  s.rejected = rejected_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.queue_depth = static_cast<int64_t>(queue_.size());
+  }
+  s.outstanding = outstanding_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace dsx::shard

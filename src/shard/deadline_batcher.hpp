@@ -1,0 +1,166 @@
+// Priority/deadline-aware micro-batching on a private execution lane.
+//
+// DeadlineBatcher extends the serving tier's micro-batching contract
+// (serve/batcher.hpp) with three scheduling features the FIFO batcher lacks:
+//
+//   * priority classes + absolute deadlines per request, with
+//     earliest-deadline-first batch formation (the queue is kept sorted by
+//     serve::edf_before, so a batch is the EDF-prefix of the queue - plus,
+//     as an anti-starvation guarantee, the oldest-arrival request whenever
+//     it has waited past max_delay, so sustained deadline traffic cannot
+//     starve no-deadline requests);
+//   * load shedding: a request whose deadline has passed before it could be
+//     placed in a batch is answered with serve::DeadlineExceeded through its
+//     future instead of occupying a batch slot (deadlines bound queueing -
+//     an admitted, in-deadline request may still finish after its deadline;
+//     execution time is not clairvoyant);
+//   * bounded-queue admission control: submit() throws serve::QueueFull at
+//     capacity, giving callers synchronous backpressure.
+//
+// Execution lane: when constructed with a lane ThreadPool the batcher binds
+// it (device::PoolScope) around every CompiledModel::run, so its kernels
+// execute on the lane's threads and DO NOT take the process-wide execution
+// lock - this is what lets shard::ReplicaSet run R replicas genuinely
+// concurrently. Without a lane it behaves like DynamicBatcher: global pool,
+// global execution lock.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "device/thread_pool.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/request.hpp"
+
+namespace dsx::shard {
+
+struct DeadlineBatcherOptions {
+  /// Largest micro-batch; 0 = the model's compiled max_batch (clamped).
+  int64_t max_batch = 0;
+  /// How long the oldest queued request may wait for the batch to fill.
+  std::chrono::microseconds max_delay{2000};
+  /// Bounded queue: submit() throws serve::QueueFull once this many
+  /// requests wait. 0 = unbounded.
+  int64_t queue_capacity = 0;
+  /// Execution lane; kernels run on this pool under a device::PoolScope and
+  /// skip the process-wide execution lock. Must outlive the batcher.
+  /// nullptr = shared global pool + execution lock.
+  device::ThreadPool* lane = nullptr;
+  /// No worker thread; the owner forms/executes batches via drain_one()
+  /// (deterministic tests, external event loops). stop() drains whatever is
+  /// still queued.
+  bool manual_drain = false;
+};
+
+/// Per-request scheduling parameters.
+struct SubmitOptions {
+  serve::Priority priority = serve::Priority::kNormal;
+  /// Absolute shed deadline; serve::kNoDeadline = never shed.
+  std::chrono::steady_clock::time_point deadline = serve::kNoDeadline;
+};
+
+/// Convenience: a deadline `budget` from now at priority `p`.
+inline SubmitOptions within(std::chrono::microseconds budget,
+                            serve::Priority p = serve::Priority::kNormal) {
+  return {p, std::chrono::steady_clock::now() + budget};
+}
+
+/// BatcherStats plus the deadline/admission counters.
+struct DeadlineBatcherStats {
+  serve::BatcherStats batcher;
+  int64_t shed = 0;         // deadline-expired, answered DeadlineExceeded
+  int64_t rejected = 0;     // admission-control rejections (QueueFull)
+  int64_t queue_depth = 0;  // currently waiting
+  int64_t outstanding = 0;  // waiting + executing
+};
+
+class DeadlineBatcher {
+ public:
+  /// `model` (and `opts.lane`, when set) must outlive the batcher.
+  /// `extra_latency`, when given, additionally receives every per-request
+  /// latency sample (ReplicaSet's shard-wide aggregate). Throws
+  /// std::invalid_argument on invalid `opts`.
+  DeadlineBatcher(serve::CompiledModel& model, DeadlineBatcherOptions opts = {},
+                  device::LatencyStats* extra_latency = nullptr);
+  ~DeadlineBatcher();
+
+  DeadlineBatcher(const DeadlineBatcher&) = delete;
+  DeadlineBatcher& operator=(const DeadlineBatcher&) = delete;
+
+  /// Enqueues one image ([C,H,W] or [1,C,H,W]) in EDF position and returns
+  /// a future for its [1, ...] output. Thread-safe. Throws Error if
+  /// stopped (checked first), serve::QueueFull at capacity; a deadline that
+  /// has already passed is shed immediately (the future carries
+  /// DeadlineExceeded, the queue is never touched).
+  std::future<Tensor> submit(const Tensor& image, SubmitOptions sopts = {});
+
+  /// Blocking convenience wrapper.
+  Tensor infer(const Tensor& image, SubmitOptions sopts = {}) {
+    return submit(image, sopts).get();
+  }
+
+  /// Manual-drain mode: sheds expired requests, forms one EDF batch (up to
+  /// max_batch) and executes it on the calling thread. Returns the number
+  /// of requests executed (shed requests are answered but not counted).
+  /// Serialized against concurrent drain_one()/stop() callers - the model
+  /// is not thread-safe, so only one drain executes at a time.
+  size_t drain_one();
+
+  /// Stops accepting work, drains the queue (in manual mode, on the calling
+  /// thread), joins the worker. Idempotent.
+  void stop();
+
+  DeadlineBatcherStats stats() const;
+
+  /// Waiting + executing request count (Router's load signal). Relaxed.
+  int64_t outstanding() const {
+    return outstanding_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_loop();
+  /// Removes expired requests from queue_ into `shed` (caller answers them
+  /// outside the lock) and moves up to max_batch_ EDF-first requests into
+  /// `batch`. Requires mu_ held.
+  void form_batch_locked(std::chrono::steady_clock::time_point now,
+                         std::deque<serve::Request>& batch,
+                         std::deque<serve::Request>& shed);
+  /// Answers `shed` with DeadlineExceeded and `batch` via the lane (or the
+  /// locked global pool). Call WITHOUT mu_ held.
+  void answer(std::deque<serve::Request>& batch,
+              std::deque<serve::Request>& shed);
+  /// Inserts at the request's EDF position (the single definition of the
+  /// queue's total order). Requires mu_ held.
+  void insert_edf_locked(serve::Request&& req);
+
+  serve::BatchCore core_;
+  int64_t max_batch_;
+  std::chrono::microseconds max_delay_;
+  int64_t queue_capacity_;
+  device::ThreadPool* lane_;
+  bool manual_drain_;
+
+  mutable std::mutex mu_;
+  /// Serializes batch EXECUTION in manual-drain mode (drain_one vs stop's
+  /// drain loop): CompiledModel::run is not thread-safe. Worker mode needs
+  /// no equivalent - the single worker is the only executor, and stop()
+  /// claims/joins it under mu_. Never acquired while holding mu_.
+  std::mutex drain_mu_;
+  std::condition_variable cv_;
+  std::deque<serve::Request> queue_;  // EDF-sorted (serve::edf_before)
+  bool stopping_ = false;
+  uint64_t next_seq_ = 0;
+
+  std::atomic<int64_t> outstanding_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> rejected_{0};
+
+  std::thread worker_;
+};
+
+}  // namespace dsx::shard

@@ -1,0 +1,25 @@
+#include "shard/router.hpp"
+
+namespace dsx::shard {
+
+const char* routing_policy_name(RoutingPolicy policy) {
+  switch (policy) {
+    case RoutingPolicy::kRoundRobin:
+      return "round-robin";
+    case RoutingPolicy::kLeastOutstanding:
+      return "least-outstanding";
+    case RoutingPolicy::kPowerOfTwo:
+      return "power-of-two";
+  }
+  return "unknown";
+}
+
+RoutingPolicy parse_routing_policy(const std::string& name) {
+  if (name == "round-robin") return RoutingPolicy::kRoundRobin;
+  if (name == "least-outstanding") return RoutingPolicy::kLeastOutstanding;
+  if (name == "power-of-two") return RoutingPolicy::kPowerOfTwo;
+  DSX_REQUIRE(false, "unknown routing policy '" << name << "'");
+  return RoutingPolicy::kRoundRobin;
+}
+
+}  // namespace dsx::shard

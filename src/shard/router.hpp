@@ -1,0 +1,106 @@
+// Replica routing policies for dsx::shard.
+//
+// A Router picks which replica's batcher receives the next request, given
+// per-replica load (outstanding = queued + executing requests). Three
+// standard policies:
+//
+//   kRoundRobin       - cyclic, load-blind; optimal when requests and
+//                       replicas are homogeneous.
+//   kLeastOutstanding - argmin of the load; best single-dispatcher policy,
+//                       pays a full scan per pick.
+//   kPowerOfTwo       - "power of two choices": sample two replicas
+//                       pseudo-randomly, send to the less loaded. O(1) per
+//                       pick with near-least-loaded balance (Mitzenmacher),
+//                       the policy of choice once the replica count or the
+//                       dispatcher count grows.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace dsx::shard {
+
+enum class RoutingPolicy : int {
+  kRoundRobin = 0,
+  kLeastOutstanding = 1,
+  kPowerOfTwo = 2,
+};
+
+const char* routing_policy_name(RoutingPolicy policy);
+/// Parses "round-robin" / "least-outstanding" / "power-of-two"; throws
+/// dsx::Error otherwise.
+RoutingPolicy parse_routing_policy(const std::string& name);
+
+namespace detail {
+/// splitmix64: cheap stateless mixer turning the tick stream into two
+/// independent-enough replica samples per pick.
+inline uint64_t mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+}  // namespace detail
+
+class Router {
+ public:
+  explicit Router(RoutingPolicy policy, uint64_t seed = 0x243F6A8885A308D3ull)
+      : policy_(policy), tick_(seed) {}
+
+  RoutingPolicy policy() const { return policy_; }
+
+  /// Returns the chosen replica index in [0, n). `load(i)` reports replica
+  /// i's outstanding count and is invoked only for the replicas the policy
+  /// actually inspects (none for round-robin, two for power-of-two-choices,
+  /// all for least-outstanding) - the per-request hot path never snapshots
+  /// the whole fleet. Thread-safe; loads may be stale (relaxed counters),
+  /// which every one of these policies tolerates by design.
+  template <typename LoadFn>
+  int pick_with(int n, LoadFn&& load) {
+    DSX_REQUIRE(n >= 1, "Router::pick: empty replica set");
+    if (n == 1) return 0;
+    switch (policy_) {
+      case RoutingPolicy::kRoundRobin:
+        return static_cast<int>(tick_.fetch_add(1, std::memory_order_relaxed) %
+                                static_cast<uint64_t>(n));
+      case RoutingPolicy::kLeastOutstanding: {
+        int best = 0;
+        int64_t best_load = load(0);
+        for (int i = 1; i < n; ++i) {
+          const int64_t l = load(i);
+          if (l < best_load) {
+            best = i;
+            best_load = l;
+          }
+        }
+        return best;
+      }
+      case RoutingPolicy::kPowerOfTwo: {
+        const uint64_t h =
+            detail::mix64(tick_.fetch_add(1, std::memory_order_relaxed));
+        const int i = static_cast<int>(h % static_cast<uint64_t>(n));
+        const int j = static_cast<int>((h >> 32) % static_cast<uint64_t>(n));
+        return load(j) < load(i) ? j : i;
+      }
+    }
+    return 0;
+  }
+
+  /// Snapshot convenience form (tests, offline callers).
+  int pick(std::span<const int64_t> outstanding) {
+    return pick_with(static_cast<int>(outstanding.size()), [&](int i) {
+      return outstanding[static_cast<size_t>(i)];
+    });
+  }
+
+ private:
+  RoutingPolicy policy_;
+  std::atomic<uint64_t> tick_;  // RR cursor / po2 pseudo-random stream
+};
+
+}  // namespace dsx::shard

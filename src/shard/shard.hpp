@@ -1,0 +1,25 @@
+// dsx::shard - replicated, priority/deadline-aware sharded serving.
+//
+// Umbrella header. The subsystem serves one logical model from R
+// independent CompiledModel replicas, each with its own micro-batcher and
+// its own partition of the host thread pool ("execution lanes"), replacing
+// the serving tier's process-wide execution lock with genuine replica
+// concurrency - the serving-side counterpart of the paper's Fig. 14
+// multi-GPU data-parallel scaling. Three pieces:
+//
+//   ReplicaSet      (shard/replica_set.hpp)      - compiles/clones the
+//                   replica fleet, owns the lanes and batchers.
+//   Router          (shard/router.hpp)           - round-robin /
+//                   least-outstanding / power-of-two-choices routing.
+//   DeadlineBatcher (shard/deadline_batcher.hpp) - EDF batch formation,
+//                   priority classes, deadline shedding, bounded-queue
+//                   admission control.
+//
+// Integration: serve::InferenceServer::register_model with
+// BatcherOptions::replicas > 1 serves the model through a ReplicaSet;
+// existing callers shard by changing that one field.
+#pragma once
+
+#include "shard/deadline_batcher.hpp"
+#include "shard/replica_set.hpp"
+#include "shard/router.hpp"

@@ -44,7 +44,7 @@ ProblemKey make_scc_forward_key(const Shape& input,
   key.stride = map.config().stride;
   key.gw = map.group_width();
   key.step = map.step();
-  key.threads = static_cast<int64_t>(device::ThreadPool::global().size());
+  key.threads = static_cast<int64_t>(device::ThreadPool::current().size());
   return key;
 }
 
@@ -63,7 +63,7 @@ ProblemKey make_conv2d_forward_key(const Shape& input, const Shape& weight,
   key.stride = args.stride;
   key.pad = args.pad;
   key.groups = args.groups;
-  key.threads = static_cast<int64_t>(device::ThreadPool::global().size());
+  key.threads = static_cast<int64_t>(device::ThreadPool::current().size());
   return key;
 }
 

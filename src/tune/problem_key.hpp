@@ -49,11 +49,16 @@ struct ProblemKey {
   std::string to_string() const;
 };
 
-/// Key for an SCC forward problem, threads taken from the global pool.
+/// Key for an SCC forward problem. `threads` comes from
+/// ThreadPool::current() - the EXECUTING pool, which is the lane pool when
+/// a device::PoolScope is bound. Load-bearing for dsx::shard: replica
+/// clones compile under their lane's scope, so tuning records are keyed
+/// (and shared) per lane width, not per global-pool width.
 ProblemKey make_scc_forward_key(const Shape& input,
                                 const scc::ChannelWindowMap& map);
 
-/// Key for a conv2d forward problem, threads taken from the global pool.
+/// Key for a conv2d forward problem; same ThreadPool::current() threads
+/// semantics as make_scc_forward_key.
 ProblemKey make_conv2d_forward_key(const Shape& input, const Shape& weight,
                                    const Conv2dArgs& args);
 

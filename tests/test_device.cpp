@@ -284,5 +284,93 @@ TEST(DeviceGroup, RequiresAtLeastOneDevice) {
   EXPECT_THROW(DeviceGroup(0), Error);
 }
 
+TEST(DeviceGroup, SingleDeviceGroupIsIdentityWithZeroWireTraffic) {
+  DeviceGroup group(1);
+  EXPECT_EQ(group.size(), 1);
+  Tensor a(Shape{4}, 7.0f);
+  std::vector<Tensor*> replicas = {&a};
+  const CollectiveStats stats = group.all_reduce_mean(replicas);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(a[i], 7.0f);
+  EXPECT_EQ(stats.devices, 1);
+  EXPECT_DOUBLE_EQ(stats.wire_bytes, 0.0);  // a 1-ring moves nothing
+  EXPECT_DOUBLE_EQ(ring_all_reduce_bytes(1024.0, 1), 0.0);
+}
+
+TEST(DeviceGroup, EmptyReplicaSpanIsRejected) {
+  DeviceGroup group(1);
+  std::vector<Tensor*> none;
+  EXPECT_THROW(group.all_reduce_mean(std::span<Tensor* const>(none)), Error);
+  DeviceGroup group2(2);
+  EXPECT_THROW(group2.all_reduce_mean(std::span<Tensor* const>(none)), Error);
+  // A null replica inside a correctly sized span is also a caller bug.
+  Tensor a(Shape{2});
+  std::vector<Tensor*> with_null = {&a, nullptr};
+  EXPECT_THROW(group2.all_reduce_mean(with_null), Error);
+}
+
+TEST(DeviceGroup, MismatchedParamListLengthsAreRejected) {
+  DeviceGroup group(2);
+  Tensor a0(Shape{2}), b0(Shape{3});
+  Tensor a1(Shape{2});
+  // Device 0 holds two params, device 1 only one.
+  std::vector<std::vector<Tensor*>> uneven = {{&a0, &b0}, {&a1}};
+  EXPECT_THROW(group.all_reduce_mean(uneven), Error);
+  // Wrong outer (device) count fails too.
+  std::vector<std::vector<Tensor*>> wrong_devices = {{&a0}};
+  EXPECT_THROW(group.all_reduce_mean(wrong_devices), Error);
+  // Zero-length param lists are a valid no-op collective.
+  std::vector<std::vector<Tensor*>> empty_lists = {{}, {}};
+  const CollectiveStats stats = group.all_reduce_mean(empty_lists);
+  EXPECT_DOUBLE_EQ(stats.payload_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(stats.wire_bytes, 0.0);
+}
+
+// ---- ThreadPool::current / PoolScope (dsx::shard execution lanes) ----------
+
+TEST(PoolScope, CurrentDefaultsToGlobalAndBindsPerThread) {
+  EXPECT_EQ(&ThreadPool::current(), &ThreadPool::global());
+  ThreadPool lane(1);
+  {
+    PoolScope scope(lane);
+    EXPECT_EQ(&ThreadPool::current(), &lane);
+    // The binding is thread-local: a fresh thread still sees the global.
+    std::thread observer([] {
+      EXPECT_EQ(&ThreadPool::current(), &ThreadPool::global());
+    });
+    observer.join();
+    // Scopes nest and restore.
+    ThreadPool inner(1);
+    {
+      PoolScope nested(inner);
+      EXPECT_EQ(&ThreadPool::current(), &inner);
+    }
+    EXPECT_EQ(&ThreadPool::current(), &lane);
+  }
+  EXPECT_EQ(&ThreadPool::current(), &ThreadPool::global());
+}
+
+TEST(PoolScope, ParallelForRunsOnBoundLane) {
+  // Two lanes execute parallel loops concurrently without touching the
+  // global pool's non-reentrant run_chunks: this is the property that lets
+  // shard replicas run without the process-wide execution lock.
+  ThreadPool lane_a(2), lane_b(2);
+  std::atomic<int64_t> sum{0};
+  std::thread ta([&] {
+    PoolScope scope(lane_a);
+    parallel_for(
+        4096, [&](int64_t i) { sum.fetch_add(i, std::memory_order_relaxed); },
+        /*grain=*/1);
+  });
+  std::thread tb([&] {
+    PoolScope scope(lane_b);
+    parallel_for(
+        4096, [&](int64_t i) { sum.fetch_add(i, std::memory_order_relaxed); },
+        /*grain=*/1);
+  });
+  ta.join();
+  tb.join();
+  EXPECT_EQ(sum.load(), 2 * (4096 * 4095) / 2);
+}
+
 }  // namespace
 }  // namespace dsx::device

@@ -374,6 +374,120 @@ TEST(InferenceServer, RoutesBetweenMultipleModels) {
       server.register_model("a", nullptr), Error);
 }
 
+TEST(DynamicBatcher, OptionsAreValidatedAtConstruction) {
+  auto model = make_scc_model(75);
+  CompiledModel compiled(std::move(model), Shape{3, kImage, kImage},
+                         {.max_batch = 2});
+  EXPECT_THROW(DynamicBatcher(compiled, {.max_batch = -1}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      DynamicBatcher(compiled, {.max_delay = std::chrono::microseconds(-1)}),
+      std::invalid_argument);
+  EXPECT_THROW(DynamicBatcher(compiled, {.queue_capacity = -3}),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicBatcher(compiled, {.replicas = 0}),
+               std::invalid_argument);
+  // max_batch = 0 remains the documented "use the model's max_batch".
+  DynamicBatcher ok(compiled, {.max_batch = 0});
+  ok.stop();
+}
+
+TEST(DynamicBatcher, BoundedQueueRejectsWhenFull) {
+  auto model = make_scc_model(76);
+  CompiledModel compiled(std::move(model), Shape{3, kImage, kImage},
+                         {.max_batch = 2});
+  // A stopped-up batcher: huge delay so the queue holds requests while we
+  // overfill it.
+  DynamicBatcher batcher(compiled,
+                         {.max_batch = 2,
+                          .max_delay = std::chrono::microseconds(200000),
+                          .queue_capacity = 2});
+  const auto images = make_images(4, 77);
+  std::vector<std::future<Tensor>> futures;
+  int rejected = 0;
+  for (const Tensor& img : images) {
+    try {
+      futures.push_back(batcher.submit(img));
+    } catch (const QueueFull&) {
+      ++rejected;
+    }
+  }
+  // The worker may have already drained early submissions, so rejection is
+  // load-dependent - but capacity 2 with 4 instant submissions must reject
+  // at least one on this single-batch-in-flight setup... unless the worker
+  // raced ahead; accept either, but every accepted request must answer.
+  batcher.stop();
+  for (auto& f : futures) EXPECT_EQ(f.get().numel(), kClasses);
+  EXPECT_EQ(batcher.stats().requests,
+            static_cast<int64_t>(futures.size()));
+  (void)rejected;
+}
+
+TEST(DynamicBatcher, DeadlineAwareSubmitPassesThroughToTheEngine) {
+  // DynamicBatcher is a FIFO wrapper over shard::DeadlineBatcher; the
+  // deadline-aware overload gets real shedding with visible counters.
+  auto model = make_scc_model(74);
+  CompiledModel compiled(std::move(model), Shape{3, kImage, kImage},
+                         {.max_batch = 2});
+  DynamicBatcher batcher(compiled);
+  const auto images = make_images(2, 73);
+  auto doomed = batcher.submit(
+      images[0],
+      {.deadline = std::chrono::steady_clock::now() - std::chrono::seconds(1)});
+  EXPECT_THROW(doomed.get(), DeadlineExceeded);
+  EXPECT_EQ(batcher.infer(images[1]).numel(), kClasses);
+  EXPECT_EQ(batcher.deadline_stats().shed, 1);
+  EXPECT_EQ(batcher.stats().requests, 1);  // sheds never hit a batch
+}
+
+TEST(InferenceServer, StopSubmitRaceAnswersOrRejectsEveryRequest) {
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 40;
+  auto model = make_scc_model(78);
+  auto compiled = std::make_unique<CompiledModel>(
+      std::move(model), Shape{3, kImage, kImage},
+      CompileOptions{.max_batch = 4});
+  const auto images = make_images(4, 79);
+
+  InferenceServer server;
+  server.register_model("scc", std::move(compiled),
+                        {.max_batch = 4,
+                         .max_delay = std::chrono::microseconds(200)});
+
+  // One request answered deterministically before the race begins, so the
+  // answered > 0 assertion below cannot flake on a loaded host.
+  ASSERT_EQ(server.infer("scc", images[0]).numel(), kClasses);
+
+  // N threads submit while the main thread stops the server mid-stream.
+  // Contract: every submit() either returns a future that IS answered
+  // (stop drains the queue) or throws the stopped error - no hangs, no
+  // dropped promises.
+  std::atomic<int> answered{1};  // the warm-up request above
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      for (int k = 0; k < kPerClient; ++k) {
+        try {
+          Tensor y =
+              server.infer("scc", images[static_cast<size_t>(t + k) % 4]);
+          if (y.numel() == kClasses) answered.fetch_add(1);
+        } catch (const Error&) {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Let some traffic through, then slam the door.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  server.stop();
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(answered.load() + rejected.load(), kClients * kPerClient + 1);
+  EXPECT_GT(answered.load(), 0);
+  // Every drained request is accounted in the stats exactly once.
+  EXPECT_EQ(server.stats("scc").batcher.requests, answered.load());
+}
+
 // ---- LatencyStats ----------------------------------------------------------
 
 TEST(LatencyStats, PercentilesTrackRecordedDistribution) {
