@@ -1,0 +1,236 @@
+// Hot-swap latency and the exactly-once contract of dsx::deploy under
+// sustained serving load.
+//
+// The deployment tier's zero-downtime claim has two measurable halves:
+//   * swap latency - how long InferenceServer::swap_model holds the serving
+//     name hostage. The answer should be "it doesn't": the replacement fleet
+//     is constructed before the registry flips (one map-slot exchange under
+//     the lock), and the reported wall time is dominated by draining the
+//     displaced fleet's in-flight queue, which proceeds concurrently with
+//     new traffic on the fresh fleet;
+//   * delivery - every request accepted across a swap is answered exactly
+//     once, by the version that accepted it, with zero dropped futures and
+//     zero submit failures (clients never observe the swap).
+//
+// The bench fires client threads at one serving name while the main thread
+// hot-swaps between two precompiled MobileNet-SCC plans (one swap lands on a
+// 2-replica sharded fleet to cover the ReplicaSet path), then audits the
+// ledger: submitted == answered, every answer bit-identical to one of the
+// two versions, zero errors.
+//
+// SHAPE-CHECKs: zero dropped/duplicated/garbled replies, all swaps
+// completed, and a real drain was observed (the swap actually displaced
+// in-flight work at least once). `--smoke` shrinks the run for CI; `--json`
+// writes BENCH_deploy_swap.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/check.hpp"
+#include "serve/server.hpp"
+#include "tensor/tensor_ops.hpp"
+
+namespace {
+
+using namespace dsx;
+
+constexpr int64_t kImage = 16;
+
+std::unique_ptr<serve::CompiledModel> compile_variant(uint64_t seed) {
+  Rng rng(seed);
+  models::SchemeConfig cfg;
+  cfg.scheme = models::ConvScheme::kDWSCC;
+  cfg.cg = 4;
+  cfg.co = 0.5;
+  cfg.width_mult = 0.25;
+  auto net = models::build_mobilenet(10, cfg, rng);
+  return std::make_unique<serve::CompiledModel>(
+      std::move(net), Shape{3, kImage, kImage},
+      serve::CompileOptions{.max_batch = 8});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = bench::has_flag(argc, argv, "--smoke");
+  bench::JsonWriter json("deploy_swap", bench::has_flag(argc, argv, "--json"));
+
+  const int kClients = smoke ? 3 : 4;
+  const int kPerClient = smoke ? 60 : 200;
+  const int kSwaps = smoke ? 4 : 10;
+
+  // Two weight versions of the same design point; references for the
+  // bit-identity audit. Spare plans for every swap are compiled up front -
+  // the bench measures the swap, not the compile.
+  auto v1 = compile_variant(1);
+  auto v2 = compile_variant(2);
+  Rng img_rng(7);
+  std::vector<Tensor> images;
+  std::vector<Tensor> ref1, ref2;
+  for (int i = 0; i < 8; ++i) {
+    images.push_back(
+        random_uniform(make_nchw(1, 3, kImage, kImage), img_rng));
+    ref1.push_back(v1->run(images.back()));
+    ref2.push_back(v2->run(images.back()));
+  }
+  std::vector<std::unique_ptr<serve::CompiledModel>> spares;
+  for (int s = 0; s < kSwaps; ++s) {
+    spares.push_back(compile_variant(s % 2 == 0 ? 2 : 1));
+  }
+
+  serve::InferenceServer server;
+  server.register_model("m", std::move(v1),
+                        {.max_batch = 8,
+                         .max_delay = std::chrono::microseconds(500)});
+
+  std::atomic<int64_t> submitted{0};
+  std::atomic<int64_t> answered{0};
+  std::atomic<int64_t> garbled{0};
+  std::atomic<int64_t> errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Each client keeps a small pipeline of outstanding submissions so
+      // the serving queue is never empty - every swap genuinely displaces
+      // in-flight work (the drained SHAPE-CHECK below depends on it).
+      constexpr size_t kPipeline = 4;
+      std::deque<std::pair<size_t, std::future<Tensor>>> inflight;
+      const auto settle = [&](size_t keep) {
+        while (inflight.size() > keep) {
+          auto [j, fut] = std::move(inflight.front());
+          inflight.pop_front();
+          try {
+            const Tensor y = fut.get();
+            const bool is_v1 = max_abs_diff(y, ref1[j]) == 0.0f;
+            const bool is_v2 = max_abs_diff(y, ref2[j]) == 0.0f;
+            if (!is_v1 && !is_v2) garbled.fetch_add(1);
+            answered.fetch_add(1);
+          } catch (const Error&) {
+            errors.fetch_add(1);
+          }
+        }
+      };
+      for (int r = 0; r < kPerClient; ++r) {
+        const size_t j = static_cast<size_t>(c + r) % images.size();
+        submitted.fetch_add(1);
+        try {
+          inflight.emplace_back(j, server.submit("m", images[j]));
+        } catch (const Error&) {
+          errors.fetch_add(1);
+        }
+        settle(kPipeline - 1);
+      }
+      settle(0);
+    });
+  }
+
+  // Swap under load; one swap exercises the sharded fleet path. Right
+  // before each swap the main thread enqueues its own burst - more requests
+  // than one micro-batch can clear in the microseconds until the swap lands
+  // - so every swap provably displaces in-flight work even if the client
+  // threads finished early (the drained SHAPE-CHECK must not depend on
+  // scheduler luck).
+  std::vector<double> swap_ms;
+  int64_t total_drained = 0;
+  std::vector<std::pair<size_t, std::future<Tensor>>> burst;
+  for (int s = 0; s < kSwaps; ++s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(smoke ? 10 : 25));
+    serve::BatcherOptions opts;
+    opts.max_batch = 8;
+    opts.max_delay = std::chrono::microseconds(500);
+    if (s == kSwaps / 2) opts.replicas = 2;
+    for (int b = 0; b < 12; ++b) {
+      const size_t j = static_cast<size_t>(b) % images.size();
+      submitted.fetch_add(1);
+      burst.emplace_back(j, server.submit("m", images[j]));
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const serve::SwapReport report =
+        server.swap_model("m", std::move(spares[static_cast<size_t>(s)]),
+                          opts);
+    swap_ms.push_back(std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    total_drained += report.drained;
+  }
+  for (auto& [j, fut] : burst) {
+    try {
+      const Tensor y = fut.get();
+      const bool is_v1 = max_abs_diff(y, ref1[j]) == 0.0f;
+      const bool is_v2 = max_abs_diff(y, ref2[j]) == 0.0f;
+      if (!is_v1 && !is_v2) garbled.fetch_add(1);
+      answered.fetch_add(1);
+    } catch (const Error&) {
+      errors.fetch_add(1);
+    }
+  }
+  for (auto& t : clients) t.join();
+
+  std::sort(swap_ms.begin(), swap_ms.end());
+  const double p50 = swap_ms[swap_ms.size() / 2];
+  const double worst = swap_ms.back();
+
+  std::printf("deploy hot-swap under load: %d clients x %d requests, %d "
+              "swaps\n",
+              kClients, kPerClient, kSwaps);
+  std::printf("  %-26s %lld\n", "submitted",
+              static_cast<long long>(submitted.load()));
+  std::printf("  %-26s %lld\n", "answered",
+              static_cast<long long>(answered.load()));
+  std::printf("  %-26s %lld\n", "errors",
+              static_cast<long long>(errors.load()));
+  std::printf("  %-26s %lld\n", "garbled replies",
+              static_cast<long long>(garbled.load()));
+  std::printf("  %-26s %lld\n", "drained across swaps",
+              static_cast<long long>(total_drained));
+  std::printf("  %-26s p50 %.2f ms, worst %.2f ms\n", "swap latency", p50,
+              worst);
+
+  if (json.enabled()) {
+    char rec[512];
+    std::snprintf(rec, sizeof(rec),
+                  "{\"clients\":%d,\"per_client\":%d,\"swaps\":%d,"
+                  "\"submitted\":%lld,\"answered\":%lld,\"errors\":%lld,"
+                  "\"garbled\":%lld,\"drained\":%lld,\"swap_ms_p50\":%.3f,"
+                  "\"swap_ms_worst\":%.3f}",
+                  kClients, kPerClient, kSwaps,
+                  static_cast<long long>(submitted.load()),
+                  static_cast<long long>(answered.load()),
+                  static_cast<long long>(errors.load()),
+                  static_cast<long long>(garbled.load()),
+                  static_cast<long long>(total_drained), p50, worst);
+    json.add(rec);
+    json.write();
+  }
+
+  // The zero-downtime contract, audited end to end.
+  const bool all_answered =
+      answered.load() == submitted.load() && errors.load() == 0;
+  const bool no_garbage = garbled.load() == 0;
+  const bool swaps_done = static_cast<int>(swap_ms.size()) == kSwaps;
+  const bool drained_real_work = total_drained > 0;
+  std::printf("\nSHAPE-CHECK every accepted request answered exactly once "
+              "across %d swaps: %s (%lld/%lld, %lld errors)\n",
+              kSwaps, all_answered ? "OK" : "FAILED",
+              static_cast<long long>(answered.load()),
+              static_cast<long long>(submitted.load()),
+              static_cast<long long>(errors.load()));
+  std::printf("SHAPE-CHECK every reply bit-identical to a registered "
+              "version: %s (%lld garbled)\n",
+              no_garbage ? "OK" : "FAILED",
+              static_cast<long long>(garbled.load()));
+  std::printf("SHAPE-CHECK all swaps completed under load: %s\n",
+              swaps_done ? "OK" : "FAILED");
+  std::printf("SHAPE-CHECK swaps displaced real in-flight work (drain "
+              "observed): %s (%lld drained)\n",
+              drained_real_work ? "OK" : "FAILED",
+              static_cast<long long>(total_drained));
+  return all_answered && no_garbage && swaps_done && drained_real_work ? 0 : 1;
+}

@@ -19,20 +19,30 @@
 // BatcherOptions::replicas = R (the one-field sharding switch), clients fire
 // a mix of interactive, normal and deliberately-expired requests at it, and
 // the per-replica stats table (requests, avg batch, p99, sheds) is printed.
+//
+// `--canary` demonstrates dsx::deploy instead: two weight versions are
+// persisted to a ModelStore, v1 goes live behind a RolloutController, v2 is
+// staged through the full ladder - shadow (mirrored traffic, output
+// comparison) -> canary (25% of real requests by deterministic hash) ->
+// promote (zero-downtime hot-swap) - with per-version stats printed at each
+// step.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <thread>
 #include <vector>
 
 #include "data/synth.hpp"
+#include "deploy/deploy.hpp"
 #include "models/mobilenet.hpp"
 #include "nn/sgd.hpp"
 #include "nn/trainer.hpp"
 #include "serve/server.hpp"
 #include "shard/shard.hpp"
 #include "tensor/random.hpp"
+#include "tensor/tensor_ops.hpp"
 #include "tune/tune.hpp"
 
 namespace {
@@ -202,12 +212,123 @@ int run_shard_demo(int replicas) {
              : 1;
 }
 
+int run_canary_demo() {
+  using namespace dsx;
+  const int64_t image = 16;
+
+  // --- 1. two weight versions of the design point into the store -----------
+  const std::string store_root = "dsx_model_store";
+  std::filesystem::remove_all(store_root);  // a fresh walkthrough every run
+  deploy::ModelStore store(store_root);
+  deploy::ArchSpec spec;
+  spec.family = "mobilenet";
+  spec.num_classes = 10;
+  spec.image = image;
+  spec.scheme = scheme();
+  for (const auto& [version, seed] :
+       {std::pair<const char*, uint64_t>{"v1", 7},
+        std::pair<const char*, uint64_t>{"v2", 8}}) {
+    spec.init_seed = seed;
+    auto net = deploy::build_architecture(spec);
+    store.save_version("mobilenet-scc", version, *net, spec);
+    const auto m = store.manifest("mobilenet-scc", version);
+    std::printf("stored %s/%s: %s, weights %lld bytes (checksum %016llx)\n",
+                m.model.c_str(), m.version.c_str(),
+                m.arch.to_string().c_str(),
+                static_cast<long long>(m.weights.bytes),
+                static_cast<unsigned long long>(m.weights.checksum));
+  }
+
+  // --- 2. v1 live, v2 through shadow -> canary -> promote ------------------
+  serve::InferenceServer server;
+  deploy::RolloutOptions ropts;
+  ropts.shadow_fraction = 0.5;
+  ropts.canary_fraction = 0.25;
+  deploy::RolloutController rollout(server, store, ropts);
+  rollout.deploy("mobilenet-scc", "v1",
+                 serve::CompileOptions{.max_batch = 8});
+
+  Rng img_rng(13);
+  std::vector<Tensor> requests;
+  for (int i = 0; i < 24; ++i) {
+    requests.push_back(
+        random_uniform(make_nchw(1, 3, image, image), img_rng));
+  }
+  const auto drive = [&](int rounds) {
+    int answered = 0;
+    for (int r = 0; r < rounds; ++r) {
+      for (const Tensor& img : requests) {
+        (void)rollout.infer("mobilenet-scc", img);
+        ++answered;
+      }
+    }
+    return answered;
+  };
+  const auto print_status = [&](const char* moment) {
+    const deploy::RolloutStatus s = rollout.status("mobilenet-scc");
+    std::printf("\n[%s] live=%s%s%s phase=%s split=%.0f%%\n", moment,
+                s.live_version.c_str(),
+                s.candidate_version.empty() ? "" : " candidate=",
+                s.candidate_version.c_str(), deploy::phase_name(s.phase),
+                s.split_fraction * 100.0);
+    std::printf("  primary:   %lld requests, p99 %.2f ms\n",
+                static_cast<long long>(s.primary_requests), s.primary_p99_ms);
+    if (!s.candidate_version.empty()) {
+      std::printf("  candidate: %lld requests, p99 %.2f ms, %lld errors\n",
+                  static_cast<long long>(s.candidate_requests),
+                  s.candidate_p99_ms,
+                  static_cast<long long>(s.candidate_errors));
+    }
+    if (s.shadow.mirrored > 0) {
+      std::printf("  shadow:    %lld mirrored, %lld compared, %lld "
+                  "mismatches (max |diff| %.4f)\n",
+                  static_cast<long long>(s.shadow.mirrored),
+                  static_cast<long long>(s.shadow.compared),
+                  static_cast<long long>(s.shadow.mismatches),
+                  s.shadow.max_abs_diff);
+    }
+  };
+
+  int answered = drive(1);
+  print_status("v1 live");
+
+  rollout.stage("mobilenet-scc", "v2", serve::CompileOptions{.max_batch = 8});
+  answered += drive(2);
+  rollout.drain_shadow_compares();
+  print_status("v2 shadowing at 50%");
+  const deploy::RolloutStatus shadow_status = rollout.status("mobilenet-scc");
+
+  rollout.advance_to_canary("mobilenet-scc");
+  answered += drive(2);
+  print_status("v2 canary at 25% (deterministic request-hash split)");
+
+  rollout.promote("mobilenet-scc");
+  answered += drive(1);
+  print_status("v2 promoted (hot-swap; v1 drained, zero dropped)");
+
+  // --- 3. sanity: the promoted fleet really is v2 --------------------------
+  auto v2_ref = store.compile("mobilenet-scc", "v2",
+                              serve::CompileOptions{.max_batch = 8});
+  const float diff = max_abs_diff(rollout.infer("mobilenet-scc", requests[0]),
+                                  v2_ref->run(requests[0]));
+  ++answered;
+  std::printf("\nserved %d requests end to end; post-promote reply vs v2 "
+              "reference |diff| = %g\n", answered, diff);
+  const bool ok = diff == 0.0f && shadow_status.shadow.mirrored > 0 &&
+                  shadow_status.shadow.compared ==
+                      shadow_status.shadow.mirrored &&
+                  rollout.status("mobilenet-scc").promotions == 1;
+  std::printf("canary walkthrough %s\n", ok ? "OK" : "FAILED");
+  return ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dsx;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--tune") == 0) return run_tuning_demo();
+    if (std::strcmp(argv[i], "--canary") == 0) return run_canary_demo();
     if (std::strcmp(argv[i], "--shard") == 0) {
       const int replicas = i + 1 < argc ? std::atoi(argv[i + 1]) : 2;
       return run_shard_demo(replicas > 0 ? replicas : 2);

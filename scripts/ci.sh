@@ -4,7 +4,9 @@
 #   scripts/ci.sh              - configure, build, ctest, smoke benches
 #                                (writes BENCH_serve_throughput.json,
 #                                 BENCH_shard_scaling.json,
+#                                 BENCH_deploy_swap.json,
 #                                 BENCH_micro_kernels.json, BENCH_tune.json)
+#                                plus the deploy canary walkthrough
 #   scripts/ci.sh --fast       - skip the smoke benches (tier-1 only)
 #   scripts/ci.sh --sanitize   - additionally build Debug + ASan/UBSan in
 #                                build-sanitize/ and run the tier-1 suite
@@ -43,6 +45,16 @@ if [[ "${FAST}" != "1" ]]; then
   # Sweeps replicas {1,2,4}; asserts modeled R=2 >= 1.3x R=1 and that
   # measured R=2 is not slower than R=1 (see bench/shard_scaling.cpp).
   ./build/bench_shard_scaling --smoke --json
+
+  echo "== deploy hot-swap (smoke, json) =="
+  # Hot-swaps under sustained load; asserts zero dropped/duplicated replies
+  # and every answer bit-identical to a registered version.
+  ./build/bench_deploy_swap --smoke --json
+
+  echo "== deploy canary walkthrough =="
+  # Store -> shadow -> canary -> promote; asserts the promoted fleet serves
+  # the staged version bit-identically (see examples/serve_mobilenet_scc).
+  ./build/example_serve_mobilenet_scc --canary
 
   if [[ -x build/bench_micro_kernels ]]; then
     echo "== kernel tuning (json) =="

@@ -1,0 +1,71 @@
+// Little-endian binary stream helpers shared by the on-disk formats
+// (tune/cache "DSXU", deploy manifests "DSXM" / arch specs). Same
+// conventions as tensor/serialize: fixed-width scalars written raw, strings
+// length-prefixed, every read checked so truncation throws dsx::Error
+// instead of returning garbage. Format owners keep their own magic/version
+// framing and semantic bounds; these are just the checked primitives.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace dsx::io {
+
+inline void write_i64(std::ostream& os, int64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void write_u64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void write_f64(std::ostream& os, double v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+inline void write_str(std::ostream& os, const std::string& s) {
+  // Same bound the reader enforces - an over-long string must fail at save
+  // time, not produce a checksum-valid artifact its own reader rejects.
+  DSX_REQUIRE(s.size() <= 4096,
+              "binary_io: string too long to serialize (" << s.size()
+                                                          << " bytes)");
+  write_i64(os, static_cast<int64_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline int64_t read_i64(std::istream& is) {
+  int64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DSX_REQUIRE(is.good(), "binary_io: truncated stream");
+  return v;
+}
+
+inline uint64_t read_u64(std::istream& is) {
+  uint64_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DSX_REQUIRE(is.good(), "binary_io: truncated stream");
+  return v;
+}
+
+inline double read_f64(std::istream& is) {
+  double v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DSX_REQUIRE(is.good(), "binary_io: truncated stream");
+  return v;
+}
+
+inline std::string read_str(std::istream& is) {
+  const int64_t len = read_i64(is);
+  DSX_REQUIRE(len >= 0 && len <= 4096,
+              "binary_io: implausible string length " << len);
+  std::string s(static_cast<size_t>(len), '\0');
+  is.read(s.data(), static_cast<std::streamsize>(len));
+  DSX_REQUIRE(is.good(), "binary_io: truncated stream");
+  return s;
+}
+
+}  // namespace dsx::io

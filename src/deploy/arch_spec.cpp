@@ -1,0 +1,99 @@
+#include "deploy/arch_spec.hpp"
+
+#include <sstream>
+
+#include "common/binary_io.hpp"
+#include "common/check.hpp"
+#include "models/mobilenet.hpp"
+#include "models/resnet.hpp"
+#include "models/vgg.hpp"
+#include "tensor/random.hpp"
+
+namespace dsx::deploy {
+
+std::string ArchSpec::to_string() const {
+  std::ostringstream os;
+  os << family << "-c" << num_classes << "-" << image << "x" << image << "-"
+     << scheme.to_string();
+  return os.str();
+}
+
+void validate_arch_spec(const ArchSpec& spec) {
+  DSX_REQUIRE(spec.family == "mobilenet" || spec.family == "resnet18" ||
+                  spec.family == "resnet50" || spec.family == "vgg16" ||
+                  spec.family == "vgg19",
+              "ArchSpec: unknown family '" << spec.family << "'");
+  DSX_REQUIRE(spec.channels == 3, "ArchSpec: builders assume RGB input, got "
+                                      << spec.channels << " channels");
+  DSX_REQUIRE(spec.image >= 8 && spec.image <= 1024,
+              "ArchSpec: implausible image size " << spec.image);
+  DSX_REQUIRE((spec.family != "vgg16" && spec.family != "vgg19") ||
+                  spec.image >= 32,
+              "ArchSpec: " << spec.family << " needs image >= 32, got "
+                           << spec.image);
+  DSX_REQUIRE(spec.num_classes >= 1,
+              "ArchSpec: num_classes must be >= 1, got " << spec.num_classes);
+}
+
+std::unique_ptr<nn::Sequential> build_architecture(const ArchSpec& spec) {
+  validate_arch_spec(spec);
+  Rng rng(spec.init_seed);
+  if (spec.family == "mobilenet") {
+    return models::build_mobilenet(spec.num_classes, spec.scheme, rng);
+  }
+  if (spec.family == "resnet18") {
+    return models::build_resnet(18, spec.num_classes, spec.scheme, rng);
+  }
+  if (spec.family == "resnet50") {
+    return models::build_resnet(50, spec.num_classes, spec.scheme, rng);
+  }
+  if (spec.family == "vgg16") {
+    return models::build_vgg(16, spec.num_classes, spec.image, spec.scheme,
+                             rng);
+  }
+  if (spec.family == "vgg19") {
+    return models::build_vgg(19, spec.num_classes, spec.image, spec.scheme,
+                             rng);
+  }
+  DSX_REQUIRE(false, "build_architecture: unknown family '" << spec.family
+                                                            << "'");
+  return nullptr;  // unreachable
+}
+
+void write_arch_spec(std::ostream& os, const ArchSpec& spec) {
+  io::write_str(os, spec.family);
+  io::write_i64(os, spec.num_classes);
+  io::write_i64(os, spec.channels);
+  io::write_i64(os, spec.image);
+  io::write_i64(os, static_cast<int64_t>(spec.scheme.scheme));
+  io::write_i64(os, spec.scheme.cg);
+  io::write_f64(os, spec.scheme.co);
+  io::write_i64(os, static_cast<int64_t>(spec.scheme.scc_impl));
+  io::write_f64(os, spec.scheme.width_mult);
+  io::write_u64(os, spec.init_seed);
+}
+
+ArchSpec read_arch_spec(std::istream& is) {
+  ArchSpec spec;
+  spec.family = io::read_str(is);
+  spec.num_classes = io::read_i64(is);
+  spec.channels = io::read_i64(is);
+  spec.image = io::read_i64(is);
+  const int64_t scheme = io::read_i64(is);
+  DSX_REQUIRE(scheme >= 0 &&
+                  scheme <= static_cast<int64_t>(models::ConvScheme::kShiftSCC),
+              "read_arch_spec: bad scheme enum " << scheme);
+  spec.scheme.scheme = static_cast<models::ConvScheme>(scheme);
+  spec.scheme.cg = io::read_i64(is);
+  spec.scheme.co = io::read_f64(is);
+  const int64_t impl = io::read_i64(is);
+  DSX_REQUIRE(impl >= 0 &&
+                  impl <= static_cast<int64_t>(nn::SCCImpl::kGemmStack),
+              "read_arch_spec: bad SCC impl enum " << impl);
+  spec.scheme.scc_impl = static_cast<nn::SCCImpl>(impl);
+  spec.scheme.width_mult = io::read_f64(is);
+  spec.init_seed = io::read_u64(is);
+  return spec;
+}
+
+}  // namespace dsx::deploy

@@ -1,0 +1,56 @@
+// Rebuildable architecture descriptions for the versioned model store.
+//
+// A checkpoint (nn/checkpoint) holds weights only; to reconstruct a servable
+// model from disk the store also needs to know HOW to build the network the
+// weights belong to. DSXplore models are all produced by the scheme-
+// parameterised zoo builders (models/{mobilenet,resnet,vgg}), so an ArchSpec
+// pins the builder family plus every design-point knob the paper sweeps -
+// scheme, channel groups cg, overlap ratio co, width multiplier - which is
+// exactly the per-version metadata a rollout of a new SCC design point needs
+// to carry. build_architecture() turns a spec back into a freshly
+// initialised nn::Sequential whose parameters the stored checkpoint then
+// overwrites.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "models/schemes.hpp"
+#include "nn/containers.hpp"
+#include "tensor/shape.hpp"
+
+namespace dsx::deploy {
+
+struct ArchSpec {
+  /// Builder family: "mobilenet", "resnet18", "resnet50", "vgg16", "vgg19".
+  std::string family = "mobilenet";
+  int64_t num_classes = 10;
+  /// Input image geometry ([channels, image, image]; builders assume RGB).
+  int64_t channels = 3;
+  int64_t image = 32;
+  /// The design point (paper §V): conv scheme, cg, co, width multiplier.
+  models::SchemeConfig scheme;
+  /// Seed for the builder's (checkpoint-overwritten) parameter init.
+  uint64_t init_seed = 1;
+
+  Shape image_shape() const { return Shape{channels, image, image}; }
+  std::string to_string() const;
+};
+
+/// Throws dsx::Error on an unknown family or out-of-range geometry. Run by
+/// build_architecture and by ModelStore::save_version, so a spec that could
+/// never be rebuilt is rejected BEFORE its weights are persisted behind it.
+void validate_arch_spec(const ArchSpec& spec);
+
+/// Builds a freshly initialised model for `spec`. Throws dsx::Error on an
+/// unknown family or out-of-range geometry.
+std::unique_ptr<nn::Sequential> build_architecture(const ArchSpec& spec);
+
+/// Manifest-embedded (de)serialization; read_arch_spec throws on truncation
+/// or out-of-range enum values.
+void write_arch_spec(std::ostream& os, const ArchSpec& spec);
+ArchSpec read_arch_spec(std::istream& is);
+
+}  // namespace dsx::deploy

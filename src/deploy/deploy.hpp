@@ -1,0 +1,14 @@
+// dsx::deploy - versioned model store, zero-downtime hot-swap, and staged
+// (shadow -> canary -> promote) rollouts. Umbrella header.
+//
+// The deployment tier closes the loop on the paper's continuous design
+// exploration: a newly trained / retuned / requantized SCC design point is
+// persisted as an immutable store version (ArchSpec + checkpoint weights +
+// tuning cache, integrity-checked), staged behind the live serving name,
+// validated on mirrored then real traffic, and hot-swapped in with every
+// accepted request still answered exactly once - no process restart.
+#pragma once
+
+#include "deploy/arch_spec.hpp"
+#include "deploy/model_store.hpp"
+#include "deploy/rollout.hpp"

@@ -1,0 +1,304 @@
+#include "deploy/model_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "common/binary_io.hpp"
+#include "common/check.hpp"
+#include "nn/checkpoint.hpp"
+#include "tune/tune.hpp"
+
+namespace fs = std::filesystem;
+
+namespace dsx::deploy {
+
+namespace {
+
+constexpr char kManifestMagic[4] = {'D', 'S', 'X', 'M'};
+constexpr const char* kManifestFile = "manifest.bin";
+constexpr const char* kWeightsFile = "weights.bin";
+constexpr const char* kTuningFile = "tuning.bin";
+
+/// Model/version names become directory components; reject anything that
+/// could escape the store or collide with staging/hidden entries.
+void validate_name(const char* what, const std::string& name) {
+  DSX_REQUIRE(!name.empty() && name.size() <= 128,
+              what << " name must be 1..128 chars, got '" << name << "'");
+  DSX_REQUIRE(name.front() != '.', what << " name '" << name
+                                        << "' must not start with '.'");
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    DSX_REQUIRE(ok, what << " name '" << name << "' has invalid char '" << c
+                         << "' (allowed: alnum, '-', '_', '.')");
+  }
+}
+
+void write_artifact_info(std::ostream& os, const ArtifactInfo& info) {
+  io::write_str(os, info.file);
+  io::write_i64(os, info.bytes);
+  io::write_u64(os, info.checksum);
+}
+
+ArtifactInfo read_artifact_info(std::istream& is) {
+  ArtifactInfo info;
+  info.file = io::read_str(is);
+  info.bytes = io::read_i64(is);
+  info.checksum = io::read_u64(is);
+  return info;
+}
+
+/// Verifies size and checksum of one artifact inside `dir`.
+void verify_artifact(const std::string& dir, const ArtifactInfo& info) {
+  const fs::path path = fs::path(dir) / info.file;
+  DSX_REQUIRE(fs::exists(path),
+              "ModelStore: missing artifact " << path.string());
+  const int64_t bytes = static_cast<int64_t>(fs::file_size(path));
+  DSX_REQUIRE(bytes == info.bytes,
+              "ModelStore: artifact " << path.string() << " is " << bytes
+                                      << " bytes, manifest says " << info.bytes
+                                      << " (truncated or tampered)");
+  const uint64_t sum = fnv1a64_file(path.string());
+  DSX_REQUIRE(sum == info.checksum,
+              "ModelStore: artifact " << path.string()
+                                      << " failed its integrity check "
+                                         "(checksum mismatch)");
+}
+
+ArtifactInfo fingerprint(const fs::path& path) {
+  ArtifactInfo info;
+  info.file = path.filename().string();
+  info.bytes = static_cast<int64_t>(fs::file_size(path));
+  info.checksum = fnv1a64_file(path.string());
+  return info;
+}
+
+std::vector<std::string> sorted_subdirs(const fs::path& dir) {
+  std::vector<std::string> names;
+  if (!fs::exists(dir)) return names;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_directory()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.empty() || name.front() == '.') continue;  // staging/hidden
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+uint64_t fnv1a64_update(uint64_t h, const void* data, size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+uint64_t fnv1a64(const void* data, size_t bytes) {
+  return fnv1a64_update(kFnvOffset, data, bytes);
+}
+
+uint64_t fnv1a64_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  DSX_REQUIRE(is.is_open(), "fnv1a64_file: cannot open " << path);
+  uint64_t h = kFnvOffset;
+  char buf[1 << 16];
+  while (is.read(buf, sizeof(buf)) || is.gcount() > 0) {
+    h = fnv1a64_update(h, buf, static_cast<size_t>(is.gcount()));
+    if (!is) break;
+  }
+  return h;
+}
+
+ModelStore::ModelStore(std::string root) : root_(std::move(root)) {
+  DSX_REQUIRE(!root_.empty(), "ModelStore: empty root path");
+  fs::create_directories(root_);
+}
+
+std::string ModelStore::version_dir(const std::string& model,
+                                    const std::string& version) const {
+  // EVERY path built from caller-supplied names funnels through here (or
+  // list_versions), so the escape check holds on read/remove paths too -
+  // not just save_version.
+  validate_name("model", model);
+  validate_name("version", version);
+  return (fs::path(root_) / model / version).string();
+}
+
+std::string ModelStore::save_version(const std::string& model,
+                                     const std::string& version,
+                                     nn::Sequential& net, const ArchSpec& arch,
+                                     const tune::TuningCache* tuning) {
+  validate_name("model", model);
+  validate_name("version", version);
+  // A spec that could never be rebuilt must fail HERE, not at deploy time:
+  // otherwise the store publishes a checksum-valid version whose weights
+  // are permanently unreachable behind an unbuildable architecture.
+  validate_arch_spec(arch);
+  const fs::path final_dir = version_dir(model, version);
+  DSX_REQUIRE(!fs::exists(final_dir),
+              "ModelStore: " << model << "/" << version
+                             << " already exists (versions are immutable - "
+                                "save under a new version name)");
+
+  // Stage everything in a hidden sibling, fingerprint it, write the manifest
+  // LAST, then atomically publish via rename. A crash at any point leaves
+  // either no version or a complete one - never a torn one.
+  const fs::path staging =
+      fs::path(root_) / model / ("." + version + ".staging");
+  fs::remove_all(staging);  // a previous crashed save
+  fs::create_directories(staging);
+
+  VersionManifest m;
+  m.model = model;
+  m.version = version;
+  m.arch = arch;
+
+  nn::save_checkpoint_file(net, (staging / kWeightsFile).string());
+  m.weights = fingerprint(staging / kWeightsFile);
+
+  if (tuning != nullptr) {
+    tuning->save_file((staging / kTuningFile).string());
+    m.has_tuning_cache = true;
+    m.tuning = fingerprint(staging / kTuningFile);
+  }
+
+  {
+    std::ofstream os(staging / kManifestFile, std::ios::binary);
+    DSX_REQUIRE(os.is_open(), "ModelStore: cannot open "
+                                  << (staging / kManifestFile).string());
+    os.write(kManifestMagic, sizeof(kManifestMagic));
+    io::write_i64(os, VersionManifest::kVersion);
+    io::write_str(os, m.model);
+    io::write_str(os, m.version);
+    write_arch_spec(os, m.arch);
+    write_artifact_info(os, m.weights);
+    io::write_i64(os, m.has_tuning_cache ? 1 : 0);
+    if (m.has_tuning_cache) write_artifact_info(os, m.tuning);
+    DSX_CHECK(os.good(), "ModelStore: manifest write failed");
+  }
+
+  std::error_code ec;
+  fs::rename(staging, final_dir, ec);
+  DSX_REQUIRE(!ec, "ModelStore: cannot publish " << final_dir.string() << ": "
+                                                 << ec.message());
+  return final_dir.string();
+}
+
+bool ModelStore::has_version(const std::string& model,
+                             const std::string& version) const {
+  return fs::exists(fs::path(version_dir(model, version)) / kManifestFile);
+}
+
+std::vector<std::string> ModelStore::list_models() const {
+  return sorted_subdirs(root_);
+}
+
+std::vector<std::string> ModelStore::list_versions(
+    const std::string& model) const {
+  validate_name("model", model);
+  return sorted_subdirs(fs::path(root_) / model);
+}
+
+VersionManifest ModelStore::read_manifest_file(const std::string& path) const {
+  std::ifstream is(path, std::ios::binary);
+  DSX_REQUIRE(is.is_open(), "ModelStore: cannot open " << path);
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  DSX_REQUIRE(is.good() && std::memcmp(magic, kManifestMagic, 4) == 0,
+              "ModelStore: bad manifest magic in " << path);
+  const int64_t version = io::read_i64(is);
+  DSX_REQUIRE(version == VersionManifest::kVersion,
+              "ModelStore: manifest format " << version << ", this build reads "
+                                             << VersionManifest::kVersion);
+  VersionManifest m;
+  m.model = io::read_str(is);
+  m.version = io::read_str(is);
+  m.arch = read_arch_spec(is);
+  m.weights = read_artifact_info(is);
+  m.has_tuning_cache = io::read_i64(is) != 0;
+  if (m.has_tuning_cache) m.tuning = read_artifact_info(is);
+  return m;
+}
+
+VersionManifest ModelStore::manifest(const std::string& model,
+                                     const std::string& version) const {
+  const std::string dir = version_dir(model, version);
+  DSX_REQUIRE(fs::exists(fs::path(dir) / kManifestFile),
+              "ModelStore: no version " << model << "/" << version);
+  VersionManifest m =
+      read_manifest_file((fs::path(dir) / kManifestFile).string());
+  DSX_REQUIRE(m.model == model && m.version == version,
+              "ModelStore: manifest in " << dir << " claims to be " << m.model
+                                         << "/" << m.version);
+  verify_artifact(dir, m.weights);
+  if (m.has_tuning_cache) verify_artifact(dir, m.tuning);
+  return m;
+}
+
+std::unique_ptr<nn::Sequential> ModelStore::load_from_manifest(
+    const VersionManifest& m) const {
+  std::unique_ptr<nn::Sequential> net = build_architecture(m.arch);
+  const fs::path weights =
+      fs::path(version_dir(m.model, m.version)) / m.weights.file;
+  // load_checkpoint validates param count/names/shapes against the rebuilt
+  // architecture, so a manifest whose spec drifted from its weights fails
+  // loudly here.
+  nn::load_checkpoint_file(*net, weights.string());
+  return net;
+}
+
+std::unique_ptr<nn::Sequential> ModelStore::load_model(
+    const std::string& model, const std::string& version) const {
+  return load_from_manifest(manifest(model, version));  // integrity-verified
+}
+
+std::string ModelStore::tuning_cache_path(const std::string& model,
+                                          const std::string& version) const {
+  const VersionManifest m = manifest(model, version);
+  if (!m.has_tuning_cache) return "";
+  return (fs::path(version_dir(model, version)) / m.tuning.file).string();
+}
+
+std::unique_ptr<serve::CompiledModel> ModelStore::compile(
+    const std::string& model, const std::string& version,
+    serve::CompileOptions opts) const {
+  const VersionManifest m = manifest(model, version);
+  std::unique_ptr<nn::Sequential> net = load_from_manifest(m);
+  if (m.has_tuning_cache) {
+    // Warm-start: merge the version's persisted measurements into the
+    // process session, then compile in kCached mode with NO cache file
+    // armed - the tuning pass resolves every call site from the merged
+    // records without measuring, and nothing is written back into the
+    // immutable artifact (which would break its checksum).
+    const fs::path cache = fs::path(version_dir(model, version)) / m.tuning.file;
+    tune::Session::global().cache().load_file(cache.string());
+    opts.tuning = tune::Mode::kCached;
+    opts.tuning_cache.clear();
+  }
+  return std::make_unique<serve::CompiledModel>(std::move(net),
+                                                m.arch.image_shape(), opts);
+}
+
+void ModelStore::remove_version(const std::string& model,
+                                const std::string& version) {
+  const fs::path dir = version_dir(model, version);
+  DSX_REQUIRE(fs::exists(dir),
+              "ModelStore: no version " << model << "/" << version);
+  fs::remove_all(dir);
+  const fs::path model_dir = fs::path(root_) / model;
+  if (fs::exists(model_dir) && fs::is_empty(model_dir)) fs::remove(model_dir);
+}
+
+}  // namespace dsx::deploy

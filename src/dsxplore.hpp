@@ -72,6 +72,9 @@
 // Replicated, priority/deadline-aware sharded serving.
 #include "shard/shard.hpp"
 
+// Versioned model store, hot-swap, canary/shadow rollouts.
+#include "deploy/deploy.hpp"
+
 // Design-space exploration.
 #include "explore/design_space.hpp"
 

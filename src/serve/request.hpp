@@ -52,6 +52,16 @@ class QueueFull : public Error {
   explicit QueueFull(const std::string& what) : Error(what) {}
 };
 
+/// Thrown by submit() on a batcher/fleet that has been stopped - either the
+/// whole server is shutting down, or a hot-swap (dsx::deploy) displaced this
+/// fleet. InferenceServer::submit treats the latter as a routing miss and
+/// re-resolves the live entry, so server callers only ever observe Stopped
+/// after InferenceServer::stop() or unregister_model().
+class Stopped : public Error {
+ public:
+  explicit Stopped(const std::string& what) : Error(what) {}
+};
+
 /// One queued inference request.
 struct Request {
   Tensor image;  // normalized to [1, C, H, W]

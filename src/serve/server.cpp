@@ -1,31 +1,78 @@
 #include "serve/server.hpp"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.hpp"
 
 namespace dsx::serve {
 
+namespace {
+
+/// The one-field sharding bridge (BatcherOptions::replicas > 1), shared by
+/// register_model and swap_model so the two paths can never drift.
+shard::ShardOptions to_shard_options(const BatcherOptions& opts) {
+  shard::ShardOptions sopts;
+  sopts.replicas = opts.replicas;
+  sopts.max_batch = opts.max_batch;
+  sopts.max_delay = opts.max_delay;
+  sopts.queue_capacity = opts.queue_capacity;
+  return sopts;
+}
+
+}  // namespace
+
+std::future<Tensor> InferenceServer::Entry::submit(const Tensor& image) {
+  if (replicas != nullptr) return replicas->submit(image);
+  return batcher->submit(image);
+}
+
+std::future<Tensor> InferenceServer::Entry::submit(const Tensor& image,
+                                                   shard::SubmitOptions sopts) {
+  if (replicas != nullptr) return replicas->submit(image, sopts);
+  // Single-replica models speak the same scheduling contract: the batcher
+  // engine handles EDF ordering, deadline shedding and shed accounting.
+  return batcher->submit(image, sopts);
+}
+
+int64_t InferenceServer::Entry::answered() const {
+  if (replicas != nullptr) return replicas->stats().requests;
+  return batcher->stats().requests;
+}
+
+void InferenceServer::Entry::stop() {
+  if (batcher != nullptr) batcher->stop();
+  if (replicas != nullptr) replicas->stop();
+}
+
+SwapReport InferenceServer::Entry::drain() {
+  SwapReport report;
+  const int64_t before = answered();
+  const auto t0 = std::chrono::steady_clock::now();
+  stop();  // answers every queued request before joining the worker(s)
+  report.drain_ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+  report.drained = answered() - before;
+  return report;
+}
+
 void InferenceServer::register_model(const std::string& name,
                                      std::unique_ptr<CompiledModel> model,
                                      BatcherOptions opts) {
   validate_batcher_options(opts);
   if (opts.replicas > 1) {
-    shard::ShardOptions sopts;
-    sopts.replicas = opts.replicas;
-    sopts.max_batch = opts.max_batch;
-    sopts.max_delay = opts.max_delay;
-    sopts.queue_capacity = opts.queue_capacity;
-    register_model_sharded(name, std::move(model), sopts);
+    register_model_sharded(name, std::move(model), to_shard_options(opts));
     return;
   }
   DSX_REQUIRE(model != nullptr, "register_model: null model");
+  auto entry = std::make_shared<Entry>();
+  entry->model = std::move(model);
+  entry->batcher = std::make_unique<DynamicBatcher>(*entry->model, opts);
   std::lock_guard<std::mutex> lock(mu_);
+  DSX_REQUIRE(!stopped_, "register_model: server is stopped");
   DSX_REQUIRE(models_.find(name) == models_.end(),
               "register_model: '" << name << "' already registered");
-  Entry entry;
-  entry.model = std::move(model);
-  entry.batcher = std::make_unique<DynamicBatcher>(*entry.model, opts);
   models_.emplace(name, std::move(entry));
 }
 
@@ -39,19 +86,106 @@ void InferenceServer::register_model_sharded(const std::string& name,
   // below still guards the race window between the two.
   {
     std::lock_guard<std::mutex> lock(mu_);
+    DSX_REQUIRE(!stopped_, "register_model: server is stopped");
     DSX_REQUIRE(models_.find(name) == models_.end(),
                 "register_model: '" << name << "' already registered");
   }
   // Compile the replica fleet WITHOUT the registry lock: clone compilation
   // is slow and must not block serving of other models.
-  auto replicas =
-      std::make_unique<shard::ReplicaSet>(std::move(model), opts);
+  auto entry = std::make_shared<Entry>();
+  entry->replicas = std::make_unique<shard::ReplicaSet>(std::move(model), opts);
   std::lock_guard<std::mutex> lock(mu_);
+  DSX_REQUIRE(!stopped_, "register_model: server is stopped");
   DSX_REQUIRE(models_.find(name) == models_.end(),
               "register_model: '" << name << "' already registered");
-  Entry entry;
-  entry.replicas = std::move(replicas);
   models_.emplace(name, std::move(entry));
+}
+
+void InferenceServer::unregister_model(const std::string& name) {
+  EntryPtr removed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = models_.find(name);
+    DSX_REQUIRE(it != models_.end(),
+                "unregister_model: no model named '" << name << "'");
+    removed = std::move(it->second);
+    models_.erase(it);
+  }
+  // Drain outside the lock: queued requests execute here, and blocking the
+  // registry for the duration would stall serving of every other model. The
+  // Entry itself dies when the last concurrent submit releases its ref.
+  removed->stop();
+}
+
+SwapReport InferenceServer::install_and_drain(const std::string& name,
+                                              EntryPtr fresh) {
+  EntryPtr displaced;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSX_REQUIRE(!stopped_, "swap_model: server is stopped");
+    auto it = models_.find(name);
+    DSX_REQUIRE(it != models_.end(),
+                "swap_model: no model named '" << name << "'");
+    displaced = std::move(it->second);
+    it->second = std::move(fresh);
+  }
+  // From here every new submit resolves the fresh fleet. The displaced
+  // fleet's drain answers its whole queue with the OLD model - the version
+  // that accepted those requests - so the swap drops nothing.
+  return displaced->drain();
+}
+
+SwapReport InferenceServer::swap_model(const std::string& name,
+                                       std::unique_ptr<CompiledModel> model,
+                                       BatcherOptions opts) {
+  validate_batcher_options(opts);
+  DSX_REQUIRE(model != nullptr, "swap_model: null model");
+  if (opts.replicas > 1) {
+    return swap_model_sharded(name, std::move(model), to_shard_options(opts));
+  }
+  auto fresh = std::make_shared<Entry>();
+  fresh->model = std::move(model);
+  fresh->batcher = std::make_unique<DynamicBatcher>(*fresh->model, opts);
+  return install_and_drain(name, std::move(fresh));
+}
+
+SwapReport InferenceServer::swap_model_sharded(const std::string& name,
+                                               std::unique_ptr<CompiledModel> model,
+                                               shard::ShardOptions opts) {
+  DSX_REQUIRE(model != nullptr, "swap_model: null model");
+  // Compile the replacement fleet before touching the registry: the old
+  // fleet keeps serving until the new one is ready to take every request.
+  auto fresh = std::make_shared<Entry>();
+  fresh->replicas = std::make_unique<shard::ReplicaSet>(std::move(model), opts);
+  return install_and_drain(name, std::move(fresh));
+}
+
+SwapReport InferenceServer::swap_model_with(const std::string& name,
+                                            const std::string& donor) {
+  DSX_REQUIRE(name != donor, "swap_model_with: '" << name
+                                                  << "' cannot donate itself");
+  EntryPtr displaced;
+  {
+    // One critical section for the whole exchange: erasing the donor and
+    // installing it under `name` must not be separable, or a throw in the
+    // gap (name unregistered / server stopped concurrently) would lose the
+    // donor fleet from the registry while its batcher still runs.
+    std::lock_guard<std::mutex> lock(mu_);
+    DSX_REQUIRE(!stopped_, "swap_model_with: server is stopped");
+    auto donor_it = models_.find(donor);
+    DSX_REQUIRE(donor_it != models_.end(),
+                "swap_model_with: no model named '" << donor << "'");
+    auto name_it = models_.find(name);
+    DSX_REQUIRE(name_it != models_.end(),
+                "swap_model_with: no model named '" << name << "'");
+    // The donor fleet moves as-is - batcher, queue and stats survive the
+    // rename, so requests accepted under the donor name are answered
+    // untouched and the candidate's observed history carries over.
+    displaced = std::move(name_it->second);
+    name_it->second = std::move(donor_it->second);
+    models_.erase(donor_it);
+  }
+  return displaced->drain();
 }
 
 bool InferenceServer::has_model(const std::string& name) const {
@@ -67,7 +201,7 @@ std::vector<std::string> InferenceServer::model_names() const {
   return names;
 }
 
-const InferenceServer::Entry& InferenceServer::entry(
+InferenceServer::EntryPtr InferenceServer::entry(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = models_.find(name);
@@ -75,23 +209,38 @@ const InferenceServer::Entry& InferenceServer::entry(
   return it->second;
 }
 
+template <typename Submit>
+std::future<Tensor> InferenceServer::submit_with_retry(
+    const std::string& name, const Submit& submit_fn) {
+  // Hot-swap retry loop: the shared_ptr keeps the resolved fleet alive for
+  // the duration of the call, and a fleet displaced between resolution and
+  // enqueue throws Stopped - re-resolve and land on its replacement. The
+  // loop terminates: each retry means a swap/unregister won the race, and
+  // after an unregister the lookup itself throws. The bound exists only to
+  // turn a pathological swap storm into a clean error instead of livelock.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    EntryPtr e = entry(name);
+    try {
+      return submit_fn(*e);
+    } catch (const Stopped&) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopped_) throw;  // server shutdown, not a swap: propagate
+    }
+  }
+  throw Error("submit: model '" + name + "' kept swapping; giving up");
+}
+
 std::future<Tensor> InferenceServer::submit(const std::string& name,
                                             const Tensor& image) {
-  // Entries are never removed while the server lives, so the reference
-  // stays valid after the registry lock drops.
-  const Entry& e = entry(name);
-  if (e.replicas != nullptr) return e.replicas->submit(image);
-  return e.batcher->submit(image);
+  return submit_with_retry(
+      name, [&](Entry& e) { return e.submit(image); });
 }
 
 std::future<Tensor> InferenceServer::submit(const std::string& name,
                                             const Tensor& image,
                                             shard::SubmitOptions sopts) {
-  const Entry& e = entry(name);
-  if (e.replicas != nullptr) return e.replicas->submit(image, sopts);
-  // Single-replica models speak the same scheduling contract: the batcher
-  // engine handles EDF ordering, deadline shedding and shed accounting.
-  return e.batcher->submit(image, sopts);
+  return submit_with_retry(
+      name, [&](Entry& e) { return e.submit(image, sopts); });
 }
 
 Tensor InferenceServer::infer(const std::string& name, const Tensor& image) {
@@ -99,12 +248,12 @@ Tensor InferenceServer::infer(const std::string& name, const Tensor& image) {
 }
 
 ModelStats InferenceServer::stats(const std::string& name) const {
-  const Entry& e = entry(name);
+  const EntryPtr e = entry(name);
   ModelStats s;
   s.name = name;
-  if (e.replicas != nullptr) {
-    s.compile = e.replicas->prototype_report();
-    s.shard = e.replicas->stats();
+  if (e->replicas != nullptr) {
+    s.compile = e->replicas->prototype_report();
+    s.shard = e->replicas->stats();
     // Aggregate the fleet into the legacy BatcherStats view so one-field
     // migrations (replicas = R) keep existing stats consumers honest:
     // requests/batches sum across replicas, latency/qps come from the
@@ -121,8 +270,8 @@ ModelStats InferenceServer::stats(const std::string& name) const {
     s.batcher.qps = s.shard->qps;
     s.batcher.latency = s.shard->latency;
   } else {
-    s.compile = e.model->report();
-    s.batcher = e.batcher->stats();
+    s.compile = e->model->report();
+    s.batcher = e->batcher->stats();
   }
   return s;
 }
@@ -134,11 +283,16 @@ std::vector<ModelStats> InferenceServer::stats_all() const {
 }
 
 void InferenceServer::stop() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (auto& [name, entry] : models_) {
-    if (entry.batcher != nullptr) entry.batcher->stop();
-    if (entry.replicas != nullptr) entry.replicas->stop();
+  std::vector<EntryPtr> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopped_ = true;
+    entries.reserve(models_.size());
+    for (auto& [name, entry] : models_) entries.push_back(entry);
   }
+  // Drain outside the lock (queued requests execute during stop), holding
+  // refs so a concurrent unregister cannot free a fleet mid-drain.
+  for (const EntryPtr& e : entries) e->stop();
 }
 
 }  // namespace dsx::serve

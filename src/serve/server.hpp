@@ -8,6 +8,16 @@
 // process-local shape of the roadmap's serving tier: N models x M client
 // threads, with per-model throughput/latency stats exported from the
 // lock-free device::LatencyStats counters.
+//
+// Registry entries are replaceable at runtime (dsx::deploy's hot-swap):
+// swap_model* installs a freshly compiled fleet under a live name and drains
+// the displaced one, unregister_model removes a name entirely. submit()
+// holds a shared_ptr to the entry it resolved, so a concurrent swap can
+// never free a fleet out from under an in-flight submission; a submission
+// that loses the race (the displaced fleet throws Stopped) transparently
+// re-resolves the live entry. Every accepted request - one whose submit()
+// returned a future - is answered exactly once, by the fleet that accepted
+// it (the displaced fleet's drain answers its queue before it is destroyed).
 #pragma once
 
 #include <future>
@@ -34,6 +44,12 @@ struct ModelStats {
   std::optional<shard::ShardStats> shard;
 };
 
+/// What a hot-swap observed while draining the displaced fleet.
+struct SwapReport {
+  int64_t drained = 0;   // requests the displaced fleet answered during drain
+  double drain_ms = 0.0;  // wall time of the displaced fleet's stop()
+};
+
 class InferenceServer {
  public:
   InferenceServer() = default;
@@ -45,7 +61,7 @@ class InferenceServer {
   /// Registers a compiled model under `name` and starts its batcher(s).
   /// opts.replicas > 1 shards the model: `model` becomes replica 0 and
   /// replicas-1 clones are compiled (see shard::ReplicaSet). Throws if the
-  /// name is taken or opts are invalid.
+  /// name is taken, the server is stopped, or opts are invalid.
   void register_model(const std::string& name,
                       std::unique_ptr<CompiledModel> model,
                       BatcherOptions opts = {});
@@ -57,6 +73,36 @@ class InferenceServer {
   void register_model_sharded(const std::string& name,
                               std::unique_ptr<CompiledModel> model,
                               shard::ShardOptions opts);
+
+  /// Removes `name` from the registry, stops its batcher(s) and drains the
+  /// queue - every already-accepted request is still answered. Safe against
+  /// concurrent submit(): a submission that raced the removal either landed
+  /// in the drained queue (answered) or throws ("no model named"). The
+  /// name is immediately reusable. Throws if the name is unknown.
+  void unregister_model(const std::string& name);
+
+  /// Zero-downtime hot-swap: atomically replaces `name`'s serving fleet
+  /// with a fresh single-batcher fleet for `model`, then drains the
+  /// displaced fleet (its queued requests are answered by the OLD model -
+  /// the version that accepted them). Concurrent submits never fail from
+  /// the swap: they re-resolve onto the new fleet. Stats counters restart
+  /// with the new fleet. Throws if `name` is unknown.
+  SwapReport swap_model(const std::string& name,
+                        std::unique_ptr<CompiledModel> model,
+                        BatcherOptions opts = {});
+
+  /// Hot-swap onto a sharded fleet (full shard::ShardOptions control).
+  SwapReport swap_model_sharded(const std::string& name,
+                                std::unique_ptr<CompiledModel> model,
+                                shard::ShardOptions opts);
+
+  /// Hot-swap from within the registry (dsx::deploy's promote): `donor`'s
+  /// already-serving fleet is removed from the registry and installed under
+  /// `name`, whose displaced fleet is drained. The donor fleet keeps its
+  /// batcher, queue and stats across the rename - in-flight donor requests
+  /// are unaffected. Throws if either name is unknown or both are the same.
+  SwapReport swap_model_with(const std::string& name,
+                             const std::string& donor);
 
   bool has_model(const std::string& name) const;
   std::vector<std::string> model_names() const;
@@ -74,7 +120,8 @@ class InferenceServer {
   ModelStats stats(const std::string& name) const;
   std::vector<ModelStats> stats_all() const;
 
-  /// Drains and stops every batcher. Idempotent; new submits then throw.
+  /// Drains and stops every batcher. Idempotent; new submits then throw
+  /// Stopped, registration throws Error.
   void stop();
 
  private:
@@ -82,12 +129,28 @@ class InferenceServer {
     std::unique_ptr<CompiledModel> model;        // null when sharded
     std::unique_ptr<DynamicBatcher> batcher;     // single-replica path
     std::unique_ptr<shard::ReplicaSet> replicas;  // sharded path
-  };
 
-  const Entry& entry(const std::string& name) const;
+    std::future<Tensor> submit(const Tensor& image);
+    std::future<Tensor> submit(const Tensor& image,
+                               shard::SubmitOptions sopts);
+    /// Stops the fleet and returns what the drain answered.
+    SwapReport drain();
+    int64_t answered() const;
+    void stop();
+  };
+  using EntryPtr = std::shared_ptr<Entry>;
+
+  EntryPtr entry(const std::string& name) const;
+  /// Exchanges `name`'s entry for `fresh` under the lock, then drains the
+  /// displaced fleet outside it.
+  SwapReport install_and_drain(const std::string& name, EntryPtr fresh);
+  template <typename Submit>
+  std::future<Tensor> submit_with_retry(const std::string& name,
+                                        const Submit& submit_fn);
 
   mutable std::mutex mu_;
-  std::map<std::string, Entry> models_;
+  bool stopped_ = false;
+  std::map<std::string, EntryPtr> models_;
 };
 
 }  // namespace dsx::serve

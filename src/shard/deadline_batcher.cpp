@@ -53,7 +53,10 @@ std::future<Tensor> DeadlineBatcher::submit(const Tensor& image,
   std::deque<serve::Request> expired;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    DSX_REQUIRE(!stopping_, "submit: batcher is stopped");
+    // A distinct exception type, not DSX_REQUIRE: the server's hot-swap path
+    // distinguishes "this fleet was displaced" (re-resolve and retry) from
+    // every other submit failure.
+    if (stopping_) throw serve::Stopped("submit: batcher is stopped");
     if (req.deadline <= req.enqueued) {
       // Dead on arrival: shed without touching the queue. Checked after the
       // stopped check - a stopped batcher throws for every submission, it

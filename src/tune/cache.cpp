@@ -7,6 +7,7 @@
 #include <ostream>
 #include <vector>
 
+#include "common/binary_io.hpp"
 #include "common/check.hpp"
 
 namespace dsx::tune {
@@ -15,42 +16,14 @@ namespace {
 
 constexpr char kMagic[4] = {'D', 'S', 'X', 'U'};
 
-void write_i64(std::ostream& os, int64_t v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void write_f64(std::ostream& os, double v) {
-  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void write_str(std::ostream& os, const std::string& s) {
-  write_i64(os, static_cast<int64_t>(s.size()));
-  os.write(s.data(), static_cast<std::streamsize>(s.size()));
-}
-
-int64_t read_i64(std::istream& is) {
-  int64_t v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  DSX_REQUIRE(is.good(), "TuningCache: truncated file");
-  return v;
-}
-
-double read_f64(std::istream& is) {
-  double v = 0;
-  is.read(reinterpret_cast<char*>(&v), sizeof(v));
-  DSX_REQUIRE(is.good(), "TuningCache: truncated file");
-  return v;
-}
-
-std::string read_str(std::istream& is) {
-  const int64_t len = read_i64(is);
-  DSX_REQUIRE(len >= 0 && len <= 4096, "TuningCache: implausible string length "
-                                           << len);
-  std::string s(static_cast<size_t>(len), '\0');
-  is.read(s.data(), static_cast<std::streamsize>(len));
-  DSX_REQUIRE(is.good(), "TuningCache: truncated file");
-  return s;
-}
+// Checked little-endian stream primitives shared with the deploy formats
+// (a torn/truncated read throws dsx::Error from the helper itself).
+using io::read_f64;
+using io::read_i64;
+using io::read_str;
+using io::write_f64;
+using io::write_i64;
+using io::write_str;
 
 void write_key(std::ostream& os, const ProblemKey& k) {
   write_i64(os, static_cast<int64_t>(k.op));

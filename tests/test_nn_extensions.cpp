@@ -8,11 +8,13 @@
 #include "core/scc_kernels.hpp"
 #include "models/mobilenet.hpp"
 #include "nn/adam.hpp"
+#include "nn/bn_folding.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/containers.hpp"
 #include "nn/layers_basic.hpp"
 #include "nn/layers_conv.hpp"
 #include "nn/trainer.hpp"
+#include "quant/quant_layers.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace dsx::nn {
@@ -191,6 +193,129 @@ TEST(Checkpoint, RejectsGarbage) {
   auto model = make_ckpt_model(21);
   std::stringstream blob("not a checkpoint at all, sorry");
   EXPECT_THROW(load_checkpoint(*model, blob), Error);
+}
+
+/// Conv -> BN -> SCC classifier for the quantized round-trip (quantization
+/// replaces the SCCConv, leaving the conv/linear floats checkpointable).
+std::unique_ptr<Sequential> make_scc_ckpt_model(uint64_t seed) {
+  Rng rng(seed);
+  auto m = std::make_unique<Sequential>();
+  m->emplace<Conv2d>(3, 8, 3, 1, 1, 1, rng, true);
+  m->emplace<BatchNorm2d>(8);
+  m->emplace<ReLU>();
+  m->emplace<SCCConv>(
+      scc::SCCConfig{.in_channels = 8, .out_channels = 16, .groups = 2,
+                     .overlap = 0.5, .stride = 1},
+      rng);
+  m->emplace<ReLU>();
+  m->emplace<GlobalAvgPool>();
+  m->emplace<Flatten>();
+  m->emplace<Linear>(16, 4, rng, true);
+  return m;
+}
+
+TEST(Checkpoint, RoundTripOnQuantizedModel) {
+  // Two identically quantized models (same float source, same calibration):
+  // after scrambling dst's remaining float params, loading src's checkpoint
+  // must restore agreement. QuantSCCConv itself carries no Params, so the
+  // checkpoint covers exactly the float remainder - and the round trip must
+  // tolerate the param list the quantized layer does NOT contribute.
+  Rng crng(61);
+  const Tensor calib = random_uniform(make_nchw(4, 3, 8, 8), crng);
+  auto src = make_scc_ckpt_model(60);
+  fold_batchnorm(*src);
+  quant::quantize_scc_layers(*src, calib);
+  auto dst = make_scc_ckpt_model(60);  // same seed: identical int8 banks
+  fold_batchnorm(*dst);
+  quant::quantize_scc_layers(*dst, calib);
+
+  for (Param* p : dst->params()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) p->value[i] += 0.5f;
+  }
+  Rng xrng(62);
+  Tensor x = random_uniform(make_nchw(2, 3, 8, 8), xrng);
+  const Tensor want = src->forward(x, false);
+  ASSERT_GT(max_abs_diff(dst->forward(x, false), want), 1e-3f);
+
+  std::stringstream blob;
+  save_checkpoint(*src, blob);
+  load_checkpoint(*dst, blob);
+  EXPECT_LT(max_abs_diff(dst->forward(x, false), want), 1e-6f);
+}
+
+TEST(Checkpoint, RoundTripOnClonedModel) {
+  // clone() must preserve parameter names/shapes well enough that a source
+  // checkpoint loads into a clone (deploy replicates plans this way).
+  auto src = make_scc_ckpt_model(63);
+  auto clone = src->clone_sequential();
+  for (Param* p : clone->params()) {
+    for (int64_t i = 0; i < p->value.numel(); ++i) p->value[i] -= 0.25f;
+  }
+  Rng xrng(64);
+  Tensor x = random_uniform(make_nchw(2, 3, 8, 8), xrng);
+  const Tensor want = src->forward(x, false);
+  ASSERT_GT(max_abs_diff(clone->forward(x, false), want), 1e-3f);
+
+  std::stringstream blob;
+  save_checkpoint(*src, blob);
+  load_checkpoint(*clone, blob);
+  EXPECT_LT(max_abs_diff(clone->forward(x, false), want), 1e-6f);
+
+  // And the reverse direction: a clone's checkpoint loads into the source.
+  std::stringstream blob2;
+  save_checkpoint(*clone, blob2);
+  load_checkpoint(*src, blob2);
+  EXPECT_LT(max_abs_diff(src->forward(x, false), clone->forward(x, false)),
+            1e-6f);
+}
+
+TEST(Checkpoint, RejectsTruncatedFile) {
+  auto src = make_ckpt_model(65);
+  std::stringstream blob;
+  save_checkpoint(*src, blob);
+  const std::string bytes = blob.str();
+  // Cut inside the magic, the count, a name, and the tensor payload; every
+  // prefix must be rejected, never silently half-load.
+  for (const size_t cut : {size_t{2}, size_t{10}, size_t{17},
+                           bytes.size() / 2, bytes.size() - 1}) {
+    ASSERT_LT(cut, bytes.size());
+    auto dst = make_ckpt_model(66);
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(load_checkpoint(*dst, truncated), Error) << "cut=" << cut;
+  }
+}
+
+TEST(Checkpoint, RejectsCorruptedHeaderFields) {
+  auto src = make_ckpt_model(67);
+  std::stringstream blob;
+  save_checkpoint(*src, blob);
+  const std::string bytes = blob.str();
+
+  // Corrupt the magic.
+  {
+    std::string bad = bytes;
+    bad[0] ^= 0x40;
+    auto dst = make_ckpt_model(68);
+    std::stringstream is(bad);
+    EXPECT_THROW(load_checkpoint(*dst, is), Error);
+  }
+  // Corrupt the param count (bytes 4..11).
+  {
+    std::string bad = bytes;
+    bad[4] = static_cast<char>(bad[4] + 1);
+    auto dst = make_ckpt_model(68);
+    std::stringstream is(bad);
+    EXPECT_THROW(load_checkpoint(*dst, is), Error);
+  }
+  // Corrupt the first name-length field (bytes 12..15): either an
+  // implausible length or a name mismatch, both rejected.
+  {
+    std::string bad = bytes;
+    bad[13] = static_cast<char>(0x7f);
+    auto dst = make_ckpt_model(68);
+    std::stringstream is(bad);
+    EXPECT_THROW(load_checkpoint(*dst, is), Error);
+  }
 }
 
 TEST(Checkpoint, WorksOnFullMobileNet) {

@@ -369,10 +369,17 @@ TEST(DeadlineBatcher, ExpiredEntriesDoNotHoldBoundedQueueCapacity) {
   DeadlineBatcher batcher(
       *compiled, {.max_batch = 2, .queue_capacity = 2, .manual_drain = true});
   const auto images = make_images(3, 70);
-  // Fill the queue with requests that expire while waiting.
-  auto d0 = batcher.submit(images[0], within(std::chrono::microseconds(1)));
-  auto d1 = batcher.submit(images[1], within(std::chrono::microseconds(1)));
-  std::this_thread::sleep_for(5ms);
+  // Fill the queue with requests that expire while waiting. The budget must
+  // comfortably outlast the submit() calls themselves: a request whose
+  // deadline passes DURING submit is shed dead-on-arrival and never queued,
+  // which breaks this test's premise (both capacity slots held by expired
+  // entries) - on a slow or contended host a 1us budget did exactly that,
+  // and the later d0/d1.get() then waited forever on a request only the
+  // never-reached third submit would have answered.
+  auto d0 = batcher.submit(images[0], within(std::chrono::milliseconds(100)));
+  auto d1 = batcher.submit(images[1], within(std::chrono::milliseconds(100)));
+  ASSERT_EQ(batcher.stats().queue_depth, 2);  // both queued alive
+  std::this_thread::sleep_for(150ms);         // ...and now both expired
   // Queue is "full" of dead entries - a live request must still be
   // admitted, shedding them instead of throwing QueueFull.
   auto live = batcher.submit(images[2]);
