@@ -3,10 +3,14 @@
 // These complement the table/figure harnesses with op-granularity numbers.
 //
 // `--json` switches to the dsx::tune harness instead: it measures every
-// registered kernel candidate on a shape sweep, compiles a tuned vs untuned
-// serving plan, asserts the tuned plan is never slower (SHAPE-CHECK), and
-// writes machine-readable BENCH_micro_kernels.json (per-candidate timings)
-// plus BENCH_tune.json (per-problem winners and the plan comparison).
+// registered kernel candidate on a shape sweep (including the dsx::simd
+// vectorized candidates, admitted via fast-math), compiles a tuned vs
+// untuned serving plan, asserts the tuned plan is never slower
+// (SHAPE-CHECK), and writes machine-readable BENCH_micro_kernels.json
+// (per-candidate timings) plus BENCH_tune.json (per-problem winners and the
+// plan comparison) plus BENCH_simd_gemm.json (packed-GEMM GFLOP/s scalar vs
+// sse2 vs avx2, and the fast-math tuned-plan end-to-end; SHAPE-CHECKs the
+// packed AVX2 GEMM at >= 2x the scalar baseline on an AVX2 host).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -21,9 +25,12 @@
 #include "device/thread_pool.hpp"
 #include "nn/layers_basic.hpp"
 #include "ops/conv2d.hpp"
+#include "ops/gemm.hpp"
 #include "ops/shift.hpp"
 #include "ops/shuffle.hpp"
 #include "serve/compiled_model.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/gemm.hpp"
 #include "tensor/random.hpp"
 
 namespace dsx {
@@ -197,7 +204,9 @@ std::string json_scc_timing(const SccShape& s, const tune::CandidateTiming& t) {
   os << "{\"op\":\"scc_forward\",\"shape\":\"" << s.tag << "\",\"n\":" << s.batch
      << ",\"c\":" << s.cin << ",\"hw\":" << s.spatial << ",\"cout\":" << s.cout
      << ",\"variant\":\"" << t.variant << "\",\"grain\":\""
-     << tune::grain_name(t.grain) << "\",\"median_ns\":" << bench::fmt(t.median_ns, 0)
+     << tune::grain_name(t.grain) << "\",\"fidelity\":\""
+     << tune::fidelity_name(t.fidelity)
+     << "\",\"median_ns\":" << bench::fmt(t.median_ns, 0)
      << "}";
   return os.str();
 }
@@ -209,6 +218,7 @@ std::string json_conv_timing(const ConvShape& s,
      << "\",\"n\":" << s.batch << ",\"c\":" << s.cin << ",\"hw\":" << s.spatial
      << ",\"cout\":" << s.cout << ",\"k\":" << s.k << ",\"variant\":\""
      << t.variant << "\",\"grain\":\"" << tune::grain_name(t.grain)
+     << "\",\"fidelity\":\"" << tune::fidelity_name(t.fidelity)
      << "\",\"median_ns\":" << bench::fmt(t.median_ns, 0) << "}";
   return os.str();
 }
@@ -229,6 +239,56 @@ std::string json_winner(const char* op, const char* tag,
 bool non_default(const std::string& variant, int64_t grain,
                  const char* default_variant) {
   return variant != default_variant || grain != tune::kGrainDefault;
+}
+
+/// Interleaved A-vs-B plan timing, same reasoning as the Tuner: one run of
+/// each per round so scheduler bursts land on both plans instead of biasing
+/// whichever was measured second. Returns {median_a_ms, median_b_ms}.
+std::pair<double, double> time_plans_interleaved(serve::CompiledModel& a,
+                                                 serve::CompiledModel& b,
+                                                 const Tensor& batch_in,
+                                                 int rounds = 15) {
+  std::vector<double> ta, tb;
+  for (int it = 0; it < rounds; ++it) {
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)a.run(batch_in);
+    const auto t1 = std::chrono::steady_clock::now();
+    (void)b.run(batch_in);
+    const auto t2 = std::chrono::steady_clock::now();
+    ta.push_back(std::chrono::duration<double>(t1 - t0).count());
+    tb.push_back(std::chrono::duration<double>(t2 - t1).count());
+  }
+  std::sort(ta.begin(), ta.end());
+  std::sort(tb.begin(), tb.end());
+  return {ta[ta.size() / 2] * 1e3, tb[tb.size() / 2] * 1e3};
+}
+
+/// Prints a compiled plan's per-layer winners and emits one `kind` JSON
+/// record per layer into `out`. When `scc_non_default_win` is non-null it
+/// is OR-ed with "an SCC layer picked a non-default variant/schedule with
+/// measured speedup" (the sweep SHAPE-CHECK input).
+void report_plan_layers(const serve::CompiledModel& plan, const char* kind,
+                        bench::JsonWriter& out, bool* scc_non_default_win) {
+  for (const serve::TunedLayerChoice& c : plan.report().tuned) {
+    std::printf("  %-40s %s@g=%s [%s]  %.0f -> %.0f ns (%.2fx)\n",
+                c.layer.c_str(), c.variant.c_str(),
+                tune::grain_name(c.grain).c_str(),
+                tune::fidelity_name(c.fidelity), c.default_ns, c.median_ns,
+                c.default_ns / c.median_ns);
+    std::ostringstream os;
+    os << "{\"kind\":\"" << kind << "\",\"layer\":\"" << c.layer
+       << "\",\"variant\":\"" << c.variant << "\",\"grain\":\""
+       << tune::grain_name(c.grain) << "\",\"fidelity\":\""
+       << tune::fidelity_name(c.fidelity)
+       << "\",\"median_ns\":" << bench::fmt(c.median_ns, 0)
+       << ",\"default_ns\":" << bench::fmt(c.default_ns, 0) << "}";
+    out.add(os.str());
+    if (scc_non_default_win != nullptr && c.layer.rfind("SCCConv", 0) == 0 &&
+        non_default(c.variant, c.grain, "fused") &&
+        c.median_ns < c.default_ns) {
+      *scc_non_default_win = true;
+    }
+  }
 }
 
 /// Tuned-vs-untuned serving plan model: a conv stem plus three SCC stages
@@ -262,7 +322,12 @@ int run() {
 
   bench::JsonWriter kernels("micro_kernels", true);
   bench::JsonWriter tuned_report("tune", true);
-  const tune::Tuner tuner({.warmup = 2, .iters = 9});
+  bench::JsonWriter simd_report("simd_gemm", true);
+  // allow_fast_math: the sweep measures the full menu including the
+  // kUlpBounded simd candidates (the strict plan compile below still runs
+  // with fast-math off and keeps its bit-identity SHAPE-CHECK).
+  const tune::Tuner tuner(
+      {.warmup = 2, .iters = 9, .allow_fast_math = true});
   bool scc_non_default_win = false;
 
   // ---- per-candidate sweep --------------------------------------------------
@@ -326,6 +391,65 @@ int run() {
                 result.record.default_ns / result.record.median_ns);
   }
 
+  // ---- packed GEMM GFLOP/s: scalar baseline vs simd ISA levels -------------
+  std::printf("\npacked GEMM (dsx::simd) vs scalar dsx::gemm, host ISA %s:\n",
+              simd::isa_name(simd::detect_isa()));
+  struct GemmShape {
+    int64_t M, N, K;
+  };
+  const std::vector<GemmShape> gemm_shapes = {
+      {128, 128, 128},  // L1-resident
+      {256, 256, 256},  // L2-resident
+      {384, 384, 384},  // spills L2: packing reuse pays
+      {96, 1024, 576},  // conv-shaped (cout x planeo x cin*k*k)
+  };
+  double avx2_best_speedup = 0.0;
+  for (const GemmShape& s : gemm_shapes) {
+    const Tensor a = random_uniform(Shape{s.M, s.K}, rng);
+    const Tensor b = random_uniform(Shape{s.K, s.N}, rng);
+    Tensor c(Shape{s.M, s.N});
+    const double flops = 2.0 * static_cast<double>(s.M * s.N * s.K);
+    const double t_scalar = bench::time_median(
+        [&] {
+          gemm(false, false, s.M, s.N, s.K, 1.0f, a.data(), s.K, b.data(),
+               s.N, 0.0f, c.data(), s.N);
+        },
+        1, 5);
+    {
+      std::ostringstream os;
+      os << "{\"op\":\"gemm\",\"M\":" << s.M << ",\"N\":" << s.N
+         << ",\"K\":" << s.K << ",\"impl\":\"scalar_ref\",\"gflops\":"
+         << bench::fmt(flops / t_scalar / 1e9, 2) << ",\"speedup\":1.0}";
+      simd_report.add(os.str());
+    }
+    std::printf("  %4lldx%-4lldx%-4lld scalar_ref %7.2f GFLOP/s",
+                static_cast<long long>(s.M), static_cast<long long>(s.N),
+                static_cast<long long>(s.K), flops / t_scalar / 1e9);
+    for (const simd::Isa isa :
+         {simd::Isa::kScalar, simd::Isa::kSse2, simd::Isa::kAvx2}) {
+      if (!simd::isa_available(isa)) continue;
+      const double t = bench::time_median(
+          [&] {
+            simd::gemm(false, false, s.M, s.N, s.K, 1.0f, a.data(), s.K,
+                       b.data(), s.N, 0.0f, c.data(), s.N, isa);
+          },
+          1, 5);
+      const double speedup = t_scalar / t;
+      if (isa == simd::Isa::kAvx2) {
+        avx2_best_speedup = std::max(avx2_best_speedup, speedup);
+      }
+      std::ostringstream os;
+      os << "{\"op\":\"gemm\",\"M\":" << s.M << ",\"N\":" << s.N
+         << ",\"K\":" << s.K << ",\"impl\":\"simd_" << simd::isa_name(isa)
+         << "\",\"gflops\":" << bench::fmt(flops / t / 1e9, 2)
+         << ",\"speedup\":" << bench::fmt(speedup, 2) << "}";
+      simd_report.add(os.str());
+      std::printf(" | %s %7.2f (%4.2fx)", simd::isa_name(isa),
+                  flops / t / 1e9, speedup);
+    }
+    std::printf("\n");
+  }
+
   // ---- tuned vs untuned CompiledModel --------------------------------------
   const int64_t image = 8, batch = 8;
   tune::Session::global().cache().clear();
@@ -346,44 +470,13 @@ int run() {
   const Tensor out_untuned = untuned.run(batch_in);
   const Tensor out_tuned = tuned.run(batch_in);
 
-  // Interleaved rounds, same reasoning as the Tuner: scheduler bursts land
-  // on both plans instead of biasing whichever was measured second.
-  std::vector<double> untuned_times, tuned_times;
-  for (int it = 0; it < 15; ++it) {
-    const auto t0 = std::chrono::steady_clock::now();
-    (void)untuned.run(batch_in);
-    const auto t1 = std::chrono::steady_clock::now();
-    (void)tuned.run(batch_in);
-    const auto t2 = std::chrono::steady_clock::now();
-    untuned_times.push_back(std::chrono::duration<double>(t1 - t0).count());
-    tuned_times.push_back(std::chrono::duration<double>(t2 - t1).count());
-  }
-  std::sort(untuned_times.begin(), untuned_times.end());
-  std::sort(tuned_times.begin(), tuned_times.end());
-  const double untuned_ms = untuned_times[untuned_times.size() / 2] * 1e3;
-  const double tuned_ms = tuned_times[tuned_times.size() / 2] * 1e3;
-
+  const auto [untuned_ms, tuned_ms] =
+      time_plans_interleaved(untuned, tuned, batch_in);
   std::printf("\ncompiled plan, batch %lld: untuned %.3f ms, tuned %.3f ms "
               "(%.2fx); per-layer winners:\n",
               static_cast<long long>(batch), untuned_ms, tuned_ms,
               untuned_ms / tuned_ms);
-  for (const serve::TunedLayerChoice& c : tuned.report().tuned) {
-    std::printf("  %-40s %s@g=%s  %.0f -> %.0f ns (%.2fx)\n", c.layer.c_str(),
-                c.variant.c_str(), tune::grain_name(c.grain).c_str(),
-                c.default_ns, c.median_ns, c.default_ns / c.median_ns);
-    std::ostringstream os;
-    os << "{\"kind\":\"plan_layer\",\"layer\":\"" << c.layer
-       << "\",\"variant\":\"" << c.variant << "\",\"grain\":\""
-       << tune::grain_name(c.grain)
-       << "\",\"median_ns\":" << bench::fmt(c.median_ns, 0)
-       << ",\"default_ns\":" << bench::fmt(c.default_ns, 0) << "}";
-    tuned_report.add(os.str());
-    if (c.layer.rfind("SCCConv", 0) == 0 &&
-        non_default(c.variant, c.grain, "fused") &&
-        c.median_ns < c.default_ns) {
-      scc_non_default_win = true;
-    }
-  }
+  report_plan_layers(tuned, "plan_layer", tuned_report, &scc_non_default_win);
   {
     std::ostringstream os;
     os << "{\"kind\":\"compiled_plan\",\"batch\":" << batch
@@ -393,8 +486,34 @@ int run() {
     tuned_report.add(os.str());
   }
 
+  // ---- fast-math tuned plan end-to-end (simd candidates admitted) ----------
+  tune::Session::global().cache().clear();
+  serve::CompiledModel fast_plan(
+      build_plan_model(5), Shape{3, image, image},
+      {.max_batch = batch,
+       .tuning = tune::Mode::kTune,
+       .tuner = {.warmup = 2, .iters = 9, .time_epsilon = 0.10},
+       .allow_fast_math = true});
+  const Tensor out_fast = fast_plan.run(batch_in);
+  const auto [base_ms, fast_ms] =
+      time_plans_interleaved(untuned, fast_plan, batch_in);
+  std::printf("\nfast-math plan, batch %lld: untuned %.3f ms, fast-math tuned "
+              "%.3f ms (%.2fx); per-layer winners:\n",
+              static_cast<long long>(batch), base_ms, fast_ms,
+              base_ms / fast_ms);
+  report_plan_layers(fast_plan, "fastmath_plan_layer", simd_report, nullptr);
+  {
+    std::ostringstream os;
+    os << "{\"kind\":\"fastmath_plan\",\"batch\":" << batch
+       << ",\"untuned_ms\":" << bench::fmt(base_ms, 3)
+       << ",\"fastmath_ms\":" << bench::fmt(fast_ms, 3)
+       << ",\"speedup\":" << bench::fmt(base_ms / fast_ms, 3) << "}";
+    simd_report.add(os.str());
+  }
+
   kernels.write();
   tuned_report.write();
+  simd_report.write();
 
   bool ok = true;
   {
@@ -419,6 +538,39 @@ int run() {
            "with measured speedup",
            scc_non_default_win) &&
        ok;
+  if (simd::isa_available(simd::Isa::kAvx2)) {
+    char claim[128];
+    std::snprintf(claim, sizeof(claim),
+                  "packed AVX2 GEMM beats the scalar baseline by >= 2x "
+                  "(best %.2fx)",
+                  avx2_best_speedup);
+    ok = bench::shape_check(claim, avx2_best_speedup >= 2.0) && ok;
+  } else {
+    std::printf("note: host lacks AVX2; packed-GEMM >=2x check skipped\n");
+  }
+  {
+    // Fast-math outputs are not bit-identical, but must stay numerically
+    // close to the strict plan (ULP divergence compounds across layers, so
+    // this is a relative tolerance, not a per-op ULP bound).
+    bool close = out_fast.shape() == out_untuned.shape();
+    for (int64_t i = 0; close && i < out_fast.numel(); ++i) {
+      close = std::abs(out_fast[i] - out_untuned[i]) <=
+              1e-3f * (1.0f + std::abs(out_untuned[i]));
+    }
+    ok = bench::shape_check(
+             "fast-math tuned plan output stays numerically close to the "
+             "untuned plan",
+             close) &&
+         ok;
+  }
+  {
+    char claim[160];
+    std::snprintf(claim, sizeof(claim),
+                  "fast-math tuned plan is never slower than the untuned "
+                  "default (%.3f ms vs %.3f ms, 10%% noise margin)",
+                  fast_ms, base_ms);
+    ok = bench::shape_check(claim, fast_ms <= base_ms * 1.10) && ok;
+  }
   return ok ? 0 : 1;
 }
 

@@ -5,12 +5,15 @@
 #                                (writes BENCH_serve_throughput.json,
 #                                 BENCH_shard_scaling.json,
 #                                 BENCH_deploy_swap.json,
-#                                 BENCH_micro_kernels.json, BENCH_tune.json)
+#                                 BENCH_micro_kernels.json, BENCH_tune.json,
+#                                 BENCH_simd_gemm.json)
 #                                plus the deploy canary walkthrough
 #   scripts/ci.sh --fast       - skip the smoke benches (tier-1 only)
 #   scripts/ci.sh --sanitize   - additionally build Debug + ASan/UBSan in
 #                                build-sanitize/ and run the tier-1 suite
-#                                under the sanitizers
+#                                under the sanitizers (test_simd included:
+#                                that is what catches pack-buffer overruns
+#                                and misaligned loads in the simd kernels)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -57,7 +60,11 @@ if [[ "${FAST}" != "1" ]]; then
   ./build/example_serve_mobilenet_scc --canary
 
   if [[ -x build/bench_micro_kernels ]]; then
-    echo "== kernel tuning (json) =="
+    echo "== kernel tuning + simd packed GEMM (json) =="
+    # Candidate sweep (simd levels included via fast-math), packed-GEMM
+    # GFLOP/s scalar vs sse2 vs avx2, strict + fast-math tuned plans.
+    # SHAPE-CHECKs: tuned-plan bit-identity, never-slower, and on an AVX2
+    # host packed GEMM >= 2x the scalar baseline (BENCH_simd_gemm.json).
     ./build/bench_micro_kernels --json
   else
     echo "bench_micro_kernels not built (google-benchmark missing); skipping"

@@ -1,6 +1,7 @@
 #include "deploy/model_store.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -283,9 +284,21 @@ std::unique_ptr<serve::CompiledModel> ModelStore::compile(
     // records without measuring, and nothing is written back into the
     // immutable artifact (which would break its checksum).
     const fs::path cache = fs::path(version_dir(model, version)) / m.tuning.file;
-    tune::Session::global().cache().load_file(cache.string());
-    opts.tuning = tune::Mode::kCached;
-    opts.tuning_cache.clear();
+    try {
+      tune::Session::global().cache().load_file(cache.string());
+      opts.tuning = tune::Mode::kCached;
+      opts.tuning_cache.clear();
+    } catch (const std::exception& e) {
+      // A stale-format tuning.bin (e.g. v1, pre-fidelity) must not brick an
+      // otherwise intact immutable version: the artifact cannot be repaired
+      // in place (rewriting it would break the manifest checksum), and the
+      // warm-start is an optimization. Degrade to the caller's tuning mode
+      // (a cold compile) and keep serving the weights.
+      std::fprintf(stderr,
+                   "dsx::deploy: ignoring stale tuning cache for %s/%s (%s); "
+                   "compiling cold\n",
+                   model.c_str(), version.c_str(), e.what());
+    }
   }
   return std::make_unique<serve::CompiledModel>(std::move(net),
                                                 m.arch.image_shape(), opts);

@@ -86,6 +86,13 @@
 #include "tune/tune.hpp"
 #include "tune/tuner.hpp"
 
+// Vectorized CPU backend: runtime-dispatched packed GEMM, SCC and depthwise
+// kernels (scalar / SSE2 / AVX2+FMA).
+#include "simd/depthwise.hpp"
+#include "simd/dispatch.hpp"
+#include "simd/gemm.hpp"
+#include "simd/scc.hpp"
+
 // Pruning on top of factorized kernels.
 #include "prune/prune.hpp"
 

@@ -122,8 +122,9 @@ Tensor DepthwiseConv2d::forward(const Tensor& input, bool training) {
 
 Tensor DepthwiseConv2d::forward_inference(const Tensor& input, Workspace& ws) {
   Tensor out = ws.alloc_tensor(output_shape(input.shape()));
-  depthwise_forward_into(input, weight_.value,
-                         has_bias_ ? &bias_.value : nullptr, args_, out);
+  tune::depthwise_forward_dispatch(input, weight_.value,
+                                   has_bias_ ? &bias_.value : nullptr, args_,
+                                   ws, out, &tuned_);
   return out;
 }
 

@@ -82,6 +82,11 @@ class DepthwiseConv2d final : public Layer {
   Param* bias_param() { return has_bias_ ? &bias_ : nullptr; }
   void ensure_bias();
 
+  /// Baked tuning resolution for forward_inference (dsx::tune); empty until
+  /// a non-off tuning mode resolves this call site.
+  const tune::DepthwiseSite& tuning_site() const { return tuned_; }
+  void reset_tuning() { tuned_.reset(); }
+
  private:
   DepthwiseConv2d() = default;  // clone() only
 
@@ -90,6 +95,7 @@ class DepthwiseConv2d final : public Layer {
   bool has_bias_ = false;
   Param weight_, bias_;
   Tensor cached_input_;
+  tune::DepthwiseSite tuned_;
 };
 
 enum class SCCImpl {

@@ -4,6 +4,13 @@
 // per-filter matrices) while standard/group/pointwise convolutions can. This
 // GEMM is the substrate those baselines ride on here: a straightforward
 // blocked row-major kernel parallelised over output rows.
+//
+// This is the library's BIT-EXACT reference GEMM and deliberately stays
+// scalar: serving bit-identity invariants (tune kOff, replica cloning,
+// deploy shadow compare) pin its float-op order. The fast path is
+// simd::gemm (simd/gemm.hpp) - same signature, packed panels, runtime
+// AVX2/SSE2 dispatch, ULP-bounded - which reaches production plans through
+// the tune::KernelRegistry candidates under CompileOptions.allow_fast_math.
 #pragma once
 
 #include <cstdint>

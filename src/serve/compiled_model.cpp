@@ -65,9 +65,12 @@ CompiledModel::CompiledModel(std::unique_ptr<nn::Sequential> model,
 void CompiledModel::run_tuning_pass() {
   // The pass reconfigures the process-global Session (mode, tuner options,
   // cache path), so concurrent tuning passes must not interleave their
-  // save/restore pairs. Dispatch from OTHER threads during this window sees
-  // the compile's mode - serving-tier convention applies: compile plans
-  // before taking traffic.
+  // save/restore pairs - this mutex serializes them. Dispatch from OTHER
+  // threads during this window sees the compile's MODE (process-global;
+  // serving-tier convention applies: compile plans before taking traffic)
+  // but NOT its fast-math flag - ScopedFastMath is thread-local precisely
+  // so a concurrent strict caller can never have a kUlpBounded winner baked
+  // into its call sites by this compile's opt-in.
   static std::mutex pass_mu;
   std::lock_guard<std::mutex> pass_lock(pass_mu);
 
@@ -96,12 +99,18 @@ void CompiledModel::run_tuning_pass() {
   session.set_autosave_deferred(true);
 
   {
-    // One dry run at max batch under the requested mode; Conv2d/SCCConv
-    // dispatch resolves (and bakes) each call site on first encounter. The
-    // input is random, not zero: candidate kernels have value-dependent
-    // fast paths (the GEMM routes skip zero operands), so an all-zero dry
-    // tensor would flatter them relative to production activations.
+    // One dry run at max batch under the requested mode; Conv2d/SCCConv/
+    // DepthwiseConv2d dispatch resolves (and bakes) each call site on first
+    // encounter. The input is random, not zero: candidate kernels have
+    // value-dependent fast paths (the GEMM routes skip zero operands), so an
+    // all-zero dry tensor would flatter them relative to production
+    // activations. Fast-math admission is this compile's opt-in OR the
+    // session-level (DSX_FAST_MATH) one - a strict compile on a fast-math
+    // session must not silently revoke the operator's choice, and a strict
+    // session stays strict by default.
     tune::Session::ScopedMode scope(opts_.tuning);
+    tune::Session::ScopedFastMath fm_scope(opts_.allow_fast_math ||
+                                           session.allow_fast_math());
     ws_.reset();
     Rng rng(0x7541u);
     Tensor dry = random_uniform(input_shape(opts_.max_batch), rng);
@@ -124,10 +133,16 @@ void CompiledModel::run_tuning_pass() {
       if (scc->tuning_site().record.has_value()) {
         rec = &*scc->tuning_site().record;
       }
+    } else if (auto* dw = dynamic_cast<nn::DepthwiseConv2d*>(&layer)) {
+      if (!dw->tuning_site().resolved()) return;
+      ++report_.layers_tuned;
+      if (dw->tuning_site().record.has_value()) {
+        rec = &*dw->tuning_site().record;
+      }
     }
     if (rec == nullptr) return;
     report_.tuned.push_back({layer.name(), rec->variant, rec->grain,
-                             rec->median_ns, rec->default_ns});
+                             rec->fidelity, rec->median_ns, rec->default_ns});
   });
 }
 

@@ -48,13 +48,25 @@ struct CompileOptions {
   std::string tuning_cache;
   /// Measurement effort for the tuning pass.
   tune::TunerOptions tuner;
+  /// Admit tune::Fidelity::kUlpBounded candidates (the dsx::simd FMA
+  /// kernels) into this compile's tuning pass. Default OFF: the plan then
+  /// only ever bakes bit-exact candidates and stays bit-identical to the
+  /// pre-simd library. Opting in trades bit-identity for speed: baked
+  /// winners may differ from the default kernels by up to simd::kMaxUlp ULP
+  /// (the bound tests/test_simd.cpp enforces). The effective opt-in is this
+  /// flag OR the session-level one (DSX_FAST_MATH), so zero-code env
+  /// adoption still works.
+  bool allow_fast_math = false;
 };
 
 /// One tuned layer in the frozen plan (CompileReport::tuned).
 struct TunedLayerChoice {
   std::string layer;    // nn::Layer::name()
-  std::string variant;  // winning registry variant ("fused", "direct", ...)
+  std::string variant;  // winning registry variant ("fused", "simd_avx2"...)
   int64_t grain = 0;    // winning schedule grain (0 = library default)
+  /// Numerical contract of the baked winner (kUlpBounded only ever appears
+  /// when the compile opted into allow_fast_math).
+  tune::Fidelity fidelity = tune::Fidelity::kBitExact;
   double median_ns = 0.0;   // winner's measured median
   double default_ns = 0.0;  // default implementation's measured median
 };

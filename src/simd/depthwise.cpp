@@ -1,0 +1,39 @@
+#include "simd/depthwise.hpp"
+
+#include "common/check.hpp"
+
+namespace dsx::simd {
+
+void depthwise_forward_into(const Tensor& input, const Tensor& weight,
+                            const Tensor* bias, const DepthwiseArgs& args,
+                            Tensor& out, bool fuse_relu, Isa isa) {
+  const Shape expect =
+      depthwise_output_shape(input.shape(), weight.shape(), args);
+  DSX_REQUIRE(out.shape() == expect,
+              "simd::depthwise: out shape " << out.shape().to_string()
+                                            << ", expected "
+                                            << expect.to_string());
+  if (bias != nullptr) {
+    DSX_REQUIRE(bias->shape() == Shape{input.shape().c()},
+                "simd::depthwise: bad bias shape");
+  }
+
+  DwCall call;
+  call.input = input.data();
+  call.weight = weight.data();
+  call.bias = bias != nullptr ? bias->data() : nullptr;
+  call.N = input.shape().n();
+  call.C = input.shape().c();
+  call.H = input.shape().h();
+  call.W = input.shape().w();
+  call.K = weight.shape().dim(2);
+  call.Ho = expect.h();
+  call.Wo = expect.w();
+  call.stride = args.stride;
+  call.pad = args.pad;
+  call.out = out.data();
+  call.relu = fuse_relu;
+  kernels(isa).depthwise_forward(call);
+}
+
+}  // namespace dsx::simd

@@ -1,0 +1,23 @@
+// Vectorized depthwise forward (dsx::simd).
+//
+// Same geometry contract as dsx::depthwise_forward_into. Stride-1 output
+// rows are computed tap-by-tap over the valid column interval of each
+// (ky, kx) tap - per element that is exactly the scalar kernel's bounds-
+// checked accumulation order, so the SSE2 level is BIT-identical
+// (tune::Fidelity::kBitExact) and the AVX2+FMA level is ULP-bounded.
+// `fuse_relu` applies the bias+ReLU epilogue before the final store.
+#pragma once
+
+#include "ops/depthwise.hpp"
+#include "simd/dispatch.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dsx::simd {
+
+/// Forward into a preallocated `out` of depthwise_output_shape(...).
+void depthwise_forward_into(const Tensor& input, const Tensor& weight,
+                            const Tensor* bias, const DepthwiseArgs& args,
+                            Tensor& out, bool fuse_relu = false,
+                            Isa isa = active_isa());
+
+}  // namespace dsx::simd

@@ -1,0 +1,134 @@
+#include "simd/dispatch.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace dsx::simd {
+
+namespace {
+
+/// cpuid-level hardware support (ignores what this build compiled).
+bool hardware_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return true;  // SSE2 is part of the x86-64 baseline
+#elif (defined(__GNUC__) || defined(__clang__)) && defined(__i386__)
+      return __builtin_cpu_supports("sse2");
+#else
+      return false;
+#endif
+    case Isa::kAvx2:
+#if (defined(__GNUC__) || defined(__clang__)) && \
+    (defined(__x86_64__) || defined(__i386__))
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+const KernelTable& raw_table(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return avx2::table();
+    case Isa::kSse2:
+      return sse2::table();
+    case Isa::kScalar:
+      break;
+  }
+  return scalar::table();
+}
+
+Isa compute_detected() {
+  for (const Isa isa : {Isa::kAvx2, Isa::kSse2}) {
+    // Both the CPU and the build must deliver the level: a TU compiled
+    // without its arch flags degrades (vec.hpp) and reports a lower
+    // compiled_level, which must never be advertised as the real thing.
+    if (hardware_supports(isa) &&
+        raw_table(isa).compiled_level == static_cast<int>(isa)) {
+      return isa;
+    }
+  }
+  return Isa::kScalar;
+}
+
+Isa clamp_to_detected(Isa isa, const char* origin) {
+  const Isa cap = detect_isa();
+  if (static_cast<int>(isa) <= static_cast<int>(cap)) return isa;
+  std::fprintf(stderr,
+               "dsx::simd: %s requested %s but this host/build caps at %s; "
+               "using %s\n",
+               origin, isa_name(isa), isa_name(cap), isa_name(cap));
+  return cap;
+}
+
+std::atomic<int>& active_level() {
+  static std::atomic<int> level = [] {
+    Isa isa = detect_isa();
+    if (const char* env = std::getenv("DSX_SIMD")) {
+      isa = clamp_to_detected(parse_isa(env), "DSX_SIMD");
+    }
+    return static_cast<int>(isa);
+  }();
+  return level;
+}
+
+}  // namespace
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Isa parse_isa(const std::string& name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "sse2") return Isa::kSse2;
+  if (name == "avx2") return Isa::kAvx2;
+  DSX_REQUIRE(false, "simd: unknown ISA '" << name
+                                           << "' (expected scalar|sse2|avx2)");
+  return Isa::kScalar;  // unreachable
+}
+
+Isa detect_isa() {
+  static const Isa detected = compute_detected();
+  return detected;
+}
+
+Isa active_isa() {
+  return static_cast<Isa>(active_level().load(std::memory_order_relaxed));
+}
+
+Isa set_active_isa(Isa isa) {
+  const Isa applied = clamp_to_detected(isa, "set_active_isa");
+  active_level().store(static_cast<int>(applied), std::memory_order_relaxed);
+  return applied;
+}
+
+ScopedIsa::ScopedIsa(Isa isa) : saved_(active_isa()) { set_active_isa(isa); }
+
+ScopedIsa::~ScopedIsa() { set_active_isa(saved_); }
+
+bool isa_available(Isa isa) {
+  return static_cast<int>(isa) <= static_cast<int>(detect_isa());
+}
+
+const KernelTable& kernels(Isa isa) {
+  if (!isa_available(isa)) isa = detect_isa();
+  return raw_table(isa);
+}
+
+}  // namespace dsx::simd

@@ -1,0 +1,13 @@
+// AVX2+FMA (width-8) instantiation of the generic simd kernels.
+//
+// CMake compiles ONLY this file with `-mavx2 -mfma` (see the simd section of
+// CMakeLists.txt); nothing here may be called unless runtime dispatch
+// confirmed cpuid support, and no other TU may include code compiled with
+// those flags - that is what keeps the binary runnable on pre-AVX2 x86-64.
+// When the flags could not be applied (non-x86 target, unsupported
+// compiler), vec.hpp degrades this TU and table().compiled_level reports
+// what was actually built, so dispatch never advertises it.
+#define DSX_SIMD_LEVEL 2
+#define DSX_SIMD_NS avx2
+#include "simd/vec.hpp"
+#include "simd/kernels_impl.inc"

@@ -1,0 +1,7 @@
+// Scalar (width-1) instantiation of the generic simd kernels - the portable
+// baseline every host can run, and the reference level DSX_SIMD=scalar
+// forces for debugging.
+#define DSX_SIMD_LEVEL 0
+#define DSX_SIMD_NS scalar
+#include "simd/vec.hpp"
+#include "simd/kernels_impl.inc"

@@ -1,0 +1,8 @@
+// SSE2 (width-4) instantiation of the generic simd kernels. SSE2 is part of
+// the x86-64 baseline, so this TU needs no extra arch flags; vfmadd is
+// mul+add per lane, which keeps the SCC/depthwise kernels bit-identical to
+// the scalar library (tune::Fidelity::kBitExact).
+#define DSX_SIMD_LEVEL 1
+#define DSX_SIMD_NS sse2
+#include "simd/vec.hpp"
+#include "simd/kernels_impl.inc"

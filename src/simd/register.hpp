@@ -1,0 +1,25 @@
+// Registration of the dsx::simd kernels into tune::KernelRegistry.
+//
+// Called once by the KernelRegistry constructor, after the built-in
+// candidates: the simd factories append one candidate per ISA level in
+// (active_isa() clamped to the host, levels above scalar) to the SCC,
+// conv2d and depthwise forward families. Variants are named by level
+// ("simd_sse2", "simd_avx2") so tuning-cache records pin the exact ISA they
+// were measured on - a record replayed on a narrower host simply fails the
+// registry lookup and degrades to the default kernel.
+//
+// Fidelity per tune contract: SCC/depthwise at SSE2 level are kBitExact
+// (mul+add per lane in the scalar accumulation order); everything on the
+// FMA path, and every packed-GEMM route, is kUlpBounded and therefore only
+// enumerable under fast-math.
+#pragma once
+
+namespace dsx::tune {
+class KernelRegistry;
+}
+
+namespace dsx::simd {
+
+void register_simd_kernels(tune::KernelRegistry& registry);
+
+}  // namespace dsx::simd

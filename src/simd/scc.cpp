@@ -1,0 +1,44 @@
+#include "simd/scc.hpp"
+
+#include "common/check.hpp"
+#include "core/scc_kernels.hpp"
+
+namespace dsx::simd {
+
+void scc_forward_into(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, const scc::ChannelWindowMap& map,
+                      Tensor& out, bool fuse_relu, Isa isa) {
+  const scc::SCCConfig& cfg = map.config();
+  const Shape expect = scc::scc_output_shape(input.shape(), map);
+  DSX_REQUIRE(out.shape() == expect,
+              "simd::scc: out shape " << out.shape().to_string()
+                                      << ", expected " << expect.to_string());
+  const int64_t gw = map.group_width();
+  DSX_REQUIRE(weight.shape() == (Shape{cfg.out_channels, gw}),
+              "simd::scc: weight must be [Cout, gw], got "
+                  << weight.shape().to_string());
+  if (bias != nullptr) {
+    DSX_REQUIRE(bias->shape() == Shape{cfg.out_channels},
+                "simd::scc: bias must be [Cout]");
+  }
+
+  SccCall call;
+  call.input = input.data();
+  call.weight = weight.data();
+  call.bias = bias != nullptr ? bias->data() : nullptr;
+  call.map = &map;
+  call.N = input.shape().n();
+  call.Cin = input.shape().c();
+  call.H = input.shape().h();
+  call.W = input.shape().w();
+  call.Cout = cfg.out_channels;
+  call.Ho = expect.h();
+  call.Wo = expect.w();
+  call.gw = gw;
+  call.stride = cfg.stride;
+  call.out = out.data();
+  call.relu = fuse_relu;
+  kernels(isa).scc_forward(call);
+}
+
+}  // namespace dsx::simd

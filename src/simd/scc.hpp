@@ -1,0 +1,27 @@
+// Vectorized fused SCC forward (dsx::simd).
+//
+// Same geometry contract as scc::scc_forward_into: one filter = one cyclic
+// input-channel window, output-centric, no data duplication. The stride-1
+// spatial plane is the contiguous axis, so each output tile keeps its
+// accumulator in a vector register while the gw taps stream whole channel
+// planes; `fuse_relu` applies the bias+ReLU epilogue before the store.
+//
+// Fidelity: at SSE2 level (and scalar) the per-element accumulation order
+// and op sequence match the scalar fused kernel exactly - BIT-identical
+// (tune::Fidelity::kBitExact). At AVX2 level FMA contracts each tap to one
+// rounding - ULP-bounded (kMaxUlp).
+#pragma once
+
+#include "core/channel_map.hpp"
+#include "simd/dispatch.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dsx::simd {
+
+/// Forward into a preallocated `out` of scc_output_shape(input, map).
+void scc_forward_into(const Tensor& input, const Tensor& weight,
+                      const Tensor* bias, const scc::ChannelWindowMap& map,
+                      Tensor& out, bool fuse_relu = false,
+                      Isa isa = active_isa());
+
+}  // namespace dsx::simd

@@ -40,6 +40,7 @@ void write_key(std::ostream& os, const ProblemKey& k) {
   write_i64(os, k.step);
   write_i64(os, k.threads);
   write_i64(os, static_cast<int64_t>(k.dtype));
+  write_i64(os, k.fast_math ? 1 : 0);
 }
 
 ProblemKey read_key(std::istream& is) {
@@ -58,6 +59,10 @@ ProblemKey read_key(std::istream& is) {
   k.step = read_i64(is);
   k.threads = read_i64(is);
   k.dtype = static_cast<DType>(read_i64(is));
+  const int64_t fast_math = read_i64(is);
+  DSX_REQUIRE(fast_math == 0 || fast_math == 1,
+              "TuningCache: invalid fast_math flag " << fast_math);
+  k.fast_math = fast_math == 1;
   return k;
 }
 
@@ -99,6 +104,7 @@ void TuningCache::save(std::ostream& os) const {
     write_key(os, rec.key);
     write_str(os, rec.variant);
     write_i64(os, rec.grain);
+    write_i64(os, static_cast<int64_t>(rec.fidelity));
     write_f64(os, rec.median_ns);
     write_f64(os, rec.default_ns);
     write_i64(os, rec.iters);
@@ -129,6 +135,11 @@ void TuningCache::load(std::istream& is) {
     rec.key = read_key(is);
     rec.variant = read_str(is);
     rec.grain = read_i64(is);
+    const int64_t fidelity = read_i64(is);
+    DSX_REQUIRE(fidelity == static_cast<int64_t>(Fidelity::kBitExact) ||
+                    fidelity == static_cast<int64_t>(Fidelity::kUlpBounded),
+                "TuningCache: invalid fidelity " << fidelity);
+    rec.fidelity = static_cast<Fidelity>(fidelity);
     rec.median_ns = read_f64(is);
     rec.default_ns = read_f64(is);
     rec.iters = read_i64(is);

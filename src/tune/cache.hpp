@@ -24,6 +24,11 @@ struct TuningRecord {
   ProblemKey key;
   std::string variant;  // winning registry variant
   int64_t grain = 0;    // winning grain axis value (0 = library default)
+  /// Numerical contract of the winner relative to the family default. A
+  /// kUlpBounded record is only applied while fast-math is opted in;
+  /// otherwise dispatch falls back to the default kernel (never a silent
+  /// numerics change).
+  Fidelity fidelity = Fidelity::kBitExact;
   double median_ns = 0.0;   // winner's median wall time
   double default_ns = 0.0;  // default candidate's median (speedup reporting)
   int64_t iters = 0;        // timing iterations behind the medians
@@ -34,7 +39,9 @@ struct TuningRecord {
 class TuningCache {
  public:
   /// On-disk format version; bumped whenever the record layout changes.
-  static constexpr int64_t kVersion = 1;
+  /// v2 added TuningRecord::fidelity - a v1 file has no way to say whether
+  /// its winner was bit-exact, so loading one throws instead of guessing.
+  static constexpr int64_t kVersion = 2;
 
   std::optional<TuningRecord> find(const ProblemKey& key) const;
   void put(const TuningRecord& record);  // last writer wins

@@ -30,10 +30,19 @@ void dispatch_impl(const Problem& problem, Site* site, MakeKey&& make_key,
     return;
   }
 
-  const ProblemKey key = make_key();
+  // Fidelity admission comes from the session's fast-math opt-in. It is
+  // stamped into the ProblemKey: strict and fast-math records are distinct
+  // cache entries, so a shape tuned in one domain still measures (kTune) or
+  // misses to the default (kCached) in the other instead of silently
+  // replaying a winner picked from the wrong candidate menu.
+  const bool allow = session.allow_fast_math();
+  ProblemKey key = make_key();
+  key.fast_math = allow;
   std::optional<TuningRecord> rec = session.cache().find(key);
   if (!rec.has_value() && mode == Mode::kTune) {
-    const Tuner tuner(session.tuner_options());
+    TunerOptions opts = session.tuner_options();
+    opts.allow_fast_math = allow;
+    const Tuner tuner(opts);
     TuneResult result = tune_problem(tuner, key);
     session.cache().put(result.record);
     session.note_tune();
@@ -41,14 +50,19 @@ void dispatch_impl(const Problem& problem, Site* site, MakeKey&& make_key,
     rec = std::move(result.record);
   }
 
+  // Defense in depth on top of the domain-keyed lookup: a kUlpBounded
+  // record (hand-seeded, or from a tampered cache) found while fast-math is
+  // off fails this fidelity-gated lookup and falls through to the default
+  // kernel - a fast-math record can never change a strict process's
+  // numerics.
   using Candidate = typename decltype(find_candidate(
-      key, std::string(), int64_t{0}))::value_type;
+      key, std::string(), int64_t{0}, false))::value_type;
   std::optional<Candidate> cand;
   if (rec.has_value()) {
-    cand = find_candidate(key, rec->variant, rec->grain);
+    cand = find_candidate(key, rec->variant, rec->grain, allow);
   }
   if (!cand.has_value()) {  // cache miss in kCached, or a stale record
-    auto candidates = enumerate(key);
+    auto candidates = enumerate(key, allow);
     DSX_CHECK(!candidates.empty(), "tune: registry offered no candidates");
     // The registry's first candidate is the library default.
     cand = std::move(candidates.front());
@@ -75,10 +89,11 @@ void scc_forward_dispatch(const Tensor& input, const Tensor& weight,
       [&](const Tuner& tuner, const ProblemKey& key) {
         return tuner.tune_scc(key, input, weight, bias, map);
       },
-      [&](const ProblemKey& key, const std::string& variant, int64_t grain) {
-        return registry.find_scc(key, variant, grain);
-      },
-      [&](const ProblemKey& key) { return registry.scc_forward(key); });
+      [&](const ProblemKey& key, const std::string& variant, int64_t grain,
+          bool allow) { return registry.find_scc(key, variant, grain, allow); },
+      [&](const ProblemKey& key, bool allow) {
+        return registry.scc_forward(key, allow);
+      });
 }
 
 void conv2d_forward_dispatch(const Tensor& input, const Tensor& weight,
@@ -93,10 +108,37 @@ void conv2d_forward_dispatch(const Tensor& input, const Tensor& weight,
       [&](const Tuner& tuner, const ProblemKey& key) {
         return tuner.tune_conv2d(key, input, weight, bias, args);
       },
-      [&](const ProblemKey& key, const std::string& variant, int64_t grain) {
-        return registry.find_conv(key, variant, grain);
+      [&](const ProblemKey& key, const std::string& variant, int64_t grain,
+          bool allow) {
+        return registry.find_conv(key, variant, grain, allow);
       },
-      [&](const ProblemKey& key) { return registry.conv2d_forward(key); });
+      [&](const ProblemKey& key, bool allow) {
+        return registry.conv2d_forward(key, allow);
+      });
+}
+
+void depthwise_forward_dispatch(const Tensor& input, const Tensor& weight,
+                                const Tensor* bias, const DepthwiseArgs& args,
+                                Workspace& ws, Tensor& out,
+                                DepthwiseSite* site) {
+  const DepthwiseProblem problem{&input, &weight, bias, &args, &ws, &out};
+  const KernelRegistry& registry = KernelRegistry::global();
+  dispatch_impl(
+      problem, site,
+      [&] {
+        return make_depthwise_forward_key(input.shape(), weight.shape(), args);
+      },
+      [&] { depthwise_forward_into(input, weight, bias, args, out); },
+      [&](const Tuner& tuner, const ProblemKey& key) {
+        return tuner.tune_depthwise(key, input, weight, bias, args);
+      },
+      [&](const ProblemKey& key, const std::string& variant, int64_t grain,
+          bool allow) {
+        return registry.find_depthwise(key, variant, grain, allow);
+      },
+      [&](const ProblemKey& key, bool allow) {
+        return registry.depthwise_forward(key, allow);
+      });
 }
 
 }  // namespace dsx::tune

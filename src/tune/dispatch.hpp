@@ -37,6 +37,14 @@ struct ConvSite {
   void reset() { baked.reset(); record.reset(); }
 };
 
+/// Per-call-site baked resolution for depthwise forward.
+struct DepthwiseSite {
+  std::optional<DepthwiseCandidate> baked;
+  std::optional<TuningRecord> record;
+  bool resolved() const { return baked.has_value(); }
+  void reset() { baked.reset(); record.reset(); }
+};
+
 /// Executes the best-known SCC forward implementation for this problem.
 /// `out` must already have scc_output_shape; scratch comes from `ws`.
 void scc_forward_dispatch(const Tensor& input, const Tensor& weight,
@@ -48,5 +56,11 @@ void conv2d_forward_dispatch(const Tensor& input, const Tensor& weight,
                              const Tensor* bias, const Conv2dArgs& args,
                              Workspace& ws, Tensor& out,
                              ConvSite* site = nullptr);
+
+/// Executes the best-known depthwise forward implementation.
+void depthwise_forward_dispatch(const Tensor& input, const Tensor& weight,
+                                const Tensor* bias, const DepthwiseArgs& args,
+                                Workspace& ws, Tensor& out,
+                                DepthwiseSite* site = nullptr);
 
 }  // namespace dsx::tune

@@ -13,6 +13,18 @@ const char* op_family_name(OpFamily op) {
       return "scc_forward";
     case OpFamily::kConv2dForward:
       return "conv2d_forward";
+    case OpFamily::kDepthwiseForward:
+      return "depthwise_forward";
+  }
+  return "unknown";
+}
+
+const char* fidelity_name(Fidelity fidelity) {
+  switch (fidelity) {
+    case Fidelity::kBitExact:
+      return "bit_exact";
+    case Fidelity::kUlpBounded:
+      return "ulp_bounded";
   }
   return "unknown";
 }
@@ -21,12 +33,12 @@ std::string ProblemKey::to_string() const {
   std::ostringstream os;
   os << op_family_name(op) << "[" << n << "x" << c << "x" << h << "x" << w
      << " -> " << cout;
-  if (op == OpFamily::kConv2dForward) {
+  if (op == OpFamily::kConv2dForward || op == OpFamily::kDepthwiseForward) {
     os << ", k" << kernel << " s" << stride << " p" << pad << " g" << groups;
   } else {
     os << ", gw" << gw << " step" << step << " s" << stride;
   }
-  os << ", t" << threads << "]";
+  os << ", t" << threads << (fast_math ? ", fm" : "") << "]";
   return os.str();
 }
 
@@ -63,6 +75,25 @@ ProblemKey make_conv2d_forward_key(const Shape& input, const Shape& weight,
   key.stride = args.stride;
   key.pad = args.pad;
   key.groups = args.groups;
+  key.threads = static_cast<int64_t>(device::ThreadPool::current().size());
+  return key;
+}
+
+ProblemKey make_depthwise_forward_key(const Shape& input, const Shape& weight,
+                                      const DepthwiseArgs& args) {
+  DSX_REQUIRE(input.rank() == 4 && weight.rank() == 4,
+              "tune: depthwise key needs NCHW input and [C,1,K,K] weight");
+  ProblemKey key;
+  key.op = OpFamily::kDepthwiseForward;
+  key.n = input.n();
+  key.c = input.c();
+  key.h = input.h();
+  key.w = input.w();
+  key.cout = input.c();
+  key.kernel = weight.dim(2);
+  key.stride = args.stride;
+  key.pad = args.pad;
+  key.groups = input.c();
   key.threads = static_cast<int64_t>(device::ThreadPool::current().size());
   return key;
 }

@@ -15,6 +15,7 @@
 
 #include "core/channel_map.hpp"
 #include "ops/conv2d.hpp"
+#include "ops/depthwise.hpp"
 #include "tensor/shape.hpp"
 
 namespace dsx::tune {
@@ -22,9 +23,27 @@ namespace dsx::tune {
 enum class OpFamily : int64_t {
   kSCCForward = 0,
   kConv2dForward = 1,
+  kDepthwiseForward = 2,
 };
 
 const char* op_family_name(OpFamily op);
+
+/// Numerical contract of a registry candidate relative to its family's
+/// default implementation:
+///   kBitExact   - bit-identical outputs (the historical contract; what
+///                 lets frozen plans swap variants without re-validating
+///                 numerics);
+///   kUlpBounded - within simd::kMaxUlp ULP of the default (FMA/reordered
+///                 accumulation cannot be bit-identical). Only admitted
+///                 when fast-math is opted in (CompileOptions.allow_fast_math
+///                 / Session fast-math / DSX_FAST_MATH); with the default
+///                 (off), every pre-existing bit-identity invariant holds.
+enum class Fidelity : int64_t {
+  kBitExact = 0,
+  kUlpBounded = 1,
+};
+
+const char* fidelity_name(Fidelity fidelity);
 
 /// Only f32 exists today; the field keeps cache records honest when a
 /// quantized or half-precision backend registers candidates later.
@@ -38,10 +57,17 @@ struct ProblemKey {
   int64_t gw = 0, step = 0;  // SCC window geometry (zero for conv)
   int64_t threads = 1;       // device::ThreadPool size the record was made on
   DType dtype = DType::kF32;
+  /// Fidelity-admission domain the record was tuned under (dispatch stamps
+  /// it from the session's fast-math flag). Part of the identity: the
+  /// fast-math menu is a superset of the strict one, so a winner measured
+  /// in one domain says nothing about the other - without this, a strict
+  /// record would permanently suppress fast-math tuning of the same shape
+  /// (and vice versa). Strict and fast-math records coexist in one cache.
+  bool fast_math = false;
 
   auto tie() const {
     return std::tie(op, n, c, h, w, cout, kernel, stride, pad, groups, gw,
-                    step, threads, dtype);
+                    step, threads, dtype, fast_math);
   }
   bool operator==(const ProblemKey& o) const { return tie() == o.tie(); }
   bool operator<(const ProblemKey& o) const { return tie() < o.tie(); }
@@ -61,5 +87,10 @@ ProblemKey make_scc_forward_key(const Shape& input,
 /// semantics as make_scc_forward_key.
 ProblemKey make_conv2d_forward_key(const Shape& input, const Shape& weight,
                                    const Conv2dArgs& args);
+
+/// Key for a depthwise forward problem (groups = c = cout by construction);
+/// same ThreadPool::current() threads semantics.
+ProblemKey make_depthwise_forward_key(const Shape& input, const Shape& weight,
+                                      const DepthwiseArgs& args);
 
 }  // namespace dsx::tune

@@ -5,6 +5,7 @@
 #include "core/scc_gemm.hpp"
 #include "core/scc_kernels.hpp"
 #include "device/parallel_for.hpp"
+#include "simd/register.hpp"
 
 namespace dsx::tune {
 
@@ -16,6 +17,26 @@ namespace {
 std::vector<int64_t> grain_axis(int64_t threads) {
   if (threads <= 1) return {kGrainDefault};
   return {kGrainDefault, 1, device::kSerialGrain};
+}
+
+/// Drops kUlpBounded candidates unless fast-math admitted them. The default
+/// implementation is always kBitExact, so the front stays the default.
+template <typename Candidate>
+void filter_fidelity(std::vector<Candidate>& candidates,
+                     bool allow_ulp_bounded) {
+  if (allow_ulp_bounded) return;
+  std::erase_if(candidates, [](const Candidate& c) {
+    return c.fidelity != Fidelity::kBitExact;
+  });
+}
+
+template <typename Candidate>
+std::optional<Candidate> find_in(std::vector<Candidate> candidates,
+                                 const std::string& variant, int64_t grain) {
+  for (Candidate& c : candidates) {
+    if (c.variant == variant && c.grain == grain) return std::move(c);
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -31,6 +52,10 @@ std::string SCCCandidate::label() const {
 }
 
 std::string ConvCandidate::label() const {
+  return variant + "@g=" + grain_name(grain);
+}
+
+std::string DepthwiseCandidate::label() const {
   return variant + "@g=" + grain_name(grain);
 }
 
@@ -107,6 +132,24 @@ KernelRegistry::KernelRegistry() {
       out.push_back(std::move(direct));
     }
   });
+
+  // ---- built-in depthwise forward candidates -------------------------------
+  register_depthwise_factory([](const ProblemKey& key,
+                                std::vector<DepthwiseCandidate>& out) {
+    for (const int64_t grain : grain_axis(key.threads)) {
+      DepthwiseCandidate direct;
+      direct.variant = "direct";
+      direct.grain = grain;
+      direct.run = [grain](const DepthwiseProblem& p) {
+        device::GrainOverride scope(grain);
+        depthwise_forward_into(*p.input, *p.weight, p.bias, *p.args, *p.out);
+      };
+      out.push_back(std::move(direct));
+    }
+  });
+
+  // ---- vectorized CPU backend ----------------------------------------------
+  simd::register_simd_kernels(*this);
 }
 
 void KernelRegistry::register_scc_factory(SCCFactory factory) {
@@ -119,8 +162,13 @@ void KernelRegistry::register_conv_factory(ConvFactory factory) {
   conv_factories_.push_back(std::move(factory));
 }
 
+void KernelRegistry::register_depthwise_factory(DepthwiseFactory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  depthwise_factories_.push_back(std::move(factory));
+}
+
 std::vector<SCCCandidate> KernelRegistry::scc_forward(
-    const ProblemKey& key) const {
+    const ProblemKey& key, bool allow_ulp_bounded) const {
   std::vector<SCCFactory> factories;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -128,11 +176,12 @@ std::vector<SCCCandidate> KernelRegistry::scc_forward(
   }
   std::vector<SCCCandidate> out;
   for (const auto& f : factories) f(key, out);
+  filter_fidelity(out, allow_ulp_bounded);
   return out;
 }
 
 std::vector<ConvCandidate> KernelRegistry::conv2d_forward(
-    const ProblemKey& key) const {
+    const ProblemKey& key, bool allow_ulp_bounded) const {
   std::vector<ConvFactory> factories;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -140,23 +189,39 @@ std::vector<ConvCandidate> KernelRegistry::conv2d_forward(
   }
   std::vector<ConvCandidate> out;
   for (const auto& f : factories) f(key, out);
+  filter_fidelity(out, allow_ulp_bounded);
+  return out;
+}
+
+std::vector<DepthwiseCandidate> KernelRegistry::depthwise_forward(
+    const ProblemKey& key, bool allow_ulp_bounded) const {
+  std::vector<DepthwiseFactory> factories;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    factories = depthwise_factories_;
+  }
+  std::vector<DepthwiseCandidate> out;
+  for (const auto& f : factories) f(key, out);
+  filter_fidelity(out, allow_ulp_bounded);
   return out;
 }
 
 std::optional<SCCCandidate> KernelRegistry::find_scc(
-    const ProblemKey& key, const std::string& variant, int64_t grain) const {
-  for (auto& c : scc_forward(key)) {
-    if (c.variant == variant && c.grain == grain) return c;
-  }
-  return std::nullopt;
+    const ProblemKey& key, const std::string& variant, int64_t grain,
+    bool allow_ulp_bounded) const {
+  return find_in(scc_forward(key, allow_ulp_bounded), variant, grain);
 }
 
 std::optional<ConvCandidate> KernelRegistry::find_conv(
-    const ProblemKey& key, const std::string& variant, int64_t grain) const {
-  for (auto& c : conv2d_forward(key)) {
-    if (c.variant == variant && c.grain == grain) return c;
-  }
-  return std::nullopt;
+    const ProblemKey& key, const std::string& variant, int64_t grain,
+    bool allow_ulp_bounded) const {
+  return find_in(conv2d_forward(key, allow_ulp_bounded), variant, grain);
+}
+
+std::optional<DepthwiseCandidate> KernelRegistry::find_depthwise(
+    const ProblemKey& key, const std::string& variant, int64_t grain,
+    bool allow_ulp_bounded) const {
+  return find_in(depthwise_forward(key, allow_ulp_bounded), variant, grain);
 }
 
 }  // namespace dsx::tune

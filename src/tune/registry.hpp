@@ -9,13 +9,21 @@
 // Built-in candidates:
 //   SCC forward : fused output-centric kernel (default), the cycle-table-off
 //                 ablation, and the im2col-style per-filter GEMM route;
-//   conv2d      : im2col+GEMM (default) and the direct no-lowering kernel.
-// Both families carry a small schedule axis: the device::parallel_for grain
+//   conv2d      : im2col+GEMM (default) and the direct no-lowering kernel;
+//   depthwise   : the direct kernel (default).
+// The families carry a small schedule axis: the device::parallel_for grain
 // (library default / always-parallel / force-serial), pruned to the default
-// alone when the pool has one thread.
+// alone when the pool has one thread. The dsx::simd backend registers one
+// vectorized candidate per ISA level the host offers ("simd_sse2",
+// "simd_avx2") into every family through the factory hooks below.
 //
-// A future backend (GPU, vectorised CPU, quantized) extends the menu by
-// registering another factory; nothing else in the tuner changes.
+// Candidate admission is fidelity-gated (tune::Fidelity): enumeration drops
+// kUlpBounded candidates unless the caller opts into fast-math, so with the
+// default (off) the historical bit-identity contract is exactly preserved -
+// every enumerable candidate is bit-identical to the family default.
+//
+// A future backend (GPU, quantized) extends the menu by registering another
+// factory; nothing else in the tuner changes.
 #pragma once
 
 #include <cstdint>
@@ -54,23 +62,45 @@ struct ConvProblem {
   Tensor* out = nullptr;
 };
 
+/// One depthwise forward problem instance.
+struct DepthwiseProblem {
+  const Tensor* input = nullptr;
+  const Tensor* weight = nullptr;
+  const Tensor* bias = nullptr;  // may be null
+  const DepthwiseArgs* args = nullptr;
+  Workspace* ws = nullptr;
+  Tensor* out = nullptr;
+};
+
 /// Grain axis value meaning "leave device::kDefaultGrain alone".
 inline constexpr int64_t kGrainDefault = 0;
 
 struct SCCCandidate {
-  std::string variant;  // "fused", "fused_nocc", "gemm", ...
+  std::string variant;  // "fused", "fused_nocc", "gemm", "simd_avx2", ...
   int64_t grain = kGrainDefault;  // device grain override; 0 = default
   int64_t scratch_floats = 0;     // extra arena draw (tie-break axis)
+  Fidelity fidelity = Fidelity::kBitExact;
   std::function<void(const SCCProblem&)> run;  // installs the grain itself
 
   std::string label() const;  // "fused@g=default" / "gemm@g=serial" ...
 };
 
 struct ConvCandidate {
-  std::string variant;  // "im2col", "direct", ...
+  std::string variant;  // "im2col", "direct", "simd_avx2", ...
   int64_t grain = kGrainDefault;
   int64_t scratch_floats = 0;
+  Fidelity fidelity = Fidelity::kBitExact;
   std::function<void(const ConvProblem&)> run;
+
+  std::string label() const;
+};
+
+struct DepthwiseCandidate {
+  std::string variant;  // "direct", "simd_sse2", ...
+  int64_t grain = kGrainDefault;
+  int64_t scratch_floats = 0;
+  Fidelity fidelity = Fidelity::kBitExact;
+  std::function<void(const DepthwiseProblem&)> run;
 
   std::string label() const;
 };
@@ -84,26 +114,42 @@ class KernelRegistry {
   static KernelRegistry& global();
 
   /// All candidates for an SCC forward problem, default implementation
-  /// first (selection prefers earlier entries on ties).
-  std::vector<SCCCandidate> scc_forward(const ProblemKey& key) const;
-  std::vector<ConvCandidate> conv2d_forward(const ProblemKey& key) const;
+  /// first (selection prefers earlier entries on ties). `allow_ulp_bounded`
+  /// admits Fidelity::kUlpBounded candidates (fast-math opt-in); the
+  /// default keeps the enumeration bit-exact only.
+  std::vector<SCCCandidate> scc_forward(const ProblemKey& key,
+                                        bool allow_ulp_bounded = false) const;
+  std::vector<ConvCandidate> conv2d_forward(
+      const ProblemKey& key, bool allow_ulp_bounded = false) const;
+  std::vector<DepthwiseCandidate> depthwise_forward(
+      const ProblemKey& key, bool allow_ulp_bounded = false) const;
 
   /// Candidate with the given variant/grain, or nullopt when the registry
-  /// no longer offers it (e.g. a cache record from an older build).
+  /// no longer offers it (a cache record from an older build, a simd record
+  /// from a wider host, or a kUlpBounded record while fast-math is off -
+  /// the caller falls back to the default implementation in every case).
   std::optional<SCCCandidate> find_scc(const ProblemKey& key,
                                        const std::string& variant,
-                                       int64_t grain) const;
+                                       int64_t grain,
+                                       bool allow_ulp_bounded = false) const;
   std::optional<ConvCandidate> find_conv(const ProblemKey& key,
                                          const std::string& variant,
-                                         int64_t grain) const;
+                                         int64_t grain,
+                                         bool allow_ulp_bounded = false) const;
+  std::optional<DepthwiseCandidate> find_depthwise(
+      const ProblemKey& key, const std::string& variant, int64_t grain,
+      bool allow_ulp_bounded = false) const;
 
   /// Extension point: a factory appends candidates for keys it understands.
   using SCCFactory =
       std::function<void(const ProblemKey&, std::vector<SCCCandidate>&)>;
   using ConvFactory =
       std::function<void(const ProblemKey&, std::vector<ConvCandidate>&)>;
+  using DepthwiseFactory =
+      std::function<void(const ProblemKey&, std::vector<DepthwiseCandidate>&)>;
   void register_scc_factory(SCCFactory factory);
   void register_conv_factory(ConvFactory factory);
+  void register_depthwise_factory(DepthwiseFactory factory);
 
  private:
   KernelRegistry();
@@ -111,6 +157,7 @@ class KernelRegistry {
   mutable std::mutex mu_;
   std::vector<SCCFactory> scc_factories_;
   std::vector<ConvFactory> conv_factories_;
+  std::vector<DepthwiseFactory> depthwise_factories_;
 };
 
 }  // namespace dsx::tune

@@ -38,6 +38,10 @@ Session::Session() {
   if (const char* env = std::getenv("DSX_TUNE")) {
     mode_ = parse_mode(env);
   }
+  if (const char* env = std::getenv("DSX_FAST_MATH")) {
+    const std::string v(env);
+    fast_math_ = v == "1" || v == "on" || v == "true";
+  }
   if (const char* env = std::getenv("DSX_TUNE_CACHE")) {
     cache_path_ = env;
     try_load(cache_path_);
@@ -63,6 +67,20 @@ Mode Session::mode() const { return mode_.load(std::memory_order_relaxed); }
 
 void Session::set_mode(Mode mode) {
   mode_.store(mode, std::memory_order_relaxed);
+}
+
+namespace {
+/// Per-thread ScopedFastMath override: -1 none, else 0/1.
+thread_local int tl_fast_math = -1;
+}  // namespace
+
+bool Session::allow_fast_math() const {
+  if (tl_fast_math >= 0) return tl_fast_math == 1;
+  return fast_math_.load(std::memory_order_relaxed);
+}
+
+void Session::set_allow_fast_math(bool allow) {
+  fast_math_.store(allow, std::memory_order_relaxed);
 }
 
 TunerOptions Session::tuner_options() const {
@@ -125,5 +143,11 @@ Session::ScopedMode::ScopedMode(Mode mode) : saved_(Session::global().mode()) {
 }
 
 Session::ScopedMode::~ScopedMode() { Session::global().set_mode(saved_); }
+
+Session::ScopedFastMath::ScopedFastMath(bool allow) : saved_(tl_fast_math) {
+  tl_fast_math = allow ? 1 : 0;
+}
+
+Session::ScopedFastMath::~ScopedFastMath() { tl_fast_math = saved_; }
 
 }  // namespace dsx::tune

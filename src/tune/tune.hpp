@@ -12,11 +12,15 @@
 //   kTune   - cache misses trigger a Tuner measurement whose winner is
 //             recorded (and persisted when a cache path is set).
 //
-// The process-wide Session carries the mode, the cache, and the tuner
-// options. Environment overrides for zero-code adoption:
+// The process-wide Session carries the mode, the cache, the tuner options
+// and the fast-math opt-in (tune::Fidelity admission: while off - the
+// default - dispatch and the tuner only ever see kBitExact candidates, so
+// every historical bit-identity invariant holds; while on, kUlpBounded simd
+// candidates join the menu). Environment overrides for zero-code adoption:
 //   DSX_TUNE=off|cached|tune   initial mode
 //   DSX_TUNE_CACHE=<path>      cache file, auto-loaded when present and
 //                              saved after every new measurement
+//   DSX_FAST_MATH=1            admit kUlpBounded (simd FMA) candidates
 #pragma once
 
 #include <atomic>
@@ -70,11 +74,38 @@ class Session {
   bool autosave_deferred() const;
   void set_autosave_deferred(bool deferred);
 
+  /// Fast-math opt-in: admit Fidelity::kUlpBounded candidates in dispatch
+  /// and tuning. Default off (bit-identity preserved); initialised from
+  /// DSX_FAST_MATH, set per-compile by CompileOptions.allow_fast_math.
+  /// A ScopedFastMath override on the CURRENT thread takes precedence over
+  /// the process-wide setting (see ScopedFastMath below).
+  bool allow_fast_math() const;
+  /// Sets the process-wide flag (every thread without a scoped override).
+  void set_allow_fast_math(bool allow);
+
   /// Number of Tuner measurements performed through dispatch since process
   /// start - a warm-started process re-measures nothing, which tests and
   /// the example assert through this counter.
   int64_t tunes_performed() const;
   void note_tune();
+
+  /// RAII fast-math switch, THREAD-LOCAL by design: a compile's tuning
+  /// pass opts its own dispatches in without widening admission for raw
+  /// dispatch racing on other threads - a concurrent strict caller can
+  /// never have a kUlpBounded kernel baked into its call site by someone
+  /// else's fast-math compile (that would silently change its numerics,
+  /// which is worse than the mode leak the serialized tuning pass already
+  /// documents).
+  class ScopedFastMath {
+   public:
+    explicit ScopedFastMath(bool allow);
+    ~ScopedFastMath();
+    ScopedFastMath(const ScopedFastMath&) = delete;
+    ScopedFastMath& operator=(const ScopedFastMath&) = delete;
+
+   private:
+    int saved_;  // previous thread-local override (-1 = none)
+  };
 
   /// RAII mode switch (used by serve compilation's tuning pass).
   class ScopedMode {
@@ -101,6 +132,8 @@ class Session {
   /// unbaked dispatch reads it), and a process-wide lock per layer per
   /// request would serialize concurrent batchers.
   std::atomic<Mode> mode_{Mode::kOff};
+  /// Atomic for the same hot-path reason as mode_.
+  std::atomic<bool> fast_math_{false};
   TunerOptions tuner_opts_;
   std::string cache_path_;
   bool autosave_deferred_ = false;

@@ -97,6 +97,7 @@ TuningRecord make_record(const ProblemKey& key,
   rec.key = key;
   rec.variant = timings[winner].variant;
   rec.grain = timings[winner].grain;
+  rec.fidelity = timings[winner].fidelity;
   rec.median_ns = timings[winner].median_ns;
   rec.default_ns = timings.front().median_ns;  // registry default comes first
   rec.iters = iters;
@@ -119,7 +120,8 @@ TuneResult measure_and_select(const ProblemKey& key,
   TuneResult result;
   for (size_t i = 0; i < candidates.size(); ++i) {
     result.timings.push_back({candidates[i].variant, candidates[i].grain,
-                              candidates[i].scratch_floats, medians[i]});
+                              candidates[i].scratch_floats,
+                              candidates[i].fidelity, medians[i]});
   }
   const size_t winner = select_winner(result.timings, opts.time_epsilon);
   result.record = make_record(key, result.timings, winner, opts.iters);
@@ -137,7 +139,7 @@ TuneResult Tuner::tune_scc(const ProblemKey& key, const Tensor& input,
                            const Tensor& weight, const Tensor* bias,
                            const scc::ChannelWindowMap& map) const {
   const std::vector<SCCCandidate> candidates =
-      KernelRegistry::global().scc_forward(key);
+      KernelRegistry::global().scc_forward(key, opts_.allow_fast_math);
   DSX_REQUIRE(!candidates.empty(), "tune: no SCC candidates registered");
 
   // Private scratch so the caller's arena never sees measurement traffic.
@@ -158,7 +160,7 @@ TuneResult Tuner::tune_conv2d(const ProblemKey& key, const Tensor& input,
                               const Tensor& weight, const Tensor* bias,
                               const Conv2dArgs& args) const {
   const std::vector<ConvCandidate> candidates =
-      KernelRegistry::global().conv2d_forward(key);
+      KernelRegistry::global().conv2d_forward(key, opts_.allow_fast_math);
   DSX_REQUIRE(!candidates.empty(), "tune: no conv2d candidates registered");
 
   Tensor out(conv2d_output_shape(input.shape(), weight.shape(), args));
@@ -166,6 +168,26 @@ TuneResult Tuner::tune_conv2d(const ProblemKey& key, const Tensor& input,
   ConvProblem problem{&input, &weight, bias, &args, &scratch, &out};
   return measure_and_select(
       key, candidates, opts_, [&scratch, problem](const ConvCandidate& c) {
+        return std::function<void()>([&scratch, cand = &c, problem] {
+          scratch.reset();
+          cand->run(problem);
+        });
+      });
+}
+
+TuneResult Tuner::tune_depthwise(const ProblemKey& key, const Tensor& input,
+                                 const Tensor& weight, const Tensor* bias,
+                                 const DepthwiseArgs& args) const {
+  const std::vector<DepthwiseCandidate> candidates =
+      KernelRegistry::global().depthwise_forward(key, opts_.allow_fast_math);
+  DSX_REQUIRE(!candidates.empty(), "tune: no depthwise candidates registered");
+
+  Tensor out(depthwise_output_shape(input.shape(), weight.shape(), args));
+  Workspace scratch;
+  DepthwiseProblem problem{&input, &weight, bias, &args, &scratch, &out};
+  return measure_and_select(
+      key, candidates, opts_,
+      [&scratch, problem](const DepthwiseCandidate& c) {
         return std::function<void()>([&scratch, cand = &c, problem] {
           scratch.reset();
           cand->run(problem);

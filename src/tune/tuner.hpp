@@ -33,6 +33,11 @@ struct TunerOptions {
   /// deliberately generous: a shared-CPU substrate jitters by a few percent
   /// even with interleaved rounds, and the wins worth baking in are larger.
   double time_epsilon = 0.05;
+  /// Admit Fidelity::kUlpBounded candidates (the simd FMA kernels) into the
+  /// measured menu. Default off: the tuner then only ever selects from
+  /// bit-exact candidates, preserving every bit-identity invariant.
+  /// Dispatch overrides this from Session::allow_fast_math().
+  bool allow_fast_math = false;
 };
 
 /// One candidate's measurement (kept for reports and bench JSON).
@@ -40,6 +45,7 @@ struct CandidateTiming {
   std::string variant;
   int64_t grain = 0;
   int64_t scratch_floats = 0;
+  Fidelity fidelity = Fidelity::kBitExact;
   double median_ns = 0.0;
 };
 
@@ -61,6 +67,10 @@ class Tuner {
   TuneResult tune_conv2d(const ProblemKey& key, const Tensor& input,
                          const Tensor& weight, const Tensor* bias,
                          const Conv2dArgs& args) const;
+
+  TuneResult tune_depthwise(const ProblemKey& key, const Tensor& input,
+                            const Tensor& weight, const Tensor* bias,
+                            const DepthwiseArgs& args) const;
 
  private:
   TunerOptions opts_;

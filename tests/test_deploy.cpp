@@ -22,6 +22,7 @@
 #include "tensor/random.hpp"
 #include "tensor/tensor_ops.hpp"
 #include "tune/tune.hpp"
+#include "testing_utils.hpp"
 
 namespace fs = std::filesystem;
 
@@ -60,10 +61,7 @@ std::vector<Tensor> make_images(int64_t count, uint64_t seed) {
   return images;
 }
 
-bool bit_identical(const Tensor& a, const Tensor& b) {
-  if (!(a.shape() == b.shape())) return false;
-  return max_abs_diff(a, b) == 0.0f;
-}
+using testing::bit_identical;
 
 /// Per-image batch-1 answers of a store version compiled the same way the
 /// rollout controller compiles it.

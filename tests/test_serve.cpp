@@ -27,6 +27,7 @@
 #include "serve/server.hpp"
 #include "tensor/random.hpp"
 #include "tensor/workspace.hpp"
+#include "testing_utils.hpp"
 
 namespace dsx::serve {
 namespace {
@@ -93,11 +94,7 @@ std::vector<Tensor> per_image_reference(CompiledModel& compiled,
   return refs;
 }
 
-bool bit_identical(const Tensor& a, const Tensor& b) {
-  if (a.shape() != b.shape()) return false;
-  return std::memcmp(a.data(), b.data(),
-                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
-}
+using testing::bit_identical;
 
 // ---- Workspace -------------------------------------------------------------
 

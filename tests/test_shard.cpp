@@ -27,6 +27,7 @@
 #include "shard/shard.hpp"
 #include "tensor/random.hpp"
 #include "tune/tune.hpp"
+#include "testing_utils.hpp"
 
 namespace dsx::shard {
 namespace {
@@ -85,11 +86,7 @@ std::vector<Tensor> make_images(int64_t count, uint64_t seed) {
   return images;
 }
 
-bool bit_identical(const Tensor& a, const Tensor& b) {
-  if (a.shape() != b.shape()) return false;
-  return std::memcmp(a.data(), b.data(),
-                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
-}
+using testing::bit_identical;
 
 std::unique_ptr<serve::CompiledModel> make_compiled(uint64_t seed,
                                                     int64_t max_batch = 4) {

@@ -16,6 +16,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/binary_io.hpp"
 #include "core/scc_kernels.hpp"
 #include "device/parallel_for.hpp"
 #include "models/mobilenet.hpp"
@@ -30,11 +31,7 @@
 namespace dsx {
 namespace {
 
-bool bit_identical(const Tensor& a, const Tensor& b) {
-  if (a.shape() != b.shape()) return false;
-  return std::memcmp(a.data(), b.data(),
-                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
-}
+using testing::bit_identical;
 
 /// Every test leaves the global session as it found it: off, empty cache,
 /// no autosave path.
@@ -283,6 +280,48 @@ TEST(TuneCache, RejectsVersionMismatchAndBadMagic) {
     fresh.load(is);
     EXPECT_EQ(fresh.size(), 1);
   }
+}
+
+TEST(TuneCache, RejectsV1FormatFileWithoutFidelity) {
+  // A faithful v1 file: same record layout as today's minus the fidelity
+  // field (v1 predates tune::Fidelity). The version check must reject it
+  // up front - a fidelity-less record silently parsed under the v2 layout
+  // would misread median_ns bytes as the fidelity and corrupt dispatch.
+  std::ostringstream os(std::ios::binary);
+  const char magic[4] = {'D', 'S', 'X', 'U'};
+  os.write(magic, 4);
+  io::write_i64(os, 1);  // kVersion was 1 before fidelity existed
+  io::write_i64(os, 1);  // one record
+  const tune::TuningRecord rec = make_test_record(1);
+  io::write_i64(os, static_cast<int64_t>(rec.key.op));
+  for (const int64_t v : {rec.key.n, rec.key.c, rec.key.h, rec.key.w,
+                          rec.key.cout, rec.key.kernel, rec.key.stride,
+                          rec.key.pad, rec.key.groups, rec.key.gw,
+                          rec.key.step, rec.key.threads}) {
+    io::write_i64(os, v);
+  }
+  io::write_i64(os, static_cast<int64_t>(rec.key.dtype));
+  io::write_str(os, rec.variant);
+  io::write_i64(os, rec.grain);
+  io::write_f64(os, rec.median_ns);
+  io::write_f64(os, rec.default_ns);
+  io::write_i64(os, rec.iters);
+
+  std::istringstream is(os.str(), std::ios::binary);
+  tune::TuningCache fresh;
+  EXPECT_THROW(
+      {
+        try {
+          fresh.load(is);
+        } catch (const Error& e) {
+          // The error must say what to do, not just fail.
+          EXPECT_NE(std::string(e.what()).find("version"), std::string::npos);
+          throw;
+        }
+      },
+      Error);
+  // Nothing was applied: a stale record never half-loads.
+  EXPECT_EQ(fresh.size(), 0);
 }
 
 // ---- dispatch -----------------------------------------------------------------

@@ -1,9 +1,14 @@
-// Shared test helpers: naive reference kernels and numerical gradient checks.
+// Shared test helpers: naive reference kernels, ULP comparisons and
+// numerical gradient checks.
 #pragma once
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
 #include <functional>
 #include <vector>
+
+#include <gtest/gtest.h>
 
 #include "common/check.hpp"
 #include "tensor/random.hpp"
@@ -11,6 +16,51 @@
 #include "tensor/tensor_ops.hpp"
 
 namespace dsx::testing {
+
+/// True when the tensors have the same shape and byte-identical contents -
+/// the enforcement form of the library's bit-identity contracts.
+inline bool bit_identical(const Tensor& a, const Tensor& b) {
+  if (a.shape() != b.shape()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     static_cast<size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+/// Distance between two floats in units in the last place: the number of
+/// representable floats between them (0 = bit-identical, and +0.0 == -0.0).
+/// NaNs and differing signs map to a huge distance so they always fail a
+/// bounded comparison.
+inline int64_t ulp_distance(float a, float b) {
+  if (std::isnan(a) || std::isnan(b)) return INT64_MAX;
+  if (a == b) return 0;  // covers +0.0 vs -0.0
+  int32_t ia, ib;
+  std::memcpy(&ia, &a, sizeof(ia));
+  std::memcpy(&ib, &b, sizeof(ib));
+  if ((ia < 0) != (ib < 0)) return INT64_MAX;  // opposite nonzero signs
+  const int64_t da = ia < 0 ? -static_cast<int64_t>(ia ^ INT32_MIN)
+                            : static_cast<int64_t>(ia);
+  const int64_t db = ib < 0 ? -static_cast<int64_t>(ib ^ INT32_MIN)
+                            : static_cast<int64_t>(ib);
+  return da > db ? da - db : db - da;
+}
+
+/// Asserts every element of `a` is within `max_ulp` ULP of `b` (gtest
+/// EXPECT semantics: failures are reported with index and values, execution
+/// continues). This is the enforcement form of the tune::Fidelity::
+/// kUlpBounded contract (simd::kMaxUlp).
+inline void expect_allclose_ulp(const Tensor& a, const Tensor& b,
+                                int64_t max_ulp) {
+  ASSERT_EQ(a.shape(), b.shape()) << "ulp compare: shape mismatch";
+  int64_t worst = 0, worst_i = -1;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const int64_t d = ulp_distance(a[i], b[i]);
+    if (d > worst) {
+      worst = d;
+      worst_i = i;
+    }
+  }
+  EXPECT_LE(worst, max_ulp) << "worst at i=" << worst_i << ": " << a[worst_i]
+                            << " vs " << b[worst_i];
+}
 
 /// Naive NCHW convolution reference: groups/stride/pad supported, O(everything).
 inline Tensor naive_conv2d(const Tensor& in, const Tensor& w, const Tensor* b,
