@@ -20,8 +20,12 @@
 // Output: a table plus one JSON line per configuration (machine-readable,
 // prefixed "JSON "), then SHAPE-CHECK verdicts in the bench_common style.
 // `--smoke` shrinks the sweep for CI.
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <set>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -30,6 +34,7 @@
 #include "device/launch.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/estimator.hpp"
+#include "obs/obs.hpp"
 #include "serve/batcher.hpp"
 #include "serve/compiled_model.hpp"
 
@@ -47,7 +52,8 @@ struct Result {
 
 Result run_config(dsx::serve::CompiledModel& model, int64_t max_batch,
                   int64_t clients, int64_t requests_per_client,
-                  const std::vector<dsx::Tensor>& images) {
+                  const std::vector<dsx::Tensor>& images,
+                  const std::string& metric_model = "") {
   using namespace dsx;
   Result res;
   res.batch = max_batch;
@@ -66,7 +72,8 @@ Result run_config(dsx::serve::CompiledModel& model, int64_t max_batch,
 
   serve::DynamicBatcher batcher(
       model, {.max_batch = max_batch,
-              .max_delay = std::chrono::microseconds(1000)});
+              .max_delay = std::chrono::microseconds(1000),
+              .metric_model = metric_model});
 
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<std::thread> workers;
@@ -100,6 +107,36 @@ Result run_config(dsx::serve::CompiledModel& model, int64_t max_batch,
   res.p99_ms = stats.latency.p99_ms;
   res.avg_batch = stats.avg_batch;
   return res;
+}
+
+/// Value of the first series whose line starts with `series` in a Prometheus
+/// text scrape; -1 when absent.
+double scrape_value(const std::string& text, const std::string& series) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(series, 0) == 0) {
+      const size_t sp = line.rfind(' ');
+      if (sp != std::string::npos) {
+        return std::strtod(line.c_str() + sp + 1, nullptr);
+      }
+    }
+  }
+  return -1.0;
+}
+
+/// A valid exposition never repeats a (name, label set) series.
+bool scrape_series_unique(const std::string& text) {
+  std::set<std::string> seen;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos) return false;  // malformed sample line
+    if (!seen.insert(line.substr(0, sp)).second) return false;
+  }
+  return !seen.empty();
 }
 
 }  // namespace
@@ -197,5 +234,71 @@ int main(int argc, char** argv) {
                 "compute-bound substrate (%.0f vs %.0f QPS)",
                 best.qps, base.qps);
   ok = bench::shape_check(claim, best.qps >= 0.7 * base.qps) && ok;
+
+  // ---- dsx::obs overhead at the largest batch ------------------------------
+  // Three configurations through the identical pipeline: detached metric
+  // handles (baseline), registry metrics attached with tracing off (the
+  // always-on production configuration), and metrics + 1-in-64 request
+  // tracing. Best-of-N so a scheduler hiccup doesn't fail the gate.
+  bench::banner("dsx::obs overhead (metrics + sampled tracing)");
+  const int64_t obs_batch = batches.back();
+  const int obs_reps = smoke ? 2 : 3;
+  const auto obs_best = [&](const std::string& metric_model, int sampling) {
+    obs::set_trace_sampling(sampling);
+    double best_q = 0.0;
+    for (int i = 0; i < obs_reps; ++i) {
+      const Result r = run_config(model, obs_batch, clients, per_client,
+                                  images, metric_model);
+      best_q = std::max(best_q, r.qps);
+    }
+    obs::set_trace_sampling(0);
+    return best_q;
+  };
+  const double qps_plain = obs_best("", 0);
+  const double qps_metrics = obs_best("mobilenet-scc", 0);
+  const std::string scrape1 = obs::Registry::global().prometheus_text();
+  const double qps_traced = obs_best("mobilenet-scc", 64);
+  const std::string scrape2 = obs::Registry::global().prometheus_text();
+
+  bench::Table obs_table({"config", "CPU QPS", "vs baseline"});
+  obs_table.add_row({"no obs (detached handles)", bench::fmt(qps_plain, 0),
+                     "1.00x"});
+  obs_table.add_row({"metrics, tracing off", bench::fmt(qps_metrics, 0),
+                     bench::fmt(qps_metrics / qps_plain) + "x"});
+  obs_table.add_row({"metrics + trace 1-in-64", bench::fmt(qps_traced, 0),
+                     bench::fmt(qps_traced / qps_plain) + "x"});
+  obs_table.print();
+
+  char obs_record[320];
+  std::snprintf(
+      obs_record, sizeof(obs_record),
+      "{\"op\":\"serve_obs\",\"model\":\"mobilenet-scc\",\"max_batch\":%lld,"
+      "\"qps_plain\":%.1f,\"qps_metrics\":%.1f,\"qps_traced_1in64\":%.1f,"
+      "\"metrics_ratio\":%.3f,\"traced_ratio\":%.3f}",
+      static_cast<long long>(obs_batch), qps_plain, qps_metrics, qps_traced,
+      qps_metrics / qps_plain, qps_traced / qps_plain);
+  std::printf("\nJSON %s\n\n", obs_record);
+  json.add(obs_record);
+  json.write();
+
+  std::snprintf(claim, sizeof(claim),
+                "obs overhead: metrics-on tracing-off serving keeps >= 0.97x "
+                "baseline QPS (%.0f vs %.0f)",
+                qps_metrics, qps_plain);
+  ok = bench::shape_check(claim, qps_metrics >= 0.97 * qps_plain) && ok;
+
+  const std::string requests_series =
+      "dsx_serve_requests_total{model=\"mobilenet-scc\"}";
+  const double req1 = scrape_value(scrape1, requests_series);
+  const double req2 = scrape_value(scrape2, requests_series);
+  std::snprintf(claim, sizeof(claim),
+                "scrape: dsx_serve_requests_total is present and monotone "
+                "across scrapes (%.0f -> %.0f)",
+                req1, req2);
+  ok = bench::shape_check(claim, req1 > 0.0 && req2 >= req1) && ok;
+  ok = bench::shape_check(
+           "scrape: exposition has no duplicate (name, labels) series",
+           scrape_series_unique(scrape2)) &&
+       ok;
   return ok ? 0 : 1;
 }

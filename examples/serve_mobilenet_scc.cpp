@@ -39,6 +39,7 @@
 #include "models/mobilenet.hpp"
 #include "nn/sgd.hpp"
 #include "nn/trainer.hpp"
+#include "obs/obs.hpp"
 #include "serve/server.hpp"
 #include "shard/shard.hpp"
 #include "tensor/random.hpp"
@@ -322,19 +323,107 @@ int run_canary_demo() {
   return ok ? 0 : 1;
 }
 
+void print_usage(const char* prog) {
+  std::printf(
+      "usage: %s [demo] [observability flags]\n"
+      "\n"
+      "demos (pick at most one; default: the serving walkthrough):\n"
+      "  (none)        train, compile and serve a tiny MobileNet-SCC\n"
+      "  --tune        cold- vs warm-cache autotuned compile (dsx::tune)\n"
+      "  --shard [R]   sharded serving across R replicas (dsx::shard)\n"
+      "  --canary      shadow -> canary -> promote rollout (dsx::deploy)\n"
+      "\n"
+      "observability flags (compose with any demo; dsx::obs):\n"
+      "  --metrics     after the run, print the process-wide metrics\n"
+      "                registry as Prometheus text exposition\n"
+      "  --trace FILE  trace every request (sampling 1-in-1) and write\n"
+      "                Chrome trace-event JSON to FILE - load it in\n"
+      "                Perfetto (ui.perfetto.dev) or chrome://tracing\n"
+      "  --help        this message\n",
+      prog);
+}
+
+int run_serving_demo();
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace dsx;
+  bool metrics = false;
+  const char* trace_path = nullptr;
+  enum class Demo { kServe, kTune, kShard, kCanary } demo = Demo::kServe;
+  int replicas = 2;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--tune") == 0) return run_tuning_demo();
-    if (std::strcmp(argv[i], "--canary") == 0) return run_canary_demo();
-    if (std::strcmp(argv[i], "--shard") == 0) {
-      const int replicas = i + 1 < argc ? std::atoi(argv[i + 1]) : 2;
-      return run_shard_demo(replicas > 0 ? replicas : 2);
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--trace requires an output path (see --help)\n");
+        return 2;
+      }
+      trace_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tune") == 0) {
+      demo = Demo::kTune;
+    } else if (std::strcmp(argv[i], "--canary") == 0) {
+      demo = Demo::kCanary;
+    } else if (std::strcmp(argv[i], "--shard") == 0) {
+      demo = Demo::kShard;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        const int r = std::atoi(argv[++i]);
+        if (r > 0) replicas = r;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (see --help)\n", argv[i]);
+      return 2;
     }
   }
 
+  if (trace_path != nullptr) obs::set_trace_sampling(1);  // trace everything
+
+  int rc = 0;
+  switch (demo) {
+    case Demo::kTune:
+      rc = run_tuning_demo();
+      break;
+    case Demo::kShard:
+      rc = run_shard_demo(replicas);
+      break;
+    case Demo::kCanary:
+      rc = run_canary_demo();
+      break;
+    case Demo::kServe:
+      rc = run_serving_demo();
+      break;
+  }
+
+  if (metrics) {
+    std::printf("\n# ---- metrics (Prometheus exposition) ----\n%s",
+                obs::Registry::global().prometheus_text().c_str());
+  }
+  if (trace_path != nullptr) {
+    const obs::TraceStats ts = obs::trace_stats();
+    if (obs::export_chrome_trace(trace_path)) {
+      std::printf("\ntrace: %lld events retained (%lld recorded, %lld "
+                  "dropped) -> %s\n",
+                  static_cast<long long>(ts.retained),
+                  static_cast<long long>(ts.recorded),
+                  static_cast<long long>(ts.dropped), trace_path);
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path);
+      rc = rc == 0 ? 1 : rc;
+    }
+  }
+  return rc;
+}
+
+namespace {
+
+int run_serving_demo() {
+  using namespace dsx;
   // --- 1. train a tiny MobileNet-SCC on synthetic CIFAR ---------------------
   const int64_t image = 16;
   Rng rng(7);
@@ -423,3 +512,5 @@ int main(int argc, char** argv) {
               stats.batcher.latency.max_ms);
   return 0;
 }
+
+}  // namespace

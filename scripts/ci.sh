@@ -59,6 +59,31 @@ if [[ "${FAST}" != "1" ]]; then
   # the staged version bit-identically (see examples/serve_mobilenet_scc).
   ./build/example_serve_mobilenet_scc --canary
 
+  echo "== obs smoke: metrics exposition + request trace =="
+  # Serve under load with full tracing, then validate the two export
+  # surfaces: the Prometheus exposition must contain the serving counters
+  # with no duplicate (name, labels) series, and the trace file must be
+  # well-formed Chrome trace-event JSON.
+  rm -f trace_ci.json metrics_ci.txt
+  ./build/example_serve_mobilenet_scc --metrics --trace trace_ci.json \
+    > metrics_ci.txt
+  grep -q '^dsx_serve_requests_total' metrics_ci.txt \
+    || { echo "obs smoke: dsx_serve_requests_total missing" >&2; exit 1; }
+  DUPES="$(grep '^dsx_' metrics_ci.txt | awk '{$NF=""; print}' | sort \
+    | uniq -d)"
+  [[ -z "${DUPES}" ]] \
+    || { echo "obs smoke: duplicate series:"; echo "${DUPES}"; exit 1; } >&2
+  grep -q '"traceEvents"' trace_ci.json \
+    || { echo "obs smoke: trace_ci.json missing traceEvents" >&2; exit 1; }
+  grep -q '"ph"[[:space:]]*:[[:space:]]*"X"' trace_ci.json \
+    || { echo "obs smoke: trace_ci.json has no complete events" >&2; exit 1; }
+  if command -v python3 >/dev/null 2>&1; then
+    python3 -c 'import json; json.load(open("trace_ci.json"))' \
+      || { echo "obs smoke: trace_ci.json is not valid JSON" >&2; exit 1; }
+  fi
+  rm -f trace_ci.json metrics_ci.txt
+  echo "obs smoke OK"
+
   if [[ -x build/bench_micro_kernels ]]; then
     echo "== kernel tuning + simd packed GEMM (json) =="
     # Candidate sweep (simd levels included via fast-math), packed-GEMM

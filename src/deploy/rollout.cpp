@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace dsx::deploy {
@@ -99,10 +101,14 @@ void RolloutController::deploy(const std::string& name,
   // guards the race.
   auto compiled = store_.compile(name, version, copts);
   server_.register_model(name, std::move(compiled), bopts);
-  std::lock_guard<std::mutex> lock(mu_);
-  Deployment d;
-  d.live_version = version;
-  deployments_.emplace(name, std::move(d));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Deployment d;
+    d.live_version = version;
+    deployments_.emplace(name, std::move(d));
+  }
+  obs::Journal::global().record(obs::EventKind::kDeploy, name,
+                                "live=" + version);
 }
 
 void RolloutController::adopt(const std::string& name,
@@ -153,6 +159,8 @@ void RolloutController::stage(const std::string& name,
       d.submits_until_check = opts_.guardrail_check_every;
       d.rolled_back = false;
       d.rollback_reason.clear();
+      obs::Journal::global().record(obs::EventKind::kStage, name,
+                                    "candidate=" + version + " (shadow)");
       return;
     }
   }
@@ -174,6 +182,10 @@ void RolloutController::advance_to_canary(const std::string& name,
   d.phase = Phase::kCanary;
   d.fraction = fraction;
   d.submits_until_check = opts_.guardrail_check_every;
+  obs::Journal::global().record(
+      obs::EventKind::kCanary, name,
+      "candidate=" + d.candidate_version + " fraction=" +
+          std::to_string(fraction));
 }
 
 std::future<Tensor> RolloutController::submit(const std::string& name,
@@ -399,10 +411,18 @@ serve::SwapReport RolloutController::promote(const std::string& name) {
     }
     throw;
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  Deployment& d = deployment_locked(name);
-  d.live_version = version;
-  ++d.promotions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Deployment& d = deployment_locked(name);
+    d.live_version = version;
+    ++d.promotions;
+  }
+  obs::Journal::global().record(obs::EventKind::kPromote, name,
+                                "live=" + version);
+  obs::Registry::global()
+      .counter("dsx_deploy_promotions_total", {{"model", name}},
+               "Candidates promoted to live.")
+      .inc();
   return report;
 }
 
@@ -411,12 +431,21 @@ void RolloutController::rollback_locked_candidate(const std::string& name,
   // Requires mu_ held; the actual unregister happens in rollback() /
   // evaluate_guardrail() outside the lock.
   Deployment& d = deployment_locked(name);
+  const std::string version = d.candidate_version;
   d.candidate_version.clear();
   d.candidate_alias.clear();
   d.phase = Phase::kLive;
   d.fraction = 0.0;
   d.rolled_back = true;
   d.rollback_reason = reason;
+  // The journal mutex is a leaf (never acquires mu_), so recording under
+  // mu_ here keeps the rollback and its reason atomic with the claim.
+  obs::Journal::global().record(obs::EventKind::kRollback, name,
+                                "candidate=" + version + ": " + reason);
+  obs::Registry::global()
+      .counter("dsx_deploy_rollbacks_total", {{"model", name}},
+               "Candidates rolled back (manual or guardrail).")
+      .inc();
 }
 
 void RolloutController::rollback(const std::string& name,
@@ -463,6 +492,10 @@ bool RolloutController::evaluate_guardrail(const std::string& name,
   const int64_t samples =
       track->canary_attempts.load(std::memory_order_relaxed);
   if (samples < opts_.guardrail_min_samples) return false;
+  obs::Registry::global()
+      .counter("dsx_deploy_guardrail_evals_total", {{"model", name}},
+               "Guardrail evaluations with enough canary samples.")
+      .inc();
 
   std::string reason;
   const double error_rate =
@@ -484,7 +517,13 @@ bool RolloutController::evaluate_guardrail(const std::string& name,
        << primary.batcher.latency.p99_ms << " ms";
     reason = os.str();
   }
-  if (reason.empty()) return false;
+  if (reason.empty()) {
+    std::ostringstream os;
+    os << "pass (error_rate=" << error_rate << ", samples=" << samples << ")";
+    obs::Journal::global().record(obs::EventKind::kGuardrail, name, os.str());
+    return false;
+  }
+  obs::Journal::global().record(obs::EventKind::kGuardrail, name, reason);
 
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -11,74 +11,101 @@ AtomicCounters& AtomicCounters::instance() {
   return counters;
 }
 
-// ---- LatencyStats ---------------------------------------------------------
+// ---- LogHistogram ---------------------------------------------------------
 
-int LatencyStats::bucket_of(int64_t ns) {
-  if (ns <= 0) return 0;
+int LogHistogram::bucket_of(int64_t value) {
+  if (value <= 0) return 0;
+  // Small integers get exact buckets: bucket b holds exactly value b for
+  // b < 8 (octaves 1 and 2 go unused; ordering stays monotone in value).
+  if (value < (1 << kSubBits)) return static_cast<int>(value);
   const int octave =
-      63 - std::countl_zero(static_cast<uint64_t>(ns));  // floor(log2 ns)
-  const int sub =
-      octave >= kSubBits
-          ? static_cast<int>((ns >> (octave - kSubBits)) & ((1 << kSubBits) - 1))
-          : 0;
+      63 - std::countl_zero(static_cast<uint64_t>(value));  // floor(log2 v)
+  const int sub = static_cast<int>((value >> (octave - kSubBits)) &
+                                   ((1 << kSubBits) - 1));
   return std::min(kBuckets - 1, (octave << kSubBits) + sub);
 }
 
-double LatencyStats::bucket_lower_ms(int bucket) {
+double LogHistogram::bucket_value(int bucket) {
+  if (bucket < (1 << kSubBits)) return static_cast<double>(bucket);  // exact
   const int octave = bucket >> kSubBits;
   const int sub = bucket & ((1 << kSubBits) - 1);
-  const double ns =
+  // Geometric midpoint of [lower, upper): halves the worst-case relative
+  // error vs reporting the lower edge (see kQuantileRelativeError).
+  const double lower =
       std::ldexp(1.0 + static_cast<double>(sub) / (1 << kSubBits), octave);
-  return ns / 1e6;
+  const double upper =
+      std::ldexp(1.0 + static_cast<double>(sub + 1) / (1 << kSubBits), octave);
+  return std::sqrt(lower * upper);
 }
 
-void LatencyStats::record_ns(int64_t ns) {
-  if (ns < 0) ns = 0;
+void LogHistogram::record(int64_t value) {
+  if (value < 0) value = 0;
   count_.fetch_add(1, std::memory_order_relaxed);
-  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
-  int64_t seen = min_ns_.load(std::memory_order_relaxed);
-  while (ns < seen &&
-         !min_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen && !min_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
   }
-  seen = max_ns_.load(std::memory_order_relaxed);
-  while (ns > seen &&
-         !max_ns_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen && !max_.compare_exchange_weak(
+                             seen, value, std::memory_order_relaxed)) {
   }
-  buckets_[static_cast<size_t>(bucket_of(ns))].fetch_add(
+  buckets_[static_cast<size_t>(bucket_of(value))].fetch_add(
       1, std::memory_order_relaxed);
 }
 
-LatencyStats::Snapshot LatencyStats::snapshot() const {
+LogHistogram::Snapshot LogHistogram::snapshot() const {
   Snapshot s;
   s.count = count_.load(std::memory_order_relaxed);
   if (s.count == 0) return s;
-  s.mean_ms = static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
-              static_cast<double>(s.count) / 1e6;
-  s.min_ms =
-      static_cast<double>(min_ns_.load(std::memory_order_relaxed)) / 1e6;
-  s.max_ms =
-      static_cast<double>(max_ns_.load(std::memory_order_relaxed)) / 1e6;
+  s.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  s.mean = s.sum / static_cast<double>(s.count);
+  // A reader racing the very first record() can observe count > 0 with the
+  // min CAS not yet landed; clamp the INT64_MAX sentinel to 0 so no
+  // snapshot ever reports a garbage min.
+  const int64_t raw_min = min_.load(std::memory_order_relaxed);
+  s.min = raw_min == INT64_MAX ? 0.0 : static_cast<double>(raw_min);
+  s.max = static_cast<double>(max_.load(std::memory_order_relaxed));
   const auto percentile = [&](double q) {
     const int64_t target = std::max<int64_t>(
         1, static_cast<int64_t>(q * static_cast<double>(s.count) + 0.5));
-    int64_t seen = 0;
+    int64_t seen_count = 0;
     for (int b = 0; b < kBuckets; ++b) {
-      seen += buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
-      if (seen >= target) return bucket_lower_ms(b);
+      seen_count +=
+          buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+      if (seen_count >= target) {
+        // The exact nearest-rank sample lies inside bucket b, so clamping
+        // its midpoint to the observed range only ever reduces the error.
+        return std::clamp(bucket_value(b), s.min, s.max);
+      }
     }
-    return s.max_ms;
+    return s.max;
   };
-  s.p50_ms = percentile(0.50);
-  s.p99_ms = percentile(0.99);
+  s.p50 = percentile(0.50);
+  s.p99 = percentile(0.99);
   return s;
 }
 
-void LatencyStats::reset() {
+void LogHistogram::reset() {
   count_.store(0, std::memory_order_relaxed);
-  sum_ns_.store(0, std::memory_order_relaxed);
-  min_ns_.store(INT64_MAX, std::memory_order_relaxed);
-  max_ns_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(INT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+// ---- LatencyStats ---------------------------------------------------------
+
+LatencyStats::Snapshot LatencyStats::snapshot() const {
+  const LogHistogram::Snapshot h = hist_.snapshot();
+  Snapshot s;
+  s.count = h.count;
+  s.mean_ms = h.mean / 1e6;
+  s.min_ms = h.min / 1e6;
+  s.max_ms = h.max / 1e6;
+  s.p50_ms = h.p50 / 1e6;
+  s.p99_ms = h.p99 / 1e6;
+  return s;
 }
 
 AtomicCountScope::AtomicCountScope() {

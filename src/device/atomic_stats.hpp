@@ -45,11 +45,61 @@ inline void atomic_add_float(float& target, float value) {
   }
 }
 
-/// Lock-free latency accumulator for the serving runtime (serve/): writers
-/// record durations with relaxed atomics only, so many client and batcher
-/// threads can publish stats without serializing on a mutex. Percentiles come
-/// from a log-scale histogram with 8 sub-buckets per octave (~6% resolution),
-/// plenty for p50/p99 serving dashboards.
+/// Lock-free log-scale histogram over non-negative int64 samples: writers
+/// record with relaxed atomics only, so many threads can publish without
+/// serializing on a mutex. Values below 8 get exact buckets (small-integer
+/// histograms like micro-batch sizes stay precise); above that, buckets are
+/// log-spaced with 8 sub-buckets per octave and percentiles report the
+/// bucket's geometric midpoint clamped to the observed [min, max], which
+/// bounds the relative error at ~6% (kQuantileRelativeError).
+///
+/// This is the engine the serving tier's LatencyStats always ran on,
+/// generalized to be unit-agnostic so dsx::obs can register Histograms over
+/// it for any quantity (latencies, queue waits, batch sizes).
+class LogHistogram {
+ public:
+  struct Snapshot {
+    int64_t count = 0;
+    double sum = 0.0;
+    double mean = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
+  };
+
+  /// Records one sample; negative values clamp to 0. Wait-free (a handful
+  /// of relaxed atomic RMWs), safe under any number of concurrent writers.
+  void record(int64_t value);
+  /// Consistent-enough copy for reporting (relaxed reads; exact only when
+  /// writers are quiescent). An empty histogram snapshots as all zeros, and
+  /// a snapshot racing the very first record() clamps the still-unwritten
+  /// min to 0 instead of leaking an INT64_MAX-derived value.
+  Snapshot snapshot() const;
+  void reset();
+
+  /// Worst-case relative error of p50/p99 for values >= 8: a sub-bucket
+  /// spans [L, 1.125L) and reports its geometric midpoint ~1.0607L, so the
+  /// exact percentile is within +6.1%/-5.7% of the reported one.
+  static constexpr double kQuantileRelativeError = 0.061;
+
+ private:
+  // 64 octaves x 8 sub-buckets covers the full int64 range.
+  static constexpr int kSubBits = 3;
+  static constexpr int kBuckets = 64 << kSubBits;
+  static int bucket_of(int64_t value);
+  static double bucket_value(int bucket);
+
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+  std::atomic<int64_t> min_{INT64_MAX};
+  std::atomic<int64_t> max_{0};
+  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+};
+
+/// Latency-flavoured view over LogHistogram for the serving runtime: records
+/// nanoseconds, snapshots in milliseconds. Kept as a distinct type so every
+/// serving stats struct keeps its *_ms field names.
 class LatencyStats {
  public:
   struct Snapshot {
@@ -61,24 +111,17 @@ class LatencyStats {
     double p99_ms = 0.0;
   };
 
-  void record_ns(int64_t ns);
+  void record_ns(int64_t ns) { hist_.record(ns); }
   /// Consistent-enough copy for reporting (relaxed reads; exact only when
-  /// writers are quiescent).
+  /// writers are quiescent). Empty stats snapshot as all zeros.
   Snapshot snapshot() const;
-  void reset();
+  void reset() { hist_.reset(); }
+
+  /// The underlying unit-agnostic histogram (nanosecond samples).
+  const LogHistogram& histogram() const { return hist_; }
 
  private:
-  // 64 octaves x 8 sub-buckets covers the full int64 nanosecond range.
-  static constexpr int kSubBits = 3;
-  static constexpr int kBuckets = 64 << kSubBits;
-  static int bucket_of(int64_t ns);
-  static double bucket_lower_ms(int bucket);
-
-  std::atomic<int64_t> count_{0};
-  std::atomic<int64_t> sum_ns_{0};
-  std::atomic<int64_t> min_ns_{INT64_MAX};
-  std::atomic<int64_t> max_ns_{0};
-  std::array<std::atomic<int64_t>, kBuckets> buckets_{};
+  LogHistogram hist_;
 };
 
 /// RAII scope that enables counting and reports the delta.

@@ -72,6 +72,10 @@
 // Replicated, priority/deadline-aware sharded serving.
 #include "shard/shard.hpp"
 
+// Observability: metrics registry (Prometheus/JSON), per-request tracing
+// (Chrome trace-event / Perfetto), control-plane event journal.
+#include "obs/obs.hpp"
+
 // Versioned model store, hot-swap, canary/shadow rollouts.
 #include "deploy/deploy.hpp"
 

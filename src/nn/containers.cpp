@@ -2,6 +2,7 @@
 
 #include "common/check.hpp"
 #include "device/launch.hpp"
+#include "obs/trace.hpp"
 #include "ops/activations.hpp"
 #include "tensor/tensor_ops.hpp"
 
@@ -30,7 +31,23 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
 
 Tensor Sequential::forward_inference(const Tensor& input, Workspace& ws) {
   Tensor x = input;
-  for (auto& l : layers_) x = l->forward_inference(x, ws);
+  // Per-layer timing for dsx::obs request traces: the serving tier installs
+  // a thread-local sink around CompiledModel::run for SAMPLED requests only
+  // (null otherwise - one thread-local load per forward). The timed loop
+  // calls the exact same layer sequence, so numerics are identical; nested
+  // Sequentials (residual blocks) report their sublayers into the same
+  // sink, which renders as nested spans.
+  std::vector<obs::LayerRecord>* sink = obs::layer_sink();
+  if (sink == nullptr) {
+    for (auto& l : layers_) x = l->forward_inference(x, ws);
+    return x;
+  }
+  for (auto& l : layers_) {
+    const char* name = obs::intern(l->name());
+    const int64_t t0 = obs::now_ns();
+    x = l->forward_inference(x, ws);
+    sink->push_back({name, t0, obs::now_ns() - t0});
+  }
   return x;
 }
 

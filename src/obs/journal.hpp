@@ -1,0 +1,83 @@
+// dsx::obs journal - a bounded ring of structured control-plane events.
+//
+// Metrics say how much, traces say where the time went; the journal answers
+// "what HAPPENED" - which swap displaced which fleet, why the canary rolled
+// back at 14:02, when the tuner measured, which SIMD ISA the process picked.
+// Control-plane transitions are rare, so a mutex-guarded ring of ~1024
+// events is plenty and keeps ordering exact; data-plane floods (sheds,
+// rejects) are journaled per batch-group, not per request, with the exact
+// counts living in the metrics registry.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dsx::obs {
+
+enum class EventKind {
+  kRegister,    // model registered with the server
+  kUnregister,  // model removed
+  kSwap,        // hot-swap installed a fresh fleet (detail: drain report)
+  kDeploy,      // deploy tier: version deployed live
+  kStage,       // deploy tier: candidate staged (shadow)
+  kCanary,      // deploy tier: candidate advanced to canary
+  kPromote,     // deploy tier: candidate promoted to live
+  kRollback,    // deploy tier: candidate rolled back (detail: reason)
+  kGuardrail,   // deploy tier: guardrail evaluation verdict
+  kShed,        // batcher shed a group of deadline-expired requests
+  kReject,      // batcher rejected a submission (queue at capacity)
+  kTuneMeasure,  // tuner measured a problem and recorded a winner
+  kIsaSelect,    // simd dispatch picked the process ISA level
+};
+
+const char* event_kind_name(EventKind kind);
+
+struct Event {
+  uint64_t seq = 0;  // process-wide, gap-free until the ring drops
+  int64_t ts_ns = 0;  // obs::now_ns() timeline (correlates with traces)
+  std::chrono::system_clock::time_point wall;  // for the 14:02 question
+  EventKind kind = EventKind::kRegister;
+  std::string scope;   // model / subsystem the event is about
+  std::string detail;  // free-form specifics (reason, counts, winner)
+};
+
+class Journal {
+ public:
+  /// The process-wide journal every tier records into.
+  static Journal& global();
+
+  explicit Journal(size_t capacity = 1024);
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Appends one event (oldest dropped at capacity). Thread-safe; control
+  /// plane rate, so a mutex is fine.
+  void record(EventKind kind, std::string scope, std::string detail = "");
+
+  /// Retained events, oldest first.
+  std::vector<Event> events() const;
+  /// Events of one kind, oldest first.
+  std::vector<Event> events(EventKind kind) const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t recorded() const;  // events ever recorded
+  uint64_t dropped() const;   // events pushed out of the ring
+
+  /// Human-readable dump, one "seq time kind scope: detail" line per event.
+  std::string to_text() const;
+
+  void clear();
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Event> ring_;
+  uint64_t next_seq_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace dsx::obs

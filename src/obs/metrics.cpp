@@ -1,0 +1,252 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace dsx::obs {
+
+namespace {
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+/// Prometheus label-value escaping: backslash, double-quote, newline.
+std::string escape_label(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// JSON string escaping (control chars, quote, backslash).
+std::string escape_json(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// `{k="v",...}` with an optional extra label prepended (quantile="0.5").
+std::string label_block(const Labels& labels, const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  if (!extra.empty()) {
+    out += extra;
+    first = false;
+  }
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=\"" + escape_label(v) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+detail::MetricCell* Registry::cell(MetricType type, const std::string& name,
+                                   Labels labels, const std::string& help) {
+  DSX_REQUIRE(!name.empty(), "obs::Registry: metric name must not be empty");
+  std::sort(labels.begin(), labels.end());
+  std::string key = name;
+  key.push_back('\0');
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key.push_back('\x01');
+    key += v;
+    key.push_back('\x01');
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [type_it, inserted] = types_.emplace(name, type);
+  DSX_REQUIRE(type_it->second == type,
+              "obs::Registry: '" << name << "' already registered as "
+                                 << type_name(type_it->second)
+                                 << ", requested " << type_name(type));
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    auto owned = std::make_unique<detail::MetricCell>();
+    owned->name = name;
+    owned->labels = std::move(labels);
+    owned->help = help;
+    owned->type = type;
+    it = cells_.emplace(std::move(key), std::move(owned)).first;
+  } else if (it->second->help.empty() && !help.empty()) {
+    it->second->help = help;
+  }
+  return it->second.get();
+}
+
+Counter Registry::counter(const std::string& name, const Labels& labels,
+                          const std::string& help) {
+  return Counter(cell(MetricType::kCounter, name, labels, help));
+}
+
+Gauge Registry::gauge(const std::string& name, const Labels& labels,
+                      const std::string& help) {
+  return Gauge(cell(MetricType::kGauge, name, labels, help));
+}
+
+Histogram Registry::histogram(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  return Histogram(cell(MetricType::kHistogram, name, labels, help));
+}
+
+std::string Registry::prometheus_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  std::string current;  // metric name whose HELP/TYPE block is open
+  for (const auto& [key, cell] : cells_) {
+    if (cell->name != current) {
+      current = cell->name;
+      if (!cell->help.empty()) {
+        out << "# HELP " << cell->name << " " << cell->help << "\n";
+      }
+      // Histograms are exported summary-style (precomputed quantiles).
+      const char* t = cell->type == MetricType::kHistogram
+                          ? "summary"
+                          : type_name(cell->type);
+      out << "# TYPE " << cell->name << " " << t << "\n";
+    }
+    switch (cell->type) {
+      case MetricType::kCounter:
+        out << cell->name << label_block(cell->labels) << " "
+            << cell->counter.load(std::memory_order_relaxed) << "\n";
+        break;
+      case MetricType::kGauge:
+        out << cell->name << label_block(cell->labels) << " "
+            << cell->gauge.load(std::memory_order_relaxed) << "\n";
+        break;
+      case MetricType::kHistogram: {
+        const device::LogHistogram::Snapshot s = cell->hist.snapshot();
+        out << cell->name << label_block(cell->labels, "quantile=\"0.5\"")
+            << " " << format_double(s.p50) << "\n";
+        out << cell->name << label_block(cell->labels, "quantile=\"0.99\"")
+            << " " << format_double(s.p99) << "\n";
+        out << cell->name << "_sum" << label_block(cell->labels) << " "
+            << format_double(s.sum) << "\n";
+        out << cell->name << "_count" << label_block(cell->labels) << " "
+            << s.count << "\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string Registry::json_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{\"metrics\":[";
+  bool first = true;
+  for (const auto& [key, cell] : cells_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << escape_json(cell->name) << "\",\"type\":\""
+        << type_name(cell->type) << "\",\"labels\":{";
+    bool lfirst = true;
+    for (const auto& [k, v] : cell->labels) {
+      if (!lfirst) out << ",";
+      lfirst = false;
+      out << "\"" << escape_json(k) << "\":\"" << escape_json(v) << "\"";
+    }
+    out << "}";
+    switch (cell->type) {
+      case MetricType::kCounter:
+        out << ",\"value\":" << cell->counter.load(std::memory_order_relaxed);
+        break;
+      case MetricType::kGauge:
+        out << ",\"value\":" << cell->gauge.load(std::memory_order_relaxed);
+        break;
+      case MetricType::kHistogram: {
+        const device::LogHistogram::Snapshot s = cell->hist.snapshot();
+        out << ",\"count\":" << s.count << ",\"sum\":" << format_double(s.sum)
+            << ",\"mean\":" << format_double(s.mean)
+            << ",\"min\":" << format_double(s.min)
+            << ",\"max\":" << format_double(s.max)
+            << ",\"p50\":" << format_double(s.p50)
+            << ",\"p99\":" << format_double(s.p99);
+        break;
+      }
+    }
+    out << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+size_t Registry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cells_.size();
+}
+
+void Registry::reset_values_for_test() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, cell] : cells_) {
+    cell->counter.store(0, std::memory_order_relaxed);
+    cell->gauge.store(0, std::memory_order_relaxed);
+    cell->hist.reset();
+  }
+}
+
+}  // namespace dsx::obs

@@ -1,0 +1,169 @@
+// dsx::obs metrics - a process-wide registry of named Counter / Gauge /
+// Histogram series.
+//
+// The serving stack already had lock-free accounting (device::LatencyStats,
+// per-batcher atomics) but no uniform way to name, discover or scrape it.
+// The registry closes that gap: a series is registered once by
+// (name, labels) and scraped via Prometheus-style text exposition or a JSON
+// snapshot. Handles are the hot-path face:
+//
+//   * a handle is two machine words and freely copyable - instruments hold
+//     them by value;
+//   * a default-constructed handle is DETACHED: every operation is a single
+//     null check and a no-op, so un-scoped instruments (tests, ad-hoc
+//     batchers) pay nothing and export nothing;
+//   * an attached handle's write path is the same relaxed-atomic machinery
+//     the serving stats always used (LogHistogram for Histogram), never a
+//     lock - scrapes take the registry mutex, writes do not.
+//
+// Naming convention (see ROADMAP "Observability quickstart"):
+// dsx_<tier>_<what>[_<unit>][_total], labels {model=...,replica=...}.
+// Series live for the process lifetime and are cumulative across hot-swaps
+// of the instrument that feeds them; per-instance views (BatcherStats,
+// ModelStats) keep their restart-on-swap semantics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "device/atomic_stats.hpp"
+
+namespace dsx::obs {
+
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Label set as key/value pairs; the registry sorts them by key, so any
+/// order identifies the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+namespace detail {
+
+/// One registered series. Cells are owned by the Registry, never freed, so
+/// handles stay valid for the process lifetime.
+struct MetricCell {
+  std::string name;
+  Labels labels;  // sorted by key
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  std::atomic<int64_t> counter{0};
+  std::atomic<int64_t> gauge{0};
+  device::LogHistogram hist;
+};
+
+}  // namespace detail
+
+/// Monotone event count. Detached (default-constructed) = no-op.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(int64_t n = 1) {
+    if (cell_ != nullptr) cell_->counter.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const {
+    return cell_ != nullptr ? cell_->counter.load(std::memory_order_relaxed)
+                            : 0;
+  }
+  bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::MetricCell* cell) : cell_(cell) {}
+  detail::MetricCell* cell_ = nullptr;
+};
+
+/// Point-in-time integer level (queue depth, replica count). Detached = no-op.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(int64_t v) {
+    if (cell_ != nullptr) cell_->gauge.store(v, std::memory_order_relaxed);
+  }
+  void add(int64_t n) {
+    if (cell_ != nullptr) cell_->gauge.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t value() const {
+    return cell_ != nullptr ? cell_->gauge.load(std::memory_order_relaxed) : 0;
+  }
+  bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::MetricCell* cell) : cell_(cell) {}
+  detail::MetricCell* cell_ = nullptr;
+};
+
+/// Distribution over int64 samples (device::LogHistogram: lock-free
+/// log-bucket machinery, ~6% quantile error). Detached = no-op.
+class Histogram {
+ public:
+  Histogram() = default;
+  void record(int64_t v) {
+    if (cell_ != nullptr) cell_->hist.record(v);
+  }
+  device::LogHistogram::Snapshot snapshot() const {
+    return cell_ != nullptr ? cell_->hist.snapshot()
+                            : device::LogHistogram::Snapshot{};
+  }
+  bool attached() const { return cell_ != nullptr; }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::MetricCell* cell) : cell_(cell) {}
+  detail::MetricCell* cell_ = nullptr;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry every instrument registers into.
+  static Registry& global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the handle for (name, labels), registering the series on first
+  /// use. Re-registering the same series returns a handle to the SAME cell
+  /// (label order does not matter); registering an existing name as a
+  /// different metric type throws dsx::Error. `help` is kept from the first
+  /// registration that supplies one.
+  Counter counter(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  Gauge gauge(const std::string& name, const Labels& labels = {},
+              const std::string& help = "");
+  Histogram histogram(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+
+  /// Prometheus text exposition: one # HELP / # TYPE block per metric name,
+  /// histograms exported summary-style (quantile="0.5"/"0.99" series plus
+  /// _sum and _count). Values are relaxed reads - consistent enough for
+  /// scraping, exact when writers are quiescent.
+  std::string prometheus_text() const;
+  /// The same snapshot as a JSON object {"metrics": [...]}.
+  std::string json_snapshot() const;
+
+  /// Number of registered series.
+  size_t size() const;
+
+  /// Zeroes every registered series IN PLACE (handles stay valid; nothing
+  /// is unregistered). Test isolation only - never call while instruments
+  /// you care about are live, their cumulative counts are lost.
+  void reset_values_for_test();
+
+ private:
+  detail::MetricCell* cell(MetricType type, const std::string& name,
+                           Labels labels, const std::string& help);
+
+  mutable std::mutex mu_;
+  /// Keyed by name + '\0' + serialized sorted labels, so one metric name's
+  /// series are contiguous and exposition grouping is a single pass.
+  std::map<std::string, std::unique_ptr<detail::MetricCell>> cells_;
+  /// name -> type, the duplicate-name/type-clash check.
+  std::map<std::string, MetricType> types_;
+};
+
+}  // namespace dsx::obs

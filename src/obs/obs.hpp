@@ -1,0 +1,30 @@
+// dsx::obs - unified observability for the serving stack (umbrella).
+//
+// Three complementary signals, one subsystem:
+//
+//   metrics.hpp   named Counter/Gauge/Histogram series in a process-wide
+//                 registry, scraped as Prometheus text or a JSON snapshot
+//                 ("how much, right now");
+//   trace.hpp     sampled per-request timelines in per-thread lock-free
+//                 rings, exported as Chrome trace-event JSON for Perfetto
+//                 ("where did this request's time go");
+//   journal.hpp   a bounded ring of structured control-plane events - swaps,
+//                 promotions, rollbacks + reasons, guardrail verdicts, tuner
+//                 measurements, ISA selection ("what happened, in order").
+//
+// The stack instruments itself: batchers export queue/batch/shed series and
+// emit request spans, ReplicaSet counts per-replica routing, the deploy tier
+// journals its lifecycle, tune/simd journal their decisions. Two invariants
+// every instrumentation site upholds (ROADMAP "Observability quickstart"):
+//
+//   * numerics are untouchable - instruments observe timestamps and counts
+//     around the existing execution path and never reorder float work, so
+//     every bit-identity suite passes with instrumentation compiled in;
+//   * disabled tracing costs at most one relaxed atomic load per site, and
+//     always-on metrics cost a handful of relaxed RMWs (or a null check
+//     when the instrument is detached).
+#pragma once
+
+#include "obs/journal.hpp"   // IWYU pragma: export
+#include "obs/metrics.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"     // IWYU pragma: export

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <string>
 
 #include "serve/compiled_model.hpp"
 #include "serve/request.hpp"
@@ -44,6 +45,11 @@ struct BatcherOptions {
   /// independently compiled replicas via dsx::shard::ReplicaSet (each with
   /// its own batcher and execution lane).
   int replicas = 1;
+  /// Observability scope: non-empty registers dsx_serve_* series labeled
+  /// {model=metric_model} in obs::Registry (see ROADMAP "Observability
+  /// quickstart"). Empty = no export. InferenceServer overwrites this with
+  /// the registered model name.
+  std::string metric_model;
 };
 
 /// Throws std::invalid_argument on out-of-range fields (negative max_delay,

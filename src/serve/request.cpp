@@ -1,5 +1,6 @@
 #include "serve/request.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -27,7 +28,38 @@ Request make_request(const CompiledModel& model, const Tensor& image) {
   Request req;
   req.image = std::move(normalized);  // shallow: shares the caller's storage
   req.enqueued = std::chrono::steady_clock::now();
+  // Tracing off = exactly one relaxed load (trace_enabled); the sampling
+  // counter is only touched once tracing is on.
+  if (obs::trace_enabled()) req.trace_id = obs::sample_trace_id();
   return req;
+}
+
+BatcherMetricSet make_batcher_metrics(const std::string& model, int replica) {
+  BatcherMetricSet m;
+  if (model.empty()) return m;  // detached: every handle is a no-op
+  obs::Labels labels{{"model", model}};
+  if (replica >= 0) labels.emplace_back("replica", std::to_string(replica));
+  obs::Registry& reg = obs::Registry::global();
+  m.requests = reg.counter("dsx_serve_requests_total", labels,
+                           "Requests answered by the batch engine.");
+  m.batches = reg.counter("dsx_serve_batches_total", labels,
+                          "Micro-batches executed.");
+  m.shed = reg.counter("dsx_serve_shed_total", labels,
+                       "Requests shed past their deadline.");
+  m.rejected = reg.counter("dsx_serve_rejected_total", labels,
+                           "Submissions rejected by admission control.");
+  m.queue_depth = reg.gauge("dsx_serve_queue_depth", labels,
+                            "Requests currently waiting in the queue.");
+  m.batch_size = reg.histogram("dsx_serve_batch_size", labels,
+                               "Executed micro-batch sizes.");
+  m.queue_wait = reg.histogram(
+      "dsx_serve_queue_wait_us", labels,
+      "Microseconds from submit to batch formation.");
+  m.latency = reg.histogram(
+      "dsx_serve_request_latency_us", labels,
+      "Microseconds from submit to answer (the stats() latency).");
+  m.scope = obs::intern(model);
+  return m;
 }
 
 void validate_batching_limits(const char* what, int64_t max_batch,
@@ -54,15 +86,31 @@ std::mutex& execution_mutex() {
   return mu;
 }
 
-BatchCore::BatchCore(CompiledModel& model, device::LatencyStats* extra_latency)
+BatchCore::BatchCore(CompiledModel& model, device::LatencyStats* extra_latency,
+                     BatcherMetricSet metrics)
     : model_(model),
       extra_latency_(extra_latency),
+      metrics_(std::move(metrics)),
       start_(std::chrono::steady_clock::now()) {}
 
 void BatchCore::execute(std::deque<Request>& batch,
                         const std::function<Tensor(const Tensor&)>& run) {
   const int64_t n = static_cast<int64_t>(batch.size());
   if (n == 0) return;
+  // Tracing off = one relaxed load; only then is the batch scanned for a
+  // sampled request. Traced batches time the run and collect per-layer
+  // records - observation only, the execution path itself is unchanged, so
+  // per-image outputs stay bit-identical either way.
+  bool traced = false;
+  if (obs::trace_enabled()) {
+    for (const Request& req : batch) {
+      if (req.trace_id != 0) {
+        traced = true;
+        break;
+      }
+    }
+  }
+  const auto exec_start = std::chrono::steady_clock::now();
   try {
     // Assemble the micro-batch. Per-image results are bit-identical to
     // batch-1 execution: every kernel in the plan processes images
@@ -75,7 +123,19 @@ void BatchCore::execute(std::deque<Request>& batch,
                   static_cast<size_t>(image_floats) * sizeof(float));
     }
 
-    Tensor out = run(images);
+    Tensor out;
+    int64_t run_start_ns = 0;
+    int64_t run_end_ns = 0;
+    std::vector<obs::LayerRecord> layers;
+    if (traced) {
+      layers.reserve(32);
+      const obs::ScopedLayerSink sink(&layers);
+      run_start_ns = obs::now_ns();
+      out = run(images);
+      run_end_ns = obs::now_ns();
+    } else {
+      out = run(images);
+    }
 
     // Split [n, ...] into per-request [1, ...] answers.
     Shape row_shape = out.shape();
@@ -94,9 +154,21 @@ void BatchCore::execute(std::deque<Request>& batch,
                              .count();
       latency_.record_ns(ns);
       if (extra_latency_ != nullptr) extra_latency_->record_ns(ns);
+      metrics_.latency.record(ns / 1000);
+      metrics_.queue_wait.record(
+          std::chrono::duration_cast<std::chrono::microseconds>(exec_start -
+                                                                req.enqueued)
+              .count());
     }
     answered_.fetch_add(n, std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.requests.inc(n);
+    metrics_.batches.inc();
+    metrics_.batch_size.record(n);
+    if (traced) {
+      emit_request_traces(batch, n, exec_start, run_start_ns, run_end_ns, now,
+                          layers);
+    }
     for (int64_t i = 0; i < n; ++i) {
       Tensor row{Shape(dims)};
       std::memcpy(row.data(), out.data() + i * row_floats,
@@ -107,9 +179,62 @@ void BatchCore::execute(std::deque<Request>& batch,
     const std::exception_ptr err = std::current_exception();
     answered_.fetch_add(n, std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.requests.inc(n);
+    metrics_.batches.inc();
     for (Request& req : batch) {
       req.promise.set_exception(err);
     }
+  }
+}
+
+void BatchCore::emit_request_traces(
+    const std::deque<Request>& batch, int64_t n,
+    std::chrono::steady_clock::time_point exec_start, int64_t run_start_ns,
+    int64_t run_end_ns, std::chrono::steady_clock::time_point done,
+    const std::vector<obs::LayerRecord>& layers) const {
+  // Every span is reconstructed AFTER the batch ran, from timestamps taken
+  // around the unmodified execution path: the synthetic per-request track
+  // (pid=kRequestPid, tid=trace id) partitions [submit, reply] into
+  // queue_wait / batch_assemble / batch_execute (+ per-layer events) /
+  // reply, so the request span's duration IS the latency sample stats()
+  // aggregates. Batch-shared events are duplicated onto each traced
+  // request's track - a micro-batch executes once for all its members.
+  const int64_t exec_start_ns = obs::steady_ns(exec_start);
+  const int64_t done_ns = obs::steady_ns(done);
+  for (const Request& req : batch) {
+    if (req.trace_id == 0) continue;
+    const uint64_t tid = req.trace_id;
+    const int64_t enq_ns = obs::steady_ns(req.enqueued);
+    const auto emit = [&](const char* name, const char* cat, int64_t start,
+                          int64_t end) {
+      obs::TraceEvent ev;
+      ev.name = name;
+      ev.cat = cat;
+      ev.tid = tid;
+      ev.start_ns = start;
+      ev.dur_ns = std::max<int64_t>(0, end - start);
+      ev.arg_name = "batch";
+      ev.arg_value = n;
+      if (metrics_.scope[0] != '\0') {
+        ev.sarg_name = "model";
+        ev.sarg_value = metrics_.scope;
+      }
+      obs::record_event(ev);
+    };
+    emit("request", "serve", enq_ns, done_ns);
+    emit("queue_wait", "serve", enq_ns, exec_start_ns);
+    emit("batch_assemble", "serve", exec_start_ns, run_start_ns);
+    emit("batch_execute", "serve", run_start_ns, run_end_ns);
+    for (const obs::LayerRecord& layer : layers) {
+      obs::TraceEvent ev;
+      ev.name = layer.name;
+      ev.cat = "layer";
+      ev.tid = tid;
+      ev.start_ns = layer.start_ns;
+      ev.dur_ns = layer.dur_ns;
+      obs::record_event(ev);
+    }
+    emit("reply", "serve", run_end_ns, done_ns);
   }
 }
 

@@ -17,9 +17,12 @@
 #include <functional>
 #include <future>
 #include <mutex>
+#include <vector>
 
 #include "common/check.hpp"
 #include "device/atomic_stats.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/compiled_model.hpp"
 
 namespace dsx::serve {
@@ -70,6 +73,10 @@ struct Request {
   Priority priority = Priority::kNormal;
   std::chrono::steady_clock::time_point deadline = kNoDeadline;
   uint64_t seq = 0;  // submission order, the final EDF tie-break
+  /// Per-request trace context: 0 = not sampled, else the obs trace id the
+  /// batch engine emits this request's lifecycle spans under (drawn by
+  /// make_request when DSX_TRACE sampling is on).
+  uint64_t trace_id = 0;
 };
 
 /// EDF ordering key: earliest deadline first, then priority class, then
@@ -103,6 +110,28 @@ void validate_batching_limits(const char* what, int64_t max_batch,
 /// (dsx::shard) do not take it - each lane is its own device.
 std::mutex& execution_mutex();
 
+/// Registry handles for one batcher instance. Detached (all-no-op) when the
+/// batcher has no metric scope; attached handles all carry the same
+/// {model[,replica]} labels. Copyable (handles are pointers).
+struct BatcherMetricSet {
+  obs::Counter requests;       // dsx_serve_requests_total
+  obs::Counter batches;        // dsx_serve_batches_total
+  obs::Counter shed;           // dsx_serve_shed_total
+  obs::Counter rejected;       // dsx_serve_rejected_total
+  obs::Gauge queue_depth;      // dsx_serve_queue_depth
+  obs::Histogram batch_size;   // dsx_serve_batch_size
+  obs::Histogram queue_wait;   // dsx_serve_queue_wait_us
+  obs::Histogram latency;      // dsx_serve_request_latency_us
+  /// Interned scope name for trace/journal annotations ("" = unscoped).
+  const char* scope = "";
+};
+
+/// Registers (or re-resolves) the registry series for scope `model`
+/// (label model=..., plus replica=R when `replica` >= 0). An empty `model`
+/// returns a fully detached set - the no-export default for ad-hoc batchers.
+BatcherMetricSet make_batcher_metrics(const std::string& model,
+                                      int replica = -1);
+
 /// Answered-request statistics shared by every batcher flavour.
 struct BatcherStats {
   int64_t requests = 0;  // answered requests
@@ -119,9 +148,11 @@ class BatchCore {
  public:
   /// `model` must outlive the core. `extra_latency`, when given, receives a
   /// copy of every per-request latency sample (dsx::shard aggregates across
-  /// replicas through it).
+  /// replicas through it). `metrics` (detached by default) additionally
+  /// receives every request/batch/latency observation into the obs registry.
   explicit BatchCore(CompiledModel& model,
-                     device::LatencyStats* extra_latency = nullptr);
+                     device::LatencyStats* extra_latency = nullptr,
+                     BatcherMetricSet metrics = {});
 
   CompiledModel& model() { return model_; }
 
@@ -135,11 +166,20 @@ class BatchCore {
   BatcherStats stats() const;
 
  private:
+  /// Emits the lifecycle spans of every traced request in `batch` onto its
+  /// per-request track (called only for batches that contain one).
+  void emit_request_traces(
+      const std::deque<Request>& batch, int64_t n,
+      std::chrono::steady_clock::time_point exec_start, int64_t run_start_ns,
+      int64_t run_end_ns, std::chrono::steady_clock::time_point done,
+      const std::vector<obs::LayerRecord>& layers) const;
+
   CompiledModel& model_;
   std::atomic<int64_t> answered_{0};
   std::atomic<int64_t> batches_{0};
   device::LatencyStats latency_;
   device::LatencyStats* extra_latency_;
+  BatcherMetricSet metrics_;
   std::chrono::steady_clock::time_point start_;
 };
 

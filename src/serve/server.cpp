@@ -1,6 +1,7 @@
 #include "serve/server.hpp"
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "common/check.hpp"
@@ -17,6 +18,7 @@ shard::ShardOptions to_shard_options(const BatcherOptions& opts) {
   sopts.max_batch = opts.max_batch;
   sopts.max_delay = opts.max_delay;
   sopts.queue_capacity = opts.queue_capacity;
+  sopts.metric_model = opts.metric_model;
   return sopts;
 }
 
@@ -61,6 +63,9 @@ void InferenceServer::register_model(const std::string& name,
                                      std::unique_ptr<CompiledModel> model,
                                      BatcherOptions opts) {
   validate_batcher_options(opts);
+  // The registered name is the observability scope: every fleet serving
+  // this name feeds the same dsx_serve_*{model=name} series.
+  opts.metric_model = name;
   if (opts.replicas > 1) {
     register_model_sharded(name, std::move(model), to_shard_options(opts));
     return;
@@ -69,11 +74,15 @@ void InferenceServer::register_model(const std::string& name,
   auto entry = std::make_shared<Entry>();
   entry->model = std::move(model);
   entry->batcher = std::make_unique<DynamicBatcher>(*entry->model, opts);
-  std::lock_guard<std::mutex> lock(mu_);
-  DSX_REQUIRE(!stopped_, "register_model: server is stopped");
-  DSX_REQUIRE(models_.find(name) == models_.end(),
-              "register_model: '" << name << "' already registered");
-  models_.emplace(name, std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSX_REQUIRE(!stopped_, "register_model: server is stopped");
+    DSX_REQUIRE(models_.find(name) == models_.end(),
+                "register_model: '" << name << "' already registered");
+    models_.emplace(name, std::move(entry));
+  }
+  obs::Journal::global().record(obs::EventKind::kRegister, name,
+                                "single batcher");
 }
 
 void InferenceServer::register_model_sharded(const std::string& name,
@@ -92,13 +101,19 @@ void InferenceServer::register_model_sharded(const std::string& name,
   }
   // Compile the replica fleet WITHOUT the registry lock: clone compilation
   // is slow and must not block serving of other models.
+  opts.metric_model = name;
   auto entry = std::make_shared<Entry>();
   entry->replicas = std::make_unique<shard::ReplicaSet>(std::move(model), opts);
-  std::lock_guard<std::mutex> lock(mu_);
-  DSX_REQUIRE(!stopped_, "register_model: server is stopped");
-  DSX_REQUIRE(models_.find(name) == models_.end(),
-              "register_model: '" << name << "' already registered");
-  models_.emplace(name, std::move(entry));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DSX_REQUIRE(!stopped_, "register_model: server is stopped");
+    DSX_REQUIRE(models_.find(name) == models_.end(),
+                "register_model: '" << name << "' already registered");
+    models_.emplace(name, std::move(entry));
+  }
+  obs::Journal::global().record(
+      obs::EventKind::kRegister, name,
+      "sharded, replicas=" + std::to_string(opts.replicas));
 }
 
 void InferenceServer::unregister_model(const std::string& name) {
@@ -115,6 +130,7 @@ void InferenceServer::unregister_model(const std::string& name) {
   // registry for the duration would stall serving of every other model. The
   // Entry itself dies when the last concurrent submit releases its ref.
   removed->stop();
+  obs::Journal::global().record(obs::EventKind::kUnregister, name);
 }
 
 SwapReport InferenceServer::install_and_drain(const std::string& name,
@@ -132,13 +148,21 @@ SwapReport InferenceServer::install_and_drain(const std::string& name,
   // From here every new submit resolves the fresh fleet. The displaced
   // fleet's drain answers its whole queue with the OLD model - the version
   // that accepted those requests - so the swap drops nothing.
-  return displaced->drain();
+  const SwapReport report = displaced->drain();
+  {
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "drained %lld in %.2f ms",
+                  static_cast<long long>(report.drained), report.drain_ms);
+    obs::Journal::global().record(obs::EventKind::kSwap, name, detail);
+  }
+  return report;
 }
 
 SwapReport InferenceServer::swap_model(const std::string& name,
                                        std::unique_ptr<CompiledModel> model,
                                        BatcherOptions opts) {
   validate_batcher_options(opts);
+  opts.metric_model = name;  // swapped fleets keep feeding the name's series
   DSX_REQUIRE(model != nullptr, "swap_model: null model");
   if (opts.replicas > 1) {
     return swap_model_sharded(name, std::move(model), to_shard_options(opts));
@@ -153,6 +177,7 @@ SwapReport InferenceServer::swap_model_sharded(const std::string& name,
                                                std::unique_ptr<CompiledModel> model,
                                                shard::ShardOptions opts) {
   DSX_REQUIRE(model != nullptr, "swap_model: null model");
+  opts.metric_model = name;
   // Compile the replacement fleet before touching the registry: the old
   // fleet keeps serving until the new one is ready to take every request.
   auto fresh = std::make_shared<Entry>();
@@ -185,7 +210,10 @@ SwapReport InferenceServer::swap_model_with(const std::string& name,
     name_it->second = std::move(donor_it->second);
     models_.erase(donor_it);
   }
-  return displaced->drain();
+  const SwapReport report = displaced->drain();
+  obs::Journal::global().record(obs::EventKind::kSwap, name,
+                                "donor '" + donor + "' installed");
+  return report;
 }
 
 bool InferenceServer::has_model(const std::string& name) const {
@@ -274,6 +302,22 @@ ModelStats InferenceServer::stats(const std::string& name) const {
     s.batcher = e->batcher->stats();
   }
   return s;
+}
+
+std::string InferenceServer::export_metrics_text() const {
+  return obs::Registry::global().prometheus_text();
+}
+
+std::string InferenceServer::export_metrics_json() const {
+  return obs::Registry::global().json_snapshot();
+}
+
+bool InferenceServer::export_trace_json(const std::string& path) const {
+  return obs::export_chrome_trace(path);
+}
+
+obs::Journal& InferenceServer::journal() const {
+  return obs::Journal::global();
 }
 
 std::vector<ModelStats> InferenceServer::stats_all() const {

@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "serve/batcher.hpp"
 #include "serve/compiled_model.hpp"
 #include "shard/replica_set.hpp"
@@ -119,6 +120,20 @@ class InferenceServer {
 
   ModelStats stats(const std::string& name) const;
   std::vector<ModelStats> stats_all() const;
+
+  /// Prometheus text exposition of every dsx_* series in the process-wide
+  /// obs::Registry (server-registered models export under their registered
+  /// name; series are cumulative across hot-swaps, unlike the per-fleet
+  /// stats() counters which restart with each fleet).
+  std::string export_metrics_text() const;
+  /// The same snapshot as JSON ({"metrics": [...]}).
+  std::string export_metrics_json() const;
+  /// Writes the retained trace events as Chrome trace-event JSON (Perfetto
+  /// loadable); returns false when the file cannot be written. Enable
+  /// sampling first (DSX_TRACE=N or obs::set_trace_sampling).
+  bool export_trace_json(const std::string& path) const;
+  /// The process-wide control-plane event journal (register/swap/shed/...).
+  obs::Journal& journal() const;
 
   /// Drains and stops every batcher. Idempotent; new submits then throw
   /// Stopped, registration throws Error.

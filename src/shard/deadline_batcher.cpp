@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/journal.hpp"
 
 namespace dsx::shard {
 
@@ -21,7 +22,9 @@ std::exception_ptr deadline_error() {
 DeadlineBatcher::DeadlineBatcher(serve::CompiledModel& model,
                                  DeadlineBatcherOptions opts,
                                  device::LatencyStats* extra_latency)
-    : core_(model, extra_latency),
+    : metrics_(serve::make_batcher_metrics(opts.metric_model,
+                                           opts.metric_replica)),
+      core_(model, extra_latency, metrics_),
       max_batch_(0),
       max_delay_(opts.max_delay),
       queue_capacity_(opts.queue_capacity),
@@ -76,12 +79,19 @@ std::future<Tensor> DeadlineBatcher::submit(const Tensor& image,
       if (queue_capacity_ > 0 &&
           static_cast<int64_t>(queue_.size()) >= queue_capacity_) {
         rejected_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.rejected.inc();
+        if (metrics_.rejected.attached()) {
+          obs::Journal::global().record(
+              obs::EventKind::kReject, metrics_.scope,
+              "queue at capacity (" + std::to_string(queue_capacity_) + ")");
+        }
         throw serve::QueueFull("submit: queue at capacity (" +
                                std::to_string(queue_capacity_) + ")");
       }
       req.seq = next_seq_++;
       insert_edf_locked(std::move(req));
       outstanding_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.queue_depth.set(static_cast<int64_t>(queue_.size()));
     }
   }
   if (!expired.empty()) {
@@ -90,6 +100,7 @@ std::future<Tensor> DeadlineBatcher::submit(const Tensor& image,
   }
   if (dead_on_arrival) {
     shed_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.shed.inc();
     req.promise.set_exception(deadline_error());
     return future;
   }
@@ -142,6 +153,7 @@ void DeadlineBatcher::form_batch_locked(
       insert_edf_locked(std::move(displaced));
     }
   }
+  metrics_.queue_depth.set(static_cast<int64_t>(queue_.size()));
 }
 
 void DeadlineBatcher::answer(std::deque<serve::Request>& batch,
@@ -151,6 +163,14 @@ void DeadlineBatcher::answer(std::deque<serve::Request>& batch,
                     std::memory_order_relaxed);
     outstanding_.fetch_sub(static_cast<int64_t>(shed.size()),
                            std::memory_order_relaxed);
+    metrics_.shed.inc(static_cast<int64_t>(shed.size()));
+    if (metrics_.shed.attached()) {
+      // One journal entry per shed GROUP - the exact per-request count lives
+      // in the counter; the journal records that shedding happened and when.
+      obs::Journal::global().record(
+          obs::EventKind::kShed, metrics_.scope,
+          std::to_string(shed.size()) + " request(s) past deadline");
+    }
     const std::exception_ptr err = deadline_error();
     for (serve::Request& req : shed) req.promise.set_exception(err);
     shed.clear();

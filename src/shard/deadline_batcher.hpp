@@ -55,6 +55,15 @@ struct DeadlineBatcherOptions {
   /// (deterministic tests, external event loops). stop() drains whatever is
   /// still queued.
   bool manual_drain = false;
+  /// Observability scope: when non-empty the batcher registers
+  /// dsx_serve_* series labeled {model=metric_model[,replica=N]} in
+  /// obs::Registry and journals shed/reject groups under that scope.
+  /// Empty (the default) = no registry export, zero overhead beyond null
+  /// checks. InferenceServer sets this to the registered model name.
+  std::string metric_model;
+  /// Replica label for the series above; < 0 = no replica label
+  /// (single-batcher fleets).
+  int metric_replica = -1;
 };
 
 /// Per-request scheduling parameters.
@@ -138,6 +147,9 @@ class DeadlineBatcher {
   /// queue's total order). Requires mu_ held.
   void insert_edf_locked(serve::Request&& req);
 
+  // metrics_ precedes core_ (declaration order = init order): the core
+  // receives a copy of the handles at construction.
+  serve::BatcherMetricSet metrics_;
   serve::BatchCore core_;
   int64_t max_batch_;
   std::chrono::microseconds max_delay_;

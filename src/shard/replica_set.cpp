@@ -55,12 +55,22 @@ ReplicaSet::ReplicaSet(std::unique_ptr<serve::CompiledModel> prototype,
   // Phase 2: start the batchers only after every compile finished, so EVERY
   // per-replica QPS window (BatchCore's clock starts at construction) and
   // the aggregate one below measure serving time, not sibling compile time.
-  for (Replica& rep : replicas_) {
+  routed_.resize(replicas_.size());
+  for (size_t r = 0; r < replicas_.size(); ++r) {
+    Replica& rep = replicas_[r];
     DeadlineBatcherOptions bopts;
     bopts.max_batch = opts.max_batch;
     bopts.max_delay = opts.max_delay;
     bopts.queue_capacity = opts.queue_capacity;
     bopts.lane = rep.lane.get();
+    bopts.metric_model = opts.metric_model;
+    bopts.metric_replica = static_cast<int>(r);
+    if (!opts.metric_model.empty()) {
+      routed_[r] = obs::Registry::global().counter(
+          "dsx_shard_routed_total",
+          {{"model", opts.metric_model}, {"replica", std::to_string(r)}},
+          "Requests routed to this replica by the routing policy.");
+    }
     rep.batcher = std::make_unique<DeadlineBatcher>(*rep.model, bopts,
                                                     &aggregate_latency_);
   }
@@ -74,6 +84,7 @@ std::future<Tensor> ReplicaSet::submit(const Tensor& image,
   const int r = router_.pick_with(replicas(), [this](int i) {
     return replicas_[static_cast<size_t>(i)].batcher->outstanding();
   });
+  routed_[static_cast<size_t>(r)].inc();
   return replicas_[static_cast<size_t>(r)].batcher->submit(image, sopts);
 }
 

@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "device/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "serve/compiled_model.hpp"
 #include "shard/deadline_batcher.hpp"
 #include "shard/router.hpp"
@@ -44,6 +46,11 @@ struct ShardOptions {
   /// degenerates to single-thread lanes, which also skip all intra-op
   /// hand-off overhead - more inter-request parallelism instead.
   unsigned lane_threads = 0;
+  /// Observability scope: non-empty registers per-replica dsx_serve_*
+  /// series (labels {model,replica}) and dsx_shard_routed_total routing
+  /// counters in obs::Registry. Empty = no export. InferenceServer sets
+  /// this to the registered model name.
+  std::string metric_model;
 };
 
 /// One replica's observability snapshot.
@@ -116,6 +123,9 @@ class ReplicaSet {
   // hold a pointer to it.
   device::LatencyStats aggregate_latency_;
   std::vector<Replica> replicas_;
+  /// dsx_shard_routed_total{model,replica}, one per replica (detached when
+  /// the fleet has no metric scope).
+  std::vector<obs::Counter> routed_;
   Router router_;
   std::chrono::steady_clock::time_point start_;
 };

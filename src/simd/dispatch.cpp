@@ -3,8 +3,10 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "common/check.hpp"
+#include "obs/journal.hpp"
 
 namespace dsx::simd {
 
@@ -72,9 +74,15 @@ Isa clamp_to_detected(Isa isa, const char* origin) {
 std::atomic<int>& active_level() {
   static std::atomic<int> level = [] {
     Isa isa = detect_isa();
-    if (const char* env = std::getenv("DSX_SIMD")) {
+    const char* env = std::getenv("DSX_SIMD");
+    if (env != nullptr) {
       isa = clamp_to_detected(parse_isa(env), "DSX_SIMD");
     }
+    // One-shot journal entry: which level this process starts at, and why.
+    std::string detail = std::string("detected=") + isa_name(detect_isa()) +
+                         " active=" + isa_name(isa);
+    if (env != nullptr) detail += std::string(" (DSX_SIMD=") + env + ")";
+    obs::Journal::global().record(obs::EventKind::kIsaSelect, "simd", detail);
     return static_cast<int>(isa);
   }();
   return level;

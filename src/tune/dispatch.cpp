@@ -1,7 +1,11 @@
 #include "tune/dispatch.hpp"
 
+#include <sstream>
+
 #include "common/check.hpp"
 #include "core/scc_kernels.hpp"
+#include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "tune/tune.hpp"
 
 namespace dsx::tune {
@@ -47,6 +51,21 @@ void dispatch_impl(const Problem& problem, Site* site, MakeKey&& make_key,
     session.cache().put(result.record);
     session.note_tune();
     session.save_cache();
+    // Journal the measurement (obs): which problem, which winner, and the
+    // speedup over the default - the post-mortem trail for "why is this
+    // process running variant X".
+    {
+      std::ostringstream os;
+      os << key.to_string() << " -> " << result.record.variant
+         << " (median " << result.record.median_ns / 1e3 << " us, default "
+         << result.record.default_ns / 1e3 << " us)";
+      obs::Journal::global().record(obs::EventKind::kTuneMeasure, "tune",
+                                    os.str());
+    }
+    obs::Registry::global()
+        .counter("dsx_tune_measurements_total", {},
+                 "Tuner measurements performed through dispatch.")
+        .inc();
     rec = std::move(result.record);
   }
 

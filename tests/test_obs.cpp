@@ -1,0 +1,584 @@
+// Tests for dsx::obs (src/obs): the metrics registry (handles, exposition,
+// type safety, multi-writer exactness), histogram quantile accuracy against
+// exact sorted percentiles, the per-request trace pipeline end to end
+// through an InferenceServer (span nesting + stats consistency + sampling),
+// and the bounded control-plane journal. Also the LatencyStats empty-
+// snapshot regression (min must be 0, not INT64_MAX garbage).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <future>
+#include <map>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "device/atomic_stats.hpp"
+#include "nn/containers.hpp"
+#include "nn/layers_basic.hpp"
+#include "nn/layers_conv.hpp"
+#include "obs/obs.hpp"
+#include "serve/compiled_model.hpp"
+#include "serve/server.hpp"
+#include "tensor/random.hpp"
+
+namespace dsx::obs {
+namespace {
+
+constexpr int64_t kImage = 8;
+constexpr int64_t kClasses = 10;
+
+/// Small conv -> DW -> SCC classifier (the test_serve architecture).
+std::unique_ptr<nn::Sequential> make_scc_model(uint64_t seed) {
+  Rng rng(seed);
+  auto seq = std::make_unique<nn::Sequential>();
+  seq->emplace<nn::Conv2d>(3, 16, 3, 1, 1, 1, rng);
+  seq->emplace<nn::BatchNorm2d>(16);
+  seq->emplace<nn::ReLU>();
+  seq->emplace<nn::DepthwiseConv2d>(16, 3, 1, 1, rng);
+  seq->emplace<nn::BatchNorm2d>(16);
+  seq->emplace<nn::ReLU>();
+  seq->emplace<nn::SCCConv>(
+      scc::SCCConfig{.in_channels = 16, .out_channels = 32, .groups = 2,
+                     .overlap = 0.5, .stride = 1},
+      rng);
+  seq->emplace<nn::BatchNorm2d>(32);
+  seq->emplace<nn::ReLU>();
+  seq->emplace<nn::GlobalAvgPool>();
+  seq->emplace<nn::Flatten>();
+  seq->emplace<nn::Linear>(32, kClasses, rng);
+  return seq;
+}
+
+/// Structural JSON validation: balanced braces/brackets outside strings,
+/// escape-aware, no trailing garbage. Enough to catch every malformed
+/// emission mode of a generator (unbalanced nesting, unterminated strings).
+bool json_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_str = false;
+  bool esc = false;
+  bool saw_value = false;
+  for (const char c : s) {
+    if (in_str) {
+      if (esc) {
+        esc = false;
+      } else if (c == '\\') {
+        esc = true;
+      } else if (c == '"') {
+        in_str = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_str = true;
+        break;
+      case '{':
+      case '[':
+        stack.push_back(c);
+        saw_value = true;
+        break;
+      case '}':
+        if (stack.empty() || stack.back() != '{') return false;
+        stack.pop_back();
+        break;
+      case ']':
+        if (stack.empty() || stack.back() != '[') return false;
+        stack.pop_back();
+        break;
+      default:
+        break;
+    }
+  }
+  return saw_value && !in_str && stack.empty();
+}
+
+/// Exact percentile of a sample set: the value at rank ceil(q * n).
+int64_t exact_percentile(std::vector<int64_t> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto n = static_cast<double>(v.size());
+  size_t rank = static_cast<size_t>(std::ceil(q * n));
+  if (rank > 0) --rank;
+  return v[std::min(rank, v.size() - 1)];
+}
+
+// ---- LatencyStats regression (the empty-snapshot garbage fix) --------------
+
+TEST(LatencyStats, EmptySnapshotIsAllZeros) {
+  device::LatencyStats stats;
+  const auto s = stats.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.min_ms, 0.0);  // regression: was INT64_MAX / 1e6
+  EXPECT_EQ(s.max_ms, 0.0);
+  EXPECT_EQ(s.mean_ms, 0.0);
+  EXPECT_EQ(s.p50_ms, 0.0);
+  EXPECT_EQ(s.p99_ms, 0.0);
+}
+
+TEST(LatencyStats, EmptyAfterResetToo) {
+  device::LatencyStats stats;
+  stats.record_ns(5'000'000);
+  stats.reset();
+  const auto s = stats.snapshot();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.min_ms, 0.0);
+  EXPECT_EQ(s.max_ms, 0.0);
+}
+
+// ---- LogHistogram quantile accuracy ----------------------------------------
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  device::LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.record(5);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 100);
+  EXPECT_EQ(s.min, 5.0);
+  EXPECT_EQ(s.max, 5.0);
+  EXPECT_EQ(s.p50, 5.0);
+  EXPECT_EQ(s.p99, 5.0);
+  EXPECT_EQ(s.mean, 5.0);
+}
+
+TEST(LogHistogram, QuantilesWithinRelativeErrorUniform) {
+  device::LogHistogram h;
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int64_t> dist(1000, 100000);
+  std::vector<int64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const int64_t v = dist(rng);
+    values.push_back(v);
+    h.record(v);
+  }
+  const auto s = h.snapshot();
+  // Documented bound plus a little rank slack on a 20k-sample distribution.
+  const double tol = device::LogHistogram::kQuantileRelativeError + 0.005;
+  const auto p50 = static_cast<double>(exact_percentile(values, 0.50));
+  const auto p99 = static_cast<double>(exact_percentile(values, 0.99));
+  EXPECT_NEAR(s.p50, p50, tol * p50);
+  EXPECT_NEAR(s.p99, p99, tol * p99);
+  EXPECT_LE(s.p50, s.max);
+  EXPECT_LE(s.p99, s.max);
+  EXPECT_GE(s.p50, s.min);
+}
+
+TEST(LogHistogram, QuantilesWithinRelativeErrorLogNormal) {
+  device::LogHistogram h;
+  std::mt19937_64 rng(7);
+  std::lognormal_distribution<double> dist(8.0, 1.2);  // heavy tail
+  std::vector<int64_t> values;
+  values.reserve(20000);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<int64_t>(dist(rng)) + 1;
+    values.push_back(v);
+    h.record(v);
+  }
+  const auto s = h.snapshot();
+  const double tol = device::LogHistogram::kQuantileRelativeError + 0.01;
+  const auto p50 = static_cast<double>(exact_percentile(values, 0.50));
+  const auto p99 = static_cast<double>(exact_percentile(values, 0.99));
+  EXPECT_NEAR(s.p50, p50, tol * p50);
+  EXPECT_NEAR(s.p99, p99, tol * p99);
+}
+
+TEST(LogHistogram, PercentilesClampedToObservedRange) {
+  device::LogHistogram h;
+  h.record(1000);  // single sample: every percentile must equal it exactly
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.p50, 1000.0);
+  EXPECT_EQ(s.p99, 1000.0);
+}
+
+// ---- metrics registry ------------------------------------------------------
+
+TEST(Registry, CounterGaugeHistogramBasics) {
+  Registry reg;
+  Counter c = reg.counter("dsx_test_total", {{"model", "m"}}, "help text");
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5);
+
+  Gauge g = reg.gauge("dsx_test_depth");
+  g.set(7);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 5);
+
+  Histogram h = reg.histogram("dsx_test_us");
+  h.record(100);
+  h.record(300);
+  EXPECT_EQ(h.snapshot().count, 2);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(Registry, DetachedHandlesAreNoOps) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  EXPECT_FALSE(c.attached());
+  c.inc(100);
+  g.set(9);
+  h.record(50);
+  EXPECT_EQ(c.value(), 0);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.snapshot().count, 0);
+}
+
+TEST(Registry, ReRegistrationSharesTheCellAndLabelOrderIsCanonical) {
+  Registry reg;
+  Counter a = reg.counter("dsx_test_total", {{"a", "1"}, {"b", "2"}});
+  Counter b = reg.counter("dsx_test_total", {{"b", "2"}, {"a", "1"}});
+  a.inc();
+  b.inc();
+  EXPECT_EQ(a.value(), 2);  // same underlying cell
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(Registry, TypeClashThrows) {
+  Registry reg;
+  (void)reg.counter("dsx_test_series");
+  EXPECT_THROW((void)reg.gauge("dsx_test_series"), dsx::Error);
+  EXPECT_THROW((void)reg.histogram("dsx_test_series"), dsx::Error);
+}
+
+TEST(Registry, PrometheusExpositionShape) {
+  Registry reg;
+  reg.counter("dsx_test_requests_total", {{"model", "m\"x"}}, "Requests.")
+      .inc(3);
+  reg.gauge("dsx_test_depth", {}, "Depth.").set(4);
+  auto h = reg.histogram("dsx_test_latency_us", {{"model", "mx"}});
+  for (int i = 1; i <= 100; ++i) h.record(i);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("# HELP dsx_test_requests_total Requests."),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE dsx_test_requests_total counter"),
+            std::string::npos);
+  // Label values are escaped.
+  EXPECT_NE(text.find("dsx_test_requests_total{model=\"m\\\"x\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("dsx_test_depth 4"), std::string::npos);
+  // Histograms export summary-style quantiles plus _sum and _count.
+  EXPECT_NE(text.find("quantile=\"0.5\""), std::string::npos);
+  EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+  EXPECT_NE(text.find("dsx_test_latency_us_count{model=\"mx\"} 100"),
+            std::string::npos);
+
+  // No duplicate (name, labels) sample lines.
+  std::map<std::string, int> seen;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_EQ(++seen[line.substr(0, sp)], 1) << line;
+  }
+
+  EXPECT_TRUE(json_well_formed(reg.json_snapshot()));
+}
+
+TEST(Registry, MultiWriterStressIsExact) {
+  Registry reg;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg, t] {
+      // Every thread re-registers its handles - exercises the registration
+      // path under contention as well as the write path.
+      Counter c = reg.counter("dsx_stress_total", {{"k", "v"}});
+      Histogram h = reg.histogram("dsx_stress_us");
+      for (int i = 0; i < kPerThread; ++i) {
+        c.inc();
+        h.record((t * kPerThread + i) % 1000 + 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.counter("dsx_stress_total", {{"k", "v"}}).value(),
+            kThreads * kPerThread);
+  EXPECT_EQ(reg.histogram("dsx_stress_us").snapshot().count,
+            kThreads * kPerThread);
+}
+
+// ---- tracing ---------------------------------------------------------------
+
+TEST(Trace, SamplingOffDrawsNoIds) {
+  set_trace_sampling(0);
+  EXPECT_FALSE(trace_enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sample_trace_id(), 0u);
+}
+
+TEST(Trace, OneInNSamplingIsExact) {
+  set_trace_sampling(4);
+  int sampled = 0;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t id = sample_trace_id();
+    if (id != 0) {
+      ++sampled;
+      ids.push_back(id);
+    }
+  }
+  set_trace_sampling(0);
+  // The sampler admits exactly one of every N consecutive draws, whatever
+  // the counter phase, and sampled ids are unique.
+  EXPECT_EQ(sampled, 250);
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(Trace, DisabledTracingRecordsNothingFromServing) {
+  clear_trace();
+  set_trace_sampling(0);
+  const int64_t before = trace_stats().recorded;
+
+  auto model = make_scc_model(31);
+  serve::InferenceServer server;
+  server.register_model(
+      "obs-off",
+      std::make_unique<serve::CompiledModel>(
+          std::move(model), Shape{3, kImage, kImage},
+          serve::CompileOptions{.max_batch = 4}),
+      {.max_batch = 4});
+  Rng rng(5);
+  for (int i = 0; i < 8; ++i) {
+    (void)server.infer("obs-off",
+                       random_uniform(make_nchw(1, 3, kImage, kImage), rng));
+  }
+  server.stop();
+  EXPECT_EQ(trace_stats().recorded, before);
+}
+
+TEST(Trace, EndToEndServerSpansNestAndMatchStats) {
+  clear_trace();
+  set_trace_sampling(1);  // trace every request
+
+  auto model = make_scc_model(17);
+  serve::InferenceServer server;
+  server.register_model(
+      "obs-e2e",
+      std::make_unique<serve::CompiledModel>(
+          std::move(model), Shape{3, kImage, kImage},
+          serve::CompileOptions{.max_batch = 4}),
+      {.max_batch = 4, .max_delay = std::chrono::microseconds(500)});
+
+  constexpr int kRequests = 12;
+  Rng rng(9);
+  std::vector<Tensor> images;
+  for (int i = 0; i < kRequests; ++i) {
+    images.push_back(random_uniform(make_nchw(1, 3, kImage, kImage), rng));
+  }
+  std::vector<std::future<Tensor>> inflight;
+  for (const Tensor& img : images) {
+    inflight.push_back(server.submit("obs-e2e", img));
+  }
+  for (auto& f : inflight) (void)f.get();
+  const serve::ModelStats stats = server.stats("obs-e2e");
+  server.stop();
+  set_trace_sampling(0);
+
+  // Group the per-request tracks.
+  std::map<uint64_t, std::vector<TraceEvent>> tracks;
+  for (const TraceEvent& ev : trace_snapshot()) {
+    if (ev.pid == kRequestPid && ev.tid != 0) tracks[ev.tid].push_back(ev);
+  }
+  ASSERT_EQ(tracks.size(), static_cast<size_t>(kRequests));
+
+  int64_t max_request_dur = 0;
+  for (const auto& [tid, events] : tracks) {
+    const TraceEvent* request = nullptr;
+    const TraceEvent* queue_wait = nullptr;
+    const TraceEvent* execute = nullptr;
+    const TraceEvent* reply = nullptr;
+    int layer_events = 0;
+    for (const TraceEvent& ev : events) {
+      const std::string name = ev.name;
+      if (name == "request") request = &ev;
+      if (name == "queue_wait") queue_wait = &ev;
+      if (name == "batch_execute") execute = &ev;
+      if (name == "reply") reply = &ev;
+      if (std::string(ev.cat) == "layer") ++layer_events;
+    }
+    ASSERT_NE(request, nullptr);
+    ASSERT_NE(queue_wait, nullptr);
+    ASSERT_NE(execute, nullptr);
+    ASSERT_NE(reply, nullptr);
+    // The compiled plan has >= 6 steps; each traced request sees them all.
+    EXPECT_GE(layer_events, 6);
+
+    const int64_t req_end = request->start_ns + request->dur_ns;
+    const auto inside_request = [&](const TraceEvent& ev) {
+      EXPECT_GE(ev.start_ns, request->start_ns) << ev.name;
+      EXPECT_LE(ev.start_ns + ev.dur_ns, req_end) << ev.name;
+    };
+    inside_request(*queue_wait);
+    inside_request(*execute);
+    inside_request(*reply);
+    EXPECT_EQ(queue_wait->start_ns, request->start_ns);
+    EXPECT_EQ(reply->start_ns + reply->dur_ns, req_end);
+    // Every per-layer kernel span nests inside batch_execute.
+    const int64_t exec_end = execute->start_ns + execute->dur_ns;
+    for (const TraceEvent& ev : events) {
+      if (std::string(ev.cat) != "layer") continue;
+      EXPECT_GE(ev.start_ns, execute->start_ns);
+      EXPECT_LE(ev.start_ns + ev.dur_ns, exec_end);
+    }
+    max_request_dur = std::max(max_request_dur, request->dur_ns);
+  }
+
+  // The request span IS the latency sample: with every request traced, the
+  // longest track must equal the stats() max latency (same timestamps).
+  EXPECT_NEAR(static_cast<double>(max_request_dur) / 1e6,
+              stats.batcher.latency.max_ms, 1e-6);
+  EXPECT_EQ(stats.batcher.requests, kRequests);
+
+  // Export surface: well-formed Chrome trace JSON with complete events and
+  // track-naming metadata.
+  const std::string json = chrome_trace_json();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(json.find("\"request\""), std::string::npos);
+
+  const std::string path = "trace_test_obs.json";
+  ASSERT_TRUE(export_chrome_trace(path));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), json);
+  std::remove(path.c_str());
+  clear_trace();
+}
+
+TEST(Trace, RingIsBoundedAndCountsDrops) {
+  clear_trace();
+  set_trace_sampling(1);
+  constexpr int kEvents = 40000;  // > the 16384-slot per-thread ring
+  for (int i = 0; i < kEvents; ++i) {
+    TraceEvent ev;
+    ev.name = "flood";
+    ev.cat = "test";
+    ev.tid = 1;
+    ev.start_ns = i;
+    record_event(ev);
+  }
+  set_trace_sampling(0);
+  const TraceStats ts = trace_stats();
+  EXPECT_GE(ts.recorded, kEvents);
+  EXPECT_LE(ts.retained, 16384 + 1);
+  EXPECT_GE(ts.dropped, kEvents - 16384 - 1);
+  // Retained events are the newest and come back sorted by start time.
+  const auto events = trace_snapshot();
+  int64_t prev = -1;
+  int64_t newest = 0;
+  for (const TraceEvent& ev : events) {
+    if (std::string(ev.cat) != "test") continue;
+    EXPECT_GE(ev.start_ns, prev);
+    prev = ev.start_ns;
+    newest = std::max(newest, ev.start_ns);
+  }
+  EXPECT_EQ(newest, kEvents - 1);
+  clear_trace();
+}
+
+// ---- journal ---------------------------------------------------------------
+
+TEST(Journal, RingIsBoundedOrderedAndFilterable) {
+  Journal j(4);
+  for (int i = 0; i < 10; ++i) {
+    j.record(i % 2 == 0 ? EventKind::kShed : EventKind::kReject, "m",
+             std::to_string(i));
+  }
+  EXPECT_EQ(j.recorded(), 10u);
+  EXPECT_EQ(j.dropped(), 6u);
+  const auto events = j.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, events[i - 1].seq + 1);
+  }
+  EXPECT_EQ(events.front().detail, "6");
+  EXPECT_EQ(events.back().detail, "9");
+  const auto sheds = j.events(EventKind::kShed);
+  ASSERT_EQ(sheds.size(), 2u);
+  for (const auto& e : sheds) EXPECT_EQ(e.kind, EventKind::kShed);
+  EXPECT_NE(j.to_text().find("shed"), std::string::npos);
+  j.clear();
+  EXPECT_TRUE(j.events().empty());
+}
+
+TEST(Journal, ServerLifecycleIsJournaled) {
+  Journal& j = Journal::global();
+  j.clear();
+  {
+    serve::InferenceServer server;
+    server.register_model(
+        "obs-journal",
+        std::make_unique<serve::CompiledModel>(
+            make_scc_model(23), Shape{3, kImage, kImage},
+            serve::CompileOptions{.max_batch = 2}),
+        {.max_batch = 2});
+    server.swap_model("obs-journal",
+                      std::make_unique<serve::CompiledModel>(
+                          make_scc_model(24), Shape{3, kImage, kImage},
+                          serve::CompileOptions{.max_batch = 2}),
+                      {.max_batch = 2});
+    server.unregister_model("obs-journal");
+  }
+  const auto regs = j.events(EventKind::kRegister);
+  const auto swaps = j.events(EventKind::kSwap);
+  const auto unregs = j.events(EventKind::kUnregister);
+  ASSERT_EQ(regs.size(), 1u);
+  EXPECT_EQ(regs[0].scope, "obs-journal");
+  ASSERT_EQ(swaps.size(), 1u);
+  EXPECT_EQ(swaps[0].scope, "obs-journal");
+  EXPECT_NE(swaps[0].detail.find("drained"), std::string::npos);
+  ASSERT_EQ(unregs.size(), 1u);
+  // Lifecycle order is exact: register < swap < unregister.
+  EXPECT_LT(regs[0].seq, swaps[0].seq);
+  EXPECT_LT(swaps[0].seq, unregs[0].seq);
+}
+
+// ---- server export surface -------------------------------------------------
+
+TEST(Server, MetricsExportCoversServedModel) {
+  auto model = make_scc_model(29);
+  serve::InferenceServer server;
+  server.register_model(
+      "obs-export",
+      std::make_unique<serve::CompiledModel>(
+          std::move(model), Shape{3, kImage, kImage},
+          serve::CompileOptions{.max_batch = 4}),
+      {.max_batch = 4});
+  Rng rng(3);
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    (void)server.infer("obs-export",
+                       random_uniform(make_nchw(1, 3, kImage, kImage), rng));
+  }
+  const std::string text = server.export_metrics_text();
+  server.stop();
+  // The registry is cumulative across tests in this process, so assert
+  // presence and a floor rather than an exact count.
+  const std::string series =
+      "dsx_serve_requests_total{model=\"obs-export\"} ";
+  const size_t pos = text.find(series);
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_GE(std::atoll(text.c_str() + pos + series.size()), kRequests);
+  EXPECT_NE(text.find("dsx_serve_request_latency_us"), std::string::npos);
+  EXPECT_TRUE(json_well_formed(server.export_metrics_json()));
+}
+
+}  // namespace
+}  // namespace dsx::obs
