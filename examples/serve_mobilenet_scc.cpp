@@ -213,6 +213,66 @@ int run_shard_demo(int replicas) {
              : 1;
 }
 
+int run_metrics_endpoint_demo(int port, double slo_p99_ms) {
+  using namespace dsx;
+  const int64_t image = 16;
+  Rng rng(7);
+  auto compiled = std::make_unique<serve::CompiledModel>(
+      models::build_mobilenet(10, scheme(), rng), Shape{3, image, image},
+      serve::CompileOptions{.max_batch = 8});
+  std::printf("model: MobileNet %s, serving with a live telemetry endpoint\n",
+              scheme().to_string().c_str());
+
+  serve::InferenceServer server;
+  server.register_model("mobilenet-scc", std::move(compiled),
+                        {.max_batch = 8,
+                         .max_delay = std::chrono::microseconds(1000)});
+
+  // Short burn windows so an impossible --slo-p99-ms flips /healthz to 503
+  // within a few seconds of traffic (the production defaults are 5s/60s).
+  obs::slo::SloSpec spec;
+  spec.p99_ms = slo_p99_ms > 0 ? slo_p99_ms : 10000.0;  // generous default
+  spec.fast_window = std::chrono::milliseconds(500);
+  spec.slow_window = std::chrono::milliseconds(2000);
+  spec.min_samples = 8;
+  server.set_slo("mobilenet-scc", spec);
+
+  obs::ExporterOptions eopts;
+  eopts.port = port;
+  const int bound = server.start_exporter(eopts);
+  // The machine-readable line CI greps for (flushed before traffic starts).
+  std::printf("METRICS_PORT=%d\n", bound);
+  std::fflush(stdout);
+  std::printf("scrape me:  curl http://127.0.0.1:%d/metrics\n"
+              "            curl http://127.0.0.1:%d/healthz\n",
+              bound, bound);
+
+  // Drive steady traffic so the scraped series and SLO windows are live.
+  constexpr auto kServeFor = std::chrono::seconds(20);
+  Rng img_rng(13);
+  std::vector<Tensor> requests;
+  for (int i = 0; i < 8; ++i) {
+    requests.push_back(random_uniform(make_nchw(1, 3, image, image), img_rng));
+  }
+  const auto t_end = std::chrono::steady_clock::now() + kServeFor;
+  int64_t answered = 0;
+  while (std::chrono::steady_clock::now() < t_end) {
+    (void)server.infer(
+        "mobilenet-scc",
+        requests[static_cast<size_t>(answered % requests.size())]);
+    ++answered;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  const obs::slo::Health health = server.health("mobilenet-scc");
+  std::printf("served %lld requests; final health: %s\n",
+              static_cast<long long>(answered),
+              obs::slo::health_name(health));
+  // An impossible objective is SUPPOSED to end Critical - this demo's exit
+  // code reports "did the endpoint serve", not "was the SLO met".
+  return answered > 0 ? 0 : 1;
+}
+
 int run_canary_demo() {
   using namespace dsx;
   const int64_t image = 16;
@@ -332,6 +392,12 @@ void print_usage(const char* prog) {
       "  --tune        cold- vs warm-cache autotuned compile (dsx::tune)\n"
       "  --shard [R]   sharded serving across R replicas (dsx::shard)\n"
       "  --canary      shadow -> canary -> promote rollout (dsx::deploy)\n"
+      "  --serve-metrics PORT\n"
+      "                live telemetry endpoint demo (dsx::obs): compile and\n"
+      "                serve the model, start the HTTP exporter on PORT\n"
+      "                (0 = ephemeral), print 'METRICS_PORT=<port>' and keep\n"
+      "                driving traffic for ~20s - scrape GET /metrics,\n"
+      "                /metrics.json, /healthz, /trace, /journal meanwhile\n"
       "\n"
       "observability flags (compose with any demo; dsx::obs):\n"
       "  --metrics     after the run, print the process-wide metrics\n"
@@ -339,6 +405,11 @@ void print_usage(const char* prog) {
       "  --trace FILE  trace every request (sampling 1-in-1) and write\n"
       "                Chrome trace-event JSON to FILE - load it in\n"
       "                Perfetto (ui.perfetto.dev) or chrome://tracing\n"
+      "  --slo-p99-ms X\n"
+      "                with --serve-metrics: declare a p99 latency SLO of\n"
+      "                X ms on the served model (short burn windows, so an\n"
+      "                impossible X flips GET /healthz to 503 within a few\n"
+      "                seconds; omitted = a generous default objective)\n"
       "  --help        this message\n",
       prog);
 }
@@ -351,8 +422,11 @@ int main(int argc, char** argv) {
   using namespace dsx;
   bool metrics = false;
   const char* trace_path = nullptr;
-  enum class Demo { kServe, kTune, kShard, kCanary } demo = Demo::kServe;
+  enum class Demo { kServe, kTune, kShard, kCanary, kMetricsEndpoint } demo =
+      Demo::kServe;
   int replicas = 2;
+  int serve_metrics_port = 0;
+  double slo_p99_ms = 0.0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       print_usage(argv[0]);
@@ -376,6 +450,31 @@ int main(int argc, char** argv) {
         const int r = std::atoi(argv[++i]);
         if (r > 0) replicas = r;
       }
+    } else if (std::strcmp(argv[i], "--serve-metrics") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--serve-metrics requires a port (0 = ephemeral; see "
+                     "--help)\n");
+        return 2;
+      }
+      demo = Demo::kMetricsEndpoint;
+      serve_metrics_port = std::atoi(argv[++i]);
+      if (serve_metrics_port < 0 || serve_metrics_port > 65535) {
+        std::fprintf(stderr, "--serve-metrics: bad port '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--slo-p99-ms") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--slo-p99-ms requires a latency objective in ms (see "
+                     "--help)\n");
+        return 2;
+      }
+      slo_p99_ms = std::atof(argv[++i]);
+      if (slo_p99_ms <= 0.0) {
+        std::fprintf(stderr, "--slo-p99-ms: bad objective '%s'\n", argv[i]);
+        return 2;
+      }
     } else {
       std::fprintf(stderr, "unknown flag '%s' (see --help)\n", argv[i]);
       return 2;
@@ -394,6 +493,9 @@ int main(int argc, char** argv) {
       break;
     case Demo::kCanary:
       rc = run_canary_demo();
+      break;
+    case Demo::kMetricsEndpoint:
+      rc = run_metrics_endpoint_demo(serve_metrics_port, slo_p99_ms);
       break;
     case Demo::kServe:
       rc = run_serving_demo();

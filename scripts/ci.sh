@@ -84,6 +84,78 @@ if [[ "${FAST}" != "1" ]]; then
   rm -f trace_ci.json metrics_ci.txt
   echo "obs smoke OK"
 
+  echo "== obs smoke: HTTP telemetry endpoint (/metrics + /healthz) =="
+  # Start the example's live endpoint on an ephemeral port and scrape it
+  # from OUTSIDE the process. Run 1 (generous SLO): /metrics must be valid
+  # exposition and /healthz must be 200. Run 2 (impossible --slo-p99-ms):
+  # /healthz must flip to 503 with the transition in /journal.
+  CURL="curl -sS --max-time 5"
+  command -v curl >/dev/null 2>&1 || CURL=""
+  if [[ -n "${CURL}" ]]; then
+    rm -f serve_metrics_ci.log
+    ./build/example_serve_mobilenet_scc --serve-metrics 0 \
+      > serve_metrics_ci.log 2>&1 &
+    SRV_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+      PORT="$(sed -n 's/^METRICS_PORT=//p' serve_metrics_ci.log)"
+      [[ -n "${PORT}" ]] && break
+      sleep 0.2
+    done
+    [[ -n "${PORT}" ]] \
+      || { echo "http smoke: no METRICS_PORT line" >&2; kill "${SRV_PID}"; exit 1; }
+    ${CURL} "http://127.0.0.1:${PORT}/metrics" > metrics_http_ci.txt
+    grep -q '^dsx_serve_requests_total' metrics_http_ci.txt \
+      || { echo "http smoke: scraped exposition missing serving counters" >&2
+           kill "${SRV_PID}"; exit 1; }
+    BAD="$(grep '^dsx_' metrics_http_ci.txt \
+      | awk 'NF < 2 || $NF !~ /^-?[0-9.e+-]+$/' )"
+    [[ -z "${BAD}" ]] \
+      || { echo "http smoke: malformed sample lines:"; echo "${BAD}"
+           kill "${SRV_PID}"; exit 1; } >&2
+    HZ="$(${CURL} -o /dev/null -w '%{http_code}' \
+      "http://127.0.0.1:${PORT}/healthz")"
+    [[ "${HZ}" == "200" ]] \
+      || { echo "http smoke: healthy /healthz returned ${HZ}" >&2
+           kill "${SRV_PID}"; exit 1; }
+    kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
+
+    rm -f serve_metrics_ci.log
+    ./build/example_serve_mobilenet_scc --serve-metrics 0 \
+      --slo-p99-ms 0.000001 > serve_metrics_ci.log 2>&1 &
+    SRV_PID=$!
+    PORT=""
+    for _ in $(seq 1 100); do
+      PORT="$(sed -n 's/^METRICS_PORT=//p' serve_metrics_ci.log)"
+      [[ -n "${PORT}" ]] && break
+      sleep 0.2
+    done
+    [[ -n "${PORT}" ]] \
+      || { echo "http smoke: no METRICS_PORT line (run 2)" >&2
+           kill "${SRV_PID}"; exit 1; }
+    HZ=""
+    for _ in $(seq 1 60); do
+      HZ="$(${CURL} -o healthz_ci.json -w '%{http_code}' \
+        "http://127.0.0.1:${PORT}/healthz" || true)"
+      [[ "${HZ}" == "503" ]] && break
+      sleep 0.25
+    done
+    [[ "${HZ}" == "503" ]] \
+      || { echo "http smoke: impossible SLO never flipped /healthz to 503" >&2
+           kill "${SRV_PID}"; exit 1; }
+    grep -q '"status":"critical"' healthz_ci.json \
+      || { echo "http smoke: 503 body is not critical" >&2
+           kill "${SRV_PID}"; exit 1; }
+    ${CURL} "http://127.0.0.1:${PORT}/journal" | grep -q 'health.*->critical' \
+      || { echo "http smoke: health transition not journaled" >&2
+           kill "${SRV_PID}"; exit 1; }
+    kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
+    rm -f serve_metrics_ci.log metrics_http_ci.txt healthz_ci.json
+    echo "http smoke OK"
+  else
+    echo "curl not available; skipping HTTP endpoint smoke"
+  fi
+
   if [[ -x build/bench_micro_kernels ]]; then
     echo "== kernel tuning + simd packed GEMM (json) =="
     # Candidate sweep (simd levels included via fast-math), packed-GEMM

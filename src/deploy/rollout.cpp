@@ -7,6 +7,7 @@
 #include "common/check.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "tensor/tensor_ops.hpp"
 
 namespace dsx::deploy {
@@ -485,41 +486,62 @@ bool RolloutController::evaluate_guardrail(const std::string& name,
   } catch (const Error&) {
     return false;  // raced a promote/rollback; nothing to evaluate
   }
-  const int64_t errors = track->errors.load(std::memory_order_relaxed);
-  // Canary-side samples only, from the controller's own routing ledger -
-  // shadow mirrors (answered or shed) never reach this count, so they can
-  // neither dilute the error rate nor arm the guardrail early.
-  const int64_t samples =
+  // One evaluation engine, two consumers: the guardrail judges the same
+  // WindowSample/window_delta machinery the SLO engine runs, over the
+  // full-history window of each fleet (zero baseline - a fleet's series
+  // start with the fleet, so its lifetime IS the canary window). Requests
+  // and errors come from the controller's own routing ledger: canary-side
+  // samples only - shadow mirrors (answered or shed) never reach this
+  // count, so they can neither dilute the error rate nor arm the guardrail
+  // early. Latencies come from the fleets' cumulative histogram buckets
+  // (nanosecond samples).
+  obs::slo::SloSpec gspec;
+  gspec.max_error_rate = opts_.guardrail_max_error_rate;
+  gspec.latency_unit_per_ms = 1e6;
+  obs::slo::WindowSample cand_sample;
+  cand_sample.requests =
       track->canary_attempts.load(std::memory_order_relaxed);
-  if (samples < opts_.guardrail_min_samples) return false;
+  cand_sample.errors = track->errors.load(std::memory_order_relaxed);
+  cand_sample.latency = candidate.batcher.latency_buckets;
+  obs::slo::WindowSample prim_sample;
+  prim_sample.requests = primary.batcher.requests;
+  prim_sample.latency = primary.batcher.latency_buckets;
+  const obs::slo::WindowDelta cand =
+      obs::slo::window_delta(gspec, obs::slo::WindowSample{}, cand_sample);
+  const obs::slo::WindowDelta prim =
+      obs::slo::window_delta(gspec, obs::slo::WindowSample{}, prim_sample);
+  if (cand.requests < opts_.guardrail_min_samples) return false;
   obs::Registry::global()
       .counter("dsx_deploy_guardrail_evals_total", {{"model", name}},
                "Guardrail evaluations with enough canary samples.")
       .inc();
 
   std::string reason;
-  const double error_rate =
-      static_cast<double>(errors) / static_cast<double>(samples);
-  if (error_rate > opts_.guardrail_max_error_rate) {
+  // availability_burn > 1 is exactly error_rate > max_error_rate; a zero
+  // budget (max_error_rate = 0 disables the burn) keeps its original
+  // "any error trips" meaning.
+  const bool error_trip = gspec.max_error_rate > 0.0
+                              ? cand.availability_burn > 1.0
+                              : cand.error_rate > 0.0;
+  if (error_trip) {
     std::ostringstream os;
-    os << "guardrail: candidate error rate " << error_rate << " > "
-       << opts_.guardrail_max_error_rate << " (" << errors << "/" << samples
-       << ")";
+    os << "guardrail: candidate error rate " << cand.error_rate << " > "
+       << opts_.guardrail_max_error_rate << " (" << cand.errors << "/"
+       << cand.requests << ")";
     reason = os.str();
-  } else if (primary.batcher.requests >= opts_.guardrail_min_samples &&
-             primary.batcher.latency.p99_ms > 0.0 &&
-             candidate.batcher.latency.p99_ms >
-                 opts_.guardrail_max_p99_ratio *
-                     primary.batcher.latency.p99_ms) {
+  } else if (prim.requests >= opts_.guardrail_min_samples &&
+             prim.p99_ms > 0.0 &&
+             cand.p99_ms > opts_.guardrail_max_p99_ratio * prim.p99_ms) {
     std::ostringstream os;
-    os << "guardrail: candidate p99 " << candidate.batcher.latency.p99_ms
-       << " ms > " << opts_.guardrail_max_p99_ratio << "x primary p99 "
-       << primary.batcher.latency.p99_ms << " ms";
+    os << "guardrail: candidate p99 " << cand.p99_ms << " ms > "
+       << opts_.guardrail_max_p99_ratio << "x primary p99 " << prim.p99_ms
+       << " ms";
     reason = os.str();
   }
   if (reason.empty()) {
     std::ostringstream os;
-    os << "pass (error_rate=" << error_rate << ", samples=" << samples << ")";
+    os << "pass (error_rate=" << cand.error_rate
+       << ", samples=" << cand.requests << ")";
     obs::Journal::global().record(obs::EventKind::kGuardrail, name, os.str());
     return false;
   }

@@ -20,8 +20,10 @@
 //     every accepted request is still answered exactly once, each by the
 //     version that accepted it;
 //   * rollback: the candidate is dropped; an auto-rollback fires when the
-//     canary's p99 latency or error rate regresses past the guardrail
-//     computed from the serving stats (ShardStats/BatcherStats p99).
+//     canary's p99 latency or error rate regresses past the guardrail,
+//     judged by the same windowed evaluation the SLO engine runs
+//     (obs::slo::window_delta over the fleets' cumulative histogram
+//     buckets - each fleet's lifetime is the canary window).
 //
 // The controller is a routing facade: requests enter through its submit(),
 // which forwards to the InferenceServer. Requests submitted directly to the

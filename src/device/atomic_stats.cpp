@@ -54,25 +54,68 @@ void LogHistogram::record(int64_t value) {
       1, std::memory_order_relaxed);
 }
 
-LogHistogram::Snapshot LogHistogram::snapshot() const {
-  Snapshot s;
+LogHistogram::BucketSnapshot LogHistogram::bucket_snapshot() const {
+  BucketSnapshot s;
   s.count = count_.load(std::memory_order_relaxed);
-  if (s.count == 0) return s;
-  s.sum = static_cast<double>(sum_.load(std::memory_order_relaxed));
+  s.sum = sum_.load(std::memory_order_relaxed);
+  s.min = min_.load(std::memory_order_relaxed);
+  s.max = max_.load(std::memory_order_relaxed);
+  for (int b = 0; b < kBuckets; ++b) {
+    s.buckets[static_cast<size_t>(b)] =
+        buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+LogHistogram::Snapshot LogHistogram::snapshot() const {
+  // Cumulative = the delta against an empty baseline; one quantile
+  // implementation serves both the lifetime and the windowed views.
+  return delta_snapshot(bucket_snapshot(), BucketSnapshot{});
+}
+
+LogHistogram::Snapshot LogHistogram::delta_snapshot(
+    const BucketSnapshot& newer, const BucketSnapshot& older) {
+  Snapshot s;
+  s.count = newer.count - older.count;
+  if (s.count <= 0) return Snapshot{};
+  s.sum = static_cast<double>(newer.sum - older.sum);
   s.mean = s.sum / static_cast<double>(s.count);
-  // A reader racing the very first record() can observe count > 0 with the
-  // min CAS not yet landed; clamp the INT64_MAX sentinel to 0 so no
-  // snapshot ever reports a garbage min.
-  const int64_t raw_min = min_.load(std::memory_order_relaxed);
-  s.min = raw_min == INT64_MAX ? 0.0 : static_cast<double>(raw_min);
-  s.max = static_cast<double>(max_.load(std::memory_order_relaxed));
+  // Per-bucket deltas; relaxed reads racing writers can leave a stale
+  // `older` slightly ahead in one bucket - clamp to zero, never negative.
+  std::array<int64_t, kBuckets> delta{};
+  int lo = -1;
+  int hi = -1;
+  for (int b = 0; b < kBuckets; ++b) {
+    const int64_t d = newer.buckets[static_cast<size_t>(b)] -
+                      older.buckets[static_cast<size_t>(b)];
+    delta[static_cast<size_t>(b)] = d > 0 ? d : 0;
+    if (d > 0) {
+      if (lo < 0) lo = b;
+      hi = b;
+    }
+  }
+  if (older.count == 0) {
+    // Full-history window: the exact extrema are known. A reader racing the
+    // very first record() can observe count > 0 with the min CAS not yet
+    // landed; clamp the INT64_MAX sentinel to 0 so no snapshot ever reports
+    // a garbage min.
+    s.min = newer.min == INT64_MAX ? 0.0 : static_cast<double>(newer.min);
+    s.max = static_cast<double>(newer.max);
+  } else if (lo >= 0) {
+    // Windowed: extrema are bucket-resolution, clamped to the lifetime
+    // observed range (which can only reduce the error).
+    const double life_min =
+        newer.min == INT64_MAX ? 0.0 : static_cast<double>(newer.min);
+    const double life_max = static_cast<double>(newer.max);
+    s.min = std::clamp(bucket_value(lo), life_min, life_max);
+    s.max = std::clamp(bucket_value(hi), life_min, life_max);
+  }
   const auto percentile = [&](double q) {
     const int64_t target = std::max<int64_t>(
         1, static_cast<int64_t>(q * static_cast<double>(s.count) + 0.5));
     int64_t seen_count = 0;
     for (int b = 0; b < kBuckets; ++b) {
-      seen_count +=
-          buckets_[static_cast<size_t>(b)].load(std::memory_order_relaxed);
+      seen_count += delta[static_cast<size_t>(b)];
       if (seen_count >= target) {
         // The exact nearest-rank sample lies inside bucket b, so clamping
         // its midpoint to the observed range only ever reduces the error.

@@ -58,6 +58,10 @@ inline void atomic_add_float(float& target, float value) {
 /// it for any quantity (latencies, queue waits, batch sizes).
 class LogHistogram {
  public:
+  // 64 octaves x 8 sub-buckets covers the full int64 range.
+  static constexpr int kSubBits = 3;
+  static constexpr int kBuckets = 64 << kSubBits;
+
   struct Snapshot {
     int64_t count = 0;
     double sum = 0.0;
@@ -68,6 +72,19 @@ class LogHistogram {
     double p99 = 0.0;
   };
 
+  /// Raw cumulative state: the bucket counts plus the integer accumulators,
+  /// all relaxed reads. Two BucketSnapshots taken at different times can be
+  /// subtracted (delta_snapshot) to answer quantile questions about just
+  /// the samples recorded in between - the windowing primitive dsx::obs's
+  /// SLO engine runs on.
+  struct BucketSnapshot {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int64_t min = INT64_MAX;  // raw sentinel; INT64_MAX = nothing recorded
+    int64_t max = 0;
+    std::array<int64_t, kBuckets> buckets{};
+  };
+
   /// Records one sample; negative values clamp to 0. Wait-free (a handful
   /// of relaxed atomic RMWs), safe under any number of concurrent writers.
   void record(int64_t value);
@@ -76,6 +93,17 @@ class LogHistogram {
   /// a snapshot racing the very first record() clamps the still-unwritten
   /// min to 0 instead of leaking an INT64_MAX-derived value.
   Snapshot snapshot() const;
+  /// The raw cumulative state (relaxed reads, same consistency contract as
+  /// snapshot()).
+  BucketSnapshot bucket_snapshot() const;
+  /// Quantiles over the samples recorded between `older` and `newer` (both
+  /// cumulative). With an empty `older` this reproduces snapshot() exactly -
+  /// there is ONE quantile implementation, windowed or cumulative. Window
+  /// min/max are bucket-resolution (the exact extrema of just the window
+  /// are not recoverable from cumulative state); racing counts are clamped
+  /// so a slightly-stale `older` never yields negative buckets.
+  static Snapshot delta_snapshot(const BucketSnapshot& newer,
+                                 const BucketSnapshot& older);
   void reset();
 
   /// Worst-case relative error of p50/p99 for values >= 8: a sub-bucket
@@ -83,12 +111,13 @@ class LogHistogram {
   /// exact percentile is within +6.1%/-5.7% of the reported one.
   static constexpr double kQuantileRelativeError = 0.061;
 
- private:
-  // 64 octaves x 8 sub-buckets covers the full int64 range.
-  static constexpr int kSubBits = 3;
-  static constexpr int kBuckets = 64 << kSubBits;
-  static int bucket_of(int64_t value);
+  /// Representative value of bucket `b` (exact for b < 8, else the
+  /// geometric midpoint of the bucket's range). Exposed for consumers that
+  /// classify BucketSnapshot deltas against a threshold (SLO burn rates).
   static double bucket_value(int bucket);
+
+ private:
+  static int bucket_of(int64_t value);
 
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};

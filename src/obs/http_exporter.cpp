@@ -1,0 +1,351 @@
+#include "obs/http_exporter.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/journal.hpp"
+#include "obs/trace.hpp"
+
+namespace dsx::obs {
+
+namespace {
+
+constexpr size_t kMaxRequestBytes = 8192;  // header cap; bodies are ignored
+
+void set_io_timeout(int fd, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Best-effort full send; gives up on timeout/error (the scraper's loss).
+void send_all(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return;
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string make_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status << " " << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+/// Reads until the header terminator, kMaxRequestBytes, EOF or timeout.
+std::string read_request(int fd) {
+  std::string buf;
+  char chunk[1024];
+  while (buf.size() < kMaxRequestBytes &&
+         buf.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+  return buf;
+}
+
+}  // namespace
+
+Exporter::Exporter(ExporterOptions opts, slo::SloEngine* slo)
+    : opts_(std::move(opts)), slo_(slo) {
+  DSX_REQUIRE(opts_.port >= 0 && opts_.port <= 65535,
+              "ExporterOptions: port must be in [0, 65535], got "
+                  << opts_.port);
+  DSX_REQUIRE(opts_.max_connections >= 1,
+              "ExporterOptions: max_connections must be >= 1");
+  DSX_REQUIRE(opts_.workers >= 1, "ExporterOptions: workers must be >= 1");
+  Registry& reg = Registry::global();
+  requests_metrics_ =
+      reg.counter("dsx_obs_http_requests_total", {{"path", "/metrics"}},
+                  "Exporter HTTP requests answered, by endpoint.");
+  requests_healthz_ =
+      reg.counter("dsx_obs_http_requests_total", {{"path", "/healthz"}});
+  requests_other_ =
+      reg.counter("dsx_obs_http_requests_total", {{"path", "other"}});
+  errors_ = reg.counter("dsx_obs_http_errors_total", {},
+                        "Exporter requests answered with a 4xx/5xx status.");
+  dropped_ = reg.counter(
+      "dsx_obs_http_dropped_total", {},
+      "Connections shed at the max_connections bound (503, closed).");
+}
+
+Exporter::~Exporter() { stop(); }
+
+void Exporter::start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  DSX_REQUIRE(fd >= 0, "exporter: socket(): " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("exporter: bad bind address '" + opts_.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("exporter: cannot listen on " + opts_.bind_address + ":" +
+                std::to_string(opts_.port) + ": " + err);
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  listen_fd_ = fd;
+  port_.store(static_cast<int>(ntohs(bound.sin_port)),
+              std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(static_cast<size_t>(opts_.workers));
+  for (int i = 0; i < opts_.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  Journal::global().record(
+      EventKind::kRegister, "obs.exporter",
+      "listening on " + opts_.bind_address + ":" + std::to_string(port()));
+}
+
+void Exporter::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  std::deque<int> leftover;
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    leftover.swap(pending_);
+  }
+  for (int fd : leftover) ::close(fd);
+  Journal::global().record(EventKind::kUnregister, "obs.exporter",
+                           "stopped");
+}
+
+void Exporter::accept_loop() {
+  auto last_eval = std::chrono::steady_clock::now();
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Background health tick: the SLO verdict keeps evolving even when no
+    // scraper is connected.
+    if (slo_ != nullptr) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_eval >= opts_.eval_interval) {
+        last_eval = now;
+        slo_->evaluate_all();
+      }
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (stop-flag check) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_io_timeout(fd, opts_.io_timeout);
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      if (static_cast<int>(pending_.size()) + in_flight_ <
+          opts_.max_connections) {
+        pending_.push_back(fd);
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      // Past the bound: shed with a synchronous 503 - never queue
+      // unboundedly, never block the accept loop.
+      dropped_.inc();
+      send_all(fd, make_response(503, "Service Unavailable", "text/plain",
+                                 "exporter at max_connections\n"));
+      ::close(fd);
+    }
+  }
+}
+
+void Exporter::worker_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] {
+        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
+      });
+      if (pending_.empty()) return;  // stopping and drained
+      fd = pending_.front();
+      pending_.pop_front();
+      ++in_flight_;
+    }
+    handle_connection(fd);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+    }
+  }
+}
+
+void Exporter::handle_connection(int fd) {
+  const std::string request = read_request(fd);
+  // Parse the request line: METHOD SP TARGET SP VERSION.
+  std::string method;
+  std::string path;
+  const size_t line_end = request.find("\r\n");
+  const std::string line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 != std::string::npos && sp2 != std::string::npos) {
+    method = line.substr(0, sp1);
+    path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+    const size_t query = path.find('?');
+    if (query != std::string::npos) path.resize(query);
+  }
+  send_all(fd, respond(method, path));
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+}
+
+std::string Exporter::respond(const std::string& method,
+                              const std::string& path) {
+  if (method.empty() || path.empty()) {
+    errors_.inc();
+    return make_response(400, "Bad Request", "text/plain", "bad request\n");
+  }
+  if (method != "GET") {
+    errors_.inc();
+    return make_response(405, "Method Not Allowed", "text/plain",
+                         "only GET is supported\n");
+  }
+  if (path == "/metrics") {
+    requests_metrics_.inc();
+    return make_response(200, "OK",
+                         "text/plain; version=0.0.4; charset=utf-8",
+                         Registry::global().prometheus_text());
+  }
+  if (path == "/metrics.json") {
+    requests_other_.inc();
+    return make_response(200, "OK", "application/json",
+                         Registry::global().json_snapshot());
+  }
+  if (path == "/healthz") {
+    requests_healthz_.inc();
+    if (slo_ == nullptr) {
+      return make_response(200, "OK", "application/json",
+                           "{\"status\":\"healthy\",\"models\":[]}");
+    }
+    // A fresh verdict per probe: the periodic tick bounds staleness, this
+    // removes it for the caller that actually routes on the answer.
+    slo_->evaluate_all();
+    const slo::Health worst = slo_->aggregate();
+    const std::string body = slo_->healthz_json();
+    if (worst == slo::Health::kCritical) {
+      errors_.inc();
+      return make_response(503, "Service Unavailable", "application/json",
+                           body);
+    }
+    return make_response(200, "OK", "application/json", body);
+  }
+  if (path == "/trace") {
+    requests_other_.inc();
+    return make_response(200, "OK", "application/json", chrome_trace_json());
+  }
+  if (path == "/journal") {
+    requests_other_.inc();
+    return make_response(200, "OK", "text/plain; charset=utf-8",
+                         Journal::global().to_text());
+  }
+  if (path == "/") {
+    requests_other_.inc();
+    return make_response(200, "OK", "text/plain",
+                         "dsx exporter endpoints:\n"
+                         "  /metrics       Prometheus text exposition\n"
+                         "  /metrics.json  metrics snapshot as JSON\n"
+                         "  /healthz       SLO health (200/503 + JSON)\n"
+                         "  /trace         Chrome trace-event JSON\n"
+                         "  /journal       control-plane event journal\n");
+  }
+  errors_.inc();
+  return make_response(404, "Not Found", "text/plain",
+                       "unknown path " + path + "\n");
+}
+
+// ---- http_get --------------------------------------------------------------
+
+HttpResponse http_get(const std::string& host, int port,
+                      const std::string& path,
+                      std::chrono::milliseconds timeout) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  DSX_REQUIRE(fd >= 0, "http_get: socket(): " << std::strerror(errno));
+  set_io_timeout(fd, timeout);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw Error("http_get: bad host '" + host + "' (IPv4 literal expected)");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("http_get: connect " + host + ":" + std::to_string(port) +
+                ": " + err);
+  }
+  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  send_all(fd, request);
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) break;
+    raw.append(chunk, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  DSX_REQUIRE(header_end != std::string::npos,
+              "http_get: malformed response from " << host << ":" << port);
+  HttpResponse resp;
+  resp.headers = raw.substr(0, header_end);
+  resp.body = raw.substr(header_end + 4);
+  // Status line: HTTP/1.1 NNN reason.
+  const size_t sp = resp.headers.find(' ');
+  if (sp != std::string::npos) {
+    resp.status = std::atoi(resp.headers.c_str() + sp + 1);
+  }
+  return resp;
+}
+
+}  // namespace dsx::obs

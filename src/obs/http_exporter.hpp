@@ -1,0 +1,122 @@
+// dsx::obs HTTP exporter - the socket-level face of the observability tier.
+//
+// Everything the registry/trace/journal/SLO layers collect was, until this,
+// only reachable through C++ calls in-process. The Exporter is a tiny
+// HTTP/1.1 server on plain BSD sockets (no dependencies) that makes the
+// same surfaces scrapeable from outside:
+//
+//   GET /metrics       Prometheus text exposition (Registry::global())
+//   GET /metrics.json  the same snapshot as JSON
+//   GET /healthz       200/503 from the SLO engine's aggregate health,
+//                      JSON body with per-model states (503 iff critical)
+//   GET /trace         retained trace events as Chrome trace-event JSON
+//   GET /journal       the control-plane event journal, one line per event
+//
+// Serving-path isolation is the design constraint: the exporter runs an
+// accept thread plus a small bounded worker pool, so a slow or stuck
+// scraper can never block a serving thread; past max_connections, new
+// connections are shed with 503 instead of queueing unboundedly. The accept
+// loop doubles as the SLO evaluation tick (eval_interval), so health keeps
+// evolving even when nobody scrapes. stop() (and the destructor) closes the
+// listen socket and joins every thread - clean shutdown, no leaked fds.
+//
+// Exports its own series: dsx_obs_http_requests_total{path=},
+// dsx_obs_http_errors_total, dsx_obs_http_dropped_total.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/slo.hpp"
+
+namespace dsx::obs {
+
+struct ExporterOptions {
+  /// TCP port to listen on; 0 picks an ephemeral port (see Exporter::port).
+  int port = 0;
+  /// Bind address. The loopback default keeps the surface private to the
+  /// host; use "0.0.0.0" to expose it.
+  std::string bind_address = "127.0.0.1";
+  /// Bound on queued-plus-in-flight connections; beyond it new connections
+  /// are answered 503 and closed (shed, never queued unboundedly).
+  int max_connections = 32;
+  /// Worker threads answering requests (the accept thread never does IO on
+  /// a connection).
+  int workers = 2;
+  /// Cadence of the background SloEngine::evaluate_all() tick.
+  std::chrono::milliseconds eval_interval{1000};
+  /// Per-connection receive/send timeout - a stuck scraper costs one worker
+  /// at most this long.
+  std::chrono::milliseconds io_timeout{2000};
+};
+
+class Exporter {
+ public:
+  /// `slo`, when given, must outlive the exporter; it powers /healthz and
+  /// is ticked every eval_interval while the exporter runs.
+  explicit Exporter(ExporterOptions opts = {},
+                    slo::SloEngine* slo = nullptr);
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  /// Binds, listens and spawns the accept/worker threads. Throws dsx::Error
+  /// when the socket cannot be bound. Idempotent once running.
+  void start();
+  /// Stops accepting, closes every socket and joins the threads. Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves opts.port == 0); 0 before start().
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  void handle_connection(int fd);
+  std::string respond(const std::string& method, const std::string& path);
+
+  ExporterOptions opts_;
+  slo::SloEngine* slo_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  // accepted fds awaiting a worker
+  int in_flight_ = 0;        // fds currently being served
+
+  Counter requests_metrics_;
+  Counter requests_healthz_;
+  Counter requests_other_;
+  Counter errors_;
+  Counter dropped_;
+};
+
+/// Minimal blocking HTTP/1.1 GET client (tests / CI helpers - the same
+/// no-dependency sockets the exporter uses). Throws dsx::Error on connect /
+/// IO failure; a non-2xx status is returned, not thrown.
+struct HttpResponse {
+  int status = 0;
+  std::string headers;  // raw header block
+  std::string body;
+};
+HttpResponse http_get(const std::string& host, int port,
+                      const std::string& path,
+                      std::chrono::milliseconds timeout =
+                          std::chrono::milliseconds(5000));
+
+}  // namespace dsx::obs

@@ -1,6 +1,7 @@
 #include "obs/journal.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <sstream>
 #include <utility>
@@ -37,12 +38,21 @@ const char* event_kind_name(EventKind kind) {
       return "tune_measure";
     case EventKind::kIsaSelect:
       return "isa_select";
+    case EventKind::kHealth:
+      return "health";
   }
   return "?";
 }
 
 Journal& Journal::global() {
-  static Journal* journal = new Journal();  // leaked: usable during exit
+  static Journal* journal = [] {
+    size_t cap = 1024;
+    if (const char* env = std::getenv("DSX_JOURNAL_CAP")) {
+      const long parsed = std::strtol(env, nullptr, 10);
+      if (parsed > 0) cap = static_cast<size_t>(parsed);
+    }
+    return new Journal(cap);  // leaked: usable during exit
+  }();
   return *journal;
 }
 

@@ -32,6 +32,7 @@ enum class EventKind {
   kReject,      // batcher rejected a submission (queue at capacity)
   kTuneMeasure,  // tuner measured a problem and recorded a winner
   kIsaSelect,    // simd dispatch picked the process ISA level
+  kHealth,       // SLO engine health transition (detail: evaluation)
 };
 
 const char* event_kind_name(EventKind kind);
@@ -47,7 +48,9 @@ struct Event {
 
 class Journal {
  public:
-  /// The process-wide journal every tier records into.
+  /// The process-wide journal every tier records into. Its ring holds 1024
+  /// events unless DSX_JOURNAL_CAP=<n> overrides the capacity (read once,
+  /// at first use).
   static Journal& global();
 
   explicit Journal(size_t capacity = 1024);

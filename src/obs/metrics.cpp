@@ -98,6 +98,34 @@ std::string format_double(double v) {
   return buf;
 }
 
+/// HELP-text escaping per the exposition format: backslash and newline only
+/// (double quotes are legal in HELP, unlike in label values).
+std::string escape_help(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// True when every (k, v) of `match` appears in the cell's sorted labels.
+bool labels_contain(const Labels& cell_labels, const Labels& match) {
+  for (const auto& m : match) {
+    if (std::find(cell_labels.begin(), cell_labels.end(), m) ==
+        cell_labels.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Registry& Registry::global() {
@@ -160,7 +188,8 @@ std::string Registry::prometheus_text() const {
     if (cell->name != current) {
       current = cell->name;
       if (!cell->help.empty()) {
-        out << "# HELP " << cell->name << " " << cell->help << "\n";
+        out << "# HELP " << cell->name << " " << escape_help(cell->help)
+            << "\n";
       }
       // Histograms are exported summary-style (precomputed quantiles).
       const char* t = cell->type == MetricType::kHistogram
@@ -238,6 +267,45 @@ std::string Registry::json_snapshot() const {
 size_t Registry::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cells_.size();
+}
+
+int64_t Registry::sum_counter(const std::string& name,
+                              const Labels& match) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t sum = 0;
+  // Cells are keyed name-first, so the series of one name are contiguous.
+  for (auto it = cells_.lower_bound(name); it != cells_.end(); ++it) {
+    const detail::MetricCell* cell = it->second.get();
+    if (cell->name != name) break;
+    if (cell->type != MetricType::kCounter) break;
+    if (!labels_contain(cell->labels, match)) continue;
+    sum += cell->counter.load(std::memory_order_relaxed);
+  }
+  return sum;
+}
+
+device::LogHistogram::BucketSnapshot Registry::merged_histogram(
+    const std::string& name, const Labels& match) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  device::LogHistogram::BucketSnapshot merged;
+  merged.min = INT64_MAX;
+  for (auto it = cells_.lower_bound(name); it != cells_.end(); ++it) {
+    const detail::MetricCell* cell = it->second.get();
+    if (cell->name != name) break;
+    if (cell->type != MetricType::kHistogram) break;
+    if (!labels_contain(cell->labels, match)) continue;
+    const device::LogHistogram::BucketSnapshot s =
+        cell->hist.bucket_snapshot();
+    merged.count += s.count;
+    merged.sum += s.sum;
+    merged.min = std::min(merged.min, s.min);
+    merged.max = std::max(merged.max, s.max);
+    for (int b = 0; b < device::LogHistogram::kBuckets; ++b) {
+      merged.buckets[static_cast<size_t>(b)] +=
+          s.buckets[static_cast<size_t>(b)];
+    }
+  }
+  return merged;
 }
 
 void Registry::reset_values_for_test() {

@@ -109,6 +109,12 @@ class Histogram {
     return cell_ != nullptr ? cell_->hist.snapshot()
                             : device::LogHistogram::Snapshot{};
   }
+  /// Raw cumulative bucket state - the windowing primitive (subtract two of
+  /// these with LogHistogram::delta_snapshot). Detached = empty.
+  device::LogHistogram::BucketSnapshot bucket_snapshot() const {
+    return cell_ != nullptr ? cell_->hist.bucket_snapshot()
+                            : device::LogHistogram::BucketSnapshot{};
+  }
   bool attached() const { return cell_ != nullptr; }
 
  private:
@@ -148,6 +154,16 @@ class Registry {
 
   /// Number of registered series.
   size_t size() const;
+
+  /// Sum of every counter series named `name` whose label set CONTAINS
+  /// `match` (so {model=X} aggregates across the per-replica series of a
+  /// sharded model). 0 when nothing matches; never registers anything.
+  int64_t sum_counter(const std::string& name, const Labels& match) const;
+  /// Bucket-wise merge (counts summed, min of mins / max of maxes) of every
+  /// histogram series named `name` whose labels contain `match`. Empty when
+  /// nothing matches; never registers anything.
+  device::LogHistogram::BucketSnapshot merged_histogram(
+      const std::string& name, const Labels& match) const;
 
   /// Zeroes every registered series IN PLACE (handles stay valid; nothing
   /// is unregistered). Test isolation only - never call while instruments

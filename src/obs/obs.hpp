@@ -12,6 +12,15 @@
 //                 promotions, rollbacks + reasons, guardrail verdicts, tuner
 //                 measurements, ISA selection ("what happened, in order").
 //
+// Two layers judge and publish those signals:
+//
+//   slo.hpp            declarative per-model SLOs evaluated over windowed
+//                      deltas of the registry series with multi-window
+//                      burn-rate rules ("is it healthy, right now");
+//   http_exporter.hpp  a no-dependency HTTP/1.1 endpoint serving /metrics,
+//                      /metrics.json, /healthz, /trace and /journal to
+//                      external scrapers.
+//
 // The stack instruments itself: batchers export queue/batch/shed series and
 // emit request spans, ReplicaSet counts per-replica routing, the deploy tier
 // journals its lifecycle, tune/simd journal their decisions. Two invariants
@@ -25,6 +34,8 @@
 //     when the instrument is detached).
 #pragma once
 
-#include "obs/journal.hpp"   // IWYU pragma: export
-#include "obs/metrics.hpp"   // IWYU pragma: export
-#include "obs/trace.hpp"     // IWYU pragma: export
+#include "obs/http_exporter.hpp"  // IWYU pragma: export
+#include "obs/journal.hpp"        // IWYU pragma: export
+#include "obs/metrics.hpp"        // IWYU pragma: export
+#include "obs/slo.hpp"            // IWYU pragma: export
+#include "obs/trace.hpp"          // IWYU pragma: export

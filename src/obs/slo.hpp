@@ -1,0 +1,209 @@
+// dsx::obs SLO engine - declarative objectives judged over windowed deltas.
+//
+// The registry's series are cumulative: perfect for scraping, useless for
+// "is the fleet healthy RIGHT NOW". This layer adds the missing windowing
+// primitive - a ring of cumulative WindowSamples per model, subtracted
+// pairwise (LogHistogram::delta_snapshot does the histogram half) to answer
+// questions about just the last N seconds - and runs the SRE multi-window
+// burn-rate idiom on top of it:
+//
+//   * an SloSpec declares the objectives: a latency objective ("99% of
+//     requests answer within p99_ms") and an availability objective
+//     ("error rate stays under max_error_rate");
+//   * each objective's burn rate is how fast the error budget is burning
+//     relative to plan (burn 1.0 = exactly consuming the budget; burn 10 =
+//     ten times too fast);
+//   * health is judged from TWO windows: Critical needs both the fast and
+//     the slow window burning >= critical_burn (a fast-only spike is noise,
+//     a slow-only residue is an already-ended incident), Degraded needs
+//     both >= degraded_burn;
+//   * downgrades are immediate, recovery is hysteretic: stepping back down
+//     requires clear_evaluations consecutive clean evaluations, so health
+//     does not flap at the threshold.
+//
+// Every Healthy/Degraded/Critical transition is journaled (EventKind::
+// kHealth) with the full evaluation detail, and the engine exports its own
+// dsx_slo_* series. Two consumers share this evaluation machinery: the
+// SloEngine below (per-model health + /healthz), and deploy::
+// RolloutController's canary guardrail (window_delta over the candidate /
+// primary fleets with a zero baseline, i.e. a full-history window).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "device/atomic_stats.hpp"
+#include "obs/metrics.hpp"
+
+namespace dsx::obs::slo {
+
+enum class Health : int { kHealthy = 0, kDegraded = 1, kCritical = 2 };
+const char* health_name(Health h);
+
+/// Declarative per-model objectives. Setting p99_ms or max_error_rate to 0
+/// disables that objective; a spec with both disabled is always Healthy.
+struct SloSpec {
+  /// Latency objective: latency_target of requests must answer within
+  /// p99_ms milliseconds. 0 disables.
+  double p99_ms = 0.0;
+  double latency_target = 0.99;
+  /// Availability objective: windowed error rate must stay under this. 0
+  /// disables.
+  double max_error_rate = 0.0;
+  /// Raw histogram units per millisecond. The registry's request-latency
+  /// series records microseconds (1000); the serving fleets' LatencyStats
+  /// record nanoseconds (1e6).
+  double latency_unit_per_ms = 1000.0;
+  /// Burn-rate windows: the fast window catches active incidents, the slow
+  /// window keeps one-spike noise from paging.
+  std::chrono::milliseconds fast_window{5000};
+  std::chrono::milliseconds slow_window{60000};
+  /// Burn thresholds: Critical when BOTH windows burn >= critical_burn,
+  /// Degraded when both burn >= degraded_burn.
+  double critical_burn = 10.0;
+  double degraded_burn = 2.0;
+  /// Requests required in the fast window before an evaluation can change
+  /// health (no verdicts on no traffic).
+  int64_t min_samples = 16;
+  /// Consecutive clean evaluations required to step health back down.
+  int clear_evaluations = 3;
+};
+
+/// One cumulative observation of a model's series, timestamped on the
+/// obs::now_ns() timeline. Subtracting two of these yields a window.
+struct WindowSample {
+  int64_t ts_ns = 0;
+  int64_t requests = 0;  // cumulative answered+errored submissions
+  int64_t errors = 0;    // cumulative errors (serving: shed + rejected)
+  device::LogHistogram::BucketSnapshot latency;  // cumulative
+};
+
+/// What one window (newer - older) looked like, judged against a spec.
+struct WindowDelta {
+  double span_ms = 0.0;
+  int64_t requests = 0;
+  int64_t errors = 0;
+  int64_t latency_count = 0;  // latency samples in the window
+  double error_rate = 0.0;
+  /// Fraction of the window's latency samples above spec.p99_ms.
+  double slow_fraction = 0.0;
+  /// The window's own p99, in milliseconds (delta quantile).
+  double p99_ms = 0.0;
+  double latency_burn = 0.0;       // slow_fraction / (1 - latency_target)
+  double availability_burn = 0.0;  // error_rate / max_error_rate
+  double burn_rate = 0.0;          // max of the two
+};
+
+/// Evaluates the window between two cumulative samples against `spec`.
+/// Racing counters are clamped (a window never reports negative requests).
+WindowDelta window_delta(const SloSpec& spec, const WindowSample& older,
+                         const WindowSample& newer);
+
+/// One evaluation's verdict. `raw` is what this evaluation alone says;
+/// `health` is after hysteresis; `transitioned` marks a state change.
+struct Evaluation {
+  bool armed = false;  // fast window had >= min_samples requests
+  Health raw = Health::kHealthy;
+  Health previous = Health::kHealthy;
+  Health health = Health::kHealthy;
+  bool transitioned = false;
+  WindowDelta fast;
+  WindowDelta slow;
+  std::string detail;  // one-line human summary (journaled on transition)
+};
+
+/// The windowing + hysteresis state machine for ONE model: a bounded ring
+/// of cumulative samples, pushed periodically, evaluated on every push.
+/// Deterministic - all time comes from the samples' ts_ns - so tests drive
+/// it with hand-built samples. Not thread-safe (SloEngine serializes).
+class BurnRateTracker {
+ public:
+  explicit BurnRateTracker(SloSpec spec);
+
+  /// Appends one cumulative sample and evaluates the spec's windows against
+  /// the ring. The first push only seeds the baseline (unarmed verdict).
+  Evaluation push(const WindowSample& sample);
+
+  Health health() const { return health_; }
+  const SloSpec& spec() const { return spec_; }
+  size_t ring_size() const { return ring_.size(); }
+
+  /// Ring capacity backstop: samples older than slow_window are pruned
+  /// anyway; this bounds memory under very fast push cadences.
+  static constexpr size_t kMaxRing = 256;
+
+ private:
+  const WindowSample& baseline(int64_t window_start_ns) const;
+
+  SloSpec spec_;
+  std::vector<WindowSample> ring_;  // oldest first
+  Health health_ = Health::kHealthy;
+  int clean_streak_ = 0;
+};
+
+/// Per-model SLO evaluation over the process-wide obs::Registry (or any
+/// custom sampler). Thread-safe. Owns one BurnRateTracker per model,
+/// journals every health transition (EventKind::kHealth) and exports:
+///   dsx_slo_health{model=}             gauge, 0/1/2
+///   dsx_slo_evaluations_total{model=}  counter
+///   dsx_slo_transitions_total{model=}  counter
+class SloEngine {
+ public:
+  /// Produces the current cumulative sample for a model. The default reads
+  /// the serving series from Registry::global() (sample_registry below).
+  using Sampler = std::function<WindowSample()>;
+
+  /// Declares (or replaces) `model`'s objectives. Resets the model's window
+  /// history and health to Healthy.
+  void set_slo(const std::string& model, const SloSpec& spec,
+               Sampler sampler = {});
+  void clear_slo(const std::string& model);
+  bool has_slo(const std::string& model) const;
+  std::vector<std::string> models() const;
+
+  /// Samples `model`'s series and evaluates its windows now. Unknown model
+  /// returns a default (Healthy, unarmed) evaluation.
+  Evaluation evaluate(const std::string& model);
+  /// Evaluates every declared model (the exporter's periodic tick).
+  void evaluate_all();
+
+  /// Last evaluated health; Healthy for unknown models.
+  Health health(const std::string& model) const;
+  /// Worst health across every declared model (Healthy when none).
+  Health aggregate() const;
+  std::vector<std::pair<std::string, Health>> health_all() const;
+
+  /// The /healthz body: {"status": ..., "models": [...]} with each model's
+  /// state and last evaluation numbers.
+  std::string healthz_json() const;
+
+ private:
+  struct ModelSlo {
+    SloSpec spec;
+    Sampler sampler;
+    BurnRateTracker tracker;
+    Evaluation last;
+    Counter evaluations;
+    Counter transitions;
+    Gauge health_gauge;
+  };
+
+  Evaluation evaluate_locked(const std::string& model, ModelSlo& slo);
+
+  mutable std::mutex mu_;
+  std::map<std::string, ModelSlo> models_;
+};
+
+/// The default sampler for a server-registered model: requests from
+/// dsx_serve_requests_total, errors from dsx_serve_shed_total +
+/// dsx_serve_rejected_total, latency from dsx_serve_request_latency_us -
+/// each aggregated across the model's replica series (label-subset match).
+WindowSample sample_registry(const std::string& model);
+
+}  // namespace dsx::obs::slo

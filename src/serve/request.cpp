@@ -251,6 +251,7 @@ BatcherStats BatchCore::stats() const {
           .count();
   s.qps = elapsed > 0.0 ? static_cast<double>(s.requests) / elapsed : 0.0;
   s.latency = latency_.snapshot();
+  s.latency_buckets = latency_.histogram().bucket_snapshot();
   return s;
 }
 

@@ -139,6 +139,11 @@ struct BatcherStats {
   double avg_batch = 0.0;
   double qps = 0.0;  // answered requests / seconds since construction
   device::LatencyStats::Snapshot latency;  // per-request submit->answer wall time
+  /// The latency histogram's raw cumulative buckets (nanosecond samples).
+  /// Two stats() calls' buckets subtract into a windowed quantile view
+  /// (LogHistogram::delta_snapshot) - what the SLO engine and the deploy
+  /// guardrail evaluate.
+  device::LogHistogram::BucketSnapshot latency_buckets;
 };
 
 /// Batch execution + stats accounting shared by the batcher implementations.

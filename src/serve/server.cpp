@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <utility>
 
 #include "common/check.hpp"
@@ -23,6 +24,33 @@ shard::ShardOptions to_shard_options(const BatcherOptions& opts) {
 }
 
 }  // namespace
+
+InferenceServer::InferenceServer() {
+  // DSX_METRICS_PORT: zero-code exporter adoption, honored by the FIRST
+  // server constructed in the process (same once-per-process pattern as
+  // DSX_TRACE sampling). A bind failure must never take serving down - it
+  // is journaled and ignored.
+  static bool env_exporter_claimed = false;
+  static std::mutex env_mu;
+  const char* env = std::getenv("DSX_METRICS_PORT");
+  if (env == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(env_mu);
+    if (env_exporter_claimed) return;
+    env_exporter_claimed = true;
+  }
+  const long port = std::strtol(env, nullptr, 10);
+  if (port < 0 || port > 65535) return;
+  try {
+    obs::ExporterOptions eopts;
+    eopts.port = static_cast<int>(port);
+    start_exporter(eopts);
+  } catch (const Error& e) {
+    obs::Journal::global().record(obs::EventKind::kRegister, "obs.exporter",
+                                  std::string("DSX_METRICS_PORT ignored: ") +
+                                      e.what());
+  }
+}
 
 std::future<Tensor> InferenceServer::Entry::submit(const Tensor& image) {
   if (replicas != nullptr) return replicas->submit(image);
@@ -297,6 +325,7 @@ ModelStats InferenceServer::stats(const std::string& name) const {
             : 0.0;
     s.batcher.qps = s.shard->qps;
     s.batcher.latency = s.shard->latency;
+    s.batcher.latency_buckets = s.shard->latency_buckets;
   } else {
     s.compile = e->model->report();
     s.batcher = e->batcher->stats();
@@ -326,6 +355,46 @@ std::vector<ModelStats> InferenceServer::stats_all() const {
   return all;
 }
 
+void InferenceServer::set_slo(const std::string& name,
+                              const obs::slo::SloSpec& spec) {
+  slo_.set_slo(name, spec);
+}
+
+obs::slo::Health InferenceServer::health(const std::string& name) {
+  return slo_.evaluate(name).health;
+}
+
+obs::slo::Health InferenceServer::health() {
+  slo_.evaluate_all();
+  return slo_.aggregate();
+}
+
+int InferenceServer::start_exporter(obs::ExporterOptions opts) {
+  std::lock_guard<std::mutex> lock(exporter_mu_);
+  DSX_REQUIRE(exporter_ == nullptr || !exporter_->running(),
+              "start_exporter: already running on port "
+                  << exporter_->port());
+  auto fresh = std::make_unique<obs::Exporter>(std::move(opts), &slo_);
+  fresh->start();
+  exporter_ = std::move(fresh);
+  return exporter_->port();
+}
+
+void InferenceServer::stop_exporter() {
+  std::unique_ptr<obs::Exporter> displaced;
+  {
+    std::lock_guard<std::mutex> lock(exporter_mu_);
+    displaced = std::move(exporter_);
+  }
+  // stop() joins the exporter threads outside exporter_mu_.
+  if (displaced != nullptr) displaced->stop();
+}
+
+int InferenceServer::exporter_port() const {
+  std::lock_guard<std::mutex> lock(exporter_mu_);
+  return exporter_ != nullptr && exporter_->running() ? exporter_->port() : 0;
+}
+
 void InferenceServer::stop() {
   std::vector<EntryPtr> entries;
   {
@@ -337,6 +406,7 @@ void InferenceServer::stop() {
   // Drain outside the lock (queued requests execute during stop), holding
   // refs so a concurrent unregister cannot free a fleet mid-drain.
   for (const EntryPtr& e : entries) e->stop();
+  stop_exporter();
 }
 
 }  // namespace dsx::serve

@@ -53,7 +53,11 @@ struct SwapReport {
 
 class InferenceServer {
  public:
-  InferenceServer() = default;
+  /// The first server constructed in the process also honors
+  /// DSX_METRICS_PORT=<port>: zero-code adoption of the HTTP exporter,
+  /// same pattern as DSX_TRACE/DSX_TUNE (port 0 = ephemeral; a bind
+  /// failure is logged to the journal, never fatal to serving).
+  InferenceServer();
   ~InferenceServer() { stop(); }
 
   InferenceServer(const InferenceServer&) = delete;
@@ -135,8 +139,30 @@ class InferenceServer {
   /// The process-wide control-plane event journal (register/swap/shed/...).
   obs::Journal& journal() const;
 
-  /// Drains and stops every batcher. Idempotent; new submits then throw
-  /// Stopped, registration throws Error.
+  /// Declares (or replaces) SLO objectives for `name`: the server's SLO
+  /// engine samples the model's registry series and judges multi-window
+  /// burn rates into a Health state (see obs/slo.hpp). The name does not
+  /// have to be registered yet - series appear with the model.
+  void set_slo(const std::string& name, const obs::slo::SloSpec& spec);
+  /// Evaluates and returns `name`'s SLO health now (Healthy when no SLO is
+  /// declared for it).
+  obs::slo::Health health(const std::string& name);
+  /// Worst health across every declared SLO (the /healthz verdict).
+  obs::slo::Health health();
+  /// The engine itself (custom samplers, healthz_json, ...).
+  obs::slo::SloEngine& slo_engine() { return slo_; }
+
+  /// Starts the HTTP telemetry endpoint (obs::Exporter) wired to this
+  /// server's SLO engine and returns the bound port (resolves port 0).
+  /// One exporter per server; throws dsx::Error if the port cannot be
+  /// bound. Stopped by stop_exporter(), stop() or destruction.
+  int start_exporter(obs::ExporterOptions opts = {});
+  void stop_exporter();
+  /// The running exporter's port; 0 when none is running.
+  int exporter_port() const;
+
+  /// Drains and stops every batcher (and the exporter). Idempotent; new
+  /// submits then throw Stopped, registration throws Error.
   void stop();
 
  private:
@@ -166,6 +192,12 @@ class InferenceServer {
   mutable std::mutex mu_;
   bool stopped_ = false;
   std::map<std::string, EntryPtr> models_;
+
+  /// SLO engine + exporter. Own mutex: exporter start/stop never contends
+  /// with the registry lock (mu_), and the engine serializes itself.
+  obs::slo::SloEngine slo_;
+  mutable std::mutex exporter_mu_;
+  std::unique_ptr<obs::Exporter> exporter_;
 };
 
 }  // namespace dsx::serve

@@ -111,6 +111,7 @@ ShardStats ReplicaSet::stats() const {
           .count();
   s.qps = elapsed > 0.0 ? static_cast<double>(s.requests) / elapsed : 0.0;
   s.latency = aggregate_latency_.snapshot();
+  s.latency_buckets = aggregate_latency_.histogram().bucket_snapshot();
   return s;
 }
 

@@ -71,6 +71,9 @@ struct ShardStats {
   /// Submit->answer latency aggregated across replicas (one shared
   /// histogram, not a merge of per-replica snapshots).
   device::LatencyStats::Snapshot latency;
+  /// The same shared histogram's raw cumulative buckets (nanosecond
+  /// samples) - the windowing primitive SLO/guardrail evaluation diffs.
+  device::LogHistogram::BucketSnapshot latency_buckets;
   std::vector<ReplicaStats> per_replica;
 };
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdint>
@@ -578,6 +579,469 @@ TEST(Server, MetricsExportCoversServedModel) {
   EXPECT_GE(std::atoll(text.c_str() + pos + series.size()), kRequests);
   EXPECT_NE(text.find("dsx_serve_request_latency_us"), std::string::npos);
   EXPECT_TRUE(json_well_formed(server.export_metrics_json()));
+}
+
+TEST(Registry, HelpTextIsEscapedInExposition) {
+  Registry reg;
+  reg.counter("dsx_test_help_escape", {},
+              "line one\nline two with back\\slash");
+  const std::string text = reg.prometheus_text();
+  // The exposition format requires \ -> \\ and newline -> \n in HELP; a
+  // raw newline would split the HELP comment into a bogus sample line.
+  EXPECT_NE(text.find("# HELP dsx_test_help_escape "
+                      "line one\\nline two with back\\\\slash\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("line two with back\\slash\n"), std::string::npos);
+}
+
+TEST(Registry, SumCounterAndMergedHistogramAggregateAcrossReplicas) {
+  Registry reg;
+  reg.counter("dsx_test_agg_total", {{"model", "m"}, {"replica", "0"}})
+      .inc(3);
+  reg.counter("dsx_test_agg_total", {{"model", "m"}, {"replica", "1"}})
+      .inc(4);
+  reg.counter("dsx_test_agg_total", {{"model", "other"}}).inc(100);
+  EXPECT_EQ(reg.sum_counter("dsx_test_agg_total", {{"model", "m"}}), 7);
+  EXPECT_EQ(reg.sum_counter("dsx_test_agg_total", {}), 107);
+  EXPECT_EQ(reg.sum_counter("dsx_test_agg_total", {{"model", "none"}}), 0);
+
+  auto h0 = reg.histogram("dsx_test_agg_us", {{"model", "m"}, {"replica", "0"}});
+  auto h1 = reg.histogram("dsx_test_agg_us", {{"model", "m"}, {"replica", "1"}});
+  for (int i = 0; i < 50; ++i) h0.record(100);
+  for (int i = 0; i < 50; ++i) h1.record(200);
+  const auto merged = reg.merged_histogram("dsx_test_agg_us", {{"model", "m"}});
+  EXPECT_EQ(merged.count, 100);
+  EXPECT_EQ(merged.sum, 50 * 100 + 50 * 200);
+  EXPECT_EQ(merged.min, 100);
+  EXPECT_EQ(merged.max, 200);
+  EXPECT_EQ(reg.merged_histogram("dsx_test_agg_us", {{"model", "x"}}).count, 0);
+}
+
+// ---- SLO window math -------------------------------------------------------
+
+TEST(LogHistogram, DeltaSnapshotIsolatesTheWindow) {
+  device::LogHistogram h;
+  for (int i = 0; i < 1000; ++i) h.record(100);  // epoch A: all fast
+  const auto base = h.bucket_snapshot();
+  for (int i = 0; i < 1000; ++i) h.record(100000);  // epoch B: all slow
+  const auto now = h.bucket_snapshot();
+
+  // Cumulative view straddles both epochs; the delta sees only epoch B.
+  const auto full = device::LogHistogram::delta_snapshot(
+      now, device::LogHistogram::BucketSnapshot{});
+  EXPECT_EQ(full.count, 2000);
+  EXPECT_EQ(full.p50, 100.0);  // exact: small-ish values, clamped midpoints
+  const auto window = device::LogHistogram::delta_snapshot(now, base);
+  EXPECT_EQ(window.count, 1000);
+  EXPECT_NEAR(window.p50, 100000.0,
+              100000.0 * device::LogHistogram::kQuantileRelativeError);
+  EXPECT_NEAR(window.p99, 100000.0,
+              100000.0 * device::LogHistogram::kQuantileRelativeError);
+  EXPECT_DOUBLE_EQ(window.mean, 100000.0);
+  // An empty window (identical endpoints) is all zeros.
+  const auto empty = device::LogHistogram::delta_snapshot(now, now);
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_EQ(empty.p99, 0.0);
+  // Delta against an empty baseline IS the cumulative snapshot.
+  const auto snap = h.snapshot();
+  EXPECT_EQ(full.count, snap.count);
+  EXPECT_DOUBLE_EQ(full.p50, snap.p50);
+  EXPECT_DOUBLE_EQ(full.p99, snap.p99);
+  EXPECT_DOUBLE_EQ(full.min, snap.min);
+  EXPECT_DOUBLE_EQ(full.max, snap.max);
+}
+
+namespace slo_testing {
+
+/// Scripted cumulative series for deterministic SLO evaluation: every
+/// step() appends one window sample (ts advances 1s), recording `good`
+/// fast requests and `bad` slow ones into the cumulative state.
+struct ScriptedModel {
+  device::LogHistogram hist;  // cumulative latencies (microseconds)
+  int64_t requests = 0;
+  int64_t errors = 0;
+  int64_t ts_ns = 1'000'000'000;
+
+  slo::WindowSample step(int good, int bad, int errs = 0) {
+    for (int i = 0; i < good; ++i) hist.record(100);      // 0.1 ms
+    for (int i = 0; i < bad; ++i) hist.record(100'000);   // 100 ms
+    requests += good + bad + errs;
+    errors += errs;
+    ts_ns += 1'000'000'000;
+    slo::WindowSample s;
+    s.ts_ns = ts_ns;
+    s.requests = requests;
+    s.errors = errors;
+    s.latency = hist.bucket_snapshot();
+    return s;
+  }
+};
+
+slo::SloSpec test_spec() {
+  slo::SloSpec spec;
+  spec.p99_ms = 1.0;  // 1 ms objective; good=0.1ms passes, bad=100ms breaches
+  spec.latency_target = 0.99;
+  spec.max_error_rate = 0.05;
+  spec.fast_window = std::chrono::milliseconds(1500);   // ~1 step
+  spec.slow_window = std::chrono::milliseconds(5500);   // ~5 steps
+  spec.critical_burn = 10.0;
+  spec.degraded_burn = 2.0;
+  spec.min_samples = 10;
+  spec.clear_evaluations = 3;
+  return spec;
+}
+
+}  // namespace slo_testing
+
+TEST(Slo, WindowDeltaComputesRatesAndBurn) {
+  using slo_testing::ScriptedModel;
+  ScriptedModel m;
+  const slo::SloSpec spec = slo_testing::test_spec();
+  const slo::WindowSample a = m.step(/*good=*/90, /*bad=*/0);
+  const slo::WindowSample b = m.step(/*good=*/16, /*bad=*/4, /*errs=*/0);
+  const slo::WindowDelta d = slo::window_delta(spec, a, b);
+  EXPECT_EQ(d.requests, 20);
+  EXPECT_EQ(d.latency_count, 20);
+  EXPECT_DOUBLE_EQ(d.error_rate, 0.0);
+  // 4 of 20 samples above 1 ms -> slow_fraction 0.2 -> burn 0.2 / 0.01.
+  EXPECT_DOUBLE_EQ(d.slow_fraction, 0.2);
+  EXPECT_NEAR(d.latency_burn, 20.0, 1e-9);
+  EXPECT_NEAR(d.burn_rate, 20.0, 1e-9);
+  EXPECT_NEAR(d.p99_ms, 100.0,
+              100.0 * device::LogHistogram::kQuantileRelativeError);
+
+  // Availability burn: 2 errors in 20 requests = 10% vs the 5% budget.
+  const slo::WindowSample c = m.step(/*good=*/18, /*bad=*/0, /*errs=*/2);
+  const slo::WindowDelta e = slo::window_delta(spec, b, c);
+  EXPECT_DOUBLE_EQ(e.error_rate, 0.1);
+  EXPECT_NEAR(e.availability_burn, 2.0, 1e-9);
+  // Racing/reversed counters clamp, never go negative.
+  const slo::WindowDelta r = slo::window_delta(spec, c, b);
+  EXPECT_EQ(r.requests, 0);
+  EXPECT_EQ(r.errors, 0);
+}
+
+TEST(Slo, BurnRateTrackerTripsAndRecoversWithHysteresis) {
+  using slo_testing::ScriptedModel;
+  ScriptedModel m;
+  const slo::SloSpec spec = slo_testing::test_spec();
+  slo::BurnRateTracker tracker(spec);
+
+  // Seed + healthy steady state.
+  EXPECT_FALSE(tracker.push(m.step(20, 0)).armed);
+  for (int i = 0; i < 6; ++i) {
+    const slo::Evaluation ev = tracker.push(m.step(20, 0));
+    EXPECT_TRUE(ev.armed);
+    EXPECT_EQ(ev.health, slo::Health::kHealthy) << ev.detail;
+  }
+
+  // Breach: a step of 100% slow requests floods fast AND slow windows past
+  // critical_burn -> Critical immediately (downgrades are not hysteretic).
+  const slo::Evaluation trip = tracker.push(m.step(0, 20));
+  EXPECT_TRUE(trip.armed);
+  EXPECT_EQ(trip.raw, slo::Health::kCritical) << trip.detail;
+  EXPECT_EQ(trip.health, slo::Health::kCritical);
+  EXPECT_TRUE(trip.transitioned);
+
+  // Recovery: clean steps report a healthier raw verdict, but health only
+  // steps down after clear_evaluations consecutive clean evaluations.
+  int clean_until_downgrade = 0;
+  slo::Evaluation ev;
+  for (int i = 0; i < 12; ++i) {
+    ev = tracker.push(m.step(20, 0));
+    ++clean_until_downgrade;
+    if (ev.health != slo::Health::kCritical) break;
+  }
+  EXPECT_NE(ev.health, slo::Health::kCritical) << ev.detail;
+  // The downgrade must have taken at least clear_evaluations cleaner
+  // verdicts (the first recovery evals still see breach in the windows).
+  EXPECT_GE(clean_until_downgrade, spec.clear_evaluations);
+  // And it settles back to steady Healthy.
+  for (int i = 0; i < 8; ++i) ev = tracker.push(m.step(20, 0));
+  EXPECT_EQ(ev.health, slo::Health::kHealthy) << ev.detail;
+}
+
+TEST(Slo, TrackerRingStaysBoundedAndWindowsSurviveWrap) {
+  using slo_testing::ScriptedModel;
+  ScriptedModel m;
+  slo::SloSpec spec = slo_testing::test_spec();
+  slo::BurnRateTracker tracker(spec);
+  // Push far more samples than any retention bound; deltas must stay
+  // windowed (per-step counts), not drift toward cumulative totals.
+  slo::Evaluation ev;
+  for (int i = 0; i < 600; ++i) ev = tracker.push(m.step(20, 0));
+  EXPECT_LE(tracker.ring_size(), slo::BurnRateTracker::kMaxRing);
+  EXPECT_TRUE(ev.armed);
+  // Fast window ~1.5 steps -> the delta covers 1..2 steps of 20 requests.
+  EXPECT_GE(ev.fast.requests, 20);
+  EXPECT_LE(ev.fast.requests, 40);
+  // Slow window ~5.5 steps, never the 600-step cumulative total.
+  EXPECT_GE(ev.slow.requests, 5 * 20);
+  EXPECT_LE(ev.slow.requests, 7 * 20);
+  EXPECT_EQ(ev.health, slo::Health::kHealthy);
+}
+
+TEST(Slo, EngineJournalsTransitionsAndExportsSeries) {
+  auto scripted = std::make_shared<slo_testing::ScriptedModel>();
+  slo::SloEngine engine;
+  slo::SloSpec spec = slo_testing::test_spec();
+  // Scripted sampler: healthy steps until told to breach.
+  auto breach = std::make_shared<bool>(false);
+  engine.set_slo("slo-journal", spec, [scripted, breach] {
+    return *breach ? scripted->step(0, 20) : scripted->step(20, 0);
+  });
+  EXPECT_TRUE(engine.has_slo("slo-journal"));
+  for (int i = 0; i < 4; ++i) (void)engine.evaluate("slo-journal");
+  EXPECT_EQ(engine.health("slo-journal"), slo::Health::kHealthy);
+  EXPECT_EQ(engine.aggregate(), slo::Health::kHealthy);
+
+  const uint64_t recorded_before = Journal::global().recorded();
+  *breach = true;
+  const slo::Evaluation ev = engine.evaluate("slo-journal");
+  EXPECT_EQ(ev.health, slo::Health::kCritical) << ev.detail;
+  EXPECT_TRUE(ev.transitioned);
+  EXPECT_EQ(engine.aggregate(), slo::Health::kCritical);
+
+  // The transition was journaled with the evaluation detail.
+  bool journaled = false;
+  for (const Event& e : Journal::global().events(EventKind::kHealth)) {
+    if (e.seq >= recorded_before && e.scope == "slo-journal" &&
+        e.detail.find("->critical") != std::string::npos) {
+      journaled = true;
+    }
+  }
+  EXPECT_TRUE(journaled);
+
+  // And the dsx_slo_* series reflect it.
+  Registry& reg = Registry::global();
+  EXPECT_EQ(reg.gauge("dsx_slo_health", {{"model", "slo-journal"}}).value(),
+            2);
+  EXPECT_GE(
+      reg.counter("dsx_slo_transitions_total", {{"model", "slo-journal"}})
+          .value(),
+      1);
+  EXPECT_GE(
+      reg.counter("dsx_slo_evaluations_total", {{"model", "slo-journal"}})
+          .value(),
+      5);
+  EXPECT_TRUE(json_well_formed(engine.healthz_json()));
+  EXPECT_NE(engine.healthz_json().find("\"status\":\"critical\""),
+            std::string::npos);
+}
+
+// ---- HTTP exporter ---------------------------------------------------------
+
+namespace {
+
+/// Every non-comment exposition line must be `name[{labels}] value` with a
+/// fully-parsing numeric value.
+bool exposition_well_formed(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.rfind(' ');
+    if (sp == std::string::npos || sp + 1 >= line.size()) return false;
+    char* end = nullptr;
+    (void)std::strtod(line.c_str() + sp + 1, &end);
+    if (end == nullptr || *end != '\0') return false;
+    const std::string head = line.substr(0, sp);
+    if (head.empty()) return false;
+    const size_t brace = head.find('{');
+    if (brace != std::string::npos && head.back() != '}') return false;
+  }
+  return true;
+}
+
+/// The value of the first sample line whose head matches `series` exactly.
+double scrape_series(const std::string& text, const std::string& series) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(series + " ", 0) == 0) {
+      return std::strtod(line.c_str() + series.size() + 1, nullptr);
+    }
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+TEST(Exporter, EndpointsServeOverHttp) {
+  serve::InferenceServer server;
+  server.register_model(
+      "http-serve",
+      std::make_unique<serve::CompiledModel>(
+          make_scc_model(31), Shape{3, kImage, kImage},
+          serve::CompileOptions{.max_batch = 4}),
+      {.max_batch = 4});
+  Rng rng(7);
+  for (int i = 0; i < 8; ++i) {
+    (void)server.infer("http-serve",
+                       random_uniform(make_nchw(1, 3, kImage, kImage), rng));
+  }
+  const int port = server.start_exporter({});
+  ASSERT_GT(port, 0);
+  EXPECT_EQ(server.exporter_port(), port);
+
+  const HttpResponse metrics = http_get("127.0.0.1", port, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.headers.find("text/plain"), std::string::npos);
+  EXPECT_TRUE(exposition_well_formed(metrics.body));
+  EXPECT_GE(scrape_series(metrics.body,
+                          "dsx_serve_requests_total{model=\"http-serve\"}"),
+            8.0);
+
+  const HttpResponse json = http_get("127.0.0.1", port, "/metrics.json");
+  EXPECT_EQ(json.status, 200);
+  EXPECT_TRUE(json_well_formed(json.body));
+
+  // No SLOs declared: healthz is 200/healthy.
+  const HttpResponse healthz = http_get("127.0.0.1", port, "/healthz");
+  EXPECT_EQ(healthz.status, 200);
+  EXPECT_NE(healthz.body.find("\"status\":\"healthy\""), std::string::npos);
+
+  const HttpResponse journal = http_get("127.0.0.1", port, "/journal");
+  EXPECT_EQ(journal.status, 200);
+  EXPECT_NE(journal.body.find("register"), std::string::npos);
+
+  const HttpResponse trace = http_get("127.0.0.1", port, "/trace");
+  EXPECT_EQ(trace.status, 200);
+  EXPECT_TRUE(json_well_formed(trace.body));
+
+  EXPECT_EQ(http_get("127.0.0.1", port, "/nope").status, 404);
+  EXPECT_EQ(http_get("127.0.0.1", port, "/").status, 200);
+
+  // Query strings are stripped, Prometheus-style.
+  EXPECT_EQ(http_get("127.0.0.1", port, "/healthz?verbose=1").status, 200);
+
+  server.stop_exporter();
+  EXPECT_EQ(server.exporter_port(), 0);
+  EXPECT_THROW(http_get("127.0.0.1", port, "/metrics"), Error);
+  server.stop();
+}
+
+TEST(Exporter, HealthzFlipsTo503OnSloBreach) {
+  serve::InferenceServer server;
+  server.register_model(
+      "http-breach",
+      std::make_unique<serve::CompiledModel>(
+          make_scc_model(33), Shape{3, kImage, kImage},
+          serve::CompileOptions{.max_batch = 4}),
+      {.max_batch = 4});
+  // An impossible latency objective: every real request breaches, so the
+  // burn rate saturates as soon as the windows have samples.
+  slo::SloSpec spec;
+  spec.p99_ms = 1e-6;
+  spec.max_error_rate = 0.5;
+  spec.fast_window = std::chrono::milliseconds(50);
+  spec.slow_window = std::chrono::milliseconds(100);
+  spec.min_samples = 8;
+  server.set_slo("http-breach", spec);
+  const int port = server.start_exporter({});
+
+  // First probe seeds the window ring (still healthy).
+  EXPECT_EQ(http_get("127.0.0.1", port, "/healthz").status, 200);
+
+  Rng rng(9);
+  for (int i = 0; i < 16; ++i) {
+    (void)server.infer("http-breach",
+                       random_uniform(make_nchw(1, 3, kImage, kImage), rng));
+  }
+  // Every sample in the window is over the objective -> Critical -> 503.
+  // One probe can land before the window spans the traffic; give it a few.
+  int status = 0;
+  std::string body;
+  for (int probe = 0; probe < 50 && status != 503; ++probe) {
+    const HttpResponse r = http_get("127.0.0.1", port, "/healthz");
+    status = r.status;
+    body = r.body;
+    if (status != 503) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_EQ(status, 503);
+  EXPECT_NE(body.find("\"status\":\"critical\""), std::string::npos);
+  EXPECT_NE(body.find("http-breach"), std::string::npos);
+  EXPECT_EQ(server.slo_engine().health("http-breach"),
+            slo::Health::kCritical);
+
+  // The Healthy->Critical transition is in the journal with its windows.
+  bool journaled = false;
+  for (const Event& e : Journal::global().events(EventKind::kHealth)) {
+    if (e.scope == "http-breach" &&
+        e.detail.find("->critical") != std::string::npos) {
+      journaled = true;
+    }
+  }
+  EXPECT_TRUE(journaled);
+  server.stop();
+}
+
+TEST(Exporter, ConcurrentScrapesUnderLoadStayParseableAndMonotone) {
+  serve::InferenceServer server;
+  const int port = server.start_exporter({});
+  Registry& reg = Registry::global();
+
+  constexpr int kWriters = 4;
+  constexpr int kScrapers = 3;
+  constexpr auto kDuration = std::chrono::milliseconds(400);
+  std::atomic<bool> stop{false};
+  std::atomic<int> parse_failures{0};
+  std::atomic<int> monotonicity_violations{0};
+  std::atomic<int> scrapes{0};
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&reg, w, &stop] {
+      Counter c = reg.counter("dsx_test_scrape_total",
+                              {{"writer", std::to_string(w)}});
+      Histogram h = reg.histogram("dsx_test_scrape_us",
+                                  {{"writer", std::to_string(w)}});
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        c.inc();
+        h.record(100 + (i++ % 1000));
+      }
+    });
+  }
+  std::vector<std::thread> scrapers;
+  scrapers.reserve(kScrapers);
+  for (int s = 0; s < kScrapers; ++s) {
+    scrapers.emplace_back([&, s] {
+      const std::string series = "dsx_test_scrape_total{writer=\"" +
+                                 std::to_string(s % kWriters) + "\"}";
+      double last = -1.0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        HttpResponse r;
+        try {
+          r = http_get("127.0.0.1", port, "/metrics");
+        } catch (const Error&) {
+          continue;  // accept-queue full under sanitizer load: retry
+        }
+        if (r.status != 200 || !exposition_well_formed(r.body)) {
+          parse_failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+        const double v = scrape_series(r.body, series);
+        if (v < last) {
+          monotonicity_violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (v >= 0.0) last = v;
+      }
+    });
+  }
+  std::this_thread::sleep_for(kDuration);
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+  for (std::thread& t : scrapers) t.join();
+
+  EXPECT_EQ(parse_failures.load(), 0);
+  EXPECT_EQ(monotonicity_violations.load(), 0);
+  EXPECT_GT(scrapes.load(), 0);  // the loop really scraped under load
+  server.stop();
 }
 
 }  // namespace
