@@ -237,15 +237,19 @@ int main(int argc, char** argv) {
   ok = bench::shape_check(claim, best.qps >= 0.7 * base.qps) && ok;
 
   // ---- dsx::obs overhead at the largest batch ------------------------------
-  // Three configurations through the identical pipeline: detached metric
-  // handles (baseline), registry metrics attached with tracing off (the
-  // always-on production configuration), and metrics + 1-in-64 request
-  // tracing. Best-of-N so a scheduler hiccup doesn't fail the gate.
-  bench::banner("dsx::obs overhead (metrics + sampled tracing)");
+  // Four configurations through the identical pipeline: detached metric
+  // handles (baseline), registry metrics attached with tracing off, metrics
+  // + 1-in-64 request tracing, and metrics + the flight recorder at its
+  // default 100 ms absolute threshold (the always-on production
+  // configuration: every reply judged, nothing promoted on a healthy run).
+  // Best-of-N so a scheduler hiccup doesn't fail the gate.
+  bench::banner("dsx::obs overhead (metrics + sampled tracing + flight)");
   const int64_t obs_batch = batches.back();
   const int obs_reps = smoke ? 2 : 3;
-  const auto obs_best = [&](const std::string& metric_model, int sampling) {
+  const auto obs_best = [&](const std::string& metric_model, int sampling,
+                            bool flight) {
     obs::set_trace_sampling(sampling);
+    obs::flight::set_flight_enabled(flight);
     double best_q = 0.0;
     for (int i = 0; i < obs_reps; ++i) {
       const Result r = run_config(model, obs_batch, clients, per_client,
@@ -253,13 +257,17 @@ int main(int argc, char** argv) {
       best_q = std::max(best_q, r.qps);
     }
     obs::set_trace_sampling(0);
+    obs::flight::set_flight_enabled(false);
     return best_q;
   };
-  const double qps_plain = obs_best("", 0);
-  const double qps_metrics = obs_best("mobilenet-scc", 0);
+  const double qps_plain = obs_best("", 0, false);
+  const double qps_metrics = obs_best("mobilenet-scc", 0, false);
   const std::string scrape1 = obs::Registry::global().prometheus_text();
-  const double qps_traced = obs_best("mobilenet-scc", 64);
+  const double qps_traced = obs_best("mobilenet-scc", 64, false);
   const std::string scrape2 = obs::Registry::global().prometheus_text();
+  obs::flight::set_absolute_threshold_us(100'000);
+  const double qps_flight = obs_best("mobilenet-scc", 0, true);
+  obs::flight::set_flight_enabled(true);  // process default: capture on
 
   // Exporter on: metrics attached AND a live HTTP scrape loop hammering
   // GET /metrics for the whole measurement - the serving-isolation claim
@@ -283,7 +291,7 @@ int main(int argc, char** argv) {
         std::this_thread::sleep_for(std::chrono::milliseconds(10));
       }
     });
-    qps_exporter = obs_best("mobilenet-scc", 0);
+    qps_exporter = obs_best("mobilenet-scc", 0, false);
     scrape_stop.store(true, std::memory_order_relaxed);
     scraper.join();
     exporter.stop();
@@ -296,22 +304,26 @@ int main(int argc, char** argv) {
                      bench::fmt(qps_metrics / qps_plain) + "x"});
   obs_table.add_row({"metrics + trace 1-in-64", bench::fmt(qps_traced, 0),
                      bench::fmt(qps_traced / qps_plain) + "x"});
+  obs_table.add_row({"metrics + flight recorder (100ms)",
+                     bench::fmt(qps_flight, 0),
+                     bench::fmt(qps_flight / qps_plain) + "x"});
   obs_table.add_row({"metrics + HTTP scrape loop (" +
                          std::to_string(scrapes_during) + " scrapes)",
                      bench::fmt(qps_exporter, 0),
                      bench::fmt(qps_exporter / qps_plain) + "x"});
   obs_table.print();
 
-  char obs_record[400];
+  char obs_record[512];
   std::snprintf(
       obs_record, sizeof(obs_record),
       "{\"op\":\"serve_obs\",\"model\":\"mobilenet-scc\",\"max_batch\":%lld,"
       "\"qps_plain\":%.1f,\"qps_metrics\":%.1f,\"qps_traced_1in64\":%.1f,"
-      "\"qps_exporter\":%.1f,\"scrapes\":%lld,"
-      "\"metrics_ratio\":%.3f,\"traced_ratio\":%.3f,\"exporter_ratio\":%.3f}",
+      "\"qps_flight\":%.1f,\"qps_exporter\":%.1f,\"scrapes\":%lld,"
+      "\"metrics_ratio\":%.3f,\"traced_ratio\":%.3f,\"flight_ratio\":%.3f,"
+      "\"exporter_ratio\":%.3f}",
       static_cast<long long>(obs_batch), qps_plain, qps_metrics, qps_traced,
-      qps_exporter, static_cast<long long>(scrapes_during),
-      qps_metrics / qps_plain, qps_traced / qps_plain,
+      qps_flight, qps_exporter, static_cast<long long>(scrapes_during),
+      qps_metrics / qps_plain, qps_traced / qps_plain, qps_flight / qps_plain,
       qps_exporter / qps_plain);
   std::printf("\nJSON %s\n\n", obs_record);
   json.add(obs_record);
@@ -322,6 +334,11 @@ int main(int argc, char** argv) {
                 "baseline QPS (%.0f vs %.0f)",
                 qps_metrics, qps_plain);
   ok = bench::shape_check(claim, qps_metrics >= 0.97 * qps_plain) && ok;
+  std::snprintf(claim, sizeof(claim),
+                "obs overhead: flight recorder on (100ms absolute, nothing "
+                "promoted) keeps >= 0.97x baseline QPS (%.0f vs %.0f)",
+                qps_flight, qps_plain);
+  ok = bench::shape_check(claim, qps_flight >= 0.97 * qps_plain) && ok;
   std::snprintf(claim, sizeof(claim),
                 "obs overhead: serving under a live /metrics scrape loop "
                 "keeps >= 0.97x baseline QPS (%.0f vs %.0f, %lld scrapes)",

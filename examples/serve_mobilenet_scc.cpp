@@ -31,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -254,6 +255,27 @@ int run_metrics_endpoint_demo(int port, double slo_p99_ms) {
   for (int i = 0; i < 8; ++i) {
     requests.push_back(random_uniform(make_nchw(1, 3, image, image), img_rng));
   }
+
+  // Force one genuine tail outlier so /outliers, the /metrics exemplars and
+  // their /trace timelines have something real to show: a helper thread
+  // holds the process execution lock ~80 ms while one request is in flight,
+  // so that request's reply-time latency trips the (lowered) absolute
+  // threshold and the flight recorder promotes its capture.
+  obs::flight::set_absolute_threshold_us(50'000);
+  {
+    std::thread holder([] {
+      std::lock_guard<std::mutex> lock(serve::execution_mutex());
+      std::this_thread::sleep_for(std::chrono::milliseconds(80));
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    (void)server.infer("mobilenet-scc", requests[0]);
+    holder.join();
+  }
+  std::printf("flight recorder: %lld capture(s) promoted; "
+              "curl http://127.0.0.1:%d/outliers\n",
+              static_cast<long long>(obs::flight::flight_stats().promoted),
+              bound);
+
   const auto t_end = std::chrono::steady_clock::now() + kServeFor;
   int64_t answered = 0;
   while (std::chrono::steady_clock::now() < t_end) {

@@ -13,7 +13,10 @@
 #                                build-sanitize/ and run the tier-1 suite
 #                                under the sanitizers (test_simd included:
 #                                that is what catches pack-buffer overruns
-#                                and misaligned loads in the simd kernels)
+#                                and misaligned loads in the simd kernels),
+#                                then build Debug + TSan in build-tsan/ and
+#                                run the obs string-interning suite
+#                                (Intern.*) under it
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -118,6 +121,47 @@ if [[ "${FAST}" != "1" ]]; then
     [[ "${HZ}" == "200" ]] \
       || { echo "http smoke: healthy /healthz returned ${HZ}" >&2
            kill "${SRV_PID}"; exit 1; }
+
+    # Flight recorder end to end: the demo forces one genuinely slow request
+    # (execution lock held ~80 ms against a 50 ms threshold), so /outliers
+    # must carry a promoted capture with the per-phase span breakdown, a
+    # fresh exposition scrape must attach its trace id as an OpenMetrics
+    # exemplar on a native bucket line, and that id must resolve to real
+    # span events in /trace. Poll briefly: the forced outlier runs right
+    # after the port line is printed.
+    OUTLIER_OK=""
+    for _ in $(seq 1 40); do
+      ${CURL} "http://127.0.0.1:${PORT}/outliers" > outliers_ci.json || true
+      if grep -q '"verdict":"absolute"' outliers_ci.json; then
+        OUTLIER_OK=1; break
+      fi
+      sleep 0.25
+    done
+    [[ -n "${OUTLIER_OK}" ]] \
+      || { echo "flight smoke: forced outlier never promoted (absolute)" >&2
+           kill "${SRV_PID}"; exit 1; }
+    grep -q '"model":"mobilenet-scc"' outliers_ci.json \
+      || { echo "flight smoke: /outliers has no mobilenet-scc capture" >&2
+           kill "${SRV_PID}"; exit 1; }
+    grep -q '"batch_execute"' outliers_ci.json \
+      || { echo "flight smoke: capture lacks the batch_execute span" >&2
+           kill "${SRV_PID}"; exit 1; }
+    ${CURL} "http://127.0.0.1:${PORT}/metrics" > metrics_flight_ci.txt
+    grep -q '# {trace_id="' metrics_flight_ci.txt \
+      || { echo "flight smoke: no OpenMetrics exemplar on /metrics" >&2
+           kill "${SRV_PID}"; exit 1; }
+    EXEMPLAR_ID="$(sed -n 's/.*# {trace_id="\([0-9]*\)".*/\1/p' \
+      metrics_flight_ci.txt | head -n 1)"
+    [[ -n "${EXEMPLAR_ID}" ]] \
+      || { echo "flight smoke: exemplar trace_id unparseable" >&2
+           kill "${SRV_PID}"; exit 1; }
+    ${CURL} "http://127.0.0.1:${PORT}/trace" | grep -q "\"tid\":${EXEMPLAR_ID}" \
+      || { echo "flight smoke: exemplar trace_id ${EXEMPLAR_ID} not in /trace" >&2
+           kill "${SRV_PID}"; exit 1; }
+    ${CURL} "http://127.0.0.1:${PORT}/journal.json" \
+      | grep -q '"kind":"register"' \
+      || { echo "http smoke: /journal.json missing register event" >&2
+           kill "${SRV_PID}"; exit 1; }
     kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
 
     rm -f serve_metrics_ci.log
@@ -150,7 +194,8 @@ if [[ "${FAST}" != "1" ]]; then
       || { echo "http smoke: health transition not journaled" >&2
            kill "${SRV_PID}"; exit 1; }
     kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
-    rm -f serve_metrics_ci.log metrics_http_ci.txt healthz_ci.json
+    rm -f serve_metrics_ci.log metrics_http_ci.txt healthz_ci.json \
+      outliers_ci.json metrics_flight_ci.txt
     echo "http smoke OK"
   else
     echo "curl not available; skipping HTTP endpoint smoke"
@@ -177,6 +222,20 @@ if [[ "${SANITIZE}" == "1" ]]; then
 
   echo "== tier-1 tests (ASan+UBSan) =="
   ctest --test-dir build-sanitize --output-on-failure -j"${JOBS}" --timeout 600
+
+  # TSan is incompatible with ASan, so it gets its own tree. The trace rings
+  # are single-writer-torn-read BY DESIGN (TSan would flag them), so this
+  # tier runs only the Intern.* suite: obs::intern() hands out pointers that
+  # concurrent span recorders dereference forever, making it the one obs
+  # primitive whose thread-safety must hold to the letter.
+  echo "== configure (TSan Debug) =="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DDSX_SANITIZE_THREAD=ON
+
+  echo "== build (TSan Debug, test_obs) =="
+  cmake --build build-tsan -j"${JOBS}" --target test_obs
+
+  echo "== obs intern tests (TSan) =="
+  ./build-tsan/test_obs --gtest_filter='Intern.*'
 fi
 
 echo "CI OK"

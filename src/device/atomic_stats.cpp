@@ -38,6 +38,14 @@ double LogHistogram::bucket_value(int bucket) {
   return std::sqrt(lower * upper);
 }
 
+double LogHistogram::bucket_upper(int bucket) {
+  if (bucket < (1 << kSubBits)) return static_cast<double>(bucket);  // exact
+  const int octave = bucket >> kSubBits;
+  const int sub = bucket & ((1 << kSubBits) - 1);
+  return std::ldexp(1.0 + static_cast<double>(sub + 1) / (1 << kSubBits),
+                    octave);
+}
+
 void LogHistogram::record(int64_t value) {
   if (value < 0) value = 0;
   count_.fetch_add(1, std::memory_order_relaxed);

@@ -115,10 +115,16 @@ class LogHistogram {
   /// geometric midpoint of the bucket's range). Exposed for consumers that
   /// classify BucketSnapshot deltas against a threshold (SLO burn rates).
   static double bucket_value(int bucket);
-
- private:
+  /// Upper edge of bucket `b`: exact for b < 8 (the bucket holds exactly
+  /// value b, so the edge is inclusive), else the exclusive upper bound of
+  /// the sub-bucket's range. The `le` boundary for Prometheus-style
+  /// cumulative bucket exposition over BucketSnapshot counts.
+  static double bucket_upper(int bucket);
+  /// The bucket a sample lands in (exposed so consumers can key bounded
+  /// per-range state - exemplar slots - consistently with the histogram).
   static int bucket_of(int64_t value);
 
+ private:
   std::atomic<int64_t> count_{0};
   std::atomic<int64_t> sum_{0};
   std::atomic<int64_t> min_{INT64_MAX};

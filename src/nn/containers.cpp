@@ -32,8 +32,9 @@ Tensor Sequential::forward(const Tensor& input, bool training) {
 Tensor Sequential::forward_inference(const Tensor& input, Workspace& ws) {
   Tensor x = input;
   // Per-layer timing for dsx::obs request traces: the serving tier installs
-  // a thread-local sink around CompiledModel::run for SAMPLED requests only
-  // (null otherwise - one thread-local load per forward). The timed loop
+  // a thread-local sink around CompiledModel::run for batches that are
+  // head-sampled (DSX_TRACE) or flight-recorded (obs::flight, on by
+  // default; null otherwise - one thread-local load per forward). The timed loop
   // calls the exact same layer sequence, so numerics are identical; nested
   // Sequentials (residual blocks) report their sublayers into the same
   // sink, which renders as nested spans.

@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/journal.hpp"
 #include "obs/trace.hpp"
 
@@ -251,12 +252,17 @@ std::string Exporter::respond(const std::string& method,
   }
   if (path == "/metrics") {
     requests_metrics_.inc();
+    publish_trace_stats();
+    Registry::Exposition expo;
+    expo.native_histogram_buckets = true;
+    expo.exemplars = true;
     return make_response(200, "OK",
                          "text/plain; version=0.0.4; charset=utf-8",
-                         Registry::global().prometheus_text());
+                         Registry::global().prometheus_text(expo));
   }
   if (path == "/metrics.json") {
     requests_other_.inc();
+    publish_trace_stats();
     return make_response(200, "OK", "application/json",
                          Registry::global().json_snapshot());
   }
@@ -287,15 +293,31 @@ std::string Exporter::respond(const std::string& method,
     return make_response(200, "OK", "text/plain; charset=utf-8",
                          Journal::global().to_text());
   }
+  if (path == "/journal.json") {
+    requests_other_.inc();
+    return make_response(200, "OK", "application/json",
+                         Journal::global().to_json());
+  }
+  if (path == "/outliers") {
+    requests_other_.inc();
+    return make_response(200, "OK", "application/json",
+                         flight::outliers_json());
+  }
   if (path == "/") {
     requests_other_.inc();
     return make_response(200, "OK", "text/plain",
                          "dsx exporter endpoints:\n"
-                         "  /metrics       Prometheus text exposition\n"
+                         "  /metrics       Prometheus text exposition "
+                         "(native buckets + exemplars)\n"
                          "  /metrics.json  metrics snapshot as JSON\n"
                          "  /healthz       SLO health (200/503 + JSON)\n"
                          "  /trace         Chrome trace-event JSON\n"
-                         "  /journal       control-plane event journal\n");
+                         "  /journal       control-plane event journal "
+                         "(text)\n"
+                         "  /journal.json  control-plane event journal "
+                         "(JSON)\n"
+                         "  /outliers      flight-recorder top-K outliers "
+                         "per model (JSON)\n");
   }
   errors_.inc();
   return make_response(404, "Not Found", "text/plain",

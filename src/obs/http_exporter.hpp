@@ -5,12 +5,16 @@
 // HTTP/1.1 server on plain BSD sockets (no dependencies) that makes the
 // same surfaces scrapeable from outside:
 //
-//   GET /metrics       Prometheus text exposition (Registry::global())
-//   GET /metrics.json  the same snapshot as JSON
+//   GET /metrics       Prometheus text exposition (Registry::global()),
+//                      native histogram buckets + OpenMetrics exemplars
+//   GET /metrics.json  the same snapshot as JSON (exemplars included)
 //   GET /healthz       200/503 from the SLO engine's aggregate health,
 //                      JSON body with per-model states (503 iff critical)
 //   GET /trace         retained trace events as Chrome trace-event JSON
 //   GET /journal       the control-plane event journal, one line per event
+//   GET /journal.json  the same journal, structured JSON
+//   GET /outliers      flight-recorder top-K latency outliers per model,
+//                      with per-span breakdowns (JSON)
 //
 // Serving-path isolation is the design constraint: the exporter runs an
 // accept thread plus a small bounded worker pool, so a slow or stuck

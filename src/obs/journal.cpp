@@ -40,9 +40,35 @@ const char* event_kind_name(EventKind kind) {
       return "isa_select";
     case EventKind::kHealth:
       return "health";
+    case EventKind::kFlight:
+      return "flight";
   }
   return "?";
 }
+
+namespace {
+
+std::string json_escape(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 Journal& Journal::global() {
   static Journal* journal = [] {
@@ -111,6 +137,47 @@ std::string Journal::to_text() const {
     if (!ev.detail.empty()) out << ": " << ev.detail;
     out << "\n";
   }
+  return out.str();
+}
+
+std::string Journal::to_json() const {
+  std::vector<Event> snapshot;
+  uint64_t recorded_count = 0;
+  uint64_t dropped_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.assign(ring_.begin(), ring_.end());
+    recorded_count = next_seq_;
+    dropped_count = dropped_;
+  }
+  std::ostringstream out;
+  out << "{\"events\":[";
+  bool first = true;
+  for (const Event& ev : snapshot) {
+    if (!first) out << ",";
+    first = false;
+    const std::time_t t = std::chrono::system_clock::to_time_t(ev.wall);
+    std::tm tm_buf{};
+    gmtime_r(&t, &tm_buf);
+    char stamp[40];
+    std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &tm_buf);
+    const int64_t ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            ev.wall.time_since_epoch())
+            .count() %
+        1000;
+    char wall[56];
+    std::snprintf(wall, sizeof(wall), "%s.%03dZ", stamp,
+                  static_cast<int>(ms < 0 ? 0 : ms));
+    out << "{\"seq\":" << ev.seq << ",\"ts_ns\":" << ev.ts_ns
+        << ",\"wall\":\"" << wall << "\",\"kind\":\""
+        << event_kind_name(ev.kind) << "\",\"scope\":\""
+        << json_escape(ev.scope) << "\",\"detail\":\""
+        << json_escape(ev.detail) << "\"}";
+  }
+  out << "],\"recorded\":" << recorded_count
+      << ",\"dropped\":" << dropped_count << ",\"capacity\":" << capacity_
+      << "}";
   return out.str();
 }
 

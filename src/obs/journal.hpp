@@ -33,6 +33,7 @@ enum class EventKind {
   kTuneMeasure,  // tuner measured a problem and recorded a winner
   kIsaSelect,    // simd dispatch picked the process ISA level
   kHealth,       // SLO engine health transition (detail: evaluation)
+  kFlight,       // flight recorder armed/disarmed (detail: cooldown, floor)
 };
 
 const char* event_kind_name(EventKind kind);
@@ -72,6 +73,10 @@ class Journal {
 
   /// Human-readable dump, one "seq time kind scope: detail" line per event.
   std::string to_text() const;
+  /// Structured dump: {"events":[{seq,ts_ns,wall,kind,scope,detail}...],
+  /// "recorded":N,"dropped":N,"capacity":N}. `wall` is ISO-8601 UTC with
+  /// millisecond precision (the machine-readable 14:02 answer).
+  std::string to_json() const;
 
   void clear();
 

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <sstream>
@@ -128,6 +129,48 @@ bool labels_contain(const Labels& cell_labels, const Labels& match) {
 
 }  // namespace
 
+// ---- Histogram exemplars ---------------------------------------------------
+
+void Histogram::record_exemplar(int64_t value, uint64_t trace_id) {
+  if (cell_ == nullptr) return;
+  const int bucket = device::LogHistogram::bucket_of(value);
+  const int slot_idx = std::min(
+      detail::kExemplarSlots - 1,
+      bucket * detail::kExemplarSlots / device::LogHistogram::kBuckets);
+  detail::ExemplarSlot& slot =
+      cell_->exemplars[static_cast<size_t>(slot_idx)];
+  // Seqlock write: claim the slot by stepping seq to odd; a concurrent
+  // writer (promotion-rate, so vanishingly rare) makes us drop ours.
+  uint64_t seq = slot.seq.load(std::memory_order_relaxed);
+  if (seq & 1) return;
+  if (!slot.seq.compare_exchange_strong(seq, seq + 1,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
+  slot.value = static_cast<double>(value);
+  slot.trace_id = trace_id;
+  slot.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::system_clock::now().time_since_epoch())
+                     .count();
+  slot.seq.store(seq + 2, std::memory_order_release);
+}
+
+std::vector<Exemplar> Histogram::exemplars() const {
+  std::vector<Exemplar> out;
+  if (cell_ == nullptr) return out;
+  for (const detail::ExemplarSlot& slot : cell_->exemplars) {
+    const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+    if (seq == 0 || (seq & 1)) continue;  // never written / mid-write
+    Exemplar e;
+    e.value = slot.value;
+    e.trace_id = slot.trace_id;
+    e.wall_ms = slot.wall_ms;
+    if (slot.seq.load(std::memory_order_acquire) != seq) continue;  // torn
+    out.push_back(e);
+  }
+  return out;
+}
+
 Registry& Registry::global() {
   static Registry registry;
   return registry;
@@ -180,7 +223,7 @@ Histogram Registry::histogram(const std::string& name, const Labels& labels,
   return Histogram(cell(MetricType::kHistogram, name, labels, help));
 }
 
-std::string Registry::prometheus_text() const {
+std::string Registry::prometheus_text(const Exposition& expo) const {
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   std::string current;  // metric name whose HELP/TYPE block is open
@@ -191,9 +234,11 @@ std::string Registry::prometheus_text() const {
         out << "# HELP " << cell->name << " " << escape_help(cell->help)
             << "\n";
       }
-      // Histograms are exported summary-style (precomputed quantiles).
+      // Histograms default to summary-style (precomputed quantiles); the
+      // native-bucket exposition switches them to TYPE histogram.
       const char* t = cell->type == MetricType::kHistogram
-                          ? "summary"
+                          ? (expo.native_histogram_buckets ? "histogram"
+                                                           : "summary")
                           : type_name(cell->type);
       out << "# TYPE " << cell->name << " " << t << "\n";
     }
@@ -208,6 +253,59 @@ std::string Registry::prometheus_text() const {
         break;
       case MetricType::kHistogram: {
         const device::LogHistogram::Snapshot s = cell->hist.snapshot();
+        if (expo.native_histogram_buckets) {
+          // Sparse cumulative buckets: one le= line per non-empty
+          // LogHistogram bucket plus the mandatory +Inf. Exemplars (if
+          // enabled) attach to the first bucket whose upper edge covers
+          // their value, OpenMetrics syntax: `# {labels} value ts`.
+          std::vector<Exemplar> ex;
+          if (expo.exemplars) {
+            ex = Histogram(cell.get()).exemplars();
+            std::sort(ex.begin(), ex.end(),
+                      [](const Exemplar& a, const Exemplar& b) {
+                        return a.value < b.value;
+                      });
+          }
+          size_t next_ex = 0;
+          const device::LogHistogram::BucketSnapshot bs =
+              cell->hist.bucket_snapshot();
+          int64_t cumulative = 0;
+          for (int b = 0; b < device::LogHistogram::kBuckets; ++b) {
+            const int64_t n = bs.buckets[static_cast<size_t>(b)];
+            if (n == 0) continue;
+            cumulative += n;
+            const double upper = device::LogHistogram::bucket_upper(b);
+            out << cell->name << "_bucket"
+                << label_block(cell->labels,
+                               "le=\"" + format_double(upper) + "\"")
+                << " " << cumulative;
+            if (next_ex < ex.size() && ex[next_ex].value <= upper) {
+              const Exemplar& e = ex[next_ex++];
+              char ts[40];
+              std::snprintf(ts, sizeof(ts), "%.3f",
+                            static_cast<double>(e.wall_ms) / 1000.0);
+              out << " # {trace_id=\"" << e.trace_id << "\"} "
+                  << format_double(e.value) << " " << ts;
+              // Collapse any further exemplars in the same bucket (one
+              // exemplar per bucket line).
+              while (next_ex < ex.size() && ex[next_ex].value <= upper) {
+                ++next_ex;
+              }
+            }
+            out << "\n";
+          }
+          out << cell->name << "_bucket"
+              << label_block(cell->labels, "le=\"+Inf\"") << " " << s.count;
+          if (next_ex < ex.size()) {
+            const Exemplar& e = ex[next_ex];
+            char ts[40];
+            std::snprintf(ts, sizeof(ts), "%.3f",
+                          static_cast<double>(e.wall_ms) / 1000.0);
+            out << " # {trace_id=\"" << e.trace_id << "\"} "
+                << format_double(e.value) << " " << ts;
+          }
+          out << "\n";
+        }
         out << cell->name << label_block(cell->labels, "quantile=\"0.5\"")
             << " " << format_double(s.p50) << "\n";
         out << cell->name << label_block(cell->labels, "quantile=\"0.99\"")
@@ -255,6 +353,19 @@ std::string Registry::json_snapshot() const {
             << ",\"max\":" << format_double(s.max)
             << ",\"p50\":" << format_double(s.p50)
             << ",\"p99\":" << format_double(s.p99);
+        const std::vector<Exemplar> ex = Histogram(cell.get()).exemplars();
+        if (!ex.empty()) {
+          out << ",\"exemplars\":[";
+          bool efirst = true;
+          for (const Exemplar& e : ex) {
+            if (!efirst) out << ",";
+            efirst = false;
+            out << "{\"value\":" << format_double(e.value)
+                << ",\"trace_id\":" << e.trace_id
+                << ",\"wall_ms\":" << e.wall_ms << "}";
+          }
+          out << "]";
+        }
         break;
       }
     }
@@ -314,6 +425,12 @@ void Registry::reset_values_for_test() {
     cell->counter.store(0, std::memory_order_relaxed);
     cell->gauge.store(0, std::memory_order_relaxed);
     cell->hist.reset();
+    for (detail::ExemplarSlot& slot : cell->exemplars) {
+      slot.value = 0.0;
+      slot.trace_id = 0;
+      slot.wall_ms = 0;
+      slot.seq.store(0, std::memory_order_relaxed);
+    }
   }
 }
 

@@ -23,6 +23,8 @@
 // ModelStats) keep their restart-on-swap semantics.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -41,7 +43,31 @@ enum class MetricType { kCounter, kGauge, kHistogram };
 /// order identifies the same series.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+/// One exported histogram exemplar: a recorded value linked to the trace
+/// that explains it (the OpenMetrics idiom - the flight recorder writes
+/// these at promotion time, so an alarming series points at a timeline).
+struct Exemplar {
+  double value = 0.0;
+  uint64_t trace_id = 0;
+  int64_t wall_ms = 0;  // unix epoch milliseconds at promotion
+};
+
 namespace detail {
+
+/// Bounded per-range exemplar slots per histogram cell: slot index is
+/// derived from the sample's log-bucket, so a fast-path flood never evicts
+/// the slow outlier's exemplar (they live in different ranges).
+inline constexpr int kExemplarSlots = 8;
+
+/// One seqlock-guarded exemplar slot. Writers are promotion-rate (rare);
+/// readers (scrapes) retry-free skip a torn slot. seq == 0 = never written,
+/// odd = write in progress.
+struct ExemplarSlot {
+  std::atomic<uint64_t> seq{0};
+  double value = 0.0;
+  uint64_t trace_id = 0;
+  int64_t wall_ms = 0;
+};
 
 /// One registered series. Cells are owned by the Registry, never freed, so
 /// handles stay valid for the process lifetime.
@@ -53,6 +79,7 @@ struct MetricCell {
   std::atomic<int64_t> counter{0};
   std::atomic<int64_t> gauge{0};
   device::LogHistogram hist;
+  std::array<ExemplarSlot, kExemplarSlots> exemplars;
 };
 
 }  // namespace detail
@@ -115,6 +142,13 @@ class Histogram {
     return cell_ != nullptr ? cell_->hist.bucket_snapshot()
                             : device::LogHistogram::BucketSnapshot{};
   }
+  /// Files an exemplar for `value` into the cell's bounded per-range slots
+  /// (slot = the value's log-bucket range, so outlier exemplars survive
+  /// fast-path floods). Call at promotion rate, not per sample; a write
+  /// racing another writer in the same slot is dropped. Detached = no-op.
+  void record_exemplar(int64_t value, uint64_t trace_id);
+  /// Valid exemplars currently held, unordered. Torn slots are skipped.
+  std::vector<Exemplar> exemplars() const;
   bool attached() const { return cell_ != nullptr; }
 
  private:
@@ -144,11 +178,29 @@ class Registry {
   Histogram histogram(const std::string& name, const Labels& labels = {},
                       const std::string& help = "");
 
+  /// Exposition options for prometheus_text. The default (all off) keeps
+  /// the summary-style output exactly as before - opt in per scrape
+  /// surface.
+  struct Exposition {
+    /// Export histograms as native Prometheus TYPE histogram with
+    /// cumulative `_bucket{le="..."}` series (sparse: only non-empty
+    /// LogHistogram buckets, plus le="+Inf") so histogram_quantile() can
+    /// aggregate across instances. The summary-style quantile series are
+    /// still emitted alongside (same ~6% bucket-resolution contract).
+    bool native_histogram_buckets = false;
+    /// Attach OpenMetrics exemplars (`# {trace_id="..."} value timestamp`)
+    /// to the bucket lines their value falls in. Requires
+    /// native_histogram_buckets (exemplars attach to buckets).
+    bool exemplars = false;
+  };
+
   /// Prometheus text exposition: one # HELP / # TYPE block per metric name,
   /// histograms exported summary-style (quantile="0.5"/"0.99" series plus
   /// _sum and _count). Values are relaxed reads - consistent enough for
   /// scraping, exact when writers are quiescent.
-  std::string prometheus_text() const;
+  std::string prometheus_text() const { return prometheus_text(Exposition{}); }
+  /// Exposition with explicit options (native buckets, exemplars).
+  std::string prometheus_text(const Exposition& expo) const;
   /// The same snapshot as a JSON object {"metrics": [...]}.
   std::string json_snapshot() const;
 

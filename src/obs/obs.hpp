@@ -8,6 +8,10 @@
 //   trace.hpp     sampled per-request timelines in per-thread lock-free
 //                 rings, exported as Chrome trace-event JSON for Perfetto
 //                 ("where did this request's time go");
+//   flight.hpp    tail-based capture: every request's spans are judged at
+//                 reply time and promoted iff the request turned out
+//                 interesting - slow, errored or shed ("why was THAT one
+//                 slow", answered after the fact);
 //   journal.hpp   a bounded ring of structured control-plane events - swaps,
 //                 promotions, rollbacks + reasons, guardrail verdicts, tuner
 //                 measurements, ISA selection ("what happened, in order").
@@ -18,8 +22,8 @@
 //                      deltas of the registry series with multi-window
 //                      burn-rate rules ("is it healthy, right now");
 //   http_exporter.hpp  a no-dependency HTTP/1.1 endpoint serving /metrics,
-//                      /metrics.json, /healthz, /trace and /journal to
-//                      external scrapers.
+//                      /metrics.json, /healthz, /trace, /journal[.json] and
+//                      /outliers to external scrapers.
 //
 // The stack instruments itself: batchers export queue/batch/shed series and
 // emit request spans, ReplicaSet counts per-replica routing, the deploy tier
@@ -34,6 +38,7 @@
 //     when the instrument is detached).
 #pragma once
 
+#include "obs/flight.hpp"         // IWYU pragma: export
 #include "obs/http_exporter.hpp"  // IWYU pragma: export
 #include "obs/journal.hpp"        // IWYU pragma: export
 #include "obs/metrics.hpp"        // IWYU pragma: export

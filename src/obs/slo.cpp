@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/journal.hpp"
 #include "obs/trace.hpp"
 
@@ -250,6 +251,11 @@ Evaluation SloEngine::evaluate_locked(const std::string& model,
     // The journal mutex is a leaf, so recording under mu_ keeps the
     // transition ordered with the evaluation that caused it.
     Journal::global().record(EventKind::kHealth, model, ev.detail);
+    // Health worsened: arm the flight recorder so the tail that tripped the
+    // SLO gets captured aggressively while the incident is live.
+    if (static_cast<int>(ev.health) > static_cast<int>(ev.previous)) {
+      flight::arm(model, std::chrono::seconds(30));
+    }
   }
   return ev;
 }

@@ -8,6 +8,8 @@
 #include <sstream>
 #include <unordered_set>
 
+#include "obs/metrics.hpp"
+
 namespace dsx::obs {
 
 namespace {
@@ -148,6 +150,28 @@ TraceStats trace_stats() {
     ++s.threads;
   }
   return s;
+}
+
+void publish_trace_stats() {
+  static Gauge retained = Registry::global().gauge(
+      "dsx_obs_trace_retained", {},
+      "Trace events currently held across all per-thread rings");
+  static Gauge threads = Registry::global().gauge(
+      "dsx_obs_trace_threads", {}, "Per-thread trace rings registered");
+  static Counter dropped = Registry::global().counter(
+      "dsx_obs_trace_dropped_total", {},
+      "Trace events overwritten before export");
+  // The ring drop counters reset on clear_trace(); keep the exported counter
+  // monotone by only ever advancing it by positive deltas against the last
+  // raw reading.
+  static std::mutex mu;
+  static int64_t last_raw_dropped = 0;
+  const TraceStats s = trace_stats();
+  retained.set(s.retained);
+  threads.set(s.threads);
+  std::lock_guard<std::mutex> lock(mu);
+  if (s.dropped > last_raw_dropped) dropped.inc(s.dropped - last_raw_dropped);
+  last_raw_dropped = s.dropped;  // rebase (clear_trace shrank the raw count)
 }
 
 std::vector<TraceEvent> trace_snapshot() {

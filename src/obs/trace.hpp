@@ -90,6 +90,13 @@ struct TraceStats {
 };
 TraceStats trace_stats();
 
+/// Publishes trace_stats() into the metrics registry as
+/// dsx_obs_trace_retained / dsx_obs_trace_threads gauges and the
+/// dsx_obs_trace_dropped_total counter (monotone even across clear_trace(),
+/// which resets the underlying drop counters - the published counter only
+/// ever advances by positive deltas). Call at scrape time.
+void publish_trace_stats();
+
 /// Copies every retained event, oldest-first per ring, sorted by start_ns.
 std::vector<TraceEvent> trace_snapshot();
 

@@ -7,7 +7,52 @@
 #include <utility>
 #include <vector>
 
+#include "obs/flight.hpp"
+
 namespace dsx::serve {
+
+namespace {
+
+/// Builds the span list of a promoted capture from the same timestamps the
+/// trace path uses - materialized only at promotion rate.
+std::vector<obs::flight::Span> make_capture_spans(
+    int64_t enq_ns, int64_t exec_start_ns, int64_t run_start_ns,
+    int64_t run_end_ns, int64_t done_ns,
+    const std::vector<obs::LayerRecord>& layers) {
+  std::vector<obs::flight::Span> spans;
+  spans.reserve(5 + layers.size());
+  const auto push = [&](const char* name, const char* cat, int64_t start,
+                        int64_t end) {
+    spans.push_back({name, cat, start, std::max<int64_t>(0, end - start)});
+  };
+  push("request", "serve", enq_ns, done_ns);
+  push("queue_wait", "serve", enq_ns, exec_start_ns);
+  push("batch_assemble", "serve", exec_start_ns, run_start_ns);
+  push("batch_execute", "serve", run_start_ns, run_end_ns);
+  for (const obs::LayerRecord& layer : layers) {
+    spans.push_back({layer.name, "layer", layer.start_ns, layer.dur_ns});
+  }
+  push("reply", "serve", run_end_ns, done_ns);
+  return spans;
+}
+
+/// The threshold that tripped, for the /outliers row (0 when the verdict
+/// has no threshold - error/shed).
+int64_t verdict_threshold_us(obs::flight::Verdict v,
+                             const obs::flight::ModelState& st) {
+  switch (v) {
+    case obs::flight::Verdict::kAbsolute:
+      return obs::flight::absolute_threshold_us();
+    case obs::flight::Verdict::kAdaptive:
+      return st.adaptive_threshold_us();
+    case obs::flight::Verdict::kArmed:
+      return st.armed_floor_us();
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
 
 Request make_request(const CompiledModel& model, const Tensor& image) {
   const Shape& img = model.image_shape();
@@ -59,6 +104,7 @@ BatcherMetricSet make_batcher_metrics(const std::string& model, int replica) {
       "dsx_serve_request_latency_us", labels,
       "Microseconds from submit to answer (the stats() latency).");
   m.scope = obs::intern(model);
+  m.flight = obs::flight::model_state(m.scope);
   return m;
 }
 
@@ -110,6 +156,11 @@ void BatchCore::execute(std::deque<Request>& batch,
       }
     }
   }
+  // Flight recorder off = the same single relaxed load; on, a scoped batcher
+  // observes every request and judges it at reply time (tail-based capture -
+  // see obs/flight.hpp). Unscoped batchers (flight == nullptr) never pay.
+  const bool flight_on =
+      obs::flight::flight_enabled() && metrics_.flight != nullptr;
   const auto exec_start = std::chrono::steady_clock::now();
   try {
     // Assemble the micro-batch. Per-image results are bit-identical to
@@ -126,16 +177,20 @@ void BatchCore::execute(std::deque<Request>& batch,
     Tensor out;
     int64_t run_start_ns = 0;
     int64_t run_end_ns = 0;
-    std::vector<obs::LayerRecord> layers;
-    if (traced) {
-      layers.reserve(32);
-      const obs::ScopedLayerSink sink(&layers);
+    // Per-batch layer scratch, reused across batches on this worker thread:
+    // unpromoted flight captures recycle it with zero allocation once its
+    // capacity has grown to the plan's layer count.
+    static thread_local std::vector<obs::LayerRecord> layer_scratch;
+    layer_scratch.clear();
+    if (traced || flight_on) {
+      const obs::ScopedLayerSink sink(&layer_scratch);
       run_start_ns = obs::now_ns();
       out = run(images);
       run_end_ns = obs::now_ns();
     } else {
       out = run(images);
     }
+    const std::vector<obs::LayerRecord>& layers = layer_scratch;
 
     // Split [n, ...] into per-request [1, ...] answers.
     Shape row_shape = out.shape();
@@ -159,6 +214,28 @@ void BatchCore::execute(std::deque<Request>& batch,
           std::chrono::duration_cast<std::chrono::microseconds>(exec_start -
                                                                 req.enqueued)
               .count());
+      if (flight_on) {
+        // Reply-time verdict: the outcome is known now, so a slow straggler
+        // promotes its capture even though nothing head-sampled it.
+        const int64_t latency_us = ns / 1000;
+        obs::flight::ModelState* st = metrics_.flight;
+        st->observe(latency_us);
+        const obs::flight::Verdict verdict = st->judge(latency_us);
+        if (verdict != obs::flight::Verdict::kNone) {
+          obs::flight::Capture cap;
+          cap.model = metrics_.scope;
+          cap.trace_id = req.trace_id;  // 0 = promote draws a flight id
+          cap.latency_us = latency_us;
+          cap.threshold_us = verdict_threshold_us(verdict, *st);
+          cap.verdict = verdict;
+          cap.batch = n;
+          cap.spans = make_capture_spans(
+              obs::steady_ns(req.enqueued), obs::steady_ns(exec_start),
+              run_start_ns, run_end_ns, obs::steady_ns(now), layers);
+          const uint64_t id = obs::flight::promote(st, std::move(cap));
+          metrics_.latency.record_exemplar(latency_us, id);
+        }
+      }
     }
     answered_.fetch_add(n, std::memory_order_relaxed);
     batches_.fetch_add(1, std::memory_order_relaxed);
@@ -181,6 +258,26 @@ void BatchCore::execute(std::deque<Request>& batch,
     batches_.fetch_add(1, std::memory_order_relaxed);
     metrics_.requests.inc(n);
     metrics_.batches.inc();
+    if (flight_on) {
+      // The batch threw: every request in it is interesting (kError). Only
+      // the queue_wait span is reconstructible - the run never finished.
+      const auto now = std::chrono::steady_clock::now();
+      const int64_t exec_start_ns = obs::steady_ns(exec_start);
+      for (const Request& req : batch) {
+        obs::flight::Capture cap;
+        cap.model = metrics_.scope;
+        cap.trace_id = req.trace_id;
+        cap.latency_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             now - req.enqueued)
+                             .count();
+        cap.verdict = obs::flight::Verdict::kError;
+        cap.batch = n;
+        const int64_t enq_ns = obs::steady_ns(req.enqueued);
+        cap.spans.push_back({"queue_wait", "serve", enq_ns,
+                             std::max<int64_t>(0, exec_start_ns - enq_ns)});
+        obs::flight::promote(metrics_.flight, std::move(cap));
+      }
+    }
     for (Request& req : batch) {
       req.promise.set_exception(err);
     }

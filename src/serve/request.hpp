@@ -25,6 +25,10 @@
 #include "obs/trace.hpp"
 #include "serve/compiled_model.hpp"
 
+namespace dsx::obs::flight {
+class ModelState;
+}  // namespace dsx::obs::flight
+
 namespace dsx::serve {
 
 /// Request priority classes (dsx::shard). Lower value = more urgent; the
@@ -124,6 +128,9 @@ struct BatcherMetricSet {
   obs::Histogram latency;      // dsx_serve_request_latency_us
   /// Interned scope name for trace/journal annotations ("" = unscoped).
   const char* scope = "";
+  /// Flight-recorder verdict state for this scope (null = unscoped, no
+  /// tail-based capture - mirrors the detached metric handles).
+  obs::flight::ModelState* flight = nullptr;
 };
 
 /// Registers (or re-resolves) the registry series for scope `model`

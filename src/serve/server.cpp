@@ -345,6 +345,10 @@ bool InferenceServer::export_trace_json(const std::string& path) const {
   return obs::export_chrome_trace(path);
 }
 
+std::string InferenceServer::export_outliers_json() const {
+  return obs::flight::outliers_json();
+}
+
 obs::Journal& InferenceServer::journal() const {
   return obs::Journal::global();
 }

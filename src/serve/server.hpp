@@ -134,8 +134,14 @@ class InferenceServer {
   std::string export_metrics_json() const;
   /// Writes the retained trace events as Chrome trace-event JSON (Perfetto
   /// loadable); returns false when the file cannot be written. Enable
-  /// sampling first (DSX_TRACE=N or obs::set_trace_sampling).
+  /// sampling first (DSX_TRACE=N or obs::set_trace_sampling). Tail-based
+  /// capture (the flight recorder, obs/flight.hpp) is separate and ON by
+  /// default: DSX_FLIGHT=off disables it, DSX_FLIGHT=<ms> sets the absolute
+  /// promotion threshold (default 100 ms).
   bool export_trace_json(const std::string& path) const;
+  /// The flight recorder's per-model top-K latency outliers with per-span
+  /// breakdowns, as the same JSON GET /outliers serves.
+  std::string export_outliers_json() const;
   /// The process-wide control-plane event journal (register/swap/shed/...).
   obs::Journal& journal() const;
 

@@ -6,7 +6,9 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/flight.hpp"
 #include "obs/journal.hpp"
+#include "obs/trace.hpp"
 
 namespace dsx::shard {
 
@@ -170,6 +172,25 @@ void DeadlineBatcher::answer(std::deque<serve::Request>& batch,
       obs::Journal::global().record(
           obs::EventKind::kShed, metrics_.scope,
           std::to_string(shed.size()) + " request(s) past deadline");
+    }
+    if (obs::flight::flight_enabled() && metrics_.flight != nullptr) {
+      // Shed = interesting by definition (the request was never executed).
+      // Bound the promotion work per group: a deadline storm sheds hundreds
+      // at once, and four captures already tell the story.
+      const int64_t now_ns = obs::now_ns();
+      size_t promoted = 0;
+      for (serve::Request& req : shed) {
+        if (promoted++ >= 4) break;
+        obs::flight::Capture cap;
+        cap.model = metrics_.scope;
+        cap.trace_id = req.trace_id;
+        const int64_t enq_ns = obs::steady_ns(req.enqueued);
+        cap.latency_us = std::max<int64_t>(0, (now_ns - enq_ns) / 1000);
+        cap.verdict = obs::flight::Verdict::kShed;
+        cap.spans.push_back({"queue_wait", "serve", enq_ns,
+                             std::max<int64_t>(0, now_ns - enq_ns)});
+        obs::flight::promote(metrics_.flight, std::move(cap));
+      }
     }
     const std::exception_ptr err = deadline_error();
     for (serve::Request& req : shed) req.promise.set_exception(err);

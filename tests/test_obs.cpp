@@ -31,6 +31,7 @@
 #include "obs/obs.hpp"
 #include "serve/compiled_model.hpp"
 #include "serve/server.hpp"
+#include "shard/deadline_batcher.hpp"
 #include "tensor/random.hpp"
 
 namespace dsx::obs {
@@ -342,6 +343,9 @@ TEST(Trace, OneInNSamplingIsExact) {
 TEST(Trace, DisabledTracingRecordsNothingFromServing) {
   clear_trace();
   set_trace_sampling(0);
+  // A flight promotion would also land events in the rings; this test pins
+  // down the HEAD-sampling-off contract, so switch tail capture off too.
+  flight::set_flight_enabled(false);
   const int64_t before = trace_stats().recorded;
 
   auto model = make_scc_model(31);
@@ -359,11 +363,15 @@ TEST(Trace, DisabledTracingRecordsNothingFromServing) {
   }
   server.stop();
   EXPECT_EQ(trace_stats().recorded, before);
+  flight::set_flight_enabled(true);
 }
 
 TEST(Trace, EndToEndServerSpansNestAndMatchStats) {
   clear_trace();
   set_trace_sampling(1);  // trace every request
+  // Keep the track count exact: a flight promotion under a slow CI run
+  // would add its own track for an already-traced request.
+  flight::set_flight_enabled(false);
 
   auto model = make_scc_model(17);
   serve::InferenceServer server;
@@ -461,6 +469,7 @@ TEST(Trace, EndToEndServerSpansNestAndMatchStats) {
   EXPECT_EQ(buffer.str(), json);
   std::remove(path.c_str());
   clear_trace();
+  flight::set_flight_enabled(true);
 }
 
 TEST(Trace, RingIsBoundedAndCountsDrops) {
@@ -834,12 +843,25 @@ TEST(Slo, EngineJournalsTransitionsAndExportsSeries) {
 namespace {
 
 /// Every non-comment exposition line must be `name[{labels}] value` with a
-/// fully-parsing numeric value.
+/// fully-parsing numeric value. An OpenMetrics exemplar suffix
+/// (` # {trace_id="..."} value timestamp`) is validated then stripped.
 bool exposition_well_formed(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
+    const size_t exemplar = line.find(" # {");
+    if (exemplar != std::string::npos) {
+      const std::string suffix = line.substr(exemplar + 3);
+      const size_t close = suffix.find("} ");
+      if (close == std::string::npos) return false;
+      // `value timestamp` after the exemplar labels, both numeric.
+      std::istringstream tail(suffix.substr(close + 2));
+      double v = 0.0;
+      double ts = 0.0;
+      if (!(tail >> v >> ts)) return false;
+      line.resize(exemplar);
+    }
     const size_t sp = line.rfind(' ');
     if (sp == std::string::npos || sp + 1 >= line.size()) return false;
     char* end = nullptr;
@@ -905,12 +927,33 @@ TEST(Exporter, EndpointsServeOverHttp) {
   EXPECT_EQ(journal.status, 200);
   EXPECT_NE(journal.body.find("register"), std::string::npos);
 
+  const HttpResponse journal_json =
+      http_get("127.0.0.1", port, "/journal.json");
+  EXPECT_EQ(journal_json.status, 200);
+  EXPECT_NE(journal_json.headers.find("application/json"),
+            std::string::npos);
+  EXPECT_TRUE(json_well_formed(journal_json.body));
+  EXPECT_NE(journal_json.body.find("\"kind\":\"register\""),
+            std::string::npos);
+  EXPECT_NE(journal_json.body.find("\"recorded\":"), std::string::npos);
+
   const HttpResponse trace = http_get("127.0.0.1", port, "/trace");
   EXPECT_EQ(trace.status, 200);
   EXPECT_TRUE(json_well_formed(trace.body));
 
+  const HttpResponse outliers = http_get("127.0.0.1", port, "/outliers");
+  EXPECT_EQ(outliers.status, 200);
+  EXPECT_TRUE(json_well_formed(outliers.body));
+  EXPECT_NE(outliers.body.find("\"outliers\""), std::string::npos);
+
+  // The scraped /metrics also publishes the trace-ring series.
+  EXPECT_NE(metrics.body.find("dsx_obs_trace_retained"), std::string::npos);
+
   EXPECT_EQ(http_get("127.0.0.1", port, "/nope").status, 404);
-  EXPECT_EQ(http_get("127.0.0.1", port, "/").status, 200);
+  const HttpResponse help = http_get("127.0.0.1", port, "/");
+  EXPECT_EQ(help.status, 200);
+  EXPECT_NE(help.body.find("/outliers"), std::string::npos);
+  EXPECT_NE(help.body.find("/journal.json"), std::string::npos);
 
   // Query strings are stripped, Prometheus-style.
   EXPECT_EQ(http_get("127.0.0.1", port, "/healthz?verbose=1").status, 200);
@@ -975,6 +1018,17 @@ TEST(Exporter, HealthzFlipsTo503OnSloBreach) {
     }
   }
   EXPECT_TRUE(journaled);
+
+  // The health downgrade armed the flight recorder for this model (the SLO
+  // hook), and the arming itself was journaled.
+  flight::ModelState* st = flight::model_state("http-breach");
+  ASSERT_NE(st, nullptr);
+  EXPECT_TRUE(st->armed());
+  bool armed_journaled = false;
+  for (const Event& e : Journal::global().events(EventKind::kFlight)) {
+    if (e.scope == "http-breach") armed_journaled = true;
+  }
+  EXPECT_TRUE(armed_journaled);
   server.stop();
 }
 
@@ -1042,6 +1096,463 @@ TEST(Exporter, ConcurrentScrapesUnderLoadStayParseableAndMonotone) {
   EXPECT_EQ(monotonicity_violations.load(), 0);
   EXPECT_GT(scrapes.load(), 0);  // the loop really scraped under load
   server.stop();
+}
+
+// ---- LogHistogram bucket edges (the `le` boundary) -------------------------
+
+TEST(LogHistogram, BucketUpperBoundsEveryValueInTheBucket) {
+  // Small values: the bucket holds exactly that value, the edge is it.
+  for (int64_t v = 0; v < 8; ++v) {
+    EXPECT_EQ(device::LogHistogram::bucket_upper(
+                  device::LogHistogram::bucket_of(v)),
+              static_cast<double>(v));
+  }
+  // Larger values: value < upper edge (exclusive), and the edge of bucket b
+  // is the lower edge of bucket b+1 (contiguous coverage).
+  for (int64_t v : {8, 9, 100, 1000, 99999, 1'000'000'000}) {
+    const int b = device::LogHistogram::bucket_of(v);
+    EXPECT_LT(static_cast<double>(v), device::LogHistogram::bucket_upper(b))
+        << v;
+    EXPECT_GT(device::LogHistogram::bucket_upper(b),
+              device::LogHistogram::bucket_value(b))
+        << v;
+  }
+}
+
+// ---- flight recorder (tail-based capture) ----------------------------------
+
+TEST(Flight, DisabledPromotesNothingFromServing) {
+  flight::reset_for_test();
+  // Threshold 1 us would promote EVERY request - proving the kill switch,
+  // not a tall threshold, is what keeps captures out.
+  flight::set_absolute_threshold_us(1);
+  flight::set_flight_enabled(false);
+  serve::InferenceServer server;
+  server.register_model(
+      "flight-off",
+      std::make_unique<serve::CompiledModel>(
+          make_scc_model(41), Shape{3, kImage, kImage},
+          serve::CompileOptions{.max_batch = 4}),
+      {.max_batch = 4});
+  Rng rng(11);
+  for (int i = 0; i < 6; ++i) {
+    (void)server.infer("flight-off",
+                       random_uniform(make_nchw(1, 3, kImage, kImage), rng));
+  }
+  server.stop();
+  EXPECT_EQ(flight::flight_stats().promoted, 0);
+  EXPECT_TRUE(flight::retained().empty());
+  flight::set_flight_enabled(true);
+  flight::set_absolute_threshold_us(100'000);
+}
+
+TEST(Flight, AbsoluteVerdictPromotesWithSpansExemplarAndTraceResolution) {
+  clear_trace();
+  set_trace_sampling(0);  // nothing head-sampled: promotion must stand alone
+  flight::reset_for_test();
+  flight::set_flight_enabled(true);
+  flight::set_absolute_threshold_us(1);  // every reply is an outlier
+
+  serve::InferenceServer server;
+  server.register_model(
+      "flight-e2e",
+      std::make_unique<serve::CompiledModel>(
+          make_scc_model(43), Shape{3, kImage, kImage},
+          serve::CompileOptions{.max_batch = 4}),
+      {.max_batch = 4});
+  Rng rng(13);
+  constexpr int kRequests = 6;
+  for (int i = 0; i < kRequests; ++i) {
+    (void)server.infer("flight-e2e",
+                       random_uniform(make_nchw(1, 3, kImage, kImage), rng));
+  }
+  server.stop();
+  flight::set_absolute_threshold_us(100'000);
+
+  const flight::FlightStats stats = flight::flight_stats();
+  EXPECT_GE(stats.promoted, kRequests);
+  EXPECT_GE(stats.retained, kRequests);
+
+  // The top-K capture carries the full span breakdown incl. per-layer.
+  flight::ModelState* st = flight::model_state("flight-e2e");
+  ASSERT_NE(st, nullptr);
+  const std::vector<flight::Capture> outliers = st->outliers();
+  ASSERT_FALSE(outliers.empty());
+  const flight::Capture& cap = outliers.front();
+  EXPECT_EQ(cap.verdict, flight::Verdict::kAbsolute);
+  EXPECT_GE(cap.trace_id, flight::kFlightIdBase);  // not head-sampled
+  EXPECT_GT(cap.latency_us, 0);
+  EXPECT_EQ(cap.batch, 1);
+  bool has_execute = false;
+  bool has_queue_wait = false;
+  int layer_spans = 0;
+  for (const flight::Span& span : cap.spans) {
+    const std::string name = span.name;
+    if (name == "batch_execute") has_execute = true;
+    if (name == "queue_wait") has_queue_wait = true;
+    if (std::string(span.cat) == "layer") ++layer_spans;
+  }
+  EXPECT_TRUE(has_execute);
+  EXPECT_TRUE(has_queue_wait);
+  EXPECT_GE(layer_spans, 6);  // the compiled plan has >= 6 steps
+
+  // The capture's trace id resolves in the trace rings (GET /trace).
+  bool resolves = false;
+  for (const TraceEvent& ev : trace_snapshot()) {
+    if (ev.tid == cap.trace_id) resolves = true;
+  }
+  EXPECT_TRUE(resolves);
+
+  // /outliers carries model, verdict and the span breakdown.
+  const std::string json = flight::outliers_json();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"model\":\"flight-e2e\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdict\":\"absolute\""), std::string::npos);
+  EXPECT_NE(json.find("\"batch_execute\""), std::string::npos);
+
+  // The promotion filed an exemplar on the model's latency histogram, its
+  // trace id in the flight range.
+  Histogram latency = Registry::global().histogram(
+      "dsx_serve_request_latency_us", {{"model", "flight-e2e"}});
+  const std::vector<Exemplar> exemplars = latency.exemplars();
+  ASSERT_FALSE(exemplars.empty());
+  bool exemplar_resolves = false;
+  for (const Exemplar& e : exemplars) {
+    EXPECT_GE(e.trace_id, flight::kFlightIdBase);
+    for (const TraceEvent& ev : trace_snapshot()) {
+      if (ev.tid == e.trace_id) exemplar_resolves = true;
+    }
+  }
+  EXPECT_TRUE(exemplar_resolves);
+  clear_trace();
+}
+
+TEST(Flight, AdaptiveThresholdTracksTheWindowedP99) {
+  flight::set_absolute_threshold_us(0);  // isolate the adaptive rule
+  flight::ModelState st("flight-adaptive-unit");
+  EXPECT_EQ(st.adaptive_threshold_us(), 0);
+  EXPECT_EQ(st.judge(1'000'000), flight::Verdict::kNone);  // not derived yet
+  // A steady ~1 ms distribution; refreshes land at kMinWindow and every
+  // kRefreshEvery observations after.
+  for (int i = 0; i < 600; ++i) st.observe(1000 + i % 5);
+  const int64_t adaptive = st.adaptive_threshold_us();
+  ASSERT_GT(adaptive, 1000);  // ~1.5x the windowed p99
+  EXPECT_LT(adaptive, 3000);
+  EXPECT_EQ(st.judge(adaptive + 1000), flight::Verdict::kAdaptive);
+  EXPECT_EQ(st.judge(1000), flight::Verdict::kNone);  // inside the window
+  flight::set_absolute_threshold_us(100'000);
+}
+
+TEST(Flight, ArmedCooldownPromotesAboveTheWindowedP50AndJournals) {
+  flight::set_absolute_threshold_us(0);
+  flight::ModelState* st = flight::model_state("flight-armed-unit");
+  ASSERT_NE(st, nullptr);
+  st->reset_for_test();
+  for (int i = 0; i < 600; ++i) st->observe(1000);
+  // p50 floor ~= 1001, adaptive ~= 1501: a 1.2 ms reply is interesting only
+  // while armed.
+  ASSERT_GT(st->armed_floor_us(), 0);
+  ASSERT_LT(st->armed_floor_us(), 1200);
+  ASSERT_GT(st->adaptive_threshold_us(), 1200);
+  EXPECT_FALSE(st->armed());
+  EXPECT_EQ(st->judge(1200), flight::Verdict::kNone);
+
+  const uint64_t seq_before = Journal::global().recorded();
+  flight::arm("flight-armed-unit", std::chrono::milliseconds(10'000));
+  EXPECT_TRUE(st->armed());
+  EXPECT_EQ(st->judge(1200), flight::Verdict::kArmed);
+  EXPECT_EQ(st->judge(900), flight::Verdict::kNone);  // below the floor
+  bool journaled = false;
+  for (const Event& e : Journal::global().events(EventKind::kFlight)) {
+    if (e.seq >= seq_before && e.scope == "flight-armed-unit" &&
+        e.detail.find("armed") != std::string::npos) {
+      journaled = true;
+    }
+  }
+  EXPECT_TRUE(journaled);
+
+  st->arm(std::chrono::milliseconds(0));  // expire the cooldown
+  EXPECT_FALSE(st->armed());
+  EXPECT_EQ(st->judge(1200), flight::Verdict::kNone);
+  flight::set_absolute_threshold_us(100'000);
+}
+
+TEST(Flight, ShedRequestsPromoteWithAQueueWaitSpan) {
+  flight::reset_for_test();
+  flight::set_flight_enabled(true);
+  serve::CompiledModel compiled(make_scc_model(47), Shape{3, kImage, kImage},
+                                serve::CompileOptions{.max_batch = 4});
+  shard::DeadlineBatcher batcher(compiled, {.max_batch = 4,
+                                            .manual_drain = true,
+                                            .metric_model = "flight-shed"});
+  Rng rng(17);
+  auto doomed = batcher.submit(
+      random_uniform(make_nchw(1, 3, kImage, kImage), rng),
+      {.deadline =
+           std::chrono::steady_clock::now() + std::chrono::milliseconds(1)});
+  auto fine =
+      batcher.submit(random_uniform(make_nchw(1, 3, kImage, kImage), rng));
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(batcher.drain_one(), 1u);
+  EXPECT_THROW(doomed.get(), serve::DeadlineExceeded);
+  (void)fine.get();
+  batcher.stop();
+
+  flight::ModelState* st = flight::model_state("flight-shed");
+  ASSERT_NE(st, nullptr);
+  bool shed_capture = false;
+  for (const flight::Capture& cap : st->outliers()) {
+    if (cap.verdict != flight::Verdict::kShed) continue;
+    shed_capture = true;
+    ASSERT_FALSE(cap.spans.empty());
+    EXPECT_STREQ(cap.spans.front().name, "queue_wait");
+    EXPECT_GE(cap.latency_us, 0);
+    EXPECT_GE(cap.trace_id, flight::kFlightIdBase);
+  }
+  EXPECT_TRUE(shed_capture);
+  const std::string json = flight::outliers_json();
+  EXPECT_NE(json.find("\"verdict\":\"shed\""), std::string::npos);
+}
+
+TEST(Flight, RetainedRingIsBounded) {
+  flight::reset_for_test();
+  flight::ModelState* st = flight::model_state("flight-bound");
+  for (size_t i = 0; i < flight::kRetainedCap + 50; ++i) {
+    flight::Capture cap;
+    cap.latency_us = static_cast<int64_t>(i);
+    cap.verdict = flight::Verdict::kAbsolute;
+    (void)flight::promote(st, std::move(cap));
+  }
+  const std::vector<flight::Capture> ring = flight::retained();
+  EXPECT_EQ(ring.size(), flight::kRetainedCap);
+  // Oldest-first ring: the front is the oldest survivor, the back is newest.
+  EXPECT_EQ(ring.front().latency_us, 50);
+  EXPECT_EQ(ring.back().latency_us,
+            static_cast<int64_t>(flight::kRetainedCap) + 49);
+  // The top-K table is bounded too, worst first.
+  const std::vector<flight::Capture> outliers = st->outliers();
+  EXPECT_EQ(outliers.size(), flight::ModelState::kTopK);
+  EXPECT_EQ(outliers.front().latency_us,
+            static_cast<int64_t>(flight::kRetainedCap) + 49);
+  flight::reset_for_test();
+}
+
+// ---- native histogram buckets + exemplars ----------------------------------
+
+TEST(Registry, NativeBucketExpositionIsCumulativeAndOptIn) {
+  Registry& reg = Registry::global();
+  Histogram h = reg.histogram("dsx_test_native_us", {}, "bucket test");
+  h.record(2);
+  h.record(2);
+  h.record(50);
+  h.record(5000);
+
+  // Default exposition: unchanged summary style, no bucket series.
+  const std::string summary = reg.prometheus_text();
+  EXPECT_NE(summary.find("# TYPE dsx_test_native_us summary"),
+            std::string::npos);
+  EXPECT_EQ(summary.find("dsx_test_native_us_bucket"), std::string::npos);
+
+  Registry::Exposition expo;
+  expo.native_histogram_buckets = true;
+  const std::string text = reg.prometheus_text(expo);
+  EXPECT_NE(text.find("# TYPE dsx_test_native_us histogram"),
+            std::string::npos);
+  EXPECT_TRUE(exposition_well_formed(text));
+
+  // Parse this metric's bucket series: cumulative counts must be
+  // non-decreasing with increasing le, and +Inf must equal _count.
+  std::istringstream in(text);
+  std::string line;
+  double last_cum = 0.0;
+  double last_le = -1.0;
+  double inf_value = -1.0;
+  int bucket_lines = 0;
+  while (std::getline(in, line)) {
+    if (line.rfind("dsx_test_native_us_bucket{le=\"", 0) != 0) continue;
+    const size_t q1 = line.find('"');
+    const size_t q2 = line.find('"', q1 + 1);
+    const std::string le = line.substr(q1 + 1, q2 - q1 - 1);
+    const double value = std::strtod(line.c_str() + line.rfind(' ') + 1,
+                                     nullptr);
+    ++bucket_lines;
+    EXPECT_GE(value, last_cum) << line;
+    last_cum = value;
+    if (le == "+Inf") {
+      inf_value = value;
+    } else {
+      const double le_num = std::strtod(le.c_str(), nullptr);
+      EXPECT_GT(le_num, last_le) << line;  // ascending bucket edges
+      last_le = le_num;
+    }
+  }
+  EXPECT_GE(bucket_lines, 3);  // 2, 50, 5000 land in distinct buckets + Inf
+  EXPECT_EQ(inf_value, 4.0);   // le="+Inf" == _count
+}
+
+TEST(Registry, ExemplarsKeepPerRangeSlotsAndExport) {
+  Registry& reg = Registry::global();
+  Histogram h = reg.histogram("dsx_test_exemplar_us", {}, "exemplar test");
+  // An outlier exemplar, then a flood of fast-path exemplars in a LOW range:
+  // the ranges map to different slots, so the flood cannot evict it.
+  h.record(100'000);
+  h.record_exemplar(100'000, 99);
+  for (int i = 0; i < 1000; ++i) {
+    h.record(3);
+    h.record_exemplar(3, 7);
+  }
+  const std::vector<Exemplar> exemplars = h.exemplars();
+  bool outlier_survived = false;
+  bool flood_present = false;
+  for (const Exemplar& e : exemplars) {
+    if (e.trace_id == 99 && e.value == 100'000.0) outlier_survived = true;
+    if (e.trace_id == 7) flood_present = true;
+  }
+  EXPECT_TRUE(outlier_survived);
+  EXPECT_TRUE(flood_present);
+
+  // OpenMetrics syntax on the bucket the value falls in.
+  Registry::Exposition expo;
+  expo.native_histogram_buckets = true;
+  expo.exemplars = true;
+  const std::string text = reg.prometheus_text(expo);
+  EXPECT_TRUE(exposition_well_formed(text));
+  EXPECT_NE(text.find("# {trace_id=\"99\"} 100000"), std::string::npos);
+
+  // Without the exemplars opt-in the same buckets export clean.
+  expo.exemplars = false;
+  EXPECT_EQ(reg.prometheus_text(expo).find("trace_id"), std::string::npos);
+
+  // And the JSON snapshot carries them structurally.
+  const std::string json = reg.json_snapshot();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"exemplars\":["), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":99"), std::string::npos);
+}
+
+// ---- trace stats as registry series ----------------------------------------
+
+TEST(Trace, PublishTraceStatsExportsRegistrySeries) {
+  clear_trace();
+  for (int i = 0; i < 10; ++i) {
+    TraceEvent ev;
+    ev.name = "publish-test";
+    ev.tid = 1;
+    record_event(ev);
+  }
+  publish_trace_stats();
+  const TraceStats s = trace_stats();
+  Registry& reg = Registry::global();
+  EXPECT_EQ(reg.gauge("dsx_obs_trace_retained", {}).value(), s.retained);
+  EXPECT_EQ(reg.gauge("dsx_obs_trace_threads", {}).value(), s.threads);
+  const int64_t dropped_before =
+      reg.counter("dsx_obs_trace_dropped_total", {}).value();
+  EXPECT_GE(dropped_before, 0);
+  // Overflow one ring; the published counter advances by the delta and
+  // stays monotone across a clear_trace() (which resets the raw counts).
+  constexpr int kOverflow = 20000;  // > the 16384-slot ring
+  for (int i = 0; i < kOverflow; ++i) {
+    TraceEvent ev;
+    ev.name = "publish-overflow";
+    ev.tid = 2;
+    record_event(ev);
+  }
+  publish_trace_stats();
+  const int64_t dropped_after =
+      reg.counter("dsx_obs_trace_dropped_total", {}).value();
+  EXPECT_GT(dropped_after, dropped_before);
+  clear_trace();
+  publish_trace_stats();
+  EXPECT_GE(reg.counter("dsx_obs_trace_dropped_total", {}).value(),
+            dropped_after);  // monotone despite the reset underneath
+  EXPECT_EQ(reg.gauge("dsx_obs_trace_retained", {}).value(), 0);
+}
+
+// ---- journal JSON ----------------------------------------------------------
+
+TEST(Journal, ToJsonIsStructuredAndEscaped) {
+  Journal::global().record(EventKind::kFlight, "json-scope",
+                           "detail with \"quotes\"\nand a newline");
+  const std::string json = Journal::global().to_json();
+  EXPECT_TRUE(json_well_formed(json));
+  EXPECT_NE(json.find("\"kind\":\"flight\""), std::string::npos);
+  EXPECT_NE(json.find("\"scope\":\"json-scope\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"seq\":"), std::string::npos);
+  EXPECT_NE(json.find("\"wall\":\""), std::string::npos);
+  EXPECT_NE(json.find("\"recorded\":"), std::string::npos);
+  EXPECT_NE(json.find("\"capacity\":"), std::string::npos);
+  // ISO-8601 UTC with milliseconds: ...T..:..:...mmmZ".
+  EXPECT_NE(json.find("Z\""), std::string::npos);
+}
+
+// ---- intern() under concurrency (suite name = the TSan filter) -------------
+
+TEST(Intern, DedupReturnsTheSamePointer) {
+  const char* a = intern("intern-dedup-probe");
+  const char* b = intern("intern-dedup-probe");
+  EXPECT_EQ(a, b);
+  EXPECT_STREQ(a, "intern-dedup-probe");
+}
+
+TEST(Intern, PointersStayValidAcrossPoolGrowth) {
+  const char* first = intern("intern-growth-anchor");
+  std::vector<const char*> ptrs;
+  ptrs.reserve(4000);
+  for (int i = 0; i < 4000; ++i) {
+    ptrs.push_back(intern("intern-growth-" + std::to_string(i)));
+  }
+  // The pool rehashed many times; node-based storage must keep every
+  // previously returned pointer valid and deduplicated.
+  EXPECT_EQ(intern("intern-growth-anchor"), first);
+  EXPECT_STREQ(first, "intern-growth-anchor");
+  for (int i = 0; i < 4000; i += 397) {
+    const std::string expect = "intern-growth-" + std::to_string(i);
+    EXPECT_STREQ(ptrs[static_cast<size_t>(i)], expect.c_str());
+    EXPECT_EQ(intern(expect), ptrs[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(Intern, ConcurrentHammerDedupsToStablePointers) {
+  constexpr int kThreads = 8;
+  constexpr int kStrings = 128;
+  constexpr int kRounds = 40;
+  std::vector<std::vector<const char*>> seen(
+      kThreads, std::vector<const char*>(kStrings, nullptr));
+  std::atomic<int> start_gate{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen, &start_gate] {
+      start_gate.fetch_add(1, std::memory_order_relaxed);
+      while (start_gate.load(std::memory_order_relaxed) < kThreads) {
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        for (int i = 0; i < kStrings; ++i) {
+          const char* p =
+              intern("intern-hammer-" + std::to_string(i));
+          if (seen[static_cast<size_t>(t)][static_cast<size_t>(i)] ==
+              nullptr) {
+            seen[static_cast<size_t>(t)][static_cast<size_t>(i)] = p;
+          } else {
+            // Same string -> same pointer, every round, every thread.
+            ASSERT_EQ(
+                seen[static_cast<size_t>(t)][static_cast<size_t>(i)], p);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int i = 0; i < kStrings; ++i) {
+    const std::string expect = "intern-hammer-" + std::to_string(i);
+    for (int t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[static_cast<size_t>(t)][static_cast<size_t>(i)],
+                seen[0][static_cast<size_t>(i)]);
+    }
+    EXPECT_STREQ(seen[0][static_cast<size_t>(i)], expect.c_str());
+  }
 }
 
 }  // namespace
