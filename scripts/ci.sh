@@ -15,8 +15,9 @@
 #                                that is what catches pack-buffer overruns
 #                                and misaligned loads in the simd kernels),
 #                                then build Debug + TSan in build-tsan/ and
-#                                run the obs string-interning suite
-#                                (Intern.*) under it
+#                                run the obs string-interning and exemplar
+#                                seqlock suites (Intern.*, ExemplarSeqlock.*)
+#                                under it
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -116,6 +117,12 @@ if [[ "${FAST}" != "1" ]]; then
     [[ -z "${BAD}" ]] \
       || { echo "http smoke: malformed sample lines:"; echo "${BAD}"
            kill "${SRV_PID}"; exit 1; } >&2
+    # A plain scrape is classic 0.0.4 text: exemplar syntax would be a parse
+    # error to the classic Prometheus parser, so it must not appear.
+    if grep -q '# {' metrics_http_ci.txt; then
+      echo "http smoke: classic /metrics scrape carries exemplar syntax" >&2
+      kill "${SRV_PID}"; exit 1
+    fi
     HZ="$(${CURL} -o /dev/null -w '%{http_code}' \
       "http://127.0.0.1:${PORT}/healthz")"
     [[ "${HZ}" == "200" ]] \
@@ -146,20 +153,28 @@ if [[ "${FAST}" != "1" ]]; then
     grep -q '"batch_execute"' outliers_ci.json \
       || { echo "flight smoke: capture lacks the batch_execute span" >&2
            kill "${SRV_PID}"; exit 1; }
-    ${CURL} "http://127.0.0.1:${PORT}/metrics" > metrics_flight_ci.txt
+    # Exemplars are negotiated: only an OpenMetrics scrape carries them.
+    ${CURL} -H 'Accept: application/openmetrics-text' \
+      "http://127.0.0.1:${PORT}/metrics" > metrics_flight_ci.txt
     grep -q '# {trace_id="' metrics_flight_ci.txt \
       || { echo "flight smoke: no OpenMetrics exemplar on /metrics" >&2
+           kill "${SRV_PID}"; exit 1; }
+    tail -n 1 metrics_flight_ci.txt | grep -q '^# EOF$' \
+      || { echo "flight smoke: OpenMetrics scrape missing # EOF" >&2
            kill "${SRV_PID}"; exit 1; }
     EXEMPLAR_ID="$(sed -n 's/.*# {trace_id="\([0-9]*\)".*/\1/p' \
       metrics_flight_ci.txt | head -n 1)"
     [[ -n "${EXEMPLAR_ID}" ]] \
       || { echo "flight smoke: exemplar trace_id unparseable" >&2
            kill "${SRV_PID}"; exit 1; }
-    ${CURL} "http://127.0.0.1:${PORT}/trace" | grep -q "\"tid\":${EXEMPLAR_ID}" \
+    # To a file first: `curl | grep -q` under pipefail fails on grep's
+    # early exit (curl 23) even when the id is present.
+    ${CURL} "http://127.0.0.1:${PORT}/trace" > trace_ci.json
+    grep -q "\"tid\":${EXEMPLAR_ID}" trace_ci.json \
       || { echo "flight smoke: exemplar trace_id ${EXEMPLAR_ID} not in /trace" >&2
            kill "${SRV_PID}"; exit 1; }
-    ${CURL} "http://127.0.0.1:${PORT}/journal.json" \
-      | grep -q '"kind":"register"' \
+    ${CURL} "http://127.0.0.1:${PORT}/journal.json" > journal_ci.txt
+    grep -q '"kind":"register"' journal_ci.txt \
       || { echo "http smoke: /journal.json missing register event" >&2
            kill "${SRV_PID}"; exit 1; }
     kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
@@ -190,12 +205,13 @@ if [[ "${FAST}" != "1" ]]; then
     grep -q '"status":"critical"' healthz_ci.json \
       || { echo "http smoke: 503 body is not critical" >&2
            kill "${SRV_PID}"; exit 1; }
-    ${CURL} "http://127.0.0.1:${PORT}/journal" | grep -q 'health.*->critical' \
+    ${CURL} "http://127.0.0.1:${PORT}/journal" > journal_ci.txt
+    grep -q 'health.*->critical' journal_ci.txt \
       || { echo "http smoke: health transition not journaled" >&2
            kill "${SRV_PID}"; exit 1; }
     kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
     rm -f serve_metrics_ci.log metrics_http_ci.txt healthz_ci.json \
-      outliers_ci.json metrics_flight_ci.txt
+      outliers_ci.json metrics_flight_ci.txt trace_ci.json journal_ci.txt
     echo "http smoke OK"
   else
     echo "curl not available; skipping HTTP endpoint smoke"
@@ -225,17 +241,18 @@ if [[ "${SANITIZE}" == "1" ]]; then
 
   # TSan is incompatible with ASan, so it gets its own tree. The trace rings
   # are single-writer-torn-read BY DESIGN (TSan would flag them), so this
-  # tier runs only the Intern.* suite: obs::intern() hands out pointers that
-  # concurrent span recorders dereference forever, making it the one obs
-  # primitive whose thread-safety must hold to the letter.
+  # tier runs only the obs primitives whose thread-safety must hold to the
+  # letter: obs::intern() (concurrent span recorders dereference its
+  # pointers forever) and the exemplar seqlock (atomic payloads ordered by
+  # fences - a plain-field version was a real data race).
   echo "== configure (TSan Debug) =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DDSX_SANITIZE_THREAD=ON
 
   echo "== build (TSan Debug, test_obs) =="
   cmake --build build-tsan -j"${JOBS}" --target test_obs
 
-  echo "== obs intern tests (TSan) =="
-  ./build-tsan/test_obs --gtest_filter='Intern.*'
+  echo "== obs intern + exemplar-seqlock tests (TSan) =="
+  ./build-tsan/test_obs --gtest_filter='Intern.*:ExemplarSeqlock.*'
 fi
 
 echo "CI OK"

@@ -42,6 +42,9 @@ double LogHistogram::bucket_upper(int bucket) {
   if (bucket < (1 << kSubBits)) return static_cast<double>(bucket);  // exact
   const int octave = bucket >> kSubBits;
   const int sub = bucket & ((1 << kSubBits) - 1);
+  // Exclusive edge of the half-open range [lower, upper) that bucket_of
+  // implements; Prometheus reads `le` as inclusive, so a sample exactly at
+  // the edge is off by one bucket in the exposition (see the header note).
   return std::ldexp(1.0 + static_cast<double>(sub + 1) / (1 << kSubBits),
                     octave);
 }

@@ -118,7 +118,14 @@ class LogHistogram {
   /// Upper edge of bucket `b`: exact for b < 8 (the bucket holds exactly
   /// value b, so the edge is inclusive), else the exclusive upper bound of
   /// the sub-bucket's range. The `le` boundary for Prometheus-style
-  /// cumulative bucket exposition over BucketSnapshot counts.
+  /// cumulative bucket exposition over BucketSnapshot counts. Known edge
+  /// discrepancy for b >= 8: Prometheus `le` is inclusive, but bucket_of
+  /// files an integer sample exactly equal to this edge into the NEXT
+  /// bucket, so the cumulative count on the le="edge" line excludes that
+  /// one value. The skew is at most one sample value per edge (a relative
+  /// error far below kQuantileRelativeError) and is accepted in exchange
+  /// for exact round-number edges (8, 9, ..., 16, 18, ...) in the
+  /// exposition.
   static double bucket_upper(int bucket);
   /// The bucket a sample lands in (exposed so consumers can key bounded
   /// per-range state - exemplar slots - consistently with the histogram).

@@ -223,21 +223,25 @@ uint64_t promote(ModelState* st, Capture cap) {
                     .count();
   if (st != nullptr && cap.model[0] == '\0') cap.model = st->name();
   // Emit the spans into the trace rings under the capture's id, so GET
-  // /trace (and Perfetto) resolve the same id the exemplar carries.
-  for (const Span& span : cap.spans) {
-    TraceEvent ev;
-    ev.name = span.name;
-    ev.cat = span.cat;
-    ev.tid = cap.trace_id;
-    ev.start_ns = span.start_ns;
-    ev.dur_ns = span.dur_ns;
-    ev.arg_name = "latency_us";
-    ev.arg_value = cap.latency_us;
-    if (cap.model[0] != '\0') {
-      ev.sarg_name = "model";
-      ev.sarg_value = cap.model;
+  // /trace (and Perfetto) resolve the same id the exemplar carries - unless
+  // the head-sampled trace path already emitted this timeline (then a
+  // second emission would duplicate every event under the same id).
+  if (!cap.spans_traced) {
+    for (const Span& span : cap.spans) {
+      TraceEvent ev;
+      ev.name = span.name;
+      ev.cat = span.cat;
+      ev.tid = cap.trace_id;
+      ev.start_ns = span.start_ns;
+      ev.dur_ns = span.dur_ns;
+      ev.arg_name = "latency_us";
+      ev.arg_value = cap.latency_us;
+      if (cap.model[0] != '\0') {
+        ev.sarg_name = "model";
+        ev.sarg_value = cap.model;
+      }
+      record_event(ev);
     }
-    record_event(ev);
   }
   if (st != nullptr) st->add_outlier(cap);
   GlobalFlight& g = global_flight();

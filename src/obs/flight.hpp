@@ -105,6 +105,11 @@ struct Capture {
   int64_t batch = 0;    // micro-batch size the request rode in (0 = shed)
   int64_t ts_ns = 0;    // promotion time on the obs::now_ns() timeline
   int64_t wall_ms = 0;  // promotion wall time, unix epoch milliseconds
+  /// True when the head-sampled trace path already emitted this request's
+  /// spans into the trace rings under trace_id - promote() then skips its
+  /// own emission (ring/top-K/exemplar filing still happen), so /trace
+  /// never holds the same timeline twice.
+  bool spans_traced = false;
   std::vector<Span> spans;
 };
 

@@ -8,6 +8,8 @@
 #include <sys/types.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -234,13 +236,38 @@ void Exporter::handle_connection(int fd) {
     const size_t query = path.find('?');
     if (query != std::string::npos) path.resize(query);
   }
-  send_all(fd, respond(method, path));
+  send_all(fd, respond(method, path, request));
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
 }
 
+namespace {
+
+/// True when the request's Accept header offers OpenMetrics. A substring
+/// scan over the lowercased header block is enough for content negotiation
+/// here: Prometheus either lists application/openmetrics-text explicitly or
+/// it does not (a wildcard keeps the classic default - the safe format).
+bool accepts_openmetrics(const std::string& request) {
+  const size_t headers_end = request.find("\r\n\r\n");
+  std::string head = headers_end == std::string::npos
+                         ? request
+                         : request.substr(0, headers_end);
+  std::transform(head.begin(), head.end(), head.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  const size_t accept = head.find("\naccept:");
+  if (accept == std::string::npos) return false;
+  const size_t eol = head.find('\r', accept + 1);
+  const std::string value = head.substr(
+      accept + 8,
+      eol == std::string::npos ? std::string::npos : eol - accept - 8);
+  return value.find("application/openmetrics-text") != std::string::npos;
+}
+
+}  // namespace
+
 std::string Exporter::respond(const std::string& method,
-                              const std::string& path) {
+                              const std::string& path,
+                              const std::string& request) {
   if (method.empty() || path.empty()) {
     errors_.inc();
     return make_response(400, "Bad Request", "text/plain", "bad request\n");
@@ -253,9 +280,21 @@ std::string Exporter::respond(const std::string& method,
   if (path == "/metrics") {
     requests_metrics_.inc();
     publish_trace_stats();
+    // Content negotiation: exemplar syntax is a parse error to the classic
+    // 0.0.4 text parser, so exemplars (and the # EOF terminator) are served
+    // only to scrapers that ask for application/openmetrics-text; everyone
+    // else gets classic text with the native bucket series but no
+    // exemplars.
     Registry::Exposition expo;
     expo.native_histogram_buckets = true;
-    expo.exemplars = true;
+    if (accepts_openmetrics(request)) {
+      expo.exemplars = true;
+      expo.openmetrics = true;
+      return make_response(
+          200, "OK", "application/openmetrics-text; version=1.0.0; "
+                     "charset=utf-8",
+          Registry::global().prometheus_text(expo));
+    }
     return make_response(200, "OK",
                          "text/plain; version=0.0.4; charset=utf-8",
                          Registry::global().prometheus_text(expo));
@@ -328,7 +367,8 @@ std::string Exporter::respond(const std::string& method,
 
 HttpResponse http_get(const std::string& host, int port,
                       const std::string& path,
-                      std::chrono::milliseconds timeout) {
+                      std::chrono::milliseconds timeout,
+                      const std::string& accept) {
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   DSX_REQUIRE(fd >= 0, "http_get: socket(): " << std::strerror(errno));
   set_io_timeout(fd, timeout);
@@ -345,8 +385,10 @@ HttpResponse http_get(const std::string& host, int port,
     throw Error("http_get: connect " + host + ":" + std::to_string(port) +
                 ": " + err);
   }
-  const std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
-                              "\r\nConnection: close\r\n\r\n";
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n";
+  if (!accept.empty()) request += "Accept: " + accept + "\r\n";
+  request += "\r\n";
   send_all(fd, request);
   std::string raw;
   char chunk[4096];

@@ -5,8 +5,12 @@
 // HTTP/1.1 server on plain BSD sockets (no dependencies) that makes the
 // same surfaces scrapeable from outside:
 //
-//   GET /metrics       Prometheus text exposition (Registry::global()),
-//                      native histogram buckets + OpenMetrics exemplars
+//   GET /metrics       Prometheus text exposition (Registry::global()) with
+//                      native histogram buckets; an Accept header offering
+//                      application/openmetrics-text switches the reply to
+//                      OpenMetrics 1.0 with exemplars and a # EOF
+//                      terminator (classic 0.0.4 text stays exemplar-free -
+//                      its parser rejects exemplar syntax)
 //   GET /metrics.json  the same snapshot as JSON (exemplars included)
 //   GET /healthz       200/503 from the SLO engine's aggregate health,
 //                      JSON body with per-model states (503 iff critical)
@@ -86,7 +90,10 @@ class Exporter {
   void accept_loop();
   void worker_loop();
   void handle_connection(int fd);
-  std::string respond(const std::string& method, const std::string& path);
+  /// `request` is the raw request text (for header-driven content
+  /// negotiation on /metrics).
+  std::string respond(const std::string& method, const std::string& path,
+                      const std::string& request);
 
   ExporterOptions opts_;
   slo::SloEngine* slo_;
@@ -118,9 +125,12 @@ struct HttpResponse {
   std::string headers;  // raw header block
   std::string body;
 };
+/// `accept`, when non-empty, is sent as the Accept header (e.g.
+/// "application/openmetrics-text" to scrape /metrics with exemplars).
 HttpResponse http_get(const std::string& host, int port,
                       const std::string& path,
                       std::chrono::milliseconds timeout =
-                          std::chrono::milliseconds(5000));
+                          std::chrono::milliseconds(5000),
+                      const std::string& accept = "");
 
 }  // namespace dsx::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cinttypes>
 #include <cstdio>
@@ -140,18 +141,23 @@ void Histogram::record_exemplar(int64_t value, uint64_t trace_id) {
   detail::ExemplarSlot& slot =
       cell_->exemplars[static_cast<size_t>(slot_idx)];
   // Seqlock write: claim the slot by stepping seq to odd; a concurrent
-  // writer (promotion-rate, so vanishingly rare) makes us drop ours.
+  // writer (promotion-rate, so vanishingly rare) makes us drop ours. The
+  // release fence keeps the payload stores from becoming visible before the
+  // odd seq does (the reader's acquire fence is the other half).
   uint64_t seq = slot.seq.load(std::memory_order_relaxed);
   if (seq & 1) return;
   if (!slot.seq.compare_exchange_strong(seq, seq + 1,
-                                        std::memory_order_acq_rel)) {
+                                        std::memory_order_relaxed)) {
     return;
   }
-  slot.value = static_cast<double>(value);
-  slot.trace_id = trace_id;
-  slot.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
-                     std::chrono::system_clock::now().time_since_epoch())
-                     .count();
+  std::atomic_thread_fence(std::memory_order_release);
+  slot.value_bits.store(std::bit_cast<uint64_t>(static_cast<double>(value)),
+                        std::memory_order_relaxed);
+  slot.trace_id.store(trace_id, std::memory_order_relaxed);
+  slot.wall_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::system_clock::now().time_since_epoch())
+                         .count(),
+                     std::memory_order_relaxed);
   slot.seq.store(seq + 2, std::memory_order_release);
 }
 
@@ -162,10 +168,15 @@ std::vector<Exemplar> Histogram::exemplars() const {
     const uint64_t seq = slot.seq.load(std::memory_order_acquire);
     if (seq == 0 || (seq & 1)) continue;  // never written / mid-write
     Exemplar e;
-    e.value = slot.value;
-    e.trace_id = slot.trace_id;
-    e.wall_ms = slot.wall_ms;
-    if (slot.seq.load(std::memory_order_acquire) != seq) continue;  // torn
+    e.value = std::bit_cast<double>(
+        slot.value_bits.load(std::memory_order_relaxed));
+    e.trace_id = slot.trace_id.load(std::memory_order_relaxed);
+    e.wall_ms = slot.wall_ms.load(std::memory_order_relaxed);
+    // The acquire fence orders the payload reads before the validating
+    // re-check - without it they could be hoisted past it and a torn read
+    // could pass validation.
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (slot.seq.load(std::memory_order_relaxed) != seq) continue;  // torn
     out.push_back(e);
   }
   return out;
@@ -224,6 +235,9 @@ Histogram Registry::histogram(const std::string& name, const Labels& labels,
 }
 
 std::string Registry::prometheus_text(const Exposition& expo) const {
+  // Exemplars are OpenMetrics-only syntax: the classic 0.0.4 parser rejects
+  // a '#' after the sample value, so a classic scrape must never see them.
+  const bool exemplars_on = expo.exemplars && expo.openmetrics;
   std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream out;
   std::string current;  // metric name whose HELP/TYPE block is open
@@ -259,7 +273,7 @@ std::string Registry::prometheus_text(const Exposition& expo) const {
           // enabled) attach to the first bucket whose upper edge covers
           // their value, OpenMetrics syntax: `# {labels} value ts`.
           std::vector<Exemplar> ex;
-          if (expo.exemplars) {
+          if (exemplars_on) {
             ex = Histogram(cell.get()).exemplars();
             std::sort(ex.begin(), ex.end(),
                       [](const Exemplar& a, const Exemplar& b) {
@@ -306,10 +320,14 @@ std::string Registry::prometheus_text(const Exposition& expo) const {
           }
           out << "\n";
         }
-        out << cell->name << label_block(cell->labels, "quantile=\"0.5\"")
-            << " " << format_double(s.p50) << "\n";
-        out << cell->name << label_block(cell->labels, "quantile=\"0.99\"")
-            << " " << format_double(s.p99) << "\n";
+        // A strict OpenMetrics histogram family only allows _bucket/_count/
+        // _sum samples - the bare quantile series are classic-format only.
+        if (!(expo.openmetrics && expo.native_histogram_buckets)) {
+          out << cell->name << label_block(cell->labels, "quantile=\"0.5\"")
+              << " " << format_double(s.p50) << "\n";
+          out << cell->name << label_block(cell->labels, "quantile=\"0.99\"")
+              << " " << format_double(s.p99) << "\n";
+        }
         out << cell->name << "_sum" << label_block(cell->labels) << " "
             << format_double(s.sum) << "\n";
         out << cell->name << "_count" << label_block(cell->labels) << " "
@@ -318,6 +336,7 @@ std::string Registry::prometheus_text(const Exposition& expo) const {
       }
     }
   }
+  if (expo.openmetrics) out << "# EOF\n";
   return out.str();
 }
 
@@ -426,9 +445,9 @@ void Registry::reset_values_for_test() {
     cell->gauge.store(0, std::memory_order_relaxed);
     cell->hist.reset();
     for (detail::ExemplarSlot& slot : cell->exemplars) {
-      slot.value = 0.0;
-      slot.trace_id = 0;
-      slot.wall_ms = 0;
+      slot.value_bits.store(0, std::memory_order_relaxed);
+      slot.trace_id.store(0, std::memory_order_relaxed);
+      slot.wall_ms.store(0, std::memory_order_relaxed);
       slot.seq.store(0, std::memory_order_relaxed);
     }
   }

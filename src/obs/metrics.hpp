@@ -61,12 +61,15 @@ inline constexpr int kExemplarSlots = 8;
 
 /// One seqlock-guarded exemplar slot. Writers are promotion-rate (rare);
 /// readers (scrapes) retry-free skip a torn slot. seq == 0 = never written,
-/// odd = write in progress.
+/// odd = write in progress. The payload fields are relaxed atomics (value
+/// bit-cast to its uint64 representation) so racing reads stay defined
+/// behavior; the seqlock fences in record_exemplar()/exemplars() order them
+/// against seq.
 struct ExemplarSlot {
   std::atomic<uint64_t> seq{0};
-  double value = 0.0;
-  uint64_t trace_id = 0;
-  int64_t wall_ms = 0;
+  std::atomic<uint64_t> value_bits{0};  // bit_cast of the double value
+  std::atomic<uint64_t> trace_id{0};
+  std::atomic<int64_t> wall_ms{0};
 };
 
 /// One registered series. Cells are owned by the Registry, never freed, so
@@ -190,8 +193,17 @@ class Registry {
     bool native_histogram_buckets = false;
     /// Attach OpenMetrics exemplars (`# {trace_id="..."} value timestamp`)
     /// to the bucket lines their value falls in. Requires
-    /// native_histogram_buckets (exemplars attach to buckets).
+    /// native_histogram_buckets (exemplars attach to buckets) AND
+    /// openmetrics: the classic 0.0.4 text parser treats a '#' after the
+    /// sample value as a parse error, so exemplars are only legal in the
+    /// OpenMetrics exposition.
     bool exemplars = false;
+    /// Emit OpenMetrics 1.0 instead of classic 0.0.4 text: terminates with
+    /// `# EOF` and drops the summary-style quantile series from
+    /// histogram-typed families (a strict OpenMetrics histogram only allows
+    /// _bucket/_count/_sum samples). Serve it as
+    /// `application/openmetrics-text; version=1.0.0`.
+    bool openmetrics = false;
   };
 
   /// Prometheus text exposition: one # HELP / # TYPE block per metric name,

@@ -225,6 +225,9 @@ void BatchCore::execute(std::deque<Request>& batch,
           obs::flight::Capture cap;
           cap.model = metrics_.scope;
           cap.trace_id = req.trace_id;  // 0 = promote draws a flight id
+          // Head-sampled requests get their spans from emit_request_traces
+          // below; promote() must not emit them a second time.
+          cap.spans_traced = traced && req.trace_id != 0;
           cap.latency_us = latency_us;
           cap.threshold_us = verdict_threshold_us(verdict, *st);
           cap.verdict = verdict;
@@ -259,11 +262,16 @@ void BatchCore::execute(std::deque<Request>& batch,
     metrics_.requests.inc(n);
     metrics_.batches.inc();
     if (flight_on) {
-      // The batch threw: every request in it is interesting (kError). Only
+      // The batch threw: the requests in it are interesting (kError). Only
       // the queue_wait span is reconstructible - the run never finished.
+      // Bound the promotion work per failed batch like the shed path does:
+      // a persistently throwing model at full batch size must not churn the
+      // retained ring at request rate, and four captures tell the story.
       const auto now = std::chrono::steady_clock::now();
       const int64_t exec_start_ns = obs::steady_ns(exec_start);
+      size_t promoted = 0;
       for (const Request& req : batch) {
+        if (promoted++ >= 4) break;
         obs::flight::Capture cap;
         cap.model = metrics_.scope;
         cap.trace_id = req.trace_id;

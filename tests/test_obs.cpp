@@ -910,9 +910,24 @@ TEST(Exporter, EndpointsServeOverHttp) {
   EXPECT_EQ(metrics.status, 200);
   EXPECT_NE(metrics.headers.find("text/plain"), std::string::npos);
   EXPECT_TRUE(exposition_well_formed(metrics.body));
+  // A plain scrape is classic 0.0.4: no exemplar syntax (the classic parser
+  // rejects it) and no OpenMetrics terminator.
+  EXPECT_EQ(metrics.body.find(" # {"), std::string::npos);
+  EXPECT_EQ(metrics.body.find("# EOF"), std::string::npos);
   EXPECT_GE(scrape_series(metrics.body,
                           "dsx_serve_requests_total{model=\"http-serve\"}"),
             8.0);
+
+  // Offering application/openmetrics-text negotiates the OpenMetrics
+  // exposition (exemplar-capable, # EOF terminated).
+  const HttpResponse om =
+      http_get("127.0.0.1", port, "/metrics", std::chrono::milliseconds(5000),
+               "application/openmetrics-text");
+  EXPECT_EQ(om.status, 200);
+  EXPECT_NE(om.headers.find("application/openmetrics-text"),
+            std::string::npos);
+  EXPECT_TRUE(exposition_well_formed(om.body));
+  EXPECT_EQ(om.body.rfind("# EOF\n"), om.body.size() - 6);
 
   const HttpResponse json = http_get("127.0.0.1", port, "/metrics.json");
   EXPECT_EQ(json.status, 200);
@@ -1411,13 +1426,29 @@ TEST(Registry, ExemplarsKeepPerRangeSlotsAndExport) {
   EXPECT_TRUE(outlier_survived);
   EXPECT_TRUE(flood_present);
 
-  // OpenMetrics syntax on the bucket the value falls in.
+  // OpenMetrics syntax on the bucket the value falls in. Exemplars only
+  // appear in the OpenMetrics exposition - the classic 0.0.4 parser rejects
+  // them - so the opt-in is exemplars AND openmetrics.
   Registry::Exposition expo;
   expo.native_histogram_buckets = true;
   expo.exemplars = true;
+  expo.openmetrics = true;
   const std::string text = reg.prometheus_text(expo);
   EXPECT_TRUE(exposition_well_formed(text));
   EXPECT_NE(text.find("# {trace_id=\"99\"} 100000"), std::string::npos);
+  // OpenMetrics terminator, and no bare quantile samples inside a
+  // histogram-typed family (strict OM allows only _bucket/_count/_sum).
+  EXPECT_EQ(text.rfind("# EOF\n"), text.size() - 6);
+  EXPECT_EQ(text.find("dsx_test_exemplar_us{quantile"), std::string::npos);
+
+  // exemplars without openmetrics stays classic-safe: no exemplar syntax.
+  expo.openmetrics = false;
+  const std::string classic = reg.prometheus_text(expo);
+  EXPECT_EQ(classic.find("trace_id"), std::string::npos);
+  EXPECT_EQ(classic.find("# EOF"), std::string::npos);
+  // Classic keeps the summary-style quantile series alongside the buckets.
+  EXPECT_NE(classic.find("dsx_test_exemplar_us{quantile=\"0.99\"}"),
+            std::string::npos);
 
   // Without the exemplars opt-in the same buckets export clean.
   expo.exemplars = false;
@@ -1428,6 +1459,49 @@ TEST(Registry, ExemplarsKeepPerRangeSlotsAndExport) {
   EXPECT_TRUE(json_well_formed(json));
   EXPECT_NE(json.find("\"exemplars\":["), std::string::npos);
   EXPECT_NE(json.find("\"trace_id\":99"), std::string::npos);
+}
+
+// Runs under the TSan tier alongside Intern.* (see ci.sh --sanitize): the
+// slot payloads are relaxed atomics ordered by the seqlock fences, so
+// concurrent writers/readers must be data-race-free AND never surface a
+// torn (value, trace_id) pair.
+TEST(ExemplarSeqlock, ConcurrentWritersAndReadersStayCoherent) {
+  Registry& reg = Registry::global();
+  Histogram h = reg.histogram("dsx_test_exemplar_race_us", {});
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+  std::vector<std::thread> writers;
+  writers.reserve(4);
+  for (int w = 0; w < 4; ++w) {
+    writers.emplace_back([&h, &stop, w] {
+      int64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Alternate a low-range and a high-range value (distinct slots, the
+        // high one contended by every writer). trace_id mirrors the value,
+        // so any torn pair is detectable by the readers.
+        const int64_t value = (i++ % 2 == 0) ? 3 : 100'000 + w;
+        h.record_exemplar(value, static_cast<uint64_t>(value));
+      }
+    });
+  }
+  std::vector<std::thread> readers;
+  readers.reserve(2);
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&h, &stop, &torn] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        for (const Exemplar& e : h.exemplars()) {
+          if (static_cast<uint64_t>(e.value) != e.trace_id) {
+            torn.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : writers) t.join();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(torn.load(), 0);
 }
 
 // ---- trace stats as registry series ----------------------------------------
