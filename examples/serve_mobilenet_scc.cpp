@@ -214,7 +214,7 @@ int run_shard_demo(int replicas) {
              : 1;
 }
 
-int run_metrics_endpoint_demo(int port, double slo_p99_ms) {
+int run_metrics_endpoint_demo(int port, double slo_p99_ms, bool profile) {
   using namespace dsx;
   const int64_t image = 16;
   Rng rng(7);
@@ -247,6 +247,17 @@ int run_metrics_endpoint_demo(int port, double slo_p99_ms) {
   std::printf("scrape me:  curl http://127.0.0.1:%d/metrics\n"
               "            curl http://127.0.0.1:%d/healthz\n",
               bound, bound);
+  if (profile) {
+    if (server.start_profile()) {
+      std::printf("profiler:   sampling at %d Hz; folded stacks at\n"
+                  "            curl 'http://127.0.0.1:%d/profile?seconds=1'\n"
+                  "            curl 'http://127.0.0.1:%d/profile.json'\n",
+                  obs::prof::sampling_hz(), bound, bound);
+    } else {
+      std::printf("profiler:   unavailable on this platform (resource "
+                  "utilization series still exported)\n");
+    }
+  }
 
   // Drive steady traffic so the scraped series and SLO windows are live.
   constexpr auto kServeFor = std::chrono::seconds(20);
@@ -432,6 +443,10 @@ void print_usage(const char* prog) {
       "                X ms on the served model (short burn windows, so an\n"
       "                impossible X flips GET /healthz to 503 within a few\n"
       "                seconds; omitted = a generous default objective)\n"
+      "  --profile     with --serve-metrics: arm the sampling CPU profiler\n"
+      "                for the whole run - GET /profile serves flamegraph\n"
+      "                folded stacks, /profile.json the top-N frame table,\n"
+      "                and /metrics gains pool/queue/arena utilization\n"
       "  --help        this message\n",
       prog);
 }
@@ -449,6 +464,7 @@ int main(int argc, char** argv) {
   int replicas = 2;
   int serve_metrics_port = 0;
   double slo_p99_ms = 0.0;
+  bool profile = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--help") == 0) {
       print_usage(argv[0]);
@@ -485,6 +501,8 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--serve-metrics: bad port '%s'\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
     } else if (std::strcmp(argv[i], "--slo-p99-ms") == 0) {
       if (i + 1 >= argc) {
         std::fprintf(stderr,
@@ -517,7 +535,7 @@ int main(int argc, char** argv) {
       rc = run_canary_demo();
       break;
     case Demo::kMetricsEndpoint:
-      rc = run_metrics_endpoint_demo(serve_metrics_port, slo_p99_ms);
+      rc = run_metrics_endpoint_demo(serve_metrics_port, slo_p99_ms, profile);
       break;
     case Demo::kServe:
       rc = run_serving_demo();

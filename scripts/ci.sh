@@ -17,7 +17,8 @@
 #                                then build Debug + TSan in build-tsan/ and
 #                                run the obs string-interning and exemplar
 #                                seqlock suites (Intern.*, ExemplarSeqlock.*)
-#                                under it
+#                                plus the thread-pool accounting suite
+#                                (PoolAccounting.*) under it
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -97,7 +98,7 @@ if [[ "${FAST}" != "1" ]]; then
   command -v curl >/dev/null 2>&1 || CURL=""
   if [[ -n "${CURL}" ]]; then
     rm -f serve_metrics_ci.log
-    ./build/example_serve_mobilenet_scc --serve-metrics 0 \
+    ./build/example_serve_mobilenet_scc --serve-metrics 0 --profile \
       > serve_metrics_ci.log 2>&1 &
     SRV_PID=$!
     PORT=""
@@ -177,6 +178,22 @@ if [[ "${FAST}" != "1" ]]; then
     grep -q '"kind":"register"' journal_ci.txt \
       || { echo "http smoke: /journal.json missing register event" >&2
            kill "${SRV_PID}"; exit 1; }
+    # Continuous profiling end to end: --profile armed the sampler for the
+    # whole run, so a 1-second /profile window over live traffic must return
+    # non-empty folded stacks whose frames symbolized to real code (the
+    # serving/kernel stack, not raw hex addresses).
+    ${CURL} --max-time 15 "http://127.0.0.1:${PORT}/profile?seconds=1" \
+      > profile_ci.txt
+    [[ -s profile_ci.txt ]] \
+      || { echo "prof smoke: /profile?seconds=1 returned no samples" >&2
+           kill "${SRV_PID}"; exit 1; }
+    grep -Eq 'dsx::|gemm|conv|worker_loop' profile_ci.txt \
+      || { echo "prof smoke: folded stacks carry no symbolized dsx frame:" >&2
+           head -n 5 profile_ci.txt >&2; kill "${SRV_PID}"; exit 1; }
+    ${CURL} "http://127.0.0.1:${PORT}/metrics" > metrics_prof_ci.txt
+    grep -q '^dsx_device_pool_busy_ns_total' metrics_prof_ci.txt \
+      || { echo "prof smoke: /metrics missing pool utilization series" >&2
+           kill "${SRV_PID}"; exit 1; }
     kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
 
     rm -f serve_metrics_ci.log
@@ -211,7 +228,8 @@ if [[ "${FAST}" != "1" ]]; then
            kill "${SRV_PID}"; exit 1; }
     kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
     rm -f serve_metrics_ci.log metrics_http_ci.txt healthz_ci.json \
-      outliers_ci.json metrics_flight_ci.txt trace_ci.json journal_ci.txt
+      outliers_ci.json metrics_flight_ci.txt trace_ci.json journal_ci.txt \
+      profile_ci.txt metrics_prof_ci.txt
     echo "http smoke OK"
   else
     echo "curl not available; skipping HTTP endpoint smoke"
@@ -243,16 +261,21 @@ if [[ "${SANITIZE}" == "1" ]]; then
   # are single-writer-torn-read BY DESIGN (TSan would flag them), so this
   # tier runs only the obs primitives whose thread-safety must hold to the
   # letter: obs::intern() (concurrent span recorders dereference its
-  # pointers forever) and the exemplar seqlock (atomic payloads ordered by
-  # fences - a plain-field version was a real data race).
+  # pointers forever), the exemplar seqlock (atomic payloads ordered by
+  # fences - a plain-field version was a real data race), and the
+  # thread-pool busy/idle accounting (relaxed counters read by concurrent
+  # pool_stats() snapshotters while workers accumulate).
   echo "== configure (TSan Debug) =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DDSX_SANITIZE_THREAD=ON
 
-  echo "== build (TSan Debug, test_obs) =="
-  cmake --build build-tsan -j"${JOBS}" --target test_obs
+  echo "== build (TSan Debug, test_obs + test_device) =="
+  cmake --build build-tsan -j"${JOBS}" --target test_obs test_device
 
   echo "== obs intern + exemplar-seqlock tests (TSan) =="
   ./build-tsan/test_obs --gtest_filter='Intern.*:ExemplarSeqlock.*'
+
+  echo "== thread-pool accounting tests (TSan) =="
+  ./build-tsan/test_device --gtest_filter='PoolAccounting.*'
 fi
 
 echo "CI OK"

@@ -49,6 +49,14 @@ double LogHistogram::bucket_upper(int bucket) {
                     octave);
 }
 
+double LogHistogram::bucket_le(int bucket) {
+  if (bucket < (1 << kSubBits)) return static_cast<double>(bucket);  // exact
+  // bucket_of's range is [lower, upper) over int64 samples and every edge
+  // for octave >= 3 is an integer, so the largest value the bucket holds -
+  // the inclusive Prometheus `le` - is exactly upper - 1.
+  return bucket_upper(bucket) - 1.0;
+}
+
 void LogHistogram::record(int64_t value) {
   if (value < 0) value = 0;
   count_.fetch_add(1, std::memory_order_relaxed);

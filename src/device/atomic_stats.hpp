@@ -116,17 +116,20 @@ class LogHistogram {
   /// classify BucketSnapshot deltas against a threshold (SLO burn rates).
   static double bucket_value(int bucket);
   /// Upper edge of bucket `b`: exact for b < 8 (the bucket holds exactly
-  /// value b, so the edge is inclusive), else the exclusive upper bound of
-  /// the sub-bucket's range. The `le` boundary for Prometheus-style
-  /// cumulative bucket exposition over BucketSnapshot counts. Known edge
-  /// discrepancy for b >= 8: Prometheus `le` is inclusive, but bucket_of
-  /// files an integer sample exactly equal to this edge into the NEXT
-  /// bucket, so the cumulative count on the le="edge" line excludes that
-  /// one value. The skew is at most one sample value per edge (a relative
-  /// error far below kQuantileRelativeError) and is accepted in exchange
-  /// for exact round-number edges (8, 9, ..., 16, 18, ...) in the
-  /// exposition.
+  /// value b, so the edge is inclusive), else the EXCLUSIVE upper bound of
+  /// the sub-bucket's half-open range [lower, upper) that bucket_of
+  /// implements. Half-open edge semantics - NOT directly usable as a
+  /// Prometheus `le` boundary (Prometheus reads `le` as inclusive, but
+  /// bucket_of files an integer sample exactly equal to this edge into the
+  /// NEXT bucket). Exposition sites use bucket_le instead.
   static double bucket_upper(int bucket);
+  /// Largest sample value bucket `b` can hold - the inclusive-`le`-correct
+  /// Prometheus boundary for cumulative bucket exposition over
+  /// BucketSnapshot counts. Exact, not approximate: samples are int64 and
+  /// every bucket edge for octave >= 3 is an integer (2^oct + (sub+1) *
+  /// 2^(oct-3)), so the largest held value is simply bucket_upper - 1 for
+  /// b >= 8 and b itself below (where buckets hold exactly one value).
+  static double bucket_le(int bucket);
   /// The bucket a sample lands in (exposed so consumers can key bounded
   /// per-range state - exemplar slots - consistently with the histogram).
   static int bucket_of(int64_t value);

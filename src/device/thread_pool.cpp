@@ -1,6 +1,7 @@
 #include "device/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
@@ -8,7 +9,29 @@
 
 namespace dsx::device {
 
-ThreadPool::ThreadPool(unsigned threads) {
+namespace {
+
+int64_t mono_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Registry of live NAMED pools, for pool_stats(). Ctor/dtor rate, so a
+// mutex-guarded vector is plenty.
+std::mutex& pools_mu() {
+  static std::mutex mu;
+  return mu;
+}
+std::vector<ThreadPool*>& named_pools() {
+  static std::vector<ThreadPool*> pools;
+  return pools;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads, std::string name)
+    : name_(std::move(name)) {
   unsigned n = threads;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   // The calling thread acts as worker 0; spawn n-1 helpers.
@@ -17,9 +40,18 @@ ThreadPool::ThreadPool(unsigned threads) {
   for (unsigned i = 0; i < tasks_.size(); ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
   }
+  if (!name_.empty()) {
+    std::lock_guard<std::mutex> lock(pools_mu());
+    named_pools().push_back(this);
+  }
 }
 
 ThreadPool::~ThreadPool() {
+  if (!name_.empty()) {
+    std::lock_guard<std::mutex> lock(pools_mu());
+    auto& pools = named_pools();
+    pools.erase(std::remove(pools.begin(), pools.end(), this), pools.end());
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
@@ -28,16 +60,33 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::vector<ThreadPool::PoolStats> ThreadPool::pool_stats() {
+  std::vector<PoolStats> out;
+  std::lock_guard<std::mutex> lock(pools_mu());
+  out.reserve(named_pools().size());
+  for (const ThreadPool* p : named_pools()) {
+    out.push_back({p->name(), p->size(), p->busy_ns(), p->idle_ns()});
+  }
+  return out;
+}
+
 void ThreadPool::worker_loop(unsigned worker_index) {
   uint64_t seen_generation = 0;
   for (;;) {
     Task task;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_work_.wait(lock, [&] {
+      const auto ready = [&] {
         return stop_ || (generation_ != seen_generation &&
                          tasks_[worker_index].fn != nullptr);
-      });
+      };
+      if (pool_accounting_enabled()) {
+        const int64_t t0 = mono_ns();
+        cv_work_.wait(lock, ready);
+        idle_ns_.fetch_add(mono_ns() - t0, std::memory_order_relaxed);
+      } else {
+        cv_work_.wait(lock, ready);
+      }
       if (stop_) return;
       seen_generation = generation_;
       task = tasks_[worker_index];
@@ -45,11 +94,14 @@ void ThreadPool::worker_loop(unsigned worker_index) {
     }
     std::exception_ptr err;
     if (task.begin < task.end) {
+      const bool acct = pool_accounting_enabled();
+      const int64_t t0 = acct ? mono_ns() : 0;
       try {
         (*task.fn)(task.begin, task.end);
       } catch (...) {
         err = std::current_exception();
       }
+      if (acct) busy_ns_.fetch_add(mono_ns() - t0, std::memory_order_relaxed);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -85,10 +137,15 @@ void ThreadPool::run_chunks(int64_t total,
   cv_work_.notify_all();
 
   std::exception_ptr my_err;
-  try {
-    if (my_end > 0) fn(0, my_end);
-  } catch (...) {
-    my_err = std::current_exception();
+  {
+    const bool acct = pool_accounting_enabled();
+    const int64_t t0 = acct ? mono_ns() : 0;
+    try {
+      if (my_end > 0) fn(0, my_end);
+    } catch (...) {
+      my_err = std::current_exception();
+    }
+    if (acct) busy_ns_.fetch_add(mono_ns() - t0, std::memory_order_relaxed);
   }
 
   {
@@ -105,13 +162,15 @@ void ThreadPool::run_chunks(int64_t total,
 }
 
 ThreadPool& ThreadPool::global() {
-  static ThreadPool pool([]() -> unsigned {
-    if (const char* env = std::getenv("DSX_THREADS")) {
-      const int v = std::atoi(env);
-      if (v > 0) return static_cast<unsigned>(v);
-    }
-    return 0;
-  }());
+  static ThreadPool pool(
+      []() -> unsigned {
+        if (const char* env = std::getenv("DSX_THREADS")) {
+          const int v = std::atoi(env);
+          if (v > 0) return static_cast<unsigned>(v);
+        }
+        return 0;
+      }(),
+      "global");
   return pool;
 }
 

@@ -6,26 +6,68 @@
 // static chunking, one chunk per worker, like an OpenMP `parallel for`.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace dsx::device {
 
+namespace detail {
+/// Process-wide switch for pool busy/idle accounting. Off by default so the
+/// steady-state cost of every accounting site is one relaxed load; the
+/// profiler (dsx::obs::prof) flips it on for the sampling window.
+inline std::atomic<bool> g_pool_accounting{false};
+}  // namespace detail
+
+/// True when busy/idle nanosecond accounting is active (one relaxed load -
+/// this is the whole off-path cost of an accounting site).
+inline bool pool_accounting_enabled() {
+  return detail::g_pool_accounting.load(std::memory_order_relaxed);
+}
+/// Enables/disables busy/idle accounting process-wide. Counters are
+/// cumulative and monotone; toggling only gates whether new time is added.
+inline void set_pool_accounting(bool on) {
+  detail::g_pool_accounting.store(on, std::memory_order_relaxed);
+}
+
 /// Fixed-size pool of worker threads executing range tasks.
 class ThreadPool {
  public:
-  /// `threads == 0` means std::thread::hardware_concurrency().
-  explicit ThreadPool(unsigned threads = 0);
+  /// `threads == 0` means std::thread::hardware_concurrency(). A non-empty
+  /// `name` registers the pool in the process-wide stats registry (see
+  /// pool_stats) so its busy/idle counters are exportable; anonymous pools
+  /// stay private.
+  explicit ThreadPool(unsigned threads = 0, std::string name = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   unsigned size() const { return static_cast<unsigned>(workers_.size()) + 1; }
+
+  const std::string& name() const { return name_; }
+  /// Cumulative nanoseconds pool threads spent executing chunks (includes
+  /// the calling thread's chunk 0). Only accumulates while
+  /// pool_accounting_enabled(); monotone.
+  int64_t busy_ns() const { return busy_ns_.load(std::memory_order_relaxed); }
+  /// Cumulative nanoseconds workers spent parked waiting for work. The
+  /// calling thread never parks, so idle covers workers_ only; monotone.
+  int64_t idle_ns() const { return idle_ns_.load(std::memory_order_relaxed); }
+
+  struct PoolStats {
+    std::string name;
+    unsigned threads = 0;
+    int64_t busy_ns = 0;
+    int64_t idle_ns = 0;
+  };
+  /// Snapshot of every live NAMED pool's counters (registry is
+  /// mutex-guarded; scrape-rate calls only).
+  static std::vector<PoolStats> pool_stats();
 
   /// Runs fn(begin, end) over [0, total) split into one contiguous chunk per
   /// pool thread (the calling thread executes one chunk too). Blocks until
@@ -54,6 +96,9 @@ class ThreadPool {
 
   void worker_loop(unsigned worker_index);
 
+  std::string name_;
+  std::atomic<int64_t> busy_ns_{0};
+  std::atomic<int64_t> idle_ns_{0};
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_work_;

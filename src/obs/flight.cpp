@@ -1,13 +1,16 @@
 #include "obs/flight.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <sstream>
 
 #include "obs/journal.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace dsx::obs::flight {
@@ -244,6 +247,27 @@ uint64_t promote(ModelState* st, Capture cap) {
     }
   }
   if (st != nullptr) st->add_outlier(cap);
+  // Per-verdict promotion mix, scrapeable without parsing /outliers.
+  // Handles registered once per verdict (promotion rate is low, but the
+  // registry lookup is a map walk - not for a per-promotion path). kNone
+  // stays detached: promote() is only reached on interesting verdicts, and
+  // a kNone capture (direct API use) should not mint a {verdict="none"}
+  // series.
+  {
+    static std::mutex counters_mu;
+    static std::array<Counter, 6> counters;
+    const auto vi = static_cast<size_t>(cap.verdict);
+    if (vi > 0 && vi < counters.size()) {
+      std::lock_guard<std::mutex> lock(counters_mu);
+      if (!counters[vi].attached()) {
+        counters[vi] = Registry::global().counter(
+            "dsx_obs_flight_promoted_total",
+            {{"verdict", verdict_name(cap.verdict)}},
+            "Flight-recorder captures promoted, by reply-time verdict");
+      }
+      counters[vi].inc();
+    }
+  }
   GlobalFlight& g = global_flight();
   const uint64_t id = cap.trace_id;
   {

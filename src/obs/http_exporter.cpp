@@ -19,6 +19,7 @@
 #include "common/check.hpp"
 #include "obs/flight.hpp"
 #include "obs/journal.hpp"
+#include "obs/prof.hpp"
 #include "obs/trace.hpp"
 
 namespace dsx::obs {
@@ -224,6 +225,7 @@ void Exporter::handle_connection(int fd) {
   // Parse the request line: METHOD SP TARGET SP VERSION.
   std::string method;
   std::string path;
+  std::string query;
   const size_t line_end = request.find("\r\n");
   const std::string line =
       line_end == std::string::npos ? request : request.substr(0, line_end);
@@ -233,10 +235,13 @@ void Exporter::handle_connection(int fd) {
   if (sp1 != std::string::npos && sp2 != std::string::npos) {
     method = line.substr(0, sp1);
     path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-    const size_t query = path.find('?');
-    if (query != std::string::npos) path.resize(query);
+    const size_t qmark = path.find('?');
+    if (qmark != std::string::npos) {
+      query = path.substr(qmark + 1);
+      path.resize(qmark);
+    }
   }
-  send_all(fd, respond(method, path, request));
+  send_all(fd, respond(method, path, query, request));
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
 }
@@ -267,6 +272,7 @@ bool accepts_openmetrics(const std::string& request) {
 
 std::string Exporter::respond(const std::string& method,
                               const std::string& path,
+                              const std::string& query,
                               const std::string& request) {
   if (method.empty() || path.empty()) {
     errors_.inc();
@@ -280,6 +286,7 @@ std::string Exporter::respond(const std::string& method,
   if (path == "/metrics") {
     requests_metrics_.inc();
     publish_trace_stats();
+    prof::publish_resource_stats();
     // Content negotiation: exemplar syntax is a parse error to the classic
     // 0.0.4 text parser, so exemplars (and the # EOF terminator) are served
     // only to scrapers that ask for application/openmetrics-text; everyone
@@ -302,6 +309,7 @@ std::string Exporter::respond(const std::string& method,
   if (path == "/metrics.json") {
     requests_other_.inc();
     publish_trace_stats();
+    prof::publish_resource_stats();
     return make_response(200, "OK", "application/json",
                          Registry::global().json_snapshot());
   }
@@ -342,6 +350,38 @@ std::string Exporter::respond(const std::string& method,
     return make_response(200, "OK", "application/json",
                          flight::outliers_json());
   }
+  if (path == "/profile" || path == "/profile.json") {
+    requests_other_.inc();
+    const bool json = path == "/profile.json";
+    // ?seconds=N (clamped to [1,30] by collect_window) profiles a fresh
+    // window: samples are cleared, the worker sleeps N seconds while the
+    // profiler runs (started at the default rate iff it was off), then the
+    // window is exported. Without the parameter, the currently retained
+    // samples are exported as-is - cheap, and meaningful only while the
+    // profiler is on. A blocked worker is the exporter design's accepted
+    // cost (bounded workers, 503 shed past max_connections) - serving
+    // threads are never involved.
+    int seconds = 0;
+    const size_t sec_at = query.find("seconds=");
+    if (sec_at != std::string::npos) {
+      seconds = std::atoi(query.c_str() + sec_at + 8);
+      if (seconds < 1) seconds = 1;
+    }
+    std::string body;
+    if (seconds > 0) {
+      body = prof::collect_window(seconds, json);
+    } else {
+      body = json ? prof::profile_json() : prof::folded_stacks();
+    }
+    if (json) {
+      return make_response(200, "OK", "application/json", body);
+    }
+    if (body.empty()) {
+      body = "# no samples (start the profiler: DSX_PROF=<hz>, "
+             "start_profile(), or pass ?seconds=N)\n";
+    }
+    return make_response(200, "OK", "text/plain; charset=utf-8", body);
+  }
   if (path == "/") {
     requests_other_.inc();
     return make_response(200, "OK", "text/plain",
@@ -356,7 +396,11 @@ std::string Exporter::respond(const std::string& method,
                          "  /journal.json  control-plane event journal "
                          "(JSON)\n"
                          "  /outliers      flight-recorder top-K outliers "
-                         "per model (JSON)\n");
+                         "per model (JSON)\n"
+                         "  /profile       folded stacks from the sampling "
+                         "profiler (?seconds=N profiles a window)\n"
+                         "  /profile.json  top-N self/total frame table "
+                         "(?seconds=N)\n");
   }
   errors_.inc();
   return make_response(404, "Not Found", "text/plain",

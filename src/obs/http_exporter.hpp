@@ -19,6 +19,9 @@
 //   GET /journal.json  the same journal, structured JSON
 //   GET /outliers      flight-recorder top-K latency outliers per model,
 //                      with per-span breakdowns (JSON)
+//   GET /profile       sampling-profiler folded stacks (flamegraph.pl
+//                      input); ?seconds=N profiles a fresh N-second window
+//   GET /profile.json  aggregated top-N self/total frame table (?seconds=N)
 //
 // Serving-path isolation is the design constraint: the exporter runs an
 // accept thread plus a small bounded worker pool, so a slow or stuck
@@ -90,10 +93,11 @@ class Exporter {
   void accept_loop();
   void worker_loop();
   void handle_connection(int fd);
-  /// `request` is the raw request text (for header-driven content
-  /// negotiation on /metrics).
+  /// `query` is the raw query string (after '?', possibly empty - /profile
+  /// reads seconds=N from it); `request` is the raw request text (for
+  /// header-driven content negotiation on /metrics).
   std::string respond(const std::string& method, const std::string& path,
-                      const std::string& request);
+                      const std::string& query, const std::string& request);
 
   ExporterOptions opts_;
   slo::SloEngine* slo_;

@@ -42,6 +42,8 @@ const char* event_kind_name(EventKind kind) {
       return "health";
     case EventKind::kFlight:
       return "flight";
+    case EventKind::kProfile:
+      return "profile";
   }
   return "?";
 }

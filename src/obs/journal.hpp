@@ -34,6 +34,7 @@ enum class EventKind {
   kIsaSelect,    // simd dispatch picked the process ISA level
   kHealth,       // SLO engine health transition (detail: evaluation)
   kFlight,       // flight recorder armed/disarmed (detail: cooldown, floor)
+  kProfile,      // sampling profiler started/stopped (detail: hz, samples)
 };
 
 const char* event_kind_name(EventKind kind);

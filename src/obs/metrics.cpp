@@ -288,7 +288,12 @@ std::string Registry::prometheus_text(const Exposition& expo) const {
             const int64_t n = bs.buckets[static_cast<size_t>(b)];
             if (n == 0) continue;
             cumulative += n;
-            const double upper = device::LogHistogram::bucket_upper(b);
+            // bucket_le, not bucket_upper: Prometheus `le` is inclusive and
+            // bucket_of's ranges are half-open, so the boundary is the
+            // largest value the bucket actually holds (exact - samples are
+            // int64 and every octave >= 3 edge is an integer). An exemplar
+            // attaches to the first bucket whose le covers its value.
+            const double upper = device::LogHistogram::bucket_le(b);
             out << cell->name << "_bucket"
                 << label_block(cell->labels,
                                "le=\"" + format_double(upper) + "\"")

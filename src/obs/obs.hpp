@@ -14,7 +14,11 @@
 //                 slow", answered after the fact);
 //   journal.hpp   a bounded ring of structured control-plane events - swaps,
 //                 promotions, rollbacks + reasons, guardrail verdicts, tuner
-//                 measurements, ISA selection ("what happened, in order").
+//                 measurements, ISA selection ("what happened, in order");
+//   prof.hpp      continuous profiling: SIGPROF sampling into per-thread
+//                 rings exported as flamegraph-ready folded stacks, plus
+//                 pool/arena/queue resource-utilization series ("where does
+//                 the CPU go, how full is the machine").
 //
 // Two layers judge and publish those signals:
 //
@@ -42,5 +46,6 @@
 #include "obs/http_exporter.hpp"  // IWYU pragma: export
 #include "obs/journal.hpp"        // IWYU pragma: export
 #include "obs/metrics.hpp"        // IWYU pragma: export
+#include "obs/prof.hpp"           // IWYU pragma: export
 #include "obs/slo.hpp"            // IWYU pragma: export
 #include "obs/trace.hpp"          // IWYU pragma: export

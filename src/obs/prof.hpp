@@ -1,0 +1,126 @@
+// dsx::obs::prof - continuous in-process profiling + resource utilization.
+//
+// The flight recorder (obs/flight.hpp) answers "which requests were slow";
+// this module answers "where does the process spend its CPU" and "how full
+// is the machine" - the two inputs fleet elasticity and thread-budget-keyed
+// tuning need. Two engines, zero new dependencies:
+//
+//  1. Sampling profiler. A POSIX interval timer (ITIMER_PROF) delivers
+//     SIGPROF at `hz`; the handler captures a backtrace async-signal-safely
+//     into a per-thread lock-free ring (the same single-writer ring
+//     discipline the tracer uses). Nothing in the signal path allocates,
+//     locks, or symbolizes - the handler is a thread-local slot lookup, a
+//     backtrace() into a preallocated slot, and one release store.
+//     Symbolization (dladdr + __cxa_demangle) happens lazily at export
+//     time, off the hot path, producing flamegraph.pl-compatible collapsed
+//     stacks (GET /profile?seconds=N) and a top-N self/total table
+//     (/profile.json).
+//
+//  2. Resource utilization. Scrape-time publication of the saturation
+//     signals the stack already counts once the profiler arms them:
+//     per-pool / per-shard-lane busy+idle nanoseconds from
+//     device::ThreadPool (dsx_device_pool_{busy,idle}_ns_total{pool=} and a
+//     derived utilization gauge), serving-arena occupancy and high-water
+//     marks from CompiledModel (dsx_serve_workspace_*_floats{model=}),
+//     batcher queue-depth / batch-occupancy histograms recorded at batch
+//     formation, and per-kernel-variant cumulative time keyed by the
+//     tuner's baked winner (dsx_tune_kernel_ns_total{variant=}).
+//
+// Overhead contract (the standing obs contract, extended): with the
+// profiler off, every instrumentation site this module adds costs at most
+// one relaxed atomic load; metric-handle writes stay the always-allowed
+// relaxed atomics. With the profiler sampling at the default rate the
+// serving path must hold >= 0.97x baseline QPS (bench/serve_throughput
+// gates it). Float evaluation order is never touched.
+//
+// Activation: DSX_PROF=<hz> env (read by InferenceServer's constructor),
+// InferenceServer::start_profile()/stop_profile(), or prof::start()/stop()
+// directly. Start/stop are journaled (EventKind::kProfile).
+//
+// Platform: the sampling engine is POSIX-only (signals + setitimer); on
+// other platforms start() returns false and the resource-utilization layer
+// still works.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dsx::obs::prof {
+
+namespace detail {
+/// Sampling rate in Hz; 0 = profiler off. The single relaxed load every
+/// gated instrumentation site pays.
+inline std::atomic<int> g_prof_hz{0};
+}  // namespace detail
+
+/// Default sampling rate. Prime, so the sampler never locks step with
+/// millisecond-periodic serving loops (pacing threads, batch deadlines).
+inline constexpr int kDefaultHz = 97;
+
+/// True while the profiler is sampling - ONE relaxed atomic load, the whole
+/// cost of a gated site when profiling is off.
+inline bool prof_enabled() {
+  return detail::g_prof_hz.load(std::memory_order_relaxed) != 0;
+}
+
+/// Current sampling rate in Hz (0 = off).
+inline int sampling_hz() {
+  return detail::g_prof_hz.load(std::memory_order_relaxed);
+}
+
+/// Starts the sampling profiler at `hz` (0 = kDefaultHz) and arms pool
+/// busy/idle accounting. Idempotent while running (returns true, keeps the
+/// original rate). Returns false when the platform lacks POSIX profiling
+/// timers or the timer cannot be armed. Journals EventKind::kProfile.
+bool start(int hz = 0);
+
+/// Disarms the timer and pool accounting; retained samples stay readable
+/// until clear_samples(). Idempotent. Journals EventKind::kProfile.
+void stop();
+
+/// Drops every retained sample (ring resets; dropped/captured totals keep
+/// counting). The windowed collectors call this at window start.
+void clear_samples();
+
+struct ProfileStats {
+  int64_t captured = 0;    // samples written into rings since process start
+  int64_t dropped = 0;     // SIGPROF deliveries that found no free slot
+  int64_t retained = 0;    // samples currently snapshottable
+  int threads = 0;         // threads that ever owned a sample ring
+};
+ProfileStats profile_stats();
+
+/// Retained samples as flamegraph.pl collapsed stacks: one
+/// "root;frame;leaf <count>" line per unique stack, root-first,
+/// symbolized via dladdr (+ demangle), unresolvable frames as raw "0x..."
+/// addresses. Empty string when nothing was sampled.
+std::string folded_stacks();
+
+/// Aggregated top-N frames by self samples:
+/// {"hz":..,"samples":N,"symbolized_pct":..,"frames":[{"frame":..,
+///  "self":..,"total":..}...]} - `self` counts leaf hits, `total` counts
+/// stacks the frame appears anywhere in (deduplicated per stack).
+std::string profile_json(int top_n = 30);
+
+/// Fraction of retained samples whose LEAF frame symbolized (0 when no
+/// samples). The bench gate requires >= 0.5 during a serving burst.
+double symbolized_fraction();
+
+/// Windowed collection for the HTTP endpoints: clears retained samples,
+/// sleeps `seconds` (clamped to [1, 30]) while the profiler runs, then
+/// snapshots. When the profiler is off it is started at kDefaultHz for the
+/// window and stopped after. Serialized internally; callers are exporter
+/// workers, never serving threads. `json` selects profile_json() vs
+/// folded_stacks() output.
+std::string collect_window(int seconds, bool json, int top_n = 30);
+
+/// Publishes the resource-utilization series into Registry::global():
+/// delta-advanced dsx_device_pool_{busy,idle}_ns_total{pool=} counters and
+/// dsx_device_pool_utilization_permille{pool=} gauges for every live named
+/// pool, plus dsx_obs_prof_samples_total / dsx_obs_prof_dropped_total.
+/// Called from the /metrics handlers at scrape time (the
+/// publish_trace_stats idiom).
+void publish_resource_stats();
+
+}  // namespace dsx::obs::prof

@@ -170,6 +170,27 @@ Shape CompiledModel::output_shape(int64_t batch) const {
   return model_->output_shape(input_shape(batch));
 }
 
+void CompiledModel::set_metric_scope(const std::string& model, int replica) {
+  if (model.empty()) {
+    ws_used_ = {};
+    ws_peak_ = {};
+    ws_capacity_ = {};
+    return;
+  }
+  obs::Labels labels{{"model", model}};
+  if (replica >= 0) labels.emplace_back("replica", std::to_string(replica));
+  obs::Registry& reg = obs::Registry::global();
+  ws_used_ = reg.gauge("dsx_serve_workspace_used_floats", labels,
+                       "Arena floats live after the plan's last run().");
+  ws_peak_ = reg.gauge("dsx_serve_workspace_peak_floats", labels,
+                       "Arena high-water mark in floats (cumulative).");
+  ws_capacity_ = reg.gauge("dsx_serve_workspace_capacity_floats", labels,
+                           "Arena reservation in floats.");
+  ws_used_.set(ws_.used_floats());
+  ws_peak_.set(ws_.peak_floats());
+  ws_capacity_.set(ws_.capacity_floats());
+}
+
 Tensor CompiledModel::run(const Tensor& batch) {
   DSX_REQUIRE(batch.shape().rank() == 4,
               "CompiledModel::run: input must be NCHW, got "
@@ -186,6 +207,12 @@ Tensor CompiledModel::run(const Tensor& batch) {
                                            << opts_.max_batch << "]");
   ws_.reset();
   Tensor y = model_->forward_inference(batch, ws_);
+  // Arena occupancy after the forward - unscoped plans pay three null
+  // checks, scoped ones three relaxed stores (the always-allowed
+  // metric-handle write path; float work untouched).
+  ws_used_.set(ws_.used_floats());
+  ws_peak_.set(ws_.peak_floats());
+  ws_capacity_.set(ws_.capacity_floats());
   // The result may alias arena memory; detach before the next reset().
   return y.clone();
 }

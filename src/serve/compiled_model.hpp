@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "nn/containers.hpp"
+#include "obs/metrics.hpp"
 #include "tensor/workspace.hpp"
 #include "tune/tune.hpp"
 
@@ -112,6 +113,15 @@ class CompiledModel {
   /// NOT thread-safe - see file comment.
   Tensor run(const Tensor& batch);
 
+  /// Registers the serving-arena occupancy gauges for this plan under
+  /// {model=`model`[, replica=R]}: dsx_serve_workspace_used_floats (floats
+  /// live after the last run), _peak_floats (high-water mark) and
+  /// _capacity_floats (arena reservation). Until called the handles are
+  /// detached and run() pays only their null checks; InferenceServer calls
+  /// it at registration/swap, ReplicaSet per replica. An empty `model`
+  /// detaches again.
+  void set_metric_scope(const std::string& model, int replica = -1);
+
   /// Compiles an independently executable replica of this plan: the frozen
   /// model is deep-copied (Layer::clone) and recompiled with the same
   /// options. By default kTune demotes to kCached - the replica re-resolves
@@ -138,6 +148,10 @@ class CompiledModel {
   std::unique_ptr<nn::Sequential> model_;
   Workspace ws_;
   CompileReport report_;
+  // Arena occupancy gauges (see set_metric_scope); detached by default.
+  obs::Gauge ws_used_;
+  obs::Gauge ws_peak_;
+  obs::Gauge ws_capacity_;
 };
 
 }  // namespace dsx::serve

@@ -103,6 +103,12 @@ BatcherMetricSet make_batcher_metrics(const std::string& model, int replica) {
   m.latency = reg.histogram(
       "dsx_serve_request_latency_us", labels,
       "Microseconds from submit to answer (the stats() latency).");
+  m.queue_depth_at_batch = reg.histogram(
+      "dsx_serve_queue_depth_at_batch", labels,
+      "Queue depth observed at each batch formation (backlog left behind).");
+  m.batch_occupancy = reg.histogram(
+      "dsx_serve_batch_occupancy_pct", labels,
+      "Executed batch size as a percentage of max_batch.");
   m.scope = obs::intern(model);
   m.flight = obs::flight::model_state(m.scope);
   return m;

@@ -126,6 +126,13 @@ struct BatcherMetricSet {
   obs::Histogram batch_size;   // dsx_serve_batch_size
   obs::Histogram queue_wait;   // dsx_serve_queue_wait_us
   obs::Histogram latency;      // dsx_serve_request_latency_us
+  /// Saturation distributions, sampled once per batch FORMATION (not per
+  /// request): the backlog observed when the batch was cut, and how full
+  /// the batch was as a percentage of max_batch. These are the queueing /
+  /// utilization inputs the profiler's resource layer exports for
+  /// fleet-elasticity decisions.
+  obs::Histogram queue_depth_at_batch;  // dsx_serve_queue_depth_at_batch
+  obs::Histogram batch_occupancy;      // dsx_serve_batch_occupancy_pct
   /// Interned scope name for trace/journal annotations ("" = unscoped).
   const char* scope = "";
   /// Flight-recorder verdict state for this scope (null = unscoped, no

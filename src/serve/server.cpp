@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/prof.hpp"
 
 namespace dsx::serve {
 
@@ -33,24 +34,59 @@ InferenceServer::InferenceServer() {
   static bool env_exporter_claimed = false;
   static std::mutex env_mu;
   const char* env = std::getenv("DSX_METRICS_PORT");
-  if (env == nullptr) return;
-  {
-    std::lock_guard<std::mutex> lock(env_mu);
-    if (env_exporter_claimed) return;
-    env_exporter_claimed = true;
+  if (env != nullptr) {
+    bool claim = false;
+    {
+      std::lock_guard<std::mutex> lock(env_mu);
+      claim = !env_exporter_claimed;
+      env_exporter_claimed = true;
+    }
+    const long port = std::strtol(env, nullptr, 10);
+    if (claim && port >= 0 && port <= 65535) {
+      try {
+        obs::ExporterOptions eopts;
+        eopts.port = static_cast<int>(port);
+        start_exporter(eopts);
+      } catch (const Error& e) {
+        obs::Journal::global().record(
+            obs::EventKind::kRegister, "obs.exporter",
+            std::string("DSX_METRICS_PORT ignored: ") + e.what());
+      }
+    }
   }
-  const long port = std::strtol(env, nullptr, 10);
-  if (port < 0 || port > 65535) return;
-  try {
-    obs::ExporterOptions eopts;
-    eopts.port = static_cast<int>(port);
-    start_exporter(eopts);
-  } catch (const Error& e) {
-    obs::Journal::global().record(obs::EventKind::kRegister, "obs.exporter",
-                                  std::string("DSX_METRICS_PORT ignored: ") +
-                                      e.what());
+  // DSX_PROF=<hz>: zero-code continuous profiling, same once-per-process
+  // claim. prof::start is idempotent while running, so a second server
+  // construction never re-arms or re-journals; an unusable rate or platform
+  // is journaled and ignored - profiling must never take serving down.
+  const char* prof_env = std::getenv("DSX_PROF");
+  if (prof_env != nullptr && prof_env[0] != '\0') {
+    static bool env_prof_claimed = false;
+    bool claim = false;
+    {
+      std::lock_guard<std::mutex> lock(env_mu);
+      claim = !env_prof_claimed;
+      env_prof_claimed = true;
+    }
+    if (claim) {
+      const long hz = std::strtol(prof_env, nullptr, 10);
+      if (hz > 0 && hz <= 1000) {
+        if (!obs::prof::start(static_cast<int>(hz))) {
+          obs::Journal::global().record(
+              obs::EventKind::kProfile, "prof",
+              "DSX_PROF ignored: sampling profiler unavailable");
+        }
+      } else {
+        obs::Journal::global().record(
+            obs::EventKind::kProfile, "prof",
+            std::string("DSX_PROF ignored: bad rate '") + prof_env + "'");
+      }
+    }
   }
 }
+
+bool InferenceServer::start_profile(int hz) { return obs::prof::start(hz); }
+
+void InferenceServer::stop_profile() { obs::prof::stop(); }
 
 std::future<Tensor> InferenceServer::Entry::submit(const Tensor& image) {
   if (replicas != nullptr) return replicas->submit(image);
@@ -101,6 +137,7 @@ void InferenceServer::register_model(const std::string& name,
   DSX_REQUIRE(model != nullptr, "register_model: null model");
   auto entry = std::make_shared<Entry>();
   entry->model = std::move(model);
+  entry->model->set_metric_scope(name);  // arena occupancy gauges
   entry->batcher = std::make_unique<DynamicBatcher>(*entry->model, opts);
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -197,6 +234,7 @@ SwapReport InferenceServer::swap_model(const std::string& name,
   }
   auto fresh = std::make_shared<Entry>();
   fresh->model = std::move(model);
+  fresh->model->set_metric_scope(name);  // fresh plan keeps the name's gauges
   fresh->batcher = std::make_unique<DynamicBatcher>(*fresh->model, opts);
   return install_and_drain(name, std::move(fresh));
 }

@@ -56,7 +56,10 @@ class InferenceServer {
   /// The first server constructed in the process also honors
   /// DSX_METRICS_PORT=<port>: zero-code adoption of the HTTP exporter,
   /// same pattern as DSX_TRACE/DSX_TUNE (port 0 = ephemeral; a bind
-  /// failure is logged to the journal, never fatal to serving).
+  /// failure is logged to the journal, never fatal to serving), and
+  /// DSX_PROF=<hz>: zero-code continuous profiling (obs::prof), sampling at
+  /// <hz> Hz for the process lifetime. Bad values / unsupported platforms
+  /// are journaled and ignored - never fatal to serving.
   InferenceServer();
   ~InferenceServer() { stop(); }
 
@@ -166,6 +169,16 @@ class InferenceServer {
   void stop_exporter();
   /// The running exporter's port; 0 when none is running.
   int exporter_port() const;
+
+  /// Starts the continuous sampling profiler (obs::prof) at `hz` Hz
+  /// (0 = prof::kDefaultHz) and arms pool busy/idle accounting; the
+  /// exporter then serves live windows on /profile[.json]. Process-wide
+  /// and idempotent while running; returns false when the platform has no
+  /// POSIX profiling timers. Runs until stop_profile() - it is NOT stopped
+  /// by stop() or destruction (profiling is process-scoped, not
+  /// server-scoped).
+  bool start_profile(int hz = 0);
+  void stop_profile();
 
   /// Drains and stops every batcher (and the exporter). Idempotent; new
   /// submits then throw Stopped, registration throws Error.

@@ -156,6 +156,15 @@ void DeadlineBatcher::form_batch_locked(
     }
   }
   metrics_.queue_depth.set(static_cast<int64_t>(queue_.size()));
+  // Saturation distributions, once per formed batch (both batcher surfaces
+  // funnel through here): the backlog this formation left behind, and how
+  // full the batch ran. Detached handles make these null-check no-ops for
+  // unscoped batchers; attached writes are the usual relaxed atomics.
+  if (!batch.empty()) {
+    metrics_.queue_depth_at_batch.record(static_cast<int64_t>(queue_.size()));
+    metrics_.batch_occupancy.record(static_cast<int64_t>(batch.size()) * 100 /
+                                    max_batch_);
+  }
 }
 
 void DeadlineBatcher::answer(std::deque<serve::Request>& batch,

@@ -42,13 +42,22 @@ ReplicaSet::ReplicaSet(std::unique_ptr<serve::CompiledModel> prototype,
   replicas_.reserve(static_cast<size_t>(opts.replicas));
   for (int r = 0; r < opts.replicas; ++r) {
     Replica rep;
-    rep.lane = std::make_unique<device::ThreadPool>(per_lane);
+    // Scoped fleets name their lanes ("<model>/lane<r>") so the profiler's
+    // resource layer exports per-lane busy/idle utilization; unscoped
+    // fleets keep anonymous (unexported) lanes.
+    rep.lane = std::make_unique<device::ThreadPool>(
+        per_lane, opts.metric_model.empty()
+                      ? std::string{}
+                      : opts.metric_model + "/lane" + std::to_string(r));
     if (r == 0) {
       rep.model = std::move(prototype);
     } else {
       device::PoolScope lane_scope(*rep.lane);
       rep.model = replicas_.front().model->clone_replica(
           replicas_.front().model->options().tuning);
+    }
+    if (!opts.metric_model.empty()) {
+      rep.model->set_metric_scope(opts.metric_model, r);  // arena gauges
     }
     replicas_.push_back(std::move(rep));
   }

@@ -1,16 +1,24 @@
 #include "tune/dispatch.hpp"
 
+#include <chrono>
 #include <sstream>
 
 #include "common/check.hpp"
 #include "core/scc_kernels.hpp"
 #include "obs/journal.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prof.hpp"
 #include "tune/tune.hpp"
 
 namespace dsx::tune {
 
 namespace {
+
+int64_t mono_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Shared dispatch skeleton for every op family: baked site -> off-mode
 /// default -> cache lookup -> (kTune) measure + record -> resolve -> bake ->
@@ -23,6 +31,15 @@ void dispatch_impl(const Problem& problem, Site* site, MakeKey&& make_key,
                    RunDefault&& run_default, TuneProblem&& tune_problem,
                    FindCandidate&& find_candidate, Enumerate&& enumerate) {
   if (site != nullptr && site->resolved()) {
+    // Kernel-variant time attribution, profiler-gated: with prof off the
+    // steady-state cost here is prof_enabled()'s single relaxed load. The
+    // clock reads bracket the existing call - float work is untouched.
+    if (obs::prof::prof_enabled()) {
+      const int64_t t0 = mono_ns();
+      site->baked->run(problem);
+      site->kernel_ns.inc(mono_ns() - t0);
+      return;
+    }
     site->baked->run(problem);
     return;
   }
@@ -90,6 +107,12 @@ void dispatch_impl(const Problem& problem, Site* site, MakeKey&& make_key,
   if (site != nullptr) {
     site->baked = cand;
     site->record = rec;
+    // Bake-time registration (cold path): all steady-state dispatches of
+    // this site attribute into the winner's per-variant series.
+    site->kernel_ns = obs::Registry::global().counter(
+        "dsx_tune_kernel_ns_total", {{"variant", cand->variant}},
+        "Nanoseconds spent inside baked tuned kernels, by winning variant "
+        "(attributed while the profiler is on)");
   }
   cand->run(problem);
 }

@@ -16,33 +16,43 @@
 
 #include <optional>
 
+#include "obs/metrics.hpp"
 #include "tune/cache.hpp"
 #include "tune/registry.hpp"
 
 namespace dsx::tune {
 
 /// Per-call-site baked resolution for SCC forward.
+///
+/// `kernel_ns` feeds dsx_tune_kernel_ns_total{variant=}: cumulative time the
+/// process spent inside this site's baked winner, attributed at dispatch
+/// while the profiler samples (obs::prof). Registered at bake time (cold
+/// path) keyed by the winner's variant; detached until then and whenever
+/// profiling is off the fast path pays one relaxed load only.
 struct SccSite {
   std::optional<SCCCandidate> baked;
   std::optional<TuningRecord> record;  // absent when baked the default
+  obs::Counter kernel_ns;
   bool resolved() const { return baked.has_value(); }
-  void reset() { baked.reset(); record.reset(); }
+  void reset() { baked.reset(); record.reset(); kernel_ns = {}; }
 };
 
 /// Per-call-site baked resolution for conv2d forward.
 struct ConvSite {
   std::optional<ConvCandidate> baked;
   std::optional<TuningRecord> record;
+  obs::Counter kernel_ns;
   bool resolved() const { return baked.has_value(); }
-  void reset() { baked.reset(); record.reset(); }
+  void reset() { baked.reset(); record.reset(); kernel_ns = {}; }
 };
 
 /// Per-call-site baked resolution for depthwise forward.
 struct DepthwiseSite {
   std::optional<DepthwiseCandidate> baked;
   std::optional<TuningRecord> record;
+  obs::Counter kernel_ns;
   bool resolved() const { return baked.has_value(); }
-  void reset() { baked.reset(); record.reset(); }
+  void reset() { baked.reset(); record.reset(); kernel_ns = {}; }
 };
 
 /// Executes the best-known SCC forward implementation for this problem.

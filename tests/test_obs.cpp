@@ -1630,4 +1630,291 @@ TEST(Intern, ConcurrentHammerDedupsToStablePointers) {
 }
 
 }  // namespace
+
+// ---- obs::prof (continuous profiling + resource utilization) ---------------
+
+// Sampling-profiler tests arm a real SIGPROF timer; under ASan/TSan the
+// signal interacts with the sanitizer runtime in ways the production
+// overhead contract does not care about, so they skip there (the ci.sh http
+// smoke and the bench gate cover sampling on the plain build).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DSX_PROF_TESTS_SANITIZED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#ifndef DSX_PROF_TESTS_SANITIZED
+#define DSX_PROF_TESTS_SANITIZED 1
+#endif
+#endif
+#endif
+#ifndef DSX_PROF_TESTS_SANITIZED
+#define DSX_PROF_TESTS_SANITIZED 0
+#endif
+
+/// External linkage + noinline + noclone, so dladdr can resolve the frame in
+/// captured stacks (anonymous-namespace functions never symbolize - that is
+/// the negative case, not the one under test; and without noclone, GCC's
+/// constant-propagation pass redirects constant-argument calls to a LOCAL
+/// .constprop clone absent from the dynamic symbol table).
+__attribute__((noinline, noclone)) double dsx_prof_test_burn(int64_t iters) {
+  volatile double x = 1.0000001;
+  for (int64_t i = 0; i < iters; ++i) x = x * 1.0000001 + 1e-9;
+  return x;
+}
+
+namespace {
+
+/// RAII start/stop so a failing assertion never leaks a live SIGPROF timer
+/// into later tests.
+struct ProfScope {
+  bool ok;
+  explicit ProfScope(int hz = 0) : ok(prof::start(hz)) {}
+  ~ProfScope() { prof::stop(); }
+};
+
+TEST(LogHistogram, BucketLeIsInclusiveForEverySampleValue) {
+  // bucket_le must be the largest value its bucket holds: >= every member
+  // value, and still mapping into the same bucket (bucket_upper, the
+  // half-open edge, maps into the NEXT bucket for b >= 8).
+  for (const int64_t v : {0LL, 5LL, 7LL, 8LL, 16LL, 17LL, 18LL, 100000LL}) {
+    const int b = device::LogHistogram::bucket_of(v);
+    const double le = device::LogHistogram::bucket_le(b);
+    EXPECT_GE(le, static_cast<double>(v)) << "value " << v;
+    EXPECT_EQ(device::LogHistogram::bucket_of(static_cast<int64_t>(le)), b)
+        << "value " << v;
+    if (b >= 8) {
+      EXPECT_NE(device::LogHistogram::bucket_of(static_cast<int64_t>(
+                    device::LogHistogram::bucket_upper(b))),
+                b)
+          << "half-open edge must belong to the next bucket, value " << v;
+    }
+  }
+}
+
+TEST(LogHistogram, ExpositionCountsValueLandingExactlyOnABucketEdge) {
+  // Regression for the documented bucket_upper-vs-`le` mismatch: 18 lands
+  // exactly on bucket 32's exclusive edge ([16,18) -> le="17") and is filed
+  // into bucket 33 ([18,20) -> le="19"). The old exposition labeled bucket
+  // 32 le="18", silently excluding an 18-valued sample from its own `le`.
+  Histogram h = Registry::global().histogram("dsx_test_edge_hist", {},
+                                             "edge regression");
+  h.record(16);
+  h.record(18);
+  Registry::Exposition expo;
+  expo.native_histogram_buckets = true;
+  const std::string text = Registry::global().prometheus_text(expo);
+  EXPECT_NE(text.find("dsx_test_edge_hist_bucket{le=\"17\"} 1"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("dsx_test_edge_hist_bucket{le=\"19\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_EQ(text.find("dsx_test_edge_hist_bucket{le=\"18\"}"),
+            std::string::npos)
+      << "half-open edge leaked into the exposition:\n" << text;
+}
+
+TEST(Flight, PromotionCountersCountByVerdict) {
+  const auto count = [](const char* verdict) {
+    return Registry::global().sum_counter("dsx_obs_flight_promoted_total",
+                                          {{"verdict", verdict}});
+  };
+  const int64_t absolute0 = count("absolute");
+  const int64_t shed0 = count("shed");
+  flight::Capture cap;
+  cap.latency_us = 123456;
+  cap.threshold_us = 100000;
+  cap.verdict = flight::Verdict::kAbsolute;
+  flight::promote(nullptr, cap);
+  flight::Capture cap2;
+  cap2.latency_us = 1;
+  cap2.verdict = flight::Verdict::kShed;
+  flight::promote(nullptr, cap2);
+  flight::promote(nullptr, cap2);
+  EXPECT_EQ(count("absolute"), absolute0 + 1);
+  EXPECT_EQ(count("shed"), shed0 + 2);
+}
+
+TEST(Prof, StartStopGatesSamplingAndJournals) {
+  if (DSX_PROF_TESTS_SANITIZED) GTEST_SKIP() << "sampling under sanitizers";
+  ASSERT_FALSE(prof::prof_enabled());
+  const int64_t captured0 = prof::profile_stats().captured;
+  {
+    ProfScope prof_on(101);
+    ASSERT_TRUE(prof_on.ok) << "POSIX profiling timer unavailable";
+    EXPECT_TRUE(prof::prof_enabled());
+    EXPECT_EQ(prof::sampling_hz(), 101);
+    EXPECT_TRUE(device::pool_accounting_enabled());
+    // ITIMER_PROF counts CPU time - burn some so samples actually land.
+    (void)dsx_prof_test_burn(60'000'000);
+    EXPECT_GT(prof::profile_stats().captured, captured0);
+  }
+  EXPECT_FALSE(prof::prof_enabled());
+  EXPECT_FALSE(device::pool_accounting_enabled());
+  bool started = false;
+  bool stopped = false;
+  for (const Event& ev : Journal::global().events(EventKind::kProfile)) {
+    started = started || ev.detail.find("started at 101 Hz") != std::string::npos;
+    stopped = stopped || ev.detail.find("stopped") != std::string::npos;
+  }
+  EXPECT_TRUE(started);
+  EXPECT_TRUE(stopped);
+}
+
+TEST(Prof, FoldedStacksSymbolizeTheBurnFrame) {
+  if (DSX_PROF_TESTS_SANITIZED) GTEST_SKIP() << "sampling under sanitizers";
+  ProfScope prof_on;
+  ASSERT_TRUE(prof_on.ok) << "POSIX profiling timer unavailable";
+  prof::clear_samples();
+  double sink = 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  // Burn until enough CPU samples accumulated (bounded: CI machines stall).
+  while (prof::profile_stats().retained < 10 &&
+         std::chrono::steady_clock::now() < deadline) {
+    sink += dsx_prof_test_burn(20'000'000);
+  }
+  ASSERT_GT(prof::profile_stats().retained, 0) << "no SIGPROF samples landed";
+  const std::string folded = prof::folded_stacks();
+  ASSERT_FALSE(folded.empty());
+  // Folded format: "frame;frame;... count" lines.
+  EXPECT_NE(folded.find(' '), std::string::npos);
+  EXPECT_NE(folded.find("dsx_prof_test_burn"), std::string::npos)
+      << "burn frame did not symbolize:\n" << folded.substr(0, 2000);
+  EXPECT_GT(prof::symbolized_fraction(), 0.5);
+  const std::string json = prof::profile_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("dsx_prof_test_burn"), std::string::npos);
+  (void)sink;
+}
+
+TEST(Prof, EndpointServesFoldedStacksOverHttp) {
+  if (DSX_PROF_TESTS_SANITIZED) GTEST_SKIP() << "sampling under sanitizers";
+  Exporter exporter;
+  exporter.start();
+  const int port = exporter.port();
+  ASSERT_GT(port, 0);
+  // Keep a core busy while the 1-second window samples.
+  std::atomic<bool> stop_burn{false};
+  std::thread burner([&] {
+    double sink = 0;
+    while (!stop_burn.load(std::memory_order_relaxed)) {
+      sink += dsx_prof_test_burn(5'000'000);
+    }
+    (void)sink;
+  });
+  const HttpResponse folded =
+      http_get("127.0.0.1", port, "/profile?seconds=1",
+               std::chrono::milliseconds(15000));
+  const HttpResponse json =
+      http_get("127.0.0.1", port, "/profile.json?seconds=1",
+               std::chrono::milliseconds(15000));
+  stop_burn.store(true, std::memory_order_relaxed);
+  burner.join();
+  exporter.stop();
+  EXPECT_EQ(folded.status, 200);
+  EXPECT_FALSE(folded.body.empty());
+  EXPECT_NE(folded.body.find("dsx_prof_test_burn"), std::string::npos)
+      << folded.body.substr(0, 2000);
+  EXPECT_EQ(json.status, 200);
+  EXPECT_TRUE(json_well_formed(json.body)) << json.body;
+  // The windowed endpoint auto-starts and auto-stops the profiler.
+  EXPECT_FALSE(prof::prof_enabled());
+}
+
+TEST(Prof, KernelTimeAttributesToTheBakedWinner) {
+  if (DSX_PROF_TESTS_SANITIZED) GTEST_SKIP() << "sampling under sanitizers";
+  serve::CompileOptions copts;
+  copts.max_batch = 2;
+  copts.tuning = tune::Mode::kCached;  // resolves + bakes every call site
+  serve::CompiledModel model(make_scc_model(0x9e1u), Shape({3, kImage, kImage}),
+                             copts);
+  Rng rng(0x77u);
+  const Tensor batch = random_uniform(model.input_shape(2), rng);
+  const auto total = [] {
+    return Registry::global().sum_counter("dsx_tune_kernel_ns_total", {});
+  };
+  // Profiler off: the dispatch fast path must not attribute anything.
+  const int64_t before_off = total();
+  (void)model.run(batch);
+  EXPECT_EQ(total(), before_off);
+  {
+    ProfScope prof_on;
+    ASSERT_TRUE(prof_on.ok) << "POSIX profiling timer unavailable";
+    (void)model.run(batch);
+  }
+  EXPECT_GT(total(), before_off)
+      << "baked-winner dispatch did not attribute kernel time";
+}
+
+TEST(Prof, WorkspaceGaugesTrackArenaOccupancy) {
+  serve::CompiledModel model(make_scc_model(0x5a2u), Shape({3, kImage, kImage}),
+                             {.max_batch = 2});
+  model.set_metric_scope("wsmodel");
+  Rng rng(0x31u);
+  (void)model.run(random_uniform(model.input_shape(2), rng));
+  Registry& reg = Registry::global();
+  const obs::Labels labels{{"model", "wsmodel"}};
+  const int64_t used =
+      reg.gauge("dsx_serve_workspace_used_floats", labels).value();
+  const int64_t peak =
+      reg.gauge("dsx_serve_workspace_peak_floats", labels).value();
+  const int64_t cap =
+      reg.gauge("dsx_serve_workspace_capacity_floats", labels).value();
+  EXPECT_GT(used, 0);
+  EXPECT_GE(peak, used);
+  EXPECT_GE(cap, peak);
+  EXPECT_EQ(peak, model.report().workspace_floats);
+}
+
+TEST(Prof, BatchFormationRecordsQueueDepthAndOccupancy) {
+  serve::InferenceServer server;
+  auto model = std::make_unique<serve::CompiledModel>(
+      make_scc_model(0x41u), Shape({3, kImage, kImage}),
+      serve::CompileOptions{.max_batch = 4});
+  serve::BatcherOptions bopts;
+  bopts.max_batch = 4;
+  server.register_model("profq", std::move(model), bopts);
+  Rng rng(0x99u);
+  const Tensor image = random_uniform(Shape({3, kImage, kImage}), rng);
+  for (int i = 0; i < 8; ++i) (void)server.infer("profq", image);
+  server.stop();
+  Registry& reg = Registry::global();
+  const obs::Labels labels{{"model", "profq"}};
+  EXPECT_GT(
+      reg.histogram("dsx_serve_batch_occupancy_pct", labels).snapshot().count,
+      0);
+  EXPECT_GT(
+      reg.histogram("dsx_serve_queue_depth_at_batch", labels).snapshot().count,
+      0);
+  // Occupancy is a percentage of max_batch - never above 100.
+  EXPECT_LE(
+      reg.histogram("dsx_serve_batch_occupancy_pct", labels).snapshot().max,
+      100);
+}
+
+TEST(Prof, PublishResourceStatsExportsNamedPools) {
+  device::ThreadPool pool(2, "prof-test-pool");
+  device::set_pool_accounting(true);
+  pool.run_chunks(1 << 18, [](int64_t b, int64_t e) {
+    volatile double x = 0;
+    for (int64_t i = b; i < e; ++i) x = x + static_cast<double>(i);
+  });
+  device::set_pool_accounting(false);
+  prof::publish_resource_stats();
+  Registry& reg = Registry::global();
+  EXPECT_GT(reg.sum_counter("dsx_device_pool_busy_ns_total",
+                            {{"pool", "prof-test-pool"}}),
+            0);
+  // The global pool registers under "global" on first use.
+  (void)device::ThreadPool::global();
+  prof::publish_resource_stats();
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("dsx_device_pool_busy_ns_total{pool=\"global\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("dsx_device_pool_utilization_permille"),
+            std::string::npos);
+}
+
+}  // namespace
 }  // namespace dsx::obs
