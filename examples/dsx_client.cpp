@@ -1,0 +1,129 @@
+// dsx_client - send an image to a dsx::net ingress and print the reply.
+//
+// The other half of `example_serve_mobilenet_scc --listen PORT`: connects
+// to the framed TCP protocol (src/net/protocol.hpp), sends one or more
+// single-image requests and prints each reply's status and top class. A
+// separate process on purpose - this is the over-the-wire smoke that proves
+// the wire format, not an in-process shortcut.
+//
+//   ./build/example_serve_mobilenet_scc --listen 0   (note INGRESS_PORT=N)
+//   ./build/example_dsx_client --port N --model mobilenet-scc
+//
+// Exit code 0 iff every reply came back kOk.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/net.hpp"
+#include "tensor/random.hpp"
+#include "tensor/shape.hpp"
+
+namespace {
+
+void print_usage(const char* prog) {
+  std::printf(
+      "usage: %s --port PORT [options]\n"
+      "\n"
+      "  --port PORT     ingress port to connect to (required)\n"
+      "  --host HOST     ingress host (default 127.0.0.1)\n"
+      "  --model NAME    model to request (default mobilenet-scc)\n"
+      "  --token TOKEN   tenant auth token (default: anonymous)\n"
+      "  --count N       requests to send, pipelined (default 1)\n"
+      "  --image SIZE    square image edge in pixels (default 16; must\n"
+      "                  match the served model's input)\n"
+      "  --seed N        RNG seed for the synthetic image (default 13)\n"
+      "  --deadline-us N relative deadline per request (default none)\n"
+      "  --help          this message\n",
+      prog);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dsx;
+  net::ClientOptions opts;
+  std::string model = "mobilenet-scc";
+  int count = 1;
+  int64_t image = 16;
+  uint64_t seed = 13;
+  uint64_t deadline_us = 0;
+  for (int i = 1; i < argc; ++i) {
+    const auto arg_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value (see --help)\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--help") == 0) {
+      print_usage(argv[0]);
+      return 0;
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      opts.port = std::atoi(arg_value("--port"));
+    } else if (std::strcmp(argv[i], "--host") == 0) {
+      opts.host = arg_value("--host");
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      model = arg_value("--model");
+    } else if (std::strcmp(argv[i], "--token") == 0) {
+      opts.token = arg_value("--token");
+    } else if (std::strcmp(argv[i], "--count") == 0) {
+      count = std::atoi(arg_value("--count"));
+    } else if (std::strcmp(argv[i], "--image") == 0) {
+      image = std::atoll(arg_value("--image"));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      seed = static_cast<uint64_t>(std::atoll(arg_value("--seed")));
+    } else if (std::strcmp(argv[i], "--deadline-us") == 0) {
+      deadline_us = static_cast<uint64_t>(std::atoll(arg_value("--deadline-us")));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (see --help)\n", argv[i]);
+      return 2;
+    }
+  }
+  if (opts.port <= 0 || opts.port > 65535) {
+    std::fprintf(stderr, "--port is required (see --help)\n");
+    return 2;
+  }
+  if (count <= 0 || image <= 0) {
+    std::fprintf(stderr, "--count and --image must be positive\n");
+    return 2;
+  }
+
+  try {
+    net::Client client(opts);
+    Rng rng(seed);
+    // Pipelined: all requests go out before the first reply is awaited.
+    std::vector<uint64_t> ids;
+    for (int i = 0; i < count; ++i) {
+      ids.push_back(client.send(
+          model, random_uniform(make_nchw(1, 3, image, image), rng, -1, 1),
+          serve::Priority::kNormal, deadline_us));
+    }
+    int ok = 0;
+    for (uint64_t id : ids) {
+      const net::ReplyFrame reply = client.recv(id);
+      if (reply.status != net::Status::kOk) {
+        std::printf("request %llu: status=%s (%s)\n",
+                    static_cast<unsigned long long>(id),
+                    net::status_name(reply.status), reply.message.c_str());
+        continue;
+      }
+      // Top class of the returned logits.
+      const float* logits = reply.output.data();
+      int64_t best = 0;
+      for (int64_t c = 1; c < reply.output.numel(); ++c) {
+        if (logits[c] > logits[best]) best = c;
+      }
+      std::printf("request %llu: status=ok class=%lld logit=%.4f\n",
+                  static_cast<unsigned long long>(id),
+                  static_cast<long long>(best), logits[best]);
+      ++ok;
+    }
+    std::printf("%d/%d replies ok\n", ok, count);
+    return ok == count ? 0 : 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "dsx_client: %s\n", e.what());
+    return 1;
+  }
+}

@@ -38,6 +38,7 @@
 #include "data/synth.hpp"
 #include "deploy/deploy.hpp"
 #include "models/mobilenet.hpp"
+#include "net/net.hpp"
 #include "nn/sgd.hpp"
 #include "nn/trainer.hpp"
 #include "obs/obs.hpp"
@@ -416,6 +417,101 @@ int run_canary_demo() {
   return ok ? 0 : 1;
 }
 
+int run_listen_demo(int port) {
+  using namespace dsx;
+  const int64_t image = 16;
+
+  // Two store-backed designs under a residency budget that fits ~1.5 of
+  // them: requesting the cold name evicts the other and faults in from
+  // disk - watch it live on GET /residency.
+  const std::string store_root = "dsx_listen_store";
+  std::filesystem::remove_all(store_root);
+  deploy::ModelStore store(store_root);
+  deploy::ArchSpec spec;
+  spec.family = "mobilenet";
+  spec.num_classes = 10;
+  spec.image = image;
+  spec.scheme = scheme();
+  for (const auto& [name, seed] :
+       {std::pair<const char*, uint64_t>{"mobilenet-scc", 7},
+        std::pair<const char*, uint64_t>{"mobilenet-scc-alt", 8}}) {
+    spec.init_seed = seed;
+    auto net = deploy::build_architecture(spec);
+    store.save_version(name, "v1", *net, spec);
+  }
+
+  serve::InferenceServer server;
+  const int metrics_port = server.start_exporter({.port = 0});
+
+  net::ResidencyOptions ropts;
+  {
+    auto probe =
+        store.compile("mobilenet-scc", "v1", {.max_batch = 8});
+    const int64_t cost = probe->report().param_floats +
+                         probe->report().workspace_floats;
+    ropts.budget_floats = cost + cost / 2;
+  }
+  ropts.compile.max_batch = 8;
+  net::ResidencyManager residency(server, store, ropts);
+  residency.add_model("mobilenet-scc", "v1");
+  residency.add_model("mobilenet-scc-alt", "v1");
+
+  net::IngressOptions iopts;
+  iopts.port = port;
+  iopts.tenants = {
+      net::TenantSpec{.token = "demo-interactive",
+                      .priority = serve::Priority::kInteractive},
+      net::TenantSpec{.token = "demo-bulk",
+                      .priority = serve::Priority::kBulk,
+                      .max_inflight = 8},
+  };
+  net::IngressServer ingress(server, iopts, &residency);
+  ingress.start();
+
+  // The machine-readable lines CI greps for (flushed before traffic).
+  std::printf("INGRESS_PORT=%d\n", ingress.port());
+  std::printf("METRICS_PORT=%d\n", metrics_port);
+  std::fflush(stdout);
+  std::printf(
+      "listening; send an image:\n"
+      "  ./build/example_dsx_client --port %d --model mobilenet-scc\n"
+      "residency table:  curl http://127.0.0.1:%d/residency\n"
+      "metrics:          curl http://127.0.0.1:%d/metrics | grep dsx_net\n",
+      ingress.port(), metrics_port, metrics_port);
+
+  // Fault both names once so /residency shows a real eviction before any
+  // client arrives.
+  Rng img_rng(13);
+  const Tensor img = random_uniform(make_nchw(1, 3, image, image), img_rng);
+  (void)residency.infer("mobilenet-scc", img);
+  (void)residency.infer("mobilenet-scc-alt", img);
+  const net::ResidencyStats warm = residency.stats();
+  std::printf("residency: %lld registered, %lld resident, %lld faults, "
+              "%lld evictions (budget %lld floats)\n",
+              static_cast<long long>(warm.registered),
+              static_cast<long long>(warm.resident),
+              static_cast<long long>(warm.faults),
+              static_cast<long long>(warm.evictions),
+              static_cast<long long>(warm.budget_floats));
+
+  constexpr auto kServeFor = std::chrono::seconds(30);
+  std::this_thread::sleep_for(kServeFor);
+
+  const net::IngressServer::Stats stats = ingress.stats();
+  std::printf("ingress: %llu connections, %llu frames, %llu replies "
+              "(%llu dropped), %llu framing errors, %llu rejected\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.frames),
+              static_cast<unsigned long long>(stats.replies),
+              static_cast<unsigned long long>(stats.dropped_replies),
+              static_cast<unsigned long long>(stats.framing_errors),
+              static_cast<unsigned long long>(stats.rejected));
+  ingress.stop();
+  server.stop();
+  std::filesystem::remove_all(store_root);
+  return 0;
+}
+
 void print_usage(const char* prog) {
   std::printf(
       "usage: %s [demo] [observability flags]\n"
@@ -425,6 +521,12 @@ void print_usage(const char* prog) {
       "  --tune        cold- vs warm-cache autotuned compile (dsx::tune)\n"
       "  --shard [R]   sharded serving across R replicas (dsx::shard)\n"
       "  --canary      shadow -> canary -> promote rollout (dsx::deploy)\n"
+      "  --listen PORT network ingress demo (dsx::net): two store-backed\n"
+      "                models under a residency budget that fits one and a\n"
+      "                half, served over the framed TCP protocol on PORT\n"
+      "                (0 = ephemeral; prints 'INGRESS_PORT=<port>' and\n"
+      "                'METRICS_PORT=<port>') for ~30s - drive it with\n"
+      "                example_dsx_client, watch GET /residency meanwhile\n"
       "  --serve-metrics PORT\n"
       "                live telemetry endpoint demo (dsx::obs): compile and\n"
       "                serve the model, start the HTTP exporter on PORT\n"
@@ -459,10 +561,17 @@ int main(int argc, char** argv) {
   using namespace dsx;
   bool metrics = false;
   const char* trace_path = nullptr;
-  enum class Demo { kServe, kTune, kShard, kCanary, kMetricsEndpoint } demo =
-      Demo::kServe;
+  enum class Demo {
+    kServe,
+    kTune,
+    kShard,
+    kCanary,
+    kMetricsEndpoint,
+    kListen
+  } demo = Demo::kServe;
   int replicas = 2;
   int serve_metrics_port = 0;
+  int listen_port = 0;
   double slo_p99_ms = 0.0;
   bool profile = false;
   for (int i = 1; i < argc; ++i) {
@@ -501,6 +610,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--serve-metrics: bad port '%s'\n", argv[i]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "--listen requires a port (0 = ephemeral; see --help)\n");
+        return 2;
+      }
+      demo = Demo::kListen;
+      listen_port = std::atoi(argv[++i]);
+      if (listen_port < 0 || listen_port > 65535 ||
+          (listen_port == 0 && std::strcmp(argv[i], "0") != 0)) {
+        std::fprintf(stderr, "--listen: bad port '%s'\n", argv[i]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "--profile") == 0) {
       profile = true;
     } else if (std::strcmp(argv[i], "--slo-p99-ms") == 0) {
@@ -536,6 +658,9 @@ int main(int argc, char** argv) {
       break;
     case Demo::kMetricsEndpoint:
       rc = run_metrics_endpoint_demo(serve_metrics_port, slo_p99_ms, profile);
+      break;
+    case Demo::kListen:
+      rc = run_listen_demo(listen_port);
       break;
     case Demo::kServe:
       rc = run_serving_demo();

@@ -5,9 +5,11 @@
 #                                (writes BENCH_serve_throughput.json,
 #                                 BENCH_shard_scaling.json,
 #                                 BENCH_deploy_swap.json,
+#                                 BENCH_net_ingress.json,
 #                                 BENCH_micro_kernels.json, BENCH_tune.json,
 #                                 BENCH_simd_gemm.json)
-#                                plus the deploy canary walkthrough
+#                                plus the deploy canary walkthrough and the
+#                                net wire smoke (separate client process)
 #   scripts/ci.sh --fast       - skip the smoke benches (tier-1 only)
 #   scripts/ci.sh --sanitize   - additionally build Debug + ASan/UBSan in
 #                                build-sanitize/ and run the tier-1 suite
@@ -16,9 +18,11 @@
 #                                and misaligned loads in the simd kernels),
 #                                then build Debug + TSan in build-tsan/ and
 #                                run the obs string-interning and exemplar
-#                                seqlock suites (Intern.*, ExemplarSeqlock.*)
-#                                plus the thread-pool accounting suite
-#                                (PoolAccounting.*) under it
+#                                seqlock suites (Intern.*, ExemplarSeqlock.*),
+#                                the thread-pool accounting suite
+#                                (PoolAccounting.*) and the full net suite
+#                                (ingress event loop + dispatch pool +
+#                                residency single-flight) under it
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -58,6 +62,13 @@ if [[ "${FAST}" != "1" ]]; then
   # Hot-swaps under sustained load; asserts zero dropped/duplicated replies
   # and every answer bit-identical to a registered version.
   ./build/bench_deploy_swap --smoke --json
+
+  echo "== net ingress (smoke, json) =="
+  # Loopback wire QPS vs the in-process submit() path at equal concurrency
+  # (SHAPE-CHECK >= 0.9x), every submitted request answered, then a
+  # residency-churn phase (3 models under a budget for ~2.5) with zero
+  # errors while evictions and fault-ins run.
+  ./build/bench_net_ingress --smoke --json
 
   echo "== deploy canary walkthrough =="
   # Store -> shadow -> canary -> promote; asserts the promoted fleet serves
@@ -235,6 +246,56 @@ if [[ "${FAST}" != "1" ]]; then
     echo "curl not available; skipping HTTP endpoint smoke"
   fi
 
+  echo "== net smoke: framed TCP ingress + residency (separate process) =="
+  # The example listens on an ephemeral port; example_dsx_client - a
+  # genuinely separate process - speaks the framed protocol end to end and
+  # exits 0 iff every reply came back kOk, so a lost or errored reply fails
+  # CI here. The second model overflows the demo's budget (~1.5 models), so
+  # requesting it forces a real eviction + fault-in over the wire.
+  rm -f listen_ci.log client_ci.txt
+  ./build/example_serve_mobilenet_scc --listen 0 > listen_ci.log 2>&1 &
+  SRV_PID=$!
+  IPORT=""
+  for _ in $(seq 1 150); do
+    IPORT="$(sed -n 's/^INGRESS_PORT=//p' listen_ci.log)"
+    [[ -n "${IPORT}" ]] && break
+    sleep 0.2
+  done
+  [[ -n "${IPORT}" ]] \
+    || { echo "net smoke: no INGRESS_PORT line" >&2; kill "${SRV_PID}"; exit 1; }
+  ./build/example_dsx_client --port "${IPORT}" --model mobilenet-scc \
+    --count 3 --token demo-interactive > client_ci.txt \
+    || { echo "net smoke: client run failed:" >&2; cat client_ci.txt >&2
+         kill "${SRV_PID}"; exit 1; }
+  grep -q '^3/3 replies ok' client_ci.txt \
+    || { echo "net smoke: expected 3/3 replies ok:" >&2; cat client_ci.txt >&2
+         kill "${SRV_PID}"; exit 1; }
+  ./build/example_dsx_client --port "${IPORT}" --model mobilenet-scc-alt \
+    --count 2 --token demo-bulk > client_ci.txt \
+    || { echo "net smoke: cold-model client run failed:" >&2
+         cat client_ci.txt >&2; kill "${SRV_PID}"; exit 1; }
+  grep -q '^2/2 replies ok' client_ci.txt \
+    || { echo "net smoke: expected 2/2 replies ok on fault-in:" >&2
+         cat client_ci.txt >&2; kill "${SRV_PID}"; exit 1; }
+  if [[ -n "${CURL:-}" ]]; then
+    MPORT="$(sed -n 's/^METRICS_PORT=//p' listen_ci.log)"
+    ${CURL} "http://127.0.0.1:${MPORT}/residency" > residency_ci.json
+    grep -q '"budget_floats"' residency_ci.json \
+      || { echo "net smoke: /residency lacks budget_floats" >&2
+           kill "${SRV_PID}"; exit 1; }
+    grep -q '"mobilenet-scc"' residency_ci.json \
+      || { echo "net smoke: /residency lacks the managed model table" >&2
+           kill "${SRV_PID}"; exit 1; }
+    ${CURL} "http://127.0.0.1:${MPORT}/metrics" > metrics_net_ci.txt
+    grep -q '^dsx_net_frames_total' metrics_net_ci.txt \
+      || { echo "net smoke: /metrics lacks dsx_net_frames_total" >&2
+           kill "${SRV_PID}"; exit 1; }
+  fi
+  kill "${SRV_PID}" 2>/dev/null; wait "${SRV_PID}" 2>/dev/null || true
+  rm -rf listen_ci.log client_ci.txt residency_ci.json metrics_net_ci.txt \
+    dsx_listen_store
+  echo "net smoke OK"
+
   if [[ -x build/bench_micro_kernels ]]; then
     echo "== kernel tuning + simd packed GEMM (json) =="
     # Candidate sweep (simd levels included via fast-math), packed-GEMM
@@ -268,14 +329,21 @@ if [[ "${SANITIZE}" == "1" ]]; then
   echo "== configure (TSan Debug) =="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=Debug -DDSX_SANITIZE_THREAD=ON
 
-  echo "== build (TSan Debug, test_obs + test_device) =="
-  cmake --build build-tsan -j"${JOBS}" --target test_obs test_device
+  echo "== build (TSan Debug, test_obs + test_device + test_net) =="
+  cmake --build build-tsan -j"${JOBS}" --target test_obs test_device test_net
 
   echo "== obs intern + exemplar-seqlock tests (TSan) =="
   ./build-tsan/test_obs --gtest_filter='Intern.*:ExemplarSeqlock.*'
 
   echo "== thread-pool accounting tests (TSan) =="
   ./build-tsan/test_device --gtest_filter='PoolAccounting.*'
+
+  echo "== net ingress + residency tests (TSan) =="
+  # The whole suite is TSan-clean: the event thread owns all connection
+  # state by construction, workers talk through mutex-guarded queues, and
+  # the residency single-flight races (8-thread thundering herd, eviction
+  # churn under concurrent hot-swaps) are exactly what TSan should watch.
+  ./build-tsan/test_net
 fi
 
 echo "CI OK"

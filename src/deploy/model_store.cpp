@@ -265,6 +265,18 @@ std::unique_ptr<nn::Sequential> ModelStore::load_model(
   return load_from_manifest(manifest(model, version));  // integrity-verified
 }
 
+int64_t ModelStore::version_weight_bytes(const std::string& model,
+                                         const std::string& version) const {
+  const std::string dir = version_dir(model, version);
+  DSX_REQUIRE(fs::exists(fs::path(dir) / kManifestFile),
+              "ModelStore: no version " << model << "/" << version);
+  // Manifest only - the artifacts themselves are not read. Residency calls
+  // this per eviction decision; the full checksum pass still happens on the
+  // compile() that follows an admit.
+  return read_manifest_file((fs::path(dir) / kManifestFile).string())
+      .weights.bytes;
+}
+
 std::string ModelStore::tuning_cache_path(const std::string& model,
                                           const std::string& version) const {
   const VersionManifest m = manifest(model, version);

@@ -95,6 +95,14 @@ class ModelStore {
   std::string tuning_cache_path(const std::string& model,
                                 const std::string& version) const;
 
+  /// Byte size of the version's stored weights artifact, read from the
+  /// manifest WITHOUT re-verifying artifact contents - cheap size
+  /// accounting for residency budget math (dsx::net decides what to evict
+  /// before paying for a full integrity-checked compile()). Throws on a
+  /// missing version or foreign manifest.
+  int64_t version_weight_bytes(const std::string& model,
+                               const std::string& version) const;
+
   /// One-call path from store to serving plan. When the version carries a
   /// tuning cache its records are merged into tune::Session::global() and
   /// the compile runs with Mode::kCached regardless of opts.tuning (kTune

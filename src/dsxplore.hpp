@@ -72,6 +72,10 @@
 // Replicated, priority/deadline-aware sharded serving.
 #include "shard/shard.hpp"
 
+// Socket-level ingress (framed wire protocol, tenant auth/quota) and
+// multi-tenant model residency over the store.
+#include "net/net.hpp"
+
 // Observability: metrics registry (Prometheus/JSON), per-request tracing
 // (Chrome trace-event / Perfetto), control-plane event journal.
 #include "obs/obs.hpp"

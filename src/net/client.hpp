@@ -1,0 +1,71 @@
+// Blocking dsx::net client - the caller side of net/protocol.hpp.
+//
+// One Client = one TCP connection. Requests may be pipelined: send()
+// returns immediately with the request id; replies are matched by id, so
+// they may be consumed in any order (the ingress answers out of order when
+// dispatch workers finish out of order). infer() is the one-shot
+// convenience: send + wait for that id, stashing any other replies that
+// arrive first.
+//
+// Not thread-safe: one Client per thread (connections are cheap; the
+// ingress multiplexes). Throws dsx::Error on connect/IO/protocol failures;
+// a non-kOk reply status is data, not an exception - admission errors
+// (queue_full, deadline_exceeded) are normal operation under load.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "net/protocol.hpp"
+
+namespace dsx::net {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// Tenant auth token sent with every request ("" = anonymous).
+  std::string token;
+  /// Socket receive/send timeout; a stuck server fails the call instead of
+  /// hanging the client forever.
+  std::chrono::milliseconds io_timeout{10000};
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  /// Connects immediately; throws dsx::Error on failure.
+  explicit Client(ClientOptions opts);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends one request frame without waiting; returns its request id.
+  uint64_t send(const std::string& model, const Tensor& image,
+                serve::Priority priority = serve::Priority::kNormal,
+                uint64_t deadline_us = 0);
+
+  /// Receives the reply for `request_id`, consuming (and stashing) any
+  /// other pipelined replies that arrive first.
+  ReplyFrame recv(uint64_t request_id);
+
+  /// Blocking round-trip: send + recv.
+  ReplyFrame infer(const std::string& model, const Tensor& image,
+                   serve::Priority priority = serve::Priority::kNormal,
+                   uint64_t deadline_us = 0);
+
+  void close();
+
+ private:
+  /// Reads one reply frame off the socket (whatever id it carries).
+  ReplyFrame read_reply();
+
+  ClientOptions opts_;
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::map<uint64_t, ReplyFrame> stash_;  // replies consumed out of order
+};
+
+}  // namespace dsx::net

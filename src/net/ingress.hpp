@@ -1,0 +1,229 @@
+// dsx::net ingress - the socket front-end of the serving stack.
+//
+// IngressServer turns the in-process InferenceServer::submit() API into a
+// wire: clients connect over TCP, send length-prefixed request frames
+// (net/protocol.hpp) and receive framed replies carrying logits or a typed
+// status. Admission failures travel the same wire - a QueueFull or
+// DeadlineExceeded from the serving tier becomes a framed error reply on a
+// connection that stays open, never a dropped connection mid-request.
+//
+// Threading model (one ingress = 1 + dispatch_threads threads):
+//
+//   event thread   poll()-based loop owning every connection: accepts,
+//                  non-blocking reads, frame delimiting, tenant/quota
+//                  admission, and all writes. Connection state is touched by
+//                  this thread ONLY - workers communicate through queues.
+//   dispatch pool  N workers each popping a parsed request, submitting it to
+//                  the serving tier (through the ResidencyManager when one
+//                  is attached - cold models fault in transparently) and
+//                  blocking on the future; the encoded reply goes back to
+//                  the event thread via the completion queue + wake pipe.
+//
+// The pool is what lets micro-batching form: N concurrent waiters keep up
+// to N requests in a batcher's queue, so wire traffic batches exactly like
+// N in-process client threads would. Size dispatch_threads >= the model's
+// max_batch to saturate it.
+//
+// Flow control, all bounded:
+//   - accept:   at max_connections the listen fd is simply not polled; the
+//               kernel backlog absorbs the burst.
+//   - dispatch: a full dispatch queue answers kQueueFull immediately.
+//   - quota:    a tenant at max_inflight is answered kQueueFull; an unknown
+//               token kAuthDenied. A tenant's priority is a floor: requests
+//               asking for a more urgent class are clamped to it.
+//   - writes:   per-connection out-queue; past max_conn_out_bytes the
+//               connection's reads pause (POLLIN dropped) until the peer
+//               drains its replies. Replies are never discarded for a live
+//               connection - a slow reader stalls only itself.
+//
+// Exactly-once: every frame accepted off the wire is answered exactly once
+// - by a logits reply or a typed error. The only exception a peer can cause
+// is its own disconnect, in which case its pending replies are completed
+// (the futures are consumed) and dropped at delivery. A header-level
+// framing error (bad magic/version, oversized length) is answered with a
+// best-effort error frame and the connection closes - the byte stream has
+// no recoverable frame boundary after it.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/protocol.hpp"
+#include "net/residency.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+
+namespace dsx::net {
+
+/// One tenant: an auth token mapped to a QoS floor and an in-flight quota.
+struct TenantSpec {
+  std::string token;
+  std::string name;  // journal/metrics label; defaults to the token
+  /// Most urgent priority class this tenant may use; more urgent asks are
+  /// clamped to it (lower enum value = more urgent).
+  serve::Priority priority = serve::Priority::kNormal;
+  /// Concurrent in-flight requests allowed; 0 = unlimited. Over quota is
+  /// answered kQueueFull (admission control, same as a full batcher queue).
+  int max_inflight = 0;
+};
+
+struct IngressOptions {
+  int port = 0;  // 0 = ephemeral; see IngressServer::port()
+  std::string bind_address = "127.0.0.1";
+  /// Connections held concurrently; past it, accepting pauses.
+  int max_connections = 64;
+  /// Dispatch/reply workers. >= the served models' max_batch keeps
+  /// micro-batches as full as in-process clients would.
+  int dispatch_threads = 8;
+  /// Per-frame payload cap; an oversized length prefix is a framing error.
+  uint32_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Per-connection write-queue backpressure threshold.
+  size_t max_conn_out_bytes = 4u << 20;
+  /// SO_SNDBUF for accepted sockets; 0 = kernel default. Shrinking it makes
+  /// the write queue (and so the backpressure threshold) engage sooner
+  /// instead of letting the kernel buffer megabytes per slow reader.
+  int so_sndbuf = 0;
+  /// Parsed requests waiting for a dispatch worker; past it, kQueueFull.
+  size_t dispatch_capacity = 256;
+  /// Accept requests with an empty token (served at kNormal, no quota).
+  /// With false, an empty token is answered kAuthDenied.
+  bool allow_anonymous = true;
+  std::vector<TenantSpec> tenants;
+};
+
+class IngressServer {
+ public:
+  /// `server` (and `residency`, when given) must outlive the ingress.
+  /// With a residency manager, requests route through it - models it
+  /// manages fault in on demand; names it does not know fall through to
+  /// the server registry directly.
+  explicit IngressServer(serve::InferenceServer& server,
+                         IngressOptions opts = {},
+                         ResidencyManager* residency = nullptr);
+  ~IngressServer();
+
+  IngressServer(const IngressServer&) = delete;
+  IngressServer& operator=(const IngressServer&) = delete;
+
+  /// Binds, listens and spawns the event + dispatch threads. Throws
+  /// dsx::Error when the socket cannot be bound.
+  void start();
+  /// Closes every connection and joins all threads. Already-dispatched
+  /// requests finish against the serving tier (stop the ingress BEFORE the
+  /// InferenceServer), but their replies are no longer delivered.
+  /// Idempotent.
+  void stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves opts.port == 0); 0 before start().
+  int port() const { return port_.load(std::memory_order_acquire); }
+
+  struct Stats {
+    uint64_t connections = 0;     // accepted, lifetime
+    uint64_t frames = 0;          // request frames parsed off the wire
+    uint64_t replies = 0;         // replies delivered into a write queue
+    uint64_t dropped_replies = 0;  // completed but peer had disconnected
+    uint64_t framing_errors = 0;  // header-level errors (connection killed)
+    uint64_t rejected = 0;        // auth/quota rejections answered
+  };
+  Stats stats() const;
+
+ private:
+  struct Conn {
+    uint64_t id = 0;
+    int fd = -1;
+    std::string in;                 // unparsed inbound bytes
+    std::deque<std::string> out;    // encoded replies awaiting the socket
+    size_t out_head = 0;            // sent bytes of out.front()
+    size_t out_bytes = 0;           // total queued outbound bytes
+    int inflight = 0;               // dispatched frames awaiting replies
+    bool read_closed = false;       // peer EOF seen
+    bool closing = false;           // fatal framing error: flush then close
+    bool paused = false;            // reads paused by write backpressure
+    /// Hard socket error: retired by the event loop's next sweep. Deferred
+    /// (instead of erasing inline) so Conn references held up the call
+    /// stack - parse_frames over enqueue_reply over a failed flush - stay
+    /// valid.
+    bool dead = false;
+  };
+
+  struct Task {
+    uint64_t conn_id = 0;
+    RequestFrame req;
+    int tenant = -1;  // index into opts_.tenants; -1 = anonymous
+  };
+
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::string bytes;
+  };
+
+  void event_loop();
+  void worker_loop();
+  void accept_ready();
+  void handle_readable(Conn& c);
+  void handle_writable(Conn& c);
+  /// Delimits and consumes every complete frame in c.in.
+  void parse_frames(Conn& c);
+  /// Admission (parse, tenant, quota) for one frame payload.
+  void handle_frame(Conn& c, const uint8_t* payload, size_t len);
+  /// Queues an encoded reply on the connection (event thread only).
+  void enqueue_reply(Conn& c, std::string bytes);
+  void drop_conn(uint64_t id);
+  void wake();
+  /// Runs one request against the serving tier; never throws.
+  ReplyFrame run_request(const RequestFrame& req);
+
+  serve::InferenceServer& server_;
+  IngressOptions opts_;
+  ResidencyManager* residency_;
+  std::unordered_map<std::string, int> token_to_tenant_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> port_{0};
+  int listen_fd_ = -1;
+  int wake_rd_ = -1;
+  int wake_wr_ = -1;
+  std::thread event_thread_;
+  std::vector<std::thread> workers_;
+
+  // Event thread private state (no lock: single owner).
+  std::map<uint64_t, Conn> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::mutex dispatch_mu_;
+  std::condition_variable dispatch_cv_;
+  std::deque<Task> dispatch_;
+
+  std::mutex completion_mu_;
+  std::deque<Completion> completions_;
+
+  std::vector<std::atomic<int>> tenant_inflight_;
+
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> frames_{0};
+  std::atomic<uint64_t> replies_{0};
+  std::atomic<uint64_t> dropped_replies_{0};
+  std::atomic<uint64_t> framing_errors_{0};
+  std::atomic<uint64_t> rejected_{0};
+
+  obs::Counter connections_metric_;   // dsx_net_connections_total
+  obs::Counter frames_metric_;        // dsx_net_frames_total
+  obs::Counter replies_metric_;       // dsx_net_replies_total
+  obs::Counter reply_errors_metric_;  // dsx_net_reply_errors_total
+  obs::Counter framing_metric_;       // dsx_net_framing_errors_total
+  obs::Counter rejected_metric_;      // dsx_net_rejected_total
+  obs::Counter pauses_metric_;        // dsx_net_backpressure_pauses_total
+  obs::Gauge open_metric_;            // dsx_net_open_connections
+};
+
+}  // namespace dsx::net

@@ -1,0 +1,15 @@
+// dsx::net - socket-level ingress + multi-tenant model residency.
+//
+// The network face of the serving stack:
+//   protocol.hpp   length-prefixed binary framing (requests/replies)
+//   ingress.hpp    IngressServer: poll() event loop + dispatch pool over
+//                  InferenceServer, with tenant auth/quota/QoS
+//   residency.hpp  ResidencyManager: many models under one memory budget,
+//                  LRU eviction to ModelStore + transparent fault-in
+//   client.hpp     blocking, pipelining test/tool client
+#pragma once
+
+#include "net/client.hpp"
+#include "net/ingress.hpp"
+#include "net/protocol.hpp"
+#include "net/residency.hpp"

@@ -1,0 +1,235 @@
+#include "net/protocol.hpp"
+
+#include <cstring>
+#include <vector>
+
+namespace dsx::net {
+
+namespace {
+
+// ---- little-endian append/read helpers -------------------------------------
+
+template <typename T>
+void put(std::string& out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+void put_bytes(std::string& out, const std::string& s) {
+  put<uint16_t>(out, static_cast<uint16_t>(s.size()));
+  out.append(s);
+}
+
+void put_tensor(std::string& out, const Tensor& t) {
+  const Shape& shape = t.shape();
+  put<uint8_t>(out, static_cast<uint8_t>(shape.rank()));
+  for (int i = 0; i < shape.rank(); ++i) put<int64_t>(out, shape.dim(i));
+  out.append(reinterpret_cast<const char*>(t.data()),
+             static_cast<size_t>(t.size_bytes()));
+}
+
+/// Bounds-checked cursor over a payload; read() returns false past the end
+/// instead of reading garbage, so a truncated payload parses to a clean
+/// kBadRequest rather than UB.
+struct Cursor {
+  const uint8_t* p;
+  size_t left;
+
+  template <typename T>
+  bool read(T* out) {
+    if (left < sizeof(T)) return false;
+    std::memcpy(out, p, sizeof(T));
+    p += sizeof(T);
+    left -= sizeof(T);
+    return true;
+  }
+
+  bool read_bytes(std::string* out) {
+    uint16_t n = 0;
+    if (!read(&n) || left < n) return false;
+    out->assign(reinterpret_cast<const char*>(p), n);
+    p += n;
+    left -= n;
+    return true;
+  }
+
+  /// Shape + data. Rejects bad ranks, non-positive dims and element counts
+  /// that disagree with the remaining bytes (the length prefix is the outer
+  /// truth; the shape must match it exactly).
+  bool read_tensor(Tensor* out, std::string* err) {
+    uint8_t rank = 0;
+    if (!read(&rank)) {
+      *err = "truncated tensor rank";
+      return false;
+    }
+    if (rank == 0 || rank > kMaxRank) {
+      *err = "bad tensor rank " + std::to_string(int(rank));
+      return false;
+    }
+    std::vector<int64_t> dims(rank);
+    int64_t numel = 1;
+    for (uint8_t i = 0; i < rank; ++i) {
+      if (!read(&dims[i])) {
+        *err = "truncated tensor dims";
+        return false;
+      }
+      // Per-dim and cumulative caps: a hostile dim vector must not overflow
+      // numel or commit us to a giant allocation before the byte check.
+      if (dims[i] <= 0 || dims[i] > (1ll << 32) ||
+          numel > (1ll << 40) / dims[i]) {
+        *err = "bad tensor dim " + std::to_string(dims[i]);
+        return false;
+      }
+      numel *= dims[i];
+    }
+    const size_t want = static_cast<size_t>(numel) * sizeof(float);
+    if (left != want) {
+      *err = "tensor bytes mismatch: shape wants " + std::to_string(want) +
+             ", frame carries " + std::to_string(left);
+      return false;
+    }
+    Tensor t{Shape(std::move(dims))};
+    std::memcpy(t.data(), p, want);
+    p += want;
+    left = 0;
+    *out = std::move(t);
+    return true;
+  }
+};
+
+void put_header(std::string& out, FrameType type, uint32_t payload_len) {
+  put<uint32_t>(out, kMagic);
+  put<uint16_t>(out, kVersion);
+  put<uint8_t>(out, static_cast<uint8_t>(type));
+  put<uint8_t>(out, 0);  // reserved
+  put<uint32_t>(out, payload_len);
+}
+
+std::string with_header(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_header(out, type, static_cast<uint32_t>(payload.size()));
+  out.append(payload);
+  return out;
+}
+
+}  // namespace
+
+const char* status_name(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kQueueFull:
+      return "queue_full";
+    case Status::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::kNoSuchModel:
+      return "no_such_model";
+    case Status::kAuthDenied:
+      return "auth_denied";
+    case Status::kBadRequest:
+      return "bad_request";
+    case Status::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string encode_request(const RequestFrame& req) {
+  std::string payload;
+  payload.reserve(64 + static_cast<size_t>(req.image.size_bytes()));
+  put<uint64_t>(payload, req.request_id);
+  put_bytes(payload, req.model);
+  put_bytes(payload, req.token);
+  put<uint8_t>(payload, static_cast<uint8_t>(req.priority));
+  put<uint64_t>(payload, req.deadline_us);
+  put_tensor(payload, req.image);
+  return with_header(FrameType::kRequest, payload);
+}
+
+std::string encode_reply(const ReplyFrame& reply) {
+  std::string payload;
+  payload.reserve(
+      32 + (reply.status == Status::kOk
+                ? static_cast<size_t>(reply.output.size_bytes())
+                : reply.message.size()));
+  put<uint64_t>(payload, reply.request_id);
+  put<uint8_t>(payload, static_cast<uint8_t>(reply.status));
+  if (reply.status == Status::kOk) {
+    put_tensor(payload, reply.output);
+  } else {
+    put_bytes(payload, reply.message);
+  }
+  return with_header(FrameType::kReply, payload);
+}
+
+HeaderVerdict parse_header(const uint8_t* data, uint32_t max_payload_bytes,
+                           FrameType* type, uint32_t* payload_len) {
+  uint32_t magic = 0;
+  uint16_t version = 0;
+  uint8_t raw_type = 0;
+  uint32_t len = 0;
+  std::memcpy(&magic, data, 4);
+  std::memcpy(&version, data + 4, 2);
+  raw_type = data[6];
+  std::memcpy(&len, data + 8, 4);
+  if (magic != kMagic) return HeaderVerdict::kBadMagic;
+  if (version != kVersion) return HeaderVerdict::kBadVersion;
+  if (raw_type != static_cast<uint8_t>(FrameType::kRequest) &&
+      raw_type != static_cast<uint8_t>(FrameType::kReply)) {
+    return HeaderVerdict::kBadType;
+  }
+  if (len > max_payload_bytes) return HeaderVerdict::kTooLarge;
+  *type = static_cast<FrameType>(raw_type);
+  *payload_len = len;
+  return HeaderVerdict::kOk;
+}
+
+Status parse_request_payload(const uint8_t* data, size_t len,
+                             RequestFrame* out, std::string* err) {
+  Cursor c{data, len};
+  if (!c.read(&out->request_id)) {
+    *err = "truncated request id";
+    return Status::kBadRequest;
+  }
+  if (!c.read_bytes(&out->model)) {
+    *err = "truncated model name";
+    return Status::kBadRequest;
+  }
+  if (!c.read_bytes(&out->token)) {
+    *err = "truncated auth token";
+    return Status::kBadRequest;
+  }
+  uint8_t prio = 0;
+  if (!c.read(&prio) || !c.read(&out->deadline_us)) {
+    *err = "truncated priority/deadline";
+    return Status::kBadRequest;
+  }
+  if (prio > static_cast<uint8_t>(serve::Priority::kBulk)) {
+    *err = "bad priority " + std::to_string(int(prio));
+    return Status::kBadRequest;
+  }
+  out->priority = static_cast<serve::Priority>(prio);
+  if (out->model.empty()) {
+    *err = "empty model name";
+    return Status::kBadRequest;
+  }
+  if (!c.read_tensor(&out->image, err)) return Status::kBadRequest;
+  return Status::kOk;
+}
+
+bool parse_reply_payload(const uint8_t* data, size_t len, ReplyFrame* out) {
+  Cursor c{data, len};
+  uint8_t status = 0;
+  if (!c.read(&out->request_id) || !c.read(&status)) return false;
+  if (status > static_cast<uint8_t>(Status::kError)) return false;
+  out->status = static_cast<Status>(status);
+  if (out->status == Status::kOk) {
+    std::string err;
+    return c.read_tensor(&out->output, &err);
+  }
+  return c.read_bytes(&out->message) && c.left == 0;
+}
+
+}  // namespace dsx::net

@@ -1,0 +1,115 @@
+// dsx::net wire protocol - length-prefixed binary framing.
+//
+// One frame = a 12-byte little-endian header followed by `payload_len`
+// payload bytes:
+//
+//   u32 magic      "DSXN" (0x4E585344)
+//   u16 version    1
+//   u8  type       1 = request, 2 = reply
+//   u8  reserved   0
+//   u32 payload_len  <= the receiver's max_frame_bytes
+//
+// Request payload (client -> server):
+//   u64 request_id                   client-chosen; echoed on the reply
+//   u16 name_len,  name bytes        model name
+//   u16 token_len, token bytes       tenant auth token ("" = anonymous)
+//   u8  priority                     serve::Priority (0/1/2); clamped
+//   u64 deadline_us                  relative budget; 0 = no deadline
+//   u8  rank, rank x i64 dims        image shape ([C,H,W] or [1,C,H,W])
+//   numel x f32                      image data, row-major
+//
+// Reply payload (server -> client):
+//   u64 request_id
+//   u8  status                       Status below
+//   status == kOk:   u8 rank, dims, numel x f32   (the logits)
+//   status != kOk:   u16 msg_len, msg bytes       (human-readable cause)
+//
+// Error containment is two-tier, and the split is the point:
+//   - A corrupt HEADER (bad magic/version/type, oversized payload_len) means
+//     framing is lost - there is no way to find the next frame boundary -
+//     so the connection must be torn down (after a best-effort error reply).
+//   - A corrupt PAYLOAD inside a well-delimited frame is recoverable: the
+//     server answers a framed kBadRequest (echoing request_id when the
+//     first 8 bytes parsed) and the connection keeps serving.
+//
+// Integers are little-endian on the wire; this implementation memcpy's
+// native integers (DSXplore targets commodity x86/ARM, both LE).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "serve/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dsx::net {
+
+inline constexpr uint32_t kMagic = 0x4E585344u;  // "DSXN" little-endian
+inline constexpr uint16_t kVersion = 1;
+inline constexpr size_t kHeaderBytes = 12;
+/// Shape sanity bound: nothing in DSXplore exceeds rank 4; 8 leaves slack.
+inline constexpr int kMaxRank = 8;
+/// Default per-frame payload cap (both directions). 16 MiB fits any
+/// activations this repo serves with two orders of magnitude to spare.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 16u << 20;
+
+enum class FrameType : uint8_t { kRequest = 1, kReply = 2 };
+
+/// Reply status byte. The non-kOk values mirror the serving tier's
+/// exception taxonomy so wire clients see the same admission semantics as
+/// in-process callers.
+enum class Status : uint8_t {
+  kOk = 0,
+  kQueueFull = 1,         // serve::QueueFull (admission control)
+  kDeadlineExceeded = 2,  // serve::DeadlineExceeded (shed or expired)
+  kNoSuchModel = 3,       // unknown model name
+  kAuthDenied = 4,        // unknown token, or tenant over quota
+  kBadRequest = 5,        // unparseable payload in a well-framed frame
+  kError = 6,             // anything else (message says what)
+};
+
+const char* status_name(Status s);
+
+/// Header verdicts beyond kOk are fatal to the connection (framing lost).
+enum class HeaderVerdict {
+  kOk,
+  kBadMagic,
+  kBadVersion,
+  kBadType,
+  kTooLarge,
+};
+
+struct RequestFrame {
+  uint64_t request_id = 0;
+  std::string model;
+  std::string token;
+  serve::Priority priority = serve::Priority::kNormal;
+  uint64_t deadline_us = 0;  // relative; 0 = none
+  Tensor image;
+};
+
+struct ReplyFrame {
+  uint64_t request_id = 0;
+  Status status = Status::kOk;
+  Tensor output;        // defined iff status == kOk
+  std::string message;  // non-empty iff status != kOk
+};
+
+/// Serializes header + payload into one contiguous buffer ready to send.
+std::string encode_request(const RequestFrame& req);
+std::string encode_reply(const ReplyFrame& reply);
+
+/// Validates a 12-byte header. On kOk fills `type` and `payload_len`.
+HeaderVerdict parse_header(const uint8_t* data, uint32_t max_payload_bytes,
+                           FrameType* type, uint32_t* payload_len);
+
+/// Parses a request payload. Returns kOk or kBadRequest (with `err`
+/// explaining why). `out->request_id` is filled whenever the first 8 bytes
+/// were present - a kBadRequest reply can still be addressed.
+Status parse_request_payload(const uint8_t* data, size_t len,
+                             RequestFrame* out, std::string* err);
+
+/// Parses a reply payload (client side). False = malformed.
+bool parse_reply_payload(const uint8_t* data, size_t len, ReplyFrame* out);
+
+}  // namespace dsx::net

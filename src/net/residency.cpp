@@ -1,0 +1,282 @@
+#include "net/residency.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "obs/journal.hpp"
+
+namespace dsx::net {
+
+namespace {
+
+constexpr const char* kEndpointPath = "/residency";
+
+/// serve::submit throws plain dsx::Error("no model named ...") when a name
+/// is not in the registry - the signature of a submit that raced eviction.
+bool is_routing_miss(const Error& e) {
+  return std::string(e.what()).find("no model named") != std::string::npos;
+}
+
+}  // namespace
+
+ResidencyManager::ResidencyManager(serve::InferenceServer& server,
+                                   deploy::ModelStore& store,
+                                   ResidencyOptions opts)
+    : server_(server), store_(store), opts_(std::move(opts)) {
+  DSX_REQUIRE(opts_.budget_floats >= 0,
+              "ResidencyOptions: budget_floats must be >= 0");
+  obs::Registry& reg = obs::Registry::global();
+  faults_metric_ =
+      reg.counter("dsx_residency_faults_total", {},
+                  "Models faulted in (compiled from the store on demand).");
+  evictions_metric_ =
+      reg.counter("dsx_residency_evictions_total", {},
+                  "Models demoted to their on-disk version to fit the "
+                  "residency budget.");
+  resident_metric_ = reg.gauge("dsx_residency_resident_models", {},
+                               "Managed models currently compiled and "
+                               "registered with the server.");
+  used_metric_ = reg.gauge("dsx_residency_used_floats", {},
+                           "Floats (weights + workspace) held by resident "
+                           "managed models.");
+  fault_latency_ = reg.histogram("dsx_residency_fault_latency_us", {},
+                                 "Fault-in latency (store compile + "
+                                 "register), microseconds.");
+  attach_endpoint();
+}
+
+ResidencyManager::~ResidencyManager() {
+  server_.remove_exporter_endpoint(kEndpointPath);
+}
+
+void ResidencyManager::attach_endpoint() {
+  server_.set_exporter_endpoint(kEndpointPath,
+                                [this] { return residency_json(); });
+}
+
+void ResidencyManager::add_model(const std::string& name,
+                                 const std::string& version,
+                                 ResidencyPolicy policy) {
+  DSX_REQUIRE(store_.has_version(name, version),
+              "residency: no stored version " << name << "/" << version);
+  std::lock_guard<std::mutex> lock(state_mu_);
+  DSX_REQUIRE(models_.find(name) == models_.end(),
+              "residency: model '" << name << "' already managed");
+  ModelState st;
+  st.version = version;
+  st.policy = policy;
+  st.last_use = ++clock_;
+  models_.emplace(name, std::move(st));
+}
+
+std::string ResidencyManager::pick_victim_locked() const {
+  std::string victim;
+  int victim_class = 0;
+  uint64_t victim_use = 0;
+  for (const auto& [name, st] : models_) {
+    if (!st.resident || st.policy.pinned) continue;
+    const bool better =
+        victim.empty() || st.policy.eviction_class > victim_class ||
+        (st.policy.eviction_class == victim_class && st.last_use < victim_use);
+    if (better) {
+      victim = name;
+      victim_class = st.policy.eviction_class;
+      victim_use = st.last_use;
+    }
+  }
+  return victim;
+}
+
+void ResidencyManager::make_room(int64_t need_floats,
+                                 const std::string& admitting) {
+  if (opts_.budget_floats <= 0) return;
+  for (;;) {
+    std::string victim;
+    int64_t victim_cost = 0;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (used_floats_ + need_floats <= opts_.budget_floats) return;
+      victim = pick_victim_locked();
+      if (victim.empty() || victim == admitting) return;  // nothing to evict
+      // Mark the demotion before the drain: a concurrent submit fast-path
+      // that still sees resident==true merely races the unregister and
+      // retries through the fault path.
+      ModelState& st = models_.at(victim);
+      st.resident = false;
+      victim_cost = st.cost_floats;
+      st.cost_floats = 0;
+      used_floats_ -= victim_cost;
+      ++evictions_;
+      resident_metric_.add(-1);
+      used_metric_.set(used_floats_);
+    }
+    // Drain outside state_mu_ (queued requests execute during the stop);
+    // op_mu_ is held by our caller, so no fault-in observes the half-state.
+    server_.unregister_model(victim);
+    evictions_metric_.inc();
+    obs::Journal::global().record(
+        obs::EventKind::kResidency, "net.residency",
+        "evicted " + victim + " (" + std::to_string(victim_cost) +
+            " floats) for " + admitting);
+  }
+}
+
+void ResidencyManager::ensure_resident(const std::string& name) {
+  std::string version;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    auto it = models_.find(name);
+    DSX_REQUIRE(it != models_.end(),
+                "residency: unknown model '" << name << "'");
+    if (it->second.resident) {
+      it->second.last_use = ++clock_;
+      return;  // fast path: no op_mu_, no fault
+    }
+    version = it->second.version;
+  }
+  const auto fault_start = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> op_lock(op_mu_);
+  {
+    // Single-flight re-check: the herd blocked on op_mu_ while the first
+    // thread compiled; everyone after finds the model resident here.
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ModelState& st = models_.at(name);
+    if (st.resident) {
+      st.last_use = ++clock_;
+      return;
+    }
+  }
+  // Admission estimate from the manifest (weights only - the workspace is
+  // unknown until compile). Reconciled against the CompileReport below.
+  const int64_t estimate =
+      store_.version_weight_bytes(name, version) /
+      static_cast<int64_t>(sizeof(float));
+  make_room(estimate, name);
+  std::unique_ptr<serve::CompiledModel> model =
+      store_.compile(name, version, opts_.compile);
+  const serve::CompileReport& report = model->report();
+  const int64_t actual = report.param_floats + report.workspace_floats;
+  server_.register_model(name, std::move(model), opts_.batcher);
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    ModelState& st = models_.at(name);
+    st.resident = true;
+    st.cost_floats = actual;
+    st.last_use = ++clock_;
+    used_floats_ += actual;
+    resident_metric_.add(1);
+    used_metric_.set(used_floats_);
+  }
+  // The actual cost may overshoot the estimate (workspace); evict again so
+  // steady state honors the budget. Transient overshoot <= one workspace.
+  make_room(0, name);
+  ++faults_;
+  faults_metric_.inc();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - fault_start)
+                      .count();
+  fault_latency_.record(us);
+  obs::Journal::global().record(
+      obs::EventKind::kResidency, "net.residency",
+      "faulted in " + name + "/" + version + " (" + std::to_string(actual) +
+          " floats, " + std::to_string(us) + " us)");
+}
+
+void ResidencyManager::touch(const std::string& name) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = models_.find(name);
+  if (it != models_.end()) it->second.last_use = ++clock_;
+}
+
+template <typename SubmitFn>
+std::future<Tensor> ResidencyManager::submit_impl(const std::string& name,
+                                                  const SubmitFn& submit_fn) {
+  // A submit can race its model's eviction: the resident check passes, then
+  // the name is unregistered before the server resolves it. The server
+  // answers with a routing miss; faulting back in and retrying preserves
+  // the "callers see latency, never an error" contract. Bounded: each retry
+  // re-faults, and an attacker-free system converges in one round.
+  constexpr int kAttempts = 8;
+  for (int attempt = 0;; ++attempt) {
+    ensure_resident(name);
+    try {
+      return submit_fn();
+    } catch (const serve::QueueFull&) {
+      throw;  // admission control - surface unchanged
+    } catch (const serve::Stopped&) {
+      throw;  // server shutting down
+    } catch (const Error& e) {
+      if (!is_routing_miss(e) || attempt + 1 >= kAttempts) throw;
+    }
+  }
+}
+
+std::future<Tensor> ResidencyManager::submit(const std::string& name,
+                                             const Tensor& image) {
+  return submit_impl(name, [&] { return server_.submit(name, image); });
+}
+
+std::future<Tensor> ResidencyManager::submit(const std::string& name,
+                                             const Tensor& image,
+                                             shard::SubmitOptions sopts) {
+  return submit_impl(name, [&] { return server_.submit(name, image, sopts); });
+}
+
+Tensor ResidencyManager::infer(const std::string& name, const Tensor& image) {
+  return submit(name, image).get();
+}
+
+bool ResidencyManager::resident(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = models_.find(name);
+  return it != models_.end() && it->second.resident;
+}
+
+std::vector<std::string> ResidencyManager::model_names() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::vector<std::string> names;
+  names.reserve(models_.size());
+  for (const auto& [name, st] : models_) names.push_back(name);
+  return names;
+}
+
+ResidencyStats ResidencyManager::stats() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  ResidencyStats s;
+  s.registered = static_cast<int64_t>(models_.size());
+  for (const auto& [name, st] : models_) s.resident += st.resident ? 1 : 0;
+  s.faults = faults_;
+  s.evictions = evictions_;
+  s.used_floats = used_floats_;
+  s.budget_floats = opts_.budget_floats;
+  return s;
+}
+
+std::string ResidencyManager::residency_json() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  std::ostringstream out;
+  int64_t resident = 0;
+  for (const auto& [name, st] : models_) resident += st.resident ? 1 : 0;
+  out << "{\"budget_floats\":" << opts_.budget_floats
+      << ",\"used_floats\":" << used_floats_
+      << ",\"registered\":" << models_.size() << ",\"resident\":" << resident
+      << ",\"faults\":" << faults_ << ",\"evictions\":" << evictions_
+      << ",\"models\":[";
+  bool first = true;
+  for (const auto& [name, st] : models_) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"" << name << "\",\"version\":\"" << st.version
+        << "\",\"resident\":" << (st.resident ? "true" : "false")
+        << ",\"pinned\":" << (st.policy.pinned ? "true" : "false")
+        << ",\"eviction_class\":" << st.policy.eviction_class
+        << ",\"cost_floats\":" << st.cost_floats
+        << ",\"last_use\":" << st.last_use << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace dsx::net

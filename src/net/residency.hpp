@@ -1,0 +1,173 @@
+// Multi-tenant model residency over ModelStore + InferenceServer.
+//
+// The serving tier can hold as many compiled models as fit in memory; the
+// store can hold as many versions as fit on disk. ResidencyManager bridges
+// the two: register many names against store versions under one global
+// float budget (weights + workspace), and serve all of them - models that
+// do not fit stay demoted to their on-disk version and are faulted back in
+// (store.compile + register_model) on the next request for them. With a
+// stored tuning cache the fault is a warm compile: the plan replays
+// persisted measurements, so a fault costs load+compile latency, never a
+// re-tune and never an error. Callers of an evicted model see a slower
+// first answer; they do not see failures.
+//
+// Eviction is LRU with priority pinning: victims are chosen among resident,
+// non-pinned models - highest eviction_class first (mark bulk models more
+// evictable), least-recently-used within a class. Demotion goes through
+// InferenceServer::unregister_model, which drains: every request the model
+// already accepted is answered by it before the memory is released.
+//
+// Concurrency contract:
+//   - fault-in and eviction serialize on one manager-wide op_mu_ - the
+//     single-flight guarantee. A thundering herd for a cold model compiles
+//     it once; the herd's other threads block on op_mu_, re-check, and find
+//     it resident. (The cost: a fault for model A briefly queues an
+//     unrelated fault for model B. Accepted - faults are rare and the
+//     alternative, per-model fault states, buys little at this scale.)
+//   - submit() never holds op_mu_ across the server call, so resident-model
+//     traffic is never blocked by a fault. A submit that races its model's
+//     eviction (resident check passed, then the name vanished) catches the
+//     routing error and retries through the fault path - bounded, and the
+//     caller still just sees latency.
+//
+// Budget math: admission is estimated from the manifest's weights bytes
+// (cheap - no artifact read); after the compile the model's true cost
+// (param_floats + workspace_floats from its CompileReport) replaces the
+// estimate and eviction re-runs if the actual overshot. The transient
+// overshoot is bounded by one model's workspace.
+//
+// Observability: every eviction/fault is journaled (EventKind::kResidency),
+// counted in dsx_residency_* series, and the whole table is served as JSON
+// on the exporter's /residency endpoint (attach_endpoint).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "deploy/model_store.hpp"
+#include "obs/metrics.hpp"
+#include "serve/server.hpp"
+#include "shard/replica_set.hpp"
+
+namespace dsx::net {
+
+struct ResidencyOptions {
+  /// Global budget across resident models, in floats (weights + workspace).
+  /// 0 = unlimited (everything stays resident once faulted in).
+  int64_t budget_floats = 0;
+  /// Compile options for fault-in compiles (max_batch etc.). The store
+  /// forces Mode::kCached when a version carries a tuning cache.
+  serve::CompileOptions compile;
+  /// Batcher options for models this manager registers.
+  serve::BatcherOptions batcher;
+};
+
+/// Per-model residency policy.
+struct ResidencyPolicy {
+  /// Pinned models are never evicted (and count against the budget).
+  bool pinned = false;
+  /// Eviction preference: higher classes are evicted first. Use e.g. 0 for
+  /// latency-sensitive models, 1 for bulk.
+  int eviction_class = 0;
+};
+
+struct ResidencyStats {
+  int64_t registered = 0;
+  int64_t resident = 0;
+  int64_t faults = 0;      // fault-in compiles performed
+  int64_t evictions = 0;   // demotions to disk
+  int64_t used_floats = 0;
+  int64_t budget_floats = 0;
+};
+
+class ResidencyManager {
+ public:
+  /// `server` and `store` must outlive the manager. Attaches /residency to
+  /// the server's exporter if one is running (see attach_endpoint).
+  ResidencyManager(serve::InferenceServer& server, deploy::ModelStore& store,
+                   ResidencyOptions opts = {});
+  ~ResidencyManager();
+
+  ResidencyManager(const ResidencyManager&) = delete;
+  ResidencyManager& operator=(const ResidencyManager&) = delete;
+
+  /// Registers `name` -> store version `version` with the manager. Lazy: no
+  /// compile happens until the first request (or ensure_resident). Throws
+  /// if the version does not exist or the name is already managed.
+  void add_model(const std::string& name, const std::string& version,
+                 ResidencyPolicy policy = {});
+
+  /// Fault-in `name` now (no-op when already resident). Throws dsx::Error
+  /// on unknown names; compile failures propagate.
+  void ensure_resident(const std::string& name);
+
+  /// Async inference on a managed model: faults the model in when needed,
+  /// then routes through InferenceServer::submit. Admission errors
+  /// (QueueFull / future-borne DeadlineExceeded) surface unchanged.
+  std::future<Tensor> submit(const std::string& name, const Tensor& image);
+  std::future<Tensor> submit(const std::string& name, const Tensor& image,
+                             shard::SubmitOptions sopts);
+  /// Blocking convenience wrapper.
+  Tensor infer(const std::string& name, const Tensor& image);
+
+  bool resident(const std::string& name) const;
+  std::vector<std::string> model_names() const;
+  ResidencyStats stats() const;
+
+  /// The /residency endpoint body: budget, usage, counters and the
+  /// per-model table as JSON.
+  std::string residency_json() const;
+
+  /// (Re-)registers the /residency endpoint on the server's exporter. The
+  /// constructor calls this; call it again after a later start_exporter()
+  /// (the endpoint registry lives in the exporter instance).
+  void attach_endpoint();
+
+ private:
+  struct ModelState {
+    std::string version;
+    ResidencyPolicy policy;
+    bool resident = false;
+    int64_t cost_floats = 0;  // actual post-compile cost while resident
+    uint64_t last_use = 0;    // logical LRU clock
+  };
+
+  /// Picks the best victim among resident non-pinned models (state_mu_
+  /// held). "" = nothing evictable.
+  std::string pick_victim_locked() const;
+  /// Evicts until `need_floats` more fit under the budget (op_mu_ held).
+  /// Stops when nothing is evictable - the admit then overshoots, which
+  /// beats refusing to serve.
+  void make_room(int64_t need_floats, const std::string& admitting);
+  void touch(const std::string& name);
+  template <typename SubmitFn>
+  std::future<Tensor> submit_impl(const std::string& name,
+                                  const SubmitFn& submit_fn);
+
+  serve::InferenceServer& server_;
+  deploy::ModelStore& store_;
+  ResidencyOptions opts_;
+
+  /// Serializes fault-in + eviction (the single-flight lock). Never held
+  /// while answering resident-model submits. Acquire before state_mu_.
+  std::mutex op_mu_;
+  /// Guards models_, used/clock counters; held only for short reads/writes.
+  mutable std::mutex state_mu_;
+  std::map<std::string, ModelState> models_;
+  int64_t used_floats_ = 0;
+  uint64_t clock_ = 0;
+  int64_t faults_ = 0;
+  int64_t evictions_ = 0;
+
+  obs::Counter faults_metric_;     // dsx_residency_faults_total
+  obs::Counter evictions_metric_;  // dsx_residency_evictions_total
+  obs::Gauge resident_metric_;     // dsx_residency_resident_models
+  obs::Gauge used_metric_;         // dsx_residency_used_floats
+  obs::Histogram fault_latency_;   // dsx_residency_fault_latency_us
+};
+
+}  // namespace dsx::net

@@ -1,8 +1,5 @@
 #include "obs/http_exporter.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
@@ -10,11 +7,8 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cerrno>
 #include <cstdlib>
-#include <cstring>
 #include <sstream>
-#include <utility>
 
 #include "common/check.hpp"
 #include "obs/flight.hpp"
@@ -27,25 +21,6 @@ namespace dsx::obs {
 namespace {
 
 constexpr size_t kMaxRequestBytes = 8192;  // header cap; bodies are ignored
-
-void set_io_timeout(int fd, std::chrono::milliseconds timeout) {
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// Best-effort full send; gives up on timeout/error (the scraper's loss).
-void send_all(int fd, const std::string& data) {
-  size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t n =
-        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
-    if (n <= 0) return;
-    off += static_cast<size_t>(n);
-  }
-}
 
 std::string make_response(int status, const char* reason,
                           const char* content_type, const std::string& body) {
@@ -100,30 +75,9 @@ Exporter::~Exporter() { stop(); }
 
 void Exporter::start() {
   if (running_.load(std::memory_order_acquire)) return;
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  DSX_REQUIRE(fd >= 0, "exporter: socket(): " << std::strerror(errno));
-  const int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(opts_.port));
-  if (::inet_pton(AF_INET, opts_.bind_address.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw Error("exporter: bad bind address '" + opts_.bind_address + "'");
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(fd, 64) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    throw Error("exporter: cannot listen on " + opts_.bind_address + ":" +
-                std::to_string(opts_.port) + ": " + err);
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
-  listen_fd_ = fd;
-  port_.store(static_cast<int>(ntohs(bound.sin_port)),
-              std::memory_order_release);
+  listen_fd_ = sockio::listen_tcp(opts_.bind_address, opts_.port);
+  port_.store(sockio::bound_port(listen_fd_), std::memory_order_release);
+  queue_ = std::make_unique<sockio::BoundedFdQueue>(opts_.max_connections);
   stopping_.store(false, std::memory_order_release);
   running_.store(true, std::memory_order_release);
   acceptor_ = std::thread([this] { accept_loop(); });
@@ -139,7 +93,7 @@ void Exporter::start() {
 void Exporter::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
-  queue_cv_.notify_all();
+  queue_->stop();
   if (acceptor_.joinable()) acceptor_.join();
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
@@ -149,14 +103,23 @@ void Exporter::stop() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
-  std::deque<int> leftover;
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    leftover.swap(pending_);
-  }
-  for (int fd : leftover) ::close(fd);
+  for (int fd : queue_->drain()) ::close(fd);
   Journal::global().record(EventKind::kUnregister, "obs.exporter",
                            "stopped");
+}
+
+void Exporter::add_endpoint(const std::string& path,
+                            std::function<std::string()> handler,
+                            const std::string& content_type) {
+  DSX_REQUIRE(!path.empty() && path.front() == '/',
+              "add_endpoint: path must start with '/', got '" << path << "'");
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  endpoints_[path] = {content_type, std::move(handler)};
+}
+
+void Exporter::remove_endpoint(const std::string& path) {
+  std::lock_guard<std::mutex> lock(endpoints_mu_);
+  endpoints_.erase(path);
 }
 
 void Exporter::accept_loop() {
@@ -176,24 +139,14 @@ void Exporter::accept_loop() {
     if (ready <= 0) continue;  // timeout (stop-flag check) or EINTR
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
-    set_io_timeout(fd, opts_.io_timeout);
-    bool admitted = false;
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      if (static_cast<int>(pending_.size()) + in_flight_ <
-          opts_.max_connections) {
-        pending_.push_back(fd);
-        admitted = true;
-      }
-    }
-    if (admitted) {
-      queue_cv_.notify_one();
-    } else {
+    sockio::set_io_timeout(fd, opts_.io_timeout);
+    if (!queue_->try_push(fd)) {
       // Past the bound: shed with a synchronous 503 - never queue
       // unboundedly, never block the accept loop.
       dropped_.inc();
-      send_all(fd, make_response(503, "Service Unavailable", "text/plain",
-                                 "exporter at max_connections\n"));
+      sockio::send_all(fd,
+                       make_response(503, "Service Unavailable", "text/plain",
+                                     "exporter at max_connections\n"));
       ::close(fd);
     }
   }
@@ -201,22 +154,10 @@ void Exporter::accept_loop() {
 
 void Exporter::worker_loop() {
   for (;;) {
-    int fd = -1;
-    {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [&] {
-        return stopping_.load(std::memory_order_acquire) || !pending_.empty();
-      });
-      if (pending_.empty()) return;  // stopping and drained
-      fd = pending_.front();
-      pending_.pop_front();
-      ++in_flight_;
-    }
+    const int fd = queue_->pop();
+    if (fd < 0) return;  // stopping and drained
     handle_connection(fd);
-    {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      --in_flight_;
-    }
+    queue_->finish();
   }
 }
 
@@ -241,7 +182,7 @@ void Exporter::handle_connection(int fd) {
       path.resize(qmark);
     }
   }
-  send_all(fd, respond(method, path, query, request));
+  sockio::send_all(fd, respond(method, path, query, request));
   ::shutdown(fd, SHUT_RDWR);
   ::close(fd);
 }
@@ -402,6 +343,28 @@ std::string Exporter::respond(const std::string& method,
                          "  /profile.json  top-N self/total frame table "
                          "(?seconds=N)\n");
   }
+  // Custom endpoints (add_endpoint) - copied out under the lock so a slow
+  // handler never blocks registration.
+  std::function<std::string()> handler;
+  std::string content_type;
+  {
+    std::lock_guard<std::mutex> lock(endpoints_mu_);
+    auto it = endpoints_.find(path);
+    if (it != endpoints_.end()) {
+      content_type = it->second.first;
+      handler = it->second.second;
+    }
+  }
+  if (handler) {
+    requests_other_.inc();
+    try {
+      return make_response(200, "OK", content_type.c_str(), handler());
+    } catch (const std::exception& e) {
+      errors_.inc();
+      return make_response(500, "Internal Server Error", "text/plain",
+                           std::string("endpoint failed: ") + e.what() + "\n");
+    }
+  }
   errors_.inc();
   return make_response(404, "Not Found", "text/plain",
                        "unknown path " + path + "\n");
@@ -413,27 +376,12 @@ HttpResponse http_get(const std::string& host, int port,
                       const std::string& path,
                       std::chrono::milliseconds timeout,
                       const std::string& accept) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  DSX_REQUIRE(fd >= 0, "http_get: socket(): " << std::strerror(errno));
-  set_io_timeout(fd, timeout);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    throw Error("http_get: bad host '" + host + "' (IPv4 literal expected)");
-  }
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    throw Error("http_get: connect " + host + ":" + std::to_string(port) +
-                ": " + err);
-  }
+  const int fd = sockio::connect_tcp(host, port, timeout);
   std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
                         "\r\nConnection: close\r\n";
   if (!accept.empty()) request += "Accept: " + accept + "\r\n";
   request += "\r\n";
-  send_all(fd, request);
+  sockio::send_all(fd, request);
   std::string raw;
   char chunk[4096];
   for (;;) {

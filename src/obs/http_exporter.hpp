@@ -37,14 +37,17 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/socket_io.hpp"
 #include "obs/slo.hpp"
 
 namespace dsx::obs {
@@ -89,6 +92,18 @@ class Exporter {
   /// The bound port (resolves opts.port == 0); 0 before start().
   int port() const { return port_.load(std::memory_order_acquire); }
 
+  /// Registers (or replaces) a custom GET endpoint. The handler runs on an
+  /// exporter worker thread and its return value is served with a 200 and
+  /// `content_type`; a throwing handler becomes a 500. Lets other tiers
+  /// (e.g. dsx::net's /residency) publish through the exporter without the
+  /// obs tier depending on them.
+  void add_endpoint(const std::string& path,
+                    std::function<std::string()> handler,
+                    const std::string& content_type = "application/json");
+  /// Unregisters a custom endpoint; unknown paths are a no-op. Call before
+  /// destroying whatever state the handler captures.
+  void remove_endpoint(const std::string& path);
+
  private:
   void accept_loop();
   void worker_loop();
@@ -109,10 +124,13 @@ class Exporter {
   std::thread acceptor_;
   std::vector<std::thread> workers_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<int> pending_;  // accepted fds awaiting a worker
-  int in_flight_ = 0;        // fds currently being served
+  // Accepted-fd handoff (accept loop -> workers); recreated per start()
+  // because its shutdown flag is sticky.
+  std::unique_ptr<sockio::BoundedFdQueue> queue_;
+
+  std::mutex endpoints_mu_;
+  std::map<std::string, std::pair<std::string, std::function<std::string()>>>
+      endpoints_;  // path -> (content type, handler)
 
   Counter requests_metrics_;
   Counter requests_healthz_;

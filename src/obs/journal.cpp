@@ -44,6 +44,8 @@ const char* event_kind_name(EventKind kind) {
       return "flight";
     case EventKind::kProfile:
       return "profile";
+    case EventKind::kResidency:
+      return "residency";
   }
   return "?";
 }

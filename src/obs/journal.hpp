@@ -35,6 +35,7 @@ enum class EventKind {
   kHealth,       // SLO engine health transition (detail: evaluation)
   kFlight,       // flight recorder armed/disarmed (detail: cooldown, floor)
   kProfile,      // sampling profiler started/stopped (detail: hz, samples)
+  kResidency,    // residency manager evicted / faulted in a model
 };
 
 const char* event_kind_name(EventKind kind);

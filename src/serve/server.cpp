@@ -437,6 +437,20 @@ int InferenceServer::exporter_port() const {
   return exporter_ != nullptr && exporter_->running() ? exporter_->port() : 0;
 }
 
+void InferenceServer::set_exporter_endpoint(
+    const std::string& path, std::function<std::string()> handler,
+    const std::string& content_type) {
+  std::lock_guard<std::mutex> lock(exporter_mu_);
+  if (exporter_ != nullptr) {
+    exporter_->add_endpoint(path, std::move(handler), content_type);
+  }
+}
+
+void InferenceServer::remove_exporter_endpoint(const std::string& path) {
+  std::lock_guard<std::mutex> lock(exporter_mu_);
+  if (exporter_ != nullptr) exporter_->remove_endpoint(path);
+}
+
 void InferenceServer::stop() {
   std::vector<EntryPtr> entries;
   {

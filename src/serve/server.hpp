@@ -169,6 +169,15 @@ class InferenceServer {
   void stop_exporter();
   /// The running exporter's port; 0 when none is running.
   int exporter_port() const;
+  /// Registers (or replaces) a custom GET endpoint on the exporter - the
+  /// hook other tiers (dsx::net's /residency) publish through without obs
+  /// depending on them. The handler must stay valid until
+  /// remove_exporter_endpoint / stop(); a no-op when no exporter runs.
+  void set_exporter_endpoint(const std::string& path,
+                             std::function<std::string()> handler,
+                             const std::string& content_type =
+                                 "application/json");
+  void remove_exporter_endpoint(const std::string& path);
 
   /// Starts the continuous sampling profiler (obs::prof) at `hz` Hz
   /// (0 = prof::kDefaultHz) and arms pool busy/idle accounting; the
